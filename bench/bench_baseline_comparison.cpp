@@ -1,0 +1,211 @@
+// Experiment F2 + intro claims: noise resilience of the paper's
+// geometric-similarity retrieval vs. the baselines it is compared with:
+//   * Mehrotra & Gary edge-normalized feature index (the paper's primary
+//     comparison; Figure 2's local-distortion failure case),
+//   * Hausdorff and partial (k-th) Hausdorff ranking (Section 2.1).
+//
+// A database of jittered prototype instances is queried with increasingly
+// distorted sketches; we report precision@1 (does the top match come from
+// the query's prototype?), query latency, and the storage blow-up of
+// edge normalization vs. alpha-diameter normalization.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/envelope_matcher.h"
+#include "core/chamfer_baseline.h"
+#include "core/feature_index_baseline.h"
+#include "core/normalize.h"
+#include "core/shape_base.h"
+#include "core/similarity.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::FmtInt;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+
+namespace {
+
+/// Brute-force alignment-invariant ranking with an arbitrary measure over
+/// normalized copies: min over copies per shape.
+int RankTop1(const geosir::core::ShapeBase& base, const Polyline& query,
+             const std::function<double(const Polyline&, const Polyline&)>&
+                 measure) {
+  auto qnorm = geosir::core::NormalizeQuery(query);
+  if (!qnorm.ok()) return -1;
+  int best_shape = -1;
+  double best = 1e300;
+  for (const auto& copy : base.copies()) {
+    const double d = measure(copy.shape, qnorm->shape);
+    if (d < best) {
+      best = d;
+      best_shape = static_cast<int>(copy.shape_id);
+    }
+  }
+  return best_shape;
+}
+
+}  // namespace
+
+int main() {
+  const int kPrototypes =
+      static_cast<int>(geosir::bench::EnvScale("GEOSIR_BENCH_PROTOS", 24));
+  const int kInstances = 4;
+  const int kQueriesPerLevel = kPrototypes;
+
+  geosir::util::Rng rng(20020601);
+  geosir::workload::PolygonGenOptions gen;
+  std::vector<Polyline> prototypes;
+  for (int i = 0; i < kPrototypes; ++i) {
+    prototypes.push_back(RandomStarPolygon(&rng, gen));
+  }
+
+  // Database: jittered instances of every prototype.
+  geosir::core::ShapeBase base;
+  geosir::core::FeatureIndexBaseline mg_index;
+  geosir::core::ChamferBaseline chamfer;
+  std::vector<int> prototype_of_shape;
+  for (int p = 0; p < kPrototypes; ++p) {
+    for (int i = 0; i < kInstances; ++i) {
+      const Polyline instance =
+          geosir::workload::JitterVertices(prototypes[p], 0.008, &rng);
+      auto id = base.AddShape(instance);
+      if (!id.ok()) continue;
+      prototype_of_shape.push_back(p);
+      (void)mg_index.Add(*id, instance);
+      (void)chamfer.Add(*id, instance);
+    }
+  }
+  if (!base.Finalize().ok()) return 1;
+
+  std::printf("=== Storage overhead (copies stored per shape) ===\n");
+  Table storage({"method", "entries", "entries/shape"});
+  storage.AddRow({"GeoSIR alpha-diameter copies",
+                  FmtInt(static_cast<long long>(base.NumCopies())),
+                  Fmt("%.1f", static_cast<double>(base.NumCopies()) /
+                                  base.NumShapes())});
+  storage.AddRow({"Mehrotra-Gary per-edge copies",
+                  FmtInt(static_cast<long long>(mg_index.NumEntries())),
+                  Fmt("%.1f", static_cast<double>(mg_index.NumEntries()) /
+                                  base.NumShapes())});
+  storage.AddRow({"chamfer distance maps (KB)",
+                  FmtInt(static_cast<long long>(chamfer.MapBytes() / 1024)),
+                  Fmt("%.0f KB", static_cast<double>(chamfer.MapBytes()) /
+                                     1024.0 / base.NumShapes())});
+  storage.Print();
+  std::printf("(paper: edge normalization stores 2 copies per edge; "
+              "diameter normalization ~2 copies per alpha-diameter)\n\n");
+
+  geosir::core::EnvelopeMatcher matcher(&base);
+
+  struct NoiseLevel {
+    const char* name;
+    std::function<Polyline(const Polyline&, geosir::util::Rng*)> distort;
+  };
+  const std::vector<NoiseLevel> levels = {
+      {"jitter 0.5%",
+       [](const Polyline& p, geosir::util::Rng* r) {
+         return geosir::workload::JitterVertices(p, 0.005, r);
+       }},
+      {"jitter 1%",
+       [](const Polyline& p, geosir::util::Rng* r) {
+         return geosir::workload::JitterVertices(p, 0.01, r);
+       }},
+      {"jitter 2%",
+       [](const Polyline& p, geosir::util::Rng* r) {
+         return geosir::workload::JitterVertices(p, 0.02, r);
+       }},
+      {"jitter 4%",
+       [](const Polyline& p, geosir::util::Rng* r) {
+         return geosir::workload::JitterVertices(p, 0.04, r);
+       }},
+      {"5 edge dents 4% (Fig.2)",
+       [](const Polyline& p, geosir::util::Rng* r) {
+         // Figure 2's distortion breaks many edges at once: no edge of
+         // the distorted shape matches an edge of the original.
+         Polyline out = geosir::workload::JitterVertices(p, 0.005, r);
+         for (int d = 0; d < 5; ++d) {
+           out = geosir::workload::LocalDent(out, 0.04, r);
+         }
+         return out;
+       }},
+      {"resample 2x vertices",
+       [](const Polyline& p, geosir::util::Rng* r) {
+         (void)r;
+         return geosir::workload::ResampleBoundary(
+             p, static_cast<int>(2 * p.size()));
+       }},
+  };
+
+  std::printf(
+      "=== Precision@1 under distortion (%d queries per level) ===\n",
+      kQueriesPerLevel);
+  Table results({"distortion", "GeoSIR h_avg", "Mehrotra-Gary", "Hausdorff",
+                 "partial H (f=.5)", "chamfer", "GeoSIR ms/q", "MG ms/q",
+                 "chamfer ms/q"});
+  for (const NoiseLevel& level : levels) {
+    int correct_geo = 0, correct_mg = 0, correct_h = 0, correct_ph = 0;
+    int correct_ch = 0;
+    double geo_ms = 0.0, mg_ms = 0.0, ch_ms = 0.0;
+    for (int q = 0; q < kQueriesPerLevel; ++q) {
+      const int proto = q % kPrototypes;
+      const Polyline query = level.distort(prototypes[proto], &rng);
+
+      Timer geo_timer;
+      auto geo = matcher.Match(query);
+      geo_ms += geo_timer.Millis();
+      if (geo.ok() && !geo->empty() &&
+          prototype_of_shape[(*geo)[0].shape_id] == proto) {
+        ++correct_geo;
+      }
+
+      Timer mg_timer;
+      const auto mg = mg_index.Query(query, 1);
+      mg_ms += mg_timer.Millis();
+      if (!mg.empty() && prototype_of_shape[mg[0].shape_id] == proto) {
+        ++correct_mg;
+      }
+
+      const int h_top = RankTop1(base, query,
+                                 [](const Polyline& s, const Polyline& t) {
+                                   return geosir::core::DiscreteHausdorff(s,
+                                                                          t);
+                                 });
+      if (h_top >= 0 && prototype_of_shape[h_top] == proto) ++correct_h;
+      const int ph_top = RankTop1(base, query,
+                                  [](const Polyline& s, const Polyline& t) {
+                                    return geosir::core::PartialHausdorff(
+                                        s, t, 0.5);
+                                  });
+      if (ph_top >= 0 && prototype_of_shape[ph_top] == proto) ++correct_ph;
+
+      Timer ch_timer;
+      const auto ch = chamfer.Query(query, 1);
+      ch_ms += ch_timer.Millis();
+      if (!ch.empty() && prototype_of_shape[ch[0].shape_id] == proto) {
+        ++correct_ch;
+      }
+    }
+    const auto pct = [&](int correct) {
+      return Fmt("%.0f%%", 100.0 * correct / kQueriesPerLevel);
+    };
+    results.AddRow({level.name, pct(correct_geo), pct(correct_mg),
+                    pct(correct_h), pct(correct_ph), pct(correct_ch),
+                    Fmt("%.1f", geo_ms / kQueriesPerLevel),
+                    Fmt("%.1f", mg_ms / kQueriesPerLevel),
+                    Fmt("%.1f", ch_ms / kQueriesPerLevel)});
+  }
+  results.Print();
+  std::printf(
+      "\nexpected shape (paper): GeoSIR stays accurate as distortion\n"
+      "grows; Mehrotra-Gary degrades sharply once edges are dented or\n"
+      "split (Figure 2) because no edge pair aligns; plain Hausdorff is\n"
+      "dragged by single-vertex outliers.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Ablation (extension): the dynamic shape base under a mixed
+// insert/delete/query workload — the "dynamic environments, where insert
+// and delete operations occur frequently" scenario the paper's related
+// work points at. Compares the delta-plus-compaction design against the
+// naive alternative (rebuild the whole static base after every change).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_shape_base.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::FmtInt;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+
+namespace {
+
+struct WorkloadStep {
+  enum Kind { kInsert, kRemove, kQuery } kind;
+  Polyline shape;  // Insert payload or query.
+};
+
+std::vector<WorkloadStep> MakeWorkload(size_t steps, geosir::util::Rng* rng) {
+  geosir::workload::PolygonGenOptions gen;
+  std::vector<WorkloadStep> out;
+  std::vector<Polyline> pool;
+  for (size_t s = 0; s < steps; ++s) {
+    const double roll = rng->Uniform(0, 1);
+    if (pool.empty() || roll < 0.5) {
+      WorkloadStep step{WorkloadStep::kInsert, RandomStarPolygon(rng, gen)};
+      pool.push_back(step.shape);
+      out.push_back(std::move(step));
+    } else if (roll < 0.7) {
+      out.push_back(WorkloadStep{WorkloadStep::kRemove, {}});
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+      out.push_back(WorkloadStep{
+          WorkloadStep::kQuery,
+          geosir::workload::JitterVertices(pool[pick], 0.01, rng)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kSteps = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_STEPS", 600));
+  geosir::util::Rng rng(112233);
+  const auto workload = MakeWorkload(kSteps, &rng);
+
+  std::printf("=== Mixed workload: %zu steps (~50%% insert, 20%% delete, "
+              "30%% query) ===\n\n",
+              workload.size());
+
+  Table table({"strategy", "total_s", "insert_ms", "remove_ms", "query_ms",
+               "rebuilds"});
+
+  // Strategy A: delta + compaction (DynamicShapeBase).
+  {
+    geosir::core::DynamicShapeBase::Options options;
+    options.match.measure = geosir::core::MatchMeasure::kDiscreteSymmetric;
+    geosir::core::DynamicShapeBase base(options);
+    std::vector<uint64_t> live;
+    double insert_ms = 0, remove_ms = 0, query_ms = 0;
+    Timer total;
+    geosir::util::Rng pick_rng(1);
+    for (const WorkloadStep& step : workload) {
+      switch (step.kind) {
+        case WorkloadStep::kInsert: {
+          Timer t;
+          auto id = base.Insert(step.shape);
+          insert_ms += t.Millis();
+          if (id.ok()) live.push_back(*id);
+          break;
+        }
+        case WorkloadStep::kRemove: {
+          if (live.empty()) break;
+          const size_t victim = static_cast<size_t>(pick_rng.UniformInt(
+              0, static_cast<int64_t>(live.size()) - 1));
+          Timer t;
+          (void)base.Remove(live[victim]);
+          remove_ms += t.Millis();
+          live.erase(live.begin() + victim);
+          break;
+        }
+        case WorkloadStep::kQuery: {
+          Timer t;
+          auto results = base.Match(step.shape, 1);
+          query_ms += t.Millis();
+          if (!results.ok()) return 1;
+          break;
+        }
+      }
+    }
+    table.AddRow({"delta + compaction", Fmt("%.2f", total.Seconds()),
+                  Fmt("%.2f", insert_ms), Fmt("%.2f", remove_ms),
+                  Fmt("%.2f", query_ms),
+                  FmtInt(static_cast<long long>(base.NumCompactions()))});
+  }
+
+  // Strategy B: naive — compact after every mutation.
+  {
+    geosir::core::DynamicShapeBase::Options options;
+    options.match.measure = geosir::core::MatchMeasure::kDiscreteSymmetric;
+    options.min_compaction_size = 0;   // Compact...
+    options.max_delta_fraction = 0.0;  // ...on every insert...
+    options.max_tombstone_fraction = 0.0;  // ...and every delete.
+    geosir::core::DynamicShapeBase base(options);
+    std::vector<uint64_t> live;
+    double insert_ms = 0, remove_ms = 0, query_ms = 0;
+    Timer total;
+    geosir::util::Rng pick_rng(1);
+    for (const WorkloadStep& step : workload) {
+      switch (step.kind) {
+        case WorkloadStep::kInsert: {
+          Timer t;
+          auto id = base.Insert(step.shape);
+          insert_ms += t.Millis();
+          if (id.ok()) live.push_back(*id);
+          break;
+        }
+        case WorkloadStep::kRemove: {
+          if (live.empty()) break;
+          const size_t victim = static_cast<size_t>(pick_rng.UniformInt(
+              0, static_cast<int64_t>(live.size()) - 1));
+          Timer t;
+          (void)base.Remove(live[victim]);
+          remove_ms += t.Millis();
+          live.erase(live.begin() + victim);
+          break;
+        }
+        case WorkloadStep::kQuery: {
+          Timer t;
+          auto results = base.Match(step.shape, 1);
+          query_ms += t.Millis();
+          if (!results.ok()) return 1;
+          break;
+        }
+      }
+    }
+    table.AddRow({"rebuild every change", Fmt("%.2f", total.Seconds()),
+                  Fmt("%.2f", insert_ms), Fmt("%.2f", remove_ms),
+                  Fmt("%.2f", query_ms),
+                  FmtInt(static_cast<long long>(base.NumCompactions()))});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: identical query results (checked by the unit\n"
+      "tests). The delta design makes mutations ~50x cheaper (a handful\n"
+      "of rebuilds instead of one per change) at the cost of moderately\n"
+      "slower queries (tombstoned shapes stay searchable until the next\n"
+      "compaction and top-k needs slack to survive filtering) — the\n"
+      "classic LSM-style trade-off; it wins whenever mutations are not\n"
+      "rare relative to queries.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment F5: regenerates Figure 5 (the graphs of E(x) and dE/dx) and
+// Figure 4 right (the k = 50 equal-area arc family), plus solver timing.
+//
+// Paper reference: Section 3. E(x) is the area between the q1 hash arc
+// with parameter x and the x-axis; the arcs are placed at E(x_i) =
+// (A0/4) i/k. The paper plots E and its derivative to justify fast
+// gradient-based root finding.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hashing/hash_curves.h"
+#include "hashing/lune.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+
+int main() {
+  std::printf("=== Figure 5: E(x) and dE/dx over [0, 1] ===\n");
+  Table curve({"x", "E(x)", "dE/dx", "E(x)/(A0/4)"});
+  const double quarter = geosir::hashing::kLuneAreaA0 / 4.0;
+  for (double x = 0.0; x <= 1.0001; x += 0.05) {
+    const double e = geosir::hashing::LuneAreaE(x);
+    const double de = geosir::hashing::LuneAreaEDerivative(x);
+    curve.AddRow({Fmt("%.2f", x), Fmt("%.6f", e), Fmt("%.6f", de),
+                  Fmt("%.4f", e / quarter)});
+  }
+  curve.Print();
+  std::printf(
+      "expected shape: E monotone 0 -> A0/4 = %.6f; dE/dx continuous,\n"
+      "rising from 0 and steepening toward x = 1 (paper Figure 5).\n\n",
+      quarter);
+
+  std::printf("=== Figure 4 (right): the k = 50 arc family ===\n");
+  Timer solve_timer;
+  auto family = geosir::hashing::ArcFamily::Create(50);
+  const double solve_ms = solve_timer.Millis();
+  if (!family.ok()) {
+    std::fprintf(stderr, "ArcFamily::Create failed: %s\n",
+                 family.status().ToString().c_str());
+    return 1;
+  }
+  Table arcs({"i", "x_i", "center_x", "center_y", "E(x_i)/(A0/4)"});
+  for (int i = 1; i <= 50; i += (i < 5 ? 1 : 5)) {
+    const double x = family->x(i - 1);
+    const auto c = geosir::hashing::ArcCenter(x, 0);
+    arcs.AddRow({geosir::bench::FmtInt(i), Fmt("%.6f", x), Fmt("%.6f", c.x),
+                 Fmt("%.6f", c.y),
+                 Fmt("%.4f", geosir::hashing::LuneAreaE(x) / quarter)});
+  }
+  arcs.Print();
+  std::printf("solved 50 equal-area equations in %.2f ms "
+              "(gradient-safeguarded bisection)\n\n",
+              solve_ms);
+
+  std::printf("=== Solver scaling (k = family size) ===\n");
+  Table scaling({"k", "solve_ms", "max_equal_area_error"});
+  for (int k : {10, 25, 50, 100, 200}) {
+    Timer t;
+    auto fam = geosir::hashing::ArcFamily::Create(k);
+    const double ms = t.Millis();
+    if (!fam.ok()) return 1;
+    double worst = 0.0;
+    for (int i = 1; i <= k; ++i) {
+      const double want = quarter * i / k;
+      const double got = geosir::hashing::LuneAreaE(fam->x(i - 1));
+      worst = std::max(worst, std::fabs(got - want));
+    }
+    scaling.AddRow({geosir::bench::FmtInt(k), Fmt("%.2f", ms),
+                    Fmt("%.2e", worst)});
+  }
+  scaling.Print();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Ablation §2.4/§2.5: the paper states that the constants alpha (the
+// alpha-diameter slack) and beta (the candidate occupancy slack) "do not
+// affect the correctness of the algorithm but may improve both the speed
+// of convergence ... and the noise tolerance of the system". This bench
+// quantifies exactly that trade-off, plus the envelope growth factor:
+//
+//   * alpha sweep: storage blow-up (copies/shape) vs retrieval recall
+//     under strong distortion — more alpha-diameter copies give the
+//     matcher more chances to align a distorted query;
+//   * beta sweep: candidate admission (evaluations per query) vs recall —
+//     larger beta admits candidates earlier (more evaluations, earlier
+//     convergence on noisy queries);
+//   * growth sweep: iterations vs reported vertices per query.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::FmtInt;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+
+namespace {
+
+struct Workload {
+  std::vector<Polyline> prototypes;
+  std::vector<Polyline> instances;  // One per prototype, light jitter.
+  std::vector<Polyline> queries;    // One per prototype, heavy distortion.
+};
+
+Workload MakeWorkload(int prototypes, uint64_t seed) {
+  Workload w;
+  geosir::util::Rng rng(seed);
+  geosir::workload::PolygonGenOptions gen;
+  for (int p = 0; p < prototypes; ++p) {
+    w.prototypes.push_back(RandomStarPolygon(&rng, gen));
+    w.instances.push_back(
+        geosir::workload::JitterVertices(w.prototypes.back(), 0.008, &rng));
+    // Heavy distortion: 3% jitter plus two dents.
+    Polyline q =
+        geosir::workload::JitterVertices(w.prototypes.back(), 0.03, &rng);
+    q = geosir::workload::LocalDent(q, 0.05, &rng);
+    q = geosir::workload::LocalDent(q, 0.05, &rng);
+    w.queries.push_back(q);
+  }
+  return w;
+}
+
+std::unique_ptr<geosir::core::ShapeBase> BuildBase(const Workload& w,
+                                                   double alpha,
+                                                   size_t max_axes) {
+  geosir::core::ShapeBaseOptions options;
+  options.normalize.alpha = alpha;
+  options.normalize.max_axes = max_axes;
+  options.normalize.use_alpha_diameters = alpha > 0.0;
+  auto base = std::make_unique<geosir::core::ShapeBase>(options);
+  for (const Polyline& instance : w.instances) {
+    (void)base->AddShape(instance);
+  }
+  (void)base->Finalize();
+  return base;
+}
+
+}  // namespace
+
+int main() {
+  const int kPrototypes =
+      static_cast<int>(geosir::bench::EnvScale("GEOSIR_BENCH_PROTOS", 60));
+  const Workload w = MakeWorkload(kPrototypes, 1234);
+
+  std::printf(
+      "=== alpha sweep: storage vs recall under heavy distortion ===\n");
+  Table alpha_table({"alpha", "max_axes", "copies/shape", "recall@1",
+                     "query_ms"});
+  for (const auto& [alpha, axes] :
+       std::vector<std::pair<double, size_t>>{
+           {0.0, 1}, {0.05, 4}, {0.1, 8}, {0.2, 12}, {0.3, 16}}) {
+    auto base = BuildBase(w, alpha, axes);
+    geosir::core::EnvelopeMatcher matcher(base.get());
+    int correct = 0;
+    double ms = 0.0;
+    for (int q = 0; q < kPrototypes; ++q) {
+      Timer t;
+      auto results = matcher.Match(w.queries[q]);
+      ms += t.Millis();
+      if (results.ok() && !results->empty() &&
+          (*results)[0].shape_id == static_cast<uint32_t>(q)) {
+        ++correct;
+      }
+    }
+    alpha_table.AddRow(
+        {Fmt("%.2f", alpha), FmtInt(static_cast<long long>(axes)),
+         Fmt("%.1f", static_cast<double>(base->NumCopies()) /
+                         base->NumShapes()),
+         Fmt("%.0f%%", 100.0 * correct / kPrototypes),
+         Fmt("%.1f", ms / kPrototypes)});
+  }
+  alpha_table.Print();
+  std::printf("(more alpha-diameter copies buy distortion tolerance with "
+              "storage and a little query time)\n\n");
+
+  std::printf("=== beta sweep: candidate admission vs recall ===\n");
+  auto base = BuildBase(w, 0.1, 8);
+  geosir::core::EnvelopeMatcher matcher(base.get());
+  Table beta_table({"beta", "recall@1", "candidates/q", "iters/q",
+                    "query_ms"});
+  for (double beta : {0.05, 0.15, 0.25, 0.4, 0.6}) {
+    int correct = 0;
+    double ms = 0.0, cands = 0.0, iters = 0.0;
+    for (int q = 0; q < kPrototypes; ++q) {
+      geosir::core::MatchOptions options;
+      options.beta = beta;
+      geosir::core::MatchStats stats;
+      Timer t;
+      auto results = matcher.Match(w.queries[q], options, &stats);
+      ms += t.Millis();
+      cands += static_cast<double>(stats.candidates_evaluated);
+      iters += static_cast<double>(stats.iterations);
+      if (results.ok() && !results->empty() &&
+          (*results)[0].shape_id == static_cast<uint32_t>(q)) {
+        ++correct;
+      }
+    }
+    beta_table.AddRow({Fmt("%.2f", beta),
+                       Fmt("%.0f%%", 100.0 * correct / kPrototypes),
+                       Fmt("%.1f", cands / kPrototypes),
+                       Fmt("%.1f", iters / kPrototypes),
+                       Fmt("%.1f", ms / kPrototypes)});
+  }
+  beta_table.Print();
+  std::printf("(larger beta admits candidates earlier: more similarity\n"
+              "evaluations, better tolerance of vertices pushed outside\n"
+              "the envelope by noise)\n\n");
+
+  std::printf("=== growth sweep: envelope schedule granularity ===\n");
+  Table growth_table({"growth", "iters/q", "reported/q", "query_ms",
+                      "recall@1"});
+  for (double growth : {1.2, 1.5, 2.0, 3.0, 5.0}) {
+    int correct = 0;
+    double ms = 0.0, iters = 0.0, reported = 0.0;
+    for (int q = 0; q < kPrototypes; ++q) {
+      geosir::core::MatchOptions options;
+      options.growth = growth;
+      geosir::core::MatchStats stats;
+      Timer t;
+      auto results = matcher.Match(w.queries[q], options, &stats);
+      ms += t.Millis();
+      iters += static_cast<double>(stats.iterations);
+      reported += static_cast<double>(stats.vertices_reported);
+      if (results.ok() && !results->empty() &&
+          (*results)[0].shape_id == static_cast<uint32_t>(q)) {
+        ++correct;
+      }
+    }
+    growth_table.AddRow({Fmt("%.1f", growth), Fmt("%.1f", iters / kPrototypes),
+                         Fmt("%.0f", reported / kPrototypes),
+                         Fmt("%.1f", ms / kPrototypes),
+                         Fmt("%.0f%%", 100.0 * correct / kPrototypes)});
+  }
+  growth_table.Print();
+  std::printf("(fine growth = more iterations but tighter stopping; coarse\n"
+              "growth = fewer, fatter rings and later early exits)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks of the geometric primitives on the matcher's hot
+// path, via google-benchmark. These are the per-call costs behind the
+// figures in bench_matching_scaling: the exact ring-membership test is
+// O(m) point-polyline distance, candidate evaluation is O(m^2) discrete
+// or quadrature-driven continuous measure, and normalization is hull +
+// rotating calipers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/normalize.h"
+#include "core/similarity.h"
+#include "geom/distance.h"
+#include "geom/envelope.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+namespace {
+
+using geosir::geom::Point;
+using geosir::geom::Polyline;
+
+Polyline MakeShape(int vertices, uint64_t seed) {
+  geosir::util::Rng rng(seed);
+  geosir::workload::PolygonGenOptions gen;
+  gen.min_vertices = vertices;
+  gen.max_vertices = vertices;
+  return RandomStarPolygon(&rng, gen);
+}
+
+void BM_PointPolylineDistance(benchmark::State& state) {
+  const Polyline shape = MakeShape(static_cast<int>(state.range(0)), 1);
+  geosir::util::Rng rng(2);
+  std::vector<Point> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back({rng.Uniform(-2, 2), rng.Uniform(-2, 2)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geosir::geom::DistancePointPolyline(probes[i++ & 255], shape));
+  }
+}
+BENCHMARK(BM_PointPolylineDistance)->Arg(8)->Arg(20)->Arg(64);
+
+void BM_DiscreteAvgMinDistance(benchmark::State& state) {
+  const Polyline a = MakeShape(static_cast<int>(state.range(0)), 3);
+  const Polyline b = MakeShape(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geosir::core::DiscreteAvgMinDistance(a, b));
+  }
+}
+BENCHMARK(BM_DiscreteAvgMinDistance)->Arg(8)->Arg(20)->Arg(64);
+
+void BM_ContinuousAvgMinDistance(benchmark::State& state) {
+  const Polyline a = MakeShape(static_cast<int>(state.range(0)), 5);
+  const Polyline b = MakeShape(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geosir::core::AvgMinDistance(a, b));
+  }
+}
+BENCHMARK(BM_ContinuousAvgMinDistance)->Arg(8)->Arg(20)->Arg(64);
+
+void BM_NormalizeQuery(benchmark::State& state) {
+  const Polyline shape = MakeShape(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto result = geosir::core::NormalizeQuery(shape);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NormalizeQuery)->Arg(8)->Arg(20)->Arg(64);
+
+void BM_NormalizeShapeAllAxes(benchmark::State& state) {
+  geosir::core::Shape shape;
+  shape.boundary = MakeShape(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto result = geosir::core::NormalizeShape(shape);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NormalizeShapeAllAxes)->Arg(8)->Arg(20)->Arg(64);
+
+void BM_BuildEnvelopeRingCover(benchmark::State& state) {
+  auto normalized = geosir::core::NormalizeQuery(MakeShape(20, 9));
+  const Polyline& q = normalized->shape;
+  for (auto _ : state) {
+    auto cover = geosir::geom::BuildEnvelopeRingCover(q, 0.01, 0.02);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_BuildEnvelopeRingCover);
+
+void BM_EnvelopeRingMembership(benchmark::State& state) {
+  auto normalized = geosir::core::NormalizeQuery(MakeShape(20, 10));
+  const Polyline& q = normalized->shape;
+  geosir::util::Rng rng(11);
+  std::vector<Point> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back({rng.Uniform(-0.2, 1.2), rng.Uniform(-1, 1)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geosir::geom::InEnvelopeRing(q, probes[i++ & 255], 0.01, 0.02));
+  }
+}
+BENCHMARK(BM_EnvelopeRingMembership);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+#include "core/dynamic_shape_base.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/normalize.h"
+#include "core/similarity.h"
+
+namespace geosir::core {
+
+DynamicShapeBase::DynamicShapeBase(Options options)
+    : options_(std::move(options)) {}
+
+util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
+                                                ImageId image,
+                                                std::string label) {
+  // Validate eagerly with the same rules the main base applies, so a bad
+  // shape fails at insert time instead of at the next compaction.
+  GEOSIR_RETURN_IF_ERROR(boundary.Validate());
+  if (boundary.size() < 3) {
+    return util::Status::InvalidArgument(
+        "database shapes need at least 3 vertices");
+  }
+  Record record;
+  record.boundary = std::move(boundary);
+  record.image = image;
+  record.label = std::move(label);
+  {
+    Shape tmp;
+    tmp.boundary = record.boundary;
+    GEOSIR_ASSIGN_OR_RETURN(record.copies,
+                            NormalizeShape(tmp, options_.base.normalize));
+  }
+  const uint64_t id = records_.size();
+  records_.push_back(std::move(record));
+  delta_ids_.push_back(id);
+  ++live_count_;
+  GEOSIR_RETURN_IF_ERROR(MaybeCompact());
+  return id;
+}
+
+util::Status DynamicShapeBase::Remove(uint64_t id) {
+  if (id >= records_.size()) {
+    return util::Status::NotFound("unknown shape id");
+  }
+  Record& record = records_[id];
+  if (record.deleted) {
+    return util::Status::FailedPrecondition("shape already deleted");
+  }
+  record.deleted = true;
+  --live_count_;
+  if (record.in_main) {
+    ++tombstones_;
+  } else {
+    delta_ids_.erase(
+        std::remove(delta_ids_.begin(), delta_ids_.end(), id),
+        delta_ids_.end());
+  }
+  return MaybeCompact();
+}
+
+util::Status DynamicShapeBase::MaybeCompact() {
+  const size_t main_shapes = main_ == nullptr ? 0 : main_->NumShapes();
+  const bool delta_heavy =
+      delta_ids_.size() >= options_.min_compaction_size &&
+      static_cast<double>(delta_ids_.size()) >
+          options_.max_delta_fraction *
+              std::max<size_t>(1, live_count_);
+  const bool tombstone_heavy =
+      tombstones_ >= options_.min_compaction_size &&
+      static_cast<double>(tombstones_) >
+          options_.max_tombstone_fraction * std::max<size_t>(1, main_shapes);
+  if (!delta_heavy && !tombstone_heavy) return util::Status::OK();
+  return Compact();
+}
+
+util::Status DynamicShapeBase::Compact() {
+  auto rebuilt = std::make_unique<ShapeBase>(options_.base);
+  std::vector<uint64_t> ids;
+  for (uint64_t id = 0; id < records_.size(); ++id) {
+    Record& record = records_[id];
+    if (record.deleted) continue;
+    GEOSIR_ASSIGN_OR_RETURN(ShapeId inner,
+                            rebuilt->AddShape(record.boundary, record.image,
+                                              record.label));
+    (void)inner;  // Sequential: ids.size() tracks it.
+    ids.push_back(id);
+    record.in_main = true;
+    record.copies.clear();  // The main base owns normalized copies now.
+    record.copies.shrink_to_fit();
+  }
+  GEOSIR_RETURN_IF_ERROR(rebuilt->Finalize());
+  main_ = std::move(rebuilt);
+  matcher_ = std::make_unique<EnvelopeMatcher>(main_.get());
+  main_ids_ = std::move(ids);
+  delta_ids_.clear();
+  tombstones_ = 0;
+  ++compactions_;
+  return util::Status::OK();
+}
+
+double DynamicShapeBase::EvaluateAgainstQuery(
+    const Record& record, const NormalizedCopy& qnorm) const {
+  // Delta shapes are matched by direct evaluation over their cached
+  // normalized copies (the delta is small by construction).
+  double best = std::numeric_limits<double>::infinity();
+  for (const NormalizedCopy& copy : record.copies) {
+    double d;
+    switch (options_.match.measure) {
+      case MatchMeasure::kContinuousSymmetric:
+        d = AvgMinDistanceSymmetric(copy.shape, qnorm.shape,
+                                    options_.match.similarity);
+        break;
+      case MatchMeasure::kContinuousDirected:
+        d = AvgMinDistance(copy.shape, qnorm.shape,
+                           options_.match.similarity);
+        break;
+      case MatchMeasure::kDiscreteSymmetric:
+        d = std::max(DiscreteAvgMinDistance(copy.shape, qnorm.shape),
+                     DiscreteAvgMinDistance(qnorm.shape, copy.shape));
+        break;
+      case MatchMeasure::kDiscreteDirected:
+        d = DiscreteAvgMinDistance(copy.shape, qnorm.shape);
+        break;
+      default:
+        d = std::numeric_limits<double>::infinity();
+        break;
+    }
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+util::Result<std::vector<std::pair<uint64_t, double>>>
+DynamicShapeBase::Match(const geom::Polyline& query, size_t k) {
+  GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
+  std::vector<std::pair<uint64_t, double>> results;
+
+  if (main_ != nullptr && main_->NumShapes() > 0) {
+    // Ask for a little slack to survive tombstone filtering; retry with
+    // more only in the rare case the top results were mostly deleted
+    // (asking for k + all tombstones upfront would defeat the matcher's
+    // early exit on every query).
+    size_t slack = std::min<size_t>(tombstones_, 2);
+    while (true) {
+      MatchOptions match = options_.match;
+      match.k = k + slack;
+      GEOSIR_ASSIGN_OR_RETURN(std::vector<MatchResult> main_results,
+                              matcher_->Match(query, match));
+      std::vector<std::pair<uint64_t, double>> survivors;
+      for (const MatchResult& m : main_results) {
+        const uint64_t stable = main_ids_[m.shape_id];
+        if (records_[stable].deleted) continue;
+        survivors.emplace_back(stable, m.distance);
+      }
+      const bool exhausted = main_results.size() < k + slack ||
+                             slack >= tombstones_;
+      if (survivors.size() >= k || exhausted) {
+        results = std::move(survivors);
+        break;
+      }
+      slack = std::min(tombstones_, 2 * slack + 8);
+    }
+  }
+  for (uint64_t id : delta_ids_) {
+    results.emplace_back(id, EvaluateAgainstQuery(records_[id], qnorm));
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace geosir::core

@@ -1,0 +1,96 @@
+#ifndef GEOSIR_CORE_DYNAMIC_SHAPE_BASE_H_
+#define GEOSIR_CORE_DYNAMIC_SHAPE_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/envelope_matcher.h"
+#include "core/normalize.h"
+#include "core/shape_base.h"
+#include "util/status.h"
+
+namespace geosir::core {
+
+/// EXTENSION: a shape base that supports interleaved inserts, deletes and
+/// queries. The paper's structures are static (its related-work section
+/// points at Berchtold et al. for "dynamic environments, where insert and
+/// delete operations occur frequently"); this wrapper brings the standard
+/// database recipe to the envelope matcher:
+///
+///   * a finalized *main* ShapeBase with its range-search index,
+///   * a small unindexed *delta* of recent inserts, matched by direct
+///     evaluation,
+///   * a tombstone set for deletes,
+///   * automatic compaction (rebuild of the main base) once the delta or
+///     the tombstones exceed a fraction of the total.
+///
+/// Ids handed out by this class are stable across compactions.
+class DynamicShapeBase {
+ public:
+  struct Options {
+    ShapeBaseOptions base;
+    MatchOptions match;
+    /// Compact when delta shapes exceed this fraction of live shapes.
+    double max_delta_fraction = 0.25;
+    /// Compact when tombstones exceed this fraction of main shapes.
+    double max_tombstone_fraction = 0.25;
+    /// Never compact below this many delta shapes (avoids rebuilding a
+    /// tiny base on every insert).
+    size_t min_compaction_size = 64;
+  };
+
+  DynamicShapeBase() : DynamicShapeBase(Options()) {}
+  explicit DynamicShapeBase(Options options);
+
+  /// Inserts a shape; returns its stable id.
+  util::Result<uint64_t> Insert(geom::Polyline boundary,
+                                ImageId image = kNoImage,
+                                std::string label = "");
+
+  /// Deletes a shape by stable id. Idempotent errors: deleting twice or
+  /// deleting an unknown id fails.
+  util::Status Remove(uint64_t id);
+
+  /// k-best retrieval over the live shapes (main minus tombstones plus
+  /// delta). Distances use options.match.measure.
+  util::Result<std::vector<std::pair<uint64_t, double>>> Match(
+      const geom::Polyline& query, size_t k = 1);
+
+  /// Forces a rebuild of the main base (normally automatic).
+  util::Status Compact();
+
+  size_t NumLive() const { return live_count_; }
+  size_t NumDelta() const { return delta_ids_.size(); }
+  size_t NumTombstones() const { return tombstones_; }
+  size_t NumCompactions() const { return compactions_; }
+
+ private:
+  struct Record {
+    geom::Polyline boundary;
+    ImageId image = kNoImage;
+    std::string label;
+    bool deleted = false;
+    bool in_main = false;
+    /// Normalized copies, cached at insert so delta queries do not pay
+    /// normalization per query. Cleared once the record enters main.
+    std::vector<NormalizedCopy> copies;
+  };
+
+  util::Status MaybeCompact();
+  double EvaluateAgainstQuery(const Record& record,
+                              const NormalizedCopy& qnorm) const;
+
+  Options options_;
+  std::vector<Record> records_;        // Indexed by stable id.
+  std::unique_ptr<ShapeBase> main_;    // Finalized; may be null (empty).
+  std::unique_ptr<EnvelopeMatcher> matcher_;
+  std::vector<uint64_t> main_ids_;     // Main ShapeId -> stable id.
+  std::vector<uint64_t> delta_ids_;    // Stable ids not yet in main.
+  size_t live_count_ = 0;
+  size_t tombstones_ = 0;              // Deleted records still in main.
+  size_t compactions_ = 0;
+};
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_DYNAMIC_SHAPE_BASE_H_

@@ -1,0 +1,208 @@
+#include "core/envelope_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "geom/distance.h"
+#include "geom/envelope.h"
+
+namespace geosir::core {
+
+namespace {
+
+using geom::Polyline;
+
+double Log2(double v) { return std::log2(std::max(2.0, v)); }
+
+}  // namespace
+
+EnvelopeMatcher::EnvelopeMatcher(const ShapeBase* base) : base_(base) {
+  vertex_epoch_.assign(base_->NumVertices(), 0);
+  copy_count_.assign(base_->NumCopies(), 0);
+  copy_epoch_.assign(base_->NumCopies(), 0);
+  copy_touch_iter_.assign(base_->NumCopies(), 0);
+  copy_evaluated_.assign(base_->NumCopies(), 0);
+  eval_epoch_.assign(base_->NumCopies(), 0);
+}
+
+double EnvelopeMatcher::EvaluateCopy(const NormalizedCopy& copy,
+                                     const Polyline& q,
+                                     const MatchOptions& options) const {
+  switch (options.measure) {
+    case MatchMeasure::kContinuousSymmetric:
+      return AvgMinDistanceSymmetric(copy.shape, q, options.similarity);
+    case MatchMeasure::kContinuousDirected:
+      return AvgMinDistance(copy.shape, q, options.similarity);
+    case MatchMeasure::kDiscreteSymmetric:
+      return std::max(DiscreteAvgMinDistance(copy.shape, q),
+                      DiscreteAvgMinDistance(q, copy.shape));
+    case MatchMeasure::kDiscreteDirected:
+      return DiscreteAvgMinDistance(copy.shape, q);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
+    const Polyline& query, const MatchOptions& options, MatchStats* stats,
+    AccessTrace* trace) {
+  if (!base_->finalized()) {
+    return util::Status::FailedPrecondition("ShapeBase not finalized");
+  }
+  if (options.beta < 0.0 || options.beta >= 1.0) {
+    return util::Status::InvalidArgument("beta must be in [0, 1)");
+  }
+  if (options.growth <= 1.0) {
+    return util::Status::InvalidArgument("growth must exceed 1");
+  }
+  GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
+  const Polyline& q = qnorm.shape;
+
+  MatchStats local_stats;
+  MatchStats& st = stats != nullptr ? *stats : local_stats;
+  st = MatchStats{};
+
+  const double n = static_cast<double>(std::max<size_t>(1, base_->NumVertices()));
+  const double p = static_cast<double>(std::max<size_t>(1, base_->NumCopies()));
+  const double l_q = std::max(1e-9, q.Perimeter());
+
+  // Step 1: initial envelope width chosen so the expected number of pool
+  // vertices inside it is about one shape's worth (area ratio heuristic),
+  // eps_1 = A / (2 p l_Q). Step 5's stop bound multiplies by log^3 n.
+  const bool collect_mode = options.collect_threshold > 0.0;
+  const double eps1 = options.initial_epsilon > 0.0
+                          ? options.initial_epsilon
+                          : kLuneArea / (2.0 * p * l_q);
+  const double log_n = Log2(n);
+  double eps_max =
+      options.max_epsilon > 0.0
+          ? options.max_epsilon
+          : std::max(eps1 * log_n * log_n * log_n, eps1 * options.growth);
+  if (collect_mode) {
+    // Grow far enough that every shape within the threshold has become a
+    // candidate (Markov bound; beta = 0 degenerates to "all vertices in").
+    const double needed =
+        options.collect_threshold / std::max(options.beta, 0.05);
+    eps_max = std::max(eps_max, needed);
+  }
+  st.initial_epsilon = eps1;
+  st.max_epsilon = eps_max;
+
+  // Fresh epoch; all per-copy/per-vertex scratch self-invalidates.
+  ++epoch_;
+
+  // Best result per shape.
+  std::unordered_map<ShapeId, MatchResult> best_per_shape;
+  // Distances of evaluated copies' shapes, for the k-th best early exit.
+  std::vector<double> best_distances;
+
+  const auto kth_best = [&]() {
+    if (best_distances.size() < options.k) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return best_distances[options.k - 1];
+  };
+
+  double eps_prev = 0.0;
+  double eps = eps1;
+  std::vector<uint32_t> touched;  // Copies touched in this iteration.
+
+  while (true) {
+    ++st.iterations;
+    touched.clear();
+
+    const geom::EnvelopeRingCover cover =
+        geom::BuildEnvelopeRingCover(q, eps_prev, eps);
+    for (const geom::Triangle& tri : cover.triangles) {
+      base_->index().ReportInTriangle(
+          tri, [&](const rangesearch::IndexedPoint& ip) {
+            ++st.vertices_reported;
+            if (vertex_epoch_[ip.id] == epoch_) return;  // Deduplicated.
+            // Exact membership: the cover is a superset of the ring.
+            const double d = geom::DistancePointPolyline(ip.p, q);
+            if (d > eps) return;
+            vertex_epoch_[ip.id] = epoch_;
+            ++st.vertices_accepted;
+            const uint32_t copy_idx = base_->CopyOfVertex(ip.id);
+            if (copy_epoch_[copy_idx] != epoch_) {
+              copy_epoch_[copy_idx] = epoch_;
+              copy_count_[copy_idx] = 0;
+              copy_evaluated_[copy_idx] = 0;
+            }
+            if (copy_touch_iter_[copy_idx] != st.iterations ||
+                copy_count_[copy_idx] == 0) {
+              copy_touch_iter_[copy_idx] = static_cast<uint32_t>(st.iterations);
+              touched.push_back(copy_idx);
+            }
+            ++copy_count_[copy_idx];
+          });
+    }
+
+    // Steps 3-4: process copies that reached the (1 - beta) occupancy
+    // threshold and have not been evaluated yet.
+    for (uint32_t copy_idx : touched) {
+      if (copy_evaluated_[copy_idx]) continue;
+      const NormalizedCopy& copy = base_->copy(copy_idx);
+      const size_t num_vertices = copy.shape.size();
+      const size_t needed = static_cast<size_t>(
+          std::ceil((1.0 - options.beta) * static_cast<double>(num_vertices)));
+      // +2: the copy's axis vertices sit at (0,0)/(1,0), on the
+      // normalized query's boundary, hence inside every envelope. They
+      // are not indexed (see ShapeBase::AddShape), so credit them here.
+      if (copy_count_[copy_idx] + 2 < std::max<size_t>(1, needed)) continue;
+      copy_evaluated_[copy_idx] = 1;
+      ++st.candidates_evaluated;
+      if (trace != nullptr) trace->push_back(copy_idx);
+
+      const double distance = EvaluateCopy(copy, q, options);
+      auto [it, inserted] = best_per_shape.try_emplace(
+          copy.shape_id, MatchResult{copy.shape_id, distance, copy_idx});
+      if (!inserted && distance < it->second.distance) {
+        it->second.distance = distance;
+        it->second.copy_index = copy_idx;
+      }
+    }
+
+    // Refresh the sorted distance list (small: one entry per shape seen).
+    best_distances.clear();
+    best_distances.reserve(best_per_shape.size());
+    for (const auto& [id, result] : best_per_shape) {
+      best_distances.push_back(result.distance);
+    }
+    std::sort(best_distances.begin(), best_distances.end());
+
+    // Early exit: every unevaluated copy still has > beta of its vertices
+    // outside the eps-envelope, so its (discrete, directed) average
+    // distance exceeds beta * eps; once the k-th best is below that, no
+    // unseen shape can displace it.
+    st.final_epsilon = eps;
+    if (!collect_mode && options.stop_factor > 0.0 &&
+        kth_best() <= options.stop_factor * options.beta * eps) {
+      st.stopped_early = true;
+      break;
+    }
+    if (eps >= eps_max) {
+      st.exhausted = true;
+      break;
+    }
+    eps_prev = eps;
+    eps = std::min(eps * options.growth, eps_max);
+  }
+
+  std::vector<MatchResult> results;
+  results.reserve(best_per_shape.size());
+  for (const auto& [id, result] : best_per_shape) {
+    if (collect_mode && result.distance > options.collect_threshold) continue;
+    results.push_back(result);
+  }
+  std::sort(results.begin(), results.end(),
+            [](const MatchResult& a, const MatchResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.shape_id < b.shape_id;
+            });
+  if (!collect_mode && results.size() > options.k) results.resize(options.k);
+  return results;
+}
+
+}  // namespace geosir::core

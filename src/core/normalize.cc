@@ -1,0 +1,80 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+
+#include "geom/diameter.h"
+
+namespace geosir::core {
+
+namespace {
+
+util::Result<NormalizedCopy> MakeCopy(const Shape& shape, uint32_t copy_index,
+                                      uint32_t vi, uint32_t vj) {
+  const geom::Point a = shape.boundary.vertex(vi);
+  const geom::Point b = shape.boundary.vertex(vj);
+  GEOSIR_ASSIGN_OR_RETURN(geom::AffineTransform to_norm,
+                          geom::AffineTransform::MapSegmentToUnitBase(a, b));
+  GEOSIR_ASSIGN_OR_RETURN(geom::AffineTransform from_norm, to_norm.Inverse());
+  NormalizedCopy copy;
+  copy.shape_id = shape.id;
+  copy.copy_index = copy_index;
+  copy.shape = shape.boundary.Transformed(to_norm);
+  copy.to_normalized = to_norm;
+  copy.from_normalized = from_norm;
+  copy.axis_i = vi;
+  copy.axis_j = vj;
+  return copy;
+}
+
+}  // namespace
+
+util::Result<std::vector<NormalizedCopy>> NormalizeShape(
+    const Shape& shape, const NormalizeOptions& options) {
+  GEOSIR_RETURN_IF_ERROR(shape.boundary.Validate());
+  if (options.alpha < 0.0 || options.alpha >= 1.0) {
+    return util::Status::InvalidArgument("alpha must be in [0, 1)");
+  }
+
+  std::vector<geom::VertexPair> axes;
+  if (options.use_alpha_diameters) {
+    axes = geom::AlphaDiameters(shape.boundary.vertices(), options.alpha);
+    if (axes.size() > options.max_axes) axes.resize(options.max_axes);
+  } else {
+    const geom::VertexPair d = geom::Diameter(shape.boundary.vertices());
+    axes.push_back(d);
+  }
+  if (axes.empty() || axes[0].distance <= 0.0) {
+    return util::Status::InvalidArgument("shape has zero diameter");
+  }
+
+  std::vector<NormalizedCopy> copies;
+  copies.reserve(2 * axes.size());
+  for (const geom::VertexPair& axis : axes) {
+    // Both ways of matching the axis endpoints to (0,0) and (1,0).
+    GEOSIR_ASSIGN_OR_RETURN(
+        NormalizedCopy forward,
+        MakeCopy(shape, static_cast<uint32_t>(copies.size()),
+                 static_cast<uint32_t>(axis.i), static_cast<uint32_t>(axis.j)));
+    copies.push_back(std::move(forward));
+    GEOSIR_ASSIGN_OR_RETURN(
+        NormalizedCopy backward,
+        MakeCopy(shape, static_cast<uint32_t>(copies.size()),
+                 static_cast<uint32_t>(axis.j), static_cast<uint32_t>(axis.i)));
+    copies.push_back(std::move(backward));
+  }
+  return copies;
+}
+
+util::Result<NormalizedCopy> NormalizeQuery(const geom::Polyline& query) {
+  GEOSIR_RETURN_IF_ERROR(query.Validate());
+  const geom::VertexPair d = geom::Diameter(query.vertices());
+  if (d.distance <= 0.0) {
+    return util::Status::InvalidArgument("query has zero diameter");
+  }
+  Shape tmp;
+  tmp.boundary = query;
+  return MakeCopy(tmp, 0, static_cast<uint32_t>(d.i),
+                  static_cast<uint32_t>(d.j));
+}
+
+}  // namespace geosir::core

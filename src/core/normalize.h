@@ -1,0 +1,56 @@
+#ifndef GEOSIR_CORE_NORMALIZE_H_
+#define GEOSIR_CORE_NORMALIZE_H_
+
+#include <vector>
+
+#include "core/shape.h"
+#include "geom/transform.h"
+#include "util/status.h"
+
+namespace geosir::core {
+
+/// Options for diameter normalization (Section 2.4).
+struct NormalizeOptions {
+  /// Pairs of vertices at distance >= (1 - alpha) * diameter also serve
+  /// as normalization axes ("alpha-diameters"). 0 <= alpha < 1.
+  double alpha = 0.1;
+  /// Upper bound on the number of alpha-diameters used per shape (the
+  /// longest ones win). Each contributes two stored copies.
+  size_t max_axes = 8;
+  /// When false only the true diameter is used (one axis, two copies).
+  bool use_alpha_diameters = true;
+};
+
+/// One normalized copy of a shape: the geometry after mapping one of its
+/// alpha-diameters onto ((0,0), (1,0)).
+struct NormalizedCopy {
+  ShapeId shape_id = 0;
+  /// Index of this copy among the copies of the same shape.
+  uint32_t copy_index = 0;
+  /// Normalized geometry. Vertices lie in (or near) the unit lune.
+  geom::Polyline shape;
+  /// Maps original coordinates to normalized coordinates.
+  geom::AffineTransform to_normalized;
+  /// Inverse transform; the query processor uses it to recover the
+  /// original diameter direction (Section 5.3).
+  geom::AffineTransform from_normalized;
+  /// Endpoints (vertex indices in the original shape) of the axis.
+  uint32_t axis_i = 0;
+  uint32_t axis_j = 0;
+};
+
+/// Produces all normalized copies of `shape` under `options`: two copies
+/// (both orientations of the axis) per selected alpha-diameter. The first
+/// two copies always correspond to the true diameter. Fails on invalid
+/// shapes (see Polyline::Validate) and on shapes with zero diameter.
+util::Result<std::vector<NormalizedCopy>> NormalizeShape(
+    const Shape& shape, const NormalizeOptions& options = {});
+
+/// Normalizes a query shape about its true diameter only (single
+/// orientation): the database already stores both orientations of every
+/// axis, so one query copy suffices (Section 2.5).
+util::Result<NormalizedCopy> NormalizeQuery(const geom::Polyline& query);
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_NORMALIZE_H_

@@ -1,0 +1,3 @@
+#include "core/shape.h"
+
+// Shape is a passive aggregate; this translation unit anchors the header.

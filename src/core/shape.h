@@ -1,0 +1,31 @@
+#ifndef GEOSIR_CORE_SHAPE_H_
+#define GEOSIR_CORE_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/polyline.h"
+
+namespace geosir::core {
+
+/// Identifier of a shape in the shape base.
+using ShapeId = uint32_t;
+
+/// Identifier of the image a shape was extracted from (query module).
+using ImageId = uint32_t;
+
+constexpr ImageId kNoImage = static_cast<ImageId>(-1);
+
+/// A database shape: an object boundary extracted from an image
+/// (Section 2.4). Geometry is stored in original (image) coordinates; the
+/// normalized copies live in the ShapeBase.
+struct Shape {
+  ShapeId id = 0;
+  ImageId image = kNoImage;
+  geom::Polyline boundary;
+  std::string label;  // Optional human-readable tag (examples/tests).
+};
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_SHAPE_H_

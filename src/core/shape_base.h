@@ -1,0 +1,103 @@
+#ifndef GEOSIR_CORE_SHAPE_BASE_H_
+#define GEOSIR_CORE_SHAPE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/normalize.h"
+#include "core/shape.h"
+#include "rangesearch/simplex_index.h"
+#include "util/status.h"
+
+namespace geosir::core {
+
+/// Area of the lune (lens) bounded by the two unit circles centered at
+/// (0,0) and (1,0): 2*pi/3 - sqrt(3)/2. Vertices of shapes normalized
+/// about their true diameter always land inside it.
+constexpr double kLuneArea = 1.2283696986087567;
+
+/// Which simplex range-search structure backs the shape base.
+enum class IndexBackend {
+  kBruteForce,
+  kGrid,
+  kKdTree,
+  kRangeTree,
+  /// Output-sensitive half-plane structure; build is O(n * layers), so
+  /// only suitable for small-to-moderate bases.
+  kConvexLayers,
+};
+
+const char* IndexBackendName(IndexBackend backend);
+
+struct ShapeBaseOptions {
+  NormalizeOptions normalize;
+  /// kKdTree is the default: near-logarithmic queries with linear space,
+  /// which keeps 10M+ vertex bases comfortable. kRangeTree trades
+  /// O(n log n) space for the paper's O(log n + k) reporting bound.
+  IndexBackend backend = IndexBackend::kKdTree;
+};
+
+/// The shape base of Section 2.4: every added shape is normalized about
+/// its alpha-diameters and all normalized copies are stored, their
+/// vertices pooled into one point set indexed by a simplex range-search
+/// structure. Build-then-query: AddShape() until done, Finalize() once,
+/// then the matcher runs queries against it.
+class ShapeBase {
+ public:
+  explicit ShapeBase(ShapeBaseOptions options = {});
+
+  ShapeBase(const ShapeBase&) = delete;
+  ShapeBase& operator=(const ShapeBase&) = delete;
+
+  /// Validates, normalizes and stores a shape. Returns its id.
+  util::Result<ShapeId> AddShape(geom::Polyline boundary,
+                                 ImageId image = kNoImage,
+                                 std::string label = "");
+
+  /// Builds the vertex index. No AddShape() calls are allowed afterwards.
+  util::Status Finalize();
+  bool finalized() const { return index_ != nullptr; }
+
+  const ShapeBaseOptions& options() const { return options_; }
+
+  size_t NumShapes() const { return shapes_.size(); }
+  size_t NumCopies() const { return copies_.size(); }
+  /// Total number of pooled normalized vertices (the paper's n).
+  size_t NumVertices() const { return vertex_copy_.size(); }
+
+  const Shape& shape(ShapeId id) const { return shapes_[id]; }
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  const NormalizedCopy& copy(size_t idx) const { return copies_[idx]; }
+  const std::vector<NormalizedCopy>& copies() const { return copies_; }
+  /// Indices of the copies of a given shape.
+  const std::vector<uint32_t>& CopiesOfShape(ShapeId id) const {
+    return shape_copies_[id];
+  }
+
+  /// Copy that owns pooled vertex `vertex_id`.
+  uint32_t CopyOfVertex(uint32_t vertex_id) const {
+    return vertex_copy_[vertex_id];
+  }
+
+  /// The finalized range-search index over all pooled vertices; ids
+  /// reported by the index are pooled vertex ids.
+  const rangesearch::SimplexIndex& index() const { return *index_; }
+
+ private:
+  ShapeBaseOptions options_;
+  std::vector<Shape> shapes_;
+  std::vector<NormalizedCopy> copies_;
+  std::vector<std::vector<uint32_t>> shape_copies_;
+  std::vector<uint32_t> vertex_copy_;         // Pooled vertex -> copy index.
+  std::vector<rangesearch::IndexedPoint> pending_points_;
+  std::unique_ptr<rangesearch::SimplexIndex> index_;
+};
+
+/// Instantiates an empty index of the requested backend.
+std::unique_ptr<rangesearch::SimplexIndex> MakeSimplexIndex(
+    IndexBackend backend);
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_SHAPE_BASE_H_

@@ -1,0 +1,104 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geom/distance.h"
+#include "util/numeric.h"
+
+namespace geosir::core {
+
+namespace {
+
+using geom::Polyline;
+using geom::Segment;
+
+double EdgeDistanceIntegral(const Segment& edge, const Polyline& b,
+                            const SimilarityOptions& options) {
+  const double len = edge.Length();
+  if (len <= 0.0) return 0.0;
+  util::QuadratureOptions quad;
+  quad.abs_tolerance = options.quadrature_tolerance * len;
+  quad.max_depth = options.max_depth;
+  const double mean = util::AdaptiveSimpson(
+      [&edge, &b](double t) {
+        return geom::DistancePointPolyline(edge.At(t), b);
+      },
+      0.0, 1.0, quad);
+  return mean * len;  // Parameter integral times |dx/dt| = len.
+}
+
+}  // namespace
+
+double AvgMinDistance(const Polyline& a, const Polyline& b,
+                      const SimilarityOptions& options) {
+  const size_t n = a.NumEdges();
+  if (n == 0) {
+    // Degenerate shape: fall back to the vertex average.
+    return DiscreteAvgMinDistance(a, b);
+  }
+  double total = 0.0;
+  double perimeter = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Segment e = a.Edge(i);
+    total += EdgeDistanceIntegral(e, b, options);
+    perimeter += e.Length();
+  }
+  return perimeter > 0.0 ? total / perimeter : 0.0;
+}
+
+double AvgMinDistanceSymmetric(const Polyline& a, const Polyline& b,
+                               const SimilarityOptions& options) {
+  return std::max(AvgMinDistance(a, b, options),
+                  AvgMinDistance(b, a, options));
+}
+
+double DiscreteAvgMinDistance(const Polyline& a, const Polyline& b) {
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (geom::Point p : a.vertices()) {
+    sum += geom::DistancePointPolyline(p, b);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double DiscreteDirectedHausdorff(const Polyline& a, const Polyline& b) {
+  double worst = 0.0;
+  for (geom::Point p : a.vertices()) {
+    worst = std::max(worst, geom::DistancePointPolyline(p, b));
+  }
+  return worst;
+}
+
+double DiscreteHausdorff(const Polyline& a, const Polyline& b) {
+  return std::max(DiscreteDirectedHausdorff(a, b),
+                  DiscreteDirectedHausdorff(b, a));
+}
+
+double PartialDirectedHausdorff(const Polyline& a, const Polyline& b,
+                                double fraction) {
+  if (a.empty()) return 0.0;
+  fraction = std::clamp(fraction, 1e-9, 1.0);
+  std::vector<double> dists;
+  dists.reserve(a.size());
+  for (geom::Point p : a.vertices()) {
+    dists.push_back(geom::DistancePointPolyline(p, b));
+  }
+  // Huttenlocher-Rucklidge ranking: the K-th smallest distance with
+  // K = ceil(fraction * |A|). fraction = 1 recovers the Hausdorff max;
+  // fraction = 0.5 is the median variant the paper cites (k = m/2).
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(fraction * dists.size())));
+  std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+  return dists[k - 1];
+}
+
+double PartialHausdorff(const Polyline& a, const Polyline& b,
+                        double fraction) {
+  return std::max(PartialDirectedHausdorff(a, b, fraction),
+                  PartialDirectedHausdorff(b, a, fraction));
+}
+
+}  // namespace geosir::core

@@ -1,0 +1,67 @@
+#ifndef GEOSIR_CORE_SIMILARITY_H_
+#define GEOSIR_CORE_SIMILARITY_H_
+
+#include <cstddef>
+
+#include "geom/polyline.h"
+
+namespace geosir::core {
+
+/// Options controlling the continuous average-distance integration.
+struct SimilarityOptions {
+  /// Absolute tolerance of the per-edge adaptive quadrature relative to
+  /// the edge length. The default resolves the measure to ~1e-4 diameter
+  /// units — far below any similarity threshold the system uses — while
+  /// keeping candidate evaluation cheap; tighten it for numerical
+  /// experiments.
+  double quadrature_tolerance = 1e-4;
+  /// Maximum adaptive bisection depth per edge.
+  int max_depth = 8;
+};
+
+/// The paper's similarity criterion (Section 2.2):
+///   h_avg(A, B) = average over all points a of the *continuous* shape A
+///                 of min_{b in B} d(a, b),
+/// i.e. the arc-length-weighted mean of the distance-to-B function along
+/// A's boundary. Computed by adaptive Simpson quadrature on each edge of
+/// A (the integrand is piecewise smooth with kinks at nearest-feature
+/// changes, which the adaptive refinement resolves).
+double AvgMinDistance(const geom::Polyline& a, const geom::Polyline& b,
+                      const SimilarityOptions& options = {});
+
+/// Symmetric variant: max(h_avg(A,B), h_avg(B,A)). This is the default
+/// ranking measure of the matcher — the directed measure alone would rank
+/// a tiny fragment lying on B's boundary as a perfect match.
+double AvgMinDistanceSymmetric(const geom::Polyline& a,
+                               const geom::Polyline& b,
+                               const SimilarityOptions& options = {});
+
+/// Discrete variant over the vertices of A only. Used for the matcher's
+/// candidate lower bounds (a vertex outside the eps-envelope contributes
+/// more than eps to this sum).
+double DiscreteAvgMinDistance(const geom::Polyline& a,
+                              const geom::Polyline& b);
+
+/// Directed Hausdorff distance h(A, B) over A's vertices (the classical
+/// baseline of Section 2.1).
+double DiscreteDirectedHausdorff(const geom::Polyline& a,
+                                 const geom::Polyline& b);
+
+/// Symmetric Hausdorff H(A, B) = max(h(A,B), h(B,A)) over vertices.
+double DiscreteHausdorff(const geom::Polyline& a, const geom::Polyline& b);
+
+/// Huttenlocher-Rucklidge generalized (partial) Hausdorff distance: the
+/// K-th smallest of the vertex min-distances from A to B, with K =
+/// ceil(fraction * |A|), fraction in (0, 1]. fraction = 1 recovers the
+/// directed Hausdorff max; fraction = 0.5 is the median variant
+/// (k = m/2) the paper cites.
+double PartialDirectedHausdorff(const geom::Polyline& a,
+                                const geom::Polyline& b, double fraction);
+
+/// Symmetric partial Hausdorff.
+double PartialHausdorff(const geom::Polyline& a, const geom::Polyline& b,
+                        double fraction);
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_SIMILARITY_H_

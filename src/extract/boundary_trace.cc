@@ -1,0 +1,115 @@
+#include "extract/boundary_trace.h"
+
+#include <utility>
+
+namespace geosir::extract {
+
+namespace {
+
+// Moore neighborhood in clockwise order starting from west.
+constexpr int kDx[8] = {-1, -1, 0, 1, 1, 1, 0, -1};
+constexpr int kDy[8] = {0, -1, -1, -1, 0, 1, 1, 1};
+
+struct Pixel {
+  int x;
+  int y;
+  bool operator==(const Pixel& o) const { return x == o.x && y == o.y; }
+};
+
+/// Flood-fills the 8-connected component of (sx, sy), marking `visited`,
+/// and returns its size.
+size_t MarkComponent(const Mask& mask, int sx, int sy,
+                     std::vector<uint8_t>* visited) {
+  const int w = mask.width();
+  std::vector<Pixel> stack{{sx, sy}};
+  (*visited)[static_cast<size_t>(sy) * w + sx] = 1;
+  size_t size = 0;
+  while (!stack.empty()) {
+    const Pixel p = stack.back();
+    stack.pop_back();
+    ++size;
+    for (int d = 0; d < 8; ++d) {
+      const int nx = p.x + kDx[d];
+      const int ny = p.y + kDy[d];
+      if (!mask.Sample(nx, ny)) continue;
+      uint8_t& flag = (*visited)[static_cast<size_t>(ny) * w + nx];
+      if (flag) continue;
+      flag = 1;
+      stack.push_back({nx, ny});
+    }
+  }
+  return size;
+}
+
+/// Direction index (into kDx/kDy) from pixel `from` to adjacent `to`.
+int DirectionOf(Pixel from, Pixel to) {
+  for (int d = 0; d < 8; ++d) {
+    if (from.x + kDx[d] == to.x && from.y + kDy[d] == to.y) return d;
+  }
+  return 0;
+}
+
+/// Moore-neighbor boundary trace starting from `start` (a foreground
+/// pixel whose west neighbor is background). Tracks the backtrack pixel
+/// explicitly; stops with Jacob's criterion (start re-entered with the
+/// same backtrack).
+std::vector<Pixel> TraceFrom(const Mask& mask, Pixel start) {
+  std::vector<Pixel> boundary{start};
+  const Pixel initial_backtrack{start.x - 1, start.y};
+  Pixel backtrack = initial_backtrack;
+  Pixel current = start;
+  const size_t guard_limit =
+      4 * static_cast<size_t>(mask.width()) * mask.height() + 8;
+  for (size_t guard = 0; guard < guard_limit; ++guard) {
+    const int dir_b = DirectionOf(current, backtrack);
+    bool advanced = false;
+    for (int step = 1; step <= 8; ++step) {
+      const int d = (dir_b + step) % 8;
+      const Pixel cand{current.x + kDx[d], current.y + kDy[d]};
+      if (mask.Sample(cand.x, cand.y)) {
+        // The neighbor examined just before `cand` is background; it
+        // becomes the new backtrack (== old backtrack when step == 1).
+        const int prev = (d + 7) % 8;
+        backtrack = Pixel{current.x + kDx[prev], current.y + kDy[prev]};
+        current = cand;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // Isolated pixel.
+    if (current == start && backtrack == initial_backtrack) break;
+    boundary.push_back(current);
+  }
+  return boundary;
+}
+
+}  // namespace
+
+std::vector<geom::Polyline> TraceBoundaries(const Mask& mask,
+                                            size_t min_pixels) {
+  std::vector<geom::Polyline> result;
+  const int w = mask.width();
+  const int h = mask.height();
+  std::vector<uint8_t> visited(static_cast<size_t>(w) * h, 0);
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!mask.at(x, y) || visited[static_cast<size_t>(y) * w + x]) continue;
+      // (x, y) is the first unvisited pixel of its component in scan
+      // order, so its west neighbor is background: a valid trace start.
+      const size_t size = MarkComponent(mask, x, y, &visited);
+      if (size < min_pixels) continue;
+      const std::vector<Pixel> boundary = TraceFrom(mask, Pixel{x, y});
+      if (boundary.size() < 3) continue;
+      std::vector<geom::Point> vertices;
+      vertices.reserve(boundary.size());
+      for (const Pixel& p : boundary) {
+        vertices.push_back(geom::Point{p.x + 0.5, p.y + 0.5});
+      }
+      result.push_back(geom::Polyline::Closed(std::move(vertices)));
+    }
+  }
+  return result;
+}
+
+}  // namespace geosir::extract

@@ -1,0 +1,20 @@
+#ifndef GEOSIR_EXTRACT_BOUNDARY_TRACE_H_
+#define GEOSIR_EXTRACT_BOUNDARY_TRACE_H_
+
+#include <vector>
+
+#include "extract/raster.h"
+#include "geom/polyline.h"
+
+namespace geosir::extract {
+
+/// Traces the outer boundary of every 8-connected foreground component
+/// in the mask (Moore-neighbor tracing with Jacob's stopping criterion).
+/// Each boundary is returned as a closed polyline of pixel centers, in
+/// the order visited. Components smaller than `min_pixels` are skipped.
+std::vector<geom::Polyline> TraceBoundaries(const Mask& mask,
+                                            size_t min_pixels = 8);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_BOUNDARY_TRACE_H_

@@ -1,0 +1,132 @@
+#include "extract/chain_trace.h"
+
+#include <array>
+
+namespace geosir::extract {
+
+namespace {
+
+constexpr int kDx[8] = {-1, -1, 0, 1, 1, 1, 0, -1};
+constexpr int kDy[8] = {0, -1, -1, -1, 0, 1, 1, 1};
+
+struct Pixel {
+  int x;
+  int y;
+};
+
+class ChainTracer {
+ public:
+  explicit ChainTracer(const Mask& mask)
+      : mask_(mask),
+        visited_(static_cast<size_t>(mask.width()) * mask.height(), 0) {}
+
+  std::vector<geom::Polyline> Trace(size_t min_pixels) {
+    std::vector<geom::Polyline> chains;
+    // Pass 1: walk from endpoints and junction-adjacent pixels (open
+    // chains).
+    for (int y = 0; y < mask_.height(); ++y) {
+      for (int x = 0; x < mask_.width(); ++x) {
+        if (!mask_.at(x, y) || Visited(x, y)) continue;
+        const int degree = Degree(x, y);
+        if (degree == 1 || degree > 2) {
+          StartChainsFrom(Pixel{x, y}, min_pixels, &chains);
+        }
+      }
+    }
+    // Pass 2: leftover unvisited pixels belong to pure cycles.
+    for (int y = 0; y < mask_.height(); ++y) {
+      for (int x = 0; x < mask_.width(); ++x) {
+        if (!mask_.at(x, y) || Visited(x, y)) continue;
+        TraceCycle(Pixel{x, y}, min_pixels, &chains);
+      }
+    }
+    return chains;
+  }
+
+ private:
+  bool Visited(int x, int y) const {
+    return visited_[static_cast<size_t>(y) * mask_.width() + x] != 0;
+  }
+  void MarkVisited(int x, int y) {
+    visited_[static_cast<size_t>(y) * mask_.width() + x] = 1;
+  }
+  int Degree(int x, int y) const {
+    int d = 0;
+    for (int k = 0; k < 8; ++k) {
+      if (mask_.Sample(x + kDx[k], y + kDy[k])) ++d;
+    }
+    return d;
+  }
+
+  /// Starts one open chain along every unvisited neighbor direction of a
+  /// seed endpoint/junction.
+  void StartChainsFrom(Pixel seed, size_t min_pixels,
+                       std::vector<geom::Polyline>* chains) {
+    MarkVisited(seed.x, seed.y);
+    for (int k = 0; k < 8; ++k) {
+      const int nx = seed.x + kDx[k];
+      const int ny = seed.y + kDy[k];
+      if (!mask_.Sample(nx, ny) || Visited(nx, ny)) continue;
+      std::vector<geom::Point> pts{
+          {seed.x + 0.5, seed.y + 0.5}};
+      Pixel current{nx, ny};
+      while (true) {
+        MarkVisited(current.x, current.y);
+        pts.push_back({current.x + 0.5, current.y + 0.5});
+        if (Degree(current.x, current.y) > 2) break;  // Junction: stop.
+        Pixel next{-1, -1};
+        int choices = 0;
+        for (int j = 0; j < 8; ++j) {
+          const int cx = current.x + kDx[j];
+          const int cy = current.y + kDy[j];
+          if (!mask_.Sample(cx, cy) || Visited(cx, cy)) continue;
+          next = Pixel{cx, cy};
+          ++choices;
+        }
+        if (choices == 0) break;  // Other endpoint reached.
+        current = next;           // choices is 1 on clean thin chains.
+      }
+      if (pts.size() >= min_pixels) {
+        chains->push_back(geom::Polyline::Open(std::move(pts)));
+      }
+    }
+  }
+
+  /// Traces a closed cycle starting anywhere on it.
+  void TraceCycle(Pixel seed, size_t min_pixels,
+                  std::vector<geom::Polyline>* chains) {
+    std::vector<geom::Point> pts;
+    Pixel current = seed;
+    while (true) {
+      MarkVisited(current.x, current.y);
+      pts.push_back({current.x + 0.5, current.y + 0.5});
+      Pixel next{-1, -1};
+      bool found = false;
+      for (int j = 0; j < 8; ++j) {
+        const int cx = current.x + kDx[j];
+        const int cy = current.y + kDy[j];
+        if (!mask_.Sample(cx, cy) || Visited(cx, cy)) continue;
+        next = Pixel{cx, cy};
+        found = true;
+        break;
+      }
+      if (!found) break;
+      current = next;
+    }
+    if (pts.size() >= std::max<size_t>(min_pixels, 3)) {
+      chains->push_back(geom::Polyline::Closed(std::move(pts)));
+    }
+  }
+
+  const Mask& mask_;
+  std::vector<uint8_t> visited_;
+};
+
+}  // namespace
+
+std::vector<geom::Polyline> TraceEdgeChains(const Mask& mask,
+                                            size_t min_pixels) {
+  return ChainTracer(mask).Trace(min_pixels);
+}
+
+}  // namespace geosir::extract

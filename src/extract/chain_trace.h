@@ -1,0 +1,30 @@
+#ifndef GEOSIR_EXTRACT_CHAIN_TRACE_H_
+#define GEOSIR_EXTRACT_CHAIN_TRACE_H_
+
+#include <vector>
+
+#include "extract/raster.h"
+#include "geom/polyline.h"
+
+namespace geosir::extract {
+
+/// Traces thin (≈1-pixel-wide) edge masks into pixel chains — the second
+/// half of GeoSIR's boundary extraction (Section 6): shapes are
+/// "non-self-intersecting polylines either open or closed", and edge
+/// detectors produce thin curves rather than filled regions.
+///
+/// The tracer walks 8-connected chains:
+///  * chains starting at an endpoint (a pixel with exactly one unvisited
+///    neighbor) become open polylines;
+///  * leftover cycles (every pixel has two neighbors) become closed
+///    polylines;
+///  * junction pixels (3+ neighbors) terminate chains, naturally
+///    splitting branching structures into simple pieces (the "cluster
+///    decomposition" input).
+/// Chains shorter than `min_pixels` are discarded.
+std::vector<geom::Polyline> TraceEdgeChains(const Mask& mask,
+                                            size_t min_pixels = 6);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_CHAIN_TRACE_H_

@@ -1,0 +1,67 @@
+#include "extract/clusters.h"
+
+#include <numeric>
+
+#include "geom/distance.h"
+
+namespace geosir::extract {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+bool Touches(const geom::Polyline& a, const geom::Polyline& b,
+             double tolerance) {
+  geom::BoundingBox ba = a.Bounds();
+  ba.Inflate(tolerance);
+  if (!ba.Intersects(b.Bounds())) return false;
+  for (geom::Point p : a.vertices()) {
+    if (geom::DistancePointPolyline(p, b) <= tolerance) return true;
+  }
+  for (geom::Point p : b.vertices()) {
+    if (geom::DistancePointPolyline(p, a) <= tolerance) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PolylineCluster> DetectClusters(
+    const std::vector<geom::Polyline>& polylines, double tolerance) {
+  const size_t n = polylines.size();
+  UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (Touches(polylines[i], polylines[j], tolerance)) uf.Union(i, j);
+    }
+  }
+  std::vector<PolylineCluster> clusters;
+  std::vector<long> root_to_cluster(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = uf.Find(i);
+    if (root_to_cluster[root] < 0) {
+      root_to_cluster[root] = static_cast<long>(clusters.size());
+      clusters.push_back({});
+    }
+    clusters[root_to_cluster[root]].members.push_back(i);
+  }
+  return clusters;
+}
+
+}  // namespace geosir::extract

@@ -1,0 +1,25 @@
+#ifndef GEOSIR_EXTRACT_CLUSTERS_H_
+#define GEOSIR_EXTRACT_CLUSTERS_H_
+
+#include <vector>
+
+#include "geom/polyline.h"
+
+namespace geosir::extract {
+
+/// A cluster of polylines describing one object boundary (Section 6 /
+/// Figure 11): polylines that share vertices or edges (within a
+/// tolerance) belong to the same cluster.
+struct PolylineCluster {
+  std::vector<size_t> members;  // Indices into the input vector.
+};
+
+/// Groups polylines into clusters by connectivity: two polylines are
+/// connected when some vertex of one lies within `tolerance` of the
+/// other's boundary. Union-find over the pairwise tests.
+std::vector<PolylineCluster> DetectClusters(
+    const std::vector<geom::Polyline>& polylines, double tolerance);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_CLUSTERS_H_

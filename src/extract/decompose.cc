@@ -1,0 +1,90 @@
+#include "extract/decompose.h"
+
+#include <optional>
+
+#include "geom/predicates.h"
+
+namespace geosir::extract {
+
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+struct Crossing {
+  size_t edge_i;
+  size_t edge_j;
+  Point point;
+};
+
+std::optional<Crossing> FirstProperCrossing(const Polyline& poly) {
+  const size_t n = poly.NumEdges();
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Segment ei = poly.Edge(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool adjacent =
+          (j == i + 1) || (poly.closed() && i == 0 && j == n - 1);
+      if (adjacent) continue;
+      const geom::Segment ej = poly.Edge(j);
+      if (!geom::SegmentsCrossProperly(ei, ej)) continue;
+      auto p = geom::LineIntersectionPoint(ei, ej);
+      if (!p.ok()) continue;
+      return Crossing{i, j, *p};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Removes consecutive duplicate vertices (and for closed polylines the
+/// duplicate first==last).
+Polyline Dedup(const Polyline& poly) {
+  std::vector<Point> out;
+  for (Point p : poly.vertices()) {
+    if (out.empty() || geom::Distance(out.back(), p) > 1e-12) {
+      out.push_back(p);
+    }
+  }
+  if (poly.closed() && out.size() > 1 &&
+      geom::Distance(out.front(), out.back()) <= 1e-12) {
+    out.pop_back();
+  }
+  return Polyline(std::move(out), poly.closed());
+}
+
+}  // namespace
+
+std::vector<Polyline> DecomposeSelfIntersecting(const Polyline& input) {
+  std::vector<Polyline> pending{Dedup(input)};
+  std::vector<Polyline> done;
+  size_t guard = 16 * (input.size() + 4);
+
+  while (!pending.empty() && guard-- > 0) {
+    Polyline poly = std::move(pending.back());
+    pending.pop_back();
+    if (poly.size() < 2) continue;
+    const std::optional<Crossing> crossing = FirstProperCrossing(poly);
+    if (!crossing.has_value()) {
+      if (!poly.SelfIntersects() && poly.size() >= 2) {
+        done.push_back(std::move(poly));
+      }
+      // Residual degenerate overlaps (collinear folds) are dropped: they
+      // carry no area information for shape matching.
+      continue;
+    }
+    const auto& [i, j, p] = *crossing;
+    const std::vector<Point>& v = poly.vertices();
+    // Enclosed loop: P, v[i+1..j], back to P (closed).
+    std::vector<Point> loop{p};
+    for (size_t k = i + 1; k <= j; ++k) loop.push_back(v[k]);
+    pending.push_back(Dedup(Polyline::Closed(std::move(loop))));
+    // Remainder: v[0..i], P, v[j+1..], same open/closed as input piece.
+    std::vector<Point> rest;
+    for (size_t k = 0; k <= i; ++k) rest.push_back(v[k]);
+    rest.push_back(p);
+    for (size_t k = j + 1; k < v.size(); ++k) rest.push_back(v[k]);
+    pending.push_back(Dedup(Polyline(std::move(rest), poly.closed())));
+  }
+  return done;
+}
+
+}  // namespace geosir::extract

@@ -1,0 +1,24 @@
+#ifndef GEOSIR_EXTRACT_DECOMPOSE_H_
+#define GEOSIR_EXTRACT_DECOMPOSE_H_
+
+#include <vector>
+
+#include "geom/polyline.h"
+
+namespace geosir::extract {
+
+/// Decomposes a (possibly self-intersecting) polyline into
+/// non-self-intersecting pieces (Section 6: "each cluster is decomposed
+/// in a number of non-self-intersecting polylines"). The algorithm cuts
+/// at the first proper self-crossing, splitting off the enclosed loop as
+/// a closed polyline and continuing on the shortcut remainder; simple
+/// inputs are returned unchanged. The paper notes many decompositions
+/// exist and does not prescribe one; this picks a deterministic,
+/// loop-extracting one. Pieces with fewer than 2 distinct vertices are
+/// dropped.
+std::vector<geom::Polyline> DecomposeSelfIntersecting(
+    const geom::Polyline& input);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_DECOMPOSE_H_

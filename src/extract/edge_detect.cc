@@ -1,0 +1,44 @@
+#include "extract/edge_detect.h"
+
+#include <cmath>
+
+namespace geosir::extract {
+
+Raster SobelMagnitude(const Raster& image) {
+  Raster out(image.width(), image.height(), 0.0f);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const float gx = -image.Sample(x - 1, y - 1) + image.Sample(x + 1, y - 1)
+                       - 2 * image.Sample(x - 1, y) + 2 * image.Sample(x + 1, y)
+                       - image.Sample(x - 1, y + 1) + image.Sample(x + 1, y + 1);
+      const float gy = -image.Sample(x - 1, y - 1) - 2 * image.Sample(x, y - 1)
+                       - image.Sample(x + 1, y - 1) + image.Sample(x - 1, y + 1)
+                       + 2 * image.Sample(x, y + 1) + image.Sample(x + 1, y + 1);
+      out.set(x, y, std::sqrt(gx * gx + gy * gy));
+    }
+  }
+  return out;
+}
+
+Mask DetectEdges(const Raster& image, float threshold) {
+  const Raster magnitude = SobelMagnitude(image);
+  Mask mask(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      mask.set(x, y, magnitude.at(x, y) > threshold);
+    }
+  }
+  return mask;
+}
+
+Mask ThresholdForeground(const Raster& image, float threshold) {
+  Mask mask(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      mask.set(x, y, image.at(x, y) > threshold);
+    }
+  }
+  return mask;
+}
+
+}  // namespace geosir::extract

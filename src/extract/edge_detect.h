@@ -1,0 +1,20 @@
+#ifndef GEOSIR_EXTRACT_EDGE_DETECT_H_
+#define GEOSIR_EXTRACT_EDGE_DETECT_H_
+
+#include "extract/raster.h"
+
+namespace geosir::extract {
+
+/// Sobel gradient magnitude of the image (values >= 0, not normalized).
+Raster SobelMagnitude(const Raster& image);
+
+/// Binary edge mask: pixels whose Sobel magnitude exceeds `threshold`.
+Mask DetectEdges(const Raster& image, float threshold);
+
+/// Binary foreground mask: pixels brighter than `threshold`. Used to
+/// trace region boundaries of filled synthetic scenes.
+Mask ThresholdForeground(const Raster& image, float threshold);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_EDGE_DETECT_H_

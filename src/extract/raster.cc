@@ -1,0 +1,12 @@
+#include "extract/raster.h"
+
+#include <algorithm>
+
+namespace geosir::extract {
+
+size_t Mask::CountSet() const {
+  return static_cast<size_t>(std::count_if(bits_.begin(), bits_.end(),
+                                           [](uint8_t b) { return b != 0; }));
+}
+
+}  // namespace geosir::extract

@@ -1,0 +1,77 @@
+#ifndef GEOSIR_EXTRACT_RASTER_H_
+#define GEOSIR_EXTRACT_RASTER_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace geosir::extract {
+
+/// A grayscale raster image (row-major, values in [0, 1]). The synthetic
+/// stand-in for the photographs GeoSIR ingests (Section 6): the examples
+/// rasterize vector scenes into this, then run the extraction pipeline
+/// (edges -> boundaries -> polylines) on the pixels.
+class Raster {
+ public:
+  Raster() = default;
+  Raster(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  float at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, float v) {
+    pixels_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  /// at() with zero padding outside the image.
+  float Sample(int x, int y) const {
+    return InBounds(x, y) ? at(x, y) : 0.0f;
+  }
+
+  const std::vector<float>& pixels() const { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> pixels_;
+};
+
+/// A binary mask with the same addressing scheme.
+class Mask {
+ public:
+  Mask() = default;
+  Mask(int width, int height)
+      : width_(width), height_(height),
+        bits_(static_cast<size_t>(width) * height, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool at(int x, int y) const {
+    return bits_[static_cast<size_t>(y) * width_ + x] != 0;
+  }
+  void set(int x, int y, bool v) {
+    bits_[static_cast<size_t>(y) * width_ + x] = v ? 1 : 0;
+  }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  bool Sample(int x, int y) const { return InBounds(x, y) && at(x, y); }
+  size_t CountSet() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_RASTER_H_

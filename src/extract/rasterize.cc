@@ -1,0 +1,68 @@
+#include "extract/rasterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace geosir::extract {
+
+void FillPolygon(Raster* raster, const geom::Polyline& polygon, float value) {
+  if (!polygon.closed() || polygon.size() < 3) return;
+  const geom::BoundingBox box = polygon.Bounds();
+  const int y0 = std::max(0, static_cast<int>(std::floor(box.min_y)));
+  const int y1 =
+      std::min(raster->height() - 1, static_cast<int>(std::ceil(box.max_y)));
+  const size_t n = polygon.NumEdges();
+  std::vector<double> crossings;
+  for (int y = y0; y <= y1; ++y) {
+    const double cy = y + 0.5;
+    crossings.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const geom::Segment e = polygon.Edge(i);
+      const bool a_above = e.a.y > cy;
+      const bool b_above = e.b.y > cy;
+      if (a_above == b_above) continue;
+      const double t = (cy - e.a.y) / (e.b.y - e.a.y);
+      crossings.push_back(e.a.x + t * (e.b.x - e.a.x));
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (size_t c = 0; c + 1 < crossings.size(); c += 2) {
+      const int x0 = std::max(
+          0, static_cast<int>(std::ceil(crossings[c] - 0.5)));
+      const int x1 = std::min(
+          raster->width() - 1,
+          static_cast<int>(std::floor(crossings[c + 1] - 0.5)));
+      for (int x = x0; x <= x1; ++x) raster->set(x, y, value);
+    }
+  }
+}
+
+void StrokePolyline(Raster* raster, const geom::Polyline& polyline,
+                    float value) {
+  const size_t n = polyline.NumEdges();
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Segment e = polyline.Edge(i);
+    int x0 = static_cast<int>(std::lround(e.a.x));
+    int y0 = static_cast<int>(std::lround(e.a.y));
+    const int x1 = static_cast<int>(std::lround(e.b.x));
+    const int y1 = static_cast<int>(std::lround(e.b.y));
+    const int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+    const int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    while (true) {
+      if (raster->InBounds(x0, y0)) raster->set(x0, y0, value);
+      if (x0 == x1 && y0 == y1) break;
+      const int e2 = 2 * err;
+      if (e2 >= dy) {
+        err += dy;
+        x0 += sx;
+      }
+      if (e2 <= dx) {
+        err += dx;
+        y0 += sy;
+      }
+    }
+  }
+}
+
+}  // namespace geosir::extract

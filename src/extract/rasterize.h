@@ -1,0 +1,20 @@
+#ifndef GEOSIR_EXTRACT_RASTERIZE_H_
+#define GEOSIR_EXTRACT_RASTERIZE_H_
+
+#include "extract/raster.h"
+#include "geom/polyline.h"
+
+namespace geosir::extract {
+
+/// Scanline-fills a closed polygon into the raster with intensity
+/// `value`. Pixel (x, y) covers the unit square centered at
+/// (x + 0.5, y + 0.5); a pixel is filled when its center is inside.
+void FillPolygon(Raster* raster, const geom::Polyline& polygon, float value);
+
+/// Strokes a polyline (open or closed) with 1-pixel-wide Bresenham lines.
+void StrokePolyline(Raster* raster, const geom::Polyline& polyline,
+                    float value);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_RASTERIZE_H_

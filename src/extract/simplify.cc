@@ -1,0 +1,78 @@
+#include "extract/simplify.h"
+
+#include <vector>
+
+#include "geom/diameter.h"
+#include "geom/distance.h"
+
+namespace geosir::extract {
+
+namespace {
+
+using geom::Point;
+
+void DouglasPeucker(const std::vector<Point>& pts, size_t lo, size_t hi,
+                    double tolerance, std::vector<uint8_t>* keep) {
+  if (hi <= lo + 1) return;
+  const geom::Segment chord{pts[lo], pts[hi]};
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = geom::DistancePointSegment(pts[i], chord);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst <= tolerance) return;
+  (*keep)[worst_idx] = 1;
+  DouglasPeucker(pts, lo, worst_idx, tolerance, keep);
+  DouglasPeucker(pts, worst_idx, hi, tolerance, keep);
+}
+
+}  // namespace
+
+geom::Polyline Simplify(const geom::Polyline& input, double tolerance) {
+  const std::vector<Point>& pts = input.vertices();
+  const size_t n = pts.size();
+  if (n <= 2) return input;
+
+  std::vector<uint8_t> keep(n, 0);
+  if (!input.closed()) {
+    keep.front() = keep.back() = 1;
+    DouglasPeucker(pts, 0, n - 1, tolerance, &keep);
+  } else {
+    // Anchor at the diameter pair, then simplify the two arcs. Work on a
+    // rotated copy so each arc is contiguous.
+    const geom::VertexPair diam = geom::Diameter(pts);
+    size_t a = diam.i, b = diam.j;
+    if (a == b) return input;
+    std::vector<Point> rotated;
+    rotated.reserve(n + 1);
+    for (size_t i = 0; i < n; ++i) rotated.push_back(pts[(a + i) % n]);
+    rotated.push_back(pts[a]);  // Close the ring.
+    const size_t split = (b + n - a) % n;
+    std::vector<uint8_t> rkeep(rotated.size(), 0);
+    rkeep[0] = rkeep[split] = 1;
+    DouglasPeucker(rotated, 0, split, tolerance, &rkeep);
+    DouglasPeucker(rotated, split, rotated.size() - 1, tolerance, &rkeep);
+    std::vector<Point> out;
+    for (size_t i = 0; i + 1 < rotated.size(); ++i) {
+      if (rkeep[i]) out.push_back(rotated[i]);
+    }
+    if (out.size() < 3) {
+      // Degenerate simplification; keep the anchors plus the farthest
+      // remaining vertex to stay a polygon.
+      return input;
+    }
+    return geom::Polyline::Closed(std::move(out));
+  }
+
+  std::vector<Point> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  return geom::Polyline::Open(std::move(out));
+}
+
+}  // namespace geosir::extract

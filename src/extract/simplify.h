@@ -1,0 +1,17 @@
+#ifndef GEOSIR_EXTRACT_SIMPLIFY_H_
+#define GEOSIR_EXTRACT_SIMPLIFY_H_
+
+#include "geom/polyline.h"
+
+namespace geosir::extract {
+
+/// Douglas-Peucker segment approximation (the paper's "segment
+/// approximation of boundaries", Section 6): vertices farther than
+/// `tolerance` from the current chord are kept. Closed polylines are
+/// anchored at the two mutually farthest vertices so the result stays a
+/// sensible polygon.
+geom::Polyline Simplify(const geom::Polyline& input, double tolerance);
+
+}  // namespace geosir::extract
+
+#endif  // GEOSIR_EXTRACT_SIMPLIFY_H_

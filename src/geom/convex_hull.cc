@@ -1,0 +1,37 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace geosir::geom {
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](Point a, Point b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).Cross(points[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  for (size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t &&
+           (hull[k - 1] - hull[k - 2]).Cross(points[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+}  // namespace geosir::geom

@@ -1,0 +1,17 @@
+#ifndef GEOSIR_GEOM_CONVEX_HULL_H_
+#define GEOSIR_GEOM_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace geosir::geom {
+
+/// Convex hull by Andrew's monotone chain, counterclockwise, without
+/// collinear points on the hull boundary. Degenerate inputs (all points
+/// collinear) return the two extreme points; a single point returns itself.
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_CONVEX_HULL_H_

@@ -1,0 +1,87 @@
+#include "geom/diameter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/convex_hull.h"
+
+namespace geosir::geom {
+
+namespace {
+
+// Maps each hull point back to an index in the original sequence (first
+// occurrence wins; exact comparison is fine because hull points are copies
+// of input points).
+size_t IndexOf(const std::vector<Point>& points, Point p) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i] == p) return i;
+  }
+  return 0;  // Unreachable for hull points.
+}
+
+}  // namespace
+
+VertexPair Diameter(const std::vector<Point>& points) {
+  VertexPair best;
+  if (points.size() < 2) return best;
+
+  const std::vector<Point> hull = ConvexHull(points);
+  const size_t h = hull.size();
+  if (h == 1) return best;
+  if (h == 2) {
+    best.i = IndexOf(points, hull[0]);
+    best.j = IndexOf(points, hull[1]);
+    best.distance = Distance(hull[0], hull[1]);
+    return best;
+  }
+
+  // Rotating calipers over antipodal pairs.
+  double best_sq = -1.0;
+  Point best_a, best_b;
+  size_t k = 1;
+  for (size_t i = 0; i < h; ++i) {
+    const Point edge = hull[(i + 1) % h] - hull[i];
+    // Advance k while the next vertex is farther from edge i.
+    while (std::fabs(edge.Cross(hull[(k + 1) % h] - hull[i])) >
+           std::fabs(edge.Cross(hull[k] - hull[i]))) {
+      k = (k + 1) % h;
+    }
+    for (Point cand : {hull[i], hull[(i + 1) % h]}) {
+      const double d = SquaredDistance(cand, hull[k]);
+      if (d > best_sq) {
+        best_sq = d;
+        best_a = cand;
+        best_b = hull[k];
+      }
+    }
+  }
+  best.i = IndexOf(points, best_a);
+  best.j = IndexOf(points, best_b);
+  best.distance = std::sqrt(best_sq);
+  if (best.i > best.j) std::swap(best.i, best.j);
+  return best;
+}
+
+std::vector<VertexPair> AlphaDiameters(const std::vector<Point>& points,
+                                       double alpha) {
+  std::vector<VertexPair> result;
+  const VertexPair diam = Diameter(points);
+  if (diam.distance <= 0.0) return result;
+  const double threshold = (1.0 - alpha) * diam.distance;
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = Distance(points[i], points[j]);
+      if (d >= threshold) result.push_back(VertexPair{i, j, d});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const VertexPair& a, const VertexPair& b) {
+              if (a.distance != b.distance) return a.distance > b.distance;
+              if (a.i != b.i) return a.i < b.i;
+              return a.j < b.j;
+            });
+  return result;
+}
+
+}  // namespace geosir::geom

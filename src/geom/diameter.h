@@ -1,0 +1,34 @@
+#ifndef GEOSIR_GEOM_DIAMETER_H_
+#define GEOSIR_GEOM_DIAMETER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace geosir::geom {
+
+/// A pair of vertex indices into the original point sequence together with
+/// their Euclidean distance.
+struct VertexPair {
+  size_t i = 0;
+  size_t j = 0;
+  double distance = 0.0;
+};
+
+/// Computes the diameter (farthest vertex pair) of a point set by convex
+/// hull + rotating calipers, O(n log n). Returns indices into `points`.
+/// Degenerate inputs (< 2 points) yield distance 0 with i == j == 0.
+VertexPair Diameter(const std::vector<Point>& points);
+
+/// All alpha-diameters of a point set (Section 2.4): vertex pairs whose
+/// distance is at least (1 - alpha) times the diameter, 0 <= alpha < 1.
+/// The true diameter pair is always first; the rest are ordered by
+/// decreasing distance. O(n^2) scan after the hull-based diameter — shape
+/// vertex counts are small constants in this system.
+std::vector<VertexPair> AlphaDiameters(const std::vector<Point>& points,
+                                       double alpha);
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_DIAMETER_H_

@@ -1,0 +1,79 @@
+#include "geom/distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/predicates.h"
+
+namespace geosir::geom {
+
+Point ClosestPointOnSegment(Point p, const Segment& s) {
+  const Point d = s.Direction();
+  const double len2 = d.SquaredNorm();
+  if (len2 <= 0.0) return s.a;
+  double t = (p - s.a).Dot(d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return s.At(t);
+}
+
+double DistancePointSegment(Point p, const Segment& s) {
+  return Distance(p, ClosestPointOnSegment(p, s));
+}
+
+double DistancePointPolyline(Point p, const Polyline& shape) {
+  const size_t n = shape.NumEdges();
+  if (n == 0) {
+    if (shape.empty()) return std::numeric_limits<double>::infinity();
+    return Distance(p, shape.vertex(0));
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    best = std::min(best, DistancePointSegment(p, shape.Edge(i)));
+  }
+  return best;
+}
+
+double DistancePointVertices(Point p, const Polyline& shape) {
+  double best = std::numeric_limits<double>::infinity();
+  for (Point v : shape.vertices()) best = std::min(best, Distance(p, v));
+  return best;
+}
+
+double DistanceSegmentSegment(const Segment& s1, const Segment& s2) {
+  if (SegmentsIntersect(s1, s2)) return 0.0;
+  return std::min(std::min(DistancePointSegment(s1.a, s2),
+                           DistancePointSegment(s1.b, s2)),
+                  std::min(DistancePointSegment(s2.a, s1),
+                           DistancePointSegment(s2.b, s1)));
+}
+
+double DistancePolylinePolyline(const Polyline& a, const Polyline& b) {
+  const size_t na = a.NumEdges();
+  const size_t nb = b.NumEdges();
+  if (na == 0 || nb == 0) {
+    double best = std::numeric_limits<double>::infinity();
+    if (na == 0 && !a.empty()) {
+      for (Point p : a.vertices()) {
+        best = std::min(best, DistancePointPolyline(p, b));
+      }
+      return best;
+    }
+    if (nb == 0 && !b.empty()) {
+      for (Point p : b.vertices()) {
+        best = std::min(best, DistancePointPolyline(p, a));
+      }
+      return best;
+    }
+    return best;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      best = std::min(best, DistanceSegmentSegment(a.Edge(i), b.Edge(j)));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace geosir::geom

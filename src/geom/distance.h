@@ -1,0 +1,31 @@
+#ifndef GEOSIR_GEOM_DISTANCE_H_
+#define GEOSIR_GEOM_DISTANCE_H_
+
+#include "geom/point.h"
+#include "geom/polyline.h"
+
+namespace geosir::geom {
+
+/// Closest point to p on segment s.
+Point ClosestPointOnSegment(Point p, const Segment& s);
+
+/// Euclidean distance from p to segment s.
+double DistancePointSegment(Point p, const Segment& s);
+
+/// Minimum distance from p to the boundary of the polyline (its edges).
+/// Infinity for an empty shape; distance to the single vertex for a
+/// one-vertex shape.
+double DistancePointPolyline(Point p, const Polyline& shape);
+
+/// Minimum distance from p to the vertex set of the polyline.
+double DistancePointVertices(Point p, const Polyline& shape);
+
+/// Minimum distance between two segments (0 when they intersect).
+double DistanceSegmentSegment(const Segment& s1, const Segment& s2);
+
+/// Minimum distance between the boundaries of two polylines.
+double DistancePolylinePolyline(const Polyline& a, const Polyline& b);
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_DISTANCE_H_

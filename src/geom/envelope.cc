@@ -1,0 +1,105 @@
+#include "geom/envelope.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "geom/distance.h"
+
+namespace geosir::geom {
+
+bool InEnvelope(const Polyline& shape, Point p, double eps) {
+  return DistancePointPolyline(p, shape) <= eps;
+}
+
+bool InEnvelopeRing(const Polyline& shape, Point p, double inner_eps,
+                    double outer_eps) {
+  const double d = DistancePointPolyline(p, shape);
+  if (inner_eps <= 0.0) return d <= outer_eps;
+  return d > inner_eps && d <= outer_eps;
+}
+
+namespace {
+
+void PushQuad(std::vector<Triangle>* out, Point p0, Point p1, Point p2,
+              Point p3) {
+  out->push_back(Triangle{p0, p1, p2});
+  out->push_back(Triangle{p0, p2, p3});
+}
+
+}  // namespace
+
+EnvelopeRingCover BuildEnvelopeRingCover(const Polyline& shape,
+                                         double inner_eps, double outer_eps) {
+  assert(inner_eps >= 0.0 && outer_eps > inner_eps);
+  EnvelopeRingCover cover;
+  cover.inner_eps = inner_eps;
+  cover.outer_eps = outer_eps;
+
+  const size_t num_edges = shape.NumEdges();
+  cover.triangles.reserve(4 * num_edges + 2 * shape.size());
+
+  // Edge bands: for points whose nearest feature is an edge interior the
+  // ring restricted to that edge is exactly two offset trapezoids (here
+  // rectangles, since offset lines are parallel to the edge).
+  for (size_t i = 0; i < num_edges; ++i) {
+    const Segment e = shape.Edge(i);
+    const Point n = e.Direction().Perp().Normalized();
+    if (n.SquaredNorm() == 0.0) continue;  // Degenerate edge.
+    for (double side : {1.0, -1.0}) {
+      const Point lo = n * (side * inner_eps);
+      const Point hi = n * (side * outer_eps);
+      if (inner_eps > 0.0) {
+        PushQuad(&cover.triangles, e.a + lo, e.b + lo, e.b + hi, e.a + hi);
+      } else if (side > 0.0) {
+        // inner_eps == 0: the two side bands merge into one band of full
+        // width 2*outer_eps; emit it once.
+        PushQuad(&cover.triangles, e.a - n * outer_eps, e.b - n * outer_eps,
+                 e.b + n * outer_eps, e.a + n * outer_eps);
+      }
+    }
+  }
+
+  // Vertex regions: points whose nearest feature is a vertex lie in the
+  // annulus inner_eps < |p - v| <= outer_eps. Cover it with a square
+  // "picture frame": the outer square minus a hole inscribed in the
+  // inner circle. Leaving the hole out matters: the shape base clusters
+  // thousands of vertices exactly on the query boundary (every
+  // normalized copy passes through (0,0) and (1,0)), and a full square
+  // would re-report them at every iteration.
+  const double hole = inner_eps / std::sqrt(2.0);
+  for (Point v : shape.vertices()) {
+    if (inner_eps <= 0.0) {
+      const Point d{outer_eps, outer_eps};
+      PushQuad(&cover.triangles, v - d,
+               Point{v.x + outer_eps, v.y - outer_eps}, v + d,
+               Point{v.x - outer_eps, v.y + outer_eps});
+      continue;
+    }
+    // Top and bottom strips span the full width; left and right strips
+    // fill the remaining band beside the hole.
+    PushQuad(&cover.triangles, Point{v.x - outer_eps, v.y + hole},
+             Point{v.x + outer_eps, v.y + hole},
+             Point{v.x + outer_eps, v.y + outer_eps},
+             Point{v.x - outer_eps, v.y + outer_eps});
+    PushQuad(&cover.triangles, Point{v.x - outer_eps, v.y - outer_eps},
+             Point{v.x + outer_eps, v.y - outer_eps},
+             Point{v.x + outer_eps, v.y - hole},
+             Point{v.x - outer_eps, v.y - hole});
+    PushQuad(&cover.triangles, Point{v.x - outer_eps, v.y - hole},
+             Point{v.x - hole, v.y - hole}, Point{v.x - hole, v.y + hole},
+             Point{v.x - outer_eps, v.y + hole});
+    PushQuad(&cover.triangles, Point{v.x + hole, v.y - hole},
+             Point{v.x + outer_eps, v.y - hole},
+             Point{v.x + outer_eps, v.y + hole},
+             Point{v.x + hole, v.y + hole});
+  }
+  return cover;
+}
+
+double EnvelopeAreaEstimate(const Polyline& shape, double eps) {
+  const double perimeter = shape.Perimeter();
+  constexpr double kPi = 3.14159265358979323846;
+  return 2.0 * eps * perimeter + kPi * eps * eps;
+}
+
+}  // namespace geosir::geom

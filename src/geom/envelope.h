@@ -1,0 +1,56 @@
+#ifndef GEOSIR_GEOM_ENVELOPE_H_
+#define GEOSIR_GEOM_ENVELOPE_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polyline.h"
+
+namespace geosir::geom {
+
+/// The eps-envelope of a query shape Q (Section 2.3) is the set of points
+/// within distance eps of Q's boundary. We adopt the Minkowski-disk
+/// definition {p : dist(p, Q) <= eps}, which matches the paper's "lines
+/// parallel to the query shape edges at distance eps on either side" along
+/// the edges and closes the corners with arcs; membership is then the
+/// exact predicate dist(p, Q) <= eps regardless of join style.
+///
+/// The matcher queries the *difference ring* between two consecutive
+/// envelopes through a simplex range-searching structure. The ring is not
+/// triangulated exactly; instead we produce a small O(m) set of triangles
+/// whose union is a superset of the ring (edge bands plus vertex squares),
+/// and the matcher filters reported vertices with the exact membership
+/// predicate. This preserves the paper's complexity shape (O(m) triangles,
+/// output-sensitive reporting) while being robust to corner cases.
+struct EnvelopeRingCover {
+  double inner_eps = 0.0;
+  double outer_eps = 0.0;
+  std::vector<Triangle> triangles;
+};
+
+/// True iff p lies in the eps-envelope of `shape`.
+bool InEnvelope(const Polyline& shape, Point p, double eps);
+
+/// True iff p lies in the half-open ring (inner_eps, outer_eps].
+/// For inner_eps == 0 the shape boundary itself (distance 0) is included.
+bool InEnvelopeRing(const Polyline& shape, Point p, double inner_eps,
+                    double outer_eps);
+
+/// Builds the triangle superset cover of the ring between the inner_eps-
+/// and outer_eps-envelopes of `shape`. Requires 0 <= inner_eps <
+/// outer_eps. Produces at most 4 triangles per edge plus 8 per vertex
+/// (annulus frames) — still O(m), matching the paper's decomposition
+/// bound.
+EnvelopeRingCover BuildEnvelopeRingCover(const Polyline& shape,
+                                         double inner_eps, double outer_eps);
+
+/// Area of the eps-envelope under the Minkowski-disk definition, computed
+/// as perimeter-based upper estimate: 2*eps*perimeter + pi*eps^2 for open
+/// polylines; closed polygons use the same boundary-band formula (the
+/// envelope of a polygon boundary, not of its interior). Used by the
+/// matcher's expected-occupancy heuristics.
+double EnvelopeAreaEstimate(const Polyline& shape, double eps);
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_ENVELOPE_H_

@@ -1,0 +1,20 @@
+#include "geom/point.h"
+
+#include <ostream>
+
+namespace geosir::geom {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+bool Triangle::Contains(Point p) const {
+  const double d1 = (b - a).Cross(p - a);
+  const double d2 = (c - b).Cross(p - b);
+  const double d3 = (a - c).Cross(p - c);
+  const bool has_neg = d1 < 0 || d2 < 0 || d3 < 0;
+  const bool has_pos = d1 > 0 || d2 > 0 || d3 > 0;
+  return !(has_neg && has_pos);
+}
+
+}  // namespace geosir::geom

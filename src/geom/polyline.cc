@@ -1,0 +1,130 @@
+#include "geom/polyline.h"
+
+#include <cmath>
+
+#include "geom/predicates.h"
+
+namespace geosir::geom {
+
+size_t Polyline::NumEdges() const {
+  if (vertices_.size() < 2) return 0;
+  return closed_ ? vertices_.size() : vertices_.size() - 1;
+}
+
+Segment Polyline::Edge(size_t i) const {
+  const size_t n = vertices_.size();
+  return Segment{vertices_[i], vertices_[(i + 1) % n]};
+}
+
+double Polyline::Perimeter() const {
+  double total = 0.0;
+  const size_t n = NumEdges();
+  for (size_t i = 0; i < n; ++i) total += Edge(i).Length();
+  return total;
+}
+
+double Polyline::SignedArea() const {
+  if (!closed_ || vertices_.size() < 3) return 0.0;
+  double sum = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    sum += vertices_[i].Cross(vertices_[(i + 1) % n]);
+  }
+  return 0.5 * sum;
+}
+
+BoundingBox Polyline::Bounds() const {
+  BoundingBox box;
+  for (Point p : vertices_) box.Extend(p);
+  return box;
+}
+
+Point Polyline::VertexCentroid() const {
+  Point sum;
+  for (Point p : vertices_) sum += p;
+  return vertices_.empty() ? sum : sum / static_cast<double>(vertices_.size());
+}
+
+Polyline Polyline::Transformed(const AffineTransform& t) const {
+  std::vector<Point> out;
+  out.reserve(vertices_.size());
+  for (Point p : vertices_) out.push_back(t.Apply(p));
+  return Polyline(std::move(out), closed_);
+}
+
+Polyline Polyline::Reversed() const {
+  std::vector<Point> out(vertices_.rbegin(), vertices_.rend());
+  return Polyline(std::move(out), closed_);
+}
+
+Point Polyline::AtArcLength(double s) const {
+  const size_t n = NumEdges();
+  if (n == 0) return vertices_.empty() ? Point{} : vertices_.front();
+  if (s <= 0.0) return vertices_.front();
+  for (size_t i = 0; i < n; ++i) {
+    const Segment e = Edge(i);
+    const double len = e.Length();
+    if (s <= len || i + 1 == n) {
+      const double t = len > 0.0 ? std::fmin(s / len, 1.0) : 0.0;
+      return e.At(t);
+    }
+    s -= len;
+  }
+  return vertices_.back();
+}
+
+util::Status Polyline::Validate() const {
+  if (vertices_.size() < 2) {
+    return util::Status::InvalidArgument("shape needs at least 2 vertices");
+  }
+  if (closed_ && vertices_.size() < 3) {
+    return util::Status::InvalidArgument(
+        "closed shape needs at least 3 vertices");
+  }
+  for (Point p : vertices_) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return util::Status::InvalidArgument("non-finite vertex coordinate");
+    }
+  }
+  const size_t n = NumEdges();
+  for (size_t i = 0; i < n; ++i) {
+    if (Edge(i).Length() <= 0.0) {
+      return util::Status::InvalidArgument("duplicate consecutive vertices");
+    }
+  }
+  if (SelfIntersects()) {
+    return util::Status::InvalidArgument("shape self-intersects");
+  }
+  return util::Status::OK();
+}
+
+bool Polyline::SelfIntersects() const {
+  const size_t n = NumEdges();
+  if (n < 2) return false;
+  const size_t num_vertices = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Segment ei = Edge(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      const Segment ej = Edge(j);
+      const bool adjacent =
+          (j == i + 1) || (closed_ && i == 0 && j == n - 1);
+      if (adjacent) {
+        // Adjacent edges share exactly one endpoint; they self-intersect
+        // only if they overlap collinearly (fold back onto each other).
+        const Point shared =
+            (j == i + 1) ? vertices_[(i + 1) % num_vertices] : vertices_[0];
+        const Point pi = ei.a == shared ? ei.b : ei.a;
+        const Point pj = ej.a == shared ? ej.b : ej.a;
+        if (Orientation(shared, pi, pj) == 0 &&
+            (pi - shared).Dot(pj - shared) > 0.0) {
+          return true;
+        }
+        continue;
+      }
+      if (SegmentsIntersect(ei, ej)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace geosir::geom

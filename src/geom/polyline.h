@@ -1,0 +1,82 @@
+#ifndef GEOSIR_GEOM_POLYLINE_H_
+#define GEOSIR_GEOM_POLYLINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/transform.h"
+#include "util/status.h"
+
+namespace geosir::geom {
+
+/// A shape in the paper's sense: a polyline that is either open or closed
+/// (a polygon), with no self-intersections and no convexity restriction
+/// (Section 2.4). For a closed polyline the edge from the last vertex back
+/// to the first is implicit; the first vertex is not repeated.
+class Polyline {
+ public:
+  Polyline() = default;
+  Polyline(std::vector<Point> vertices, bool closed)
+      : vertices_(std::move(vertices)), closed_(closed) {}
+
+  static Polyline Open(std::vector<Point> vertices) {
+    return Polyline(std::move(vertices), /*closed=*/false);
+  }
+  static Polyline Closed(std::vector<Point> vertices) {
+    return Polyline(std::move(vertices), /*closed=*/true);
+  }
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::vector<Point>& mutable_vertices() { return vertices_; }
+  bool closed() const { return closed_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+  Point vertex(size_t i) const { return vertices_[i]; }
+
+  /// Number of edges: n-1 for open polylines, n for closed ones (n >= 2;
+  /// degenerate inputs yield 0).
+  size_t NumEdges() const;
+
+  /// The i-th edge, i in [0, NumEdges()).
+  Segment Edge(size_t i) const;
+
+  /// Total edge length.
+  double Perimeter() const;
+
+  /// Signed area by the shoelace formula (closed polylines only; 0 for
+  /// open ones). Positive means counterclockwise orientation.
+  double SignedArea() const;
+  double Area() const { return std::fabs(SignedArea()); }
+
+  BoundingBox Bounds() const;
+
+  /// Average of the vertices.
+  Point VertexCentroid() const;
+
+  /// Returns a copy with every vertex transformed.
+  Polyline Transformed(const AffineTransform& t) const;
+
+  /// Returns a copy with vertex order reversed (same geometry).
+  Polyline Reversed() const;
+
+  /// Point at arc-length parameter s in [0, Perimeter()] along the shape.
+  Point AtArcLength(double s) const;
+
+  /// Validates the shape as a database shape: at least 2 distinct
+  /// vertices, finite coordinates, no duplicate consecutive vertices, and
+  /// no self-intersection.
+  util::Status Validate() const;
+
+  /// True if any two non-adjacent edges intersect (or adjacent edges
+  /// overlap degenerately).
+  bool SelfIntersects() const;
+
+ private:
+  std::vector<Point> vertices_;
+  bool closed_ = false;
+};
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_POLYLINE_H_

@@ -1,0 +1,169 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geosir::geom {
+
+namespace {
+
+bool BoxesOverlap(const Segment& s1, const Segment& s2, double eps) {
+  return std::min(s1.a.x, s1.b.x) <= std::max(s2.a.x, s2.b.x) + eps &&
+         std::min(s2.a.x, s2.b.x) <= std::max(s1.a.x, s1.b.x) + eps &&
+         std::min(s1.a.y, s1.b.y) <= std::max(s2.a.y, s2.b.y) + eps &&
+         std::min(s2.a.y, s2.b.y) <= std::max(s1.a.y, s1.b.y) + eps;
+}
+
+}  // namespace
+
+int Orientation(Point a, Point b, Point c, double eps) {
+  const double v = (b - a).Cross(c - a);
+  if (v > eps) return 1;
+  if (v < -eps) return -1;
+  return 0;
+}
+
+bool OnSegment(Point p, const Segment& s, double eps) {
+  if (Orientation(s.a, s.b, p, eps) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - eps &&
+         p.x <= std::max(s.a.x, s.b.x) + eps &&
+         p.y >= std::min(s.a.y, s.b.y) - eps &&
+         p.y <= std::max(s.a.y, s.b.y) + eps;
+}
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2, double eps) {
+  if (!BoxesOverlap(s1, s2, eps)) return false;
+  const int o1 = Orientation(s1.a, s1.b, s2.a, eps);
+  const int o2 = Orientation(s1.a, s1.b, s2.b, eps);
+  const int o3 = Orientation(s2.a, s2.b, s1.a, eps);
+  const int o4 = Orientation(s2.a, s2.b, s1.b, eps);
+  if (o1 != o2 && o3 != o4) return true;
+  // Collinear / touching cases.
+  if (o1 == 0 && OnSegment(s2.a, s1, eps)) return true;
+  if (o2 == 0 && OnSegment(s2.b, s1, eps)) return true;
+  if (o3 == 0 && OnSegment(s1.a, s2, eps)) return true;
+  if (o4 == 0 && OnSegment(s1.b, s2, eps)) return true;
+  return false;
+}
+
+bool SegmentsCrossProperly(const Segment& s1, const Segment& s2, double eps) {
+  const int o1 = Orientation(s1.a, s1.b, s2.a, eps);
+  const int o2 = Orientation(s1.a, s1.b, s2.b, eps);
+  const int o3 = Orientation(s2.a, s2.b, s1.a, eps);
+  const int o4 = Orientation(s2.a, s2.b, s1.b, eps);
+  return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4;
+}
+
+util::Result<Point> LineIntersectionPoint(const Segment& s1, const Segment& s2,
+                                          double eps) {
+  const Point d1 = s1.Direction();
+  const Point d2 = s2.Direction();
+  const double denom = d1.Cross(d2);
+  const double scale = std::max(d1.Norm() * d2.Norm(), 1e-300);
+  if (std::fabs(denom) <= eps * scale) {
+    return util::Status::FailedPrecondition(
+        "LineIntersectionPoint: lines are (nearly) parallel");
+  }
+  const double t = (s2.a - s1.a).Cross(d2) / denom;
+  return s1.a + d1 * t;
+}
+
+util::Result<Point> SegmentIntersectionPoint(const Segment& s1,
+                                             const Segment& s2, double eps) {
+  if (!SegmentsIntersect(s1, s2, eps)) {
+    return util::Status::NotFound("segments do not intersect");
+  }
+  auto line = LineIntersectionPoint(s1, s2, eps);
+  if (line.ok()) return line;
+  // Collinear overlap: report a shared endpoint if one exists.
+  for (Point p : {s2.a, s2.b}) {
+    if (OnSegment(p, s1, eps)) return p;
+  }
+  for (Point p : {s1.a, s1.b}) {
+    if (OnSegment(p, s2, eps)) return p;
+  }
+  return util::Status::Internal("collinear segments without shared point");
+}
+
+bool PolygonContainsPoint(const Polyline& poly, Point p, double eps) {
+  if (!poly.closed() || poly.size() < 3) return false;
+  // Boundary counts as inside.
+  const size_t n = poly.NumEdges();
+  for (size_t i = 0; i < n; ++i) {
+    if (OnSegment(p, poly.Edge(i), eps)) return true;
+  }
+  // Crossing number with the horizontal ray to +x.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Segment e = poly.Edge(i);
+    const bool a_above = e.a.y > p.y;
+    const bool b_above = e.b.y > p.y;
+    if (a_above == b_above) continue;
+    const double t = (p.y - e.a.y) / (e.b.y - e.a.y);
+    const double x_cross = e.a.x + t * (e.b.x - e.a.x);
+    if (x_cross > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+namespace {
+
+bool BoundariesIntersect(const Polyline& a, const Polyline& b, double eps) {
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  const size_t na = a.NumEdges();
+  const size_t nb = b.NumEdges();
+  for (size_t i = 0; i < na; ++i) {
+    const Segment ea = a.Edge(i);
+    for (size_t j = 0; j < nb; ++j) {
+      if (SegmentsIntersect(ea, b.Edge(j), eps)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PolygonContainsPolygon(const Polyline& outer, const Polyline& inner,
+                            double eps) {
+  if (!outer.closed() || !inner.closed()) return false;
+  if (inner.empty() || outer.size() < 3) return false;
+  for (Point p : inner.vertices()) {
+    if (!PolygonContainsPoint(outer, p, eps)) return false;
+  }
+  // All vertices inside; boundaries must not cross properly (touching is
+  // still containment by our convention).
+  const size_t no = outer.NumEdges();
+  const size_t ni = inner.NumEdges();
+  for (size_t i = 0; i < no; ++i) {
+    const Segment eo = outer.Edge(i);
+    for (size_t j = 0; j < ni; ++j) {
+      if (SegmentsCrossProperly(eo, inner.Edge(j), eps)) return false;
+    }
+  }
+  return true;
+}
+
+bool PolygonsOverlap(const Polyline& a, const Polyline& b, double eps) {
+  if (!a.closed() || !b.closed()) return false;
+  if (PolygonContainsPolygon(a, b, eps) || PolygonContainsPolygon(b, a, eps)) {
+    return false;
+  }
+  if (BoundariesIntersect(a, b, eps)) return true;
+  return false;
+}
+
+bool PolygonsDisjoint(const Polyline& a, const Polyline& b, double eps) {
+  if (BoundariesIntersect(a, b, eps)) return false;
+  // No boundary contact: disjoint unless one contains the other.
+  if (a.closed() && !b.empty() &&
+      PolygonContainsPoint(a, b.vertex(0), eps)) {
+    return false;
+  }
+  if (b.closed() && !a.empty() &&
+      PolygonContainsPoint(b, a.vertex(0), eps)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace geosir::geom

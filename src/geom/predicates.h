@@ -1,0 +1,58 @@
+#ifndef GEOSIR_GEOM_PREDICATES_H_
+#define GEOSIR_GEOM_PREDICATES_H_
+
+#include "geom/point.h"
+#include "geom/polyline.h"
+
+namespace geosir::geom {
+
+/// Sign of the orientation of the triple (a, b, c): +1 counterclockwise,
+/// -1 clockwise, 0 collinear (within `eps` of signed area).
+int Orientation(Point a, Point b, Point c, double eps = 1e-12);
+
+/// True if point p lies on segment s (within eps).
+bool OnSegment(Point p, const Segment& s, double eps = 1e-12);
+
+/// True if the closed segments intersect (including endpoint touches and
+/// collinear overlap).
+bool SegmentsIntersect(const Segment& s1, const Segment& s2,
+                       double eps = 1e-12);
+
+/// True if the open interiors of the segments cross properly (shared
+/// endpoints and touches do not count).
+bool SegmentsCrossProperly(const Segment& s1, const Segment& s2,
+                           double eps = 1e-12);
+
+/// If the segments intersect in a single point, returns it.
+util::Result<Point> SegmentIntersectionPoint(const Segment& s1,
+                                             const Segment& s2,
+                                             double eps = 1e-12);
+
+/// Intersection point of two infinite lines through (s1.a, s1.b) and
+/// (s2.a, s2.b); fails when (nearly) parallel.
+util::Result<Point> LineIntersectionPoint(const Segment& s1,
+                                          const Segment& s2,
+                                          double eps = 1e-12);
+
+/// Point-in-polygon by the crossing-number rule; boundary points count as
+/// inside. `poly` must be closed.
+bool PolygonContainsPoint(const Polyline& poly, Point p, double eps = 1e-12);
+
+/// True if closed polygon `outer` contains closed polygon `inner`
+/// entirely (all vertices inside and no boundary crossing).
+bool PolygonContainsPolygon(const Polyline& outer, const Polyline& inner,
+                            double eps = 1e-12);
+
+/// True if the boundaries of the two closed polygons cross, or one
+/// contains a vertex of the other while neither fully contains the other —
+/// i.e. the paper's "overlap" relation (proper boundary overlap, not
+/// containment).
+bool PolygonsOverlap(const Polyline& a, const Polyline& b, double eps = 1e-12);
+
+/// True if the two closed polygons share no point at all.
+bool PolygonsDisjoint(const Polyline& a, const Polyline& b,
+                      double eps = 1e-12);
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_PREDICATES_H_

@@ -1,0 +1,48 @@
+#include "geom/transform.h"
+
+#include <cmath>
+
+namespace geosir::geom {
+
+AffineTransform AffineTransform::Rotation(double radians) {
+  return AffineTransform(std::cos(radians), std::sin(radians),
+                         Point{0.0, 0.0});
+}
+
+util::Result<AffineTransform> AffineTransform::MapSegmentToUnitBase(Point p,
+                                                                    Point q) {
+  const Point d = q - p;
+  const double len2 = d.SquaredNorm();
+  if (len2 <= 0.0) {
+    return util::Status::InvalidArgument(
+        "MapSegmentToUnitBase: degenerate segment");
+  }
+  // We need M d = (1, 0) with M = [a -b; b a]:
+  //   a dx - b dy = 1,  b dx + a dy = 0  =>  a = dx/|d|^2, b = -dy/|d|^2.
+  const double a = d.x / len2;
+  const double b = -d.y / len2;
+  // Translation: T(p) must be the origin.
+  const Point mp{a * p.x - b * p.y, b * p.x + a * p.y};
+  return AffineTransform(a, b, -mp);
+}
+
+AffineTransform AffineTransform::operator*(const AffineTransform& o) const {
+  // Linear parts multiply as complex numbers (a + ib)(a' + ib').
+  const double a = a_ * o.a_ - b_ * o.b_;
+  const double b = a_ * o.b_ + b_ * o.a_;
+  return AffineTransform(a, b, Apply(o.t_) /* == M t' + t */);
+}
+
+util::Result<AffineTransform> AffineTransform::Inverse() const {
+  const double det = a_ * a_ + b_ * b_;
+  if (det <= 0.0) {
+    return util::Status::FailedPrecondition(
+        "AffineTransform::Inverse: zero scale");
+  }
+  const double ia = a_ / det;
+  const double ib = -b_ / det;
+  const Point it{-(ia * t_.x - ib * t_.y), -(ib * t_.x + ia * t_.y)};
+  return AffineTransform(ia, ib, it);
+}
+
+}  // namespace geosir::geom

@@ -1,0 +1,65 @@
+#ifndef GEOSIR_GEOM_TRANSFORM_H_
+#define GEOSIR_GEOM_TRANSFORM_H_
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace geosir::geom {
+
+/// A direct similarity transform of the plane: uniform scale + rotation +
+/// translation (no reflection). Stored as the complex-multiplication form
+///   T(p) = M p + t,  M = [a -b; b a]
+/// so composition and inversion are exact closed forms. These are exactly
+/// the transforms used by diameter normalization (Section 2.4 of the
+/// paper), whose inverses the query processor replays to recover the
+/// original diameter direction (Section 5.3).
+class AffineTransform {
+ public:
+  /// Identity transform.
+  AffineTransform() : a_(1.0), b_(0.0), t_(0.0, 0.0) {}
+
+  AffineTransform(double a, double b, Point t) : a_(a), b_(b), t_(t) {}
+
+  static AffineTransform Identity() { return AffineTransform(); }
+  static AffineTransform Translation(Point t) {
+    return AffineTransform(1.0, 0.0, t);
+  }
+  static AffineTransform Rotation(double radians);
+  static AffineTransform Scaling(double s) {
+    return AffineTransform(s, 0.0, Point{0.0, 0.0});
+  }
+
+  /// The similarity that maps segment (p, q) onto ((0,0), (1,0)). Fails if
+  /// p == q.
+  static util::Result<AffineTransform> MapSegmentToUnitBase(Point p, Point q);
+
+  Point Apply(Point p) const {
+    return Point{a_ * p.x - b_ * p.y, b_ * p.x + a_ * p.y} + t_;
+  }
+
+  /// Applies only the linear part (for direction vectors).
+  Point ApplyVector(Point v) const {
+    return Point{a_ * v.x - b_ * v.y, b_ * v.x + a_ * v.y};
+  }
+
+  /// Composition: (this * other)(p) == this(other(p)).
+  AffineTransform operator*(const AffineTransform& o) const;
+
+  /// Inverse transform. Fails if the scale factor is zero.
+  util::Result<AffineTransform> Inverse() const;
+
+  double ScaleFactor() const { return Point{a_, b_}.Norm(); }
+  double RotationAngle() const { return std::atan2(b_, a_); }
+  Point translation() const { return t_; }
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_;
+  double b_;
+  Point t_;
+};
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_TRANSFORM_H_

@@ -1,0 +1,120 @@
+#include "hashing/geo_hash_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/normalize.h"
+#include "core/similarity.h"
+
+namespace geosir::hashing {
+
+GeoHashIndex::GeoHashIndex(const core::ShapeBase* base, GeoHashOptions options,
+                           ArcFamily family)
+    : base_(base), options_(options), family_(std::move(family)) {}
+
+util::Result<GeoHashIndex> GeoHashIndex::Create(const core::ShapeBase* base,
+                                                const GeoHashOptions& options) {
+  if (!base->finalized()) {
+    return util::Status::FailedPrecondition("ShapeBase not finalized");
+  }
+  GEOSIR_ASSIGN_OR_RETURN(
+      ArcFamily family,
+      ArcFamily::Create(options.curves_per_quarter, options.family));
+  GeoHashIndex index(base, options, std::move(family));
+  for (int q = 0; q < 4; ++q) {
+    index.buckets_[q].assign(options.curves_per_quarter + 1, {});
+  }
+  index.copy_quadruples_.reserve(base->NumCopies());
+  for (size_t i = 0; i < base->NumCopies(); ++i) {
+    const CurveQuadruple quad =
+        ComputeQuadruple(index.family_, base->copy(i).shape);
+    for (int q = 0; q < 4; ++q) {
+      index.buckets_[q][quad.c[q]].push_back(static_cast<uint32_t>(i));
+    }
+    index.copy_quadruples_.push_back(quad);
+  }
+  return index;
+}
+
+util::Result<std::vector<core::MatchResult>> GeoHashIndex::Query(
+    const geom::Polyline& query, size_t k,
+    size_t* candidates_evaluated) const {
+  GEOSIR_ASSIGN_OR_RETURN(core::NormalizedCopy qnorm,
+                          core::NormalizeQuery(query));
+  const CurveQuadruple quad = ComputeQuadruple(family_, qnorm.shape);
+
+  // Collect candidate copies from the four probed buckets (plus
+  // neighbors). A copy collected from any quarter is a candidate.
+  std::unordered_set<uint32_t> candidates;
+  for (int q = 0; q < 4; ++q) {
+    if (quad.c[q] == 0) continue;  // Empty quarter carries no signal.
+    for (int delta = -options_.neighbor_radius;
+         delta <= options_.neighbor_radius; ++delta) {
+      const int curve = quad.c[q] + delta;
+      if (curve < 1 || curve > options_.curves_per_quarter) continue;
+      for (uint32_t copy : buckets_[q][curve]) candidates.insert(copy);
+    }
+  }
+
+  if (candidates_evaluated != nullptr) {
+    *candidates_evaluated = candidates.size();
+  }
+
+  // Rank candidates per shape with the similarity measure.
+  std::unordered_map<core::ShapeId, core::MatchResult> best;
+  for (uint32_t copy_idx : candidates) {
+    const core::NormalizedCopy& copy = base_->copy(copy_idx);
+    double d = 0.0;
+    switch (options_.measure) {
+      case core::MatchMeasure::kContinuousSymmetric:
+        d = core::AvgMinDistanceSymmetric(copy.shape, qnorm.shape,
+                                          options_.similarity);
+        break;
+      case core::MatchMeasure::kContinuousDirected:
+        d = core::AvgMinDistance(copy.shape, qnorm.shape, options_.similarity);
+        break;
+      case core::MatchMeasure::kDiscreteSymmetric:
+        d = std::max(core::DiscreteAvgMinDistance(copy.shape, qnorm.shape),
+                     core::DiscreteAvgMinDistance(qnorm.shape, copy.shape));
+        break;
+      case core::MatchMeasure::kDiscreteDirected:
+        d = core::DiscreteAvgMinDistance(copy.shape, qnorm.shape);
+        break;
+    }
+    auto [it, inserted] = best.try_emplace(
+        copy.shape_id, core::MatchResult{copy.shape_id, d, copy_idx});
+    if (!inserted && d < it->second.distance) {
+      it->second.distance = d;
+      it->second.copy_index = copy_idx;
+    }
+  }
+
+  std::vector<core::MatchResult> results;
+  results.reserve(best.size());
+  for (const auto& [id, r] : best) results.push_back(r);
+  std::sort(results.begin(), results.end(),
+            [](const core::MatchResult& a, const core::MatchResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.shape_id < b.shape_id;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+double GeoHashIndex::AverageBucketOccupancy() const {
+  size_t total = 0;
+  size_t nonempty = 0;
+  for (int q = 0; q < 4; ++q) {
+    for (size_t curve = 1; curve < buckets_[q].size(); ++curve) {
+      if (buckets_[q][curve].empty()) continue;
+      ++nonempty;
+      total += buckets_[q][curve].size();
+    }
+  }
+  return nonempty == 0 ? 0.0
+                       : static_cast<double>(total) /
+                             static_cast<double>(nonempty);
+}
+
+}  // namespace geosir::hashing

@@ -1,0 +1,76 @@
+#ifndef GEOSIR_HASHING_GEO_HASH_INDEX_H_
+#define GEOSIR_HASHING_GEO_HASH_INDEX_H_
+
+#include <vector>
+
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "hashing/hash_curves.h"
+#include "util/status.h"
+
+namespace geosir::hashing {
+
+struct GeoHashOptions {
+  /// Curves per quarter (the paper illustrates k = 50, Figure 4 right).
+  int curves_per_quarter = 50;
+  /// Which equal-area curve family partitions the quarters.
+  CurveFamilyKind family = CurveFamilyKind::kUnitCircleArcs;
+  /// How many neighboring curves on each side of the query's curve are
+  /// probed per quarter (0 = exact-curve only). Shapes close to each
+  /// other land on the same or neighboring curves.
+  int neighbor_radius = 1;
+  /// Measure used to rank the collected shapes.
+  core::MatchMeasure measure = core::MatchMeasure::kContinuousSymmetric;
+  core::SimilarityOptions similarity;
+};
+
+/// The approximate-matching fallback of Section 3: every normalized copy
+/// in the shape base is bucketed by its characteristic curve in each of
+/// the four lune quarters. A query probes its own four curves (plus
+/// optional neighbors), collects the shapes in those buckets, ranks them
+/// with the similarity measure, and returns the best ones. Expected cost:
+/// logarithmic in the curve-family size plus a constant number of
+/// candidate evaluations.
+class GeoHashIndex {
+ public:
+  /// Builds buckets for every copy in `base` (which must be finalized and
+  /// must outlive the index).
+  static util::Result<GeoHashIndex> Create(const core::ShapeBase* base,
+                                           const GeoHashOptions& options = {});
+
+  /// Approximate k-best retrieval. The returned distances use the
+  /// configured measure. `candidates_evaluated`, when non-null, receives
+  /// the number of distinct copies collected from the probed buckets
+  /// (the paper expects a small constant per query).
+  util::Result<std::vector<core::MatchResult>> Query(
+      const geom::Polyline& query, size_t k = 1,
+      size_t* candidates_evaluated = nullptr) const;
+
+  /// Quadruple of a stored copy (sorted-layout keys, Section 4.1).
+  const CurveQuadruple& QuadrupleOfCopy(size_t copy_index) const {
+    return copy_quadruples_[copy_index];
+  }
+  const ArcFamily& family() const { return family_; }
+  const GeoHashOptions& options() const { return options_; }
+
+  /// Average number of copies per non-empty (quarter, curve) bucket; the
+  /// paper expects a small constant.
+  double AverageBucketOccupancy() const;
+
+ private:
+  GeoHashIndex(const core::ShapeBase* base, GeoHashOptions options,
+               ArcFamily family);
+
+  const core::ShapeBase* base_;
+  GeoHashOptions options_;
+  ArcFamily family_;
+  std::vector<CurveQuadruple> copy_quadruples_;
+  /// buckets_[quarter][curve] = copy indices whose characteristic curve
+  /// in `quarter` is `curve` (1-based curve ids; index 0 collects copies
+  /// with an empty quarter).
+  std::vector<std::vector<uint32_t>> buckets_[4];
+};
+
+}  // namespace geosir::hashing
+
+#endif  // GEOSIR_HASHING_GEO_HASH_INDEX_H_

@@ -1,0 +1,186 @@
+#include "hashing/hash_curves.h"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+
+#include "hashing/lune.h"
+#include "util/numeric.h"
+
+namespace geosir::hashing {
+
+using geom::Point;
+
+const char* CurveFamilyKindName(CurveFamilyKind kind) {
+  switch (kind) {
+    case CurveFamilyKind::kUnitCircleArcs:
+      return "unit-circle-arcs";
+    case CurveFamilyKind::kVerticalLines:
+      return "vertical-lines";
+  }
+  return "unknown";
+}
+
+double LuneAreaE(double x) {
+  x = util::Clamp(x, 0.0, 1.0);
+  const double upper = std::min(2.0 * x, 0.5);
+  if (upper <= 0.0) return 0.0;
+  const double base = std::sqrt(std::max(0.0, 1.0 - x * x));
+  return util::AdaptiveSimpson(
+      [x, base](double t) {
+        const double dx = t - x;
+        return std::sqrt(std::max(0.0, 1.0 - dx * dx)) - base;
+      },
+      0.0, upper);
+}
+
+double LuneAreaEDerivative(double x) {
+  const double h = 1e-6;
+  const double lo = util::Clamp(x - h, 0.0, 1.0);
+  const double hi = util::Clamp(x + h, 0.0, 1.0);
+  return (LuneAreaE(hi) - LuneAreaE(lo)) / (hi - lo);
+}
+
+Point ArcCenter(double x, int quarter) {
+  const double drop = std::sqrt(std::max(0.0, 1.0 - x * x));
+  switch (quarter) {
+    case 0:  // Upper-left: circle through (0,0), center below the axis.
+      return {x, -drop};
+    case 1:  // Upper-right: mirror about x = 1/2, circle through (1,0).
+      return {1.0 - x, -drop};
+    case 2:  // Lower-left: mirror of q1 about y = 0.
+      return {x, drop};
+    case 3:  // Lower-right.
+      return {1.0 - x, drop};
+    default:
+      return {x, -drop};
+  }
+}
+
+double ArcDistance(Point p, double x, int quarter) {
+  return std::fabs((p - ArcCenter(x, quarter)).Norm() - 1.0);
+}
+
+double LuneSlabArea(double x) {
+  x = util::Clamp(x, 0.0, 0.5);
+  if (x <= 0.0) return 0.0;
+  return util::AdaptiveSimpson(
+      [](double t) {
+        const double dx = t - 1.0;
+        return std::sqrt(std::max(0.0, 1.0 - dx * dx));
+      },
+      0.0, x);
+}
+
+util::Result<ArcFamily> ArcFamily::Create(int k, CurveFamilyKind kind) {
+  if (k < 1) {
+    return util::Status::InvalidArgument("arc family needs k >= 1");
+  }
+  std::vector<double> xs;
+  xs.reserve(k);
+  const double quarter_area = kLuneAreaA0 / 4.0;
+  const bool arcs = kind == CurveFamilyKind::kUnitCircleArcs;
+  const double x_max = arcs ? 1.0 : 0.5;
+  const auto area = arcs ? LuneAreaE : LuneSlabArea;
+  double lo = 0.0;
+  for (int i = 1; i <= k; ++i) {
+    const double target = quarter_area * static_cast<double>(i) / k;
+    if (i == k) {
+      xs.push_back(x_max);
+      break;
+    }
+    // The area functions are monotone: bracket from the previous
+    // solution.
+    const std::function<double(double)> derivative =
+        arcs ? std::function<double(double)>(LuneAreaEDerivative)
+             : std::function<double(double)>();
+    GEOSIR_ASSIGN_OR_RETURN(
+        double xi,
+        util::FindRootBracketed([target, area](double x) {
+          return area(x) - target;
+        },
+                                derivative, lo, x_max));
+    xs.push_back(xi);
+    lo = xi;
+  }
+  return ArcFamily(std::move(xs), kind);
+}
+
+double ArcFamily::CurveDistance(Point p, double x, int quarter) const {
+  if (kind_ == CurveFamilyKind::kUnitCircleArcs) {
+    return ArcDistance(p, x, quarter);
+  }
+  // Vertical lines: left quarters use abscissa x, right quarters mirror.
+  const double line_x = (quarter == 0 || quarter == 2) ? x : 1.0 - x;
+  return std::fabs(p.x - line_x);
+}
+
+double ArcFamily::AverageDistance(const std::vector<Point>& vertices,
+                                  double x, int quarter) const {
+  if (vertices.empty()) return 0.0;
+  double sum = 0.0;
+  for (Point p : vertices) sum += CurveDistance(p, x, quarter);
+  return sum / static_cast<double>(vertices.size());
+}
+
+int ArcFamily::CharacteristicCurve(const std::vector<Point>& vertices,
+                                   int quarter) const {
+  if (vertices.empty()) return -1;
+  // The average distance has a single local minimum over the continuous
+  // family (Section 3): golden-section search, then snap to the nearest
+  // discrete curves.
+  const double x_max =
+      kind_ == CurveFamilyKind::kUnitCircleArcs ? 1.0 : 0.5;
+  const double x_star = util::GoldenSectionMinimize(
+      [this, &vertices, quarter](double x) {
+        return AverageDistance(vertices, x, quarter);
+      },
+      0.0, x_max, 1e-7);
+  // Candidate discrete arcs: the neighbors of x_star in xs_.
+  const auto it = std::lower_bound(xs_.begin(), xs_.end(), x_star);
+  int best = -1;
+  double best_avg = 0.0;
+  for (int delta = -1; delta <= 1; ++delta) {
+    const long idx = (it - xs_.begin()) + delta;
+    if (idx < 0 || idx >= static_cast<long>(xs_.size())) continue;
+    const double avg = AverageDistance(vertices, xs_[idx], quarter);
+    if (best < 0 || avg < best_avg) {
+      best = static_cast<int>(idx);
+      best_avg = avg;
+    }
+  }
+  return best;
+}
+
+int CurveQuadruple::MeanCurve() const {
+  return static_cast<int>(
+      std::lround((c[0] + c[1] + c[2] + c[3]) / 4.0));
+}
+
+int CurveQuadruple::MedianCurve() const {
+  int sorted[4] = {c[0], c[1], c[2], c[3]};
+  std::sort(sorted, sorted + 4);
+  const double mean = (c[0] + c[1] + c[2] + c[3]) / 4.0;
+  // The two medians are sorted[1] and sorted[2]; pick the one closer to
+  // the mean (method (iii) of Section 4.1).
+  return std::fabs(sorted[1] - mean) <= std::fabs(sorted[2] - mean)
+             ? sorted[1]
+             : sorted[2];
+}
+
+CurveQuadruple ComputeQuadruple(const ArcFamily& family,
+                                const geom::Polyline& normalized_shape) {
+  std::vector<Point> by_quarter[4];
+  for (Point p : normalized_shape.vertices()) {
+    const Point q = ClampToLune(p);
+    by_quarter[LuneQuarter(q)].push_back(q);
+  }
+  CurveQuadruple quad;
+  for (int q = 0; q < 4; ++q) {
+    const int curve = family.CharacteristicCurve(by_quarter[q], q);
+    quad.c[q] = curve < 0 ? 0 : curve + 1;  // 1-based; 0 = empty quarter.
+  }
+  return quad;
+}
+
+}  // namespace geosir::hashing

@@ -1,0 +1,121 @@
+#ifndef GEOSIR_HASHING_HASH_CURVES_H_
+#define GEOSIR_HASHING_HASH_CURVES_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polyline.h"
+#include "util/status.h"
+
+namespace geosir::hashing {
+
+/// The equal-area arc family of Section 3. Each lune quarter is
+/// partitioned into k regions of equal area by k unit-radius circular
+/// arcs; for the upper-left quarter q1 the i-th arc belongs to the circle
+/// of radius 1 with center (x_i, -sqrt(1 - x_i^2)) (it passes through the
+/// origin), where x_i solves
+///   E(x) = integral_0^{min(2x, 1/2)} (sqrt(1-(t-x)^2) - sqrt(1-x^2)) dt
+///        = (A0 / 4) * (i / k).
+/// The other quarters reuse the same x_i by mirror symmetry (about y = 0
+/// and about x = 1/2).
+
+/// The paper evaluated "different families of conic curves" for the
+/// partition; this implementation provides the unit-circle arcs it
+/// settled on plus a vertical-line family as the simplest alternative
+/// (the hashing benchmark compares them).
+enum class CurveFamilyKind {
+  /// Unit-radius circles through the lune tips (the paper's choice).
+  kUnitCircleArcs,
+  /// Vertical lines x = const partitioning each quarter into equal-area
+  /// slabs.
+  kVerticalLines,
+};
+
+const char* CurveFamilyKindName(CurveFamilyKind kind);
+
+/// E(x) for x in [0, 1]: the area between the q1 arc with parameter x and
+/// the x-axis, restricted to the quarter. Monotone increasing, E(0) = 0,
+/// E(1) = A0/4 (Figure 5 left).
+double LuneAreaE(double x);
+
+/// Area of the vertical slab [0, x] within the upper-left quarter (the
+/// lune's boundary there is the unit circle centered at (1,0)); x in
+/// [0, 1/2], monotone with E_v(1/2) = A0/4.
+double LuneSlabArea(double x);
+
+/// dE/dx by central finite differences (Figure 5 right). Exposed for the
+/// bench that regenerates Figure 5 and for Newton-based solving.
+double LuneAreaEDerivative(double x);
+
+/// Center of the arc with parameter x in the given quarter (0..3).
+geom::Point ArcCenter(double x, int quarter);
+
+/// Distance from p to the (full) circle carrying the arc with parameter x
+/// in the given quarter: | |p - center| - 1 |.
+double ArcDistance(geom::Point p, double x, int quarter);
+
+/// The solved equal-area curve family (arcs or lines, per `kind`).
+class ArcFamily {
+ public:
+  /// Solves the k equal-area equations. k >= 1.
+  static util::Result<ArcFamily> Create(
+      int k, CurveFamilyKind kind = CurveFamilyKind::kUnitCircleArcs);
+
+  int size() const { return static_cast<int>(xs_.size()); }
+  CurveFamilyKind kind() const { return kind_; }
+  /// Curve parameters x_1 < x_2 < ... < x_k (arcs: x_k == 1; lines:
+  /// x_k == 1/2, the quarter-local abscissa).
+  const std::vector<double>& xs() const { return xs_; }
+  double x(int i) const { return xs_[i]; }
+
+  /// Distance of p to the curve with parameter x in `quarter`.
+  double CurveDistance(geom::Point p, double x, int quarter) const;
+
+  /// Average distance of `vertices` to the curve with parameter x in
+  /// `quarter`.
+  double AverageDistance(const std::vector<geom::Point>& vertices, double x,
+                         int quarter) const;
+
+  /// Characteristic curve (Section 3 / Figure 6): the index (0-based) of
+  /// the family curve minimizing the average distance of `vertices`,
+  /// found by golden-section search over the continuous parameter
+  /// followed by snapping to the nearest discrete neighbor. Returns -1
+  /// when `vertices` is empty.
+  int CharacteristicCurve(const std::vector<geom::Point>& vertices,
+                          int quarter) const;
+
+ private:
+  ArcFamily(std::vector<double> xs, CurveFamilyKind kind)
+      : xs_(std::move(xs)), kind_(kind) {}
+  std::vector<double> xs_;
+  CurveFamilyKind kind_ = CurveFamilyKind::kUnitCircleArcs;
+};
+
+/// The per-shape hash signature: one characteristic curve per quarter
+/// (1-based curve ids; 0 means the shape has no vertices in that
+/// quarter). This quadruple is also the sort key of the external-storage
+/// layouts (Section 4.1).
+struct CurveQuadruple {
+  int c[4] = {0, 0, 0, 0};
+
+  friend bool operator==(const CurveQuadruple& a, const CurveQuadruple& b) {
+    return a.c[0] == b.c[0] && a.c[1] == b.c[1] && a.c[2] == b.c[2] &&
+           a.c[3] == b.c[3];
+  }
+
+  /// Sort key of method (i): the rounded mean curve.
+  int MeanCurve() const;
+  /// Sort key of method (iii): of the two median curves, the one closer
+  /// to the mean.
+  int MedianCurve() const;
+};
+
+/// Computes the quadruple of a *normalized* shape: vertices are clamped
+/// to the lune, split by quarter, and each non-empty quarter gets its
+/// characteristic curve.
+CurveQuadruple ComputeQuadruple(const ArcFamily& family,
+                                const geom::Polyline& normalized_shape);
+
+}  // namespace geosir::hashing
+
+#endif  // GEOSIR_HASHING_HASH_CURVES_H_

@@ -1,0 +1,32 @@
+#include "hashing/lune.h"
+
+namespace geosir::hashing {
+
+using geom::Point;
+
+int LuneQuarter(Point p) {
+  const bool left = p.x < 0.5;
+  const bool upper = p.y >= 0.0;
+  if (upper) return left ? 0 : 1;
+  return left ? 2 : 3;
+}
+
+bool InsideLune(Point p, double eps) {
+  return p.SquaredNorm() <= 1.0 + eps &&
+         (p - Point{1.0, 0.0}).SquaredNorm() <= 1.0 + eps;
+}
+
+Point ClampToLune(Point p) {
+  // Alternate projections onto the two disks; two rounds suffice for the
+  // mild violations produced by alpha-diameter normalization.
+  for (int round = 0; round < 2; ++round) {
+    const double n0 = p.Norm();
+    if (n0 > 1.0 && n0 > 0.0) p = p / n0;
+    const Point q = p - Point{1.0, 0.0};
+    const double n1 = q.Norm();
+    if (n1 > 1.0) p = Point{1.0, 0.0} + q / n1;
+  }
+  return p;
+}
+
+}  // namespace geosir::hashing

@@ -1,0 +1,32 @@
+#ifndef GEOSIR_HASHING_LUNE_H_
+#define GEOSIR_HASHING_LUNE_H_
+
+#include "geom/point.h"
+
+namespace geosir::hashing {
+
+/// Geometry of the lune (Section 3): the lens-shaped intersection of the
+/// two unit disks centered at (0,0) and (1,0). Every vertex of a shape
+/// normalized about its *true* diameter lies inside it; vertices of
+/// alpha-diameter copies may fall slightly outside and are treated as if
+/// on the boundary.
+
+/// Quarters of the lune (Figure 4 left): split at x = 1/2 and y = 0.
+///   q1 = upper-left, q2 = upper-right, q3 = lower-left, q4 = lower-right.
+/// Returned values are 0-based (0..3).
+int LuneQuarter(geom::Point p);
+
+/// True if p lies inside both unit disks.
+bool InsideLune(geom::Point p, double eps = 1e-12);
+
+/// Projects p onto the lune: points outside either disk are pulled onto
+/// that disk's boundary (the paper's "treated as if they are located on
+/// the boundary of the lune").
+geom::Point ClampToLune(geom::Point p);
+
+/// Area of the lune: 2*pi/3 - sqrt(3)/2.
+constexpr double kLuneAreaA0 = 1.2283696986087567;
+
+}  // namespace geosir::hashing
+
+#endif  // GEOSIR_HASHING_LUNE_H_

@@ -1,0 +1,186 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace geosir::query {
+
+QueryPtr QueryNode::Clone() const {
+  auto node = std::make_unique<QueryNode>();
+  node->kind = kind;
+  node->q1 = q1;
+  node->q2 = q2;
+  node->relation = relation;
+  node->theta = theta;
+  node->children.reserve(children.size());
+  for (const QueryPtr& child : children) {
+    node->children.push_back(child->Clone());
+  }
+  return node;
+}
+
+QueryPtr Similar(geom::Polyline q) {
+  auto node = std::make_unique<QueryNode>();
+  node->kind = NodeKind::kSimilar;
+  node->q1 = std::move(q);
+  return node;
+}
+
+QueryPtr Topological(Relation r, geom::Polyline q1, geom::Polyline q2,
+                     std::optional<double> theta) {
+  auto node = std::make_unique<QueryNode>();
+  node->kind = NodeKind::kTopological;
+  node->relation = r;
+  node->q1 = std::move(q1);
+  node->q2 = std::move(q2);
+  node->theta = theta;
+  return node;
+}
+
+namespace {
+
+QueryPtr Combine(NodeKind kind, QueryPtr a, QueryPtr b) {
+  auto node = std::make_unique<QueryNode>();
+  node->kind = kind;
+  // Flatten nested nodes of the same kind for readability.
+  const auto absorb = [&node, kind](QueryPtr src) {
+    if (src->kind == kind) {
+      for (QueryPtr& child : src->children) {
+        node->children.push_back(std::move(child));
+      }
+    } else {
+      node->children.push_back(std::move(src));
+    }
+  };
+  absorb(std::move(a));
+  absorb(std::move(b));
+  return node;
+}
+
+}  // namespace
+
+QueryPtr Union(QueryPtr a, QueryPtr b) {
+  return Combine(NodeKind::kUnion, std::move(a), std::move(b));
+}
+
+QueryPtr Intersect(QueryPtr a, QueryPtr b) {
+  return Combine(NodeKind::kIntersection, std::move(a), std::move(b));
+}
+
+QueryPtr Complement(QueryPtr a) {
+  auto node = std::make_unique<QueryNode>();
+  node->kind = NodeKind::kComplement;
+  node->children.push_back(std::move(a));
+  return node;
+}
+
+namespace {
+
+void Render(const QueryNode& node, std::ostringstream* out) {
+  switch (node.kind) {
+    case NodeKind::kSimilar:
+      *out << "similar(#" << node.q1.size() << "v)";
+      return;
+    case NodeKind::kTopological:
+      *out << RelationName(node.relation) << "(#" << node.q1.size() << "v, #"
+           << node.q2.size() << "v, ";
+      if (node.theta.has_value()) {
+        *out << *node.theta;
+      } else {
+        *out << "any";
+      }
+      *out << ")";
+      return;
+    case NodeKind::kComplement:
+      *out << "~";
+      Render(*node.children[0], out);
+      return;
+    case NodeKind::kUnion:
+    case NodeKind::kIntersection: {
+      const char* sep = node.kind == NodeKind::kUnion ? " | " : " & ";
+      *out << "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) *out << sep;
+        Render(*node.children[i], out);
+      }
+      *out << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const QueryNode& node) {
+  std::ostringstream out;
+  Render(node, &out);
+  return out.str();
+}
+
+namespace {
+
+util::Status BuildDnf(const QueryNode& node, bool negated, Dnf* dnf,
+                      std::vector<DnfTerm>* out) {
+  switch (node.kind) {
+    case NodeKind::kSimilar:
+    case NodeKind::kTopological: {
+      dnf->leaf_storage.push_back(node.Clone());
+      DnfTerm term;
+      term.factors.push_back(
+          DnfFactor{negated, dnf->leaf_storage.back().get()});
+      out->push_back(std::move(term));
+      return util::Status::OK();
+    }
+    case NodeKind::kComplement:
+      if (node.children.size() != 1) {
+        return util::Status::InvalidArgument(
+            "complement must have exactly one child");
+      }
+      return BuildDnf(*node.children[0], !negated, dnf, out);
+    case NodeKind::kUnion:
+    case NodeKind::kIntersection: {
+      if (node.children.empty()) {
+        return util::Status::InvalidArgument("empty union/intersection");
+      }
+      // Under negation, union and intersection swap (De Morgan).
+      const bool acts_as_union =
+          (node.kind == NodeKind::kUnion) != negated;
+      if (acts_as_union) {
+        for (const QueryPtr& child : node.children) {
+          GEOSIR_RETURN_IF_ERROR(BuildDnf(*child, negated, dnf, out));
+        }
+        return util::Status::OK();
+      }
+      // Intersection: cross-product of the children's term lists.
+      std::vector<DnfTerm> acc{DnfTerm{}};
+      for (const QueryPtr& child : node.children) {
+        std::vector<DnfTerm> child_terms;
+        GEOSIR_RETURN_IF_ERROR(BuildDnf(*child, negated, dnf, &child_terms));
+        std::vector<DnfTerm> next;
+        next.reserve(acc.size() * child_terms.size());
+        for (const DnfTerm& left : acc) {
+          for (const DnfTerm& right : child_terms) {
+            DnfTerm merged = left;
+            merged.factors.insert(merged.factors.end(),
+                                  right.factors.begin(),
+                                  right.factors.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      for (DnfTerm& term : acc) out->push_back(std::move(term));
+      return util::Status::OK();
+    }
+  }
+  return util::Status::Internal("unknown node kind");
+}
+
+}  // namespace
+
+util::Result<Dnf> ToDnf(const QueryNode& root) {
+  Dnf dnf;
+  GEOSIR_RETURN_IF_ERROR(BuildDnf(root, /*negated=*/false, &dnf, &dnf.terms));
+  return dnf;
+}
+
+}  // namespace geosir::query

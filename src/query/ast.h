@@ -1,0 +1,99 @@
+#ifndef GEOSIR_QUERY_AST_H_
+#define GEOSIR_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/polyline.h"
+#include "query/topology.h"
+#include "util/status.h"
+
+namespace geosir::query {
+
+/// Node kinds of the topological query algebra (Section 5.1): leaf
+/// operators similar / contain / overlap / disjoint composed with union,
+/// intersection and complement.
+enum class NodeKind {
+  kSimilar,
+  kTopological,
+  kUnion,
+  kIntersection,
+  kComplement,
+};
+
+struct QueryNode;
+using QueryPtr = std::unique_ptr<QueryNode>;
+
+struct QueryNode {
+  NodeKind kind = NodeKind::kSimilar;
+
+  // kSimilar: q1 is the query shape.
+  // kTopological: relation over (q1, q2) with optional angle theta
+  // (std::nullopt = "any").
+  geom::Polyline q1;
+  geom::Polyline q2;
+  Relation relation = Relation::kOverlap;
+  std::optional<double> theta;
+
+  // kUnion / kIntersection: 2+ children; kComplement: exactly 1.
+  std::vector<QueryPtr> children;
+
+  QueryPtr Clone() const;
+};
+
+/// Leaf builders.
+QueryPtr Similar(geom::Polyline q);
+QueryPtr Topological(Relation r, geom::Polyline q1, geom::Polyline q2,
+                     std::optional<double> theta = std::nullopt);
+inline QueryPtr Contain(geom::Polyline q1, geom::Polyline q2,
+                        std::optional<double> theta = std::nullopt) {
+  return Topological(Relation::kContain, std::move(q1), std::move(q2), theta);
+}
+inline QueryPtr Overlap(geom::Polyline q1, geom::Polyline q2,
+                        std::optional<double> theta = std::nullopt) {
+  return Topological(Relation::kOverlap, std::move(q1), std::move(q2), theta);
+}
+inline QueryPtr Disjoint(geom::Polyline q1, geom::Polyline q2,
+                         std::optional<double> theta = std::nullopt) {
+  return Topological(Relation::kDisjoint, std::move(q1), std::move(q2),
+                     theta);
+}
+
+/// Combinators.
+QueryPtr Union(QueryPtr a, QueryPtr b);
+QueryPtr Intersect(QueryPtr a, QueryPtr b);
+QueryPtr Complement(QueryPtr a);
+
+/// Debug rendering, e.g.
+/// "similar(#5) & ~overlap(#3, #4, any)".
+std::string ToString(const QueryNode& node);
+
+/// One factor of a DNF term: a leaf operator, possibly complemented.
+struct DnfFactor {
+  bool complemented = false;
+  /// Points into the (cloned) nodes owned by the Dnf object.
+  const QueryNode* op = nullptr;
+};
+
+/// A conjunction of factors.
+struct DnfTerm {
+  std::vector<DnfFactor> factors;
+};
+
+/// The query rewritten as t_1 UNION ... UNION t_n, each t_i an
+/// intersection of (possibly complemented) leaf operators (Section 5.4).
+struct Dnf {
+  std::vector<DnfTerm> terms;
+  /// Owns clones of the leaves referenced by the factors.
+  std::vector<QueryPtr> leaf_storage;
+};
+
+/// Rewrites an arbitrary algebra tree into DNF, pushing complements to
+/// the leaves via De Morgan and distributing intersections over unions.
+util::Result<Dnf> ToDnf(const QueryNode& root);
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_AST_H_

@@ -1,0 +1,45 @@
+#include "query/image_base.h"
+
+namespace geosir::query {
+
+ImageBase::ImageBase(core::ShapeBaseOptions options)
+    : base_(std::move(options)) {}
+
+util::Result<core::ImageId> ImageBase::AddImage(
+    const std::vector<geom::Polyline>& boundaries, std::string name,
+    size_t* skipped) {
+  if (finalized()) {
+    return util::Status::FailedPrecondition("ImageBase is finalized");
+  }
+  ImageEntry entry;
+  entry.id = static_cast<core::ImageId>(images_.size());
+  entry.name = std::move(name);
+  size_t failures = 0;
+  for (const geom::Polyline& boundary : boundaries) {
+    auto id = base_.AddShape(boundary, entry.id);
+    if (!id.ok()) {
+      ++failures;
+      continue;
+    }
+    entry.shapes.push_back(*id);
+  }
+  if (skipped != nullptr) *skipped = failures;
+  images_.push_back(std::move(entry));
+  return images_.back().id;
+}
+
+util::Status ImageBase::Finalize() {
+  GEOSIR_RETURN_IF_ERROR(base_.Finalize());
+  graphs_.reserve(images_.size());
+  for (const ImageEntry& entry : images_) {
+    std::vector<const geom::Polyline*> boundaries;
+    boundaries.reserve(entry.shapes.size());
+    for (core::ShapeId id : entry.shapes) {
+      boundaries.push_back(&base_.shape(id).boundary);
+    }
+    graphs_.push_back(TopologyGraph::Build(entry.shapes, boundaries));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace geosir::query

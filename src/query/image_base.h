@@ -1,0 +1,55 @@
+#ifndef GEOSIR_QUERY_IMAGE_BASE_H_
+#define GEOSIR_QUERY_IMAGE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "query/topology.h"
+#include "util/status.h"
+
+namespace geosir::query {
+
+/// One image: the shapes extracted from it plus its topology graph.
+struct ImageEntry {
+  core::ImageId id = 0;
+  std::string name;
+  std::vector<core::ShapeId> shapes;
+};
+
+/// The image database of Section 5: a ShapeBase plus per-image topology
+/// graphs. Same build-then-query lifecycle as ShapeBase.
+class ImageBase {
+ public:
+  explicit ImageBase(core::ShapeBaseOptions options = {});
+
+  /// Adds an image with its object boundaries. Shapes that fail
+  /// validation are skipped (a count is reported via `skipped`, which may
+  /// be null); an image with no valid shapes is still recorded.
+  util::Result<core::ImageId> AddImage(
+      const std::vector<geom::Polyline>& boundaries, std::string name = "",
+      size_t* skipped = nullptr);
+
+  /// Finalizes the shape base and builds every image's topology graph.
+  util::Status Finalize();
+  bool finalized() const { return base_.finalized(); }
+
+  const core::ShapeBase& shape_base() const { return base_; }
+  size_t NumImages() const { return images_.size(); }
+  const ImageEntry& image(core::ImageId id) const { return images_[id]; }
+  const std::vector<ImageEntry>& images() const { return images_; }
+  const TopologyGraph& topology(core::ImageId id) const {
+    return graphs_[id];
+  }
+
+ private:
+  core::ShapeBase base_;
+  std::vector<ImageEntry> images_;
+  std::vector<TopologyGraph> graphs_;
+};
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_IMAGE_BASE_H_

@@ -1,0 +1,151 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace geosir::query {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text,
+         const std::map<std::string, geom::Polyline>& shapes)
+      : text_(text), shapes_(shapes) {}
+
+  util::Result<QueryPtr> Parse() {
+    GEOSIR_ASSIGN_OR_RETURN(QueryPtr root, ParseUnion());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters");
+    }
+    return root;
+  }
+
+ private:
+  util::Status Err(const std::string& what) const {
+    return util::Status::InvalidArgument("query parse error at position " +
+                                         std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadIdentifier() {
+    SkipSpace();
+    std::string id;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      id.push_back(text_[pos_++]);
+    }
+    return id;
+  }
+
+  util::Result<QueryPtr> ParseUnion() {
+    GEOSIR_ASSIGN_OR_RETURN(QueryPtr left, ParseIntersection());
+    while (Consume('|')) {
+      GEOSIR_ASSIGN_OR_RETURN(QueryPtr right, ParseIntersection());
+      left = Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  util::Result<QueryPtr> ParseIntersection() {
+    GEOSIR_ASSIGN_OR_RETURN(QueryPtr left, ParseFactor());
+    while (Consume('&')) {
+      GEOSIR_ASSIGN_OR_RETURN(QueryPtr right, ParseFactor());
+      left = Intersect(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  util::Result<QueryPtr> ParseFactor() {
+    if (Consume('~')) {
+      GEOSIR_ASSIGN_OR_RETURN(QueryPtr inner, ParseFactor());
+      return Complement(std::move(inner));
+    }
+    if (Consume('(')) {
+      GEOSIR_ASSIGN_OR_RETURN(QueryPtr inner, ParseUnion());
+      if (!Consume(')')) return Err("expected ')'");
+      return inner;
+    }
+    return ParseOperator();
+  }
+
+  util::Result<geom::Polyline> LookupShape() {
+    const std::string name = ReadIdentifier();
+    if (name.empty()) return Err("expected shape name");
+    const auto it = shapes_.find(name);
+    if (it == shapes_.end()) {
+      return util::Status::NotFound("unknown shape name: " + name);
+    }
+    return it->second;
+  }
+
+  util::Result<QueryPtr> ParseOperator() {
+    const std::string op = ReadIdentifier();
+    if (op.empty()) return Err("expected operator");
+    if (!Consume('(')) return Err("expected '(' after operator");
+    if (op == "similar") {
+      GEOSIR_ASSIGN_OR_RETURN(geom::Polyline q, LookupShape());
+      if (!Consume(')')) return Err("expected ')'");
+      return Similar(std::move(q));
+    }
+    Relation relation;
+    if (op == "contain") {
+      relation = Relation::kContain;
+    } else if (op == "overlap") {
+      relation = Relation::kOverlap;
+    } else if (op == "disjoint") {
+      relation = Relation::kDisjoint;
+    } else {
+      return Err("unknown operator: " + op);
+    }
+    GEOSIR_ASSIGN_OR_RETURN(geom::Polyline q1, LookupShape());
+    if (!Consume(',')) return Err("expected ','");
+    GEOSIR_ASSIGN_OR_RETURN(geom::Polyline q2, LookupShape());
+    std::optional<double> theta;
+    if (Consume(',')) {
+      SkipSpace();
+      if (text_.compare(pos_, 3, "any") == 0) {
+        pos_ += 3;
+      } else {
+        char* end = nullptr;
+        const double value = std::strtod(text_.c_str() + pos_, &end);
+        if (end == text_.c_str() + pos_) return Err("expected angle or 'any'");
+        pos_ = static_cast<size_t>(end - text_.c_str());
+        theta = value;
+      }
+    }
+    if (!Consume(')')) return Err("expected ')'");
+    return Topological(relation, std::move(q1), std::move(q2), theta);
+  }
+
+  const std::string& text_;
+  const std::map<std::string, geom::Polyline>& shapes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<QueryPtr> ParseQuery(
+    const std::string& text,
+    const std::map<std::string, geom::Polyline>& shapes) {
+  return Parser(text, shapes).Parse();
+}
+
+}  // namespace geosir::query

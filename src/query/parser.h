@@ -1,0 +1,29 @@
+#ifndef GEOSIR_QUERY_PARSER_H_
+#define GEOSIR_QUERY_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "query/ast.h"
+
+namespace geosir::query {
+
+/// Parses the small textual query language used by the examples and the
+/// GeoSIR-style CLI:
+///
+///   query    := term ('|' term)*
+///   term     := factor ('&' factor)*
+///   factor   := '~' factor | '(' query ')' | operator
+///   operator := 'similar' '(' name ')'
+///             | ('contain' | 'overlap' | 'disjoint')
+///                 '(' name ',' name (',' (number | 'any'))? ')'
+///
+/// `~` is COMPLEMENT, `&` intersection, `|` union; angles are radians.
+/// Shape names are resolved through `shapes`; unknown names fail.
+util::Result<QueryPtr> ParseQuery(
+    const std::string& text,
+    const std::map<std::string, geom::Polyline>& shapes);
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_PARSER_H_

@@ -1,0 +1,104 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "query/selectivity.h"
+
+namespace geosir::query {
+
+namespace {
+
+/// Estimated result size of a leaf operator. Complemented factors are
+/// assigned the complement's size, which pushes them to the end of the
+/// evaluation order.
+double EstimateFactor(const DnfFactor& factor, QueryContext* context) {
+  const QueryNode& op = *factor.op;
+  double estimate;
+  if (op.kind == NodeKind::kSimilar) {
+    estimate = context->selectivity()->Estimate(SignificantVertices(op.q1));
+  } else {
+    // min of the two sides (Section 5.4).
+    estimate = std::min(
+        context->selectivity()->Estimate(SignificantVertices(op.q1)),
+        context->selectivity()->Estimate(SignificantVertices(op.q2)));
+  }
+  if (factor.complemented) {
+    const double total =
+        static_cast<double>(context->image_base().NumImages());
+    estimate = std::max(0.0, total - estimate);
+  }
+  return estimate;
+}
+
+util::Result<ImageSet> EvaluateFactorSet(const DnfFactor& factor,
+                                         QueryContext* context) {
+  const QueryNode& op = *factor.op;
+  ImageSet set;
+  if (op.kind == NodeKind::kSimilar) {
+    GEOSIR_ASSIGN_OR_RETURN(set, context->EvalSimilar(op.q1));
+  } else {
+    GEOSIR_ASSIGN_OR_RETURN(
+        set, context->EvalTopological(op.relation, op.q1, op.q2, op.theta));
+  }
+  if (factor.complemented) {
+    return SetDifference(context->AllImages(), set);
+  }
+  return set;
+}
+
+}  // namespace
+
+util::Result<ImageSet> ExecuteQuery(const QueryNode& root,
+                                    QueryContext* context,
+                                    const PlanOptions& options,
+                                    PlanExplanation* explanation) {
+  GEOSIR_ASSIGN_OR_RETURN(Dnf dnf, ToDnf(root));
+
+  std::ostringstream plan_text;
+  size_t num_factors = 0;
+
+  ImageSet result;
+  for (size_t t = 0; t < dnf.terms.size(); ++t) {
+    DnfTerm& term = dnf.terms[t];
+    num_factors += term.factors.size();
+    if (options.order_by_selectivity) {
+      std::stable_sort(term.factors.begin(), term.factors.end(),
+                       [context](const DnfFactor& a, const DnfFactor& b) {
+                         return EstimateFactor(a, context) <
+                                EstimateFactor(b, context);
+                       });
+    }
+    if (explanation != nullptr) {
+      plan_text << "term " << t << ":";
+      for (const DnfFactor& f : term.factors) {
+        plan_text << " " << (f.complemented ? "~" : "") << ToString(*f.op);
+      }
+      plan_text << "\n";
+    }
+
+    ImageSet term_result;
+    bool first = true;
+    for (const DnfFactor& factor : term.factors) {
+      GEOSIR_ASSIGN_OR_RETURN(ImageSet factor_set,
+                              EvaluateFactorSet(factor, context));
+      if (first) {
+        term_result = std::move(factor_set);
+        first = false;
+      } else {
+        term_result = SetIntersection(term_result, factor_set);
+      }
+      if (term_result.empty()) break;  // Short-circuit.
+    }
+    result = SetUnion(result, term_result);
+  }
+
+  if (explanation != nullptr) {
+    explanation->text = plan_text.str();
+    explanation->num_terms = dnf.terms.size();
+    explanation->num_factors = num_factors;
+  }
+  return result;
+}
+
+}  // namespace geosir::query

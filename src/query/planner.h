@@ -1,0 +1,36 @@
+#ifndef GEOSIR_QUERY_PLANNER_H_
+#define GEOSIR_QUERY_PLANNER_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "query/operators.h"
+
+namespace geosir::query {
+
+struct PlanOptions {
+  /// Evaluate the factors of each intersection term cheapest-first
+  /// (selectivity order, Section 5.4); false keeps the written order —
+  /// the benchmark compares the two.
+  bool order_by_selectivity = true;
+};
+
+/// A rendered execution plan (for logs and the query-plan benchmark).
+struct PlanExplanation {
+  std::string text;
+  size_t num_terms = 0;
+  size_t num_factors = 0;
+};
+
+/// Executes a topological query (Section 5.4): rewrites it into DNF,
+/// orders each term's factors by estimated selectivity (complemented
+/// factors last — they only subtract), evaluates them with short-circuit
+/// on empty intermediate results, and unions the terms.
+util::Result<ImageSet> ExecuteQuery(const QueryNode& root,
+                                    QueryContext* context,
+                                    const PlanOptions& options = {},
+                                    PlanExplanation* explanation = nullptr);
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_PLANNER_H_

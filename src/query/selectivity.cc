@@ -1,0 +1,56 @@
+#include "query/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/normalize.h"
+
+namespace geosir::query {
+
+double SignificantVertices(const geom::Polyline& query) {
+  auto normalized = core::NormalizeQuery(query);
+  if (!normalized.ok()) return 0.0;
+  const geom::Polyline& q = normalized->shape;
+  const size_t n = q.size();
+  if (n < 2) return 0.0;
+
+  constexpr double kPi = 3.14159265358979323846;
+  const auto edge_length = [&q, n](size_t i) {
+    // Length of edge i (from vertex i to i+1); 0 when the edge does not
+    // exist (open polyline boundary).
+    if (!q.closed() && i + 1 >= n) return 0.0;
+    return geom::Distance(q.vertex(i % n), q.vertex((i + 1) % n));
+  };
+  const auto vertex_angle = [&q, n, kPi](size_t i) {
+    // Angle between the two edges meeting at vertex i, in [0, pi].
+    // Missing neighbors (open endpoints) degrade to pi (no turn signal).
+    if (!q.closed() && (i == 0 || i + 1 >= n)) return kPi;
+    const geom::Point prev = q.vertex((i + n - 1) % n) - q.vertex(i);
+    const geom::Point next = q.vertex((i + 1) % n) - q.vertex(i);
+    const double np = prev.Norm();
+    const double nn = next.Norm();
+    if (np <= 0.0 || nn <= 0.0) return kPi;
+    const double c = std::clamp(prev.Dot(next) / (np * nn), -1.0, 1.0);
+    return std::acos(c);
+  };
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = vertex_angle(i);
+    const double l_prev = edge_length((i + n - 1) % n);
+    const double l_here = edge_length(i);
+    total += 0.5 * ((kPi - a) * a * 4.0 / (kPi * kPi) +
+                    (l_prev + l_here) / 2.0);
+  }
+  return total;
+}
+
+void SelectivityModel::Observe(double vs, size_t result_size) {
+  if (vs <= 0.0) return;
+  const double sample = static_cast<double>(result_size) * vs;
+  ++observations_;
+  // Running mean keeps the constant stable while staying adaptive.
+  c_ += (sample - c_) / static_cast<double>(observations_);
+}
+
+}  // namespace geosir::query

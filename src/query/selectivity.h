@@ -1,0 +1,50 @@
+#ifndef GEOSIR_QUERY_SELECTIVITY_H_
+#define GEOSIR_QUERY_SELECTIVITY_H_
+
+#include "geom/polyline.h"
+
+namespace geosir::query {
+
+/// The number of "significant" vertices of a query shape (Section 5.2):
+///
+///   V_S(Q) = 1/2 * sum_i [ (pi - a_i) a_i 4/pi^2
+///                          + (l_{(i-1) mod V} + l_i) / 2 ]
+///
+/// where a_i in [0, pi] is the angle at vertex i and l_i the length of
+/// the i-th edge of the shape *normalized about its diameter* (so edge
+/// lengths are in diameter units). Each vertex contributes a term in
+/// [0, 1]: 1 is attained at a right angle with diameter-length edges;
+/// degenerate vertices (angle 0 or pi, or vanishing edges) contribute
+/// little. Open polylines treat the missing edge at each endpoint as
+/// length 0 and the endpoint angle as pi (degenerate).
+///
+/// The shape is normalized internally; callers pass original coordinates.
+double SignificantVertices(const geom::Polyline& query);
+
+/// The hyperbolic selectivity law of Section 5.2:
+///   |shape_similar(Q)| ~= c / V_S(Q),
+/// with c adapted statistically every time a query executes.
+class SelectivityModel {
+ public:
+  /// `initial_c` seeds the constant before any observation.
+  explicit SelectivityModel(double initial_c = 1.0)
+      : c_(initial_c) {}
+
+  /// Estimated result size for a query with significant-vertex count vs.
+  double Estimate(double vs) const { return c_ / std::max(vs, 1e-9); }
+
+  /// Records an executed query: its vs and the actual result size. The
+  /// constant is updated as a running mean of result_size * vs.
+  void Observe(double vs, size_t result_size);
+
+  double c() const { return c_; }
+  size_t observations() const { return observations_; }
+
+ private:
+  double c_;
+  size_t observations_ = 0;
+};
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_SELECTIVITY_H_

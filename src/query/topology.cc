@@ -1,0 +1,139 @@
+#include "query/topology.h"
+
+#include <cmath>
+
+#include "geom/diameter.h"
+#include "geom/predicates.h"
+
+namespace geosir::query {
+
+using geom::Polyline;
+
+const char* RelationName(Relation r) {
+  switch (r) {
+    case Relation::kContain:
+      return "contain";
+    case Relation::kOverlap:
+      return "overlap";
+    case Relation::kDisjoint:
+      return "disjoint";
+  }
+  return "unknown";
+}
+
+geom::Point DiameterDirection(const Polyline& boundary) {
+  const geom::VertexPair d = geom::Diameter(boundary.vertices());
+  return (boundary.vertex(d.j) - boundary.vertex(d.i)).Normalized();
+}
+
+double DiameterAngle(const Polyline& a, const Polyline& b) {
+  const geom::Point da = DiameterDirection(a);
+  const geom::Point db = DiameterDirection(b);
+  return std::atan2(da.Cross(db), da.Dot(db));
+}
+
+namespace {
+
+bool BoundariesIntersect(const Polyline& a, const Polyline& b) {
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  for (size_t i = 0; i < a.NumEdges(); ++i) {
+    for (size_t j = 0; j < b.NumEdges(); ++j) {
+      if (geom::SegmentsIntersect(a.Edge(i), b.Edge(j))) return true;
+    }
+  }
+  return false;
+}
+
+/// Contains for possibly-open inner shapes: every vertex of `inner`
+/// inside the closed polygon `outer` and no proper boundary crossing.
+bool Contains(const Polyline& outer, const Polyline& inner) {
+  if (!outer.closed() || outer.size() < 3 || inner.empty()) return false;
+  for (geom::Point p : inner.vertices()) {
+    if (!geom::PolygonContainsPoint(outer, p)) return false;
+  }
+  for (size_t i = 0; i < outer.NumEdges(); ++i) {
+    for (size_t j = 0; j < inner.NumEdges(); ++j) {
+      if (geom::SegmentsCrossProperly(outer.Edge(i), inner.Edge(j))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TestRelation(Relation r, const Polyline& a, const Polyline& b) {
+  switch (r) {
+    case Relation::kContain:
+      return Contains(a, b);
+    case Relation::kOverlap: {
+      if (Contains(a, b) || Contains(b, a)) return false;
+      return BoundariesIntersect(a, b) ||
+             (a.closed() && !b.empty() &&
+              geom::PolygonContainsPoint(a, b.vertex(0))) ||
+             (b.closed() && !a.empty() &&
+              geom::PolygonContainsPoint(b, a.vertex(0)));
+    }
+    case Relation::kDisjoint: {
+      if (BoundariesIntersect(a, b)) return false;
+      if (a.closed() && !b.empty() &&
+          geom::PolygonContainsPoint(a, b.vertex(0))) {
+        return false;
+      }
+      if (b.closed() && !a.empty() &&
+          geom::PolygonContainsPoint(b, a.vertex(0))) {
+        return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+TopologyGraph TopologyGraph::Build(
+    const std::vector<core::ShapeId>& ids,
+    const std::vector<const Polyline*>& boundaries) {
+  TopologyGraph graph;
+  const size_t n = ids.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const Polyline& a = *boundaries[i];
+      const Polyline& b = *boundaries[j];
+      const double angle_ab = DiameterAngle(a, b);
+      const double angle_ba = DiameterAngle(b, a);
+      if (TestRelation(Relation::kContain, a, b)) {
+        graph.edges_.push_back(
+            TopologyEdge{ids[i], ids[j], Relation::kContain, angle_ab});
+      } else if (TestRelation(Relation::kContain, b, a)) {
+        graph.edges_.push_back(
+            TopologyEdge{ids[j], ids[i], Relation::kContain, angle_ba});
+      } else if (TestRelation(Relation::kOverlap, a, b)) {
+        graph.edges_.push_back(
+            TopologyEdge{ids[i], ids[j], Relation::kOverlap, angle_ab});
+        graph.edges_.push_back(
+            TopologyEdge{ids[j], ids[i], Relation::kOverlap, angle_ba});
+      }
+      // Disjoint pairs: no edge.
+    }
+  }
+  return graph;
+}
+
+std::vector<TopologyEdge> TopologyGraph::EdgesFrom(core::ShapeId from) const {
+  std::vector<TopologyEdge> out;
+  for (const TopologyEdge& e : edges_) {
+    if (e.from == from) out.push_back(e);
+  }
+  return out;
+}
+
+Relation TopologyGraph::RelationBetween(core::ShapeId from,
+                                        core::ShapeId to) const {
+  for (const TopologyEdge& e : edges_) {
+    if (e.from == from && e.to == to) return e.label;
+  }
+  return Relation::kDisjoint;
+}
+
+}  // namespace geosir::query

@@ -1,0 +1,70 @@
+#ifndef GEOSIR_QUERY_TOPOLOGY_H_
+#define GEOSIR_QUERY_TOPOLOGY_H_
+
+#include <vector>
+
+#include "core/shape.h"
+
+namespace geosir::query {
+
+/// Pairwise shape relations of Section 5. Disjoint pairs carry no edge in
+/// the per-image graph; `kDisjoint` exists for operator specs.
+enum class Relation {
+  kContain,
+  kOverlap,
+  kDisjoint,
+};
+
+const char* RelationName(Relation r);
+
+/// A labeled edge of the per-image graph G_I: `from` relates to `to`
+/// under `label`, and `angle` is the signed angle (radians, in (-pi, pi])
+/// between the two shapes' diameters — the theta of the topological
+/// predicates g_r(S1, S2, theta).
+struct TopologyEdge {
+  core::ShapeId from = 0;
+  core::ShapeId to = 0;
+  Relation label = Relation::kOverlap;
+  double angle = 0.0;
+};
+
+/// The directed graph G_I = (V_I, E_I) of one image: contain edges point
+/// from container to contained; overlap edges are stored in both
+/// directions (the relation is symmetric).
+class TopologyGraph {
+ public:
+  /// Builds the graph for the given shapes (all from the same image).
+  /// `boundaries[i]` is the original-coordinate geometry of `ids[i]`.
+  static TopologyGraph Build(const std::vector<core::ShapeId>& ids,
+                             const std::vector<const geom::Polyline*>&
+                                 boundaries);
+
+  const std::vector<TopologyEdge>& edges() const { return edges_; }
+  /// Edges leaving `from`.
+  std::vector<TopologyEdge> EdgesFrom(core::ShapeId from) const;
+  /// The relation between an ordered pair (computed edges only; returns
+  /// kDisjoint when no edge connects them).
+  Relation RelationBetween(core::ShapeId from, core::ShapeId to) const;
+
+ private:
+  std::vector<TopologyEdge> edges_;
+};
+
+/// Direction of a shape's diameter in original coordinates (unit vector
+/// from the first diameter endpoint to the second). This equals applying
+/// the inverse normalization transform to the vector ((0,0),(1,0)) as
+/// Section 5.3 prescribes.
+geom::Point DiameterDirection(const geom::Polyline& boundary);
+
+/// Signed angle in (-pi, pi] between the diameters of two shapes.
+double DiameterAngle(const geom::Polyline& a, const geom::Polyline& b);
+
+/// Whether two shapes (closed or open) satisfy `r`; `kContain` means `a`
+/// contains `b`. Open polylines can overlap (boundary intersection) and
+/// be contained in closed polygons, but cannot contain anything.
+bool TestRelation(Relation r, const geom::Polyline& a,
+                  const geom::Polyline& b);
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_TOPOLOGY_H_

@@ -1,0 +1,53 @@
+#include "rangesearch/brute_force_index.h"
+
+namespace geosir::rangesearch {
+
+void BruteForceIndex::Build(std::vector<IndexedPoint> points) {
+  points_ = std::move(points);
+}
+
+size_t BruteForceIndex::CountInTriangle(const geom::Triangle& t) const {
+  size_t count = 0;
+  const geom::BoundingBox box = t.Bounds();
+  for (const IndexedPoint& ip : points_) {
+    ++stats_.points_tested;
+    if (box.Contains(ip.p) && t.Contains(ip.p)) ++count;
+  }
+  stats_.points_reported += count;
+  return count;
+}
+
+void BruteForceIndex::ReportInTriangle(const geom::Triangle& t,
+                                       const Visitor& visit) const {
+  const geom::BoundingBox box = t.Bounds();
+  for (const IndexedPoint& ip : points_) {
+    ++stats_.points_tested;
+    if (box.Contains(ip.p) && t.Contains(ip.p)) {
+      ++stats_.points_reported;
+      visit(ip);
+    }
+  }
+}
+
+size_t BruteForceIndex::CountInRect(const geom::BoundingBox& box) const {
+  size_t count = 0;
+  for (const IndexedPoint& ip : points_) {
+    ++stats_.points_tested;
+    if (box.Contains(ip.p)) ++count;
+  }
+  stats_.points_reported += count;
+  return count;
+}
+
+void BruteForceIndex::ReportInRect(const geom::BoundingBox& box,
+                                   const Visitor& visit) const {
+  for (const IndexedPoint& ip : points_) {
+    ++stats_.points_tested;
+    if (box.Contains(ip.p)) {
+      ++stats_.points_reported;
+      visit(ip);
+    }
+  }
+}
+
+}  // namespace geosir::rangesearch

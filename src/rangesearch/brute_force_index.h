@@ -1,0 +1,32 @@
+#ifndef GEOSIR_RANGESEARCH_BRUTE_FORCE_INDEX_H_
+#define GEOSIR_RANGESEARCH_BRUTE_FORCE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "rangesearch/simplex_index.h"
+
+namespace geosir::rangesearch {
+
+/// Linear-scan reference implementation. O(n) per query; used as the
+/// correctness oracle for the real structures and as the baseline in the
+/// backend ablation benchmark.
+class BruteForceIndex : public SimplexIndex {
+ public:
+  void Build(std::vector<IndexedPoint> points) override;
+  size_t CountInTriangle(const geom::Triangle& t) const override;
+  void ReportInTriangle(const geom::Triangle& t,
+                        const Visitor& visit) const override;
+  size_t CountInRect(const geom::BoundingBox& box) const override;
+  void ReportInRect(const geom::BoundingBox& box,
+                    const Visitor& visit) const override;
+  std::string name() const override { return "brute-force"; }
+  size_t size() const override { return points_.size(); }
+
+ private:
+  std::vector<IndexedPoint> points_;
+};
+
+}  // namespace geosir::rangesearch
+
+#endif  // GEOSIR_RANGESEARCH_BRUTE_FORCE_INDEX_H_

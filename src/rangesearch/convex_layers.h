@@ -1,0 +1,74 @@
+#ifndef GEOSIR_RANGESEARCH_CONVEX_LAYERS_H_
+#define GEOSIR_RANGESEARCH_CONVEX_LAYERS_H_
+
+#include <vector>
+
+#include "rangesearch/simplex_index.h"
+
+namespace geosir::rangesearch {
+
+/// The half-plane { p : normal . p <= offset }.
+struct HalfPlane {
+  geom::Point normal;
+  double offset = 0.0;
+
+  bool Contains(geom::Point p) const { return normal.Dot(p) <= offset; }
+};
+
+/// Output-sensitive half-plane range reporting over convex layers
+/// (Chazelle-style onion peeling). Key property: if a half-plane contains
+/// any point of layer i+1, it contains a vertex of layer i — so the query
+/// walks inward and stops at the first layer it misses entirely.
+///
+/// Per layer, the extreme vertex in the query direction is found in
+/// O(log h) by binary searching the layer's sorted outward edge-normal
+/// angles; the hits are then enumerated by walking both ways from the
+/// extreme vertex, O(1 + k_layer). Total O((1 + L) log n + k) where L is
+/// the number of layers intersected.
+///
+/// This doubles as a full SimplexIndex backend: a query triangle is the
+/// intersection of three half-planes, so the index enumerates the
+/// half-plane of one triangle edge and filters by the other two (same
+/// for boxes, via the x <= max_x half-plane). Build is O(n * layers) —
+/// fine for moderate bases, quadratic-ish for huge uniform ones — which
+/// is exactly the trade-off the backend ablation shows.
+class ConvexLayersIndex : public SimplexIndex {
+ public:
+  void Build(std::vector<IndexedPoint> points) override;
+  size_t CountInTriangle(const geom::Triangle& t) const override;
+  void ReportInTriangle(const geom::Triangle& t,
+                        const Visitor& visit) const override;
+  size_t CountInRect(const geom::BoundingBox& box) const override;
+  void ReportInRect(const geom::BoundingBox& box,
+                    const Visitor& visit) const override;
+  std::string name() const override { return "convex-layers"; }
+  size_t size() const override { return total_points_; }
+
+  /// Reports every indexed point inside the half-plane.
+  void ReportInHalfPlane(const HalfPlane& hp,
+                         const SimplexIndex::Visitor& visit) const;
+
+  /// Counts points inside the half-plane (reporting walk without output).
+  size_t CountInHalfPlane(const HalfPlane& hp) const;
+
+  size_t NumLayers() const { return layers_.size(); }
+
+ private:
+  struct Layer {
+    std::vector<IndexedPoint> hull;   // CCW order.
+    std::vector<double> edge_angles;  // Outward normal angle of edge i
+                                      // (hull[i] -> hull[i+1]), rotated to
+                                      // ascending order.
+    size_t angle_rotation = 0;        // hull edge index of edge_angles[0].
+  };
+
+  /// Index of the hull vertex minimizing hp.normal . p.
+  size_t ExtremeVertex(const Layer& layer, geom::Point direction) const;
+
+  std::vector<Layer> layers_;
+  size_t total_points_ = 0;
+};
+
+}  // namespace geosir::rangesearch
+
+#endif  // GEOSIR_RANGESEARCH_CONVEX_LAYERS_H_

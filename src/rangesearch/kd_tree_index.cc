@@ -1,0 +1,133 @@
+#include "rangesearch/kd_tree_index.h"
+
+#include <algorithm>
+
+#include "rangesearch/tri_box.h"
+
+namespace geosir::rangesearch {
+
+using geom::BoundingBox;
+using geom::Point;
+using geom::Triangle;
+
+void KdTreeIndex::Build(std::vector<IndexedPoint> points) {
+  points_ = std::move(points);
+  nodes_.clear();
+  nodes_.reserve(points_.empty() ? 1 : 2 * points_.size() / leaf_size_ + 2);
+  root_ = points_.empty()
+              ? -1
+              : BuildNode(0, static_cast<uint32_t>(points_.size()), 0);
+}
+
+int32_t KdTreeIndex::BuildNode(uint32_t begin, uint32_t end, int depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  for (uint32_t i = begin; i < end; ++i) node.bounds.Extend(points_[i].p);
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin > leaf_size_) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    const bool split_x = depth % 2 == 0;
+    std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                     points_.begin() + end,
+                     [split_x](const IndexedPoint& a, const IndexedPoint& b) {
+                       return split_x ? a.p.x < b.p.x : a.p.y < b.p.y;
+                     });
+    const int32_t left = BuildNode(begin, mid, depth + 1);
+    const int32_t right = BuildNode(mid, end, depth + 1);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+  }
+  return id;
+}
+
+void KdTreeIndex::ReportSubtree(int32_t node, const Visitor& visit) const {
+  const Node& n = nodes_[node];
+  for (uint32_t i = n.begin; i < n.end; ++i) {
+    ++stats_.points_reported;
+    visit(points_[i]);
+  }
+}
+
+template <typename Shape, typename Intersects, typename ContainsBox,
+          typename ContainsPoint>
+void KdTreeIndex::Query(int32_t node, const Shape& shape,
+                        const Intersects& intersects,
+                        const ContainsBox& contains_box,
+                        const ContainsPoint& contains_point,
+                        const Visitor* visit, size_t* count) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  ++stats_.nodes_visited;
+  if (!intersects(shape, n.bounds)) return;
+  if (contains_box(shape, n.bounds)) {
+    if (count != nullptr) {
+      *count += n.end - n.begin;
+      stats_.points_reported += n.end - n.begin;
+    } else {
+      ReportSubtree(node, *visit);
+    }
+    return;
+  }
+  if (n.left < 0) {  // Leaf: test points individually.
+    for (uint32_t i = n.begin; i < n.end; ++i) {
+      ++stats_.points_tested;
+      if (contains_point(shape, points_[i].p)) {
+        ++stats_.points_reported;
+        if (count != nullptr) {
+          ++(*count);
+        } else {
+          (*visit)(points_[i]);
+        }
+      }
+    }
+    return;
+  }
+  Query(n.left, shape, intersects, contains_box, contains_point, visit, count);
+  Query(n.right, shape, intersects, contains_box, contains_point, visit,
+        count);
+}
+
+namespace {
+
+bool BoxIntersectsBox(const BoundingBox& q, const BoundingBox& b) {
+  return q.Intersects(b);
+}
+bool BoxContainsBox(const BoundingBox& q, const BoundingBox& b) {
+  return !b.empty() && b.min_x >= q.min_x && b.max_x <= q.max_x &&
+         b.min_y >= q.min_y && b.max_y <= q.max_y;
+}
+bool BoxContainsPoint(const BoundingBox& q, Point p) { return q.Contains(p); }
+
+bool TriContainsPoint(const Triangle& t, Point p) { return t.Contains(p); }
+
+}  // namespace
+
+size_t KdTreeIndex::CountInTriangle(const Triangle& t) const {
+  size_t count = 0;
+  Query(root_, t, TriangleIntersectsBox, TriangleContainsBox, TriContainsPoint,
+        nullptr, &count);
+  return count;
+}
+
+void KdTreeIndex::ReportInTriangle(const Triangle& t,
+                                   const Visitor& visit) const {
+  Query(root_, t, TriangleIntersectsBox, TriangleContainsBox, TriContainsPoint,
+        &visit, nullptr);
+}
+
+size_t KdTreeIndex::CountInRect(const BoundingBox& box) const {
+  size_t count = 0;
+  Query(root_, box, BoxIntersectsBox, BoxContainsBox, BoxContainsPoint,
+        nullptr, &count);
+  return count;
+}
+
+void KdTreeIndex::ReportInRect(const BoundingBox& box,
+                               const Visitor& visit) const {
+  Query(root_, box, BoxIntersectsBox, BoxContainsBox, BoxContainsPoint, &visit,
+        nullptr);
+}
+
+}  // namespace geosir::rangesearch

@@ -1,0 +1,58 @@
+#ifndef GEOSIR_RANGESEARCH_KD_TREE_INDEX_H_
+#define GEOSIR_RANGESEARCH_KD_TREE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "rangesearch/simplex_index.h"
+
+namespace geosir::rangesearch {
+
+/// Static 2D kd-tree over the indexed points. Nodes carry their subtree's
+/// bounding box and size so that fully covered subtrees are counted in
+/// O(1) and reported in O(size). Triangle queries prune with an exact
+/// triangle/box separating-axis test. Worst-case O(sqrt n + k) per
+/// rectangle query; the classic practical middle ground between the grid
+/// and the range tree.
+class KdTreeIndex : public SimplexIndex {
+ public:
+  explicit KdTreeIndex(size_t leaf_size = 8) : leaf_size_(leaf_size) {}
+
+  void Build(std::vector<IndexedPoint> points) override;
+  size_t CountInTriangle(const geom::Triangle& t) const override;
+  void ReportInTriangle(const geom::Triangle& t,
+                        const Visitor& visit) const override;
+  size_t CountInRect(const geom::BoundingBox& box) const override;
+  void ReportInRect(const geom::BoundingBox& box,
+                    const Visitor& visit) const override;
+  std::string name() const override { return "kd-tree"; }
+  size_t size() const override { return points_.size(); }
+
+ private:
+  struct Node {
+    geom::BoundingBox bounds;
+    uint32_t begin = 0;  // Point slice [begin, end) in points_.
+    uint32_t end = 0;
+    int32_t left = -1;   // Child node indices; -1 for leaves.
+    int32_t right = -1;
+  };
+
+  int32_t BuildNode(uint32_t begin, uint32_t end, int depth);
+  void ReportSubtree(int32_t node, const Visitor& visit) const;
+
+  template <typename Shape, typename Intersects, typename ContainsBox,
+            typename ContainsPoint>
+  void Query(int32_t node, const Shape& shape, const Intersects& intersects,
+             const ContainsBox& contains_box,
+             const ContainsPoint& contains_point, const Visitor* visit,
+             size_t* count) const;
+
+  size_t leaf_size_;
+  std::vector<IndexedPoint> points_;  // Reordered during build.
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace geosir::rangesearch
+
+#endif  // GEOSIR_RANGESEARCH_KD_TREE_INDEX_H_

@@ -1,0 +1,75 @@
+#ifndef GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_
+#define GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace geosir::rangesearch {
+
+/// A point tagged with the caller's identifier (in the shape base this is
+/// the index of the vertex in the global vertex pool).
+struct IndexedPoint {
+  geom::Point p;
+  uint32_t id = 0;
+};
+
+/// Counters describing the work an index did; used by the ablation
+/// benchmarks to compare backends beyond wall-clock time.
+struct QueryStats {
+  uint64_t nodes_visited = 0;
+  uint64_t points_tested = 0;
+  uint64_t points_reported = 0;
+
+  void Reset() { *this = QueryStats{}; }
+};
+
+/// Interface for the simplex (triangle) range-searching structures of
+/// Section 2.5: preprocess a static point set so that the vertices falling
+/// inside a query triangle can be counted and reported quickly. The
+/// envelope matcher decomposes every envelope-difference ring into O(m)
+/// triangles and drives them through this interface.
+class SimplexIndex {
+ public:
+  using Visitor = std::function<void(const IndexedPoint&)>;
+
+  virtual ~SimplexIndex() = default;
+
+  /// Builds the structure over `points`. May be called once per instance.
+  virtual void Build(std::vector<IndexedPoint> points) = 0;
+
+  /// Number of indexed points inside the (closed) triangle.
+  virtual size_t CountInTriangle(const geom::Triangle& t) const = 0;
+
+  /// Invokes `visit` for every indexed point inside the (closed) triangle.
+  virtual void ReportInTriangle(const geom::Triangle& t,
+                                const Visitor& visit) const = 0;
+
+  /// Number of indexed points inside the (closed) axis-aligned box.
+  virtual size_t CountInRect(const geom::BoundingBox& box) const = 0;
+
+  /// Invokes `visit` for every indexed point inside the (closed) box.
+  virtual void ReportInRect(const geom::BoundingBox& box,
+                            const Visitor& visit) const = 0;
+
+  /// Backend name for logs and benchmark labels.
+  virtual std::string name() const = 0;
+
+  /// Number of indexed points.
+  virtual size_t size() const = 0;
+
+  /// Work counters accumulated since the last Reset; maintained on a
+  /// best-effort basis by each backend.
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  mutable QueryStats stats_;
+};
+
+}  // namespace geosir::rangesearch
+
+#endif  // GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_

@@ -1,0 +1,62 @@
+#include "rangesearch/tri_box.h"
+
+#include <algorithm>
+
+namespace geosir::rangesearch {
+
+using geom::BoundingBox;
+using geom::Point;
+using geom::Triangle;
+
+bool TriangleContainsBox(const Triangle& t, const BoundingBox& box) {
+  if (box.empty()) return false;
+  return t.Contains(Point{box.min_x, box.min_y}) &&
+         t.Contains(Point{box.max_x, box.min_y}) &&
+         t.Contains(Point{box.max_x, box.max_y}) &&
+         t.Contains(Point{box.min_x, box.max_y});
+}
+
+namespace {
+
+void ProjectTriangle(const Triangle& t, Point axis, double* lo, double* hi) {
+  const double pa = t.a.Dot(axis);
+  const double pb = t.b.Dot(axis);
+  const double pc = t.c.Dot(axis);
+  *lo = std::min({pa, pb, pc});
+  *hi = std::max({pa, pb, pc});
+}
+
+void ProjectBox(const BoundingBox& box, Point axis, double* lo, double* hi) {
+  const Point corners[4] = {{box.min_x, box.min_y},
+                            {box.max_x, box.min_y},
+                            {box.max_x, box.max_y},
+                            {box.min_x, box.max_y}};
+  *lo = *hi = corners[0].Dot(axis);
+  for (int i = 1; i < 4; ++i) {
+    const double v = corners[i].Dot(axis);
+    *lo = std::min(*lo, v);
+    *hi = std::max(*hi, v);
+  }
+}
+
+}  // namespace
+
+bool TriangleIntersectsBox(const Triangle& t, const BoundingBox& box) {
+  if (box.empty()) return false;
+  // Box axes.
+  const BoundingBox tb = t.Bounds();
+  if (!tb.Intersects(box)) return false;
+  // Triangle edge normals.
+  const Point edges[3] = {t.b - t.a, t.c - t.b, t.a - t.c};
+  for (const Point& e : edges) {
+    const Point axis = e.Perp();
+    if (axis.SquaredNorm() == 0.0) continue;
+    double tlo, thi, blo, bhi;
+    ProjectTriangle(t, axis, &tlo, &thi);
+    ProjectBox(box, axis, &blo, &bhi);
+    if (thi < blo || bhi < tlo) return false;
+  }
+  return true;
+}
+
+}  // namespace geosir::rangesearch

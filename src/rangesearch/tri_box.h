@@ -1,0 +1,19 @@
+#ifndef GEOSIR_RANGESEARCH_TRI_BOX_H_
+#define GEOSIR_RANGESEARCH_TRI_BOX_H_
+
+#include "geom/point.h"
+
+namespace geosir::rangesearch {
+
+/// True if the triangle contains all four corners of the box (so every
+/// point of the box is inside the triangle).
+bool TriangleContainsBox(const geom::Triangle& t, const geom::BoundingBox& box);
+
+/// True if the triangle and the box share at least one point. Exact
+/// separating-axis test over the box axes and the three edge normals.
+bool TriangleIntersectsBox(const geom::Triangle& t,
+                           const geom::BoundingBox& box);
+
+}  // namespace geosir::rangesearch
+
+#endif  // GEOSIR_RANGESEARCH_TRI_BOX_H_

@@ -1,0 +1,136 @@
+#include "storage/base_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace geosir::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52495347;  // "GSIR".
+constexpr uint32_t kVersion = 1;
+
+class FileWriter {
+ public:
+  explicit FileWriter(std::FILE* file) : file_(file) {}
+  template <typename T>
+  bool Write(T value) {
+    return std::fwrite(&value, sizeof(T), 1, file_) == 1;
+  }
+  bool WriteBytes(const void* data, size_t size) {
+    return size == 0 || std::fwrite(data, 1, size, file_) == size;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+class FileReader {
+ public:
+  explicit FileReader(std::FILE* file) : file_(file) {}
+  template <typename T>
+  bool Read(T* value) {
+    return std::fread(value, sizeof(T), 1, file_) == 1;
+  }
+  bool ReadBytes(void* data, size_t size) {
+    return size == 0 || std::fread(data, 1, size, file_) == size;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+util::Status SaveShapeBase(const core::ShapeBase& base,
+                           const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  FileWriter writer(file);
+  bool ok = writer.Write<uint32_t>(kMagic) && writer.Write<uint32_t>(kVersion) &&
+            writer.Write<uint64_t>(base.NumShapes());
+  for (const core::Shape& shape : base.shapes()) {
+    if (!ok) break;
+    ok = writer.Write<uint32_t>(shape.image) &&
+         writer.Write<uint16_t>(
+             static_cast<uint16_t>(shape.label.size())) &&
+         writer.WriteBytes(shape.label.data(), shape.label.size()) &&
+         writer.Write<uint8_t>(shape.boundary.closed() ? 1 : 0) &&
+         writer.Write<uint32_t>(
+             static_cast<uint32_t>(shape.boundary.size()));
+    for (size_t v = 0; ok && v < shape.boundary.size(); ++v) {
+      const geom::Point p = shape.boundary.vertex(v);
+      ok = writer.Write<double>(p.x) && writer.Write<double>(p.y);
+    }
+  }
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
+    const std::string& path, core::ShapeBaseOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  FileReader reader(file);
+  uint32_t magic = 0, version = 0;
+  uint64_t count = 0;
+  if (!reader.Read(&magic) || magic != kMagic) {
+    std::fclose(file);
+    return util::Status::Corruption("not a GeoSIR shape file: " + path);
+  }
+  if (!reader.Read(&version) || version != kVersion) {
+    std::fclose(file);
+    return util::Status::NotSupported("unsupported shape file version");
+  }
+  if (!reader.Read(&count)) {
+    std::fclose(file);
+    return util::Status::Corruption("truncated header");
+  }
+
+  auto base = std::make_unique<core::ShapeBase>(std::move(options));
+  for (uint64_t s = 0; s < count; ++s) {
+    uint32_t image = 0, vertices = 0;
+    uint16_t label_len = 0;
+    uint8_t closed = 0;
+    if (!reader.Read(&image) || !reader.Read(&label_len)) {
+      std::fclose(file);
+      return util::Status::Corruption("truncated shape header");
+    }
+    std::string label(label_len, '\0');
+    if (!reader.ReadBytes(label.data(), label_len) || !reader.Read(&closed) ||
+        !reader.Read(&vertices)) {
+      std::fclose(file);
+      return util::Status::Corruption("truncated shape record");
+    }
+    std::vector<geom::Point> pts;
+    pts.reserve(vertices);
+    for (uint32_t v = 0; v < vertices; ++v) {
+      double x = 0, y = 0;
+      if (!reader.Read(&x) || !reader.Read(&y)) {
+        std::fclose(file);
+        return util::Status::Corruption("truncated vertex data");
+      }
+      pts.push_back(geom::Point{x, y});
+    }
+    auto id = base->AddShape(geom::Polyline(std::move(pts), closed != 0),
+                             image, std::move(label));
+    if (!id.ok()) {
+      std::fclose(file);
+      return id.status();
+    }
+  }
+  std::fclose(file);
+  GEOSIR_RETURN_IF_ERROR(base->Finalize());
+  return base;
+}
+
+}  // namespace geosir::storage

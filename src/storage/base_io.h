@@ -1,0 +1,31 @@
+#ifndef GEOSIR_STORAGE_BASE_IO_H_
+#define GEOSIR_STORAGE_BASE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "core/shape_base.h"
+#include "util/status.h"
+
+namespace geosir::storage {
+
+/// Persistence of a shape base to the local filesystem. Only the
+/// *original* shapes are stored: normalization is deterministic, so the
+/// copies and the range-search index are rebuilt identically on load.
+///
+/// File format (little-endian):
+///   magic "GSIR" u32, version u32, shape count u64,
+///   per shape: u32 image, u16 label length, label bytes,
+///              u8 closed flag, u32 vertex count, vertices as f64 pairs.
+
+/// Writes every shape of `base` (finalized or not) to `path`.
+util::Status SaveShapeBase(const core::ShapeBase& base,
+                           const std::string& path);
+
+/// Reads a shape file and rebuilds a finalized base under `options`.
+util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
+    const std::string& path, core::ShapeBaseOptions options = {});
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_BASE_IO_H_

@@ -1,0 +1,66 @@
+#include "storage/block_file.h"
+
+#include <algorithm>
+
+namespace geosir::storage {
+
+BlockId BlockFile::AppendBlock(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> block = payload;
+  block.resize(block_size_, 0);
+  ++writes_;
+  blocks_.push_back(std::move(block));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+util::Result<std::vector<uint8_t>> BlockFile::ReadBlock(BlockId id) const {
+  if (id >= blocks_.size()) {
+    return util::Status::OutOfRange("block id out of range");
+  }
+  ++reads_;
+  return blocks_[id];
+}
+
+util::Status BlockFile::WriteBlock(BlockId id,
+                                   const std::vector<uint8_t>& payload) {
+  if (id >= blocks_.size()) {
+    return util::Status::OutOfRange("block id out of range");
+  }
+  std::vector<uint8_t> block = payload;
+  block.resize(block_size_, 0);
+  ++writes_;
+  blocks_[id] = std::move(block);
+  return util::Status::OK();
+}
+
+BufferManager::BufferManager(const BlockFile* file, size_t capacity_blocks)
+    : file_(file), capacity_(std::max<size_t>(1, capacity_blocks)) {
+  frames_.reserve(capacity_);
+}
+
+util::Result<const std::vector<uint8_t>*> BufferManager::Pin(BlockId id) {
+  ++clock_;
+  for (Frame& frame : frames_) {
+    if (frame.id == id) {
+      frame.last_used = clock_;
+      ++hits_;
+      return const_cast<const std::vector<uint8_t>*>(&frame.data);
+    }
+  }
+  ++misses_;
+  GEOSIR_ASSIGN_OR_RETURN(std::vector<uint8_t> data, file_->ReadBlock(id));
+  if (frames_.size() < capacity_) {
+    frames_.push_back(Frame{id, std::move(data), clock_});
+    return const_cast<const std::vector<uint8_t>*>(&frames_.back().data);
+  }
+  // Evict the least recently used frame.
+  size_t victim = 0;
+  for (size_t i = 1; i < frames_.size(); ++i) {
+    if (frames_[i].last_used < frames_[victim].last_used) victim = i;
+  }
+  frames_[victim] = Frame{id, std::move(data), clock_};
+  return const_cast<const std::vector<uint8_t>*>(&frames_[victim].data);
+}
+
+void BufferManager::Clear() { frames_.clear(); }
+
+}  // namespace geosir::storage

@@ -1,0 +1,89 @@
+#ifndef GEOSIR_STORAGE_BLOCK_FILE_H_
+#define GEOSIR_STORAGE_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geosir::storage {
+
+using BlockId = uint32_t;
+
+/// A simulated block device with fixed-size blocks (default 1 KiB, the
+/// paper's unit). Contents live in memory; reads and writes are counted
+/// so the Section 4 experiments can report exact I/O figures.
+class BlockFile {
+ public:
+  explicit BlockFile(size_t block_size = 1024) : block_size_(block_size) {}
+
+  size_t block_size() const { return block_size_; }
+  size_t NumBlocks() const { return blocks_.size(); }
+
+  /// Appends a new block (payload truncated/zero-padded to block size)
+  /// and returns its id.
+  BlockId AppendBlock(const std::vector<uint8_t>& payload);
+
+  /// Reads a block; counts one physical read.
+  util::Result<std::vector<uint8_t>> ReadBlock(BlockId id) const;
+
+  /// Overwrites a block; counts one physical write.
+  util::Status WriteBlock(BlockId id, const std::vector<uint8_t>& payload);
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  void ResetCounters() const {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  size_t block_size_;
+  std::vector<std::vector<uint8_t>> blocks_;
+  mutable uint64_t reads_ = 0;
+  mutable uint64_t writes_ = 0;
+};
+
+/// LRU buffer pool over a BlockFile. Pin() serves hits from memory and
+/// faults misses through the file, evicting the least recently used
+/// frame. The Section 4 experiments sweep `capacity_blocks` from 1 to 100
+/// (1 KiB - 100 KiB of buffer).
+class BufferManager {
+ public:
+  BufferManager(const BlockFile* file, size_t capacity_blocks);
+
+  /// Returns the block contents, faulting it in if needed.
+  util::Result<const std::vector<uint8_t>*> Pin(BlockId id);
+
+  /// Drops all cached frames (counters are kept).
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  /// Physical reads issued by this buffer (== misses).
+  uint64_t io_reads() const { return misses_; }
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    BlockId id;
+    std::vector<uint8_t> data;
+    uint64_t last_used;
+  };
+
+  const BlockFile* file_;
+  size_t capacity_;
+  std::vector<Frame> frames_;  // Small capacities: linear scan is fine.
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_BLOCK_FILE_H_

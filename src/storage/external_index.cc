@@ -1,0 +1,199 @@
+#include "storage/external_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "rangesearch/tri_box.h"
+
+namespace geosir::storage {
+
+namespace {
+
+using rangesearch::IndexedPoint;
+
+// On-block layouts (little-endian):
+//   leaf:     u16 count, count * { f32 x, f32 y, u32 id }
+//   internal: u16 count, u8 child_is_leaf,
+//             count * { f32 min_x, f32 min_y, f32 max_x, f32 max_y,
+//                       u32 child_block }
+constexpr size_t kLeafEntry = 12;
+constexpr size_t kInternalEntry = 20;
+
+template <typename T>
+void Append(std::vector<uint8_t>* out, T v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T ReadAt(const std::vector<uint8_t>& data, size_t offset) {
+  T v;
+  std::memcpy(&v, data.data() + offset, sizeof(T));
+  return v;
+}
+
+struct ChildRef {
+  geom::BoundingBox bounds;
+  BlockId block;
+};
+
+}  // namespace
+
+util::Result<ExternalRTree> ExternalRTree::Build(
+    std::vector<IndexedPoint> points, size_t block_size) {
+  if (block_size < 64) {
+    return util::Status::InvalidArgument("block size too small for a node");
+  }
+  ExternalRTree tree;
+  tree.file_ = BlockFile(block_size);
+  tree.num_points_ = points.size();
+  const size_t leaf_cap = (block_size - 2) / kLeafEntry;
+  const size_t internal_cap = (block_size - 3) / kInternalEntry;
+
+  if (points.empty()) {
+    // A single empty leaf as the root keeps queries trivial.
+    std::vector<uint8_t> block;
+    Append<uint16_t>(&block, 0);
+    tree.root_ = tree.file_.AppendBlock(block);
+    tree.root_is_leaf_ = true;
+    tree.stats_.num_leaves = 1;
+    tree.stats_.height = 1;
+    return tree;
+  }
+
+  // Sort-Tile-Recursive: sort by x, cut into vertical strips, sort each
+  // strip by y, pack leaves in order.
+  std::sort(points.begin(), points.end(),
+            [](const IndexedPoint& a, const IndexedPoint& b) {
+              return a.p.x < b.p.x;
+            });
+  const size_t num_leaves =
+      (points.size() + leaf_cap - 1) / leaf_cap;
+  const size_t strips = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t strip_points = (points.size() + strips - 1) / strips;
+  for (size_t s = 0; s < strips; ++s) {
+    const size_t lo = s * strip_points;
+    const size_t hi = std::min(points.size(), lo + strip_points);
+    if (lo >= hi) break;
+    std::sort(points.begin() + lo, points.begin() + hi,
+              [](const IndexedPoint& a, const IndexedPoint& b) {
+                return a.p.y < b.p.y;
+              });
+  }
+
+  std::vector<ChildRef> level;
+  for (size_t at = 0; at < points.size(); at += leaf_cap) {
+    const size_t end = std::min(points.size(), at + leaf_cap);
+    std::vector<uint8_t> block;
+    Append<uint16_t>(&block, static_cast<uint16_t>(end - at));
+    ChildRef ref;
+    for (size_t i = at; i < end; ++i) {
+      Append<float>(&block, static_cast<float>(points[i].p.x));
+      Append<float>(&block, static_cast<float>(points[i].p.y));
+      Append<uint32_t>(&block, points[i].id);
+      ref.bounds.Extend(points[i].p);
+    }
+    ref.block = tree.file_.AppendBlock(block);
+    level.push_back(ref);
+  }
+  tree.stats_.num_leaves = level.size();
+  tree.stats_.height = 1;
+
+  bool child_is_leaf = true;
+  while (level.size() > 1) {
+    std::vector<ChildRef> next;
+    for (size_t at = 0; at < level.size(); at += internal_cap) {
+      const size_t end = std::min(level.size(), at + internal_cap);
+      std::vector<uint8_t> block;
+      Append<uint16_t>(&block, static_cast<uint16_t>(end - at));
+      Append<uint8_t>(&block, child_is_leaf ? 1 : 0);
+      ChildRef ref;
+      for (size_t i = at; i < end; ++i) {
+        Append<float>(&block, static_cast<float>(level[i].bounds.min_x));
+        Append<float>(&block, static_cast<float>(level[i].bounds.min_y));
+        Append<float>(&block, static_cast<float>(level[i].bounds.max_x));
+        Append<float>(&block, static_cast<float>(level[i].bounds.max_y));
+        Append<uint32_t>(&block, level[i].block);
+        ref.bounds.Extend(level[i].bounds);
+      }
+      ref.block = tree.file_.AppendBlock(block);
+      next.push_back(ref);
+      ++tree.stats_.num_internal;
+    }
+    level = std::move(next);
+    child_is_leaf = false;
+    ++tree.stats_.height;
+  }
+  tree.root_ = level.front().block;
+  tree.root_is_leaf_ = tree.stats_.num_internal == 0;
+  return tree;
+}
+
+template <typename Emit>
+util::Status ExternalRTree::Query(BlockId node, bool leaf,
+                                  const geom::Triangle* tri,
+                                  const geom::BoundingBox& box,
+                                  BufferManager* buffer,
+                                  const Emit& emit) const {
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t>* raw, buffer->Pin(node));
+  // Copy the node out: recursion below re-pins and may evict this frame.
+  const std::vector<uint8_t> block = *raw;
+  const uint16_t count = ReadAt<uint16_t>(block, 0);
+  if (leaf) {
+    size_t offset = 2;
+    for (uint16_t i = 0; i < count; ++i, offset += kLeafEntry) {
+      const geom::Point p{ReadAt<float>(block, offset),
+                          ReadAt<float>(block, offset + 4)};
+      if (!box.Contains(p)) continue;
+      if (tri != nullptr && !tri->Contains(p)) continue;
+      emit(IndexedPoint{p, ReadAt<uint32_t>(block, offset + 8)});
+    }
+    return util::Status::OK();
+  }
+  const bool child_is_leaf = ReadAt<uint8_t>(block, 2) != 0;
+  size_t offset = 3;
+  for (uint16_t i = 0; i < count; ++i, offset += kInternalEntry) {
+    geom::BoundingBox child(
+        geom::Point{ReadAt<float>(block, offset),
+                    ReadAt<float>(block, offset + 4)},
+        geom::Point{ReadAt<float>(block, offset + 8),
+                    ReadAt<float>(block, offset + 12)});
+    // f32 rounding may shrink the stored box below the true extent of
+    // the child's points; inflate by one ulp-scale epsilon.
+    child.Inflate(1e-5);
+    if (!child.Intersects(box)) continue;
+    if (tri != nullptr && !rangesearch::TriangleIntersectsBox(*tri, child)) {
+      continue;
+    }
+    GEOSIR_RETURN_IF_ERROR(Query(ReadAt<uint32_t>(block, offset + 16),
+                                 child_is_leaf, tri, box, buffer, emit));
+  }
+  return util::Status::OK();
+}
+
+util::Result<size_t> ExternalRTree::CountInTriangle(
+    const geom::Triangle& t, BufferManager* buffer) const {
+  size_t count = 0;
+  GEOSIR_RETURN_IF_ERROR(Query(root_, root_is_leaf_, &t, t.Bounds(), buffer,
+                               [&count](const IndexedPoint&) { ++count; }));
+  return count;
+}
+
+util::Status ExternalRTree::ReportInTriangle(
+    const geom::Triangle& t, BufferManager* buffer,
+    const rangesearch::SimplexIndex::Visitor& visit) const {
+  return Query(root_, root_is_leaf_, &t, t.Bounds(), buffer, visit);
+}
+
+util::Result<size_t> ExternalRTree::CountInRect(const geom::BoundingBox& box,
+                                                BufferManager* buffer) const {
+  size_t count = 0;
+  GEOSIR_RETURN_IF_ERROR(Query(root_, root_is_leaf_, nullptr, box, buffer,
+                               [&count](const IndexedPoint&) { ++count; }));
+  return count;
+}
+
+}  // namespace geosir::storage

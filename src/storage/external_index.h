@@ -1,0 +1,71 @@
+#ifndef GEOSIR_STORAGE_EXTERNAL_INDEX_H_
+#define GEOSIR_STORAGE_EXTERNAL_INDEX_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "rangesearch/simplex_index.h"
+#include "storage/block_file.h"
+
+namespace geosir::storage {
+
+/// External-memory range-search index (Section 4: "For accommodating the
+/// auxiliary data structures in external memory we use optimal range
+/// search indexing structures" [Arge-Samoladas-Vitter, Vitter]). This is
+/// a bulk-loaded packed R-tree over the pooled shape vertices:
+///
+///  * leaves pack points in Sort-Tile-Recursive (STR) order, one disk
+///    block per node;
+///  * internal nodes store children's bounding boxes, also one block
+///    per node;
+///  * queries walk the tree through a BufferManager, so every experiment
+///    can report exact block-I/O counts next to the in-memory structures.
+///
+/// The matcher-facing operations mirror SimplexIndex (triangle and
+/// rectangle counting/reporting); an uncached traversal costs
+/// O(sqrt(n/B) + k/B) I/Os per query in the usual R-tree regime.
+class ExternalRTree {
+ public:
+  struct BuildStats {
+    size_t num_leaves = 0;
+    size_t num_internal = 0;
+    size_t height = 0;
+  };
+
+  /// Bulk-loads the tree into a fresh block file. `block_size` bounds the
+  /// node fan-out (entries are 20 bytes in leaves, 24 in internal nodes).
+  static util::Result<ExternalRTree> Build(
+      std::vector<rangesearch::IndexedPoint> points, size_t block_size = 1024);
+
+  /// Points inside the (closed) triangle, fetched through `buffer`.
+  util::Result<size_t> CountInTriangle(const geom::Triangle& t,
+                                       BufferManager* buffer) const;
+  util::Status ReportInTriangle(
+      const geom::Triangle& t, BufferManager* buffer,
+      const rangesearch::SimplexIndex::Visitor& visit) const;
+
+  util::Result<size_t> CountInRect(const geom::BoundingBox& box,
+                                   BufferManager* buffer) const;
+
+  const BlockFile& file() const { return file_; }
+  const BuildStats& stats() const { return stats_; }
+  size_t size() const { return num_points_; }
+
+ private:
+  ExternalRTree() : file_(1024) {}
+
+  template <typename Emit>
+  util::Status Query(BlockId node, bool leaf, const geom::Triangle* tri,
+                     const geom::BoundingBox& box, BufferManager* buffer,
+                     const Emit& emit) const;
+
+  BlockFile file_;
+  BlockId root_ = 0;
+  bool root_is_leaf_ = true;
+  size_t num_points_ = 0;
+  BuildStats stats_;
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_EXTERNAL_INDEX_H_

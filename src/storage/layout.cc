@@ -1,0 +1,205 @@
+#include "storage/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/similarity.h"
+
+namespace geosir::storage {
+
+const char* LayoutPolicyName(LayoutPolicy policy) {
+  switch (policy) {
+    case LayoutPolicy::kInsertionOrder:
+      return "insertion";
+    case LayoutPolicy::kMeanCurve:
+      return "mean-curve";
+    case LayoutPolicy::kLexicographic:
+      return "lexicographic";
+    case LayoutPolicy::kMedianCurve:
+      return "median-curve";
+    case LayoutPolicy::kLocalOptimization:
+      return "local-opt";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using hashing::CurveQuadruple;
+
+std::vector<uint32_t> IdentityOrder(size_t n) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+bool LexLess(const CurveQuadruple& a, const CurveQuadruple& b) {
+  for (int q = 0; q < 4; ++q) {
+    if (a.c[q] != b.c[q]) return a.c[q] < b.c[q];
+  }
+  return false;
+}
+
+/// Greedy local optimization (Section 4.2), implemented as a refinement
+/// of the mean-curve sorted order: each next slot picks, among the next
+/// `candidate_window` unplaced copies of the sorted order, the one
+/// minimizing the average (decimated) measure to the shapes already in
+/// the current block; the first shape of a new block minimizes the
+/// average distance to the first shapes of the previous
+/// `lookback_blocks` blocks. The sorted order supplies coarse locality,
+/// the greedy packs each block with mutually similar copies.
+std::vector<uint32_t> LocalOptimizationOrder(
+    const core::ShapeBase& base, const std::vector<CurveQuadruple>& quadruples,
+    const LayoutOptions& options) {
+  const size_t n = base.NumCopies();
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  // Decimated shape signatures: a fixed number of boundary samples per
+  // copy. Scoring with the full measure would make rehashing quadratic
+  // in the vertex count; 8 samples preserve the clustering behaviour at
+  // a fraction of the cost.
+  constexpr int kSignaturePoints = 8;
+  std::vector<geom::Point> signatures(n * kSignaturePoints);
+  for (uint32_t i = 0; i < n; ++i) {
+    const geom::Polyline& shape = base.copy(i).shape;
+    const double perimeter = shape.Perimeter();
+    for (int s = 0; s < kSignaturePoints; ++s) {
+      signatures[i * kSignaturePoints + s] =
+          shape.AtArcLength(perimeter * s / kSignaturePoints);
+    }
+  }
+  const auto copy_distance = [&signatures](uint32_t a, uint32_t b) {
+    const geom::Point* sa = &signatures[a * kSignaturePoints];
+    const geom::Point* sb = &signatures[b * kSignaturePoints];
+    double total = 0.0;
+    for (int i = 0; i < kSignaturePoints; ++i) {
+      double best = 1e300;
+      for (int j = 0; j < kSignaturePoints; ++j) {
+        best = std::min(best, geom::SquaredDistance(sa[i], sb[j]));
+      }
+      total += std::sqrt(best);
+    }
+    return total / kSignaturePoints;
+  };
+
+  // Base order: the mean-curve sort (method (i)).
+  std::vector<uint32_t> sorted(n);
+  std::iota(sorted.begin(), sorted.end(), 0);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const int ma = quadruples[a].MeanCurve();
+                     const int mb = quadruples[b].MeanCurve();
+                     if (ma != mb) return ma < mb;
+                     return LexLess(quadruples[a], quadruples[b]);
+                   });
+
+  std::vector<uint8_t> placed(n, 0);
+  size_t cursor = 0;  // First possibly-unplaced position in `sorted`.
+  const auto next_candidates = [&](std::vector<uint32_t>* out) {
+    out->clear();
+    while (cursor < n && placed[sorted[cursor]]) ++cursor;
+    for (size_t i = cursor;
+         i < n && out->size() < options.candidate_window; ++i) {
+      if (!placed[sorted[i]]) out->push_back(sorted[i]);
+    }
+  };
+
+  std::vector<uint32_t> block_firsts;
+  std::vector<uint32_t> current_block;
+  std::vector<uint32_t> candidates;
+  while (order.size() < n) {
+    next_candidates(&candidates);
+    if (candidates.empty()) break;
+    uint32_t best = candidates.front();
+    double best_score = std::numeric_limits<double>::infinity();
+    if (current_block.empty() || current_block.size() >=
+                                     options.records_per_block) {
+      // First shape of a (new) block: minimize the average distance to
+      // the first shapes of the previous `lookback_blocks` blocks.
+      current_block.clear();
+      const size_t lb = std::min(options.lookback_blocks,
+                                 block_firsts.size());
+      if (lb == 0) {
+        best = candidates.front();
+      } else {
+        for (uint32_t cand : candidates) {
+          double sum = 0.0;
+          for (size_t b = block_firsts.size() - lb; b < block_firsts.size();
+               ++b) {
+            sum += copy_distance(cand, block_firsts[b]);
+          }
+          const double score = sum / static_cast<double>(lb);
+          if (score < best_score) {
+            best_score = score;
+            best = cand;
+          }
+        }
+      }
+      block_firsts.push_back(best);
+    } else {
+      // Subsequent slot: minimize the average distance to the shapes
+      // already in this block.
+      for (uint32_t cand : candidates) {
+        double sum = 0.0;
+        for (uint32_t member : current_block) {
+          sum += copy_distance(cand, member);
+        }
+        const double score = sum / static_cast<double>(current_block.size());
+        if (score < best_score) {
+          best_score = score;
+          best = cand;
+        }
+      }
+    }
+    placed[best] = 1;
+    current_block.push_back(best);
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeLayout(
+    LayoutPolicy policy, const core::ShapeBase& base,
+    const std::vector<CurveQuadruple>& quadruples,
+    const LayoutOptions& options) {
+  std::vector<uint32_t> order = IdentityOrder(base.NumCopies());
+  switch (policy) {
+    case LayoutPolicy::kInsertionOrder:
+      return order;
+    case LayoutPolicy::kMeanCurve:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         const int ma = quadruples[a].MeanCurve();
+                         const int mb = quadruples[b].MeanCurve();
+                         if (ma != mb) return ma < mb;
+                         return LexLess(quadruples[a], quadruples[b]);
+                       });
+      return order;
+    case LayoutPolicy::kLexicographic:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return LexLess(quadruples[a], quadruples[b]);
+                       });
+      return order;
+    case LayoutPolicy::kMedianCurve:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         const int ma = quadruples[a].MedianCurve();
+                         const int mb = quadruples[b].MedianCurve();
+                         if (ma != mb) return ma < mb;
+                         return LexLess(quadruples[a], quadruples[b]);
+                       });
+      return order;
+    case LayoutPolicy::kLocalOptimization:
+      return LocalOptimizationOrder(base, quadruples, options);
+  }
+  return order;
+}
+
+}  // namespace geosir::storage

@@ -1,0 +1,55 @@
+#ifndef GEOSIR_STORAGE_LAYOUT_H_
+#define GEOSIR_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/shape_base.h"
+#include "hashing/hash_curves.h"
+
+namespace geosir::storage {
+
+/// External-storage orderings of the shape base (Section 4).
+enum class LayoutPolicy {
+  /// Insertion order; the do-nothing baseline.
+  kInsertionOrder,
+  /// Method (i): sort by the rounded mean characteristic curve.
+  kMeanCurve,
+  /// Method (ii): lexicographic order of the curve quadruple.
+  kLexicographic,
+  /// Method (iii): sort by the median-of-quadruple curve.
+  kMedianCurve,
+  /// Section 4.2: greedy per-block local optimization of the average
+  /// similarity measure.
+  kLocalOptimization,
+};
+
+const char* LayoutPolicyName(LayoutPolicy policy);
+
+struct LayoutOptions {
+  /// Records per block used by the local-optimization greedy to know
+  /// where block boundaries fall (Section 4.2 packs ~5 per 1 KiB block).
+  size_t records_per_block = 5;
+  /// The greedy's look-back: the first shape of a new block minimizes the
+  /// average distance to the first shapes of this many previous blocks.
+  size_t lookback_blocks = 5;
+  /// Candidate pruning for the greedy: each slot scores the next
+  /// `candidate_window` unplaced copies of the mean-curve order. This
+  /// keeps rehashing near the paper's O(N^1.5 log N) instead of O(N^2);
+  /// the paper does not spell out its pruning rule.
+  size_t candidate_window = 32;
+};
+
+/// Computes the storage order of the copies of `base` under `policy`;
+/// `quadruples[i]` must be the curve quadruple of copy i. Returns a
+/// permutation of [0, NumCopies()).
+std::vector<uint32_t> ComputeLayout(LayoutPolicy policy,
+                                    const core::ShapeBase& base,
+                                    const std::vector<hashing::CurveQuadruple>&
+                                        quadruples,
+                                    const LayoutOptions& options = {});
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_LAYOUT_H_

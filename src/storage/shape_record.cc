@@ -1,0 +1,90 @@
+#include "storage/shape_record.h"
+
+#include <cstring>
+
+namespace geosir::storage {
+
+namespace {
+
+template <typename T>
+void Append(std::vector<uint8_t>* out, T value) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+util::Result<T> Read(const std::vector<uint8_t>& data, size_t* offset) {
+  if (*offset + sizeof(T) > data.size()) {
+    return util::Status::Corruption("truncated shape record");
+  }
+  T value;
+  std::memcpy(&value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+ShapeRecord MakeRecord(const core::NormalizedCopy& copy, uint32_t image,
+                       const hashing::CurveQuadruple& quadruple) {
+  ShapeRecord record;
+  record.shape_id = copy.shape_id;
+  record.copy_index = copy.copy_index;
+  record.image = image;
+  record.closed = copy.shape.closed();
+  record.quadruple = quadruple;
+  record.transform[0] = static_cast<float>(copy.to_normalized.a());
+  record.transform[1] = static_cast<float>(copy.to_normalized.b());
+  record.transform[2] = static_cast<float>(copy.to_normalized.translation().x);
+  record.transform[3] = static_cast<float>(copy.to_normalized.translation().y);
+  record.vertices = copy.shape.vertices();
+  return record;
+}
+
+void SerializeRecord(const ShapeRecord& record, std::vector<uint8_t>* out) {
+  Append<uint32_t>(out, record.shape_id);
+  Append<uint32_t>(out, record.copy_index);
+  Append<uint32_t>(out, record.image);
+  Append<uint16_t>(out, static_cast<uint16_t>(record.vertices.size()));
+  Append<uint8_t>(out, record.closed ? 1 : 0);
+  Append<uint8_t>(out, 0);  // Reserved.
+  for (int q = 0; q < 4; ++q) {
+    Append<uint8_t>(out, static_cast<uint8_t>(record.quadruple.c[q]));
+  }
+  for (float t : record.transform) Append<float>(out, t);
+  for (geom::Point p : record.vertices) {
+    Append<float>(out, static_cast<float>(p.x));
+    Append<float>(out, static_cast<float>(p.y));
+  }
+}
+
+util::Result<ShapeRecord> DeserializeRecord(const std::vector<uint8_t>& data,
+                                            size_t* offset) {
+  ShapeRecord record;
+  GEOSIR_ASSIGN_OR_RETURN(record.shape_id, Read<uint32_t>(data, offset));
+  GEOSIR_ASSIGN_OR_RETURN(record.copy_index, Read<uint32_t>(data, offset));
+  GEOSIR_ASSIGN_OR_RETURN(record.image, Read<uint32_t>(data, offset));
+  GEOSIR_ASSIGN_OR_RETURN(uint16_t num_vertices,
+                          Read<uint16_t>(data, offset));
+  GEOSIR_ASSIGN_OR_RETURN(uint8_t flags, Read<uint8_t>(data, offset));
+  record.closed = (flags & 1) != 0;
+  GEOSIR_ASSIGN_OR_RETURN(uint8_t reserved, Read<uint8_t>(data, offset));
+  (void)reserved;
+  for (int q = 0; q < 4; ++q) {
+    GEOSIR_ASSIGN_OR_RETURN(uint8_t curve, Read<uint8_t>(data, offset));
+    record.quadruple.c[q] = curve;
+  }
+  for (int t = 0; t < 4; ++t) {
+    GEOSIR_ASSIGN_OR_RETURN(record.transform[t], Read<float>(data, offset));
+  }
+  record.vertices.reserve(num_vertices);
+  for (uint16_t v = 0; v < num_vertices; ++v) {
+    GEOSIR_ASSIGN_OR_RETURN(float x, Read<float>(data, offset));
+    GEOSIR_ASSIGN_OR_RETURN(float y, Read<float>(data, offset));
+    record.vertices.push_back(geom::Point{x, y});
+  }
+  return record;
+}
+
+}  // namespace geosir::storage

@@ -1,0 +1,52 @@
+#ifndef GEOSIR_STORAGE_SHAPE_RECORD_H_
+#define GEOSIR_STORAGE_SHAPE_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/normalize.h"
+#include "hashing/hash_curves.h"
+#include "util/status.h"
+
+namespace geosir::storage {
+
+/// The on-disk representation of one normalized shape copy. With the
+/// paper's averages (~20 vertices per shape) a record is ~200 bytes, so
+/// about 5 records fit one 1 KiB block — matching the Section 4 setup.
+///
+/// Layout (little-endian):
+///   u32 shape_id, u32 copy_index, u32 image,
+///   u16 num_vertices, u8 flags (bit0 = closed), u8 reserved,
+///   4 x u8 curve quadruple,
+///   4 x f32 to_normalized (a, b, tx, ty),
+///   num_vertices x 2 x f32 normalized vertex coordinates.
+struct ShapeRecord {
+  uint32_t shape_id = 0;
+  uint32_t copy_index = 0;
+  uint32_t image = 0;
+  bool closed = false;
+  hashing::CurveQuadruple quadruple;
+  float transform[4] = {1.f, 0.f, 0.f, 0.f};
+  std::vector<geom::Point> vertices;  // Stored as f32 pairs.
+
+  /// Serialized size in bytes.
+  size_t ByteSize() const { return kHeaderBytes + 8 * vertices.size(); }
+
+  static constexpr size_t kHeaderBytes = 4 + 4 + 4 + 2 + 1 + 1 + 4 + 16;
+};
+
+/// Builds the record for a normalized copy.
+ShapeRecord MakeRecord(const core::NormalizedCopy& copy, uint32_t image,
+                       const hashing::CurveQuadruple& quadruple);
+
+/// Appends the serialized record to `out`.
+void SerializeRecord(const ShapeRecord& record, std::vector<uint8_t>* out);
+
+/// Parses one record starting at `data[offset]`; advances `offset` past
+/// it. Fails on truncated input.
+util::Result<ShapeRecord> DeserializeRecord(const std::vector<uint8_t>& data,
+                                            size_t* offset);
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_SHAPE_RECORD_H_

@@ -1,0 +1,73 @@
+#include "storage/stored_shape_base.h"
+
+namespace geosir::storage {
+
+util::Result<StoredShapeBase> StoredShapeBase::Create(
+    const core::ShapeBase& base,
+    const std::vector<hashing::CurveQuadruple>& quadruples,
+    const std::vector<uint32_t>& order, size_t block_size) {
+  if (quadruples.size() != base.NumCopies() ||
+      order.size() != base.NumCopies()) {
+    return util::Status::InvalidArgument(
+        "quadruples/order size must match NumCopies");
+  }
+  StoredShapeBase stored;
+  stored.file_ = BlockFile(block_size);
+  stored.copy_block_.assign(base.NumCopies(), 0);
+  stored.copy_slot_offset_.assign(base.NumCopies(), 0);
+
+  std::vector<uint8_t> block;
+  std::vector<uint32_t> block_members;
+  const auto flush = [&]() {
+    if (block.empty()) return;
+    const BlockId id = stored.file_.AppendBlock(block);
+    for (uint32_t copy : block_members) stored.copy_block_[copy] = id;
+    block.clear();
+    block_members.clear();
+  };
+
+  for (uint32_t copy_index : order) {
+    const core::NormalizedCopy& copy = base.copy(copy_index);
+    const ShapeRecord record =
+        MakeRecord(copy, base.shape(copy.shape_id).image,
+                   quadruples[copy_index]);
+    if (record.ByteSize() > block_size) {
+      return util::Status::InvalidArgument(
+          "shape record larger than a block");
+    }
+    if (block.size() + record.ByteSize() > block_size) flush();
+    stored.copy_slot_offset_[copy_index] =
+        static_cast<uint16_t>(block.size());
+    block_members.push_back(copy_index);
+    SerializeRecord(record, &block);
+  }
+  flush();
+  return stored;
+}
+
+util::Result<ShapeRecord> StoredShapeBase::ReadCopy(
+    uint32_t copy_index, BufferManager* buffer) const {
+  if (copy_index >= copy_block_.size()) {
+    return util::Status::OutOfRange("copy index out of range");
+  }
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t>* block,
+                          buffer->Pin(copy_block_[copy_index]));
+  size_t offset = copy_slot_offset_[copy_index];
+  return DeserializeRecord(*block, &offset);
+}
+
+util::Result<uint64_t> StoredShapeBase::ReplayTrace(
+    const core::AccessTrace& trace, BufferManager* buffer) const {
+  const uint64_t before = buffer->io_reads();
+  for (uint32_t copy_index : trace) {
+    if (copy_index >= copy_block_.size()) {
+      return util::Status::OutOfRange("trace copy index out of range");
+    }
+    GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t>* block,
+                            buffer->Pin(copy_block_[copy_index]));
+    (void)block;
+  }
+  return buffer->io_reads() - before;
+}
+
+}  // namespace geosir::storage

@@ -1,0 +1,54 @@
+#ifndef GEOSIR_STORAGE_STORED_SHAPE_BASE_H_
+#define GEOSIR_STORAGE_STORED_SHAPE_BASE_H_
+
+#include <vector>
+
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "storage/block_file.h"
+#include "storage/layout.h"
+#include "storage/shape_record.h"
+
+namespace geosir::storage {
+
+/// The external-storage image of a ShapeBase: every normalized copy is
+/// serialized into a block file in the order chosen by a layout policy.
+/// The Section 4 experiments replay matcher access traces against it
+/// through an LRU buffer and report the number of block reads.
+class StoredShapeBase {
+ public:
+  /// Packs the copies of `base` into `block_size`-byte blocks following
+  /// `order` (a permutation of copy indices). `quadruples[i]` is copy i's
+  /// curve quadruple.
+  static util::Result<StoredShapeBase> Create(
+      const core::ShapeBase& base,
+      const std::vector<hashing::CurveQuadruple>& quadruples,
+      const std::vector<uint32_t>& order, size_t block_size = 1024);
+
+  const BlockFile& file() const { return file_; }
+  BlockId BlockOfCopy(uint32_t copy_index) const {
+    return copy_block_[copy_index];
+  }
+  size_t NumBlocks() const { return file_.NumBlocks(); }
+
+  /// Reads a copy's record through the buffer (faults its block in).
+  util::Result<ShapeRecord> ReadCopy(uint32_t copy_index,
+                                     BufferManager* buffer) const;
+
+  /// Replays a matcher access trace (copy indices in access order)
+  /// through `buffer`, pinning each copy's block. Returns the number of
+  /// physical reads incurred by the trace.
+  util::Result<uint64_t> ReplayTrace(const core::AccessTrace& trace,
+                                     BufferManager* buffer) const;
+
+ private:
+  StoredShapeBase() : file_(1024) {}
+
+  BlockFile file_;
+  std::vector<BlockId> copy_block_;        // Copy index -> block.
+  std::vector<uint16_t> copy_slot_offset_; // Byte offset within the block.
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_STORED_SHAPE_BASE_H_

@@ -1,0 +1,135 @@
+#include "util/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geosir::util {
+
+namespace {
+
+double SimpsonPanel(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double AdaptiveSimpsonRec(const std::function<double(double)>& f, double a,
+                          double fa, double b, double fb, double m, double fm,
+                          double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = SimpsonPanel(a, fa, m, fm, flm);
+  const double right = SimpsonPanel(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpsonRec(f, a, fa, m, fm, lm, flm, left, 0.5 * tol,
+                            depth - 1) +
+         AdaptiveSimpsonRec(f, m, fm, b, fb, rm, frm, right, 0.5 * tol,
+                            depth - 1);
+}
+
+}  // namespace
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, const QuadratureOptions& options) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = SimpsonPanel(a, fa, b, fb, fm);
+  return AdaptiveSimpsonRec(f, a, fa, b, fb, m, fm, whole,
+                            options.abs_tolerance, options.max_depth);
+}
+
+double CompositeSimpson(const std::function<double(double)>& f, double a,
+                        double b, int panels) {
+  if (a == b) return 0.0;
+  int n = std::max(2, panels);
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+Result<double> FindRootBracketed(const std::function<double(double)>& f,
+                                 const std::function<double(double)>& df,
+                                 double lo, double hi,
+                                 const RootFindOptions& options) {
+  if (!(lo <= hi)) {
+    return Status::InvalidArgument("FindRootBracketed: lo > hi");
+  }
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (std::fabs(flo) <= options.f_tolerance) return lo;
+  if (std::fabs(fhi) <= options.f_tolerance) return hi;
+  if ((flo > 0) == (fhi > 0)) {
+    return Status::InvalidArgument(
+        "FindRootBracketed: f(lo) and f(hi) have the same sign");
+  }
+  double x = 0.5 * (lo + hi);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double fx = f(x);
+    if (std::fabs(fx) <= options.f_tolerance) return x;
+    // Shrink the bracket.
+    if ((fx > 0) == (fhi > 0)) {
+      hi = x;
+      fhi = fx;
+    } else {
+      lo = x;
+      flo = fx;
+    }
+    if (hi - lo <= options.x_tolerance) return 0.5 * (lo + hi);
+    // Attempt a Newton step from x; fall back to bisection when the
+    // derivative is tiny or the step escapes the bracket.
+    double deriv;
+    if (df) {
+      deriv = df(x);
+    } else {
+      const double h = std::fmax(1e-7, 1e-7 * std::fabs(x));
+      deriv = (f(x + h) - f(x - h)) / (2.0 * h);
+    }
+    double next;
+    if (std::fabs(deriv) > 1e-300) {
+      next = x - fx / deriv;
+      if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    x = next;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double GoldenSectionMinimize(const std::function<double(double)>& f, double lo,
+                             double hi, double x_tolerance) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > x_tolerance) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace geosir::util

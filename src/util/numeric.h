@@ -1,0 +1,63 @@
+#ifndef GEOSIR_UTIL_NUMERIC_H_
+#define GEOSIR_UTIL_NUMERIC_H_
+
+#include <cmath>
+#include <functional>
+
+#include "util/status.h"
+
+namespace geosir::util {
+
+/// Options controlling the adaptive quadrature routines.
+struct QuadratureOptions {
+  double abs_tolerance = 1e-10;
+  int max_depth = 40;
+};
+
+/// Integrates f over [a, b] with adaptive Simpson quadrature. The
+/// integrand must be finite over the whole interval. Deterministic.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, const QuadratureOptions& options = {});
+
+/// Fixed-panel composite Simpson integration (n panels, n rounded up to
+/// even). Useful when the integrand is cheap and smooth and a fixed cost
+/// matters more than adaptivity.
+double CompositeSimpson(const std::function<double(double)>& f, double a,
+                        double b, int panels);
+
+/// Options controlling root finding.
+struct RootFindOptions {
+  double x_tolerance = 1e-12;
+  double f_tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+/// Finds a root of f in [lo, hi] where f(lo) and f(hi) have opposite signs
+/// (or either endpoint is already a root). Uses safeguarded
+/// Newton/bisection: Newton steps when the derivative estimate is usable
+/// and the step stays inside the bracket, bisection otherwise. `df` may be
+/// null, in which case a central finite difference is used.
+Result<double> FindRootBracketed(const std::function<double(double)>& f,
+                                 const std::function<double(double)>& df,
+                                 double lo, double hi,
+                                 const RootFindOptions& options = {});
+
+/// Minimizes a unimodal function on [lo, hi] by golden-section search;
+/// returns the abscissa of the minimum.
+double GoldenSectionMinimize(const std::function<double(double)>& f, double lo,
+                             double hi, double x_tolerance = 1e-9);
+
+/// True if |a - b| <= eps * max(1, |a|, |b|).
+inline bool ApproxEqual(double a, double b, double eps = 1e-9) {
+  return std::fabs(a - b) <= eps * std::fmax(1.0, std::fmax(std::fabs(a),
+                                                            std::fabs(b)));
+}
+
+/// Clamps v to [lo, hi].
+inline double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_NUMERIC_H_

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Rng is header-only; this file exists so the util library has a stable
+// translation unit for it (and a place for future out-of-line helpers).

@@ -1,0 +1,136 @@
+#ifndef GEOSIR_UTIL_STATUS_H_
+#define GEOSIR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace geosir::util {
+
+/// Error categories used across the library. Modeled after the Status
+/// idiom common in database engines: library paths never throw; fallible
+/// operations return a Status (or Result<T> below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kNotSupported,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. The value accessors
+/// assert on misuse (checking ok() first is the caller's contract).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so functions can `return Status::...;`. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace geosir::util
+
+/// Propagates a non-OK Status to the caller.
+#define GEOSIR_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::geosir::util::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds
+/// the value to `lhs`.
+#define GEOSIR_ASSIGN_OR_RETURN(lhs, expr)                   \
+  GEOSIR_ASSIGN_OR_RETURN_IMPL_(                             \
+      GEOSIR_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+#define GEOSIR_STATUS_CONCAT_INNER_(a, b) a##b
+#define GEOSIR_STATUS_CONCAT_(a, b) GEOSIR_STATUS_CONCAT_INNER_(a, b)
+#define GEOSIR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // GEOSIR_UTIL_STATUS_H_

@@ -1,0 +1,171 @@
+#include "video/video_base.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/similarity.h"
+
+namespace geosir::video {
+
+VideoBase::VideoBase(VideoBaseOptions options)
+    : options_(std::move(options)), base_(options_.base) {}
+
+uint32_t VideoBase::AddVideo(std::string name) {
+  VideoEntry entry;
+  entry.id = static_cast<uint32_t>(videos_.size());
+  entry.name = std::move(name);
+  videos_.push_back(std::move(entry));
+  return videos_.back().id;
+}
+
+util::Result<uint32_t> VideoBase::AddFrame(
+    uint32_t video, const std::vector<geom::Polyline>& shapes) {
+  if (video >= videos_.size()) {
+    return util::Status::OutOfRange("unknown video id");
+  }
+  if (finalized()) {
+    return util::Status::FailedPrecondition("VideoBase is finalized");
+  }
+  const uint32_t frame = static_cast<uint32_t>(videos_[video].num_frames);
+  for (const geom::Polyline& boundary : shapes) {
+    auto id = base_.AddShape(boundary, /*image=*/core::kNoImage);
+    if (!id.ok()) continue;  // Invalid boundaries are skipped.
+    shape_video_.resize(*id + 1, 0);
+    shape_frame_.resize(*id + 1, 0);
+    shape_video_[*id] = video;
+    shape_frame_[*id] = frame;
+  }
+  ++videos_[video].num_frames;
+  return frame;
+}
+
+namespace {
+
+/// Distance between two database shapes via their first normalized
+/// copies (both true-diameter orientations of `b` against `a`).
+double ShapeDistance(const core::ShapeBase& base, core::ShapeId a,
+                     core::ShapeId b) {
+  const auto& copies_a = base.CopiesOfShape(a);
+  const auto& copies_b = base.CopiesOfShape(b);
+  double best = std::numeric_limits<double>::infinity();
+  const geom::Polyline& pa = base.copy(copies_a[0]).shape;
+  for (size_t i = 0; i < copies_b.size() && i < 2; ++i) {
+    const geom::Polyline& pb = base.copy(copies_b[i]).shape;
+    best = std::min(best,
+                    std::max(core::DiscreteAvgMinDistance(pa, pb),
+                             core::DiscreteAvgMinDistance(pb, pa)));
+  }
+  return best;
+}
+
+}  // namespace
+
+util::Status VideoBase::Finalize() {
+  GEOSIR_RETURN_IF_ERROR(base_.Finalize());
+  matcher_ = std::make_unique<core::EnvelopeMatcher>(&base_);
+
+  // Group shapes by (video, frame).
+  std::vector<std::vector<std::vector<core::ShapeId>>> frames(videos_.size());
+  for (uint32_t v = 0; v < videos_.size(); ++v) {
+    frames[v].resize(videos_[v].num_frames);
+  }
+  for (core::ShapeId s = 0; s < base_.NumShapes(); ++s) {
+    frames[shape_video_[s]][shape_frame_[s]].push_back(s);
+  }
+
+  // Track linking: greedy best-first matching between consecutive
+  // frames under the threshold.
+  shape_track_.assign(base_.NumShapes(), -1);
+  for (uint32_t v = 0; v < videos_.size(); ++v) {
+    for (size_t f = 0; f + 1 < frames[v].size(); ++f) {
+      const auto& cur = frames[v][f];
+      const auto& nxt = frames[v][f + 1];
+      struct Pair {
+        double d;
+        core::ShapeId a;
+        core::ShapeId b;
+      };
+      std::vector<Pair> pairs;
+      for (core::ShapeId a : cur) {
+        for (core::ShapeId b : nxt) {
+          const double d = ShapeDistance(base_, a, b);
+          if (d <= options_.track_threshold) pairs.push_back(Pair{d, a, b});
+        }
+      }
+      std::sort(pairs.begin(), pairs.end(),
+                [](const Pair& x, const Pair& y) { return x.d < y.d; });
+      std::unordered_map<core::ShapeId, bool> used_a, used_b;
+      for (const Pair& pair : pairs) {
+        if (used_a[pair.a] || used_b[pair.b]) continue;
+        used_a[pair.a] = used_b[pair.b] = true;
+        long track = shape_track_[pair.a];
+        if (track < 0) {
+          track = static_cast<long>(tracks_.size());
+          ShapeTrack t;
+          t.video = v;
+          t.instances.push_back(
+              FrameShapeRef{static_cast<uint32_t>(f), pair.a});
+          tracks_.push_back(std::move(t));
+          shape_track_[pair.a] = track;
+        }
+        tracks_[track].instances.push_back(
+            FrameShapeRef{static_cast<uint32_t>(f + 1), pair.b});
+        tracks_[track].mean_step_distance += pair.d;
+        shape_track_[pair.b] = track;
+      }
+    }
+  }
+  // Singleton tracks for unlinked shapes, and step-distance averaging.
+  for (core::ShapeId s = 0; s < base_.NumShapes(); ++s) {
+    if (shape_track_[s] >= 0) continue;
+    ShapeTrack t;
+    t.video = shape_video_[s];
+    t.instances.push_back(FrameShapeRef{shape_frame_[s], s});
+    shape_track_[s] = static_cast<long>(tracks_.size());
+    tracks_.push_back(std::move(t));
+  }
+  for (ShapeTrack& t : tracks_) {
+    if (t.instances.size() > 1) {
+      t.mean_step_distance /=
+          static_cast<double>(t.instances.size() - 1);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::vector<VideoMatch>> VideoBase::Query(
+    const geom::Polyline& query, size_t k) {
+  if (!finalized()) {
+    return util::Status::FailedPrecondition("VideoBase not finalized");
+  }
+  core::MatchOptions options;
+  options.k = std::max<size_t>(4 * k, 16);  // Shapes, before video dedupe.
+  GEOSIR_ASSIGN_OR_RETURN(std::vector<core::MatchResult> shapes,
+                          matcher_->Match(query, options));
+  std::unordered_map<uint32_t, VideoMatch> best;
+  for (const core::MatchResult& m : shapes) {
+    const long track = shape_track_[m.shape_id];
+    if (track < 0) continue;
+    const ShapeTrack& t = tracks_[track];
+    auto [it, inserted] = best.try_emplace(
+        t.video, VideoMatch{t.video, static_cast<uint32_t>(track),
+                            m.distance, t.length()});
+    if (!inserted && m.distance < it->second.distance) {
+      it->second = VideoMatch{t.video, static_cast<uint32_t>(track),
+                              m.distance, t.length()};
+    }
+  }
+  std::vector<VideoMatch> results;
+  results.reserve(best.size());
+  for (const auto& [id, match] : best) results.push_back(match);
+  std::sort(results.begin(), results.end(),
+            [](const VideoMatch& a, const VideoMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.video < b.video;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace geosir::video

@@ -1,0 +1,105 @@
+#ifndef GEOSIR_VIDEO_VIDEO_BASE_H_
+#define GEOSIR_VIDEO_VIDEO_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "util/status.h"
+
+namespace geosir::video {
+
+/// EXTENSION (the paper's stated future work, Section 7: "We are
+/// currently incorporating our method in a video retrieval system").
+/// A video base stores shapes extracted frame by frame, links instances
+/// of the same object across consecutive frames into *tracks* using the
+/// geometric-similarity measure, and answers shape queries with videos
+/// ranked by their best-matching track.
+
+/// One shape occurrence inside a video.
+struct FrameShapeRef {
+  uint32_t frame = 0;           // Frame index within the video.
+  core::ShapeId shape = 0;      // Shape id in the underlying ShapeBase.
+};
+
+/// A tracked object: the same boundary followed through consecutive
+/// frames.
+struct ShapeTrack {
+  uint32_t video = 0;
+  std::vector<FrameShapeRef> instances;  // Ordered by frame.
+  /// Mean similarity distance between consecutive instances — a
+  /// stability score (0 = rigidly repeated boundary).
+  double mean_step_distance = 0.0;
+
+  size_t length() const { return instances.size(); }
+};
+
+struct VideoEntry {
+  uint32_t id = 0;
+  std::string name;
+  size_t num_frames = 0;
+};
+
+struct VideoMatch {
+  uint32_t video = 0;
+  uint32_t track = 0;     // Index into tracks().
+  double distance = 0.0;  // Best instance distance to the query.
+  size_t track_length = 0;
+};
+
+struct VideoBaseOptions {
+  core::ShapeBaseOptions base;
+  /// Two shapes in consecutive frames are linked into the same track
+  /// when their symmetric average distance (on normalized copies) is at
+  /// most this.
+  double track_threshold = 0.05;
+};
+
+/// Build-then-query video store.
+class VideoBase {
+ public:
+  explicit VideoBase(VideoBaseOptions options = {});
+
+  /// Registers a new (empty) video; frames are appended in order.
+  uint32_t AddVideo(std::string name = "");
+
+  /// Appends a frame to `video` with the object boundaries visible in
+  /// it. Returns the frame index. Invalid shapes are skipped.
+  util::Result<uint32_t> AddFrame(uint32_t video,
+                                  const std::vector<geom::Polyline>& shapes);
+
+  /// Finalizes the shape base and links tracks.
+  util::Status Finalize();
+  bool finalized() const { return base_.finalized(); }
+
+  /// k best videos for the query shape: each video is ranked by its best
+  /// matching track instance; one result per video.
+  util::Result<std::vector<VideoMatch>> Query(const geom::Polyline& query,
+                                              size_t k = 1);
+
+  const core::ShapeBase& shape_base() const { return base_; }
+  size_t NumVideos() const { return videos_.size(); }
+  const VideoEntry& video(uint32_t id) const { return videos_[id]; }
+  const std::vector<ShapeTrack>& tracks() const { return tracks_; }
+  /// Track that contains `shape`, or -1.
+  long TrackOfShape(core::ShapeId shape) const {
+    return shape_track_[shape];
+  }
+
+ private:
+  VideoBaseOptions options_;
+  core::ShapeBase base_;
+  std::vector<VideoEntry> videos_;
+  /// Per shape: (video, frame).
+  std::vector<uint32_t> shape_video_;
+  std::vector<uint32_t> shape_frame_;
+  std::vector<ShapeTrack> tracks_;
+  std::vector<long> shape_track_;
+  std::unique_ptr<core::EnvelopeMatcher> matcher_;
+};
+
+}  // namespace geosir::video
+
+#endif  // GEOSIR_VIDEO_VIDEO_BASE_H_

@@ -1,0 +1,120 @@
+#include "workload/image_composer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/diameter.h"
+#include "workload/noise.h"
+
+namespace geosir::workload {
+
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+/// Returns `shape` scaled/rotated/translated so its bounding box fits
+/// inside the square cell [cx, cx+cell] x [cy, cy+cell] with a margin.
+Polyline PlaceInCell(const Polyline& shape, double cx, double cy, double cell,
+                     util::Rng* rng) {
+  const geom::BoundingBox box = shape.Bounds();
+  const double extent = std::max(box.Width(), box.Height());
+  const double scale = 0.7 * cell / std::max(extent, 1e-9);
+  const geom::AffineTransform t =
+      geom::AffineTransform::Translation(
+          {cx + cell * 0.5, cy + cell * 0.5}) *
+      geom::AffineTransform::Rotation(rng->Uniform(0, 2 * M_PI)) *
+      geom::AffineTransform::Scaling(scale) *
+      geom::AffineTransform::Translation(-box.Center());
+  return shape.Transformed(t);
+}
+
+/// Scales `shape` about its bounding-box center and translates it to
+/// `center`, producing a copy with bounding-box extent `target_extent`.
+Polyline PlaceAt(const Polyline& shape, Point center, double target_extent,
+                 util::Rng* rng) {
+  const geom::BoundingBox box = shape.Bounds();
+  const double extent = std::max(box.Width(), box.Height());
+  const geom::AffineTransform t =
+      geom::AffineTransform::Translation(center) *
+      geom::AffineTransform::Rotation(rng->Uniform(0, 2 * M_PI)) *
+      geom::AffineTransform::Scaling(target_extent / std::max(extent, 1e-9)) *
+      geom::AffineTransform::Translation(-box.Center());
+  return shape.Transformed(t);
+}
+
+}  // namespace
+
+ComposedImage ComposeImage(const std::vector<Polyline>& prototypes,
+                           double instance_noise, util::Rng* rng,
+                           const ComposeOptions& options) {
+  ComposedImage image;
+  if (prototypes.empty()) return image;
+
+  // Draw the shape count around the mean, clamped.
+  int count = static_cast<int>(std::lround(
+      options.shapes_per_image_mean + rng->Gaussian(1.2)));
+  count = std::clamp(count, options.min_shapes, options.max_shapes);
+
+  // Grid of cells large enough for `count` disjoint placements.
+  const int grid = static_cast<int>(std::ceil(std::sqrt(count)));
+  const double cell = options.canvas / grid;
+  std::vector<int> cells(grid * grid);
+  for (int i = 0; i < grid * grid; ++i) cells[i] = i;
+  rng->Shuffle(&cells);
+
+  for (int i = 0; i < count; ++i) {
+    const int proto_idx = static_cast<int>(
+        rng->UniformInt(0, static_cast<int64_t>(prototypes.size()) - 1));
+    Polyline instance = instance_noise > 0.0
+                            ? JitterVertices(prototypes[proto_idx],
+                                             instance_noise, rng)
+                            : prototypes[proto_idx];
+
+    const bool can_relate = !image.shapes.empty();
+    const double roll = rng->Uniform(0, 1);
+    if (can_relate && roll < options.contain_probability) {
+      // Nest inside the previous shape: place at its centroid with a
+      // fraction of its extent.
+      const Polyline& host = image.shapes.back();
+      const geom::BoundingBox hb = host.Bounds();
+      const double extent = 0.35 * std::min(hb.Width(), hb.Height());
+      Polyline placed = PlaceAt(instance, hb.Center(), extent, rng);
+      if (query::TestRelation(query::Relation::kContain, host, placed)) {
+        image.planted.push_back(PlantedRelation{
+            image.shapes.size() - 1, image.shapes.size(),
+            query::Relation::kContain});
+        image.prototype.push_back(proto_idx);
+        image.shapes.push_back(std::move(placed));
+        continue;
+      }
+      // Placement failed (concave host); fall through to a fresh cell.
+    } else if (can_relate && roll < options.contain_probability +
+                                        options.overlap_probability) {
+      // Overlap the previous shape: place at a point on its boundary.
+      const Polyline& host = image.shapes.back();
+      const geom::BoundingBox hb = host.Bounds();
+      const double extent = 0.8 * std::max(hb.Width(), hb.Height());
+      const Point anchor =
+          host.AtArcLength(rng->Uniform(0, host.Perimeter()));
+      Polyline placed = PlaceAt(instance, anchor, extent, rng);
+      if (query::TestRelation(query::Relation::kOverlap, host, placed)) {
+        image.planted.push_back(PlantedRelation{
+            image.shapes.size() - 1, image.shapes.size(),
+            query::Relation::kOverlap});
+        image.prototype.push_back(proto_idx);
+        image.shapes.push_back(std::move(placed));
+        continue;
+      }
+    }
+    // Disjoint placement in a fresh cell.
+    const int cell_idx = cells[i % cells.size()];
+    const double cx = (cell_idx % grid) * cell;
+    const double cy = (cell_idx / grid) * cell;
+    image.prototype.push_back(proto_idx);
+    image.shapes.push_back(PlaceInCell(instance, cx, cy, cell, rng));
+  }
+  return image;
+}
+
+}  // namespace geosir::workload

@@ -1,0 +1,50 @@
+#ifndef GEOSIR_WORKLOAD_IMAGE_COMPOSER_H_
+#define GEOSIR_WORKLOAD_IMAGE_COMPOSER_H_
+
+#include <vector>
+
+#include "geom/polyline.h"
+#include "query/topology.h"
+#include "util/rng.h"
+
+namespace geosir::workload {
+
+struct ComposeOptions {
+  /// Mean shapes per image (the paper's base averages 5.5).
+  double shapes_per_image_mean = 5.5;
+  int min_shapes = 2;
+  int max_shapes = 9;
+  /// Probability that a placed shape is nested inside the previous one
+  /// (produces a contain relation).
+  double contain_probability = 0.2;
+  /// Probability that a placed shape overlaps the previous one.
+  double overlap_probability = 0.2;
+  /// Side length of the image canvas.
+  double canvas = 100.0;
+};
+
+/// Ground truth of one planted relation.
+struct PlantedRelation {
+  size_t a = 0;  // Index into ComposedImage::shapes.
+  size_t b = 0;
+  query::Relation relation = query::Relation::kDisjoint;
+};
+
+/// A synthetic image: instantiated prototype shapes placed on a canvas
+/// with known pairwise relations.
+struct ComposedImage {
+  std::vector<geom::Polyline> shapes;
+  std::vector<int> prototype;  // Prototype index per shape.
+  std::vector<PlantedRelation> planted;
+};
+
+/// Places noisy instances of random prototypes on the canvas. Shapes are
+/// put in separate cells (disjoint) except for the planted contain /
+/// overlap pairs.
+ComposedImage ComposeImage(const std::vector<geom::Polyline>& prototypes,
+                           double instance_noise, util::Rng* rng,
+                           const ComposeOptions& options = {});
+
+}  // namespace geosir::workload
+
+#endif  // GEOSIR_WORKLOAD_IMAGE_COMPOSER_H_

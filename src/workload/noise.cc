@@ -1,0 +1,77 @@
+#include "workload/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/diameter.h"
+
+namespace geosir::workload {
+
+namespace {
+
+double DiameterOf(const geom::Polyline& shape) {
+  return geom::Diameter(shape.vertices()).distance;
+}
+
+}  // namespace
+
+geom::Polyline JitterVertices(const geom::Polyline& shape, double sigma_rel,
+                              util::Rng* rng) {
+  const double sigma = sigma_rel * DiameterOf(shape);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    geom::Polyline jittered = shape;
+    for (geom::Point& p : jittered.mutable_vertices()) {
+      p += geom::Point{rng->Gaussian(sigma), rng->Gaussian(sigma)};
+    }
+    if (!jittered.SelfIntersects()) return jittered;
+  }
+  return shape;
+}
+
+geom::Polyline ResampleBoundary(const geom::Polyline& shape,
+                                int target_vertices) {
+  const double perimeter = shape.Perimeter();
+  if (perimeter <= 0.0 || target_vertices < 3) return shape;
+  std::vector<geom::Point> v;
+  v.reserve(target_vertices);
+  // Open polylines must keep their endpoints; closed ones wrap.
+  if (shape.closed()) {
+    for (int i = 0; i < target_vertices; ++i) {
+      v.push_back(shape.AtArcLength(perimeter * i / target_vertices));
+    }
+  } else {
+    for (int i = 0; i < target_vertices; ++i) {
+      v.push_back(
+          shape.AtArcLength(perimeter * i / (target_vertices - 1)));
+    }
+  }
+  geom::Polyline out(std::move(v), shape.closed());
+  return out.SelfIntersects() ? shape : out;
+}
+
+geom::Polyline LocalDent(const geom::Polyline& shape, double depth_rel,
+                         util::Rng* rng) {
+  const size_t num_edges = shape.NumEdges();
+  if (num_edges == 0) return shape;
+  const double depth = depth_rel * DiameterOf(shape);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const size_t edge = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_edges) - 1));
+    const geom::Segment e = shape.Edge(edge);
+    const geom::Point normal = e.Direction().Perp().Normalized();
+    const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+    const geom::Point dent = e.Midpoint() + normal * (sign * depth);
+
+    std::vector<geom::Point> v;
+    v.reserve(shape.size() + 1);
+    for (size_t i = 0; i < shape.size(); ++i) {
+      v.push_back(shape.vertex(i));
+      if (i == edge) v.push_back(dent);
+    }
+    geom::Polyline out(std::move(v), shape.closed());
+    if (!out.SelfIntersects()) return out;
+  }
+  return shape;
+}
+
+}  // namespace geosir::workload

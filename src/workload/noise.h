@@ -1,0 +1,29 @@
+#ifndef GEOSIR_WORKLOAD_NOISE_H_
+#define GEOSIR_WORKLOAD_NOISE_H_
+
+#include "geom/polyline.h"
+#include "util/rng.h"
+
+namespace geosir::workload {
+
+/// Gaussian vertex jitter with sigma = `sigma_rel` * diameter. Retries a
+/// few times if the result self-intersects; returns the input when no
+/// simple jittered copy is found.
+geom::Polyline JitterVertices(const geom::Polyline& shape, double sigma_rel,
+                              util::Rng* rng);
+
+/// Resamples the boundary at `target_vertices` uniform arc-length
+/// positions — same geometry described with a different number of points
+/// (the paper's "independent of the number of vertices" claim).
+geom::Polyline ResampleBoundary(const geom::Polyline& shape,
+                                int target_vertices);
+
+/// Figure 2-style local distortion: splits a random edge and pushes the
+/// midpoint outward/inward by `depth_rel` * diameter. All other vertices
+/// stay exact, so every pair of original edges survives except one.
+geom::Polyline LocalDent(const geom::Polyline& shape, double depth_rel,
+                         util::Rng* rng);
+
+}  // namespace geosir::workload
+
+#endif  // GEOSIR_WORKLOAD_NOISE_H_

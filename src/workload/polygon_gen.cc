@@ -1,0 +1,88 @@
+#include "workload/polygon_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/convex_hull.h"
+
+namespace geosir::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<double> JitteredAngles(util::Rng* rng, int n,
+                                   double irregularity) {
+  const double spacing = kTwoPi / n;
+  std::vector<double> angles(n);
+  for (int i = 0; i < n; ++i) {
+    angles[i] = i * spacing +
+                rng->Uniform(-irregularity, irregularity) * spacing * 0.5;
+  }
+  std::sort(angles.begin(), angles.end());
+  return angles;
+}
+
+}  // namespace
+
+geom::Polyline RandomStarPolygon(util::Rng* rng,
+                                 const PolygonGenOptions& options) {
+  const int n = static_cast<int>(
+      rng->UniformInt(options.min_vertices, options.max_vertices));
+  const double base_radius =
+      rng->Uniform(options.min_radius, options.max_radius);
+  const std::vector<double> angles =
+      JitteredAngles(rng, n, options.irregularity);
+  std::vector<geom::Point> v;
+  v.reserve(n);
+  for (double a : angles) {
+    const double r =
+        base_radius *
+        (1.0 + rng->Uniform(-options.spikiness, options.spikiness));
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return geom::Polyline::Closed(std::move(v));
+}
+
+geom::Polyline RandomConvexPolygon(util::Rng* rng, int min_vertices,
+                                   double radius) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<geom::Point> pts;
+    const int samples = std::max(3 * min_vertices, 12);
+    for (int i = 0; i < samples; ++i) {
+      const double a = rng->Uniform(0, kTwoPi);
+      const double r = radius * std::sqrt(rng->Uniform(0, 1));
+      pts.push_back({r * std::cos(a), r * std::sin(a)});
+    }
+    std::vector<geom::Point> hull = geom::ConvexHull(std::move(pts));
+    if (static_cast<int>(hull.size()) >= min_vertices) {
+      return geom::Polyline::Closed(std::move(hull));
+    }
+  }
+  // Fallback: a regular polygon.
+  std::vector<geom::Point> v;
+  for (int i = 0; i < min_vertices; ++i) {
+    const double a = kTwoPi * i / min_vertices;
+    v.push_back({radius * std::cos(a), radius * std::sin(a)});
+  }
+  return geom::Polyline::Closed(std::move(v));
+}
+
+geom::Polyline RandomOpenPolyline(util::Rng* rng,
+                                  const PolygonGenOptions& options) {
+  const geom::Polyline star = RandomStarPolygon(rng, options);
+  // Take a contiguous arc covering 40-70% of the vertices.
+  const size_t n = star.size();
+  const size_t len = std::max<size_t>(
+      3, static_cast<size_t>(n * rng->Uniform(0.4, 0.7)));
+  const size_t start = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  std::vector<geom::Point> v;
+  v.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    v.push_back(star.vertex((start + i) % n));
+  }
+  return geom::Polyline::Open(std::move(v));
+}
+
+}  // namespace geosir::workload

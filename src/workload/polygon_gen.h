@@ -1,0 +1,40 @@
+#ifndef GEOSIR_WORKLOAD_POLYGON_GEN_H_
+#define GEOSIR_WORKLOAD_POLYGON_GEN_H_
+
+#include "geom/polyline.h"
+#include "util/rng.h"
+
+namespace geosir::workload {
+
+/// Parameters of the synthetic shape generator. Defaults match the
+/// paper's test base (~20 vertices per shape on average).
+struct PolygonGenOptions {
+  int min_vertices = 12;
+  int max_vertices = 28;
+  double min_radius = 0.6;
+  double max_radius = 1.4;
+  /// Angular jitter of the vertex directions, as a fraction of the
+  /// regular spacing (0 = regular polygon).
+  double irregularity = 0.5;
+  /// Radial jitter of the vertex distances, as a fraction of the radius.
+  double spikiness = 0.35;
+};
+
+/// A random star-shaped polygon around the origin: vertex directions are
+/// jittered but kept sorted, so the polygon never self-intersects.
+geom::Polyline RandomStarPolygon(util::Rng* rng,
+                                 const PolygonGenOptions& options = {});
+
+/// A random convex polygon: the convex hull of random points on a disk,
+/// regenerated until it has at least `min_vertices` corners.
+geom::Polyline RandomConvexPolygon(util::Rng* rng, int min_vertices,
+                                   double radius);
+
+/// A random open polyline (a "boundary fragment"): a jittered arc of a
+/// star polygon. Never self-intersects.
+geom::Polyline RandomOpenPolyline(util::Rng* rng,
+                                  const PolygonGenOptions& options = {});
+
+}  // namespace geosir::workload
+
+#endif  // GEOSIR_WORKLOAD_POLYGON_GEN_H_

@@ -1,0 +1,71 @@
+#include "workload/query_set.h"
+
+#include "workload/noise.h"
+
+namespace geosir::workload {
+
+util::Result<GeneratedBase> GenerateImageBase(const ImageBaseSpec& spec) {
+  util::Rng rng(spec.seed);
+  GeneratedBase out;
+  out.images = std::make_unique<query::ImageBase>(spec.base_options);
+
+  out.prototypes.reserve(spec.num_prototypes);
+  for (size_t i = 0; i < spec.num_prototypes; ++i) {
+    out.prototypes.push_back(RandomStarPolygon(&rng, spec.polygon));
+  }
+
+  for (size_t i = 0; i < spec.num_images; ++i) {
+    const ComposedImage composed =
+        ComposeImage(out.prototypes, spec.instance_noise, &rng, spec.compose);
+    size_t skipped = 0;
+    GEOSIR_ASSIGN_OR_RETURN(
+        core::ImageId id,
+        out.images->AddImage(composed.shapes, "", &skipped));
+    // Record prototypes for the shapes that were accepted. AddImage skips
+    // invalid boundaries, so re-derive the accepted count.
+    const query::ImageEntry& entry = out.images->image(id);
+    size_t accepted_idx = 0;
+    for (size_t s = 0; s < composed.shapes.size() &&
+                       accepted_idx < entry.shapes.size();
+         ++s) {
+      // AddImage preserves order of accepted shapes; a skipped shape
+      // simply doesn't advance the entry cursor. We re-validate to know
+      // which were accepted.
+      if (composed.shapes[s].Validate().ok() &&
+          core::NormalizeShape(
+              core::Shape{0, 0, composed.shapes[s], ""},
+              spec.base_options.normalize)
+              .ok()) {
+        out.prototype_of_shape.push_back(composed.prototype[s]);
+        ++accepted_idx;
+      }
+    }
+  }
+  GEOSIR_RETURN_IF_ERROR(out.images->Finalize());
+  if (out.prototype_of_shape.size() !=
+      out.images->shape_base().NumShapes()) {
+    return util::Status::Internal(
+        "prototype bookkeeping diverged from accepted shapes");
+  }
+  return out;
+}
+
+std::vector<QueryCase> MakeQuerySet(const std::vector<geom::Polyline>&
+                                        prototypes,
+                                    size_t count, double noise,
+                                    util::Rng* rng) {
+  std::vector<QueryCase> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int proto = static_cast<int>(
+        rng->UniformInt(0, static_cast<int64_t>(prototypes.size()) - 1));
+    QueryCase qc;
+    qc.prototype = proto;
+    qc.query = noise > 0.0 ? JitterVertices(prototypes[proto], noise, rng)
+                           : prototypes[proto];
+    out.push_back(std::move(qc));
+  }
+  return out;
+}
+
+}  // namespace geosir::workload

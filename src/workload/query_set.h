@@ -1,0 +1,52 @@
+#ifndef GEOSIR_WORKLOAD_QUERY_SET_H_
+#define GEOSIR_WORKLOAD_QUERY_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/image_base.h"
+#include "util/rng.h"
+#include "workload/image_composer.h"
+#include "workload/polygon_gen.h"
+
+namespace geosir::workload {
+
+/// Specification of a synthetic image base (the stand-in for the paper's
+/// 10,000-image collection).
+struct ImageBaseSpec {
+  size_t num_images = 200;
+  size_t num_prototypes = 40;
+  /// Vertex jitter of each instance relative to the prototype diameter.
+  double instance_noise = 0.01;
+  PolygonGenOptions polygon;
+  ComposeOptions compose;
+  core::ShapeBaseOptions base_options;
+  uint64_t seed = 1;
+};
+
+/// A generated image base plus its ground truth.
+struct GeneratedBase {
+  std::unique_ptr<query::ImageBase> images;
+  std::vector<geom::Polyline> prototypes;
+  /// Prototype index of every database shape (by ShapeId).
+  std::vector<int> prototype_of_shape;
+};
+
+/// Builds and finalizes a synthetic image base.
+util::Result<GeneratedBase> GenerateImageBase(const ImageBaseSpec& spec);
+
+/// A query workload: noisy copies of random prototypes (the paper's "15
+/// representative similarity queries").
+struct QueryCase {
+  geom::Polyline query;
+  int prototype = 0;  // Ground-truth prototype.
+};
+
+std::vector<QueryCase> MakeQuerySet(const std::vector<geom::Polyline>&
+                                        prototypes,
+                                    size_t count, double noise,
+                                    util::Rng* rng);
+
+}  // namespace geosir::workload
+
+#endif  // GEOSIR_WORKLOAD_QUERY_SET_H_

@@ -1,0 +1,65 @@
+#include "workload/video_gen.h"
+
+#include <cmath>
+
+#include "geom/transform.h"
+#include "workload/noise.h"
+
+namespace geosir::workload {
+
+std::vector<GeneratedVideo> GenerateVideos(
+    const std::vector<geom::Polyline>& prototypes, const VideoSpec& spec,
+    util::Rng* rng) {
+  std::vector<GeneratedVideo> videos;
+  videos.reserve(spec.num_videos);
+  for (size_t v = 0; v < spec.num_videos; ++v) {
+    GeneratedVideo video;
+    struct ObjectState {
+      int prototype;
+      geom::Point position;
+      geom::Point velocity;
+      double angle;
+      double spin;
+      double scale;
+      double zoom;
+    };
+    std::vector<ObjectState> objects;
+    for (size_t o = 0; o < spec.objects_per_video; ++o) {
+      ObjectState state;
+      state.prototype = static_cast<int>(
+          rng->UniformInt(0, static_cast<int64_t>(prototypes.size()) - 1));
+      state.position = {rng->Uniform(-10, 10), rng->Uniform(-10, 10)};
+      state.velocity = {rng->Uniform(-0.5, 0.5), rng->Uniform(-0.5, 0.5)};
+      state.angle = rng->Uniform(0, 2 * M_PI);
+      state.spin = rng->Uniform(-spec.max_spin, spec.max_spin);
+      state.scale = rng->Uniform(2.0, 6.0);
+      state.zoom = 1.0 + rng->Uniform(-spec.max_zoom, spec.max_zoom);
+      video.prototypes.push_back(state.prototype);
+      objects.push_back(state);
+    }
+    for (size_t f = 0; f < spec.frames_per_video; ++f) {
+      std::vector<geom::Polyline> frame;
+      for (ObjectState& state : objects) {
+        const geom::AffineTransform pose =
+            geom::AffineTransform::Translation(state.position) *
+            geom::AffineTransform::Rotation(state.angle) *
+            geom::AffineTransform::Scaling(state.scale);
+        geom::Polyline instance =
+            prototypes[state.prototype].Transformed(pose);
+        if (spec.frame_noise > 0.0) {
+          instance = JitterVertices(instance, spec.frame_noise, rng);
+        }
+        frame.push_back(std::move(instance));
+        // Smooth motion update.
+        state.position += state.velocity;
+        state.angle += state.spin;
+        state.scale *= state.zoom;
+      }
+      video.frames.push_back(std::move(frame));
+    }
+    videos.push_back(std::move(video));
+  }
+  return videos;
+}
+
+}  // namespace geosir::workload

@@ -1,0 +1,42 @@
+#ifndef GEOSIR_WORKLOAD_VIDEO_GEN_H_
+#define GEOSIR_WORKLOAD_VIDEO_GEN_H_
+
+#include <vector>
+
+#include "geom/polyline.h"
+#include "util/rng.h"
+
+namespace geosir::workload {
+
+/// Synthetic video workload for the video-retrieval extension: each
+/// video shows a few prototype objects moving smoothly (drifting,
+/// rotating, slowly re-scaling) with per-frame extraction jitter.
+struct VideoSpec {
+  size_t num_videos = 10;
+  size_t frames_per_video = 12;
+  size_t objects_per_video = 2;
+  /// Per-frame vertex jitter relative to the shape diameter (models
+  /// frame-by-frame boundary extraction noise).
+  double frame_noise = 0.006;
+  /// Per-frame rotation step bounds (radians).
+  double max_spin = 0.15;
+  /// Per-frame relative scale drift bounds.
+  double max_zoom = 0.03;
+};
+
+struct GeneratedVideo {
+  /// frames[f] = boundaries visible in frame f.
+  std::vector<std::vector<geom::Polyline>> frames;
+  /// prototype[o] = prototype index of object o (objects keep their slot
+  /// order inside every frame).
+  std::vector<int> prototypes;
+};
+
+/// Generates `spec.num_videos` videos over the given prototypes.
+std::vector<GeneratedVideo> GenerateVideos(
+    const std::vector<geom::Polyline>& prototypes, const VideoSpec& spec,
+    util::Rng* rng);
+
+}  // namespace geosir::workload
+
+#endif  // GEOSIR_WORKLOAD_VIDEO_GEN_H_

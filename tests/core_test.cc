@@ -1,0 +1,488 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/envelope_matcher.h"
+#include "core/feature_index_baseline.h"
+#include "core/normalize.h"
+#include "core/shape_base.h"
+#include "core/similarity.h"
+#include "geom/predicates.h"
+#include "util/rng.h"
+
+namespace geosir::core {
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+/// Regular n-gon of radius r centered at c, slightly rotated by phase.
+Polyline RegularPolygon(int n, double r, Point c = {0, 0},
+                        double phase = 0.0) {
+  std::vector<Point> v;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double a = phase + 2.0 * M_PI * i / n;
+    v.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+/// Densely sampled axis-aligned rectangle (vertices every `step`).
+Polyline DenseRectangle(double w, double h, double step) {
+  std::vector<Point> v;
+  for (double x = 0; x < w; x += step) v.push_back({x, 0});
+  for (double y = 0; y < h; y += step) v.push_back({w, y});
+  for (double x = w; x > 0; x -= step) v.push_back({x, h});
+  for (double y = h; y > 0; y -= step) v.push_back({0, y});
+  return Polyline::Closed(std::move(v));
+}
+
+TEST(SimilarityTest, IdenticalShapesHaveZeroDistance) {
+  Polyline p = RegularPolygon(7, 1.0);
+  EXPECT_NEAR(AvgMinDistance(p, p), 0.0, 1e-9);
+  EXPECT_NEAR(AvgMinDistanceSymmetric(p, p), 0.0, 1e-9);
+  EXPECT_NEAR(DiscreteHausdorff(p, p), 0.0, 1e-12);
+}
+
+TEST(SimilarityTest, ConcentricSquaresHaveOffsetDistance) {
+  // Outer square side 2 centered at origin; inner side 1. Every point of
+  // the inner square is exactly 0.5 from the outer square.
+  Polyline outer = Polyline::Closed({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  Polyline inner = Polyline::Closed(
+      {{-0.5, -0.5}, {0.5, -0.5}, {0.5, 0.5}, {-0.5, 0.5}});
+  EXPECT_NEAR(AvgMinDistance(inner, outer), 0.5, 1e-6);
+}
+
+TEST(SimilarityTest, DirectedMeasureIsAsymmetric) {
+  // A short segment lying on the square's boundary: directed distance
+  // segment->square is 0, square->segment is large.
+  Polyline sq = Polyline::Closed({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polyline seg = Polyline::Open({{0.2, 0.0}, {0.4, 0.0}});
+  EXPECT_NEAR(AvgMinDistance(seg, sq), 0.0, 1e-9);
+  EXPECT_GT(AvgMinDistance(sq, seg), 0.2);
+  EXPECT_GT(AvgMinDistanceSymmetric(seg, sq), 0.2);
+}
+
+TEST(SimilarityTest, Figure1RankInversion) {
+  // The paper's motivating example: under Hausdorff the query matches A,
+  // under h_avg it matches B (which is intuitively closer).
+  Polyline q = DenseRectangle(2.0, 1.0, 0.1);
+  // B: same rectangle with a single spike vertex pulled far out.
+  Polyline b = q;
+  b.mutable_vertices()[5].y -= 0.8;  // Spike on the bottom edge.
+  // A: uniformly inflated copy (every boundary point ~0.25 away).
+  Polyline a = Polyline::Closed([] {
+    Polyline r = DenseRectangle(2.5, 1.5, 0.1);
+    std::vector<Point> v = r.vertices();
+    for (Point& p : v) p += Point{-0.25, -0.25};
+    return v;
+  }());
+
+  const double haus_a = DiscreteHausdorff(a, q);
+  const double haus_b = DiscreteHausdorff(b, q);
+  EXPECT_LT(haus_a, haus_b);  // Hausdorff prefers A.
+
+  const double avg_a = AvgMinDistanceSymmetric(a, q);
+  const double avg_b = AvgMinDistanceSymmetric(b, q);
+  EXPECT_LT(avg_b, avg_a);  // h_avg prefers B.
+}
+
+TEST(SimilarityTest, PartialHausdorffIgnoresOutliers) {
+  Polyline q = DenseRectangle(2.0, 1.0, 0.1);
+  Polyline spiky = q;
+  spiky.mutable_vertices()[5].y -= 0.8;
+  const double full = DiscreteDirectedHausdorff(spiky, q);
+  const double half = PartialDirectedHausdorff(spiky, q, 0.5);
+  EXPECT_GT(full, 0.7);
+  EXPECT_LT(half, 0.1);
+  EXPECT_LE(PartialHausdorff(spiky, q, 0.5), PartialHausdorff(spiky, q, 1.0));
+}
+
+TEST(SimilarityTest, PartialHausdorffFullFractionEqualsHausdorff) {
+  Polyline a = RegularPolygon(8, 1.0);
+  Polyline b = RegularPolygon(8, 1.3);
+  EXPECT_NEAR(PartialDirectedHausdorff(a, b, 1.0),
+              DiscreteDirectedHausdorff(a, b), 1e-12);
+}
+
+TEST(SimilarityTest, ContinuousAverageUsesEdgesNotJustVertices) {
+  // Two shapes with identical vertex sets... impossible; instead verify
+  // that subdividing edges (no geometric change) barely moves the
+  // continuous measure while it can move the discrete one.
+  Polyline coarse = Polyline::Closed({{0, 0}, {2, 0}, {2, 1}, {0, 1}});
+  Polyline fine = DenseRectangle(2.0, 1.0, 0.05);
+  Polyline other = RegularPolygon(16, 0.8, {1.0, 0.5});
+  const double c1 = AvgMinDistance(coarse, other);
+  const double c2 = AvgMinDistance(fine, other);
+  EXPECT_NEAR(c1, c2, 5e-3);
+}
+
+TEST(NormalizeTest, DiameterMapsToUnitBase) {
+  Shape s;
+  s.boundary = RegularPolygon(9, 2.0, {5, 5});
+  auto copies = NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  ASSERT_GE(copies->size(), 2u);
+  for (const NormalizedCopy& copy : *copies) {
+    const Point a = copy.shape.vertex(copy.axis_i);
+    const Point b = copy.shape.vertex(copy.axis_j);
+    EXPECT_NEAR(a.x, 0.0, 1e-9);
+    EXPECT_NEAR(a.y, 0.0, 1e-9);
+    EXPECT_NEAR(b.x, 1.0, 1e-9);
+    EXPECT_NEAR(b.y, 0.0, 1e-9);
+  }
+}
+
+TEST(NormalizeTest, TrueDiameterVerticesInsideLune) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    Shape s;
+    s.boundary = RegularPolygon(5 + trial, 1.0 + trial * 0.3,
+                                {rng.Uniform(-3, 3), rng.Uniform(-3, 3)},
+                                rng.Uniform(0, 1));
+    NormalizeOptions opts;
+    opts.use_alpha_diameters = false;
+    auto copies = NormalizeShape(s, opts);
+    ASSERT_TRUE(copies.ok());
+    for (const NormalizedCopy& copy : *copies) {
+      for (Point p : copy.shape.vertices()) {
+        // Inside both unit disks (the lune), small tolerance.
+        EXPECT_LE(p.Norm(), 1.0 + 1e-9);
+        EXPECT_LE((p - Point{1, 0}).Norm(), 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(NormalizeTest, PairOfCopiesPerAxis) {
+  Shape s;
+  s.boundary = RegularPolygon(6, 1.0);
+  NormalizeOptions opts;
+  opts.alpha = 0.3;
+  opts.max_axes = 4;
+  auto copies = NormalizeShape(s, opts);
+  ASSERT_TRUE(copies.ok());
+  EXPECT_EQ(copies->size() % 2, 0u);
+  EXPECT_LE(copies->size(), 8u);
+  // Copies 2k and 2k+1 share the axis with swapped endpoints.
+  for (size_t i = 0; i + 1 < copies->size(); i += 2) {
+    EXPECT_EQ((*copies)[i].axis_i, (*copies)[i + 1].axis_j);
+    EXPECT_EQ((*copies)[i].axis_j, (*copies)[i + 1].axis_i);
+  }
+}
+
+TEST(NormalizeTest, InverseTransformRecoversOriginal) {
+  Shape s;
+  s.boundary = RegularPolygon(7, 1.5, {2, -1}, 0.3);
+  auto copies = NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  const NormalizedCopy& c = copies->front();
+  const Polyline back = c.shape.Transformed(c.from_normalized);
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back.vertex(i).x, s.boundary.vertex(i).x, 1e-9);
+    EXPECT_NEAR(back.vertex(i).y, s.boundary.vertex(i).y, 1e-9);
+  }
+}
+
+TEST(NormalizeTest, RejectsInvalidInputs) {
+  Shape s;
+  s.boundary = Polyline::Open({{0, 0}});
+  EXPECT_FALSE(NormalizeShape(s).ok());
+  EXPECT_FALSE(NormalizeQuery(Polyline::Open({{0, 0}, {0, 0}})).ok());
+}
+
+/// Similarity of normalized copies must be invariant under similarity
+/// transforms of the input shape — the core normalization property.
+class NormalizationInvarianceTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(NormalizationInvarianceTest, QueryNormalizationIsInvariant) {
+  const auto [angle, scale, tx] = GetParam();
+  Polyline original = RegularPolygon(8, 1.0, {0.3, -0.2}, 0.2);
+  const geom::AffineTransform t = geom::AffineTransform::Translation({tx, -tx}) *
+                                  geom::AffineTransform::Rotation(angle) *
+                                  geom::AffineTransform::Scaling(scale);
+  Polyline moved = original.Transformed(t);
+
+  auto n1 = NormalizeQuery(original);
+  auto n2 = NormalizeQuery(moved);
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  // The normalized copies must be the same point set (the diameter pair is
+  // transform-invariant); allow either orientation by comparing the
+  // symmetric similarity measure to zero.
+  const double d = AvgMinDistanceSymmetric(n1->shape, n2->shape);
+  EXPECT_NEAR(d, 0.0, 1e-6) << "angle=" << angle << " scale=" << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransformSweep, NormalizationInvarianceTest,
+    ::testing::Combine(::testing::Values(0.0, 0.7, 2.1, 3.9, 5.5),
+                       ::testing::Values(0.5, 1.0, 3.0),
+                       ::testing::Values(0.0, 10.0)));
+
+TEST(ShapeBaseTest, AddFinalizeQueryLifecycle) {
+  ShapeBase base;
+  auto id = base.AddShape(RegularPolygon(5, 1.0));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_FALSE(base.finalized());
+  ASSERT_TRUE(base.Finalize().ok());
+  EXPECT_TRUE(base.finalized());
+  EXPECT_FALSE(base.AddShape(RegularPolygon(6, 1.0)).ok());
+  EXPECT_FALSE(base.Finalize().ok());
+  EXPECT_GT(base.NumCopies(), 0u);
+  // Each copy pools its vertices except the two axis endpoints, which
+  // are pinned at (0,0)/(1,0) and kept implicit.
+  EXPECT_EQ(base.NumVertices(), base.NumCopies() * (5 - 2));
+}
+
+TEST(ShapeBaseTest, CopiesOfShapeAndVertexOwnership) {
+  ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(5, 1.0)).ok());
+  ASSERT_TRUE(base.AddShape(RegularPolygon(9, 2.0)).ok());
+  ASSERT_TRUE(base.Finalize().ok());
+  for (uint32_t v = 0; v < base.NumVertices(); ++v) {
+    const uint32_t c = base.CopyOfVertex(v);
+    ASSERT_LT(c, base.NumCopies());
+  }
+  size_t total = 0;
+  for (ShapeId id = 0; id < base.NumShapes(); ++id) {
+    total += base.CopiesOfShape(id).size();
+  }
+  EXPECT_EQ(total, base.NumCopies());
+}
+
+TEST(ShapeBaseTest, RejectsInvalidShape) {
+  ShapeBase base;
+  EXPECT_FALSE(
+      base.AddShape(Polyline::Closed({{0, 0}, {2, 2}, {2, 0}, {0, 2}})).ok());
+}
+
+class MatcherBackendTest : public ::testing::TestWithParam<IndexBackend> {};
+
+TEST_P(MatcherBackendTest, RetrievesExactCopy) {
+  ShapeBaseOptions opts;
+  opts.backend = GetParam();
+  ShapeBase base(opts);
+  // A few clearly distinct shapes.
+  ASSERT_TRUE(base.AddShape(RegularPolygon(3, 1.0), kNoImage, "tri").ok());
+  ASSERT_TRUE(base.AddShape(RegularPolygon(4, 1.0), kNoImage, "sq").ok());
+  ASSERT_TRUE(base.AddShape(RegularPolygon(8, 1.0), kNoImage, "oct").ok());
+  ASSERT_TRUE(base.AddShape(DenseRectangle(3.0, 1.0, 0.5), kNoImage,
+                            "rect").ok());
+  ASSERT_TRUE(base.Finalize().ok());
+
+  EnvelopeMatcher matcher(&base);
+  // Query: the square, rotated and scaled (retrieval must be invariant).
+  const geom::AffineTransform t = geom::AffineTransform::Translation({9, 9}) *
+                                  geom::AffineTransform::Rotation(1.1) *
+                                  geom::AffineTransform::Scaling(4.0);
+  MatchStats stats;
+  auto results = matcher.Match(RegularPolygon(4, 1.0).Transformed(t), {},
+                               &stats);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ(base.shape((*results)[0].shape_id).label, "sq");
+  EXPECT_NEAR((*results)[0].distance, 0.0, 1e-6);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST_P(MatcherBackendTest, RetrievesNoisyShape) {
+  util::Rng rng(91);
+  ShapeBaseOptions opts;
+  opts.backend = GetParam();
+  ShapeBase base(opts);
+  for (int n = 5; n <= 12; ++n) {
+    ASSERT_TRUE(base.AddShape(RegularPolygon(n, 1.0)).ok());
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+
+  // Noisy heptagon: jitter every vertex by up to 2% of the radius.
+  Polyline noisy = RegularPolygon(7, 1.0);
+  for (Point& p : noisy.mutable_vertices()) {
+    p += Point{rng.Gaussian(0.02), rng.Gaussian(0.02)};
+  }
+  EnvelopeMatcher matcher(&base);
+  auto results = matcher.Match(noisy);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ(base.shape((*results)[0].shape_id).boundary.size(), 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MatcherBackendTest,
+                         ::testing::Values(IndexBackend::kBruteForce,
+                                           IndexBackend::kGrid,
+                                           IndexBackend::kKdTree,
+                                           IndexBackend::kRangeTree,
+                                           IndexBackend::kConvexLayers),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case IndexBackend::kBruteForce:
+                               return std::string("brute");
+                             case IndexBackend::kGrid:
+                               return std::string("grid");
+                             case IndexBackend::kKdTree:
+                               return std::string("kd");
+                             case IndexBackend::kRangeTree:
+                               return std::string("rangetree");
+                             case IndexBackend::kConvexLayers:
+                               return std::string("layers");
+                           }
+                           return std::string("unknown");
+                         });
+
+TEST(MatcherTest, KBestReturnsSortedDistinctShapes) {
+  ShapeBase base;
+  for (int n = 4; n <= 16; ++n) {
+    ASSERT_TRUE(base.AddShape(RegularPolygon(n, 1.0)).ok());
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+  EnvelopeMatcher matcher(&base);
+  MatchOptions opts;
+  opts.k = 5;
+  auto results = matcher.Match(RegularPolygon(10, 1.0), opts);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 5u);
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_LE((*results)[i - 1].distance, (*results)[i].distance);
+    EXPECT_NE((*results)[i - 1].shape_id, (*results)[i].shape_id);
+  }
+  EXPECT_EQ(base.shape((*results)[0].shape_id).boundary.size(), 10u);
+}
+
+TEST(MatcherTest, NoMatchWithinBoundReturnsEmpty) {
+  ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(4, 1.0)).ok());
+  ASSERT_TRUE(base.Finalize().ok());
+  EnvelopeMatcher matcher(&base);
+  MatchOptions opts;
+  // Query is wildly different and the envelope is frozen tiny.
+  opts.max_epsilon = 1e-7;
+  opts.initial_epsilon = 1e-8;
+  Polyline far = Polyline::Open({{0, 0}, {0.31, 0.57}, {0.9, 0.1}, {1.4, 0.9}});
+  MatchStats stats;
+  auto results = matcher.Match(far, opts, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+  EXPECT_TRUE(stats.exhausted);
+}
+
+TEST(MatcherTest, StatsAndTracePopulated) {
+  ShapeBase base;
+  for (int n = 4; n <= 9; ++n) {
+    ASSERT_TRUE(base.AddShape(RegularPolygon(n, 1.0)).ok());
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+  EnvelopeMatcher matcher(&base);
+  MatchStats stats;
+  AccessTrace trace;
+  auto results = matcher.Match(RegularPolygon(6, 1.0), {}, &stats, &trace);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(stats.vertices_accepted, 0u);
+  EXPECT_GE(stats.vertices_reported, stats.vertices_accepted);
+  EXPECT_GT(stats.candidates_evaluated, 0u);
+  EXPECT_FALSE(trace.empty());
+  for (uint32_t copy_idx : trace) {
+    EXPECT_LT(copy_idx, base.NumCopies());
+  }
+}
+
+TEST(MatcherTest, RejectsBadOptions) {
+  ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(4, 1.0)).ok());
+  ASSERT_TRUE(base.Finalize().ok());
+  EnvelopeMatcher matcher(&base);
+  MatchOptions bad_beta;
+  bad_beta.beta = 1.5;
+  EXPECT_FALSE(matcher.Match(RegularPolygon(4, 1.0), bad_beta).ok());
+  MatchOptions bad_growth;
+  bad_growth.growth = 0.5;
+  EXPECT_FALSE(matcher.Match(RegularPolygon(4, 1.0), bad_growth).ok());
+}
+
+TEST(MatcherTest, UnfinalizedBaseRejected) {
+  ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(4, 1.0)).ok());
+  EnvelopeMatcher matcher(&base);
+  EXPECT_FALSE(matcher.Match(RegularPolygon(4, 1.0)).ok());
+}
+
+TEST(MatcherTest, ReusableAcrossQueries) {
+  ShapeBase base;
+  for (int n = 4; n <= 10; ++n) {
+    ASSERT_TRUE(base.AddShape(RegularPolygon(n, 1.0)).ok());
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+  EnvelopeMatcher matcher(&base);
+  for (int n = 4; n <= 10; ++n) {
+    auto results = matcher.Match(RegularPolygon(n, 1.0));
+    ASSERT_TRUE(results.ok());
+    ASSERT_FALSE(results->empty());
+    EXPECT_EQ(base.shape((*results)[0].shape_id).boundary.size(),
+              static_cast<size_t>(n))
+        << "query n=" << n;
+  }
+}
+
+TEST(FeatureIndexTest, ExactRetrievalWorks) {
+  FeatureIndexBaseline index;
+  ASSERT_TRUE(index.Add(0, RegularPolygon(4, 1.0)).ok());
+  ASSERT_TRUE(index.Add(1, RegularPolygon(7, 1.0)).ok());
+  ASSERT_TRUE(index.Add(2, DenseRectangle(2.0, 1.0, 0.5)).ok());
+  auto results = index.Query(RegularPolygon(7, 1.0), 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].shape_id, 1u);
+  EXPECT_NEAR(results[0].distance, 0.0, 1e-9);
+}
+
+TEST(FeatureIndexTest, InvariantUnderSimilarityTransform) {
+  FeatureIndexBaseline index;
+  ASSERT_TRUE(index.Add(0, RegularPolygon(4, 1.0)).ok());
+  ASSERT_TRUE(index.Add(1, RegularPolygon(6, 1.0)).ok());
+  const geom::AffineTransform t = geom::AffineTransform::Translation({3, 4}) *
+                                  geom::AffineTransform::Rotation(0.8) *
+                                  geom::AffineTransform::Scaling(2.0);
+  auto results = index.Query(RegularPolygon(6, 1.0).Transformed(t), 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].shape_id, 1u);
+  EXPECT_NEAR(results[0].distance, 0.0, 1e-9);
+}
+
+TEST(FeatureIndexTest, StorageOverheadScalesWithEdges) {
+  FeatureIndexBaseline index;
+  ASSERT_TRUE(index.Add(0, RegularPolygon(20, 1.0)).ok());
+  EXPECT_EQ(index.NumEntries(), 40u);  // 2 per edge.
+}
+
+TEST(FeatureIndexTest, LocalDistortionBreaksEdgeNormalization) {
+  // Figure 2's claim: distorting edges (splitting one edge into two with
+  // a dent) hurts the edge-normalized baseline much more than the
+  // diameter-normalized matcher. Here we verify the baseline's distance
+  // blows up while h_avg stays small.
+  Polyline clean = RegularPolygon(6, 1.0);
+  // Distort: split each edge's midpoint outward by 5%.
+  std::vector<Point> distorted_v;
+  for (size_t i = 0; i < clean.NumEdges(); ++i) {
+    const geom::Segment e = clean.Edge(i);
+    distorted_v.push_back(e.a);
+    distorted_v.push_back(e.Midpoint() * 1.05);
+  }
+  Polyline distorted = Polyline::Closed(distorted_v);
+
+  FeatureIndexBaseline index;
+  ASSERT_TRUE(index.Add(0, clean).ok());
+  auto baseline = index.Query(distorted, 1);
+  ASSERT_EQ(baseline.size(), 1u);
+
+  const double avg = AvgMinDistanceSymmetric(clean, distorted);
+  // The baseline distance is an order of magnitude worse than the
+  // geometric-similarity distance.
+  EXPECT_GT(baseline[0].distance, 5.0 * avg);
+  EXPECT_LT(avg, 0.03);
+}
+
+}  // namespace
+}  // namespace geosir::core

@@ -1,0 +1,201 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "storage/base_io.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+namespace geosir::core {
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+Polyline RegularPolygon(int n, double r) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+TEST(DynamicShapeBaseTest, InsertQueryWithoutCompaction) {
+  DynamicShapeBase base;
+  for (int n = 3; n <= 10; ++n) {
+    auto id = base.Insert(RegularPolygon(n, 1.0));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<uint64_t>(n - 3));
+  }
+  EXPECT_EQ(base.NumLive(), 8u);
+  EXPECT_EQ(base.NumCompactions(), 0u);  // Below min_compaction_size.
+  auto results = base.Match(RegularPolygon(7, 2.5), 1);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].first, 4u);  // The heptagon.
+  EXPECT_NEAR((*results)[0].second, 0.0, 1e-6);
+}
+
+TEST(DynamicShapeBaseTest, RemoveHidesShape) {
+  DynamicShapeBase base;
+  auto tri = base.Insert(RegularPolygon(3, 1.0));
+  auto sq = base.Insert(RegularPolygon(4, 1.0));
+  ASSERT_TRUE(tri.ok());
+  ASSERT_TRUE(sq.ok());
+  ASSERT_TRUE(base.Remove(*tri).ok());
+  EXPECT_EQ(base.NumLive(), 1u);
+  auto results = base.Match(RegularPolygon(3, 1.0), 2);
+  ASSERT_TRUE(results.ok());
+  for (const auto& [id, distance] : *results) {
+    EXPECT_NE(id, *tri);
+  }
+  // Double delete and unknown ids fail.
+  EXPECT_FALSE(base.Remove(*tri).ok());
+  EXPECT_FALSE(base.Remove(999).ok());
+}
+
+TEST(DynamicShapeBaseTest, CompactionPreservesStableIds) {
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 8;
+  options.max_delta_fraction = 0.1;
+  DynamicShapeBase base(options);
+  util::Rng rng(1);
+  workload::PolygonGenOptions gen;
+  std::vector<uint64_t> ids;
+  std::vector<Polyline> shapes;
+  for (int i = 0; i < 120; ++i) {
+    shapes.push_back(RandomStarPolygon(&rng, gen));
+    auto id = base.Insert(shapes.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_GT(base.NumCompactions(), 0u);
+  // Every inserted shape is still retrievable under its original id.
+  for (int probe : {0, 17, 63, 119}) {
+    auto results = base.Match(shapes[probe], 1);
+    ASSERT_TRUE(results.ok());
+    ASSERT_FALSE(results->empty());
+    EXPECT_EQ((*results)[0].first, ids[probe]) << probe;
+    EXPECT_NEAR((*results)[0].second, 0.0, 1e-6);
+  }
+}
+
+TEST(DynamicShapeBaseTest, TombstoneCompactionReclaims) {
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 8;
+  DynamicShapeBase base(options);
+  util::Rng rng(2);
+  workload::PolygonGenOptions gen;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    auto id = base.Insert(RandomStarPolygon(&rng, gen));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  const size_t before = base.NumCompactions();
+  // Delete half: tombstones exceed the threshold and trigger a rebuild.
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    ASSERT_TRUE(base.Remove(ids[i]).ok());
+  }
+  EXPECT_GT(base.NumCompactions(), before);
+  // Tombstones were reclaimed at the compaction; only the deletes after
+  // the last rebuild remain, below the trigger threshold.
+  EXPECT_LT(base.NumTombstones(), 50u * options.max_tombstone_fraction);
+  EXPECT_EQ(base.NumLive(), 50u);
+}
+
+TEST(DynamicShapeBaseTest, MixedWorkloadMatchesSnapshotSemantics) {
+  // Interleave inserts/deletes/queries; after the dust settles, the
+  // dynamic base must return exactly what a freshly-built static base
+  // over the live set returns.
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 16;
+  options.match.measure = MatchMeasure::kDiscreteSymmetric;
+  DynamicShapeBase dynamic(options);
+  util::Rng rng(3);
+  workload::PolygonGenOptions gen;
+  std::vector<std::pair<uint64_t, Polyline>> live;
+  for (int round = 0; round < 150; ++round) {
+    if (!live.empty() && rng.Bernoulli(0.3)) {
+      const size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(dynamic.Remove(live[victim].first).ok());
+      live.erase(live.begin() + victim);
+    } else {
+      Polyline shape = RandomStarPolygon(&rng, gen);
+      auto id = dynamic.Insert(shape);
+      ASSERT_TRUE(id.ok());
+      live.emplace_back(*id, std::move(shape));
+    }
+  }
+  ASSERT_FALSE(live.empty());
+  EXPECT_EQ(dynamic.NumLive(), live.size());
+
+  ShapeBase snapshot;
+  for (const auto& [id, shape] : live) {
+    ASSERT_TRUE(snapshot.AddShape(shape).ok());
+  }
+  ASSERT_TRUE(snapshot.Finalize().ok());
+  EnvelopeMatcher matcher(&snapshot);
+  util::Rng qrng(4);
+  for (int q = 0; q < 5; ++q) {
+    const Polyline query = workload::JitterVertices(
+        live[q % live.size()].second, 0.01, &qrng);
+    auto dyn = dynamic.Match(query, 1);
+    MatchOptions static_options;
+    static_options.measure = MatchMeasure::kDiscreteSymmetric;
+    auto stat = matcher.Match(query, static_options);
+    ASSERT_TRUE(dyn.ok());
+    ASSERT_TRUE(stat.ok());
+    ASSERT_FALSE(dyn->empty());
+    ASSERT_FALSE(stat->empty());
+    // Same shape geometry wins (compare by distance; ids differ).
+    EXPECT_NEAR((*dyn)[0].second, (*stat)[0].distance, 1e-9) << q;
+  }
+}
+
+TEST(BaseIoTest, SaveLoadRoundTrip) {
+  ShapeBase original;
+  ASSERT_TRUE(original
+                  .AddShape(RegularPolygon(5, 1.0), 7, "penta")
+                  .ok());
+  ASSERT_TRUE(original
+                  .AddShape(Polyline::Open({{0, 0}, {1, 0.3}, {2, 0}}),
+                            kNoImage, "arc")
+                  .ok());
+  const std::string path = "/tmp/geosir_base_io_test.gsir";
+  ASSERT_TRUE(storage::SaveShapeBase(original, path).ok());
+
+  auto loaded = storage::LoadShapeBase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE((*loaded)->finalized());
+  ASSERT_EQ((*loaded)->NumShapes(), 2u);
+  EXPECT_EQ((*loaded)->shape(0).label, "penta");
+  EXPECT_EQ((*loaded)->shape(0).image, 7u);
+  EXPECT_EQ((*loaded)->shape(1).label, "arc");
+  EXPECT_FALSE((*loaded)->shape(1).boundary.closed());
+  EXPECT_EQ((*loaded)->NumCopies(), original.NumCopies());
+  for (size_t v = 0; v < original.shape(0).boundary.size(); ++v) {
+    EXPECT_EQ((*loaded)->shape(0).boundary.vertex(v),
+              original.shape(0).boundary.vertex(v));
+  }
+}
+
+TEST(BaseIoTest, ErrorsSurfaced) {
+  EXPECT_FALSE(storage::LoadShapeBase("/tmp/does_not_exist.gsir").ok());
+  // Corrupt magic.
+  const std::string path = "/tmp/geosir_bad_magic.gsir";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOPE", f);
+  std::fclose(f);
+  auto result = storage::LoadShapeBase(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace geosir::core

@@ -1,0 +1,133 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rangesearch/brute_force_index.h"
+#include "storage/external_index.h"
+#include "util/rng.h"
+
+namespace geosir::storage {
+namespace {
+
+using geom::BoundingBox;
+using geom::Point;
+using geom::Triangle;
+using rangesearch::IndexedPoint;
+
+/// Random points with float-representable coordinates (the on-disk
+/// format stores f32), so oracle comparisons are exact.
+std::vector<IndexedPoint> FloatPoints(size_t n, util::Rng* rng) {
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(IndexedPoint{
+        {static_cast<float>(rng->Uniform(0, 1)),
+         static_cast<float>(rng->Uniform(-0.8, 0.8))},
+        static_cast<uint32_t>(i)});
+  }
+  return pts;
+}
+
+TEST(ExternalRTreeTest, BuildStatsReasonable) {
+  util::Rng rng(1);
+  auto points = FloatPoints(5000, &rng);
+  auto tree = ExternalRTree::Build(points, 1024);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 5000u);
+  // Leaf capacity = (1024-2)/12 = 85 -> ~59 leaves, height 2.
+  EXPECT_GE(tree->stats().num_leaves, 5000u / 86 + 1);
+  EXPECT_GE(tree->stats().height, 2u);
+  EXPECT_LE(tree->stats().height, 4u);
+  EXPECT_EQ(tree->file().NumBlocks(),
+            tree->stats().num_leaves + tree->stats().num_internal);
+}
+
+TEST(ExternalRTreeTest, MatchesBruteForce) {
+  util::Rng rng(2);
+  auto points = FloatPoints(3000, &rng);
+  rangesearch::BruteForceIndex oracle;
+  oracle.Build(points);
+  auto tree = ExternalRTree::Build(points, 512);
+  ASSERT_TRUE(tree.ok());
+  BufferManager buffer(&tree->file(), 32);
+
+  for (int q = 0; q < 40; ++q) {
+    const Triangle t{{rng.Uniform(0, 1), rng.Uniform(-0.8, 0.8)},
+                     {rng.Uniform(0, 1), rng.Uniform(-0.8, 0.8)},
+                     {rng.Uniform(0, 1), rng.Uniform(-0.8, 0.8)}};
+    auto count = tree->CountInTriangle(t, &buffer);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, oracle.CountInTriangle(t)) << "triangle query " << q;
+
+    std::multiset<uint32_t> got, expect;
+    ASSERT_TRUE(tree->ReportInTriangle(t, &buffer,
+                                       [&got](const IndexedPoint& ip) {
+                                         got.insert(ip.id);
+                                       })
+                    .ok());
+    oracle.ReportInTriangle(t, [&expect](const IndexedPoint& ip) {
+      expect.insert(ip.id);
+    });
+    EXPECT_EQ(got, expect);
+
+    BoundingBox box;
+    box.Extend({rng.Uniform(0, 1), rng.Uniform(-0.8, 0.8)});
+    box.Extend({rng.Uniform(0, 1), rng.Uniform(-0.8, 0.8)});
+    auto rect_count = tree->CountInRect(box, &buffer);
+    ASSERT_TRUE(rect_count.ok());
+    EXPECT_EQ(*rect_count, oracle.CountInRect(box)) << "rect query " << q;
+  }
+}
+
+TEST(ExternalRTreeTest, QueriesCostBoundedIo) {
+  util::Rng rng(3);
+  auto points = FloatPoints(20000, &rng);
+  auto tree = ExternalRTree::Build(points, 1024);
+  ASSERT_TRUE(tree.ok());
+  // Cold buffer per query: a small rectangle must touch far fewer blocks
+  // than the file holds.
+  const BoundingBox small_box({0.45, -0.05}, {0.55, 0.05});
+  BufferManager cold(&tree->file(), 8);
+  auto count = tree->CountInRect(small_box, &cold);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(*count, 50u);
+  EXPECT_LT(cold.io_reads(), tree->file().NumBlocks() / 4);
+}
+
+TEST(ExternalRTreeTest, WarmBufferServesFromCache) {
+  util::Rng rng(4);
+  auto points = FloatPoints(4000, &rng);
+  auto tree = ExternalRTree::Build(points, 1024);
+  ASSERT_TRUE(tree.ok());
+  BufferManager buffer(&tree->file(), 256);  // Holds the whole tree.
+  const BoundingBox box({0.2, -0.3}, {0.6, 0.3});
+  ASSERT_TRUE(tree->CountInRect(box, &buffer).ok());
+  const uint64_t first = buffer.io_reads();
+  ASSERT_TRUE(tree->CountInRect(box, &buffer).ok());
+  EXPECT_EQ(buffer.io_reads(), first);  // Second pass: all hits.
+}
+
+TEST(ExternalRTreeTest, EmptyAndTiny) {
+  auto empty = ExternalRTree::Build({}, 1024);
+  ASSERT_TRUE(empty.ok());
+  BufferManager buffer(&empty->file(), 4);
+  auto count = empty->CountInRect(BoundingBox({0, 0}, {1, 1}), &buffer);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+
+  auto one = ExternalRTree::Build({IndexedPoint{{0.5f, 0.5f}, 9}}, 1024);
+  ASSERT_TRUE(one.ok());
+  BufferManager b2(&one->file(), 4);
+  auto c2 = one->CountInTriangle(Triangle{{0, 0}, {1, 0}, {0.5, 1}}, &b2);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, 1u);
+}
+
+TEST(ExternalRTreeTest, RejectsTinyBlocks) {
+  EXPECT_FALSE(ExternalRTree::Build({}, 16).ok());
+}
+
+}  // namespace
+}  // namespace geosir::storage

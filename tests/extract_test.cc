@@ -1,0 +1,320 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "extract/boundary_trace.h"
+#include "extract/chain_trace.h"
+#include "extract/clusters.h"
+#include "extract/decompose.h"
+#include "extract/edge_detect.h"
+#include "extract/rasterize.h"
+#include "extract/simplify.h"
+#include "geom/distance.h"
+#include "geom/predicates.h"
+#include "util/rng.h"
+
+namespace geosir::extract {
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+Polyline Rect(Point lo, Point hi) {
+  return Polyline::Closed({lo, {hi.x, lo.y}, hi, {lo.x, hi.y}});
+}
+
+TEST(RasterTest, BasicAddressing) {
+  Raster r(4, 3, 0.5f);
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 3);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 0.5f);
+  r.set(2, 1, 0.9f);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 0.9f);
+  EXPECT_FLOAT_EQ(r.Sample(-1, 0), 0.0f);  // Zero padding.
+  EXPECT_TRUE(r.InBounds(3, 2));
+  EXPECT_FALSE(r.InBounds(4, 2));
+}
+
+TEST(RasterizeTest, FillPolygonCoversInterior) {
+  Raster r(32, 32);
+  FillPolygon(&r, Rect({8, 8}, {24, 24}), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(16, 16), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(4, 16), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(16, 4), 0.0f);
+  // Area roughly 16x16.
+  int filled = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (r.at(x, y) > 0.5f) ++filled;
+    }
+  }
+  EXPECT_NEAR(filled, 256, 40);
+}
+
+TEST(RasterizeTest, StrokeDrawsLine) {
+  Raster r(16, 16);
+  StrokePolyline(&r, Polyline::Open({{2, 2}, {13, 13}}), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(13, 13), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(8, 8), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(2, 13), 0.0f);
+}
+
+TEST(EdgeDetectTest, SobelHighlightsBoundary) {
+  Raster r(32, 32);
+  FillPolygon(&r, Rect({8, 8}, {24, 24}), 1.0f);
+  const Raster mag = SobelMagnitude(r);
+  EXPECT_GT(mag.at(8, 16), 1.0f);    // On the boundary.
+  EXPECT_FLOAT_EQ(mag.at(16, 16), 0.0f);  // Deep interior.
+  EXPECT_FLOAT_EQ(mag.at(2, 2), 0.0f);    // Background.
+  const Mask edges = DetectEdges(r, 0.5f);
+  EXPECT_TRUE(edges.at(8, 16));
+  EXPECT_FALSE(edges.at(16, 16));
+}
+
+TEST(BoundaryTraceTest, SquareBoundary) {
+  Raster r(32, 32);
+  FillPolygon(&r, Rect({8, 8}, {24, 24}), 1.0f);
+  const Mask fg = ThresholdForeground(r, 0.5f);
+  const auto boundaries = TraceBoundaries(fg);
+  ASSERT_EQ(boundaries.size(), 1u);
+  const Polyline& b = boundaries[0];
+  EXPECT_TRUE(b.closed());
+  // Perimeter of a 16x16 square boundary walk ~ 60-70 pixels.
+  EXPECT_GT(b.size(), 40u);
+  EXPECT_LT(b.size(), 100u);
+  // All boundary points near the rectangle outline.
+  const Polyline outline = Rect({8.5, 8.5}, {23.5, 23.5});
+  for (Point p : b.vertices()) {
+    EXPECT_LT(geom::DistancePointPolyline(p, outline), 1.6);
+  }
+}
+
+TEST(BoundaryTraceTest, MultipleComponents) {
+  Raster r(48, 32);
+  FillPolygon(&r, Rect({4, 4}, {16, 16}), 1.0f);
+  FillPolygon(&r, Rect({28, 8}, {44, 28}), 1.0f);
+  const auto boundaries = TraceBoundaries(ThresholdForeground(r, 0.5f));
+  EXPECT_EQ(boundaries.size(), 2u);
+}
+
+TEST(BoundaryTraceTest, SmallComponentsFiltered) {
+  Raster r(16, 16);
+  r.set(3, 3, 1.0f);  // Single pixel.
+  FillPolygon(&r, Rect({8, 8}, {14, 14}), 1.0f);
+  const auto boundaries =
+      TraceBoundaries(ThresholdForeground(r, 0.5f), /*min_pixels=*/8);
+  EXPECT_EQ(boundaries.size(), 1u);
+}
+
+TEST(ChainTraceTest, OpenLineBecomesOpenPolyline) {
+  Mask mask(32, 32);
+  // A diagonal thin line.
+  for (int i = 4; i < 24; ++i) mask.set(i, i, true);
+  const auto chains = TraceEdgeChains(mask, 4);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_FALSE(chains[0].closed());
+  EXPECT_EQ(chains[0].size(), 20u);
+  // Endpoints are at the line ends.
+  const Point first = chains[0].vertex(0);
+  const Point last = chains[0].vertex(chains[0].size() - 1);
+  EXPECT_NEAR(std::min(first.x, last.x), 4.5, 1e-9);
+  EXPECT_NEAR(std::max(first.x, last.x), 23.5, 1e-9);
+}
+
+TEST(ChainTraceTest, DiamondOutlineBecomesClosedPolyline) {
+  // A diamond outline: every pixel has exactly two 8-neighbors, so the
+  // whole ring is one cycle. (Rectilinear outlines put 3 neighbors
+  // around the corners, which the tracer conservatively treats as
+  // junctions — that case is covered by BranchingSplitsAtJunction.)
+  Mask mask(32, 32);
+  const int cx = 16, cy = 16, r = 8;
+  for (int dx = -r; dx <= r; ++dx) {
+    const int dy = r - std::abs(dx);
+    mask.set(cx + dx, cy + dy, true);
+    if (dy != 0) mask.set(cx + dx, cy - dy, true);
+  }
+  const auto chains = TraceEdgeChains(mask, 4);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_TRUE(chains[0].closed());
+  EXPECT_EQ(chains[0].size(), 32u);  // 4 * r pixels on the ring.
+  EXPECT_FALSE(chains[0].SelfIntersects());
+}
+
+TEST(ChainTraceTest, BranchingSplitsAtJunction) {
+  Mask mask(32, 32);
+  // A T shape: horizontal bar plus a vertical stem from its middle.
+  for (int x = 4; x <= 24; ++x) mask.set(x, 8, true);
+  for (int y = 9; y <= 20; ++y) mask.set(14, y, true);
+  const auto chains = TraceEdgeChains(mask, 4);
+  // Three simple chains meeting at the junction.
+  EXPECT_EQ(chains.size(), 3u);
+  for (const auto& chain : chains) {
+    EXPECT_FALSE(chain.closed());
+    EXPECT_FALSE(chain.SelfIntersects());
+  }
+}
+
+TEST(ChainTraceTest, ShortNoiseFiltered) {
+  Mask mask(16, 16);
+  mask.set(2, 2, true);
+  mask.set(3, 2, true);  // 2-pixel speck.
+  for (int i = 5; i < 14; ++i) mask.set(i, 8, true);
+  const auto chains = TraceEdgeChains(mask, 5);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 9u);
+}
+
+TEST(ChainTraceTest, StrokedShapeRoundTripsThroughChains) {
+  // Stroke an open polyline into a raster, trace it back, simplify, and
+  // compare with the original.
+  const Polyline original =
+      Polyline::Open({{4, 4}, {24, 6}, {28, 20}, {12, 26}});
+  Raster image(32, 32);
+  StrokePolyline(&image, original, 1.0f);
+  Mask mask(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) mask.set(x, y, image.at(x, y) > 0.5f);
+  }
+  const auto chains = TraceEdgeChains(mask, 4);
+  ASSERT_GE(chains.size(), 1u);
+  // The longest chain approximates the original within ~2px.
+  size_t longest = 0;
+  for (size_t i = 1; i < chains.size(); ++i) {
+    if (chains[i].size() > chains[longest].size()) longest = i;
+  }
+  const Polyline traced = Simplify(chains[longest], 1.5);
+  for (Point v : traced.vertices()) {
+    EXPECT_LT(geom::DistancePointPolyline(v, original), 2.5);
+  }
+}
+
+TEST(SimplifyTest, CollinearPointsRemoved) {
+  Polyline line = Polyline::Open(
+      {{0, 0}, {1, 0.001}, {2, -0.001}, {3, 0}, {4, 2}});
+  const Polyline simplified = Simplify(line, 0.05);
+  EXPECT_EQ(simplified.size(), 3u);  // Endpoints + the corner at (3,0).
+  EXPECT_EQ(simplified.vertex(0), (Point{0, 0}));
+  EXPECT_EQ(simplified.vertex(2), (Point{4, 2}));
+}
+
+TEST(SimplifyTest, PreservesSharpFeatures) {
+  // A square traced densely must simplify back to ~4 corners.
+  std::vector<Point> dense;
+  for (double t = 0; t < 1.0; t += 0.05) dense.push_back({t * 10, 0});
+  for (double t = 0; t < 1.0; t += 0.05) dense.push_back({10, t * 10});
+  for (double t = 0; t < 1.0; t += 0.05) dense.push_back({10 - t * 10, 10});
+  for (double t = 0; t < 1.0; t += 0.05) dense.push_back({0, 10 - t * 10});
+  const Polyline simplified = Simplify(Polyline::Closed(dense), 0.3);
+  EXPECT_GE(simplified.size(), 4u);
+  EXPECT_LE(simplified.size(), 6u);
+  // Corners survive.
+  for (Point corner : {Point{0, 0}, Point{10, 0}, Point{10, 10},
+                       Point{0, 10}}) {
+    EXPECT_LT(geom::DistancePointVertices(corner, simplified), 0.6);
+  }
+}
+
+TEST(SimplifyTest, ToleranceMonotone) {
+  util::Rng rng(9);
+  std::vector<Point> noisy;
+  for (int i = 0; i < 100; ++i) {
+    const double a = 2 * M_PI * i / 100;
+    const double r = 10 + rng.Uniform(-0.3, 0.3);
+    noisy.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const Polyline circle = Polyline::Closed(noisy);
+  const size_t coarse = Simplify(circle, 1.0).size();
+  const size_t fine = Simplify(circle, 0.05).size();
+  EXPECT_LT(coarse, fine);
+  EXPECT_LE(fine, 100u);
+}
+
+TEST(ClustersTest, TouchingPolylinesGrouped) {
+  std::vector<Polyline> lines;
+  lines.push_back(Polyline::Open({{0, 0}, {5, 0}}));
+  lines.push_back(Polyline::Open({{5, 0}, {5, 5}}));     // Shares endpoint.
+  lines.push_back(Polyline::Open({{20, 20}, {25, 20}}));  // Far away.
+  lines.push_back(Polyline::Open({{25, 20}, {25, 25}}));
+  const auto clusters = DetectClusters(lines, 0.01);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].members.size(), 2u);
+  EXPECT_EQ(clusters[1].members.size(), 2u);
+}
+
+TEST(ClustersTest, ToleranceMatters) {
+  std::vector<Polyline> lines;
+  lines.push_back(Polyline::Open({{0, 0}, {5, 0}}));
+  lines.push_back(Polyline::Open({{5.5, 0}, {10, 0}}));  // 0.5 gap.
+  EXPECT_EQ(DetectClusters(lines, 0.1).size(), 2u);
+  EXPECT_EQ(DetectClusters(lines, 1.0).size(), 1u);
+}
+
+TEST(DecomposeTest, SimpleShapeUnchanged) {
+  const Polyline square = Rect({0, 0}, {4, 4});
+  const auto pieces = DecomposeSelfIntersecting(square);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), 4u);
+  EXPECT_TRUE(pieces[0].closed());
+}
+
+TEST(DecomposeTest, BowtieSplitsIntoTwoTriangles) {
+  const Polyline bowtie =
+      Polyline::Closed({{0, 0}, {4, 4}, {4, 0}, {0, 4}});
+  const auto pieces = DecomposeSelfIntersecting(bowtie);
+  ASSERT_EQ(pieces.size(), 2u);
+  for (const Polyline& piece : pieces) {
+    EXPECT_FALSE(piece.SelfIntersects());
+    EXPECT_TRUE(piece.closed());
+    EXPECT_NEAR(piece.Area(), 4.0, 1e-9);  // Two 2x2-ish triangles.
+  }
+}
+
+TEST(DecomposeTest, OpenCrossingPolyline) {
+  const Polyline crossing =
+      Polyline::Open({{0, 0}, {4, 0}, {4, 4}, {2, -2}});
+  const auto pieces = DecomposeSelfIntersecting(crossing);
+  ASSERT_GE(pieces.size(), 2u);
+  for (const Polyline& piece : pieces) {
+    EXPECT_FALSE(piece.SelfIntersects());
+  }
+}
+
+TEST(DecomposeTest, PiecesCoverOriginalGeometry) {
+  const Polyline bowtie =
+      Polyline::Closed({{0, 0}, {4, 4}, {4, 0}, {0, 4}});
+  const auto pieces = DecomposeSelfIntersecting(bowtie);
+  // Every original vertex appears in some piece.
+  for (Point v : bowtie.vertices()) {
+    double best = 1e9;
+    for (const Polyline& piece : pieces) {
+      best = std::min(best, geom::DistancePointVertices(v, piece));
+    }
+    EXPECT_LT(best, 1e-9);
+  }
+}
+
+TEST(PipelineTest, RasterToShapeRoundTrip) {
+  // Full Section 6 pipeline on a synthetic image: rasterize a polygon,
+  // threshold, trace, simplify — the result must be geometrically close
+  // to the original.
+  const Polyline original = Polyline::Closed(
+      {{20, 20}, {100, 24}, {108, 80}, {60, 108}, {16, 72}});
+  Raster image(128, 128);
+  FillPolygon(&image, original, 1.0f);
+  const auto boundaries = TraceBoundaries(ThresholdForeground(image, 0.5f));
+  ASSERT_EQ(boundaries.size(), 1u);
+  const Polyline shape = Simplify(boundaries[0], 1.2);
+  EXPECT_TRUE(shape.closed());
+  EXPECT_GE(shape.size(), 5u);
+  EXPECT_LE(shape.size(), 12u);
+  // Every original corner recovered within ~2px.
+  for (Point corner : original.vertices()) {
+    EXPECT_LT(geom::DistancePointPolyline(corner, shape), 2.5);
+  }
+  EXPECT_TRUE(shape.Validate().ok());
+}
+
+}  // namespace
+}  // namespace geosir::extract

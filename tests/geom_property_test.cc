@@ -1,0 +1,150 @@
+// Property-based tests of the geometric substrate on randomized inputs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "extract/decompose.h"
+#include "geom/convex_hull.h"
+#include "geom/diameter.h"
+#include "geom/distance.h"
+#include "geom/envelope.h"
+#include "geom/predicates.h"
+#include "util/rng.h"
+#include "workload/polygon_gen.h"
+
+namespace geosir::geom {
+namespace {
+
+class GeomPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng MakeRng() const { return util::Rng(5000 + GetParam()); }
+};
+
+TEST_P(GeomPropertyTest, ConvexHullContainsAllPoints) {
+  util::Rng rng = MakeRng();
+  std::vector<Point> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back({rng.Uniform(-3, 3), rng.Uniform(-3, 3)});
+  }
+  const auto hull = ConvexHull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  const Polyline hull_poly = Polyline::Closed(hull);
+  for (Point p : pts) {
+    EXPECT_TRUE(PolygonContainsPoint(hull_poly, p, 1e-9));
+  }
+}
+
+TEST_P(GeomPropertyTest, DiameterIsMaxPairwiseDistance) {
+  util::Rng rng = MakeRng();
+  const Polyline poly = workload::RandomStarPolygon(&rng);
+  const VertexPair d = Diameter(poly.vertices());
+  for (size_t i = 0; i < poly.size(); ++i) {
+    for (size_t j = i + 1; j < poly.size(); ++j) {
+      EXPECT_LE(Distance(poly.vertex(i), poly.vertex(j)),
+                d.distance + 1e-9);
+    }
+  }
+}
+
+TEST_P(GeomPropertyTest, RelationTrichotomyOnRandomPolygonPairs) {
+  // For generic (non-touching) simple polygons exactly one of
+  // {a contains b, b contains a, overlap, disjoint} holds.
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  Polyline b = workload::RandomStarPolygon(&rng);
+  // Random relative placement, biased to produce all four relations.
+  const double spread = rng.Uniform(0.0, 3.0);
+  const double scale = rng.Uniform(0.2, 1.8);
+  const geom::AffineTransform t =
+      AffineTransform::Translation({rng.Uniform(-spread, spread),
+                                    rng.Uniform(-spread, spread)}) *
+      AffineTransform::Scaling(scale);
+  b = b.Transformed(t);
+
+  const bool a_in_b = PolygonContainsPolygon(b, a);
+  const bool b_in_a = PolygonContainsPolygon(a, b);
+  const bool overlap = PolygonsOverlap(a, b);
+  const bool disjoint = PolygonsDisjoint(a, b);
+  const int count = static_cast<int>(a_in_b) + static_cast<int>(b_in_a) +
+                    static_cast<int>(overlap) + static_cast<int>(disjoint);
+  EXPECT_EQ(count, 1) << "a_in_b=" << a_in_b << " b_in_a=" << b_in_a
+                      << " overlap=" << overlap << " disjoint=" << disjoint;
+}
+
+TEST_P(GeomPropertyTest, EnvelopeMembershipMonotoneInEps) {
+  util::Rng rng = MakeRng();
+  const Polyline shape = workload::RandomStarPolygon(&rng);
+  for (int i = 0; i < 50; ++i) {
+    const Point p{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    const double d = DistancePointPolyline(p, shape);
+    EXPECT_EQ(InEnvelope(shape, p, d + 1e-9), true);
+    if (d > 1e-9) {
+      EXPECT_EQ(InEnvelope(shape, p, d - 1e-9), false);
+    }
+  }
+}
+
+TEST_P(GeomPropertyTest, RingCoverIsSupersetAcrossSchedules) {
+  util::Rng rng = MakeRng();
+  const Polyline shape = workload::RandomStarPolygon(&rng);
+  double prev = 0.0;
+  for (double eps : {0.01, 0.03, 0.09, 0.27}) {
+    const EnvelopeRingCover cover = BuildEnvelopeRingCover(shape, prev, eps);
+    for (int i = 0; i < 200; ++i) {
+      const Point p{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+      if (!InEnvelopeRing(shape, p, prev, eps)) continue;
+      bool covered = false;
+      for (const Triangle& t : cover.triangles) {
+        if (t.Contains(p)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "eps=" << eps << " p=(" << p.x << "," << p.y
+                           << ")";
+    }
+    prev = eps;
+  }
+}
+
+TEST_P(GeomPropertyTest, SegmentDistanceSymmetryAndZeroOnIntersect) {
+  util::Rng rng = MakeRng();
+  for (int i = 0; i < 40; ++i) {
+    const Segment s1{{rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                     {rng.Uniform(-1, 1), rng.Uniform(-1, 1)}};
+    const Segment s2{{rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                     {rng.Uniform(-1, 1), rng.Uniform(-1, 1)}};
+    const double d12 = DistanceSegmentSegment(s1, s2);
+    const double d21 = DistanceSegmentSegment(s2, s1);
+    EXPECT_NEAR(d12, d21, 1e-12);
+    EXPECT_EQ(d12 == 0.0, SegmentsIntersect(s1, s2));
+  }
+}
+
+TEST_P(GeomPropertyTest, DecomposePreservesTotalEdgeLength) {
+  // The decomposition only splits edges at crossing points, so the total
+  // boundary length of the pieces equals the input's (no degenerate
+  // drops for these inputs).
+  util::Rng rng = MakeRng();
+  // Build a self-intersecting polyline: a random closed walk.
+  std::vector<Point> v;
+  const int n = 6 + static_cast<int>(rng.UniformInt(0, 4));
+  for (int i = 0; i < n; ++i) {
+    v.push_back({rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+  }
+  const Polyline tangle = Polyline::Closed(v);
+  const auto pieces = extract::DecomposeSelfIntersecting(tangle);
+  ASSERT_FALSE(pieces.empty());
+  double total = 0.0;
+  for (const Polyline& piece : pieces) {
+    EXPECT_FALSE(piece.SelfIntersects());
+    total += piece.Perimeter();
+  }
+  EXPECT_NEAR(total, tangle.Perimeter(), 1e-6 * tangle.Perimeter());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeomPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace geosir::geom

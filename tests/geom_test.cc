@@ -1,0 +1,386 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/convex_hull.h"
+#include "geom/diameter.h"
+#include "geom/distance.h"
+#include "geom/envelope.h"
+#include "geom/point.h"
+#include "geom/polyline.h"
+#include "geom/predicates.h"
+#include "geom/transform.h"
+#include "util/rng.h"
+
+namespace geosir::geom {
+namespace {
+
+Polyline UnitSquare() {
+  return Polyline::Closed({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PointTest, Arithmetic) {
+  Point a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Point{2, 4}));
+  EXPECT_EQ(2.0 * a, (Point{2, 4}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Point{3, 4}).Norm(), 5.0);
+  EXPECT_EQ((Point{1, 0}).Perp(), (Point{0, 1}));
+}
+
+TEST(BoundingBoxTest, ExtendAndContain) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  box.Extend({1, 1});
+  box.Extend({-1, 3});
+  EXPECT_TRUE(box.Contains({0, 2}));
+  EXPECT_FALSE(box.Contains({2, 2}));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 2.0);
+}
+
+TEST(BoundingBoxTest, IntersectsIsSymmetricAndTouching) {
+  BoundingBox a({0, 0}, {1, 1});
+  BoundingBox b({1, 1}, {2, 2});
+  BoundingBox c({1.5, 1.5}, {3, 3});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(TriangleTest, ContainsInteriorBoundaryExterior) {
+  Triangle t{{0, 0}, {2, 0}, {0, 2}};
+  EXPECT_TRUE(t.Contains({0.5, 0.5}));
+  EXPECT_TRUE(t.Contains({1, 0}));    // Edge.
+  EXPECT_TRUE(t.Contains({0, 0}));    // Vertex.
+  EXPECT_FALSE(t.Contains({2, 2}));
+  // Orientation must not matter.
+  Triangle rev{{0, 0}, {0, 2}, {2, 0}};
+  EXPECT_TRUE(rev.Contains({0.5, 0.5}));
+}
+
+TEST(TransformTest, MapSegmentToUnitBase) {
+  auto t = AffineTransform::MapSegmentToUnitBase({2, 3}, {4, 7});
+  ASSERT_TRUE(t.ok());
+  const Point p0 = t->Apply({2, 3});
+  const Point p1 = t->Apply({4, 7});
+  EXPECT_NEAR(p0.x, 0.0, 1e-12);
+  EXPECT_NEAR(p0.y, 0.0, 1e-12);
+  EXPECT_NEAR(p1.x, 1.0, 1e-12);
+  EXPECT_NEAR(p1.y, 0.0, 1e-12);
+}
+
+TEST(TransformTest, DegenerateSegmentRejected) {
+  EXPECT_FALSE(AffineTransform::MapSegmentToUnitBase({1, 1}, {1, 1}).ok());
+}
+
+TEST(TransformTest, InverseRoundTrip) {
+  auto t = AffineTransform::MapSegmentToUnitBase({-1, 2}, {3, 5});
+  ASSERT_TRUE(t.ok());
+  auto inv = t->Inverse();
+  ASSERT_TRUE(inv.ok());
+  util::Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Point p{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point q = inv->Apply(t->Apply(p));
+    EXPECT_NEAR(q.x, p.x, 1e-9);
+    EXPECT_NEAR(q.y, p.y, 1e-9);
+  }
+}
+
+TEST(TransformTest, CompositionMatchesSequentialApplication) {
+  const AffineTransform r = AffineTransform::Rotation(0.7);
+  const AffineTransform s = AffineTransform::Scaling(2.5);
+  const AffineTransform tr = AffineTransform::Translation({1, -2});
+  const AffineTransform all = tr * r * s;
+  const Point p{0.3, 0.8};
+  const Point expect = tr.Apply(r.Apply(s.Apply(p)));
+  const Point got = all.Apply(p);
+  EXPECT_NEAR(got.x, expect.x, 1e-12);
+  EXPECT_NEAR(got.y, expect.y, 1e-12);
+}
+
+TEST(TransformTest, ScaleAndAngleAccessors) {
+  const AffineTransform t =
+      AffineTransform::Translation({5, 5}) * AffineTransform::Rotation(0.4) *
+      AffineTransform::Scaling(3.0);
+  EXPECT_NEAR(t.ScaleFactor(), 3.0, 1e-12);
+  EXPECT_NEAR(t.RotationAngle(), 0.4, 1e-12);
+}
+
+TEST(PolylineTest, EdgesPerimeterArea) {
+  Polyline sq = UnitSquare();
+  EXPECT_EQ(sq.NumEdges(), 4u);
+  EXPECT_DOUBLE_EQ(sq.Perimeter(), 4.0);
+  EXPECT_DOUBLE_EQ(sq.SignedArea(), 1.0);  // CCW.
+  Polyline open = Polyline::Open({{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_EQ(open.NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(open.Perimeter(), 2.0);
+  EXPECT_DOUBLE_EQ(open.SignedArea(), 0.0);
+}
+
+TEST(PolylineTest, AtArcLength) {
+  Polyline sq = UnitSquare();
+  const Point p = sq.AtArcLength(1.5);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.5, 1e-12);
+  EXPECT_EQ(sq.AtArcLength(0.0), (Point{0, 0}));
+}
+
+TEST(PolylineTest, ValidateAcceptsSimpleRejectsDegenerate) {
+  EXPECT_TRUE(UnitSquare().Validate().ok());
+  EXPECT_FALSE(Polyline::Open({{0, 0}}).Validate().ok());
+  EXPECT_FALSE(Polyline::Closed({{0, 0}, {1, 0}}).Validate().ok());
+  EXPECT_FALSE(Polyline::Open({{0, 0}, {0, 0}, {1, 1}}).Validate().ok());
+}
+
+TEST(PolylineTest, SelfIntersectionDetected) {
+  // Bowtie.
+  Polyline bowtie = Polyline::Closed({{0, 0}, {2, 2}, {2, 0}, {0, 2}});
+  EXPECT_TRUE(bowtie.SelfIntersects());
+  EXPECT_FALSE(UnitSquare().SelfIntersects());
+  // Open zig-zag that crosses itself.
+  Polyline cross = Polyline::Open({{0, 0}, {2, 0}, {1, 1}, {1, -1}});
+  EXPECT_TRUE(cross.SelfIntersects());
+  // Folding back along the same line.
+  Polyline fold = Polyline::Open({{0, 0}, {2, 0}, {1, 0}});
+  EXPECT_TRUE(fold.SelfIntersects());
+}
+
+TEST(PredicatesTest, OrientationAndOnSegment) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(Orientation({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);
+  EXPECT_TRUE(OnSegment({1, 1}, Segment{{0, 0}, {2, 2}}));
+  EXPECT_FALSE(OnSegment({3, 3}, Segment{{0, 0}, {2, 2}}));
+}
+
+TEST(PredicatesTest, SegmentsIntersectCases) {
+  // Proper crossing.
+  EXPECT_TRUE(SegmentsIntersect(Segment{{0, 0}, {2, 2}},
+                                Segment{{0, 2}, {2, 0}}));
+  // Endpoint touch.
+  EXPECT_TRUE(SegmentsIntersect(Segment{{0, 0}, {1, 1}},
+                                Segment{{1, 1}, {2, 0}}));
+  // Collinear overlap.
+  EXPECT_TRUE(SegmentsIntersect(Segment{{0, 0}, {2, 0}},
+                                Segment{{1, 0}, {3, 0}}));
+  // Disjoint.
+  EXPECT_FALSE(SegmentsIntersect(Segment{{0, 0}, {1, 0}},
+                                 Segment{{0, 1}, {1, 1}}));
+  // Proper-crossing predicate rejects touches.
+  EXPECT_FALSE(SegmentsCrossProperly(Segment{{0, 0}, {1, 1}},
+                                     Segment{{1, 1}, {2, 0}}));
+  EXPECT_TRUE(SegmentsCrossProperly(Segment{{0, 0}, {2, 2}},
+                                    Segment{{0, 2}, {2, 0}}));
+}
+
+TEST(PredicatesTest, SegmentIntersectionPoint) {
+  auto p = SegmentIntersectionPoint(Segment{{0, 0}, {2, 2}},
+                                    Segment{{0, 2}, {2, 0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+  EXPECT_FALSE(SegmentIntersectionPoint(Segment{{0, 0}, {1, 0}},
+                                        Segment{{0, 1}, {1, 1}})
+                   .ok());
+}
+
+TEST(PredicatesTest, PolygonContainsPoint) {
+  Polyline sq = UnitSquare();
+  EXPECT_TRUE(PolygonContainsPoint(sq, {0.5, 0.5}));
+  EXPECT_TRUE(PolygonContainsPoint(sq, {0.0, 0.5}));   // Boundary.
+  EXPECT_FALSE(PolygonContainsPoint(sq, {1.5, 0.5}));
+  // Concave polygon (C shape).
+  Polyline c = Polyline::Closed(
+      {{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 2}, {3, 2}, {3, 3}, {0, 3}});
+  EXPECT_TRUE(PolygonContainsPoint(c, {0.5, 1.5}));
+  EXPECT_FALSE(PolygonContainsPoint(c, {2, 1.5}));  // In the notch.
+}
+
+TEST(PredicatesTest, PolygonContainment) {
+  Polyline outer = Polyline::Closed({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  Polyline inner = Polyline::Closed({{1, 1}, {2, 1}, {2, 2}, {1, 2}});
+  Polyline crossing = Polyline::Closed({{3, 3}, {5, 3}, {5, 5}, {3, 5}});
+  EXPECT_TRUE(PolygonContainsPolygon(outer, inner));
+  EXPECT_FALSE(PolygonContainsPolygon(inner, outer));
+  EXPECT_FALSE(PolygonContainsPolygon(outer, crossing));
+}
+
+TEST(PredicatesTest, OverlapAndDisjoint) {
+  Polyline a = Polyline::Closed({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  Polyline b = Polyline::Closed({{1, 1}, {3, 1}, {3, 3}, {1, 3}});
+  Polyline c = Polyline::Closed({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  Polyline inner = Polyline::Closed({{0.5, 0.5}, {1, 0.5}, {1, 1}, {0.5, 1}});
+  EXPECT_TRUE(PolygonsOverlap(a, b));
+  EXPECT_FALSE(PolygonsOverlap(a, c));
+  EXPECT_FALSE(PolygonsOverlap(a, inner));  // Containment is not overlap.
+  EXPECT_TRUE(PolygonsDisjoint(a, c));
+  EXPECT_FALSE(PolygonsDisjoint(a, b));
+  EXPECT_FALSE(PolygonsDisjoint(a, inner));
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5},
+                         {0.2, 0.7}};
+  auto hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHullTest, CollinearInput) {
+  std::vector<Point> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  auto hull = ConvexHull(pts);
+  ASSERT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHullTest, IsCounterClockwiseAndConvex) {
+  util::Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+  }
+  auto hull = ConvexHull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point a = hull[i];
+    const Point b = hull[(i + 1) % hull.size()];
+    const Point c = hull[(i + 2) % hull.size()];
+    EXPECT_GT((b - a).Cross(c - b), 0.0);
+  }
+}
+
+TEST(DiameterTest, MatchesBruteForce) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> pts;
+    const int n = 3 + static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    }
+    const VertexPair d = Diameter(pts);
+    double best = 0.0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        best = std::max(best, Distance(pts[i], pts[j]));
+      }
+    }
+    EXPECT_NEAR(d.distance, best, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(Distance(pts[d.i], pts[d.j]), best, 1e-9);
+  }
+}
+
+TEST(DiameterTest, AlphaDiametersContainDiameterFirst) {
+  std::vector<Point> pts{{0, 0}, {10, 0}, {5, 4}, {1, 3}};
+  auto pairs = AlphaDiameters(pts, 0.3);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 10.0);
+  // All pairs at least (1-alpha)*diameter.
+  for (const auto& vp : pairs) {
+    EXPECT_GE(vp.distance, 0.7 * 10.0 - 1e-12);
+  }
+  // alpha = 0 keeps only the diameter (for generic points).
+  auto only = AlphaDiameters(pts, 0.0);
+  ASSERT_EQ(only.size(), 1u);
+}
+
+TEST(DistanceTest, PointSegment) {
+  Segment s{{0, 0}, {2, 0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({1, 1}, s), 1.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({-1, 0}, s), 1.0);  // Clamped to a.
+  EXPECT_DOUBLE_EQ(DistancePointSegment({3, 0}, s), 1.0);   // Clamped to b.
+  EXPECT_DOUBLE_EQ(DistancePointSegment({1, 0}, s), 0.0);
+}
+
+TEST(DistanceTest, PointPolyline) {
+  Polyline sq = UnitSquare();
+  EXPECT_DOUBLE_EQ(DistancePointPolyline({0.5, 0.5}, sq), 0.5);
+  EXPECT_DOUBLE_EQ(DistancePointPolyline({2, 0.5}, sq), 1.0);
+  EXPECT_DOUBLE_EQ(DistancePointPolyline({0.5, 0}, sq), 0.0);
+}
+
+TEST(DistanceTest, SegmentSegment) {
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment(Segment{{0, 0}, {1, 0}},
+                                          Segment{{0, 1}, {1, 1}}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment(Segment{{0, 0}, {2, 2}},
+                                          Segment{{0, 2}, {2, 0}}),
+                   0.0);
+}
+
+TEST(DistanceTest, PolylinePolyline) {
+  Polyline a = Polyline::Closed({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polyline b = Polyline::Closed({{3, 0}, {4, 0}, {4, 1}, {3, 1}});
+  EXPECT_DOUBLE_EQ(DistancePolylinePolyline(a, b), 2.0);
+}
+
+TEST(EnvelopeTest, MembershipMatchesDistance) {
+  Polyline sq = UnitSquare();
+  EXPECT_TRUE(InEnvelope(sq, {1.2, 0.5}, 0.25));
+  EXPECT_FALSE(InEnvelope(sq, {1.3, 0.5}, 0.25));
+  EXPECT_TRUE(InEnvelope(sq, {0.5, 0.5}, 0.5));   // Center: distance 0.5.
+  EXPECT_FALSE(InEnvelope(sq, {0.5, 0.5}, 0.4));
+}
+
+TEST(EnvelopeTest, RingMembershipHalfOpen) {
+  Polyline sq = UnitSquare();
+  // Distance of (1.2, 0.5) to square is 0.2.
+  EXPECT_TRUE(InEnvelopeRing(sq, {1.2, 0.5}, 0.1, 0.2));
+  EXPECT_FALSE(InEnvelopeRing(sq, {1.2, 0.5}, 0.2, 0.3));
+  EXPECT_TRUE(InEnvelopeRing(sq, {0.5, 0.0}, 0.0, 0.1));  // On boundary.
+}
+
+TEST(EnvelopeTest, RingCoverContainsRingPoints) {
+  Polyline sq = UnitSquare();
+  util::Rng rng(23);
+  const double inner = 0.05, outer = 0.15;
+  const EnvelopeRingCover cover = BuildEnvelopeRingCover(sq, inner, outer);
+  EXPECT_LE(cover.triangles.size(), 4 * sq.NumEdges() + 8 * sq.size());
+  int ring_points = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Point p{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+    if (!InEnvelopeRing(sq, p, inner, outer)) continue;
+    ++ring_points;
+    bool covered = false;
+    for (const Triangle& t : cover.triangles) {
+      if (t.Contains(p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "ring point " << p.x << "," << p.y
+                         << " missed by cover";
+  }
+  EXPECT_GT(ring_points, 50);  // Sanity: the sample actually hit the ring.
+}
+
+TEST(EnvelopeTest, RingCoverFromZeroEps) {
+  Polyline open = Polyline::Open({{0, 0}, {1, 0}, {1, 1}});
+  const EnvelopeRingCover cover = BuildEnvelopeRingCover(open, 0.0, 0.2);
+  util::Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const Point p{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+    if (!InEnvelope(open, p, 0.2)) continue;
+    bool covered = false;
+    for (const Triangle& t : cover.triangles) {
+      if (t.Contains(p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(EnvelopeTest, AreaEstimateGrowsWithEps) {
+  Polyline sq = UnitSquare();
+  EXPECT_LT(EnvelopeAreaEstimate(sq, 0.1), EnvelopeAreaEstimate(sq, 0.2));
+  EXPECT_NEAR(EnvelopeAreaEstimate(sq, 0.1), 2 * 0.1 * 4.0 + M_PI * 0.01,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace geosir::geom

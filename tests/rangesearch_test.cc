@@ -1,0 +1,264 @@
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rangesearch/brute_force_index.h"
+#include "rangesearch/convex_layers.h"
+#include "rangesearch/grid_index.h"
+#include "rangesearch/kd_tree_index.h"
+#include "rangesearch/range_tree_index.h"
+#include "rangesearch/tri_box.h"
+#include "util/rng.h"
+
+namespace geosir::rangesearch {
+namespace {
+
+using geom::BoundingBox;
+using geom::Point;
+using geom::Triangle;
+
+std::vector<IndexedPoint> RandomPoints(size_t n, util::Rng* rng,
+                                       double lo = 0.0, double hi = 1.0) {
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(
+        IndexedPoint{{rng->Uniform(lo, hi), rng->Uniform(lo, hi)},
+                     static_cast<uint32_t>(i)});
+  }
+  return pts;
+}
+
+std::multiset<uint32_t> CollectTriangle(const SimplexIndex& index,
+                                        const Triangle& t) {
+  std::multiset<uint32_t> ids;
+  index.ReportInTriangle(t, [&](const IndexedPoint& ip) { ids.insert(ip.id); });
+  return ids;
+}
+
+std::multiset<uint32_t> CollectRect(const SimplexIndex& index,
+                                    const BoundingBox& box) {
+  std::multiset<uint32_t> ids;
+  index.ReportInRect(box, [&](const IndexedPoint& ip) { ids.insert(ip.id); });
+  return ids;
+}
+
+TEST(TriBoxTest, IntersectionCases) {
+  Triangle t{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_TRUE(TriangleIntersectsBox(t, BoundingBox({1, 1}, {2, 2})));
+  // Box outside the hypotenuse but inside the bounding box of t.
+  EXPECT_FALSE(TriangleIntersectsBox(t, BoundingBox({3.5, 3.5}, {3.9, 3.9})));
+  // Box containing the whole triangle.
+  EXPECT_TRUE(TriangleIntersectsBox(t, BoundingBox({-1, -1}, {5, 5})));
+  // Touching at a vertex.
+  EXPECT_TRUE(TriangleIntersectsBox(t, BoundingBox({4, 0}, {5, 1})));
+  // Fully disjoint.
+  EXPECT_FALSE(TriangleIntersectsBox(t, BoundingBox({5, 5}, {6, 6})));
+}
+
+TEST(TriBoxTest, Containment) {
+  Triangle t{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_TRUE(TriangleContainsBox(t, BoundingBox({0.5, 0.5}, {1, 1})));
+  EXPECT_FALSE(TriangleContainsBox(t, BoundingBox({2, 2}, {3, 3})));
+}
+
+class SimplexIndexParamTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<SimplexIndex> MakeIndex() const {
+    const std::string which = GetParam();
+    if (which == "brute") return std::make_unique<BruteForceIndex>();
+    if (which == "grid") return std::make_unique<GridIndex>();
+    if (which == "kd") return std::make_unique<KdTreeIndex>();
+    if (which == "layers") return std::make_unique<ConvexLayersIndex>();
+    return std::make_unique<RangeTreeIndex>();
+  }
+};
+
+TEST_P(SimplexIndexParamTest, MatchesBruteForceOnRandomTriangles) {
+  util::Rng rng(101);
+  auto points = RandomPoints(600, &rng);
+  BruteForceIndex oracle;
+  oracle.Build(points);
+  auto index = MakeIndex();
+  index->Build(points);
+  ASSERT_EQ(index->size(), 600u);
+
+  for (int q = 0; q < 60; ++q) {
+    const Triangle t{{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)},
+                     {rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)},
+                     {rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)}};
+    const auto expect = CollectTriangle(oracle, t);
+    const auto got = CollectTriangle(*index, t);
+    EXPECT_EQ(got, expect) << index->name() << " query " << q;
+    EXPECT_EQ(index->CountInTriangle(t), expect.size());
+  }
+}
+
+TEST_P(SimplexIndexParamTest, MatchesBruteForceOnRandomRects) {
+  util::Rng rng(202);
+  auto points = RandomPoints(500, &rng);
+  BruteForceIndex oracle;
+  oracle.Build(points);
+  auto index = MakeIndex();
+  index->Build(points);
+
+  for (int q = 0; q < 60; ++q) {
+    Point a{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    Point b{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    BoundingBox box;
+    box.Extend(a);
+    box.Extend(b);
+    const auto expect = CollectRect(oracle, box);
+    const auto got = CollectRect(*index, box);
+    EXPECT_EQ(got, expect) << index->name() << " query " << q;
+    EXPECT_EQ(index->CountInRect(box), expect.size());
+  }
+}
+
+TEST_P(SimplexIndexParamTest, HandlesDuplicatesAndCollinear) {
+  util::Rng rng(303);
+  std::vector<IndexedPoint> points;
+  // Grid-aligned duplicates and collinear rows.
+  uint32_t id = 0;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      points.push_back(IndexedPoint{{x * 0.1, y * 0.1}, id++});
+      if ((x + y) % 3 == 0) {
+        points.push_back(IndexedPoint{{x * 0.1, y * 0.1}, id++});
+      }
+    }
+  }
+  BruteForceIndex oracle;
+  oracle.Build(points);
+  auto index = MakeIndex();
+  index->Build(points);
+  for (int q = 0; q < 40; ++q) {
+    const Triangle t{{rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                     {rng.Uniform(0, 1), rng.Uniform(0, 1)},
+                     {rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    EXPECT_EQ(CollectTriangle(*index, t), CollectTriangle(oracle, t));
+  }
+  // Rect query exactly on the lattice lines (boundary inclusivity).
+  const BoundingBox exact({0.2, 0.2}, {0.5, 0.5});
+  EXPECT_EQ(CollectRect(*index, exact), CollectRect(oracle, exact));
+}
+
+TEST_P(SimplexIndexParamTest, EmptyIndex) {
+  auto index = MakeIndex();
+  index->Build({});
+  const Triangle t{{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(index->CountInTriangle(t), 0u);
+  EXPECT_EQ(index->CountInRect(BoundingBox({0, 0}, {1, 1})), 0u);
+}
+
+TEST_P(SimplexIndexParamTest, SinglePoint) {
+  auto index = MakeIndex();
+  index->Build({IndexedPoint{{0.5, 0.5}, 7}});
+  const Triangle hit{{0, 0}, {1, 0}, {0.5, 1}};
+  const Triangle miss{{2, 2}, {3, 2}, {2, 3}};
+  EXPECT_EQ(index->CountInTriangle(hit), 1u);
+  EXPECT_EQ(index->CountInTriangle(miss), 0u);
+}
+
+TEST_P(SimplexIndexParamTest, DegenerateTriangleQuery) {
+  util::Rng rng(404);
+  auto points = RandomPoints(100, &rng);
+  auto index = MakeIndex();
+  index->Build(points);
+  BruteForceIndex oracle;
+  oracle.Build(points);
+  // Zero-area triangle (a segment).
+  const Triangle t{{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.5}};
+  EXPECT_EQ(index->CountInTriangle(t), oracle.CountInTriangle(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SimplexIndexParamTest,
+                         ::testing::Values("brute", "grid", "kd", "rangetree",
+                                           "layers"),
+                         [](const auto& info) { return info.param; });
+
+TEST(RangeTreeTest, SpaceIsNLogN) {
+  util::Rng rng(55);
+  auto points = RandomPoints(4096, &rng);
+  RangeTreeIndex index;
+  index.Build(points);
+  // Each level stores ~n entries; depth ~ log2(n / leaf).
+  EXPECT_LT(index.TotalListEntries(), 4096u * 16u);
+  EXPECT_GT(index.TotalListEntries(), 4096u * 8u);
+}
+
+TEST(RangeTreeTest, CountingDoesLogarithmicWork) {
+  util::Rng rng(56);
+  auto points = RandomPoints(32768, &rng);
+  RangeTreeIndex index;
+  index.Build(points);
+  index.ResetStats();
+  const BoundingBox box({0.4, 0.4}, {0.6, 0.6});
+  const size_t count = index.CountInRect(box);
+  EXPECT_GT(count, 500u);  // ~4% of 32768.
+  // Counting must not touch reported points: nodes visited should be
+  // O(log^1 n) canonical + path nodes, far below the output size.
+  EXPECT_LT(index.stats().nodes_visited, 200u);
+  EXPECT_LT(index.stats().points_tested, 64u);  // Only partial leaves.
+}
+
+TEST(ConvexLayersTest, MatchesBruteForceHalfPlanes) {
+  util::Rng rng(77);
+  auto points = RandomPoints(400, &rng, -1.0, 1.0);
+  ConvexLayersIndex layers;
+  layers.Build(points);
+  EXPECT_EQ(layers.size(), 400u);
+  for (int q = 0; q < 50; ++q) {
+    const double angle = rng.Uniform(0, 2 * M_PI);
+    const HalfPlane hp{{std::cos(angle), std::sin(angle)},
+                       rng.Uniform(-0.8, 0.8)};
+    size_t expect = 0;
+    for (const auto& ip : points) {
+      if (hp.Contains(ip.p)) ++expect;
+    }
+    std::set<uint32_t> got;
+    layers.ReportInHalfPlane(hp, [&](const IndexedPoint& ip) {
+      EXPECT_TRUE(hp.Contains(ip.p));
+      EXPECT_TRUE(got.insert(ip.id).second) << "duplicate report";
+    });
+    EXPECT_EQ(got.size(), expect) << "query " << q;
+    EXPECT_EQ(layers.CountInHalfPlane(hp), expect);
+  }
+}
+
+TEST(ConvexLayersTest, LayerCountReasonable) {
+  util::Rng rng(78);
+  auto points = RandomPoints(1000, &rng);
+  ConvexLayersIndex layers;
+  layers.Build(points);
+  EXPECT_GT(layers.NumLayers(), 5u);
+  EXPECT_LT(layers.NumLayers(), 500u);
+}
+
+TEST(ConvexLayersTest, EmptyAndTiny) {
+  ConvexLayersIndex layers;
+  layers.Build({});
+  EXPECT_EQ(layers.CountInHalfPlane(HalfPlane{{1, 0}, 0.0}), 0u);
+  ConvexLayersIndex one;
+  one.Build({IndexedPoint{{0.5, 0.5}, 1}});
+  EXPECT_EQ(one.CountInHalfPlane(HalfPlane{{1, 0}, 1.0}), 1u);
+  EXPECT_EQ(one.CountInHalfPlane(HalfPlane{{1, 0}, 0.0}), 0u);
+}
+
+TEST(ConvexLayersTest, CollinearPoints) {
+  std::vector<IndexedPoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(IndexedPoint{{i * 0.1, i * 0.1}, static_cast<uint32_t>(i)});
+  }
+  ConvexLayersIndex layers;
+  layers.Build(pts);
+  const HalfPlane hp{{1, 0}, 0.45};  // x <= 0.45 -> first 5 points.
+  EXPECT_EQ(layers.CountInHalfPlane(hp), 5u);
+}
+
+}  // namespace
+}  // namespace geosir::rangesearch

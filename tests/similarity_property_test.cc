@@ -1,0 +1,156 @@
+// Property-based tests of the similarity measures (Section 2.2): the
+// paper's claims about h_avg are checked on randomized shape pairs across
+// seeds (TEST_P sweeps).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "core/similarity.h"
+#include "geom/transform.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+namespace geosir::core {
+namespace {
+
+using geom::AffineTransform;
+using geom::Polyline;
+
+class SimilarityPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng MakeRng() const { return util::Rng(1000 + GetParam()); }
+};
+
+TEST_P(SimilarityPropertyTest, NonNegativityAndIdentity) {
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  EXPECT_GE(AvgMinDistance(a, b), 0.0);
+  EXPECT_NEAR(AvgMinDistance(a, a), 0.0, 1e-9);
+  EXPECT_NEAR(AvgMinDistanceSymmetric(b, b), 0.0, 1e-9);
+}
+
+TEST_P(SimilarityPropertyTest, SymmetricVariantIsSymmetric) {
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  EXPECT_NEAR(AvgMinDistanceSymmetric(a, b), AvgMinDistanceSymmetric(b, a),
+              1e-9);
+  EXPECT_NEAR(DiscreteHausdorff(a, b), DiscreteHausdorff(b, a), 1e-12);
+}
+
+TEST_P(SimilarityPropertyTest, SymmetricDominatesDirected) {
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  const double sym = AvgMinDistanceSymmetric(a, b);
+  EXPECT_GE(sym + 1e-12, AvgMinDistance(a, b));
+  EXPECT_GE(sym + 1e-12, AvgMinDistance(b, a));
+}
+
+TEST_P(SimilarityPropertyTest, ScaleEquivariance) {
+  // h_avg(sA, sB) == s * h_avg(A, B) for uniform scaling s.
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  const double s = rng.Uniform(0.5, 4.0);
+  const AffineTransform scale = AffineTransform::Scaling(s);
+  const double base = AvgMinDistance(a, b);
+  const double scaled = AvgMinDistance(a.Transformed(scale),
+                                       b.Transformed(scale));
+  EXPECT_NEAR(scaled, s * base, 1e-4 * std::max(1.0, s * base));
+}
+
+TEST_P(SimilarityPropertyTest, RigidMotionInvariance) {
+  // Moving both shapes by the same rigid motion leaves h_avg unchanged.
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  const AffineTransform motion =
+      AffineTransform::Translation({rng.Uniform(-5, 5), rng.Uniform(-5, 5)}) *
+      AffineTransform::Rotation(rng.Uniform(0, 2 * M_PI));
+  const double before = AvgMinDistance(a, b);
+  const double after =
+      AvgMinDistance(a.Transformed(motion), b.Transformed(motion));
+  EXPECT_NEAR(after, before, 1e-4 * std::max(1.0, before));
+}
+
+TEST_P(SimilarityPropertyTest, DominatedByHausdorff) {
+  // The average of the min-distances can never exceed their maximum:
+  // h_avg(A,B) <= h(A,B) (discrete variants, same vertex set).
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  EXPECT_LE(DiscreteAvgMinDistance(a, b),
+            DiscreteDirectedHausdorff(a, b) + 1e-12);
+}
+
+TEST_P(SimilarityPropertyTest, PartialHausdorffMonotoneInFraction) {
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  double prev = 0.0;
+  for (double f : {0.25, 0.5, 0.75, 1.0}) {
+    const double v = PartialDirectedHausdorff(a, b, f);
+    EXPECT_GE(v + 1e-12, prev) << "fraction " << f;
+    prev = v;
+  }
+  EXPECT_NEAR(prev, DiscreteDirectedHausdorff(a, b), 1e-12);
+}
+
+TEST_P(SimilarityPropertyTest, NoiseMovesMeasureProportionally) {
+  // Small jitter moves h_avg by at most a small multiple of the jitter
+  // magnitude (robustness: no Hausdorff-style outlier blow-up).
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline noisy = workload::JitterVertices(a, 0.01, &rng);
+  const double d = AvgMinDistanceSymmetric(a, noisy);
+  // Diameter ~2-3, jitter sigma = 1% of diameter; the average distance
+  // must be of the same order (not amplified).
+  EXPECT_LT(d, 0.12);
+}
+
+TEST_P(SimilarityPropertyTest, VertexDensityIndependence) {
+  // Core claim: the measure is (nearly) independent of how many vertices
+  // describe the same geometry.
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::RandomStarPolygon(&rng);
+  const Polyline a_dense = workload::ResampleBoundary(a, 3 * (int)a.size());
+  const double sparse = AvgMinDistance(a, b);
+  const double dense = AvgMinDistance(a_dense, b);
+  // Resampling changes the shape slightly (corner chords), so allow a
+  // tolerance proportional to the measure.
+  EXPECT_NEAR(dense, sparse, 0.1 * std::max(0.05, sparse));
+}
+
+TEST_P(SimilarityPropertyTest, NormalizedMatchDistanceInvariantToQueryPose) {
+  // End-to-end invariance: the distance between normalized copies does
+  // not depend on the pose of the inputs.
+  util::Rng rng = MakeRng();
+  const Polyline a = workload::RandomStarPolygon(&rng);
+  const Polyline b = workload::JitterVertices(a, 0.01, &rng);
+  auto na = NormalizeQuery(a);
+  auto nb = NormalizeQuery(b);
+  ASSERT_TRUE(na.ok());
+  ASSERT_TRUE(nb.ok());
+  const double d1 = AvgMinDistanceSymmetric(na->shape, nb->shape);
+
+  const AffineTransform pose =
+      AffineTransform::Translation({rng.Uniform(-9, 9), rng.Uniform(-9, 9)}) *
+      AffineTransform::Rotation(rng.Uniform(0, 2 * M_PI)) *
+      AffineTransform::Scaling(rng.Uniform(0.2, 5.0));
+  auto nb2 = NormalizeQuery(b.Transformed(pose));
+  ASSERT_TRUE(nb2.ok());
+  const double d2 = AvgMinDistanceSymmetric(na->shape, nb2->shape);
+  EXPECT_NEAR(d1, d2, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace geosir::core

@@ -1,0 +1,156 @@
+// Edge-case coverage for the storage layer beyond storage_test.cc.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "storage/block_file.h"
+#include "storage/layout.h"
+#include "storage/shape_record.h"
+#include "storage/stored_shape_base.h"
+#include "util/rng.h"
+
+namespace geosir::storage {
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+Polyline RegularPolygon(int n, double r) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+TEST(BlockFileEdgeTest, OversizePayloadTruncated) {
+  BlockFile file(32);
+  std::vector<uint8_t> big(100, 7);
+  const BlockId id = file.AppendBlock(big);
+  auto data = file.ReadBlock(id);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 32u);
+  EXPECT_EQ((*data)[31], 7);
+}
+
+TEST(BlockFileEdgeTest, WriteOutOfRangeFails) {
+  BlockFile file(32);
+  EXPECT_FALSE(file.WriteBlock(0, {1}).ok());
+  file.AppendBlock({1});
+  EXPECT_TRUE(file.WriteBlock(0, {2}).ok());
+  auto data = file.ReadBlock(0);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)[0], 2);
+}
+
+TEST(BufferManagerEdgeTest, SequentialScanWithTinyBufferMissesEverything) {
+  BlockFile file(16);
+  for (int i = 0; i < 20; ++i) file.AppendBlock({static_cast<uint8_t>(i)});
+  BufferManager buffer(&file, 2);
+  // Two sequential passes over 20 blocks with 2 frames: all misses.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (BlockId b = 0; b < 20; ++b) {
+      ASSERT_TRUE(buffer.Pin(b).ok());
+    }
+  }
+  EXPECT_EQ(buffer.misses(), 40u);
+  EXPECT_EQ(buffer.hits(), 0u);
+}
+
+TEST(BufferManagerEdgeTest, ResetCountersKeepsCache) {
+  BlockFile file(16);
+  file.AppendBlock({1});
+  BufferManager buffer(&file, 2);
+  ASSERT_TRUE(buffer.Pin(0).ok());
+  buffer.ResetCounters();
+  ASSERT_TRUE(buffer.Pin(0).ok());
+  EXPECT_EQ(buffer.hits(), 1u);  // Still cached after counter reset.
+  EXPECT_EQ(buffer.misses(), 0u);
+}
+
+TEST(ShapeRecordEdgeTest, EmptyQuarterQuadrupleSurvives) {
+  core::Shape s;
+  s.boundary = RegularPolygon(6, 1.0);
+  auto copies = core::NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  hashing::CurveQuadruple quad;  // All zeros (every quarter empty).
+  std::vector<uint8_t> buf;
+  SerializeRecord(MakeRecord(copies->front(), core::kNoImage, quad), &buf);
+  size_t offset = 0;
+  auto back = DeserializeRecord(buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->quadruple == quad);
+  // kNoImage round-trips through the u32 field.
+  EXPECT_EQ(back->image, core::kNoImage);
+}
+
+TEST(ShapeRecordEdgeTest, MultipleRecordsInOneBuffer) {
+  core::Shape s;
+  s.boundary = RegularPolygon(5, 1.0);
+  auto copies = core::NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  std::vector<uint8_t> buf;
+  for (int i = 0; i < 3; ++i) {
+    SerializeRecord(MakeRecord((*copies)[i], i, {}), &buf);
+  }
+  size_t offset = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto record = DeserializeRecord(buf, &offset);
+    ASSERT_TRUE(record.ok()) << i;
+    EXPECT_EQ(record->image, static_cast<uint32_t>(i));
+    EXPECT_EQ(record->copy_index, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(LayoutEdgeTest, EmptyBase) {
+  core::ShapeBase base;
+  ASSERT_TRUE(base.Finalize().ok());
+  std::vector<hashing::CurveQuadruple> quads;
+  for (auto policy : {LayoutPolicy::kInsertionOrder, LayoutPolicy::kMeanCurve,
+                      LayoutPolicy::kLocalOptimization}) {
+    EXPECT_TRUE(ComputeLayout(policy, base, quads).empty());
+  }
+  auto stored = StoredShapeBase::Create(base, quads, {});
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->NumBlocks(), 0u);
+}
+
+TEST(LayoutEdgeTest, SingleShape) {
+  core::ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(5, 1.0)).ok());
+  ASSERT_TRUE(base.Finalize().ok());
+  std::vector<hashing::CurveQuadruple> quads(base.NumCopies());
+  for (auto policy : {LayoutPolicy::kMedianCurve,
+                      LayoutPolicy::kLocalOptimization}) {
+    const auto order = ComputeLayout(policy, base, quads);
+    EXPECT_EQ(order.size(), base.NumCopies());
+  }
+}
+
+TEST(LayoutEdgeTest, RecordsPerBlockRespectedByLocalOpt) {
+  core::ShapeBase base;
+  util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    Polyline p = RegularPolygon(5 + i % 7, 1.0);
+    for (Point& v : p.mutable_vertices()) {
+      v += Point{rng.Gaussian(0.02), rng.Gaussian(0.02)};
+    }
+    ASSERT_TRUE(base.AddShape(p).ok());
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+  std::vector<hashing::CurveQuadruple> quads(base.NumCopies());
+  LayoutOptions options;
+  options.records_per_block = 3;
+  const auto order =
+      ComputeLayout(LayoutPolicy::kLocalOptimization, base, quads, options);
+  EXPECT_EQ(order.size(), base.NumCopies());
+  std::set<uint32_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+}
+
+}  // namespace
+}  // namespace geosir::storage

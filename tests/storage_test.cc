@@ -1,0 +1,302 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/envelope_matcher.h"
+#include "hashing/geo_hash_index.h"
+#include "storage/block_file.h"
+#include "storage/layout.h"
+#include "storage/shape_record.h"
+#include "storage/stored_shape_base.h"
+#include "util/rng.h"
+
+namespace geosir::storage {
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+Polyline RegularPolygon(int n, double r, Point c = {0, 0},
+                        double phase = 0.0) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = phase + 2.0 * M_PI * i / n;
+    v.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+TEST(ShapeRecordTest, RoundTrip) {
+  core::Shape s;
+  s.boundary = RegularPolygon(9, 1.0, {2, 3}, 0.4);
+  auto copies = core::NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  hashing::CurveQuadruple quad;
+  quad.c[0] = 3;
+  quad.c[1] = 17;
+  quad.c[2] = 0;
+  quad.c[3] = 50;
+
+  const ShapeRecord record = MakeRecord(copies->front(), 42, quad);
+  std::vector<uint8_t> buf;
+  SerializeRecord(record, &buf);
+  EXPECT_EQ(buf.size(), record.ByteSize());
+
+  size_t offset = 0;
+  auto back = DeserializeRecord(buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(back->shape_id, record.shape_id);
+  EXPECT_EQ(back->copy_index, record.copy_index);
+  EXPECT_EQ(back->image, 42u);
+  EXPECT_EQ(back->closed, true);
+  EXPECT_TRUE(back->quadruple == quad);
+  ASSERT_EQ(back->vertices.size(), record.vertices.size());
+  for (size_t i = 0; i < back->vertices.size(); ++i) {
+    EXPECT_NEAR(back->vertices[i].x, record.vertices[i].x, 1e-6);
+    EXPECT_NEAR(back->vertices[i].y, record.vertices[i].y, 1e-6);
+  }
+}
+
+TEST(ShapeRecordTest, TwentyVertexRecordIsAbout200Bytes) {
+  // The paper's sizing argument: ~20 vertices -> ~200 bytes -> ~5 records
+  // per 1 KiB block.
+  core::Shape s;
+  s.boundary = RegularPolygon(20, 1.0);
+  auto copies = core::NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  const ShapeRecord r = MakeRecord(copies->front(), 0, {});
+  EXPECT_GE(r.ByteSize(), 180u);
+  EXPECT_LE(r.ByteSize(), 220u);
+}
+
+TEST(ShapeRecordTest, TruncatedInputRejected) {
+  core::Shape s;
+  s.boundary = RegularPolygon(5, 1.0);
+  auto copies = core::NormalizeShape(s);
+  ASSERT_TRUE(copies.ok());
+  std::vector<uint8_t> buf;
+  SerializeRecord(MakeRecord(copies->front(), 0, {}), &buf);
+  buf.resize(buf.size() - 3);
+  size_t offset = 0;
+  EXPECT_FALSE(DeserializeRecord(buf, &offset).ok());
+}
+
+TEST(BlockFileTest, AppendReadWriteCounts) {
+  BlockFile file(64);
+  const BlockId id = file.AppendBlock({1, 2, 3});
+  EXPECT_EQ(file.NumBlocks(), 1u);
+  EXPECT_EQ(file.writes(), 1u);
+  auto data = file.ReadBlock(id);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 64u);
+  EXPECT_EQ((*data)[0], 1);
+  EXPECT_EQ(file.reads(), 1u);
+  EXPECT_TRUE(file.WriteBlock(id, {9}).ok());
+  EXPECT_EQ(file.writes(), 2u);
+  EXPECT_FALSE(file.ReadBlock(7).ok());
+  file.ResetCounters();
+  EXPECT_EQ(file.reads(), 0u);
+}
+
+TEST(BufferManagerTest, LruEviction) {
+  BlockFile file(16);
+  for (int i = 0; i < 4; ++i) file.AppendBlock({static_cast<uint8_t>(i)});
+  BufferManager buffer(&file, 2);
+  ASSERT_TRUE(buffer.Pin(0).ok());  // Miss.
+  ASSERT_TRUE(buffer.Pin(1).ok());  // Miss.
+  ASSERT_TRUE(buffer.Pin(0).ok());  // Hit.
+  ASSERT_TRUE(buffer.Pin(2).ok());  // Miss; evicts 1 (LRU).
+  ASSERT_TRUE(buffer.Pin(0).ok());  // Hit.
+  ASSERT_TRUE(buffer.Pin(1).ok());  // Miss again.
+  EXPECT_EQ(buffer.misses(), 4u);
+  EXPECT_EQ(buffer.hits(), 2u);
+  EXPECT_EQ(buffer.io_reads(), 4u);
+}
+
+TEST(BufferManagerTest, CapacityOneStillWorks) {
+  BlockFile file(16);
+  for (int i = 0; i < 3; ++i) file.AppendBlock({static_cast<uint8_t>(i)});
+  BufferManager buffer(&file, 1);
+  ASSERT_TRUE(buffer.Pin(0).ok());
+  ASSERT_TRUE(buffer.Pin(0).ok());
+  ASSERT_TRUE(buffer.Pin(1).ok());
+  ASSERT_TRUE(buffer.Pin(0).ok());
+  EXPECT_EQ(buffer.hits(), 1u);
+  EXPECT_EQ(buffer.misses(), 3u);
+}
+
+class StorageFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(5);
+    // 5 noisy instances of each of 30 prototype polygons: enough volume
+    // that layouts with and without locality fault different block
+    // counts.
+    for (int proto = 0; proto < 30; ++proto) {
+      const int n = 5 + proto % 11;
+      const double phase = 0.8 * (proto / 11);
+      for (int inst = 0; inst < 5; ++inst) {
+        Polyline poly = RegularPolygon(n, 1.0, {0, 0}, phase);
+        for (Point& p : poly.mutable_vertices()) {
+          p += Point{rng.Gaussian(0.015), rng.Gaussian(0.015)};
+        }
+        ASSERT_TRUE(base_.AddShape(poly, proto).ok());
+      }
+    }
+    ASSERT_TRUE(base_.Finalize().ok());
+    auto hash = hashing::GeoHashIndex::Create(&base_);
+    ASSERT_TRUE(hash.ok());
+    quadruples_.reserve(base_.NumCopies());
+    for (size_t i = 0; i < base_.NumCopies(); ++i) {
+      quadruples_.push_back(hash->QuadrupleOfCopy(i));
+    }
+  }
+
+  core::ShapeBase base_;
+  std::vector<hashing::CurveQuadruple> quadruples_;
+};
+
+TEST_F(StorageFixture, AllLayoutsArePermutations) {
+  for (LayoutPolicy policy :
+       {LayoutPolicy::kInsertionOrder, LayoutPolicy::kMeanCurve,
+        LayoutPolicy::kLexicographic, LayoutPolicy::kMedianCurve,
+        LayoutPolicy::kLocalOptimization}) {
+    const std::vector<uint32_t> order =
+        ComputeLayout(policy, base_, quadruples_);
+    EXPECT_EQ(order.size(), base_.NumCopies()) << LayoutPolicyName(policy);
+    std::set<uint32_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size()) << LayoutPolicyName(policy);
+  }
+}
+
+TEST_F(StorageFixture, SortedLayoutsAreSortedByTheirKey) {
+  const auto mean_order =
+      ComputeLayout(LayoutPolicy::kMeanCurve, base_, quadruples_);
+  for (size_t i = 1; i < mean_order.size(); ++i) {
+    EXPECT_LE(quadruples_[mean_order[i - 1]].MeanCurve(),
+              quadruples_[mean_order[i]].MeanCurve());
+  }
+  const auto lex_order =
+      ComputeLayout(LayoutPolicy::kLexicographic, base_, quadruples_);
+  for (size_t i = 1; i < lex_order.size(); ++i) {
+    const auto& a = quadruples_[lex_order[i - 1]];
+    const auto& b = quadruples_[lex_order[i]];
+    bool le = true;
+    for (int q = 0; q < 4; ++q) {
+      if (a.c[q] != b.c[q]) {
+        le = a.c[q] < b.c[q];
+        break;
+      }
+    }
+    EXPECT_TRUE(le);
+  }
+  const auto med_order =
+      ComputeLayout(LayoutPolicy::kMedianCurve, base_, quadruples_);
+  for (size_t i = 1; i < med_order.size(); ++i) {
+    EXPECT_LE(quadruples_[med_order[i - 1]].MedianCurve(),
+              quadruples_[med_order[i]].MedianCurve());
+  }
+}
+
+TEST_F(StorageFixture, StoredBaseRoundTripsRecords) {
+  const auto order =
+      ComputeLayout(LayoutPolicy::kMeanCurve, base_, quadruples_);
+  auto stored = StoredShapeBase::Create(base_, quadruples_, order);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_GT(stored->NumBlocks(), 1u);
+  BufferManager buffer(&stored->file(), 10);
+  for (uint32_t c = 0; c < base_.NumCopies(); c += 7) {
+    auto record = stored->ReadCopy(c, &buffer);
+    ASSERT_TRUE(record.ok()) << "copy " << c;
+    EXPECT_EQ(record->shape_id, base_.copy(c).shape_id);
+    EXPECT_EQ(record->vertices.size(), base_.copy(c).shape.size());
+  }
+}
+
+TEST_F(StorageFixture, PackingRespectsBlockCapacity) {
+  const auto order =
+      ComputeLayout(LayoutPolicy::kInsertionOrder, base_, quadruples_);
+  auto stored = StoredShapeBase::Create(base_, quadruples_, order, 1024);
+  ASSERT_TRUE(stored.ok());
+  // Average record ~ header + 8 * ~12 vertices; expect >= 3 copies/block.
+  EXPECT_LE(stored->NumBlocks(), base_.NumCopies() / 3 + 1);
+}
+
+TEST_F(StorageFixture, ReplayTraceCountsIo) {
+  const auto order =
+      ComputeLayout(LayoutPolicy::kMeanCurve, base_, quadruples_);
+  auto stored = StoredShapeBase::Create(base_, quadruples_, order);
+  ASSERT_TRUE(stored.ok());
+
+  core::EnvelopeMatcher matcher(&base_);
+  core::AccessTrace trace;
+  auto results = matcher.Match(base_.shape(3).boundary, {}, nullptr, &trace);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(trace.empty());
+
+  BufferManager buffer(&stored->file(), 10);
+  auto io = stored->ReplayTrace(trace, &buffer);
+  ASSERT_TRUE(io.ok());
+  EXPECT_GT(*io, 0u);
+  EXPECT_LE(*io, trace.size());
+
+  // A second replay with a warm buffer can only do better or equal.
+  auto io2 = stored->ReplayTrace(trace, &buffer);
+  ASSERT_TRUE(io2.ok());
+  EXPECT_LE(*io2, *io);
+}
+
+TEST_F(StorageFixture, ClusteredLayoutBeatsScatteredOnLocalTraces) {
+  // Synthetic locality check: a trace that touches copies of the same
+  // few shapes should fault fewer blocks under a mean-curve layout than
+  // under a deliberately scattered one.
+  const auto good_order =
+      ComputeLayout(LayoutPolicy::kMeanCurve, base_, quadruples_);
+  // Adversarial layout: round-robin over the mean-curve order.
+  std::vector<uint32_t> bad_order;
+  const size_t stride = 7;
+  for (size_t start = 0; start < stride; ++start) {
+    for (size_t i = start; i < good_order.size(); i += stride) {
+      bad_order.push_back(good_order[i]);
+    }
+  }
+  auto good = StoredShapeBase::Create(base_, quadruples_, good_order);
+  auto bad = StoredShapeBase::Create(base_, quadruples_, bad_order);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+
+  core::EnvelopeMatcher matcher(&base_);
+  uint64_t good_io = 0, bad_io = 0;
+  for (core::ShapeId id = 0; id < base_.NumShapes(); id += 4) {
+    core::AccessTrace trace;
+    core::MatchOptions options;
+    options.k = 3;
+    options.max_epsilon = 0.3;  // Search deep enough to touch many copies.
+    auto results =
+        matcher.Match(base_.shape(id).boundary, options, nullptr, &trace);
+    ASSERT_TRUE(results.ok());
+    BufferManager gb(&good->file(), 4);
+    BufferManager bb(&bad->file(), 4);
+    auto g = good->ReplayTrace(trace, &gb);
+    auto b = bad->ReplayTrace(trace, &bb);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(b.ok());
+    good_io += *g;
+    bad_io += *b;
+  }
+  EXPECT_LT(good_io, bad_io);
+}
+
+TEST(StoredShapeBaseErrorsTest, SizeMismatchRejected) {
+  core::ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(5, 1.0)).ok());
+  ASSERT_TRUE(base.Finalize().ok());
+  std::vector<hashing::CurveQuadruple> quads(base.NumCopies());
+  EXPECT_FALSE(StoredShapeBase::Create(base, quads, {0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace geosir::storage

@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/numeric.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace geosir::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kCorruption, StatusCode::kNotSupported,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  GEOSIR_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NumericTest, AdaptiveSimpsonPolynomial) {
+  // Integral of x^3 over [0, 2] is 4.
+  const double v =
+      AdaptiveSimpson([](double x) { return x * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 4.0, 1e-9);
+}
+
+TEST(NumericTest, AdaptiveSimpsonTranscendental) {
+  const double v = AdaptiveSimpson([](double x) { return std::sin(x); }, 0.0,
+                                   M_PI);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(NumericTest, AdaptiveSimpsonHandlesKink) {
+  // |x| over [-1, 2]: 0.5 + 2.
+  const double v =
+      AdaptiveSimpson([](double x) { return std::fabs(x); }, -1.0, 2.0);
+  EXPECT_NEAR(v, 2.5, 1e-7);
+}
+
+TEST(NumericTest, CompositeSimpsonMatchesAdaptive) {
+  auto f = [](double x) { return std::exp(-x * x); };
+  const double a = CompositeSimpson(f, 0.0, 1.5, 2000);
+  const double b = AdaptiveSimpson(f, 0.0, 1.5);
+  EXPECT_NEAR(a, b, 1e-8);
+}
+
+TEST(NumericTest, EmptyIntervalIntegratesToZero) {
+  EXPECT_EQ(AdaptiveSimpson([](double) { return 1.0; }, 3.0, 3.0), 0.0);
+  EXPECT_EQ(CompositeSimpson([](double) { return 1.0; }, 3.0, 3.0, 10), 0.0);
+}
+
+TEST(NumericTest, FindRootSqrtTwo) {
+  auto r = FindRootBracketed([](double x) { return x * x - 2.0; },
+                             [](double x) { return 2.0 * x; }, 0.0, 2.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(NumericTest, FindRootWithoutDerivative) {
+  auto r = FindRootBracketed([](double x) { return std::cos(x) - x; }, nullptr,
+                             0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(std::cos(*r), *r, 1e-9);
+}
+
+TEST(NumericTest, FindRootRejectsUnbracketed) {
+  auto r = FindRootBracketed([](double x) { return x * x + 1.0; }, nullptr,
+                             -1.0, 1.0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NumericTest, FindRootAcceptsEndpointRoot) {
+  auto r = FindRootBracketed([](double x) { return x; }, nullptr, 0.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0.0);
+}
+
+TEST(NumericTest, GoldenSectionFindsMinimum) {
+  const double x = GoldenSectionMinimize(
+      [](double v) { return (v - 1.3) * (v - 1.3) + 2.0; }, -5.0, 5.0);
+  EXPECT_NEAR(x, 1.3, 1e-7);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // Not a strong statistical test; just checks streams are decoupled and
+  // deterministic.
+  Rng a2(5);
+  Rng child2 = a2.Fork();
+  EXPECT_EQ(child.UniformInt(0, 1 << 30), child2.UniformInt(0, 1 << 30));
+}
+
+}  // namespace
+}  // namespace geosir::util

@@ -1,0 +1,133 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "video/video_base.h"
+#include "workload/polygon_gen.h"
+#include "workload/video_gen.h"
+
+namespace geosir::video {
+namespace {
+
+using geom::Polyline;
+
+class VideoBaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(42);
+    workload::PolygonGenOptions gen;
+    gen.min_vertices = 10;
+    gen.max_vertices = 16;
+    for (int i = 0; i < 8; ++i) {
+      prototypes_.push_back(RandomStarPolygon(&rng, gen));
+    }
+    workload::VideoSpec spec;
+    spec.num_videos = 6;
+    spec.frames_per_video = 10;
+    spec.objects_per_video = 2;
+    videos_ = workload::GenerateVideos(prototypes_, spec, &rng);
+
+    for (size_t v = 0; v < videos_.size(); ++v) {
+      const uint32_t id = base_.AddVideo("video" + std::to_string(v));
+      ASSERT_EQ(id, v);
+      for (const auto& frame : videos_[v].frames) {
+        ASSERT_TRUE(base_.AddFrame(id, frame).ok());
+      }
+    }
+    ASSERT_TRUE(base_.Finalize().ok());
+  }
+
+  std::vector<Polyline> prototypes_;
+  std::vector<workload::GeneratedVideo> videos_;
+  VideoBase base_;
+};
+
+TEST_F(VideoBaseTest, StructureBookkeeping) {
+  EXPECT_EQ(base_.NumVideos(), 6u);
+  for (uint32_t v = 0; v < base_.NumVideos(); ++v) {
+    EXPECT_EQ(base_.video(v).num_frames, 10u);
+  }
+  // 6 videos x 10 frames x 2 objects (minus any skipped invalid shapes).
+  EXPECT_GE(base_.shape_base().NumShapes(), 100u);
+  EXPECT_LE(base_.shape_base().NumShapes(), 120u);
+}
+
+TEST_F(VideoBaseTest, TracksFollowObjectsAcrossFrames) {
+  // Most objects should be tracked through most of their video: expect
+  // a substantial number of long tracks.
+  size_t long_tracks = 0;
+  for (const ShapeTrack& t : base_.tracks()) {
+    if (t.length() >= 8) {
+      ++long_tracks;
+      // A track lives inside one video with strictly increasing frames.
+      for (size_t i = 1; i < t.instances.size(); ++i) {
+        EXPECT_EQ(t.instances[i].frame, t.instances[i - 1].frame + 1);
+      }
+      EXPECT_LT(t.mean_step_distance, 0.06);
+    }
+  }
+  EXPECT_GE(long_tracks, 8u);  // Of 12 objects total.
+}
+
+TEST_F(VideoBaseTest, EveryShapeBelongsToExactlyOneTrack) {
+  std::set<std::pair<uint32_t, core::ShapeId>> seen;
+  for (size_t t = 0; t < base_.tracks().size(); ++t) {
+    for (const FrameShapeRef& ref : base_.tracks()[t].instances) {
+      EXPECT_TRUE(seen.insert({base_.tracks()[t].video, ref.shape}).second)
+          << "shape " << ref.shape << " in multiple tracks";
+      EXPECT_EQ(base_.TrackOfShape(ref.shape), static_cast<long>(t));
+    }
+  }
+  EXPECT_EQ(seen.size(), base_.shape_base().NumShapes());
+}
+
+TEST_F(VideoBaseTest, QueryFindsVideoShowingThePrototype) {
+  // Query with the prototype of video 0's first object: video 0 must
+  // rank among the top results.
+  const int proto = videos_[0].prototypes[0];
+  auto results = base_.Query(prototypes_[proto], 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  bool found = false;
+  for (const VideoMatch& m : *results) {
+    if (m.video == 0) {
+      found = true;
+      EXPECT_GE(m.track_length, 2u);
+    }
+    EXPECT_LT(m.distance, 0.1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(VideoBaseTest, QueryReturnsOneResultPerVideo) {
+  auto results = base_.Query(prototypes_[0], 10);
+  ASSERT_TRUE(results.ok());
+  std::set<uint32_t> videos;
+  for (const VideoMatch& m : *results) {
+    EXPECT_TRUE(videos.insert(m.video).second);
+  }
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_LE((*results)[i - 1].distance, (*results)[i].distance);
+  }
+}
+
+TEST(VideoBaseErrorsTest, LifecycleEnforced) {
+  VideoBase base;
+  EXPECT_FALSE(base.AddFrame(0, {}).ok());  // No such video.
+  const uint32_t v = base.AddVideo();
+  ASSERT_TRUE(base.AddFrame(v, {geom::Polyline::Closed(
+                                   {{0, 0}, {1, 0}, {1, 1}})})
+                  .ok());
+  EXPECT_FALSE(base.Query(geom::Polyline::Closed({{0, 0}, {1, 0}, {1, 1}}))
+                   .ok());  // Not finalized.
+  ASSERT_TRUE(base.Finalize().ok());
+  EXPECT_FALSE(base.AddFrame(v, {}).ok());  // Finalized.
+  auto results = base.Query(geom::Polyline::Closed({{0, 0}, {1, 0}, {1, 1}}));
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+}  // namespace
+}  // namespace geosir::video

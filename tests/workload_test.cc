@@ -1,0 +1,171 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "query/operators.h"
+#include "workload/image_composer.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+#include "workload/query_set.h"
+
+namespace geosir::workload {
+namespace {
+
+using geom::Polyline;
+
+TEST(PolygonGenTest, StarPolygonsAreValid) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Polyline p = RandomStarPolygon(&rng);
+    EXPECT_TRUE(p.Validate().ok()) << "trial " << i;
+    EXPECT_GE(p.size(), 12u);
+    EXPECT_LE(p.size(), 28u);
+  }
+}
+
+TEST(PolygonGenTest, ConvexPolygonsAreConvex) {
+  util::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Polyline p = RandomConvexPolygon(&rng, 8, 1.0);
+    ASSERT_GE(p.size(), 8u);
+    const size_t n = p.size();
+    for (size_t j = 0; j < n; ++j) {
+      const geom::Point a = p.vertex(j);
+      const geom::Point b = p.vertex((j + 1) % n);
+      const geom::Point c = p.vertex((j + 2) % n);
+      EXPECT_GE((b - a).Cross(c - b), 0.0);
+    }
+  }
+}
+
+TEST(PolygonGenTest, OpenPolylinesAreValid) {
+  util::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const Polyline p = RandomOpenPolyline(&rng);
+    EXPECT_FALSE(p.closed());
+    EXPECT_TRUE(p.Validate().ok()) << "trial " << i;
+  }
+}
+
+TEST(PolygonGenTest, DeterministicUnderSeed) {
+  util::Rng a(42), b(42);
+  const Polyline pa = RandomStarPolygon(&a);
+  const Polyline pb = RandomStarPolygon(&b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa.vertex(i), pb.vertex(i));
+  }
+}
+
+TEST(NoiseTest, JitterStaysSimpleAndClose) {
+  util::Rng rng(4);
+  const Polyline shape = RandomStarPolygon(&rng);
+  const Polyline noisy = JitterVertices(shape, 0.01, &rng);
+  EXPECT_FALSE(noisy.SelfIntersects());
+  EXPECT_EQ(noisy.size(), shape.size());
+  EXPECT_LT(core::AvgMinDistanceSymmetric(shape, noisy), 0.1);
+}
+
+TEST(NoiseTest, ResampleChangesVertexCountNotGeometry) {
+  util::Rng rng(5);
+  const Polyline shape = RandomStarPolygon(&rng);
+  const Polyline resampled = ResampleBoundary(shape, 40);
+  EXPECT_EQ(resampled.size(), 40u);
+  // Resampled vertices lie exactly on the original boundary; the edges
+  // chord across corners, so the continuous measure is small but not 0.
+  EXPECT_LT(core::DiscreteAvgMinDistance(resampled, shape), 1e-9);
+  EXPECT_LT(core::AvgMinDistance(resampled, shape), 0.05);
+}
+
+TEST(NoiseTest, LocalDentAddsOneVertex) {
+  util::Rng rng(6);
+  const Polyline shape = RandomStarPolygon(&rng);
+  const Polyline dented = LocalDent(shape, 0.05, &rng);
+  EXPECT_EQ(dented.size(), shape.size() + 1);
+  EXPECT_FALSE(dented.SelfIntersects());
+}
+
+TEST(ComposerTest, ProducesShapesAndRelations) {
+  util::Rng rng(7);
+  std::vector<Polyline> protos;
+  for (int i = 0; i < 10; ++i) protos.push_back(RandomStarPolygon(&rng));
+  size_t total_shapes = 0, total_relations = 0;
+  for (int i = 0; i < 30; ++i) {
+    const ComposedImage img = ComposeImage(protos, 0.01, &rng);
+    EXPECT_GE(img.shapes.size(), 2u);
+    EXPECT_LE(img.shapes.size(), 9u);
+    EXPECT_EQ(img.shapes.size(), img.prototype.size());
+    total_shapes += img.shapes.size();
+    total_relations += img.planted.size();
+    // Planted relations must actually hold geometrically.
+    for (const PlantedRelation& rel : img.planted) {
+      EXPECT_TRUE(query::TestRelation(rel.relation, img.shapes[rel.a],
+                                      img.shapes[rel.b]))
+          << RelationName(rel.relation);
+    }
+  }
+  EXPECT_GT(total_shapes, 100u);
+  EXPECT_GT(total_relations, 5u);
+}
+
+TEST(GenerateImageBaseTest, EndToEnd) {
+  ImageBaseSpec spec;
+  spec.num_images = 20;
+  spec.num_prototypes = 8;
+  spec.seed = 11;
+  auto generated = GenerateImageBase(spec);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->images->NumImages(), 20u);
+  const core::ShapeBase& base = generated->images->shape_base();
+  EXPECT_TRUE(base.finalized());
+  EXPECT_GT(base.NumShapes(), 40u);
+  EXPECT_EQ(generated->prototype_of_shape.size(), base.NumShapes());
+  for (int proto : generated->prototype_of_shape) {
+    EXPECT_GE(proto, 0);
+    EXPECT_LT(proto, 8);
+  }
+}
+
+TEST(GenerateImageBaseTest, RetrievalFindsInstancesOfQueriedPrototype) {
+  ImageBaseSpec spec;
+  spec.num_images = 30;
+  spec.num_prototypes = 6;
+  spec.instance_noise = 0.005;
+  spec.seed = 13;
+  auto generated = GenerateImageBase(spec);
+  ASSERT_TRUE(generated.ok());
+
+  util::Rng rng(14);
+  const auto queries = MakeQuerySet(generated->prototypes, 5, 0.005, &rng);
+  core::EnvelopeMatcher matcher(&generated->images->shape_base());
+  int correct = 0;
+  for (const QueryCase& qc : queries) {
+    auto results = matcher.Match(qc.query);
+    ASSERT_TRUE(results.ok());
+    if (!results->empty() &&
+        generated->prototype_of_shape[(*results)[0].shape_id] ==
+            qc.prototype) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 4) << "retrieval should recover the prototype";
+}
+
+TEST(QuerySetTest, SizesAndDeterminism) {
+  util::Rng rng(15);
+  std::vector<Polyline> protos;
+  for (int i = 0; i < 5; ++i) protos.push_back(RandomStarPolygon(&rng));
+  util::Rng q1(20), q2(20);
+  const auto a = MakeQuerySet(protos, 15, 0.01, &q1);
+  const auto b = MakeQuerySet(protos, 15, 0.01, &q2);
+  ASSERT_EQ(a.size(), 15u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prototype, b[i].prototype);
+    ASSERT_EQ(a[i].query.size(), b[i].query.size());
+  }
+}
+
+}  // namespace
+}  // namespace geosir::workload
