@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_base.dir/bench_dynamic_base.cpp.o"
+  "CMakeFiles/bench_dynamic_base.dir/bench_dynamic_base.cpp.o.d"
+  "bench_dynamic_base"
+  "bench_dynamic_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hash_curves.dir/bench_hash_curves.cpp.o"
+  "CMakeFiles/bench_hash_curves.dir/bench_hash_curves.cpp.o.d"
+  "bench_hash_curves"
+  "bench_hash_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hashing_retrieval.dir/bench_hashing_retrieval.cpp.o"
+  "CMakeFiles/bench_hashing_retrieval.dir/bench_hashing_retrieval.cpp.o.d"
+  "bench_hashing_retrieval"
+  "bench_hashing_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hashing_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matcher_params.dir/bench_matcher_params.cpp.o"
+  "CMakeFiles/bench_matcher_params.dir/bench_matcher_params.cpp.o.d"
+  "bench_matcher_params"
+  "bench_matcher_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matcher_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_plans.dir/bench_query_plans.cpp.o"
+  "CMakeFiles/bench_query_plans.dir/bench_query_plans.cpp.o.d"
+  "bench_query_plans"
+  "bench_query_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_backends.dir/bench_range_backends.cpp.o"
+  "CMakeFiles/bench_range_backends.dir/bench_range_backends.cpp.o.d"
+  "bench_range_backends"
+  "bench_range_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

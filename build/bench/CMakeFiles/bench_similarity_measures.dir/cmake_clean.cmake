@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_similarity_measures.dir/bench_similarity_measures.cpp.o"
+  "CMakeFiles/bench_similarity_measures.dir/bench_similarity_measures.cpp.o.d"
+  "bench_similarity_measures"
+  "bench_similarity_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_similarity_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_layouts.dir/bench_storage_layouts.cpp.o"
+  "CMakeFiles/bench_storage_layouts.dir/bench_storage_layouts.cpp.o.d"
+  "bench_storage_layouts"
+  "bench_storage_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

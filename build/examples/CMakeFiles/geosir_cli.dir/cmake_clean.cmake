@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_cli.dir/geosir_cli.cpp.o"
+  "CMakeFiles/geosir_cli.dir/geosir_cli.cpp.o.d"
+  "geosir_cli"
+  "geosir_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

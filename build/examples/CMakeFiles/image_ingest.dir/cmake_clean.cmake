@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_ingest.dir/image_ingest.cpp.o"
+  "CMakeFiles/image_ingest.dir/image_ingest.cpp.o.d"
+  "image_ingest"
+  "image_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

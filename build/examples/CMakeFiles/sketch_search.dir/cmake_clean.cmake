@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_search.dir/sketch_search.cpp.o"
+  "CMakeFiles/sketch_search.dir/sketch_search.cpp.o.d"
+  "sketch_search"
+  "sketch_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topological_queries.dir/topological_queries.cpp.o"
+  "CMakeFiles/topological_queries.dir/topological_queries.cpp.o.d"
+  "topological_queries"
+  "topological_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topological_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

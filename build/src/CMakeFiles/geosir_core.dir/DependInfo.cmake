@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chamfer_baseline.cc" "src/CMakeFiles/geosir_core.dir/core/chamfer_baseline.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/chamfer_baseline.cc.o.d"
+  "/root/repo/src/core/dynamic_shape_base.cc" "src/CMakeFiles/geosir_core.dir/core/dynamic_shape_base.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/dynamic_shape_base.cc.o.d"
+  "/root/repo/src/core/envelope_matcher.cc" "src/CMakeFiles/geosir_core.dir/core/envelope_matcher.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/envelope_matcher.cc.o.d"
+  "/root/repo/src/core/feature_index_baseline.cc" "src/CMakeFiles/geosir_core.dir/core/feature_index_baseline.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/feature_index_baseline.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/geosir_core.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/shape.cc" "src/CMakeFiles/geosir_core.dir/core/shape.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/shape.cc.o.d"
+  "/root/repo/src/core/shape_base.cc" "src/CMakeFiles/geosir_core.dir/core/shape_base.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/shape_base.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/geosir_core.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/geosir_core.dir/core/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_rangesearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

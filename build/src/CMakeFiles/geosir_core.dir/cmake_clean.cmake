@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_core.dir/core/chamfer_baseline.cc.o"
+  "CMakeFiles/geosir_core.dir/core/chamfer_baseline.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/dynamic_shape_base.cc.o"
+  "CMakeFiles/geosir_core.dir/core/dynamic_shape_base.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/envelope_matcher.cc.o"
+  "CMakeFiles/geosir_core.dir/core/envelope_matcher.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/feature_index_baseline.cc.o"
+  "CMakeFiles/geosir_core.dir/core/feature_index_baseline.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/normalize.cc.o"
+  "CMakeFiles/geosir_core.dir/core/normalize.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/shape.cc.o"
+  "CMakeFiles/geosir_core.dir/core/shape.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/shape_base.cc.o"
+  "CMakeFiles/geosir_core.dir/core/shape_base.cc.o.d"
+  "CMakeFiles/geosir_core.dir/core/similarity.cc.o"
+  "CMakeFiles/geosir_core.dir/core/similarity.cc.o.d"
+  "libgeosir_core.a"
+  "libgeosir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeosir_core.a"
+)

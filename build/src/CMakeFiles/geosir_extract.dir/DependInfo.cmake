@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/boundary_trace.cc" "src/CMakeFiles/geosir_extract.dir/extract/boundary_trace.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/boundary_trace.cc.o.d"
+  "/root/repo/src/extract/chain_trace.cc" "src/CMakeFiles/geosir_extract.dir/extract/chain_trace.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/chain_trace.cc.o.d"
+  "/root/repo/src/extract/clusters.cc" "src/CMakeFiles/geosir_extract.dir/extract/clusters.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/clusters.cc.o.d"
+  "/root/repo/src/extract/decompose.cc" "src/CMakeFiles/geosir_extract.dir/extract/decompose.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/decompose.cc.o.d"
+  "/root/repo/src/extract/edge_detect.cc" "src/CMakeFiles/geosir_extract.dir/extract/edge_detect.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/edge_detect.cc.o.d"
+  "/root/repo/src/extract/raster.cc" "src/CMakeFiles/geosir_extract.dir/extract/raster.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/raster.cc.o.d"
+  "/root/repo/src/extract/rasterize.cc" "src/CMakeFiles/geosir_extract.dir/extract/rasterize.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/rasterize.cc.o.d"
+  "/root/repo/src/extract/simplify.cc" "src/CMakeFiles/geosir_extract.dir/extract/simplify.cc.o" "gcc" "src/CMakeFiles/geosir_extract.dir/extract/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_extract.dir/extract/boundary_trace.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/boundary_trace.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/chain_trace.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/chain_trace.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/clusters.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/clusters.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/decompose.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/decompose.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/edge_detect.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/edge_detect.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/raster.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/raster.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/rasterize.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/rasterize.cc.o.d"
+  "CMakeFiles/geosir_extract.dir/extract/simplify.cc.o"
+  "CMakeFiles/geosir_extract.dir/extract/simplify.cc.o.d"
+  "libgeosir_extract.a"
+  "libgeosir_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/convex_hull.cc" "src/CMakeFiles/geosir_geom.dir/geom/convex_hull.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/convex_hull.cc.o.d"
+  "/root/repo/src/geom/diameter.cc" "src/CMakeFiles/geosir_geom.dir/geom/diameter.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/diameter.cc.o.d"
+  "/root/repo/src/geom/distance.cc" "src/CMakeFiles/geosir_geom.dir/geom/distance.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/distance.cc.o.d"
+  "/root/repo/src/geom/envelope.cc" "src/CMakeFiles/geosir_geom.dir/geom/envelope.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/envelope.cc.o.d"
+  "/root/repo/src/geom/point.cc" "src/CMakeFiles/geosir_geom.dir/geom/point.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/point.cc.o.d"
+  "/root/repo/src/geom/polyline.cc" "src/CMakeFiles/geosir_geom.dir/geom/polyline.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/polyline.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/CMakeFiles/geosir_geom.dir/geom/predicates.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/predicates.cc.o.d"
+  "/root/repo/src/geom/transform.cc" "src/CMakeFiles/geosir_geom.dir/geom/transform.cc.o" "gcc" "src/CMakeFiles/geosir_geom.dir/geom/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_geom.dir/geom/convex_hull.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/convex_hull.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/diameter.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/diameter.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/distance.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/distance.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/envelope.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/envelope.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/point.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/point.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/polyline.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/polyline.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/predicates.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/predicates.cc.o.d"
+  "CMakeFiles/geosir_geom.dir/geom/transform.cc.o"
+  "CMakeFiles/geosir_geom.dir/geom/transform.cc.o.d"
+  "libgeosir_geom.a"
+  "libgeosir_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/geo_hash_index.cc" "src/CMakeFiles/geosir_hashing.dir/hashing/geo_hash_index.cc.o" "gcc" "src/CMakeFiles/geosir_hashing.dir/hashing/geo_hash_index.cc.o.d"
+  "/root/repo/src/hashing/hash_curves.cc" "src/CMakeFiles/geosir_hashing.dir/hashing/hash_curves.cc.o" "gcc" "src/CMakeFiles/geosir_hashing.dir/hashing/hash_curves.cc.o.d"
+  "/root/repo/src/hashing/lune.cc" "src/CMakeFiles/geosir_hashing.dir/hashing/lune.cc.o" "gcc" "src/CMakeFiles/geosir_hashing.dir/hashing/lune.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_rangesearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

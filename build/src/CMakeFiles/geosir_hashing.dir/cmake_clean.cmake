@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_hashing.dir/hashing/geo_hash_index.cc.o"
+  "CMakeFiles/geosir_hashing.dir/hashing/geo_hash_index.cc.o.d"
+  "CMakeFiles/geosir_hashing.dir/hashing/hash_curves.cc.o"
+  "CMakeFiles/geosir_hashing.dir/hashing/hash_curves.cc.o.d"
+  "CMakeFiles/geosir_hashing.dir/hashing/lune.cc.o"
+  "CMakeFiles/geosir_hashing.dir/hashing/lune.cc.o.d"
+  "libgeosir_hashing.a"
+  "libgeosir_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

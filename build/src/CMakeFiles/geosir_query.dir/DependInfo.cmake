@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/geosir_query.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/image_base.cc" "src/CMakeFiles/geosir_query.dir/query/image_base.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/image_base.cc.o.d"
+  "/root/repo/src/query/operators.cc" "src/CMakeFiles/geosir_query.dir/query/operators.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/operators.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/geosir_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/geosir_query.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/selectivity.cc" "src/CMakeFiles/geosir_query.dir/query/selectivity.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/selectivity.cc.o.d"
+  "/root/repo/src/query/topology.cc" "src/CMakeFiles/geosir_query.dir/query/topology.cc.o" "gcc" "src/CMakeFiles/geosir_query.dir/query/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_rangesearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_query.dir/query/ast.cc.o"
+  "CMakeFiles/geosir_query.dir/query/ast.cc.o.d"
+  "CMakeFiles/geosir_query.dir/query/image_base.cc.o"
+  "CMakeFiles/geosir_query.dir/query/image_base.cc.o.d"
+  "CMakeFiles/geosir_query.dir/query/operators.cc.o"
+  "CMakeFiles/geosir_query.dir/query/operators.cc.o.d"
+  "CMakeFiles/geosir_query.dir/query/parser.cc.o"
+  "CMakeFiles/geosir_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/geosir_query.dir/query/planner.cc.o"
+  "CMakeFiles/geosir_query.dir/query/planner.cc.o.d"
+  "CMakeFiles/geosir_query.dir/query/selectivity.cc.o"
+  "CMakeFiles/geosir_query.dir/query/selectivity.cc.o.d"
+  "CMakeFiles/geosir_query.dir/query/topology.cc.o"
+  "CMakeFiles/geosir_query.dir/query/topology.cc.o.d"
+  "libgeosir_query.a"
+  "libgeosir_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rangesearch/brute_force_index.cc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/brute_force_index.cc.o" "gcc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/brute_force_index.cc.o.d"
+  "/root/repo/src/rangesearch/convex_layers.cc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/convex_layers.cc.o" "gcc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/convex_layers.cc.o.d"
+  "/root/repo/src/rangesearch/grid_index.cc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/grid_index.cc.o" "gcc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/grid_index.cc.o.d"
+  "/root/repo/src/rangesearch/kd_tree_index.cc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/kd_tree_index.cc.o" "gcc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/kd_tree_index.cc.o.d"
+  "/root/repo/src/rangesearch/range_tree_index.cc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/range_tree_index.cc.o" "gcc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/range_tree_index.cc.o.d"
+  "/root/repo/src/rangesearch/tri_box.cc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/tri_box.cc.o" "gcc" "src/CMakeFiles/geosir_rangesearch.dir/rangesearch/tri_box.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/brute_force_index.cc.o"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/brute_force_index.cc.o.d"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/convex_layers.cc.o"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/convex_layers.cc.o.d"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/grid_index.cc.o"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/grid_index.cc.o.d"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/kd_tree_index.cc.o"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/kd_tree_index.cc.o.d"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/range_tree_index.cc.o"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/range_tree_index.cc.o.d"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/tri_box.cc.o"
+  "CMakeFiles/geosir_rangesearch.dir/rangesearch/tri_box.cc.o.d"
+  "libgeosir_rangesearch.a"
+  "libgeosir_rangesearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_rangesearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

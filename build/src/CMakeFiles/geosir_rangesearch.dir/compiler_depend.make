@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for geosir_rangesearch.
+# This may be replaced when dependencies are built.

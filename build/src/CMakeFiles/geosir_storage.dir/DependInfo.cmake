@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/base_io.cc" "src/CMakeFiles/geosir_storage.dir/storage/base_io.cc.o" "gcc" "src/CMakeFiles/geosir_storage.dir/storage/base_io.cc.o.d"
+  "/root/repo/src/storage/block_file.cc" "src/CMakeFiles/geosir_storage.dir/storage/block_file.cc.o" "gcc" "src/CMakeFiles/geosir_storage.dir/storage/block_file.cc.o.d"
+  "/root/repo/src/storage/external_index.cc" "src/CMakeFiles/geosir_storage.dir/storage/external_index.cc.o" "gcc" "src/CMakeFiles/geosir_storage.dir/storage/external_index.cc.o.d"
+  "/root/repo/src/storage/layout.cc" "src/CMakeFiles/geosir_storage.dir/storage/layout.cc.o" "gcc" "src/CMakeFiles/geosir_storage.dir/storage/layout.cc.o.d"
+  "/root/repo/src/storage/shape_record.cc" "src/CMakeFiles/geosir_storage.dir/storage/shape_record.cc.o" "gcc" "src/CMakeFiles/geosir_storage.dir/storage/shape_record.cc.o.d"
+  "/root/repo/src/storage/stored_shape_base.cc" "src/CMakeFiles/geosir_storage.dir/storage/stored_shape_base.cc.o" "gcc" "src/CMakeFiles/geosir_storage.dir/storage/stored_shape_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_rangesearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_storage.dir/storage/base_io.cc.o"
+  "CMakeFiles/geosir_storage.dir/storage/base_io.cc.o.d"
+  "CMakeFiles/geosir_storage.dir/storage/block_file.cc.o"
+  "CMakeFiles/geosir_storage.dir/storage/block_file.cc.o.d"
+  "CMakeFiles/geosir_storage.dir/storage/external_index.cc.o"
+  "CMakeFiles/geosir_storage.dir/storage/external_index.cc.o.d"
+  "CMakeFiles/geosir_storage.dir/storage/layout.cc.o"
+  "CMakeFiles/geosir_storage.dir/storage/layout.cc.o.d"
+  "CMakeFiles/geosir_storage.dir/storage/shape_record.cc.o"
+  "CMakeFiles/geosir_storage.dir/storage/shape_record.cc.o.d"
+  "CMakeFiles/geosir_storage.dir/storage/stored_shape_base.cc.o"
+  "CMakeFiles/geosir_storage.dir/storage/stored_shape_base.cc.o.d"
+  "libgeosir_storage.a"
+  "libgeosir_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

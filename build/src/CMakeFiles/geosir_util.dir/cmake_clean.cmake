@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_util.dir/util/numeric.cc.o"
+  "CMakeFiles/geosir_util.dir/util/numeric.cc.o.d"
+  "CMakeFiles/geosir_util.dir/util/rng.cc.o"
+  "CMakeFiles/geosir_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/geosir_util.dir/util/status.cc.o"
+  "CMakeFiles/geosir_util.dir/util/status.cc.o.d"
+  "libgeosir_util.a"
+  "libgeosir_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

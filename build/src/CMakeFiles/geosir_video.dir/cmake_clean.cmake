@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_video.dir/video/video_base.cc.o"
+  "CMakeFiles/geosir_video.dir/video/video_base.cc.o.d"
+  "libgeosir_video.a"
+  "libgeosir_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

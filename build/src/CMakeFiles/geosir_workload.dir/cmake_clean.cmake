@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosir_workload.dir/workload/image_composer.cc.o"
+  "CMakeFiles/geosir_workload.dir/workload/image_composer.cc.o.d"
+  "CMakeFiles/geosir_workload.dir/workload/noise.cc.o"
+  "CMakeFiles/geosir_workload.dir/workload/noise.cc.o.d"
+  "CMakeFiles/geosir_workload.dir/workload/polygon_gen.cc.o"
+  "CMakeFiles/geosir_workload.dir/workload/polygon_gen.cc.o.d"
+  "CMakeFiles/geosir_workload.dir/workload/query_set.cc.o"
+  "CMakeFiles/geosir_workload.dir/workload/query_set.cc.o.d"
+  "CMakeFiles/geosir_workload.dir/workload/video_gen.cc.o"
+  "CMakeFiles/geosir_workload.dir/workload/video_gen.cc.o.d"
+  "libgeosir_workload.a"
+  "libgeosir_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosir_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

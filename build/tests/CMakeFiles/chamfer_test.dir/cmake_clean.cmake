@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chamfer_test.dir/chamfer_test.cc.o"
+  "CMakeFiles/chamfer_test.dir/chamfer_test.cc.o.d"
+  "chamfer_test"
+  "chamfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chamfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_base_test.dir/dynamic_base_test.cc.o"
+  "CMakeFiles/dynamic_base_test.dir/dynamic_base_test.cc.o.d"
+  "dynamic_base_test"
+  "dynamic_base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

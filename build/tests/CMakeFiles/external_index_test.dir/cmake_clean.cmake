@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_index_test.dir/external_index_test.cc.o"
+  "CMakeFiles/external_index_test.dir/external_index_test.cc.o.d"
+  "external_index_test"
+  "external_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

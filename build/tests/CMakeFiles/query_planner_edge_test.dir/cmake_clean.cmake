@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_planner_edge_test.dir/query_planner_edge_test.cc.o"
+  "CMakeFiles/query_planner_edge_test.dir/query_planner_edge_test.cc.o.d"
+  "query_planner_edge_test"
+  "query_planner_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_planner_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangesearch_test.dir/rangesearch_test.cc.o"
+  "CMakeFiles/rangesearch_test.dir/rangesearch_test.cc.o.d"
+  "rangesearch_test"
+  "rangesearch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangesearch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_edge_test.cc" "tests/CMakeFiles/storage_edge_test.dir/storage_edge_test.cc.o" "gcc" "tests/CMakeFiles/storage_edge_test.dir/storage_edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geosir_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_rangesearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geosir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
