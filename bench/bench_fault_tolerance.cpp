@@ -1,0 +1,163 @@
+// Fault-tolerance overhead and degradation behaviour of the external
+// R-tree stack (block_file / fault_injection / external_index).
+//
+// Two questions:
+//  1. What does integrity cost when nothing is wrong? Pin-path overhead
+//     of CRC32 verification (and of the retry wrapper) on a fault-free
+//     device, per triangle query.
+//  2. What do queries return when something *is* wrong? Completeness
+//     (fraction of the true count recovered) and outcome mix across a
+//     sweep of transient-fault and bit-rot rates, under both degradation
+//     policies.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rangesearch/brute_force_index.h"
+#include "storage/block_file.h"
+#include "storage/external_index.h"
+#include "storage/fault_injection.h"
+#include "util/rng.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::FmtInt;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Triangle;
+using geosir::rangesearch::IndexedPoint;
+namespace storage = geosir::storage;
+
+namespace {
+
+std::vector<Triangle> MakeQueries(size_t n, geosir::util::Rng* rng) {
+  std::vector<Triangle> queries;
+  for (size_t i = 0; i < n; ++i) {
+    queries.push_back(Triangle{
+        {rng->Uniform(0, 1), rng->Uniform(-0.8, 0.8)},
+        {rng->Uniform(0, 1), rng->Uniform(-0.8, 0.8)},
+        {rng->Uniform(0, 1), rng->Uniform(-0.8, 0.8)}});
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  const size_t num_points = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_POINTS", 200000));
+  const size_t num_queries = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_QUERIES", 200));
+
+  geosir::util::Rng rng(4711);
+  std::vector<IndexedPoint> points;
+  points.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    points.push_back(IndexedPoint{{static_cast<float>(rng.Uniform(0, 1)),
+                                   static_cast<float>(rng.Uniform(-0.8, 0.8))},
+                                  static_cast<uint32_t>(i)});
+  }
+  geosir::rangesearch::BruteForceIndex oracle;
+  oracle.Build(points);
+  auto tree = storage::ExternalRTree::Build(points, 1024);
+  if (!tree.ok()) return 1;
+  std::printf("external R-tree: %zu points, %zu leaves, %zu internal, "
+              "height %zu\n",
+              tree->size(), tree->stats().num_leaves,
+              tree->stats().num_internal, tree->stats().height);
+
+  geosir::util::Rng qrng(15);
+  const auto queries = MakeQueries(num_queries, &qrng);
+
+  // --- 1. Integrity overhead on a healthy device. -----------------------
+  std::printf("\n=== CRC32 verification overhead (fault-free device, "
+              "%zu queries) ===\n", queries.size());
+  Table overhead({"configuration", "total_ms", "us/query", "io_reads"});
+  for (int mode = 0; mode < 3; ++mode) {
+    storage::BufferOptions options;
+    options.verify_checksums = mode >= 1;
+    options.retry.max_attempts = mode >= 2 ? 3 : 1;
+    double best_ms = 1e100;
+    uint64_t reads = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      storage::BufferManager buffer(&tree->file(), 64, options);
+      Timer timer;
+      size_t sink = 0;
+      for (const Triangle& t : queries) {
+        auto count = tree->CountInTriangle(t, &buffer);
+        if (!count.ok()) return 1;
+        sink += *count;
+      }
+      const double ms = timer.Millis();
+      if (ms < best_ms) best_ms = ms;
+      reads = buffer.io_reads();
+      if (sink == static_cast<size_t>(-1)) return 1;  // Keep `sink` live.
+    }
+    const char* name = mode == 0 ? "raw reads"
+                       : mode == 1 ? "+ checksum verify"
+                                   : "+ verify + retry wrapper";
+    overhead.AddRow({name, Fmt("%.2f", best_ms),
+                     Fmt("%.2f", best_ms * 1e3 / queries.size()),
+                     FmtInt(static_cast<long long>(reads))});
+  }
+  overhead.Print();
+
+  // --- 2. Degraded-mode completeness under injected faults. -------------
+  std::printf("\n=== Outcome mix and completeness vs fault rate "
+              "(skip-unreadable, retries=3) ===\n");
+  std::vector<size_t> truth;
+  truth.reserve(queries.size());
+  for (const Triangle& t : queries) truth.push_back(oracle.CountInTriangle(t));
+
+  Table sweep({"read_fail_rate", "sticky_flip_rate", "ok", "degraded",
+               "error", "completeness_%", "retries/query"});
+  for (double fail_rate : {0.0, 0.001, 0.01, 0.05, 0.1}) {
+    for (double flip_rate : {0.0, 1e-4}) {
+      storage::FaultPlan plan;
+      plan.seed = 99;
+      plan.read_failure_rate = fail_rate;
+      plan.sticky_flip_rate = flip_rate;
+      storage::FaultInjectingDevice faulty(
+          static_cast<const storage::BlockDevice*>(&tree->file()), plan);
+      storage::BufferOptions options;
+      options.verify_checksums = true;
+      options.retry.max_attempts = 3;
+      storage::RTreeQueryConfig config;
+      config.policy = storage::DegradePolicy::kSkipUnreadable;
+      size_t ok = 0, degraded = 0, error = 0, retries = 0;
+      double got_total = 0, truth_total = 0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        storage::BufferManager buffer(&faulty, 16, options);  // Cold cache.
+        storage::RTreeDegradation report;
+        auto count = tree->CountInTriangle(queries[q], &buffer, config,
+                                           &report);
+        retries += buffer.retries();
+        if (!count.ok()) {
+          ++error;
+          continue;
+        }
+        report.degraded ? ++degraded : ++ok;
+        got_total += static_cast<double>(*count);
+        truth_total += static_cast<double>(truth[q]);
+      }
+      sweep.AddRow({Fmt("%.3f", fail_rate), Fmt("%.4f", flip_rate),
+                    FmtInt(static_cast<long long>(ok)),
+                    FmtInt(static_cast<long long>(degraded)),
+                    FmtInt(static_cast<long long>(error)),
+                    Fmt("%.2f", truth_total > 0
+                                    ? 100.0 * got_total / truth_total
+                                    : 100.0),
+                    Fmt("%.2f", static_cast<double>(retries) /
+                                    queries.size())});
+    }
+  }
+  sweep.Print();
+  std::printf(
+      "\nexpected shape: verification adds a fixed CRC pass per physical\n"
+      "read — visible against this in-memory device, noise against a real\n"
+      "disk; at low fault rates retries heal almost everything\n"
+      "(completeness ~100%%, few degraded); as rates grow the skip policy\n"
+      "trades completeness for availability instead of failing queries\n"
+      "outright.\n");
+  return 0;
+}

@@ -132,9 +132,11 @@ double DynamicShapeBase::EvaluateAgainstQuery(
 }
 
 util::Result<std::vector<std::pair<uint64_t, double>>>
-DynamicShapeBase::Match(const geom::Polyline& query, size_t k) {
+DynamicShapeBase::Match(const geom::Polyline& query, size_t k,
+                        MatchStats* stats) {
   GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
   std::vector<std::pair<uint64_t, double>> results;
+  if (stats != nullptr) *stats = MatchStats{};
 
   if (main_ != nullptr && main_->NumShapes() > 0) {
     // Ask for a little slack to survive tombstone filtering; retry with
@@ -145,8 +147,10 @@ DynamicShapeBase::Match(const geom::Polyline& query, size_t k) {
     while (true) {
       MatchOptions match = options_.match;
       match.k = k + slack;
+      // Each slack attempt re-runs the full query; `stats` keeps the
+      // final attempt's diagnostics (including the degraded flag).
       GEOSIR_ASSIGN_OR_RETURN(std::vector<MatchResult> main_results,
-                              matcher_->Match(query, match));
+                              matcher_->Match(query, match, stats));
       std::vector<std::pair<uint64_t, double>> survivors;
       for (const MatchResult& m : main_results) {
         const uint64_t stable = main_ids_[m.shape_id];

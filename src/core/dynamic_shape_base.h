@@ -52,9 +52,14 @@ class DynamicShapeBase {
   util::Status Remove(uint64_t id);
 
   /// k-best retrieval over the live shapes (main minus tombstones plus
-  /// delta). Distances use options.match.measure.
+  /// delta). Distances use options.match.measure. `stats` (optional)
+  /// receives the main-base matcher diagnostics, including the
+  /// `degraded` flag when an external index backend skipped unreadable
+  /// subtrees — a degraded Match is still correctly ordered over the
+  /// candidates that were readable.
   util::Result<std::vector<std::pair<uint64_t, double>>> Match(
-      const geom::Polyline& query, size_t k = 1);
+      const geom::Polyline& query, size_t k = 1,
+      MatchStats* stats = nullptr);
 
   /// Forces a rebuild of the main base (normally automatic).
   util::Status Compact();

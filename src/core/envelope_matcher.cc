@@ -92,6 +92,12 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   // Fresh epoch; all per-copy/per-vertex scratch self-invalidates.
   ++epoch_;
 
+  // Snapshot the index's fault counters so this query's degradation (an
+  // external backend skipping unreadable subtrees) can be reported in the
+  // stats without charging it for earlier queries.
+  const uint64_t skipped_subtrees_before = base_->index().stats().subtrees_skipped;
+  const uint64_t skipped_leaves_before = base_->index().stats().leaves_skipped;
+
   // Best result per shape.
   std::unordered_map<ShapeId, MatchResult> best_per_shape;
   // Distances of evaluated copies' shapes, for the k-th best early exit.
@@ -137,6 +143,10 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
             }
             ++copy_count_[copy_idx];
           });
+      // A fail-fast external backend records the I/O error it hit (the
+      // reporting interface itself is void); surface it instead of
+      // returning a silently incomplete match.
+      GEOSIR_RETURN_IF_ERROR(base_->index().TakeLastError());
     }
 
     // Steps 3-4: process copies that reached the (1 - beta) occupancy
@@ -189,6 +199,12 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     eps_prev = eps;
     eps = std::min(eps * options.growth, eps_max);
   }
+
+  st.skipped_subtrees = static_cast<size_t>(
+      base_->index().stats().subtrees_skipped - skipped_subtrees_before);
+  st.skipped_leaves = static_cast<size_t>(
+      base_->index().stats().leaves_skipped - skipped_leaves_before);
+  st.degraded = st.skipped_subtrees > 0;
 
   std::vector<MatchResult> results;
   results.reserve(best_per_shape.size());

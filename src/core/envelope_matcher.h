@@ -74,6 +74,13 @@ struct MatchStats {
   double max_epsilon = 0.0;
   bool stopped_early = false;     // Early-exit bound fired.
   bool exhausted = false;         // Ran to max_epsilon.
+  /// Fault-tolerance outcome (external index backends only): the range
+  /// structure skipped unreadable subtrees under its degradation policy,
+  /// so the result may be missing candidates. A degraded result is still
+  /// ordered correctly among the candidates that were seen.
+  bool degraded = false;
+  size_t skipped_subtrees = 0;
+  size_t skipped_leaves = 0;
 };
 
 /// Order in which shape *records* were read, i.e. the sequence of

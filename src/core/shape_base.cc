@@ -93,7 +93,8 @@ util::Status ShapeBase::Finalize() {
   if (finalized()) {
     return util::Status::FailedPrecondition("ShapeBase already finalized");
   }
-  index_ = MakeSimplexIndex(options_.backend);
+  index_ = options_.index_factory != nullptr ? options_.index_factory()
+                                             : MakeSimplexIndex(options_.backend);
   if (index_ == nullptr) {
     return util::Status::InvalidArgument("unknown index backend");
   }

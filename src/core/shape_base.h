@@ -1,6 +1,7 @@
 #ifndef GEOSIR_CORE_SHAPE_BASE_H_
 #define GEOSIR_CORE_SHAPE_BASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,11 @@ struct ShapeBaseOptions {
   /// which keeps 10M+ vertex bases comfortable. kRangeTree trades
   /// O(n log n) space for the paper's O(log n + k) reporting bound.
   IndexBackend backend = IndexBackend::kKdTree;
+  /// When set, Finalize() uses this factory instead of `backend`. This is
+  /// how upper layers plug in indexes the core cannot name (e.g.
+  /// storage::ExternalSimplexIndex, possibly fault-injected) without a
+  /// dependency cycle.
+  std::function<std::unique_ptr<rangesearch::SimplexIndex>()> index_factory;
 };
 
 /// The shape base of Section 2.4: every added shape is normalized about

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "util/status.h"
 
 namespace geosir::rangesearch {
 
@@ -23,6 +24,12 @@ struct QueryStats {
   uint64_t nodes_visited = 0;
   uint64_t points_tested = 0;
   uint64_t points_reported = 0;
+  /// Fault-tolerance counters (external backends only): subtrees pruned
+  /// because their blocks were unreadable under a skip-unreadable
+  /// degradation policy, and how many of those were leaves. Nonzero
+  /// deltas mean query answers since the last Reset are lower bounds.
+  uint64_t subtrees_skipped = 0;
+  uint64_t leaves_skipped = 0;
 
   void Reset() { *this = QueryStats{}; }
 };
@@ -65,6 +72,13 @@ class SimplexIndex {
   /// best-effort basis by each backend.
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
+
+  /// Fault-path escape hatch for the void/size_t query interface: a
+  /// backend that hit an unrecoverable error (fail-fast I/O fault,
+  /// corruption) during a query records it; callers that care (the
+  /// envelope matcher) collect it here. Returns the first error since the
+  /// last call and clears it. In-memory backends never fail.
+  virtual util::Status TakeLastError() const { return util::Status::OK(); }
 
  protected:
   mutable QueryStats stats_;

@@ -5,26 +5,47 @@
 #include <cstring>
 #include <vector>
 
+#include "util/crc32.h"
+
 namespace geosir::storage {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x52495347;  // "GSIR".
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr uint16_t kMaxLabelLen = 0xFFFF;
+constexpr size_t kVertexBytes = 2 * sizeof(double);
 
 class FileWriter {
  public:
   explicit FileWriter(std::FILE* file) : file_(file) {}
   template <typename T>
   bool Write(T value) {
+    crc_ = util::Crc32(&value, sizeof(T), crc_);
     return std::fwrite(&value, sizeof(T), 1, file_) == 1;
   }
   bool WriteBytes(const void* data, size_t size) {
+    crc_ = util::Crc32(data, size, crc_);
     return size == 0 || std::fwrite(data, 1, size, file_) == size;
+  }
+  /// CRC32 of everything written since the last TakeCrc.
+  uint32_t TakeCrc() {
+    const uint32_t out = crc_;
+    crc_ = 0;
+    return out;
+  }
+  /// Writes the running checksum itself (resets it for the next record).
+  bool WriteCrc() {
+    const uint32_t crc = TakeCrc();
+    const bool ok = std::fwrite(&crc, sizeof(crc), 1, file_) == 1;
+    crc_ = 0;
+    return ok;
   }
 
  private:
   std::FILE* file_;
+  uint32_t crc_ = 0;
 };
 
 class FileReader {
@@ -32,27 +53,63 @@ class FileReader {
   explicit FileReader(std::FILE* file) : file_(file) {}
   template <typename T>
   bool Read(T* value) {
-    return std::fread(value, sizeof(T), 1, file_) == 1;
+    if (std::fread(value, sizeof(T), 1, file_) != 1) return false;
+    crc_ = util::Crc32(value, sizeof(T), crc_);
+    return true;
   }
   bool ReadBytes(void* data, size_t size) {
-    return size == 0 || std::fread(data, 1, size, file_) == size;
+    if (size != 0 && std::fread(data, 1, size, file_) != size) return false;
+    crc_ = util::Crc32(data, size, crc_);
+    return true;
   }
+  /// Reads a stored CRC32 and checks it against the running checksum of
+  /// everything read since the last check (the CRC field itself is not
+  /// part of its own coverage). Resets the running checksum.
+  bool ReadAndCheckCrc() {
+    const uint32_t expected = crc_;
+    uint32_t stored = 0;
+    if (std::fread(&stored, sizeof(stored), 1, file_) != 1) return false;
+    crc_ = 0;
+    return stored == expected;
+  }
+  void ResetCrc() { crc_ = 0; }
 
  private:
   std::FILE* file_;
+  uint32_t crc_ = 0;
 };
+
+/// Bytes left between the current position and EOF.
+int64_t RemainingBytes(std::FILE* file) {
+  const long at = std::ftell(file);
+  if (at < 0 || std::fseek(file, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(file);
+  if (end < 0 || std::fseek(file, at, SEEK_SET) != 0) return -1;
+  return static_cast<int64_t>(end) - static_cast<int64_t>(at);
+}
 
 }  // namespace
 
 util::Status SaveShapeBase(const core::ShapeBase& base,
                            const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
+  for (const core::Shape& shape : base.shapes()) {
+    if (shape.label.size() > kMaxLabelLen) {
+      return util::Status::InvalidArgument(
+          "shape label exceeds 65535 bytes and cannot be stored");
+    }
+  }
+  // Crash safety: build the file next to the target and rename into
+  // place, so a crash mid-save never leaves a half-written file under
+  // `path`.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
   if (file == nullptr) {
-    return util::Status::NotFound("cannot open for writing: " + path);
+    return util::Status::NotFound("cannot open for writing: " + tmp_path);
   }
   FileWriter writer(file);
-  bool ok = writer.Write<uint32_t>(kMagic) && writer.Write<uint32_t>(kVersion) &&
-            writer.Write<uint64_t>(base.NumShapes());
+  bool ok = writer.Write<uint32_t>(kMagic) &&
+            writer.Write<uint32_t>(kVersionV2) &&
+            writer.Write<uint64_t>(base.NumShapes()) && writer.WriteCrc();
   for (const core::Shape& shape : base.shapes()) {
     if (!ok) break;
     ok = writer.Write<uint32_t>(shape.image) &&
@@ -66,16 +123,28 @@ util::Status SaveShapeBase(const core::ShapeBase& base,
       const geom::Point p = shape.boundary.vertex(v);
       ok = writer.Write<double>(p.x) && writer.Write<double>(p.y);
     }
+    ok = ok && writer.WriteCrc();
   }
+  ok = ok && std::fflush(file) == 0;
   const bool closed = std::fclose(file) == 0;
   if (!ok || !closed) {
-    return util::Status::Internal("short write to " + path);
+    std::remove(tmp_path.c_str());
+    return util::Status::Internal("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return util::Status::Internal("cannot rename " + tmp_path + " to " + path);
   }
   return util::Status::OK();
 }
 
 util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
-    const std::string& path, core::ShapeBaseOptions options) {
+    const std::string& path, core::ShapeBaseOptions options,
+    const LoadOptions& load_options, LoadReport* report) {
+  LoadReport local_report;
+  LoadReport& rep = report != nullptr ? *report : local_report;
+  rep = LoadReport{};
+
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return util::Status::NotFound("cannot open: " + path);
@@ -83,52 +152,89 @@ util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
   FileReader reader(file);
   uint32_t magic = 0, version = 0;
   uint64_t count = 0;
+  // Header corruption is never salvageable: without a trusted version we
+  // cannot parse anything that follows.
   if (!reader.Read(&magic) || magic != kMagic) {
     std::fclose(file);
     return util::Status::Corruption("not a GeoSIR shape file: " + path);
   }
-  if (!reader.Read(&version) || version != kVersion) {
+  if (!reader.Read(&version) ||
+      (version != kVersionV1 && version != kVersionV2)) {
     std::fclose(file);
     return util::Status::NotSupported("unsupported shape file version");
   }
-  if (!reader.Read(&count)) {
+  rep.version = version;
+  const bool checksummed = version == kVersionV2;
+  if (!reader.Read(&count) ||
+      (checksummed && !reader.ReadAndCheckCrc())) {
     std::fclose(file);
-    return util::Status::Corruption("truncated header");
+    return util::Status::Corruption("truncated or corrupt header");
   }
+  reader.ResetCrc();
+  rep.shapes_expected = count;
 
   auto base = std::make_unique<core::ShapeBase>(std::move(options));
+  util::Status record_error;  // First bad record (drives salvage).
   for (uint64_t s = 0; s < count; ++s) {
     uint32_t image = 0, vertices = 0;
     uint16_t label_len = 0;
     uint8_t closed = 0;
     if (!reader.Read(&image) || !reader.Read(&label_len)) {
-      std::fclose(file);
-      return util::Status::Corruption("truncated shape header");
+      record_error = util::Status::Corruption("truncated shape header");
+      break;
     }
     std::string label(label_len, '\0');
     if (!reader.ReadBytes(label.data(), label_len) || !reader.Read(&closed) ||
         !reader.Read(&vertices)) {
-      std::fclose(file);
-      return util::Status::Corruption("truncated shape record");
+      record_error = util::Status::Corruption("truncated shape record");
+      break;
+    }
+    // Validate the on-disk count before trusting it with an allocation: a
+    // corrupt u32 here could demand a multi-GB reserve. The remaining
+    // file bytes bound the plausible count exactly.
+    const int64_t remaining = RemainingBytes(file);
+    if (remaining < 0 ||
+        static_cast<uint64_t>(vertices) >
+            static_cast<uint64_t>(remaining) / kVertexBytes) {
+      record_error = util::Status::Corruption(
+          "vertex count exceeds remaining file size");
+      break;
     }
     std::vector<geom::Point> pts;
     pts.reserve(vertices);
+    bool truncated = false;
     for (uint32_t v = 0; v < vertices; ++v) {
       double x = 0, y = 0;
       if (!reader.Read(&x) || !reader.Read(&y)) {
-        std::fclose(file);
-        return util::Status::Corruption("truncated vertex data");
+        truncated = true;
+        break;
       }
       pts.push_back(geom::Point{x, y});
+    }
+    if (truncated) {
+      record_error = util::Status::Corruption("truncated vertex data");
+      break;
+    }
+    if (checksummed && !reader.ReadAndCheckCrc()) {
+      record_error = util::Status::Corruption("shape record checksum mismatch");
+      break;
     }
     auto id = base->AddShape(geom::Polyline(std::move(pts), closed != 0),
                              image, std::move(label));
     if (!id.ok()) {
-      std::fclose(file);
-      return id.status();
+      // A record that parses but fails validation is corruption from the
+      // file's perspective (v1 files have no checksum to catch it first).
+      record_error = util::Status::Corruption(
+          "invalid shape record: " + id.status().message());
+      break;
     }
+    ++rep.shapes_loaded;
   }
   std::fclose(file);
+  if (!record_error.ok()) {
+    if (!load_options.salvage) return record_error;
+    rep.salvaged = true;  // Keep the valid prefix.
+  }
   GEOSIR_RETURN_IF_ERROR(base->Finalize());
   return base;
 }

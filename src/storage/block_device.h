@@ -1,0 +1,47 @@
+#ifndef GEOSIR_STORAGE_BLOCK_DEVICE_H_
+#define GEOSIR_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geosir::storage {
+
+using BlockId = uint32_t;
+
+/// Abstract fixed-block-size storage device. The paper's experiments use
+/// one concrete in-memory implementation (BlockFile); the fault-tolerance
+/// layer stacks decorators over it (FaultInjectingDevice) and reads
+/// through BufferManager, which adds retry and checksum verification.
+///
+/// Failure contract: reads and writes may fail with
+///   * kOutOfRange    — the block id does not exist (permanent),
+///   * kUnavailable   — a transient fault; retrying may succeed,
+///   * kCorruption    — the stored bytes are damaged (detected by a
+///                      checksumming layer above the device).
+/// A device never returns garbage silently *through* BufferManager when
+/// checksum verification is enabled; a bare device read returns whatever
+/// bytes the medium holds.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual size_t block_size() const = 0;
+  virtual size_t NumBlocks() const = 0;
+
+  /// Appends a new block (payload truncated/zero-padded to block size)
+  /// and returns its id.
+  virtual util::Result<BlockId> Append(const std::vector<uint8_t>& payload) = 0;
+
+  /// Reads a block; counts one physical read.
+  virtual util::Result<std::vector<uint8_t>> Read(BlockId id) const = 0;
+
+  /// Overwrites a block; counts one physical write.
+  virtual util::Status Write(BlockId id,
+                             const std::vector<uint8_t>& payload) = 0;
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_BLOCK_DEVICE_H_

@@ -1,8 +1,31 @@
 #include "storage/block_file.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
 
 namespace geosir::storage {
+
+void StampBlockChecksum(std::vector<uint8_t>* block, size_t block_size) {
+  block->resize(block_size, 0);
+  const size_t payload = BlockPayloadCapacity(block_size);
+  const uint32_t crc = util::Crc32(block->data(), payload);
+  std::memcpy(block->data() + payload, &crc, kBlockChecksumBytes);
+}
+
+util::Status VerifyBlockChecksum(const std::vector<uint8_t>& block) {
+  if (block.size() <= kBlockChecksumBytes) {
+    return util::Status::Corruption("block too small for a checksum trailer");
+  }
+  const size_t payload = block.size() - kBlockChecksumBytes;
+  uint32_t stored = 0;
+  std::memcpy(&stored, block.data() + payload, kBlockChecksumBytes);
+  if (util::Crc32(block.data(), payload) != stored) {
+    return util::Status::Corruption("block checksum mismatch");
+  }
+  return util::Status::OK();
+}
 
 BlockId BlockFile::AppendBlock(const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> block = payload;
@@ -32,8 +55,11 @@ util::Status BlockFile::WriteBlock(BlockId id,
   return util::Status::OK();
 }
 
-BufferManager::BufferManager(const BlockFile* file, size_t capacity_blocks)
-    : file_(file), capacity_(std::max<size_t>(1, capacity_blocks)) {
+BufferManager::BufferManager(const BlockDevice* device, size_t capacity_blocks,
+                             BufferOptions options)
+    : device_(device),
+      capacity_(std::max<size_t>(1, capacity_blocks)),
+      options_(options) {
   frames_.reserve(capacity_);
 }
 
@@ -47,7 +73,38 @@ util::Result<const std::vector<uint8_t>*> BufferManager::Pin(BlockId id) {
     }
   }
   ++misses_;
-  GEOSIR_ASSIGN_OR_RETURN(std::vector<uint8_t> data, file_->ReadBlock(id));
+  // One retry budget covers both transient device faults and checksum
+  // mismatches: a bit flipped on the read path heals on re-read, while
+  // persistent rot keeps failing and is reported as kCorruption below.
+  bool checksum_failed = false;
+  int attempts = 1;
+  auto read = util::RetryWithBackoff(
+      options_.retry,
+      [&]() -> util::Result<std::vector<uint8_t>> {
+        checksum_failed = false;
+        auto data = device_->Read(id);
+        if (!data.ok()) return data.status();
+        if (options_.verify_checksums) {
+          util::Status verified = VerifyBlockChecksum(*data);
+          if (!verified.ok()) {
+            checksum_failed = true;
+            ++checksum_failures_;
+            // Mapped to the retriable code so the helper re-reads.
+            return util::Status::Unavailable(verified.message());
+          }
+        }
+        return data;
+      },
+      &attempts);
+  retries_ += static_cast<uint64_t>(attempts - 1);
+  if (!read.ok()) {
+    if (checksum_failed) {
+      return util::Status::Corruption("block failed checksum verification: " +
+                                      read.status().message());
+    }
+    return read.status();
+  }
+  std::vector<uint8_t> data = std::move(read).value();
   if (frames_.size() < capacity_) {
     frames_.push_back(Frame{id, std::move(data), clock_});
     return const_cast<const std::vector<uint8_t>*>(&frames_.back().data);

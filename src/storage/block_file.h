@@ -4,24 +4,43 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/block_device.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace geosir::storage {
 
-using BlockId = uint32_t;
+/// Per-block CRC32 trailer: the last 4 bytes of a block hold the CRC32 of
+/// the preceding block_size - 4 bytes. ExternalRTree nodes and
+/// StoredShapeBase blocks are written in this format; BufferManager
+/// verifies it when `BufferOptions::verify_checksums` is set, so bit rot
+/// surfaces as kCorruption instead of garbage bytes.
+constexpr size_t kBlockChecksumBytes = 4;
+
+/// Usable bytes of a checksummed block.
+inline size_t BlockPayloadCapacity(size_t block_size) {
+  return block_size > kBlockChecksumBytes ? block_size - kBlockChecksumBytes
+                                          : 0;
+}
+
+/// Pads `block` to `block_size` and writes the CRC32 trailer in place.
+void StampBlockChecksum(std::vector<uint8_t>* block, size_t block_size);
+
+/// Checks the trailer of a full block read back from a device.
+util::Status VerifyBlockChecksum(const std::vector<uint8_t>& block);
 
 /// A simulated block device with fixed-size blocks (default 1 KiB, the
 /// paper's unit). Contents live in memory; reads and writes are counted
 /// so the Section 4 experiments can report exact I/O figures.
-class BlockFile {
+class BlockFile : public BlockDevice {
  public:
   explicit BlockFile(size_t block_size = 1024) : block_size_(block_size) {}
 
-  size_t block_size() const { return block_size_; }
-  size_t NumBlocks() const { return blocks_.size(); }
+  size_t block_size() const override { return block_size_; }
+  size_t NumBlocks() const override { return blocks_.size(); }
 
   /// Appends a new block (payload truncated/zero-padded to block size)
-  /// and returns its id.
+  /// and returns its id. The in-memory file never fails to append.
   BlockId AppendBlock(const std::vector<uint8_t>& payload);
 
   /// Reads a block; counts one physical read.
@@ -29,6 +48,18 @@ class BlockFile {
 
   /// Overwrites a block; counts one physical write.
   util::Status WriteBlock(BlockId id, const std::vector<uint8_t>& payload);
+
+  // BlockDevice interface (delegates to the legacy names above).
+  util::Result<BlockId> Append(const std::vector<uint8_t>& payload) override {
+    return AppendBlock(payload);
+  }
+  util::Result<std::vector<uint8_t>> Read(BlockId id) const override {
+    return ReadBlock(id);
+  }
+  util::Status Write(BlockId id,
+                     const std::vector<uint8_t>& payload) override {
+    return WriteBlock(id, payload);
+  }
 
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
@@ -44,15 +75,41 @@ class BlockFile {
   mutable uint64_t writes_ = 0;
 };
 
-/// LRU buffer pool over a BlockFile. Pin() serves hits from memory and
-/// faults misses through the file, evicting the least recently used
+/// Fault-handling knobs of a BufferManager.
+struct BufferOptions {
+  /// Applied to device reads: kUnavailable faults (and, when
+  /// verify_checksums is set, checksum mismatches, which a re-read can
+  /// heal if the flip happened on the read path) are retried up to
+  /// max_attempts total attempts.
+  util::RetryPolicy retry;
+  /// Verify the per-block CRC32 trailer on every physical read. Requires
+  /// blocks written through StampBlockChecksum (ExternalRTree and
+  /// StoredShapeBase blocks are). A persistent mismatch surfaces as
+  /// kCorruption, never as garbage bytes.
+  bool verify_checksums = false;
+};
+
+/// LRU buffer pool over a BlockDevice. Pin() serves hits from memory and
+/// faults misses through the device, evicting the least recently used
 /// frame. The Section 4 experiments sweep `capacity_blocks` from 1 to 100
 /// (1 KiB - 100 KiB of buffer).
 class BufferManager {
  public:
-  BufferManager(const BlockFile* file, size_t capacity_blocks);
+  BufferManager(const BlockDevice* device, size_t capacity_blocks,
+                BufferOptions options = {});
 
   /// Returns the block contents, faulting it in if needed.
+  ///
+  /// POINTER LIFETIME: the returned pointer aliases a buffer frame and is
+  /// invalidated by the next Pin() that evicts or overwrites that frame
+  /// (any Pin() of a different block may do so — with capacity 1, every
+  /// one does) and by Clear(). Callers must copy the bytes they need
+  /// before pinning another block; see BufferManagerPinContract in
+  /// tests/fault_injection_test.cc for the regression test.
+  ///
+  /// Transient device faults (kUnavailable) are retried per
+  /// `options.retry`; with `options.verify_checksums`, a block whose CRC32
+  /// trailer never verifies within the retry budget returns kCorruption.
   util::Result<const std::vector<uint8_t>*> Pin(BlockId id);
 
   /// Drops all cached frames (counters are kept).
@@ -62,9 +119,16 @@ class BufferManager {
   uint64_t misses() const { return misses_; }
   /// Physical reads issued by this buffer (== misses).
   uint64_t io_reads() const { return misses_; }
+  /// Extra read attempts spent healing transient faults.
+  uint64_t retries() const { return retries_; }
+  /// Reads whose checksum verification failed (before any retry healed
+  /// them).
+  uint64_t checksum_failures() const { return checksum_failures_; }
   void ResetCounters() {
     hits_ = 0;
     misses_ = 0;
+    retries_ = 0;
+    checksum_failures_ = 0;
   }
 
   size_t capacity() const { return capacity_; }
@@ -76,12 +140,15 @@ class BufferManager {
     uint64_t last_used;
   };
 
-  const BlockFile* file_;
+  const BlockDevice* device_;
   size_t capacity_;
+  BufferOptions options_;
   std::vector<Frame> frames_;  // Small capacities: linear scan is fine.
   uint64_t clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t checksum_failures_ = 0;
 };
 
 }  // namespace geosir::storage

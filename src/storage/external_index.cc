@@ -49,14 +49,21 @@ util::Result<ExternalRTree> ExternalRTree::Build(
   ExternalRTree tree;
   tree.file_ = BlockFile(block_size);
   tree.num_points_ = points.size();
-  const size_t leaf_cap = (block_size - 2) / kLeafEntry;
-  const size_t internal_cap = (block_size - 3) / kInternalEntry;
+  // Node payloads leave room for the per-block CRC32 trailer, stamped on
+  // every append below and verified by checksumming BufferManagers.
+  const size_t payload_cap = BlockPayloadCapacity(block_size);
+  const size_t leaf_cap = (payload_cap - 2) / kLeafEntry;
+  const size_t internal_cap = (payload_cap - 3) / kInternalEntry;
+  const auto append_node = [&tree, block_size](std::vector<uint8_t>* block) {
+    StampBlockChecksum(block, block_size);
+    return tree.file_.AppendBlock(*block);
+  };
 
   if (points.empty()) {
     // A single empty leaf as the root keeps queries trivial.
     std::vector<uint8_t> block;
     Append<uint16_t>(&block, 0);
-    tree.root_ = tree.file_.AppendBlock(block);
+    tree.root_ = append_node(&block);
     tree.root_is_leaf_ = true;
     tree.stats_.num_leaves = 1;
     tree.stats_.height = 1;
@@ -96,7 +103,7 @@ util::Result<ExternalRTree> ExternalRTree::Build(
       Append<uint32_t>(&block, points[i].id);
       ref.bounds.Extend(points[i].p);
     }
-    ref.block = tree.file_.AppendBlock(block);
+    ref.block = append_node(&block);
     level.push_back(ref);
   }
   tree.stats_.num_leaves = level.size();
@@ -119,7 +126,7 @@ util::Result<ExternalRTree> ExternalRTree::Build(
         Append<uint32_t>(&block, level[i].block);
         ref.bounds.Extend(level[i].bounds);
       }
-      ref.block = tree.file_.AppendBlock(block);
+      ref.block = append_node(&block);
       next.push_back(ref);
       ++tree.stats_.num_internal;
     }
@@ -137,8 +144,24 @@ util::Status ExternalRTree::Query(BlockId node, bool leaf,
                                   const geom::Triangle* tri,
                                   const geom::BoundingBox& box,
                                   BufferManager* buffer,
+                                  const RTreeQueryConfig& config,
+                                  RTreeDegradation* degradation,
                                   const Emit& emit) const {
-  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t>* raw, buffer->Pin(node));
+  auto pinned = buffer->Pin(node);
+  if (!pinned.ok()) {
+    if (config.policy == DegradePolicy::kSkipUnreadable) {
+      // Prune the unreadable subtree: the query result becomes a flagged
+      // lower bound instead of an error (or worse, garbage).
+      if (degradation != nullptr) {
+        degradation->degraded = true;
+        ++degradation->skipped_subtrees;
+        if (leaf) ++degradation->skipped_leaves;
+      }
+      return util::Status::OK();
+    }
+    return pinned.status();
+  }
+  const std::vector<uint8_t>* raw = *pinned;
   // Copy the node out: recursion below re-pins and may evict this frame.
   const std::vector<uint8_t> block = *raw;
   const uint16_t count = ReadAt<uint16_t>(block, 0);
@@ -169,29 +192,36 @@ util::Status ExternalRTree::Query(BlockId node, bool leaf,
       continue;
     }
     GEOSIR_RETURN_IF_ERROR(Query(ReadAt<uint32_t>(block, offset + 16),
-                                 child_is_leaf, tri, box, buffer, emit));
+                                 child_is_leaf, tri, box, buffer, config,
+                                 degradation, emit));
   }
   return util::Status::OK();
 }
 
 util::Result<size_t> ExternalRTree::CountInTriangle(
-    const geom::Triangle& t, BufferManager* buffer) const {
+    const geom::Triangle& t, BufferManager* buffer,
+    const RTreeQueryConfig& config, RTreeDegradation* degradation) const {
   size_t count = 0;
   GEOSIR_RETURN_IF_ERROR(Query(root_, root_is_leaf_, &t, t.Bounds(), buffer,
+                               config, degradation,
                                [&count](const IndexedPoint&) { ++count; }));
   return count;
 }
 
 util::Status ExternalRTree::ReportInTriangle(
     const geom::Triangle& t, BufferManager* buffer,
-    const rangesearch::SimplexIndex::Visitor& visit) const {
-  return Query(root_, root_is_leaf_, &t, t.Bounds(), buffer, visit);
+    const rangesearch::SimplexIndex::Visitor& visit,
+    const RTreeQueryConfig& config, RTreeDegradation* degradation) const {
+  return Query(root_, root_is_leaf_, &t, t.Bounds(), buffer, config,
+               degradation, visit);
 }
 
-util::Result<size_t> ExternalRTree::CountInRect(const geom::BoundingBox& box,
-                                                BufferManager* buffer) const {
+util::Result<size_t> ExternalRTree::CountInRect(
+    const geom::BoundingBox& box, BufferManager* buffer,
+    const RTreeQueryConfig& config, RTreeDegradation* degradation) const {
   size_t count = 0;
   GEOSIR_RETURN_IF_ERROR(Query(root_, root_is_leaf_, nullptr, box, buffer,
+                               config, degradation,
                                [&count](const IndexedPoint&) { ++count; }));
   return count;
 }

@@ -9,6 +9,39 @@
 
 namespace geosir::storage {
 
+/// What a query does when a node block cannot be read (transient fault
+/// that survived the retry budget, or checksum corruption).
+enum class DegradePolicy {
+  /// Propagate the Status to the caller; the query returns no result.
+  kFailFast,
+  /// Skip the unreadable subtree and keep going: the query returns a
+  /// *lower bound* of the true answer, flagged as degraded. This mirrors
+  /// the partial-matching contract — results under missing data degrade
+  /// predictably instead of failing outright.
+  kSkipUnreadable,
+};
+
+struct RTreeQueryConfig {
+  DegradePolicy policy = DegradePolicy::kFailFast;
+};
+
+/// Degradation report of one query (only ever populated under
+/// kSkipUnreadable).
+struct RTreeDegradation {
+  bool degraded = false;
+  /// Unreadable subtrees pruned (1 per failed internal/leaf block).
+  size_t skipped_subtrees = 0;
+  /// Of those, how many were leaf blocks (each hides <= leaf-capacity
+  /// points; an internal skip may hide arbitrarily more).
+  size_t skipped_leaves = 0;
+
+  void Merge(const RTreeDegradation& other) {
+    degraded = degraded || other.degraded;
+    skipped_subtrees += other.skipped_subtrees;
+    skipped_leaves += other.skipped_leaves;
+  }
+};
+
 /// External-memory range-search index (Section 4: "For accommodating the
 /// auxiliary data structures in external memory we use optimal range
 /// search indexing structures" [Arge-Samoladas-Vitter, Vitter]). This is
@@ -18,6 +51,8 @@ namespace geosir::storage {
 ///    block per node;
 ///  * internal nodes store children's bounding boxes, also one block
 ///    per node;
+///  * every node block carries a CRC32 trailer (see block_file.h), so a
+///    BufferManager with verify_checksums detects bit rot on read;
 ///  * queries walk the tree through a BufferManager, so every experiment
 ///    can report exact block-I/O counts next to the in-memory structures.
 ///
@@ -33,19 +68,28 @@ class ExternalRTree {
   };
 
   /// Bulk-loads the tree into a fresh block file. `block_size` bounds the
-  /// node fan-out (entries are 20 bytes in leaves, 24 in internal nodes).
+  /// node fan-out (entries are 12 bytes in leaves, 20 in internal nodes,
+  /// minus the 4-byte checksum trailer per block).
   static util::Result<ExternalRTree> Build(
       std::vector<rangesearch::IndexedPoint> points, size_t block_size = 1024);
 
   /// Points inside the (closed) triangle, fetched through `buffer`.
-  util::Result<size_t> CountInTriangle(const geom::Triangle& t,
-                                       BufferManager* buffer) const;
+  /// Under kSkipUnreadable the count is a lower bound and `degradation`
+  /// (if provided) says what was skipped.
+  util::Result<size_t> CountInTriangle(
+      const geom::Triangle& t, BufferManager* buffer,
+      const RTreeQueryConfig& config = {},
+      RTreeDegradation* degradation = nullptr) const;
   util::Status ReportInTriangle(
       const geom::Triangle& t, BufferManager* buffer,
-      const rangesearch::SimplexIndex::Visitor& visit) const;
+      const rangesearch::SimplexIndex::Visitor& visit,
+      const RTreeQueryConfig& config = {},
+      RTreeDegradation* degradation = nullptr) const;
 
-  util::Result<size_t> CountInRect(const geom::BoundingBox& box,
-                                   BufferManager* buffer) const;
+  util::Result<size_t> CountInRect(
+      const geom::BoundingBox& box, BufferManager* buffer,
+      const RTreeQueryConfig& config = {},
+      RTreeDegradation* degradation = nullptr) const;
 
   const BlockFile& file() const { return file_; }
   const BuildStats& stats() const { return stats_; }
@@ -57,7 +101,8 @@ class ExternalRTree {
   template <typename Emit>
   util::Status Query(BlockId node, bool leaf, const geom::Triangle* tri,
                      const geom::BoundingBox& box, BufferManager* buffer,
-                     const Emit& emit) const;
+                     const RTreeQueryConfig& config,
+                     RTreeDegradation* degradation, const Emit& emit) const;
 
   BlockFile file_;
   BlockId root_ = 0;

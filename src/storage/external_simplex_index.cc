@@ -1,0 +1,110 @@
+#include "storage/external_simplex_index.h"
+
+#include <cassert>
+#include <utility>
+
+namespace geosir::storage {
+
+ExternalSimplexIndex::ExternalSimplexIndex(Options options)
+    : options_(std::move(options)) {}
+
+ExternalSimplexIndex::~ExternalSimplexIndex() = default;
+
+void ExternalSimplexIndex::Build(
+    std::vector<rangesearch::IndexedPoint> points) {
+  auto built = ExternalRTree::Build(std::move(points), options_.block_size);
+  // The Build interface is infallible for in-memory backends; the only
+  // external build failure is a bad block size, which is a programming
+  // error at this layer.
+  assert(built.ok() && "ExternalRTree::Build failed");
+  if (!built.ok()) {
+    last_error_ = built.status();
+    return;
+  }
+  tree_ = std::make_unique<ExternalRTree>(std::move(built).value());
+  const BlockDevice* device = &tree_->file();
+  if (options_.inject_faults) {
+    faulty_ = std::make_unique<FaultInjectingDevice>(device, options_.faults);
+    device = faulty_.get();
+  }
+  buffer_ = std::make_unique<BufferManager>(
+      device, options_.buffer_capacity_blocks, options_.buffer);
+}
+
+void ExternalSimplexIndex::RecordOutcome(
+    const util::Status& status, const RTreeDegradation& degradation) const {
+  stats_.subtrees_skipped += degradation.skipped_subtrees;
+  stats_.leaves_skipped += degradation.skipped_leaves;
+  degradation_.Merge(degradation);
+  if (!status.ok() && last_error_.ok()) last_error_ = status;
+}
+
+size_t ExternalSimplexIndex::CountInTriangle(const geom::Triangle& t) const {
+  if (tree_ == nullptr) return 0;
+  RTreeDegradation degradation;
+  auto count =
+      tree_->CountInTriangle(t, buffer_.get(), options_.query, &degradation);
+  RecordOutcome(count.ok() ? util::Status::OK() : count.status(), degradation);
+  return count.ok() ? *count : 0;
+}
+
+void ExternalSimplexIndex::ReportInTriangle(const geom::Triangle& t,
+                                            const Visitor& visit) const {
+  if (tree_ == nullptr) return;
+  RTreeDegradation degradation;
+  util::Status status = tree_->ReportInTriangle(
+      t, buffer_.get(),
+      [this, &visit](const rangesearch::IndexedPoint& ip) {
+        ++stats_.points_reported;
+        visit(ip);
+      },
+      options_.query, &degradation);
+  RecordOutcome(status, degradation);
+}
+
+size_t ExternalSimplexIndex::CountInRect(const geom::BoundingBox& box) const {
+  if (tree_ == nullptr) return 0;
+  RTreeDegradation degradation;
+  auto count =
+      tree_->CountInRect(box, buffer_.get(), options_.query, &degradation);
+  RecordOutcome(count.ok() ? util::Status::OK() : count.status(), degradation);
+  return count.ok() ? *count : 0;
+}
+
+void ExternalSimplexIndex::ReportInRect(const geom::BoundingBox& box,
+                                        const Visitor& visit) const {
+  // The tree traversal filters rectangles natively (null triangle), but
+  // that path is only exported through Count; cover the box with its two
+  // diagonal triangles and dedupe the shared diagonal.
+  if (tree_ == nullptr) return;
+  const geom::Triangle lower{{box.min_x, box.min_y},
+                             {box.max_x, box.min_y},
+                             {box.max_x, box.max_y}};
+  const geom::Triangle upper{{box.min_x, box.min_y},
+                             {box.max_x, box.max_y},
+                             {box.min_x, box.max_y}};
+  RTreeDegradation degradation;
+  util::Status status = tree_->ReportInTriangle(
+      lower, buffer_.get(), visit, options_.query, &degradation);
+  RecordOutcome(status, degradation);
+  RTreeDegradation degradation2;
+  util::Status status2 = tree_->ReportInTriangle(
+      upper, buffer_.get(),
+      [&](const rangesearch::IndexedPoint& ip) {
+        if (!lower.Contains(ip.p)) visit(ip);
+      },
+      options_.query, &degradation2);
+  RecordOutcome(status2, degradation2);
+}
+
+size_t ExternalSimplexIndex::size() const {
+  return tree_ == nullptr ? 0 : tree_->size();
+}
+
+util::Status ExternalSimplexIndex::TakeLastError() const {
+  util::Status out = last_error_;
+  last_error_ = util::Status::OK();
+  return out;
+}
+
+}  // namespace geosir::storage

@@ -1,0 +1,76 @@
+#ifndef GEOSIR_STORAGE_EXTERNAL_SIMPLEX_INDEX_H_
+#define GEOSIR_STORAGE_EXTERNAL_SIMPLEX_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rangesearch/simplex_index.h"
+#include "storage/external_index.h"
+#include "storage/fault_injection.h"
+
+namespace geosir::storage {
+
+/// SimplexIndex adapter over ExternalRTree + BufferManager, so a
+/// ShapeBase (via ShapeBaseOptions::index_factory) and therefore the
+/// EnvelopeMatcher can run directly against external storage — including
+/// a faulty one. This is the hook the fault-injection harness uses to
+/// drive whole Match() calls through injected faults.
+///
+/// Fault behaviour per the configured DegradePolicy:
+///  * kFailFast: the failed query contributes nothing and the error is
+///    retrievable via TakeLastError() (the matcher aborts with it).
+///  * kSkipUnreadable: unreadable subtrees are pruned; the skip counters
+///    land in stats().subtrees_skipped / leaves_skipped, which the
+///    matcher turns into a `degraded` flag on the match result.
+class ExternalSimplexIndex : public rangesearch::SimplexIndex {
+ public:
+  struct Options {
+    size_t block_size = 1024;
+    size_t buffer_capacity_blocks = 64;
+    BufferOptions buffer;
+    RTreeQueryConfig query;
+    /// Optional fault plan injected between the tree's block file and the
+    /// buffer. Checksums are verified by default so injected bit flips
+    /// surface as kCorruption, not garbage.
+    FaultPlan faults;
+    bool inject_faults = false;
+
+    Options() { buffer.verify_checksums = true; }
+  };
+
+  explicit ExternalSimplexIndex(Options options = {});
+  ~ExternalSimplexIndex() override;
+
+  void Build(std::vector<rangesearch::IndexedPoint> points) override;
+  size_t CountInTriangle(const geom::Triangle& t) const override;
+  void ReportInTriangle(const geom::Triangle& t,
+                        const Visitor& visit) const override;
+  size_t CountInRect(const geom::BoundingBox& box) const override;
+  void ReportInRect(const geom::BoundingBox& box,
+                    const Visitor& visit) const override;
+  std::string name() const override { return "external-rtree"; }
+  size_t size() const override;
+
+  util::Status TakeLastError() const override;
+
+  /// Aggregate degradation over all queries since construction.
+  const RTreeDegradation& degradation() const { return degradation_; }
+  const ExternalRTree* tree() const { return tree_.get(); }
+  BufferManager* buffer() const { return buffer_.get(); }
+
+ private:
+  void RecordOutcome(const util::Status& status,
+                     const RTreeDegradation& degradation) const;
+
+  Options options_;
+  std::unique_ptr<ExternalRTree> tree_;
+  std::unique_ptr<FaultInjectingDevice> faulty_;
+  mutable std::unique_ptr<BufferManager> buffer_;
+  mutable RTreeDegradation degradation_;
+  mutable util::Status last_error_;
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_EXTERNAL_SIMPLEX_INDEX_H_

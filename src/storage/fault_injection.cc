@@ -1,0 +1,153 @@
+#include "storage/fault_injection.h"
+
+#include <string>
+
+namespace geosir::storage {
+
+namespace {
+
+// Domain-separation salts for the hash draws, so the per-read failure,
+// per-read flip, flip position, etc. are independent streams.
+constexpr uint64_t kSaltReadFail = 0x9E3779B97F4A7C15ull;
+constexpr uint64_t kSaltReadFlip = 0xBF58476D1CE4E5B9ull;
+constexpr uint64_t kSaltFlipPos = 0x94D049BB133111EBull;
+constexpr uint64_t kSaltSticky = 0xD6E8FEB86659FD93ull;
+constexpr uint64_t kSaltWriteFail = 0xA24BAED4963EE407ull;
+constexpr uint64_t kSaltTorn = 0x8EBC6AF09C88C6E3ull;
+
+/// SplitMix64 finalizer: a well-mixed pure function of the inputs.
+uint64_t Mix(uint64_t seed, uint64_t salt, uint64_t x) {
+  uint64_t z = seed ^ salt;
+  z += 0x9E3779B97F4A7C15ull * (x + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform draw in [0, 1) from a mixed hash.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool Draw(uint64_t seed, uint64_t salt, uint64_t x, double rate) {
+  return rate > 0.0 && ToUnit(Mix(seed, salt, x)) < rate;
+}
+
+FaultKind ScheduledAt(const std::vector<ScheduledFault>& schedule,
+                      uint64_t op) {
+  for (const ScheduledFault& fault : schedule) {
+    if (fault.op_index == op) return fault.kind;
+  }
+  return FaultKind::kNone;
+}
+
+void FlipBit(std::vector<uint8_t>* data, uint64_t h) {
+  if (data->empty()) return;
+  const uint64_t bit = h % (data->size() * 8);
+  (*data)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace
+
+util::Result<std::vector<uint8_t>> FaultInjectingDevice::Read(
+    BlockId id) const {
+  const uint64_t op = read_ops_++;
+  const FaultKind scheduled = ScheduledAt(plan_.read_schedule, op);
+  if (scheduled == FaultKind::kTransientFailure ||
+      Draw(plan_.seed, kSaltReadFail, op, plan_.read_failure_rate)) {
+    ++injected_read_failures_;
+    return util::Status::Unavailable("injected transient read fault (op " +
+                                     std::to_string(op) + ")");
+  }
+  auto data = ro_->Read(id);
+  if (!data.ok()) return data;
+  // Persistent rot: a function of the block id alone, so the same block
+  // is corrupted identically on every read.
+  if (Draw(plan_.seed, kSaltSticky, id, plan_.sticky_flip_rate)) {
+    ++injected_bit_flips_;
+    FlipBit(&data.value(), Mix(plan_.seed, kSaltSticky ^ kSaltFlipPos, id));
+  }
+  // Read-path flip: a function of the operation index, so it heals on
+  // retry.
+  if (scheduled == FaultKind::kBitFlip ||
+      Draw(plan_.seed, kSaltReadFlip, op, plan_.read_flip_rate)) {
+    ++injected_bit_flips_;
+    FlipBit(&data.value(), Mix(plan_.seed, kSaltFlipPos, op));
+  }
+  return data;
+}
+
+FaultKind FaultInjectingDevice::WriteFaultFor(uint64_t op) const {
+  const FaultKind scheduled = ScheduledAt(plan_.write_schedule, op);
+  if (scheduled != FaultKind::kNone) return scheduled;
+  if (Draw(plan_.seed, kSaltWriteFail, op, plan_.write_failure_rate)) {
+    return FaultKind::kTransientFailure;
+  }
+  if (Draw(plan_.seed, kSaltTorn, op, plan_.torn_write_rate)) {
+    return FaultKind::kTornWrite;
+  }
+  return FaultKind::kNone;
+}
+
+util::Result<BlockId> FaultInjectingDevice::Append(
+    const std::vector<uint8_t>& payload) {
+  if (rw_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "fault-injecting device decorates a read-only device");
+  }
+  const uint64_t op = write_ops_++;
+  switch (WriteFaultFor(op)) {
+    case FaultKind::kTransientFailure:
+      ++injected_write_failures_;
+      return util::Status::Unavailable("injected transient append fault (op " +
+                                       std::to_string(op) + ")");
+    case FaultKind::kTornWrite: {
+      // The partial block is persisted (an orphan if the caller retries),
+      // and the append still reports a fault.
+      ++injected_torn_writes_;
+      std::vector<uint8_t> torn = payload;
+      torn.resize(Mix(plan_.seed, kSaltTorn ^ kSaltFlipPos, op) %
+                  (payload.size() + 1));
+      (void)rw_->Append(torn);
+      return util::Status::Unavailable("injected torn append (op " +
+                                       std::to_string(op) + ")");
+    }
+    default:
+      return rw_->Append(payload);
+  }
+}
+
+util::Status FaultInjectingDevice::Write(BlockId id,
+                                         const std::vector<uint8_t>& payload) {
+  if (rw_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "fault-injecting device decorates a read-only device");
+  }
+  const uint64_t op = write_ops_++;
+  switch (WriteFaultFor(op)) {
+    case FaultKind::kTransientFailure:
+      ++injected_write_failures_;
+      return util::Status::Unavailable("injected transient write fault (op " +
+                                       std::to_string(op) + ")");
+    case FaultKind::kTornWrite: {
+      ++injected_torn_writes_;
+      std::vector<uint8_t> torn = payload;
+      torn.resize(block_size(), 0);  // What a full write would persist.
+      const size_t keep =
+          Mix(plan_.seed, kSaltTorn ^ kSaltFlipPos, op) % (torn.size() + 1);
+      auto old = rw_->Read(id);  // Keep the old suffix beyond the tear.
+      if (old.ok()) {
+        for (size_t i = keep; i < torn.size() && i < old->size(); ++i) {
+          torn[i] = (*old)[i];
+        }
+      }
+      (void)rw_->Write(id, torn);
+      return util::Status::Unavailable("injected torn write (op " +
+                                       std::to_string(op) + ")");
+    }
+    default:
+      return rw_->Write(id, payload);
+  }
+}
+
+}  // namespace geosir::storage

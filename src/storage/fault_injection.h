@@ -1,0 +1,110 @@
+#ifndef GEOSIR_STORAGE_FAULT_INJECTION_H_
+#define GEOSIR_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace geosir::storage {
+
+/// Fault kinds a FaultInjectingDevice can inject.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// The operation fails with kUnavailable; the underlying bytes are
+  /// untouched, so a retry succeeds (unless another fault fires).
+  kTransientFailure,
+  /// A single bit of the *returned copy* of the block is flipped (a
+  /// read-path error: re-reading returns clean bytes).
+  kBitFlip,
+  /// Only a prefix of the block is persisted and the write reports
+  /// kUnavailable (a torn write: the medium now holds a half-old,
+  /// half-new block).
+  kTornWrite,
+};
+
+/// A fault pinned to one specific operation (0-based index into the
+/// device's read or write operation stream). Schedules compose with the
+/// rate-driven faults below; they make single-fault tests exact.
+struct ScheduledFault {
+  uint64_t op_index = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+/// Deterministic, seed-driven fault model. Every probabilistic decision
+/// is a pure hash of (seed, operation index) or (seed, block id), so a
+/// given plan injects exactly the same faults on every run and does not
+/// depend on unrelated RNG draws.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Per-read probability of a transient kUnavailable failure.
+  double read_failure_rate = 0.0;
+  /// Per-read probability of a single-bit flip in the returned copy
+  /// (heals on retry).
+  double read_flip_rate = 0.0;
+  /// Per-block probability of *persistent* bit rot: an affected block
+  /// comes back with the same bit flipped on every read. Detectable only
+  /// by checksums; never heals.
+  double sticky_flip_rate = 0.0;
+
+  /// Per-write (and per-append) probability of a transient kUnavailable
+  /// failure with no bytes persisted.
+  double write_failure_rate = 0.0;
+  /// Per-write probability of a torn write (prefix persisted, then
+  /// kUnavailable reported).
+  double torn_write_rate = 0.0;
+
+  /// Exact-operation faults, applied in addition to the rates.
+  std::vector<ScheduledFault> read_schedule;
+  std::vector<ScheduledFault> write_schedule;
+};
+
+/// Decorator that injects faults between a caller and an inner device.
+/// Constructed over a const device it is read-only (writes fail with
+/// kFailedPrecondition); over a mutable device it also injects write
+/// faults. Stacking order for a verified read path:
+///
+///   BlockFile -> FaultInjectingDevice -> BufferManager(verify, retry)
+class FaultInjectingDevice : public BlockDevice {
+ public:
+  /// Read-only decoration (e.g. over ExternalRTree::file()).
+  FaultInjectingDevice(const BlockDevice* inner, FaultPlan plan)
+      : ro_(inner), rw_(nullptr), plan_(std::move(plan)) {}
+  /// Read-write decoration.
+  FaultInjectingDevice(BlockDevice* inner, FaultPlan plan)
+      : ro_(inner), rw_(inner), plan_(std::move(plan)) {}
+
+  size_t block_size() const override { return ro_->block_size(); }
+  size_t NumBlocks() const override { return ro_->NumBlocks(); }
+
+  util::Result<BlockId> Append(const std::vector<uint8_t>& payload) override;
+  util::Result<std::vector<uint8_t>> Read(BlockId id) const override;
+  util::Status Write(BlockId id, const std::vector<uint8_t>& payload) override;
+
+  uint64_t read_ops() const { return read_ops_; }
+  uint64_t write_ops() const { return write_ops_; }
+  uint64_t injected_read_failures() const { return injected_read_failures_; }
+  uint64_t injected_write_failures() const { return injected_write_failures_; }
+  uint64_t injected_bit_flips() const { return injected_bit_flips_; }
+  uint64_t injected_torn_writes() const { return injected_torn_writes_; }
+
+ private:
+  /// Fault decision for write op `op` (schedule first, then rates).
+  FaultKind WriteFaultFor(uint64_t op) const;
+
+  const BlockDevice* ro_;
+  BlockDevice* rw_;
+  FaultPlan plan_;
+
+  mutable uint64_t read_ops_ = 0;
+  uint64_t write_ops_ = 0;
+  mutable uint64_t injected_read_failures_ = 0;
+  uint64_t injected_write_failures_ = 0;
+  mutable uint64_t injected_bit_flips_ = 0;
+  uint64_t injected_torn_writes_ = 0;
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_FAULT_INJECTION_H_

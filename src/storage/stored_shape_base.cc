@@ -16,10 +16,14 @@ util::Result<StoredShapeBase> StoredShapeBase::Create(
   stored.copy_block_.assign(base.NumCopies(), 0);
   stored.copy_slot_offset_.assign(base.NumCopies(), 0);
 
+  // Records pack into the payload area; the last 4 bytes of every block
+  // hold its CRC32 trailer (see block_file.h).
+  const size_t payload_cap = BlockPayloadCapacity(block_size);
   std::vector<uint8_t> block;
   std::vector<uint32_t> block_members;
   const auto flush = [&]() {
     if (block.empty()) return;
+    StampBlockChecksum(&block, block_size);
     const BlockId id = stored.file_.AppendBlock(block);
     for (uint32_t copy : block_members) stored.copy_block_[copy] = id;
     block.clear();
@@ -31,11 +35,11 @@ util::Result<StoredShapeBase> StoredShapeBase::Create(
     const ShapeRecord record =
         MakeRecord(copy, base.shape(copy.shape_id).image,
                    quadruples[copy_index]);
-    if (record.ByteSize() > block_size) {
+    if (record.ByteSize() > payload_cap) {
       return util::Status::InvalidArgument(
-          "shape record larger than a block");
+          "shape record larger than a block payload");
     }
-    if (block.size() + record.ByteSize() > block_size) flush();
+    if (block.size() + record.ByteSize() > payload_cap) flush();
     stored.copy_slot_offset_[copy_index] =
         static_cast<uint16_t>(block.size());
     block_members.push_back(copy_index);

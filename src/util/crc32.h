@@ -1,0 +1,17 @@
+#ifndef GEOSIR_UTIL_CRC32_H_
+#define GEOSIR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geosir::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// used by the storage layer for per-block trailers and the v2 shape-file
+/// records. `seed` allows incremental computation: Crc32(b, n2, Crc32(a,
+/// n1)) == Crc32(concat(a, b), n1 + n2).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_CRC32_H_

@@ -1,0 +1,66 @@
+#ifndef GEOSIR_UTIL_RETRY_H_
+#define GEOSIR_UTIL_RETRY_H_
+
+#include <chrono>
+#include <thread>
+#include <type_traits>
+
+#include "util/status.h"
+
+namespace geosir::util {
+
+/// Bounded retry with exponential backoff for transient faults
+/// (kUnavailable). Used by BufferManager::Pin to heal injected or real
+/// I/O hiccups; defaults keep experiments deterministic and fast (no
+/// sleeping) while production callers can set a real backoff.
+struct RetryPolicy {
+  /// Total attempts including the first one; <= 1 disables retries.
+  int max_attempts = 3;
+  /// Sleep before retry i is base_backoff_us * multiplier^(i-1)
+  /// microseconds; 0 disables sleeping entirely.
+  int base_backoff_us = 0;
+  double multiplier = 2.0;
+};
+
+/// Whether a failed operation is worth retrying under the same inputs.
+inline bool IsRetriable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+
+namespace internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Invokes `fn` (returning Status or Result<T>) up to
+/// `policy.max_attempts` times, sleeping between attempts, as long as the
+/// outcome is retriable. Returns the last outcome. If `attempts_out` is
+/// non-null it receives the number of invocations performed.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn,
+                      int* attempts_out = nullptr)
+    -> std::invoke_result_t<Fn> {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  double backoff_us = static_cast<double>(policy.base_backoff_us);
+  for (int attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    if (internal::StatusOf(outcome).ok() ||
+        !IsRetriable(internal::StatusOf(outcome).code()) ||
+        attempt >= attempts) {
+      return outcome;
+    }
+    if (backoff_us >= 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(backoff_us)));
+      backoff_us *= policy.multiplier;
+    }
+  }
+}
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_RETRY_H_

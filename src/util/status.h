@@ -20,6 +20,9 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kInternal,
+  /// A transient fault (I/O hiccup, injected fault): the operation may
+  /// succeed if retried. See util/retry.h for the bounded-retry helper.
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode ("Ok", "InvalidArgument", ...).
@@ -60,6 +63,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,705 @@
+/// Fault-injection harness for the storage fault-tolerance layer: drives
+/// BufferManager, ExternalRTree, the matcher (through
+/// ExternalSimplexIndex) and shape-file load across seeded fault
+/// schedules and rate sweeps, asserting the stack's contract — every
+/// outcome is a correct result, a degraded result that says so, or a
+/// clean non-OK Status. Never a crash, never a silent wrong answer.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "rangesearch/brute_force_index.h"
+#include "storage/base_io.h"
+#include "storage/block_file.h"
+#include "storage/external_index.h"
+#include "storage/external_simplex_index.h"
+#include "storage/fault_injection.h"
+#include "util/rng.h"
+
+namespace geosir::storage {
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+using geom::Triangle;
+using rangesearch::IndexedPoint;
+
+std::vector<IndexedPoint> FloatPoints(size_t n, util::Rng* rng) {
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(IndexedPoint{{static_cast<float>(rng->Uniform(0, 1)),
+                                static_cast<float>(rng->Uniform(-0.8, 0.8))},
+                               static_cast<uint32_t>(i)});
+  }
+  return pts;
+}
+
+Polyline RegularPolygon(int n, double r, Point c = {0, 0},
+                        double phase = 0.0) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = phase + 2.0 * M_PI * i / n;
+    v.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingDevice semantics.
+
+TEST(FaultInjectingDeviceTest, ScheduledTransientFaultHitsExactOp) {
+  BlockFile file(64);
+  file.AppendBlock({1, 2, 3});
+  FaultPlan plan;
+  plan.read_schedule = {{1, FaultKind::kTransientFailure}};
+  FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+  EXPECT_TRUE(faulty.Read(0).ok());  // Op 0: clean.
+  auto failed = faulty.Read(0);      // Op 1: injected.
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(faulty.Read(0).ok());  // Op 2: clean again (transient).
+  EXPECT_EQ(faulty.injected_read_failures(), 1u);
+}
+
+TEST(FaultInjectingDeviceTest, DeterministicAcrossRuns) {
+  BlockFile file(64);
+  for (int i = 0; i < 8; ++i) file.AppendBlock({static_cast<uint8_t>(i)});
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.read_failure_rate = 0.3;
+  plan.read_flip_rate = 0.3;
+  const auto run = [&]() {
+    FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+    std::vector<int> outcomes;
+    for (int op = 0; op < 32; ++op) {
+      auto r = faulty.Read(op % 8);
+      outcomes.push_back(r.ok() ? (*r)[0] : -1);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjectingDeviceTest, StickyFlipCorruptsSameBlockEveryRead) {
+  BlockFile file(64);
+  std::vector<uint8_t> block(64, 0xAB);
+  StampBlockChecksum(&block, 64);
+  file.AppendBlock(block);
+  FaultPlan plan;
+  plan.sticky_flip_rate = 1.0;  // Every block rots.
+  FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+  auto first = faulty.Read(0);
+  auto second = faulty.Read(0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // Same flip, every time.
+  EXPECT_FALSE(VerifyBlockChecksum(*first).ok());
+}
+
+TEST(FaultInjectingDeviceTest, ReadOnlyDecorationRejectsWrites) {
+  BlockFile file(64);
+  file.AppendBlock({1});
+  FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file),
+                              FaultPlan{});
+  EXPECT_EQ(faulty.Write(0, {2}).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(faulty.Append({2}).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultInjectingDeviceTest, TornWritePersistsPrefixOnly) {
+  BlockFile file(64);
+  std::vector<uint8_t> original(64, 0x11);
+  file.AppendBlock(original);
+  FaultPlan plan;
+  plan.write_schedule = {{0, FaultKind::kTornWrite}};
+  FaultInjectingDevice faulty(static_cast<BlockDevice*>(&file), plan);
+  std::vector<uint8_t> update(64, 0x22);
+  auto status = faulty.Write(0, update);
+  ASSERT_FALSE(status.ok());  // Torn writes report the fault...
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+  auto after = file.ReadBlock(0);
+  ASSERT_TRUE(after.ok());
+  // ...but the medium now holds a prefix of the new bytes followed by the
+  // old suffix (the tear point is seed-derived and may sit anywhere,
+  // including the ends).
+  ASSERT_EQ(after->size(), original.size());
+  size_t tear = 0;
+  while (tear < after->size() && (*after)[tear] == 0x22) ++tear;
+  for (size_t i = tear; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i], 0x11) << "byte " << i << " (tear at " << tear << ")";
+  }
+  EXPECT_EQ(faulty.injected_torn_writes(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferManager retry + verify.
+
+std::vector<uint8_t> ChecksummedBlock(size_t block_size, uint8_t fill) {
+  std::vector<uint8_t> block(block_size, fill);
+  StampBlockChecksum(&block, block_size);
+  return block;
+}
+
+TEST(BufferManagerFaultTest, TransientReadFaultHealsViaRetry) {
+  BlockFile file(64);
+  file.AppendBlock(ChecksummedBlock(64, 0x5A));
+  FaultPlan plan;
+  plan.read_schedule = {{0, FaultKind::kTransientFailure}};
+  FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+  BufferOptions options;
+  options.verify_checksums = true;
+  options.retry.max_attempts = 3;
+  BufferManager buffer(&faulty, 4, options);
+  auto pinned = buffer.Pin(0);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ((**pinned)[0], 0x5A);
+  EXPECT_EQ(buffer.retries(), 1u);
+}
+
+TEST(BufferManagerFaultTest, ExhaustedRetriesSurfaceUnavailable) {
+  BlockFile file(64);
+  file.AppendBlock(ChecksummedBlock(64, 0x5A));
+  FaultPlan plan;
+  plan.read_failure_rate = 1.0;
+  FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+  BufferOptions options;
+  options.retry.max_attempts = 3;
+  BufferManager buffer(&faulty, 4, options);
+  auto pinned = buffer.Pin(0);
+  ASSERT_FALSE(pinned.ok());
+  EXPECT_EQ(pinned.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(faulty.injected_read_failures(), 3u);  // Whole budget spent.
+}
+
+TEST(BufferManagerFaultTest, TransientBitFlipHealsPersistentRotSurfaces) {
+  BlockFile file(64);
+  file.AppendBlock(ChecksummedBlock(64, 0x5A));
+  {
+    // A flip on the read path: the re-read comes back clean.
+    FaultPlan plan;
+    plan.read_schedule = {{0, FaultKind::kBitFlip}};
+    FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+    BufferOptions options;
+    options.verify_checksums = true;
+    options.retry.max_attempts = 3;
+    BufferManager buffer(&faulty, 4, options);
+    auto pinned = buffer.Pin(0);
+    ASSERT_TRUE(pinned.ok());
+    EXPECT_EQ((**pinned)[0], 0x5A);
+    EXPECT_EQ(buffer.checksum_failures(), 1u);
+  }
+  {
+    // Sticky rot: every re-read is corrupt; Pin must report kCorruption,
+    // never return the garbage bytes.
+    FaultPlan plan;
+    plan.sticky_flip_rate = 1.0;
+    FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+    BufferOptions options;
+    options.verify_checksums = true;
+    options.retry.max_attempts = 3;
+    BufferManager buffer(&faulty, 4, options);
+    auto pinned = buffer.Pin(0);
+    ASSERT_FALSE(pinned.ok());
+    EXPECT_EQ(pinned.status().code(), util::StatusCode::kCorruption);
+  }
+}
+
+TEST(BufferManagerFaultTest, WithoutVerificationBitRotPassesThrough) {
+  // Documents why verify_checksums exists: a bare buffer happily caches
+  // rotted bytes.
+  BlockFile file(64);
+  file.AppendBlock(ChecksummedBlock(64, 0x5A));
+  FaultPlan plan;
+  plan.sticky_flip_rate = 1.0;
+  FaultInjectingDevice faulty(static_cast<const BlockDevice*>(&file), plan);
+  BufferManager buffer(&faulty, 4);  // Default: no verification.
+  auto pinned = buffer.Pin(0);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_FALSE(VerifyBlockChecksum(**pinned).ok());
+}
+
+TEST(BufferManagerPinContract, EvictionInvalidatesEarlierPointers) {
+  // Regression test for the documented Pin() lifetime rule: the returned
+  // pointer aliases a buffer frame, and an evicting Pin() redirects that
+  // frame to the new block. Callers holding the old pointer would now
+  // read the *new* block's bytes — copy before re-pinning.
+  BlockFile file(32);
+  file.AppendBlock({0xAA});
+  file.AppendBlock({0xBB});
+  BufferManager buffer(&file, 1);  // Single frame: every miss evicts.
+  auto first = buffer.Pin(0);
+  ASSERT_TRUE(first.ok());
+  const std::vector<uint8_t>* held = *first;
+  EXPECT_EQ((*held)[0], 0xAA);
+  auto second = buffer.Pin(1);  // Evicts block 0's frame.
+  ASSERT_TRUE(second.ok());
+  // The frame object was reused, so the stale pointer aliases the new
+  // contents — exactly the hazard the contract warns about.
+  EXPECT_EQ(held, *second);
+  EXPECT_EQ((*held)[0], 0xBB);
+}
+
+// ---------------------------------------------------------------------------
+// ExternalRTree degradation policies.
+
+TEST(ExternalRTreeFaultTest, FailFastPropagatesUnavailable) {
+  util::Rng rng(11);
+  auto points = FloatPoints(2000, &rng);
+  auto tree = ExternalRTree::Build(points, 512);
+  ASSERT_TRUE(tree.ok());
+  FaultPlan plan;
+  plan.read_failure_rate = 1.0;
+  FaultInjectingDevice faulty(
+      static_cast<const BlockDevice*>(&tree->file()), plan);
+  BufferManager buffer(&faulty, 16);
+  auto count = tree->CountInTriangle(Triangle{{0, -1}, {1, -1}, {0.5, 1}},
+                                     &buffer);
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(ExternalRTreeFaultTest, SkipUnreadableReturnsFlaggedLowerBound) {
+  util::Rng rng(12);
+  auto points = FloatPoints(5000, &rng);
+  rangesearch::BruteForceIndex oracle;
+  oracle.Build(points);
+  auto tree = ExternalRTree::Build(points, 512);
+  ASSERT_TRUE(tree.ok());
+  const Triangle big{{-0.1, -1}, {1.1, -1}, {0.5, 1.5}};
+  const size_t truth = oracle.CountInTriangle(big);
+
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.read_failure_rate = 0.5;  // Heavy faults; no retries: must skip.
+  FaultInjectingDevice faulty(
+      static_cast<const BlockDevice*>(&tree->file()), plan);
+  BufferOptions boptions;
+  boptions.retry.max_attempts = 1;
+  BufferManager buffer(&faulty, 16, boptions);
+  RTreeQueryConfig config;
+  config.policy = DegradePolicy::kSkipUnreadable;
+  RTreeDegradation degradation;
+  auto count = tree->CountInTriangle(big, &buffer, config, &degradation);
+  ASSERT_TRUE(count.ok());
+  EXPECT_TRUE(degradation.degraded);
+  EXPECT_GT(degradation.skipped_subtrees, 0u);
+  EXPECT_LT(*count, truth);  // Strictly less at 50% faults on this seed.
+}
+
+TEST(ExternalRTreeFaultTest, CorruptBlockDetectedByChecksummingBuffer) {
+  util::Rng rng(13);
+  auto points = FloatPoints(3000, &rng);
+  auto tree = ExternalRTree::Build(points, 512);
+  ASSERT_TRUE(tree.ok());
+  FaultPlan plan;
+  plan.sticky_flip_rate = 1.0;  // Every block rotted.
+  FaultInjectingDevice faulty(
+      static_cast<const BlockDevice*>(&tree->file()), plan);
+  BufferOptions boptions;
+  boptions.verify_checksums = true;
+  boptions.retry.max_attempts = 2;
+  BufferManager buffer(&faulty, 16, boptions);
+  auto count = tree->CountInTriangle(Triangle{{0, -1}, {1, -1}, {0.5, 1}},
+                                     &buffer);
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), util::StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance sweep: at read-fault rates {0, 0.01, 0.1} and bit-flip
+// rates {0, 1e-4}, every query either matches the fault-free oracle, is
+// flagged degraded, or returns a clean non-OK status.
+
+TEST(FaultSweepTest, RTreeQueriesNeverSilentlyWrong) {
+  util::Rng rng(21);
+  auto points = FloatPoints(8000, &rng);
+  rangesearch::BruteForceIndex oracle;
+  oracle.Build(points);
+  auto tree = ExternalRTree::Build(points, 1024);
+  ASSERT_TRUE(tree.ok());
+
+  size_t outcomes_ok = 0, outcomes_degraded = 0, outcomes_error = 0;
+  for (double fail_rate : {0.0, 0.01, 0.1}) {
+    for (double flip_rate : {0.0, 1e-4}) {
+      for (DegradePolicy policy :
+           {DegradePolicy::kFailFast, DegradePolicy::kSkipUnreadable}) {
+        FaultPlan plan;
+        plan.seed = static_cast<uint64_t>(fail_rate * 1000) * 31 +
+                    static_cast<uint64_t>(flip_rate * 1e6) + 1;
+        plan.read_failure_rate = fail_rate;
+        plan.read_flip_rate = flip_rate;
+        plan.sticky_flip_rate = flip_rate;
+        FaultInjectingDevice faulty(
+            static_cast<const BlockDevice*>(&tree->file()), plan);
+        BufferOptions boptions;
+        boptions.verify_checksums = true;
+        boptions.retry.max_attempts = 3;
+        RTreeQueryConfig config;
+        config.policy = policy;
+        util::Rng qrng(99);
+        for (int q = 0; q < 25; ++q) {
+          // Cold cache per query so faults keep biting.
+          BufferManager buffer(&faulty, 8, boptions);
+          const Triangle t{{qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)},
+                           {qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)},
+                           {qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)}};
+          RTreeDegradation degradation;
+          auto count = tree->CountInTriangle(t, &buffer, config, &degradation);
+          if (!count.ok()) {
+            // Clean failure: one of the declared fault codes.
+            EXPECT_TRUE(
+                count.status().code() == util::StatusCode::kUnavailable ||
+                count.status().code() == util::StatusCode::kCorruption)
+                << count.status().ToString();
+            ++outcomes_error;
+            continue;
+          }
+          const size_t truth = oracle.CountInTriangle(t);
+          if (degradation.degraded) {
+            EXPECT_LE(*count, truth);  // A flagged lower bound.
+            ++outcomes_degraded;
+          } else {
+            EXPECT_EQ(*count, truth);  // Silent means correct.
+            ++outcomes_ok;
+          }
+        }
+      }
+    }
+  }
+  // The sweep exercises all three contract outcomes.
+  EXPECT_GT(outcomes_ok, 0u);
+  EXPECT_GT(outcomes_degraded, 0u);
+  EXPECT_GT(outcomes_error, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-matcher sweeps through ExternalSimplexIndex.
+
+core::ShapeBaseOptions ExternalBaseOptions(ExternalSimplexIndex::Options idx) {
+  core::ShapeBaseOptions options;
+  options.index_factory = [idx]() {
+    return std::make_unique<ExternalSimplexIndex>(idx);
+  };
+  return options;
+}
+
+void PopulateBase(core::ShapeBase* base) {
+  util::Rng rng(31);
+  for (int proto = 0; proto < 20; ++proto) {
+    const int n = 5 + proto % 9;
+    for (int inst = 0; inst < 3; ++inst) {
+      Polyline poly = RegularPolygon(n, 1.0, {0, 0}, 0.3 * proto);
+      for (Point& p : poly.mutable_vertices()) {
+        p += Point{rng.Gaussian(0.01), rng.Gaussian(0.01)};
+      }
+      ASSERT_TRUE(base->AddShape(poly, proto).ok());
+    }
+  }
+  ASSERT_TRUE(base->Finalize().ok());
+}
+
+TEST(ExternalMatcherTest, FaultFreeExternalIndexMatchesLikeInMemory) {
+  core::ShapeBase external_base(ExternalBaseOptions({}));
+  PopulateBase(&external_base);
+  core::ShapeBase memory_base;  // Default kd-tree.
+  PopulateBase(&memory_base);
+
+  core::EnvelopeMatcher external_matcher(&external_base);
+  core::EnvelopeMatcher memory_matcher(&memory_base);
+  for (core::ShapeId id = 0; id < memory_base.NumShapes(); id += 7) {
+    core::MatchOptions options;
+    options.k = 3;
+    core::MatchStats stats;
+    auto ext = external_matcher.Match(memory_base.shape(id).boundary, options,
+                                      &stats);
+    auto mem = memory_matcher.Match(memory_base.shape(id).boundary, options);
+    ASSERT_TRUE(ext.ok());
+    ASSERT_TRUE(mem.ok());
+    EXPECT_FALSE(stats.degraded);
+    ASSERT_FALSE(ext->empty());
+    // The external tree stores f32 vertices, so candidate sets can differ
+    // at envelope boundaries; the top-1 must agree regardless.
+    EXPECT_EQ((*ext)[0].shape_id, (*mem)[0].shape_id) << "query " << id;
+  }
+}
+
+TEST(ExternalMatcherTest, DynamicBasePropagatesDegradationStats) {
+  // DynamicShapeBase::Match forwards the main-base matcher stats; with a
+  // skip-everything faulty external index behind it, the degraded flag
+  // must reach the caller.
+  ExternalSimplexIndex::Options idx;
+  idx.inject_faults = true;
+  idx.faults.read_failure_rate = 1.0;  // Root unreadable on every query.
+  idx.buffer.retry.max_attempts = 1;
+  idx.query.policy = DegradePolicy::kSkipUnreadable;
+  core::DynamicShapeBase::Options options;
+  options.base = ExternalBaseOptions(idx);
+  options.min_compaction_size = 1;  // Compact eagerly into the main base.
+  core::DynamicShapeBase base(options);
+  util::Rng rng(41);
+  for (int i = 0; i < 8; ++i) {
+    Polyline poly = RegularPolygon(6 + i % 3, 1.0, {0, 0}, 0.2 * i);
+    for (Point& p : poly.mutable_vertices()) {
+      p += Point{rng.Gaussian(0.01), rng.Gaussian(0.01)};
+    }
+    ASSERT_TRUE(base.Insert(poly, i).ok());
+  }
+  ASSERT_TRUE(base.Compact().ok());
+  core::MatchStats stats;
+  auto got = base.Match(RegularPolygon(6, 1.0), 1, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GT(stats.skipped_subtrees, 0u);
+}
+
+TEST(FaultSweepTest, MatchNeverSilentlyWrong) {
+  // Fault-free reference through the same (f32) external index.
+  core::ShapeBase reference_base(ExternalBaseOptions({}));
+  PopulateBase(&reference_base);
+  core::EnvelopeMatcher reference_matcher(&reference_base);
+
+  size_t outcomes_ok = 0, outcomes_degraded = 0, outcomes_error = 0;
+  for (double fail_rate : {0.0, 0.01, 0.1}) {
+    for (double flip_rate : {0.0, 1e-4}) {
+      for (DegradePolicy policy :
+           {DegradePolicy::kFailFast, DegradePolicy::kSkipUnreadable}) {
+        ExternalSimplexIndex::Options idx;
+        idx.inject_faults = true;
+        idx.faults.seed =
+            static_cast<uint64_t>(fail_rate * 1000) * 127 +
+            static_cast<uint64_t>(flip_rate * 1e6) * 7 + 5;
+        idx.faults.read_failure_rate = fail_rate;
+        idx.faults.read_flip_rate = flip_rate;
+        idx.faults.sticky_flip_rate = flip_rate;
+        idx.buffer.retry.max_attempts = 3;
+        idx.query.policy = policy;
+        idx.buffer_capacity_blocks = 8;  // Cold-ish: faults keep biting.
+        core::ShapeBase base(ExternalBaseOptions(idx));
+        PopulateBase(&base);
+        core::EnvelopeMatcher matcher(&base);
+
+        for (core::ShapeId id = 0; id < base.NumShapes(); id += 9) {
+          core::MatchOptions options;
+          options.k = 2;
+          core::MatchStats stats;
+          auto got = matcher.Match(base.shape(id).boundary, options, &stats);
+          if (!got.ok()) {
+            EXPECT_TRUE(
+                got.status().code() == util::StatusCode::kUnavailable ||
+                got.status().code() == util::StatusCode::kCorruption)
+                << got.status().ToString();
+            ++outcomes_error;
+            continue;
+          }
+          if (stats.degraded) {
+            EXPECT_GT(stats.skipped_subtrees, 0u);
+            ++outcomes_degraded;
+            continue;  // Flagged: any subset ranking is acceptable.
+          }
+          auto want =
+              reference_matcher.Match(base.shape(id).boundary, options);
+          ASSERT_TRUE(want.ok());
+          ASSERT_EQ(got->size(), want->size());
+          for (size_t i = 0; i < got->size(); ++i) {
+            EXPECT_EQ((*got)[i].shape_id, (*want)[i].shape_id);
+            EXPECT_NEAR((*got)[i].distance, (*want)[i].distance, 1e-12);
+          }
+          ++outcomes_ok;
+        }
+      }
+    }
+  }
+  EXPECT_GT(outcomes_ok, 0u);
+  EXPECT_GT(outcomes_degraded + outcomes_error, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shape-file (base_io) fault tolerance.
+
+class BaseIoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(base_.AddShape(RegularPolygon(5, 1.0), 7, "penta").ok());
+    ASSERT_TRUE(base_.AddShape(RegularPolygon(8, 2.0, {3, 1}), 8, "octa").ok());
+    ASSERT_TRUE(
+        base_.AddShape(Polyline::Open({{0, 0}, {1, 0.3}, {2, 0}}), 9, "arc")
+            .ok());
+    path_ = testing::TempDir() + "geosir_fault_io.gsir";
+    ASSERT_TRUE(SaveShapeBase(base_, path_).ok());
+  }
+
+  std::vector<uint8_t> ReadFile() {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<uint8_t> bytes;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<uint8_t>(c));
+    std::fclose(f);
+    return bytes;
+  }
+
+  void WriteFile(const std::vector<uint8_t>& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!bytes.empty()) {
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    }
+    std::fclose(f);
+  }
+
+  core::ShapeBase base_;
+  std::string path_;
+};
+
+TEST_F(BaseIoFaultTest, V2RoundTripsWithReport) {
+  LoadReport report;
+  auto loaded = LoadShapeBase(path_, {}, {}, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_EQ(report.shapes_loaded, 3u);
+  EXPECT_FALSE(report.salvaged);
+  EXPECT_EQ((*loaded)->NumShapes(), 3u);
+  EXPECT_EQ((*loaded)->shape(1).label, "octa");
+  // No temp file left behind.
+  std::FILE* tmp = std::fopen((path_ + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
+TEST_F(BaseIoFaultTest, EverySingleByteFlipIsDetected) {
+  const std::vector<uint8_t> clean = ReadFile();
+  // Flip one byte at a spread of offsets covering header, labels,
+  // vertices and the stored CRCs themselves.
+  for (size_t at = 0; at < clean.size(); at += 13) {
+    std::vector<uint8_t> bytes = clean;
+    bytes[at] ^= 0x40;
+    WriteFile(bytes);
+    auto loaded = LoadShapeBase(path_);
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << at;
+    EXPECT_TRUE(loaded.status().code() == util::StatusCode::kCorruption ||
+                loaded.status().code() == util::StatusCode::kNotSupported)
+        << "flip at byte " << at << ": " << loaded.status().ToString();
+  }
+}
+
+TEST_F(BaseIoFaultTest, EveryTruncationIsDetectedAndSalvageable) {
+  const std::vector<uint8_t> clean = ReadFile();
+  for (size_t keep = 0; keep < clean.size(); keep += 17) {
+    WriteFile(std::vector<uint8_t>(clean.begin(), clean.begin() + keep));
+    auto strict = LoadShapeBase(path_);
+    ASSERT_FALSE(strict.ok()) << "truncated to " << keep;
+
+    LoadOptions salvage;
+    salvage.salvage = true;
+    LoadReport report;
+    auto salvaged = LoadShapeBase(path_, {}, salvage, &report);
+    if (keep < 20) {
+      // Inside the header: nothing to salvage.
+      EXPECT_FALSE(salvaged.ok()) << "truncated to " << keep;
+      continue;
+    }
+    ASSERT_TRUE(salvaged.ok()) << "truncated to " << keep;
+    EXPECT_TRUE(report.salvaged);
+    EXPECT_LT(report.shapes_loaded, 3u);
+    EXPECT_EQ((*salvaged)->NumShapes(), report.shapes_loaded);
+    // The salvaged prefix is intact data.
+    if (report.shapes_loaded >= 1) {
+      EXPECT_EQ((*salvaged)->shape(0).label, "penta");
+    }
+  }
+}
+
+TEST_F(BaseIoFaultTest, SalvageRecoversPrefixBeforeCorruptRecord) {
+  std::vector<uint8_t> bytes = ReadFile();
+  bytes[bytes.size() - 6] ^= 0xFF;  // Rot inside the last record.
+  WriteFile(bytes);
+  EXPECT_FALSE(LoadShapeBase(path_).ok());
+  LoadOptions salvage;
+  salvage.salvage = true;
+  LoadReport report;
+  auto loaded = LoadShapeBase(path_, {}, salvage, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.shapes_loaded, 2u);
+  EXPECT_EQ((*loaded)->shape(0).label, "penta");
+  EXPECT_EQ((*loaded)->shape(1).label, "octa");
+}
+
+TEST_F(BaseIoFaultTest, V1FilesStillLoad) {
+  // Hand-written v1 image of a one-shape base (no checksums anywhere).
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const auto put32 = [&](uint32_t v) { std::fwrite(&v, 4, 1, f); };
+  const auto put16 = [&](uint16_t v) { std::fwrite(&v, 2, 1, f); };
+  const auto put8 = [&](uint8_t v) { std::fwrite(&v, 1, 1, f); };
+  const auto put64 = [&](uint64_t v) { std::fwrite(&v, 8, 1, f); };
+  const auto putd = [&](double v) { std::fwrite(&v, 8, 1, f); };
+  put32(0x52495347);  // "GSIR"
+  put32(1);           // v1
+  put64(1);           // One shape.
+  put32(4);           // image
+  put16(3);
+  std::fwrite("tri", 1, 3, f);
+  put8(1);  // closed
+  put32(3);
+  putd(0.0); putd(0.0);
+  putd(1.0); putd(0.0);
+  putd(0.4); putd(0.9);
+  std::fclose(f);
+
+  LoadReport report;
+  auto loaded = LoadShapeBase(path_, {}, {}, &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.version, 1u);
+  EXPECT_EQ((*loaded)->NumShapes(), 1u);
+  EXPECT_EQ((*loaded)->shape(0).label, "tri");
+  EXPECT_EQ((*loaded)->shape(0).image, 4u);
+}
+
+TEST_F(BaseIoFaultTest, CorruptVertexCountRejectedWithoutHugeAllocation) {
+  // v1 file claiming 0xFFFFFFFF vertices: must fail with kCorruption
+  // after comparing against the actual file size, not attempt a ~64 GB
+  // reserve.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const auto put32 = [&](uint32_t v) { std::fwrite(&v, 4, 1, f); };
+  const auto put16 = [&](uint16_t v) { std::fwrite(&v, 2, 1, f); };
+  const auto put8 = [&](uint8_t v) { std::fwrite(&v, 1, 1, f); };
+  const auto put64 = [&](uint64_t v) { std::fwrite(&v, 8, 1, f); };
+  put32(0x52495347);
+  put32(1);
+  put64(1);
+  put32(0);
+  put16(0);
+  put8(1);
+  put32(0xFFFFFFFFu);  // Corrupt vertex count.
+  std::fclose(f);
+  auto loaded = LoadShapeBase(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(BaseIoLimitsTest, OversizedLabelRejectedAtSave) {
+  core::ShapeBase base;
+  ASSERT_TRUE(
+      base.AddShape(RegularPolygon(5, 1.0), 0, std::string(70000, 'x')).ok());
+  const std::string path = testing::TempDir() + "geosir_oversized_label.gsir";
+  auto status = SaveShapeBase(base, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  // Nothing (not even a temp file) was left behind.
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+  EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "rb"), nullptr);
+}
+
+}  // namespace
+}  // namespace geosir::storage

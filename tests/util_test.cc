@@ -1,8 +1,11 @@
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "util/crc32.h"
 #include "util/numeric.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -28,7 +31,7 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
         StatusCode::kCorruption, StatusCode::kNotSupported,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }
@@ -149,6 +152,86 @@ TEST(RngTest, ShufflePreservesElements) {
   rng.Shuffle(&v);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, sorted);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The standard CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsSeed) {
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("", 0, 123u), 123u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const std::string data = "geometric-similarity";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  const uint32_t first = Crc32(data.data(), 7);
+  const uint32_t chained = Crc32(data.data() + 7, data.size() - 7, first);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t byte : {size_t{0}, size_t{100}, data.size() - 1}) {
+    std::string flipped = data;
+    flipped[byte] ^= 1;
+    EXPECT_NE(Crc32(flipped.data(), flipped.size()), clean);
+  }
+}
+
+TEST(RetryTest, SucceedsWithoutRetryOnOk) {
+  int calls = 0, attempts = 0;
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, [&] { ++calls; return Status::OK(); }, &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Result<int> r = RetryWithBackoff(policy, [&]() -> Result<int> {
+    if (++calls < 3) return Status::Unavailable("flaky");
+    return 7;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, GivesUpAfterBudget) {
+  int calls = 0, attempts = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Status s = RetryWithBackoff(
+      policy, [&] { ++calls; return Status::Unavailable("down"); }, &attempts);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(attempts, 4);
+}
+
+TEST(RetryTest, NonRetriableFailsImmediately) {
+  int calls = 0;
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, [&] { ++calls; return Status::Corruption("rot"); });
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);  // Corruption does not heal; no retry.
+}
+
+TEST(RetryTest, AtMostOneAttemptWhenDisabled) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 0;  // <= 1 disables retrying.
+  Status s = RetryWithBackoff(
+      policy, [&] { ++calls; return Status::Unavailable("down"); });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {
