@@ -24,6 +24,7 @@
 
 using geosir::bench::Fmt;
 using geosir::bench::FmtInt;
+using geosir::bench::JsonLine;
 using geosir::bench::Table;
 using geosir::bench::Timer;
 using geosir::geom::Polyline;
@@ -128,6 +129,16 @@ int main() {
                     Fmt("%.1f", iters / kQueries),
                     Fmt("%.0f", reported / kQueries), Fmt("%.2f", scan_ms),
                     Fmt("%.1fx", scan_ms / std::max(query_ms, 1e-9))});
+      JsonLine("bench_matching_scaling")
+          .Str("backend", IndexBackendName(backend))
+          .Int("shapes", static_cast<long long>(num_shapes))
+          .Int("vertices", static_cast<long long>(built.base->NumVertices()))
+          .Num("build_seconds", built.build_seconds)
+          .Num("query_ms", query_ms)
+          .Num("scan_ms", scan_ms)
+          .Num("queries_per_second",
+               query_ms > 0.0 ? 1e3 / query_ms : 0.0)
+          .Emit();
     }
     table.Print();
     std::printf("\n");

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,75 @@ inline long long EnvScale(const char* name, long long default_value) {
   if (value == nullptr) return default_value;
   const long long parsed = std::atoll(value);
   return parsed > 0 ? parsed : default_value;
+}
+
+/// Machine-readable benchmark output: one JSON object per Emit(), written
+/// to stdout (prefixed with "JSON " so it survives mixed with the tables)
+/// and appended verbatim to the file named by GEOSIR_BENCH_JSON when that
+/// is set. Collecting those lines across PRs (BENCH_*.json) gives the
+/// perf trajectory of every tracked metric.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    buffer_ = "{\"bench\":\"" + Escaped(bench) + "\"";
+  }
+
+  JsonLine& Str(const char* key, const std::string& value) {
+    buffer_ += ",\"" + std::string(key) + "\":\"" + Escaped(value) + "\"";
+    return *this;
+  }
+  JsonLine& Num(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    buffer_ += ",\"" + std::string(key) + "\":" + buf;
+    return *this;
+  }
+  JsonLine& Int(const char* key, long long value) {
+    buffer_ += ",\"" + std::string(key) + "\":" + FmtInt(value);
+    return *this;
+  }
+
+  void Emit() {
+    buffer_ += "}";
+    std::printf("JSON %s\n", buffer_.c_str());
+    if (const char* path = std::getenv("GEOSIR_BENCH_JSON")) {
+      if (std::FILE* f = std::fopen(path, "a")) {
+        std::fprintf(f, "%s\n", buffer_.c_str());
+        std::fclose(f);
+      }
+    }
+  }
+
+ private:
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string buffer_;
+};
+
+/// Shared wall-clock + throughput reporter: prints a human-readable line,
+/// emits the matching JSON line, and returns the items/second rate.
+inline double ReportThroughput(const std::string& bench,
+                               const std::string& name, long long items,
+                               double seconds) {
+  const double per_second =
+      seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  std::printf("%s: %lld items in %.3f s (%.1f items/s)\n", name.c_str(),
+              items, seconds, per_second);
+  JsonLine(bench)
+      .Str("name", name)
+      .Int("items", items)
+      .Num("seconds", seconds)
+      .Num("per_second", per_second)
+      .Emit();
+  return per_second;
 }
 
 }  // namespace geosir::bench

@@ -5,6 +5,7 @@
 
 #include "core/normalize.h"
 #include "core/similarity.h"
+#include "util/thread_pool.h"
 
 namespace geosir::core {
 
@@ -134,6 +135,58 @@ double DynamicShapeBase::EvaluateAgainstQuery(
 util::Result<std::vector<std::pair<uint64_t, double>>>
 DynamicShapeBase::Match(const geom::Polyline& query, size_t k,
                         MatchStats* stats) {
+  return MatchWith(matcher_.get(), query, k, stats);
+}
+
+util::Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
+DynamicShapeBase::MatchBatch(const std::vector<geom::Polyline>& queries,
+                             size_t k, std::vector<MatchStats>* stats) {
+  const size_t n = queries.size();
+  std::vector<std::vector<std::pair<uint64_t, double>>> results(n);
+  if (stats != nullptr) stats->assign(n, MatchStats{});
+  if (n == 0) return results;
+
+  util::ThreadPool* pool =
+      options_.match.num_threads > 1
+          ? (options_.match.pool != nullptr ? options_.match.pool
+                                            : &util::ThreadPool::Shared())
+          : nullptr;
+  const size_t slots =
+      pool != nullptr ? pool->MaxSlots(options_.match.num_threads) : 1;
+
+  // One matcher per worker slot over the (immutable during the batch)
+  // main base; the delta is evaluated directly per query.
+  std::vector<std::unique_ptr<EnvelopeMatcher>> matchers(slots);
+  if (main_ != nullptr) {
+    for (auto& matcher : matchers) {
+      matcher = std::make_unique<EnvelopeMatcher>(main_.get());
+    }
+  }
+  std::vector<util::Status> errors(n);
+  const auto run_query = [&](size_t worker, size_t i) {
+    MatchStats* query_stats = stats != nullptr ? &(*stats)[i] : nullptr;
+    auto result = MatchWith(matchers[worker].get(), queries[i], k, query_stats);
+    if (result.ok()) {
+      results[i] = *std::move(result);
+    } else {
+      errors[i] = result.status();
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, options_.match.num_threads, run_query);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_query(0, i);
+  }
+  for (const util::Status& status : errors) {
+    GEOSIR_RETURN_IF_ERROR(status);
+  }
+  return results;
+}
+
+util::Result<std::vector<std::pair<uint64_t, double>>>
+DynamicShapeBase::MatchWith(EnvelopeMatcher* matcher,
+                            const geom::Polyline& query, size_t k,
+                            MatchStats* stats) const {
   GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
   std::vector<std::pair<uint64_t, double>> results;
   if (stats != nullptr) *stats = MatchStats{};
@@ -148,9 +201,11 @@ DynamicShapeBase::Match(const geom::Polyline& query, size_t k,
       MatchOptions match = options_.match;
       match.k = k + slack;
       // Each slack attempt re-runs the full query; `stats` keeps the
-      // final attempt's diagnostics (including the degraded flag).
+      // final attempt's diagnostics (including the degraded flag). The
+      // matcher's per-query memo makes retries cheap: every copy scored
+      // in an earlier attempt is a cache hit.
       GEOSIR_ASSIGN_OR_RETURN(std::vector<MatchResult> main_results,
-                              matcher_->Match(query, match, stats));
+                              matcher->Match(query, match, stats));
       std::vector<std::pair<uint64_t, double>> survivors;
       for (const MatchResult& m : main_results) {
         const uint64_t stable = main_ids_[m.shape_id];

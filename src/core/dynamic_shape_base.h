@@ -61,6 +61,16 @@ class DynamicShapeBase {
       const geom::Polyline& query, size_t k = 1,
       MatchStats* stats = nullptr);
 
+  /// Throughput-style front end: runs independent queries concurrently
+  /// across the pool configured in options().match (num_threads / pool),
+  /// one matcher per worker. result[i] corresponds to queries[i];
+  /// per-query results are bit-identical to a serial Match loop for every
+  /// thread count. `stats`, when non-null, is resized to one entry per
+  /// query. No Insert/Remove/Compact may run concurrently.
+  util::Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
+  MatchBatch(const std::vector<geom::Polyline>& queries, size_t k = 1,
+             std::vector<MatchStats>* stats = nullptr);
+
   /// Forces a rebuild of the main base (normally automatic).
   util::Status Compact();
 
@@ -84,6 +94,11 @@ class DynamicShapeBase {
   util::Status MaybeCompact();
   double EvaluateAgainstQuery(const Record& record,
                               const NormalizedCopy& qnorm) const;
+  /// The Match pipeline against an explicit matcher instance (MatchBatch
+  /// runs one per worker slot). Mutates only `matcher`'s scratch.
+  util::Result<std::vector<std::pair<uint64_t, double>>> MatchWith(
+      EnvelopeMatcher* matcher, const geom::Polyline& query, size_t k,
+      MatchStats* stats) const;
 
   Options options_;
   std::vector<Record> records_;        // Indexed by stable id.

@@ -7,6 +7,7 @@
 
 #include "geom/distance.h"
 #include "geom/envelope.h"
+#include "util/thread_pool.h"
 
 namespace geosir::core {
 
@@ -16,6 +17,33 @@ using geom::Polyline;
 
 double Log2(double v) { return std::log2(std::max(2.0, v)); }
 
+/// Pool to run on, or null for fully serial execution.
+util::ThreadPool* ResolvePool(const MatchOptions& options) {
+  if (options.num_threads <= 1) return nullptr;
+  return options.pool != nullptr ? options.pool : &util::ThreadPool::Shared();
+}
+
+/// The directed components options.measure is composed from (one or two).
+size_t ComponentsFor(MatchMeasure measure, uint32_t out[2]) {
+  switch (measure) {
+    case MatchMeasure::kContinuousSymmetric:
+      out[0] = 0;  // kContinuousToQuery
+      out[1] = 1;  // kContinuousFromQuery
+      return 2;
+    case MatchMeasure::kContinuousDirected:
+      out[0] = 0;
+      return 1;
+    case MatchMeasure::kDiscreteSymmetric:
+      out[0] = 2;  // kDiscreteToQuery
+      out[1] = 3;  // kDiscreteFromQuery
+      return 2;
+    case MatchMeasure::kDiscreteDirected:
+      out[0] = 2;
+      return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 EnvelopeMatcher::EnvelopeMatcher(const ShapeBase* base) : base_(base) {
@@ -24,24 +52,105 @@ EnvelopeMatcher::EnvelopeMatcher(const ShapeBase* base) : base_(base) {
   copy_epoch_.assign(base_->NumCopies(), 0);
   copy_touch_iter_.assign(base_->NumCopies(), 0);
   copy_evaluated_.assign(base_->NumCopies(), 0);
-  eval_epoch_.assign(base_->NumCopies(), 0);
 }
 
-double EnvelopeMatcher::EvaluateCopy(const NormalizedCopy& copy,
-                                     const Polyline& q,
-                                     const MatchOptions& options) const {
-  switch (options.measure) {
-    case MatchMeasure::kContinuousSymmetric:
-      return AvgMinDistanceSymmetric(copy.shape, q, options.similarity);
-    case MatchMeasure::kContinuousDirected:
-      return AvgMinDistance(copy.shape, q, options.similarity);
-    case MatchMeasure::kDiscreteSymmetric:
-      return std::max(DiscreteAvgMinDistance(copy.shape, q),
-                      DiscreteAvgMinDistance(q, copy.shape));
-    case MatchMeasure::kDiscreteDirected:
-      return DiscreteAvgMinDistance(copy.shape, q);
+void EnvelopeMatcher::PrepareQueryCache(const Polyline& q,
+                                        const MatchOptions& options) {
+  const bool want_grid =
+      q.NumEdges() >= options.similarity.grid_min_edges && q.NumEdges() > 0;
+  const bool same_query =
+      cache_valid_ && cache_query_.closed() == q.closed() &&
+      cache_query_.vertices() == q.vertices() &&
+      cache_quadrature_tolerance_ == options.similarity.quadrature_tolerance &&
+      cache_max_depth_ == options.similarity.max_depth &&
+      (query_grid_ != nullptr) == want_grid;
+  if (same_query) return;
+  eval_cache_.clear();
+  query_grid_ = want_grid ? std::make_unique<geom::EdgeGrid>(q) : nullptr;
+  cache_query_ = q;
+  cache_quadrature_tolerance_ = options.similarity.quadrature_tolerance;
+  cache_max_depth_ = options.similarity.max_depth;
+  cache_valid_ = true;
+}
+
+double EnvelopeMatcher::ComputeComponent(uint32_t copy_idx,
+                                         EvalComponent component,
+                                         const Polyline& q,
+                                         const MatchOptions& options) const {
+  const NormalizedCopy& copy = base_->copy(copy_idx);
+  switch (component) {
+    case kContinuousToQuery:
+      return query_grid_ != nullptr
+                 ? AvgMinDistance(copy.shape, *query_grid_, options.similarity)
+                 : AvgMinDistance(copy.shape, q, options.similarity);
+    case kContinuousFromQuery:
+      return AvgMinDistance(q, copy.shape, options.similarity);
+    case kDiscreteToQuery:
+      return query_grid_ != nullptr
+                 ? DiscreteAvgMinDistance(copy.shape, *query_grid_)
+                 : DiscreteAvgMinDistance(copy.shape, q);
+    case kDiscreteFromQuery:
+      return DiscreteAvgMinDistance(q, copy.shape);
   }
   return std::numeric_limits<double>::infinity();
+}
+
+void EnvelopeMatcher::EvaluateCandidates(const std::vector<uint32_t>& candidates,
+                                         const Polyline& q,
+                                         const MatchOptions& options,
+                                         std::vector<double>* distances,
+                                         MatchStats* stats) {
+  uint32_t components[2];
+  const size_t num_components = ComponentsFor(options.measure, components);
+  const size_t n = candidates.size();
+  // component_values[i * 2 + j] holds component j of candidate i.
+  pending_distances_.assign(n * 2, 0.0);
+  missing_keys_.clear();
+  missing_slots_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < num_components; ++j) {
+      const uint64_t key =
+          static_cast<uint64_t>(candidates[i]) * 4 + components[j];
+      const auto it = eval_cache_.find(key);
+      if (it != eval_cache_.end()) {
+        pending_distances_[i * 2 + j] = it->second;
+        ++stats->eval_cache_hits;
+      } else {
+        missing_keys_.push_back(key);
+        missing_slots_.push_back(static_cast<uint32_t>(i * 2 + j));
+      }
+    }
+  }
+
+  // Fan the uncached similarity integrals out across the pool. Each item
+  // writes only its own slot; the cache is read-only during the region.
+  missing_values_.assign(missing_keys_.size(), 0.0);
+  const auto score_one = [&](size_t /*worker*/, size_t w) {
+    const uint64_t key = missing_keys_[w];
+    missing_values_[w] =
+        ComputeComponent(static_cast<uint32_t>(key / 4),
+                         static_cast<EvalComponent>(key % 4), q, options);
+  };
+  util::ThreadPool* pool = ResolvePool(options);
+  if (pool != nullptr && missing_keys_.size() > 1) {
+    pool->ParallelFor(missing_keys_.size(), options.num_threads, score_one);
+  } else {
+    for (size_t w = 0; w < missing_keys_.size(); ++w) score_one(0, w);
+  }
+
+  // Merge barrier: fold results into the memo and the output in candidate
+  // order — deterministic for every thread count.
+  for (size_t w = 0; w < missing_keys_.size(); ++w) {
+    eval_cache_.emplace(missing_keys_[w], missing_values_[w]);
+    pending_distances_[missing_slots_[w]] = missing_values_[w];
+  }
+  distances->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*distances)[i] =
+        num_components == 2
+            ? std::max(pending_distances_[i * 2], pending_distances_[i * 2 + 1])
+            : pending_distances_[i * 2];
+  }
 }
 
 util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
@@ -62,6 +171,8 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   MatchStats local_stats;
   MatchStats& st = stats != nullptr ? *stats : local_stats;
   st = MatchStats{};
+
+  PrepareQueryCache(q, options);
 
   const double n = static_cast<double>(std::max<size_t>(1, base_->NumVertices()));
   const double p = static_cast<double>(std::max<size_t>(1, base_->NumCopies()));
@@ -110,9 +221,17 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     return best_distances[options.k - 1];
   };
 
+  // Exact membership distance to the (normalized) query; the prebuilt
+  // edge grid returns the same value as the direct edge scan.
+  const auto query_distance = [&](geom::Point pt) {
+    return query_grid_ != nullptr ? query_grid_->Distance(pt)
+                                  : geom::DistancePointPolyline(pt, q);
+  };
+
   double eps_prev = 0.0;
   double eps = eps1;
   std::vector<uint32_t> touched;  // Copies touched in this iteration.
+  std::vector<double> candidate_distances;
 
   while (true) {
     ++st.iterations;
@@ -126,7 +245,7 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
             ++st.vertices_reported;
             if (vertex_epoch_[ip.id] == epoch_) return;  // Deduplicated.
             // Exact membership: the cover is a superset of the ring.
-            const double d = geom::DistancePointPolyline(ip.p, q);
+            const double d = query_distance(ip.p);
             if (d > eps) return;
             vertex_epoch_[ip.id] = epoch_;
             ++st.vertices_accepted;
@@ -149,8 +268,9 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
       GEOSIR_RETURN_IF_ERROR(base_->index().TakeLastError());
     }
 
-    // Steps 3-4: process copies that reached the (1 - beta) occupancy
+    // Step 3: collect copies that reached the (1 - beta) occupancy
     // threshold and have not been evaluated yet.
+    pending_eval_.clear();
     for (uint32_t copy_idx : touched) {
       if (copy_evaluated_[copy_idx]) continue;
       const NormalizedCopy& copy = base_->copy(copy_idx);
@@ -164,8 +284,17 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
       copy_evaluated_[copy_idx] = 1;
       ++st.candidates_evaluated;
       if (trace != nullptr) trace->push_back(copy_idx);
+      pending_eval_.push_back(copy_idx);
+    }
 
-      const double distance = EvaluateCopy(copy, q, options);
+    // Step 4: score this round's candidate set — the expensive similarity
+    // integrals fan out across the pool; the merge below runs on this
+    // thread in candidate order, so ranking is deterministic.
+    EvaluateCandidates(pending_eval_, q, options, &candidate_distances, &st);
+    for (size_t i = 0; i < pending_eval_.size(); ++i) {
+      const uint32_t copy_idx = pending_eval_[i];
+      const NormalizedCopy& copy = base_->copy(copy_idx);
+      const double distance = candidate_distances[i];
       auto [it, inserted] = best_per_shape.try_emplace(
           copy.shape_id, MatchResult{copy.shape_id, distance, copy_idx});
       if (!inserted && distance < it->second.distance) {
@@ -218,6 +347,53 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
               return a.shape_id < b.shape_id;
             });
   if (!collect_mode && results.size() > options.k) results.resize(options.k);
+  return results;
+}
+
+util::Result<std::vector<std::vector<MatchResult>>> MatchBatch(
+    const ShapeBase& base, const std::vector<Polyline>& queries,
+    const MatchOptions& options, std::vector<MatchStats>* stats) {
+  if (!base.finalized()) {
+    return util::Status::FailedPrecondition("ShapeBase not finalized");
+  }
+  const size_t n = queries.size();
+  std::vector<std::vector<MatchResult>> results(n);
+  if (stats != nullptr) stats->assign(n, MatchStats{});
+  if (n == 0) return results;
+
+  util::ThreadPool* pool = ResolvePool(options);
+  const size_t slots =
+      pool != nullptr ? pool->MaxSlots(options.num_threads) : 1;
+
+  // One matcher per worker slot: Match owns per-query scratch, so
+  // concurrent queries must not share an instance. Within one query the
+  // candidate scoring already fans out through the same pool; nested
+  // parallel regions degrade to inline execution, which keeps per-query
+  // results identical to a serial loop.
+  std::vector<std::unique_ptr<EnvelopeMatcher>> matchers;
+  matchers.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    matchers.push_back(std::make_unique<EnvelopeMatcher>(&base));
+  }
+  std::vector<util::Status> errors(n);
+
+  const auto run_query = [&](size_t worker, size_t i) {
+    MatchStats* query_stats = stats != nullptr ? &(*stats)[i] : nullptr;
+    auto result = matchers[worker]->Match(queries[i], options, query_stats);
+    if (result.ok()) {
+      results[i] = *std::move(result);
+    } else {
+      errors[i] = result.status();
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, options.num_threads, run_query);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_query(0, i);
+  }
+  for (const util::Status& status : errors) {
+    GEOSIR_RETURN_IF_ERROR(status);
+  }
   return results;
 }
 

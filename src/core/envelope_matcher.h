@@ -2,101 +2,28 @@
 #define GEOSIR_CORE_ENVELOPE_MATCHER_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "core/match_types.h"
 #include "core/shape_base.h"
 #include "core/similarity.h"
+#include "geom/edge_grid.h"
 #include "util/status.h"
 
 namespace geosir::core {
 
-/// Which similarity measure ranks the candidates.
-enum class MatchMeasure {
-  /// max(h_avg(P, Q), h_avg(Q, P)) with the continuous average (default).
-  kContinuousSymmetric,
-  /// h_avg(P, Q): continuous average from the database shape to the query.
-  kContinuousDirected,
-  /// Vertex-based symmetric average.
-  kDiscreteSymmetric,
-  /// Vertex-based average from the database shape to the query.
-  kDiscreteDirected,
-};
-
-struct MatchOptions {
-  /// A copy becomes a candidate when at least (1 - beta) of its vertices
-  /// lie inside the current envelope (step 3 of the algorithm).
-  double beta = 0.25;
-  /// Envelope growth factor per iteration (step 5).
-  double growth = 2.0;
-  /// Initial envelope width; <= 0 selects the occupancy heuristic
-  /// A / (2 p l_Q) of step 1.
-  double initial_epsilon = -1.0;
-  /// Hard stop; <= 0 selects the paper's bound A / (2 p l_Q) * log^3 n.
-  double max_epsilon = -1.0;
-  /// Number of best-matching shapes to return (k-best retrieval; the
-  /// storage experiments sweep k = 1..10).
-  size_t k = 1;
-  MatchMeasure measure = MatchMeasure::kContinuousSymmetric;
-  SimilarityOptions similarity;
-  /// Early-exit confidence factor: the search stops once the k-th best
-  /// distance is <= stop_factor * beta * eps (any copy that is not yet a
-  /// candidate has > beta of its vertices farther than eps from the
-  /// query, so its discrete average exceeds beta * eps). For the
-  /// continuous measures this bound is a heuristic; set to 0 to disable
-  /// early exit and always run to max_epsilon.
-  double stop_factor = 1.0;
-  /// Threshold-collection mode (> 0): instead of the k best shapes,
-  /// return *every* shape with distance <= collect_threshold — the
-  /// shape_similar(Q) set of Section 5. The envelope is grown to at
-  /// least collect_threshold / beta (by Markov's inequality a shape with
-  /// average distance <= threshold then has >= (1 - beta) of its
-  /// vertices inside), early exit is disabled, and `k` is ignored.
-  double collect_threshold = -1.0;
-};
-
-/// One retrieved shape.
-struct MatchResult {
-  ShapeId shape_id = 0;
-  /// Distance under the configured measure, for the best copy.
-  double distance = 0.0;
-  /// Copy index (into ShapeBase::copies()) that achieved it.
-  uint32_t copy_index = 0;
-};
-
-/// Diagnostics for one query.
-struct MatchStats {
-  size_t iterations = 0;
-  size_t vertices_reported = 0;   // Reported by the range structure.
-  size_t vertices_accepted = 0;   // Passed the exact ring test.
-  size_t candidates_evaluated = 0;
-  double final_epsilon = 0.0;
-  double initial_epsilon = 0.0;
-  double max_epsilon = 0.0;
-  bool stopped_early = false;     // Early-exit bound fired.
-  bool exhausted = false;         // Ran to max_epsilon.
-  /// Fault-tolerance outcome (external index backends only): the range
-  /// structure skipped unreadable subtrees under its degradation policy,
-  /// so the result may be missing candidates. A degraded result is still
-  /// ordered correctly among the candidates that were seen.
-  bool degraded = false;
-  size_t skipped_subtrees = 0;
-  size_t skipped_leaves = 0;
-};
-
-/// Order in which shape *records* were read, i.e. the sequence of
-/// candidate-copy evaluations (vertex membership is answered by the
-/// in-memory index; the stored record is only fetched to evaluate the
-/// similarity measure). The external-storage experiments (Section 4)
-/// replay this sequence against the block store to count I/O. The
-/// paper's locality claim — "two shapes which are processed successively
-/// are usually similar" — is about exactly this sequence.
-using AccessTrace = std::vector<uint32_t>;
-
 /// The incremental envelope-fattening matcher of Section 2.5.
 ///
-/// Thread-compatibility: a matcher instance owns per-query scratch
-/// (epoch-stamped counters sized to the base), so use one instance per
-/// thread. The underlying ShapeBase is read-only during matching.
+/// Concurrency: one Match call may fan its candidate-scoring work out
+/// across a util::ThreadPool (MatchOptions::num_threads); the range-search
+/// phase and the k-best merge stay on the calling thread, and parallel
+/// results are merged in candidate order, so Match returns bit-identical
+/// results for every thread count. A matcher *instance* still owns
+/// per-query scratch (epoch-stamped counters sized to the base), so use
+/// one instance per concurrently-matching thread — MatchBatch does this
+/// for you. The underlying ShapeBase is read-only during matching.
 class EnvelopeMatcher {
  public:
   /// `base` must outlive the matcher and be finalized.
@@ -112,8 +39,33 @@ class EnvelopeMatcher {
                                                AccessTrace* trace = nullptr);
 
  private:
-  double EvaluateCopy(const NormalizedCopy& copy, const geom::Polyline& q,
-                      const MatchOptions& options) const;
+  /// The four directed halves the ranking measures are composed from.
+  /// Caching at this granularity lets the symmetric measures share work
+  /// with their directed counterparts.
+  enum EvalComponent : uint32_t {
+    kContinuousToQuery = 0,    // h_avg(copy, q)
+    kContinuousFromQuery = 1,  // h_avg(q, copy)
+    kDiscreteToQuery = 2,
+    kDiscreteFromQuery = 3,
+  };
+
+  /// Resets the per-query memo (component cache + query edge grid) when
+  /// the normalized query or the similarity options changed.
+  void PrepareQueryCache(const geom::Polyline& q, const MatchOptions& options);
+
+  /// Computes one directed component for one copy. Pure: reads only the
+  /// base, the query, and the (immutable during scoring) query grid, so
+  /// it is safe to call concurrently.
+  double ComputeComponent(uint32_t copy_idx, EvalComponent component,
+                          const geom::Polyline& q,
+                          const MatchOptions& options) const;
+
+  /// Scores `candidates` under options.measure into `distances`
+  /// (parallel across the pool when enabled), merging cache lookups and
+  /// insertions deterministically on the calling thread.
+  void EvaluateCandidates(const std::vector<uint32_t>& candidates,
+                          const geom::Polyline& q, const MatchOptions& options,
+                          std::vector<double>* distances, MatchStats* stats);
 
   const ShapeBase* base_;
 
@@ -124,8 +76,37 @@ class EnvelopeMatcher {
   std::vector<uint32_t> copy_epoch_;
   std::vector<uint32_t> copy_touch_iter_; // Last iteration that touched it.
   std::vector<uint8_t> copy_evaluated_;
-  std::vector<uint32_t> eval_epoch_;
+
+  // Per-query scoring state, keyed by the normalized query: an edge grid
+  // over the query boundary (the distance target of every *-ToQuery
+  // component) and a memo of computed components keyed by
+  // copy_index * 4 + EvalComponent. Both survive across Match calls with
+  // the same query, so re-matching (e.g. the tombstone-slack retries of
+  // DynamicShapeBase) never re-integrates a copy it has already scored.
+  geom::Polyline cache_query_;
+  double cache_quadrature_tolerance_ = 0.0;
+  int cache_max_depth_ = 0;
+  bool cache_valid_ = false;
+  std::unique_ptr<geom::EdgeGrid> query_grid_;
+  std::unordered_map<uint64_t, double> eval_cache_;
+
+  // Scratch reused across rounds (no steady-state allocation).
+  std::vector<uint32_t> pending_eval_;
+  std::vector<double> pending_distances_;
+  std::vector<uint64_t> missing_keys_;
+  std::vector<uint32_t> missing_slots_;
+  std::vector<double> missing_values_;
 };
+
+/// Runs independent queries concurrently across the pool configured in
+/// `options` (one matcher per worker slot): the throughput-style
+/// counterpart of EnvelopeMatcher::Match. result[i] corresponds to
+/// queries[i]; `stats`, when non-null, is resized to one entry per query.
+/// Per-query results are bit-identical to a serial Match loop for every
+/// thread count. Fails on the first query error (by query order).
+util::Result<std::vector<std::vector<MatchResult>>> MatchBatch(
+    const ShapeBase& base, const std::vector<geom::Polyline>& queries,
+    const MatchOptions& options = {}, std::vector<MatchStats>* stats = nullptr);
 
 }  // namespace geosir::core
 

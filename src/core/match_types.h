@@ -1,0 +1,116 @@
+#ifndef GEOSIR_CORE_MATCH_TYPES_H_
+#define GEOSIR_CORE_MATCH_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/shape.h"
+#include "core/similarity.h"
+
+namespace geosir::util {
+class ThreadPool;
+}  // namespace geosir::util
+
+namespace geosir::core {
+
+/// Which similarity measure ranks the candidates.
+enum class MatchMeasure {
+  /// max(h_avg(P, Q), h_avg(Q, P)) with the continuous average (default).
+  kContinuousSymmetric,
+  /// h_avg(P, Q): continuous average from the database shape to the query.
+  kContinuousDirected,
+  /// Vertex-based symmetric average.
+  kDiscreteSymmetric,
+  /// Vertex-based average from the database shape to the query.
+  kDiscreteDirected,
+};
+
+struct MatchOptions {
+  /// A copy becomes a candidate when at least (1 - beta) of its vertices
+  /// lie inside the current envelope (step 3 of the algorithm).
+  double beta = 0.25;
+  /// Envelope growth factor per iteration (step 5).
+  double growth = 2.0;
+  /// Initial envelope width; <= 0 selects the occupancy heuristic
+  /// A / (2 p l_Q) of step 1.
+  double initial_epsilon = -1.0;
+  /// Hard stop; <= 0 selects the paper's bound A / (2 p l_Q) * log^3 n.
+  double max_epsilon = -1.0;
+  /// Number of best-matching shapes to return (k-best retrieval; the
+  /// storage experiments sweep k = 1..10).
+  size_t k = 1;
+  MatchMeasure measure = MatchMeasure::kContinuousSymmetric;
+  SimilarityOptions similarity;
+  /// Early-exit confidence factor: the search stops once the k-th best
+  /// distance is <= stop_factor * beta * eps (any copy that is not yet a
+  /// candidate has > beta of its vertices farther than eps from the
+  /// query, so its discrete average exceeds beta * eps). For the
+  /// continuous measures this bound is a heuristic; set to 0 to disable
+  /// early exit and always run to max_epsilon.
+  double stop_factor = 1.0;
+  /// Threshold-collection mode (> 0): instead of the k best shapes,
+  /// return *every* shape with distance <= collect_threshold — the
+  /// shape_similar(Q) set of Section 5. The envelope is grown to at
+  /// least collect_threshold / beta (by Markov's inequality a shape with
+  /// average distance <= threshold then has >= (1 - beta) of its
+  /// vertices inside), early exit is disabled, and `k` is ignored.
+  double collect_threshold = -1.0;
+  /// Parallelism for candidate scoring (within one Match) and for
+  /// MatchBatch (across queries). 1 runs fully serial on the calling
+  /// thread; higher values fan work out across `pool` (or the shared
+  /// process-wide pool when `pool` is null). Results are bit-identical
+  /// for every value — the range-search phase stays single-threaded and
+  /// the expensive similarity evaluations are merged deterministically.
+  size_t num_threads = 1;
+  /// Engine handle: the thread pool to run on. Null selects
+  /// util::ThreadPool::Shared() when num_threads > 1. The pool is never
+  /// owned; it must outlive the call.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// One retrieved shape.
+struct MatchResult {
+  ShapeId shape_id = 0;
+  /// Distance under the configured measure, for the best copy.
+  double distance = 0.0;
+  /// Copy index (into ShapeBase::copies()) that achieved it.
+  uint32_t copy_index = 0;
+};
+
+/// Diagnostics for one query.
+struct MatchStats {
+  size_t iterations = 0;
+  size_t vertices_reported = 0;   // Reported by the range structure.
+  size_t vertices_accepted = 0;   // Passed the exact ring test.
+  size_t candidates_evaluated = 0;
+  /// Similarity-measure components answered by the per-query memo cache
+  /// instead of being recomputed (symmetric measures share their directed
+  /// halves; repeated Match calls on the same query reuse everything).
+  size_t eval_cache_hits = 0;
+  double final_epsilon = 0.0;
+  double initial_epsilon = 0.0;
+  double max_epsilon = 0.0;
+  bool stopped_early = false;     // Early-exit bound fired.
+  bool exhausted = false;         // Ran to max_epsilon.
+  /// Fault-tolerance outcome (external index backends only): the range
+  /// structure skipped unreadable subtrees under its degradation policy,
+  /// so the result may be missing candidates. A degraded result is still
+  /// ordered correctly among the candidates that were seen.
+  bool degraded = false;
+  size_t skipped_subtrees = 0;
+  size_t skipped_leaves = 0;
+};
+
+/// Order in which shape *records* were read, i.e. the sequence of
+/// candidate-copy evaluations (vertex membership is answered by the
+/// in-memory index; the stored record is only fetched to evaluate the
+/// similarity measure). The external-storage experiments (Section 4)
+/// replay this sequence against the block store to count I/O. The
+/// paper's locality claim — "two shapes which are processed successively
+/// are usually similar" — is about exactly this sequence.
+using AccessTrace = std::vector<uint32_t>;
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_MATCH_TYPES_H_

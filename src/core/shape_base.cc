@@ -1,5 +1,6 @@
 #include "core/shape_base.h"
 
+#include "core/envelope_matcher.h"
 #include "rangesearch/brute_force_index.h"
 #include "rangesearch/convex_layers.h"
 #include "rangesearch/grid_index.h"
@@ -87,6 +88,12 @@ util::Result<ShapeId> ShapeBase::AddShape(geom::Polyline boundary,
   }
   shapes_.push_back(std::move(shape));
   return shapes_.back().id;
+}
+
+util::Result<std::vector<std::vector<MatchResult>>> ShapeBase::MatchBatch(
+    const std::vector<geom::Polyline>& queries, const MatchOptions& options,
+    std::vector<MatchStats>* stats) const {
+  return core::MatchBatch(*this, queries, options, stats);
 }
 
 util::Status ShapeBase::Finalize() {

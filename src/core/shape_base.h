@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/match_types.h"
 #include "core/normalize.h"
 #include "core/shape.h"
 #include "rangesearch/simplex_index.h"
@@ -89,6 +90,16 @@ class ShapeBase {
   /// The finalized range-search index over all pooled vertices; ids
   /// reported by the index are pooled vertex ids.
   const rangesearch::SimplexIndex& index() const { return *index_; }
+
+  /// Throughput-style front end: runs independent queries concurrently
+  /// across the pool configured in `options` (one EnvelopeMatcher per
+  /// worker). result[i] corresponds to queries[i]; per-query results are
+  /// bit-identical to a serial Match loop for every thread count. The
+  /// base must be finalized.
+  util::Result<std::vector<std::vector<MatchResult>>> MatchBatch(
+      const std::vector<geom::Polyline>& queries,
+      const MatchOptions& options = {},
+      std::vector<MatchStats>* stats = nullptr) const;
 
  private:
   ShapeBaseOptions options_;

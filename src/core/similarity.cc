@@ -15,7 +15,11 @@ namespace {
 using geom::Polyline;
 using geom::Segment;
 
-double EdgeDistanceIntegral(const Segment& edge, const Polyline& b,
+/// Integrates the distance-to-target function along one edge of A.
+/// `distance_to_b` is any exact point-to-boundary distance oracle
+/// (the O(E) scan or a prebuilt edge grid).
+template <typename DistanceFn>
+double EdgeDistanceIntegral(const Segment& edge, const DistanceFn& distance_to_b,
                             const SimilarityOptions& options) {
   const double len = edge.Length();
   if (len <= 0.0) return 0.0;
@@ -23,30 +27,60 @@ double EdgeDistanceIntegral(const Segment& edge, const Polyline& b,
   quad.abs_tolerance = options.quadrature_tolerance * len;
   quad.max_depth = options.max_depth;
   const double mean = util::AdaptiveSimpson(
-      [&edge, &b](double t) {
-        return geom::DistancePointPolyline(edge.At(t), b);
-      },
+      [&edge, &distance_to_b](double t) { return distance_to_b(edge.At(t)); },
       0.0, 1.0, quad);
   return mean * len;  // Parameter integral times |dx/dt| = len.
+}
+
+template <typename DistanceFn>
+double AvgMinDistanceImpl(const Polyline& a, const DistanceFn& distance_to_b,
+                          const SimilarityOptions& options) {
+  const size_t n = a.NumEdges();
+  double total = 0.0;
+  double perimeter = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Segment e = a.Edge(i);
+    total += EdgeDistanceIntegral(e, distance_to_b, options);
+    perimeter += e.Length();
+  }
+  if (perimeter > 0.0) return total / perimeter;
+  // Degenerate shape (no edges, or only zero-length edges — e.g. every
+  // vertex duplicated): the boundary is a point set, so the arc-length
+  // average degenerates to the vertex average. Returning 0 here would
+  // rank such a shape as a perfect match to everything.
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (geom::Point p : a.vertices()) sum += distance_to_b(p);
+  return sum / static_cast<double>(a.size());
+}
+
+template <typename DistanceFn>
+double DiscreteAvgMinDistanceImpl(const Polyline& a,
+                                  const DistanceFn& distance_to_b) {
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (geom::Point p : a.vertices()) sum += distance_to_b(p);
+  return sum / static_cast<double>(a.size());
 }
 
 }  // namespace
 
 double AvgMinDistance(const Polyline& a, const Polyline& b,
                       const SimilarityOptions& options) {
-  const size_t n = a.NumEdges();
-  if (n == 0) {
-    // Degenerate shape: fall back to the vertex average.
-    return DiscreteAvgMinDistance(a, b);
+  if (b.NumEdges() >= options.grid_min_edges) {
+    const geom::EdgeGrid grid(b);
+    return AvgMinDistanceImpl(
+        a, [&grid](geom::Point p) { return grid.Distance(p); }, options);
   }
-  double total = 0.0;
-  double perimeter = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const Segment e = a.Edge(i);
-    total += EdgeDistanceIntegral(e, b, options);
-    perimeter += e.Length();
-  }
-  return perimeter > 0.0 ? total / perimeter : 0.0;
+  return AvgMinDistanceImpl(
+      a, [&b](geom::Point p) { return geom::DistancePointPolyline(p, b); },
+      options);
+}
+
+double AvgMinDistance(const Polyline& a, const geom::EdgeGrid& b,
+                      const SimilarityOptions& options) {
+  return AvgMinDistanceImpl(
+      a, [&b](geom::Point p) { return b.Distance(p); }, options);
 }
 
 double AvgMinDistanceSymmetric(const Polyline& a, const Polyline& b,
@@ -56,12 +90,13 @@ double AvgMinDistanceSymmetric(const Polyline& a, const Polyline& b,
 }
 
 double DiscreteAvgMinDistance(const Polyline& a, const Polyline& b) {
-  if (a.empty()) return 0.0;
-  double sum = 0.0;
-  for (geom::Point p : a.vertices()) {
-    sum += geom::DistancePointPolyline(p, b);
-  }
-  return sum / static_cast<double>(a.size());
+  return DiscreteAvgMinDistanceImpl(
+      a, [&b](geom::Point p) { return geom::DistancePointPolyline(p, b); });
+}
+
+double DiscreteAvgMinDistance(const Polyline& a, const geom::EdgeGrid& b) {
+  return DiscreteAvgMinDistanceImpl(
+      a, [&b](geom::Point p) { return b.Distance(p); });
 }
 
 double DiscreteDirectedHausdorff(const Polyline& a, const Polyline& b) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "geom/edge_grid.h"
 #include "geom/polyline.h"
 
 namespace geosir::core {
@@ -17,6 +18,14 @@ struct SimilarityOptions {
   double quadrature_tolerance = 1e-4;
   /// Maximum adaptive bisection depth per edge.
   int max_depth = 8;
+  /// When the *target* polyline (the one distances are measured to) has
+  /// at least this many edges, the point-to-boundary distance inside the
+  /// quadrature is answered by a precomputed geom::EdgeGrid instead of
+  /// the O(E) edge scan. The grid is exact — results are bit-identical
+  /// with or without it — so this is purely a build-cost/lookup-cost
+  /// tradeoff. Set to SIZE_MAX to disable the accelerator (benchmarks
+  /// use this to measure the brute-force baseline).
+  size_t grid_min_edges = 16;
 };
 
 /// The paper's similarity criterion (Section 2.2):
@@ -27,6 +36,12 @@ struct SimilarityOptions {
 /// A (the integrand is piecewise smooth with kinks at nearest-feature
 /// changes, which the adaptive refinement resolves).
 double AvgMinDistance(const geom::Polyline& a, const geom::Polyline& b,
+                      const SimilarityOptions& options = {});
+
+/// AvgMinDistance against a prebuilt edge grid of B. The matcher builds
+/// the grid once per query shape and reuses it across every candidate
+/// evaluation; the result is identical to the polyline overload.
+double AvgMinDistance(const geom::Polyline& a, const geom::EdgeGrid& b,
                       const SimilarityOptions& options = {});
 
 /// Symmetric variant: max(h_avg(A,B), h_avg(B,A)). This is the default
@@ -41,6 +56,10 @@ double AvgMinDistanceSymmetric(const geom::Polyline& a,
 /// more than eps to this sum).
 double DiscreteAvgMinDistance(const geom::Polyline& a,
                               const geom::Polyline& b);
+
+/// Discrete variant against a prebuilt edge grid of B.
+double DiscreteAvgMinDistance(const geom::Polyline& a,
+                              const geom::EdgeGrid& b);
 
 /// Directed Hausdorff distance h(A, B) over A's vertices (the classical
 /// baseline of Section 2.1).

@@ -1,0 +1,199 @@
+#include "geom/edge_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/distance.h"
+
+namespace geosir::geom {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Distance from p to an axis-aligned box (0 inside).
+double DistancePointBox(Point p, double min_x, double min_y, double max_x,
+                        double max_y) {
+  const double dx = std::max({0.0, min_x - p.x, p.x - max_x});
+  const double dy = std::max({0.0, min_y - p.y, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+size_t ClampCell(double coord, double origin, double cell, size_t n) {
+  const double t = std::floor((coord - origin) / cell);
+  if (!(t > 0.0)) return 0;  // Also catches NaN from degenerate cells.
+  if (t >= static_cast<double>(n)) return n - 1;
+  return static_cast<size_t>(t);
+}
+
+}  // namespace
+
+EdgeGrid::EdgeGrid(const Polyline& shape) {
+  const size_t num_edges = shape.NumEdges();
+  if (num_edges == 0) {
+    if (!shape.empty()) {
+      has_vertex_ = true;
+      vertex_ = shape.vertex(0);
+    }
+    return;
+  }
+  segments_.reserve(num_edges);
+  double perimeter = 0.0;
+  BoundingBox bounds;
+  for (size_t i = 0; i < num_edges; ++i) {
+    const Segment e = shape.Edge(i);
+    perimeter += e.Length();
+    bounds.Extend(e.a);
+    bounds.Extend(e.b);
+    segments_.push_back(e);
+  }
+  x0_ = bounds.min_x;
+  y0_ = bounds.min_y;
+  const double width = bounds.Width();
+  const double height = bounds.Height();
+
+  // Cell size ~ the average edge length, so a typical edge occupies O(1)
+  // cells; total cell count is capped at O(E) to keep space linear (the
+  // cap binds for long skinny shapes, where cells simply get coarser).
+  const size_t e = segments_.size();
+  double cell = std::max(perimeter / static_cast<double>(e), 1e-12);
+  const size_t max_cells = 4 * e + 8;
+  const auto dims_for = [&](double c) {
+    nx_ = std::max<size_t>(1, static_cast<size_t>(std::ceil(width / c)));
+    ny_ = std::max<size_t>(1, static_cast<size_t>(std::ceil(height / c)));
+  };
+  dims_for(cell);
+  if (nx_ * ny_ > max_cells) {
+    cell *= std::sqrt(static_cast<double>(nx_ * ny_) /
+                      static_cast<double>(max_cells));
+    dims_for(cell);
+    nx_ = std::min(nx_, max_cells);
+    ny_ = std::min(ny_, std::max<size_t>(1, max_cells / nx_));
+  }
+  cell_w_ = width > 0.0 ? width / static_cast<double>(nx_) : 1.0;
+  cell_h_ = height > 0.0 ? height / static_cast<double>(ny_) : 1.0;
+
+  // Bucket each edge into every cell its AABB overlaps (counting pass,
+  // then CSR fill).
+  cell_start_.assign(nx_ * ny_ + 1, 0);
+  const auto cell_range = [&](const Segment& s, size_t* ix0, size_t* ix1,
+                              size_t* iy0, size_t* iy1) {
+    *ix0 = ClampCell(std::min(s.a.x, s.b.x), x0_, cell_w_, nx_);
+    *ix1 = ClampCell(std::max(s.a.x, s.b.x), x0_, cell_w_, nx_);
+    *iy0 = ClampCell(std::min(s.a.y, s.b.y), y0_, cell_h_, ny_);
+    *iy1 = ClampCell(std::max(s.a.y, s.b.y), y0_, cell_h_, ny_);
+  };
+  for (const Segment& s : segments_) {
+    size_t ix0, ix1, iy0, iy1;
+    cell_range(s, &ix0, &ix1, &iy0, &iy1);
+    for (size_t cy = iy0; cy <= iy1; ++cy) {
+      for (size_t cx = ix0; cx <= ix1; ++cx) {
+        ++cell_start_[cy * nx_ + cx + 1];
+      }
+    }
+  }
+  for (size_t c = 1; c < cell_start_.size(); ++c) {
+    cell_start_[c] += cell_start_[c - 1];
+  }
+  cell_edges_.resize(cell_start_.back());
+  std::vector<uint32_t> fill(cell_start_.begin(), cell_start_.end() - 1);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    size_t ix0, ix1, iy0, iy1;
+    cell_range(segments_[i], &ix0, &ix1, &iy0, &iy1);
+    for (size_t cy = iy0; cy <= iy1; ++cy) {
+      for (size_t cx = ix0; cx <= ix1; ++cx) {
+        cell_edges_[fill[cy * nx_ + cx]++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+}
+
+void EdgeGrid::ScanCell(size_t cx, size_t cy, Point p, double* best) const {
+  const size_t c = cy * nx_ + cx;
+  for (size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+    *best = std::min(*best, DistancePointSegment(p, segments_[cell_edges_[k]]));
+  }
+}
+
+double EdgeGrid::Distance(Point p) const {
+  if (segments_.empty()) {
+    return has_vertex_ ? geom::Distance(p, vertex_) : kInf;
+  }
+  const size_t cx = ClampCell(p.x, x0_, cell_w_, nx_);
+  const size_t cy = ClampCell(p.y, y0_, cell_h_, ny_);
+  const double grid_max_x = x0_ + static_cast<double>(nx_) * cell_w_;
+  const double grid_max_y = y0_ + static_cast<double>(ny_) * cell_h_;
+
+  double best = kInf;
+  ScanCell(cx, cy, p, &best);
+  for (size_t r = 1;; ++r) {
+    // Everything not yet scanned was bucketed only into cells outside the
+    // box of rings 0..r-1, so it lies inside the grid bounds but outside
+    // that box; stop once `best` beats the distance to that region. The
+    // region is covered by four slabs of the grid box.
+    const double inner_min_x =
+        x0_ + (static_cast<double>(cx) - static_cast<double>(r - 1)) * cell_w_;
+    const double inner_max_x =
+        x0_ + (static_cast<double>(cx) + static_cast<double>(r)) * cell_w_;
+    const double inner_min_y =
+        y0_ + (static_cast<double>(cy) - static_cast<double>(r - 1)) * cell_h_;
+    const double inner_max_y =
+        y0_ + (static_cast<double>(cy) + static_cast<double>(r)) * cell_h_;
+    double unseen_bound = kInf;
+    if (inner_min_x > x0_) {
+      unseen_bound = std::min(
+          unseen_bound, DistancePointBox(p, x0_, y0_, inner_min_x, grid_max_y));
+    }
+    if (inner_max_x < grid_max_x) {
+      unseen_bound = std::min(unseen_bound, DistancePointBox(p, inner_max_x, y0_,
+                                                             grid_max_x,
+                                                             grid_max_y));
+    }
+    if (inner_min_y > y0_) {
+      unseen_bound = std::min(
+          unseen_bound, DistancePointBox(p, x0_, y0_, grid_max_x, inner_min_y));
+    }
+    if (inner_max_y < grid_max_y) {
+      unseen_bound = std::min(unseen_bound, DistancePointBox(p, x0_, inner_max_y,
+                                                             grid_max_x,
+                                                             grid_max_y));
+    }
+    if (best <= unseen_bound) break;  // Also breaks once rings cover the grid.
+
+    // Scan ring r: top and bottom rows in full, plus the side columns.
+    const ptrdiff_t lo_x = static_cast<ptrdiff_t>(cx) - static_cast<ptrdiff_t>(r);
+    const ptrdiff_t hi_x = static_cast<ptrdiff_t>(cx) + static_cast<ptrdiff_t>(r);
+    const ptrdiff_t lo_y = static_cast<ptrdiff_t>(cy) - static_cast<ptrdiff_t>(r);
+    const ptrdiff_t hi_y = static_cast<ptrdiff_t>(cy) + static_cast<ptrdiff_t>(r);
+    const size_t col_lo = static_cast<size_t>(std::max<ptrdiff_t>(0, lo_x));
+    const size_t col_hi = static_cast<size_t>(
+        std::min<ptrdiff_t>(static_cast<ptrdiff_t>(nx_) - 1, hi_x));
+    if (lo_y >= 0) {
+      for (size_t x = col_lo; x <= col_hi; ++x) {
+        ScanCell(x, static_cast<size_t>(lo_y), p, &best);
+      }
+    }
+    if (hi_y < static_cast<ptrdiff_t>(ny_)) {
+      for (size_t x = col_lo; x <= col_hi; ++x) {
+        ScanCell(x, static_cast<size_t>(hi_y), p, &best);
+      }
+    }
+    const size_t row_lo = static_cast<size_t>(std::max<ptrdiff_t>(0, lo_y + 1));
+    const size_t row_hi = static_cast<size_t>(
+        std::min<ptrdiff_t>(static_cast<ptrdiff_t>(ny_) - 1, hi_y - 1));
+    if (lo_x >= 0) {
+      for (size_t y = row_lo; y <= row_hi && row_hi < ny_; ++y) {
+        ScanCell(static_cast<size_t>(lo_x), y, p, &best);
+      }
+    }
+    if (hi_x < static_cast<ptrdiff_t>(nx_)) {
+      for (size_t y = row_lo; y <= row_hi && row_hi < ny_; ++y) {
+        ScanCell(static_cast<size_t>(hi_x), y, p, &best);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace geosir::geom

@@ -1,0 +1,68 @@
+#ifndef GEOSIR_GEOM_EDGE_GRID_H_
+#define GEOSIR_GEOM_EDGE_GRID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polyline.h"
+
+namespace geosir::geom {
+
+/// A uniform bucket grid over the edges of a polyline, accelerating exact
+/// point-to-boundary distance queries.
+///
+/// DistancePointPolyline scans all E edges per call; inside the adaptive
+/// quadrature of the continuous similarity measure that scan is the inner
+/// loop of every candidate evaluation. The grid is built once per target
+/// polyline (O(E) space, cell size ~ the average edge length, total cell
+/// count capped at O(E)) and answers Distance(p) by ring expansion: scan
+/// the cell containing p, then successively wider Chebyshev rings,
+/// stopping as soon as the best distance found is <= the lower bound on
+/// anything living strictly outside the rings already scanned. Every edge
+/// is bucketed into all cells its AABB overlaps, so an edge not yet seen
+/// after scanning rings 0..r-1 lies entirely outside their bounding box —
+/// the stopping rule is exact, and Distance returns the same value (bit
+/// for bit) as the brute-force scan, in near-O(1) expected time for
+/// query points near the boundary.
+class EdgeGrid {
+ public:
+  /// Builds the grid over `shape`'s edges. The geometry is copied, so the
+  /// grid does not hold a reference to `shape`.
+  explicit EdgeGrid(const Polyline& shape);
+
+  /// Exact minimum distance from p to the polyline boundary: identical to
+  /// DistancePointPolyline(p, shape). Infinity for an empty shape;
+  /// distance to the single vertex for an edgeless one-vertex shape.
+  /// Thread-safe: uses no mutable state.
+  double Distance(Point p) const;
+
+  size_t num_edges() const { return segments_.size(); }
+  size_t num_cells() const { return cell_start_.empty() ? 0 : cell_start_.size() - 1; }
+
+ private:
+  void ScanCell(size_t cx, size_t cy, Point p, double* best) const;
+
+  std::vector<Segment> segments_;
+  /// Fallback geometry for shapes without edges (empty or single vertex).
+  bool has_vertex_ = false;
+  Point vertex_;
+
+  // Grid geometry: cells [x0_ + cx*cell_w_, ...) x [y0_ + cy*cell_h_, ...).
+  size_t nx_ = 0;
+  size_t ny_ = 0;
+  double x0_ = 0.0;
+  double y0_ = 0.0;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+
+  /// CSR adjacency: edges of cell (cx, cy) are
+  /// cell_edges_[cell_start_[cy*nx_+cx] .. cell_start_[cy*nx_+cx+1]).
+  std::vector<uint32_t> cell_start_;
+  std::vector<uint32_t> cell_edges_;
+};
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_EDGE_GRID_H_

@@ -1,6 +1,7 @@
 #ifndef GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_
 #define GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -18,18 +19,47 @@ struct IndexedPoint {
   uint32_t id = 0;
 };
 
+/// Counter safe to bump from concurrent queries over a shared index
+/// (MatchBatch runs several matchers against one SimplexIndex). Relaxed
+/// ordering only: the values are diagnostics, never synchronization.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t value = 0) : value_(value) {}
+  RelaxedCounter(const RelaxedCounter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
 /// Counters describing the work an index did; used by the ablation
 /// benchmarks to compare backends beyond wall-clock time.
 struct QueryStats {
-  uint64_t nodes_visited = 0;
-  uint64_t points_tested = 0;
-  uint64_t points_reported = 0;
+  RelaxedCounter nodes_visited;
+  RelaxedCounter points_tested;
+  RelaxedCounter points_reported;
   /// Fault-tolerance counters (external backends only): subtrees pruned
   /// because their blocks were unreadable under a skip-unreadable
   /// degradation policy, and how many of those were leaves. Nonzero
   /// deltas mean query answers since the last Reset are lower bounds.
-  uint64_t subtrees_skipped = 0;
-  uint64_t leaves_skipped = 0;
+  RelaxedCounter subtrees_skipped;
+  RelaxedCounter leaves_skipped;
 
   void Reset() { *this = QueryStats{}; }
 };

@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace geosir::util {
+
+namespace {
+
+/// True while the current thread is executing a ParallelFor body; nested
+/// loops then run inline instead of re-entering the pool (a worker that
+/// blocked on its own pool would deadlock).
+thread_local bool tls_in_parallel_body = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t helpers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void ThreadPool::Drain(size_t slot,
+                       const std::function<void(size_t, size_t)>& body,
+                       size_t end) {
+  const bool was_in_body = tls_in_parallel_body;
+  tls_in_parallel_body = true;
+  while (true) {
+    const size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
+    if (item >= end) break;
+    body(slot, item);
+  }
+  tls_in_parallel_body = was_in_body;
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t max_parallelism,
+    const std::function<void(size_t worker, size_t item)>& body) {
+  if (n == 0) return;
+  size_t helpers = workers_.size();
+  if (max_parallelism > 0) helpers = std::min(helpers, max_parallelism - 1);
+  helpers = std::min(helpers, n - 1);
+  if (helpers == 0 || tls_in_parallel_body) {
+    const bool was_in_body = tls_in_parallel_body;
+    tls_in_parallel_body = true;
+    for (size_t item = 0; item < n; ++item) body(0, item);
+    tls_in_parallel_body = was_in_body;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    end_ = n;
+    num_helpers_ = helpers;
+    pending_helpers_ = helpers;
+    next_item_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  Drain(/*slot=*/0, body, n);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_helpers_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    job_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    // Capped out of this job: ParallelFor counted only num_helpers_
+    // participants, so just go back to waiting.
+    if (worker_id >= num_helpers_) continue;
+    const std::function<void(size_t, size_t)>* body = body_;
+    const size_t end = end_;
+    lock.unlock();
+    Drain(/*slot=*/worker_id + 1, *body, end);
+    lock.lock();
+    if (--pending_helpers_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace geosir::util

@@ -1,0 +1,87 @@
+#ifndef GEOSIR_UTIL_THREAD_POOL_H_
+#define GEOSIR_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geosir::util {
+
+/// A fixed-size pool of worker threads driving fork-join parallel loops.
+///
+/// The pool is built once and reused for every ParallelFor: workers park
+/// on a condition variable between loops and claim items from a shared
+/// atomic counter while a loop is active, so the steady state performs no
+/// per-task allocation (the loop body is passed by reference and items
+/// are bare indices).
+///
+/// ParallelFor(n) is a barrier: it returns only after every item has run.
+/// The calling thread participates as worker slot 0, so ThreadPool(n)
+/// spawns n - 1 background threads for a total parallelism of n.
+/// ParallelFor issued from inside a pool worker (a nested parallel loop)
+/// runs inline on that worker — nesting degrades gracefully to serial
+/// instead of deadlocking.
+class ThreadPool {
+ public:
+  /// Total parallelism `num_threads` (>= 1): the pool owns
+  /// num_threads - 1 background workers; the caller of ParallelFor is the
+  /// remaining thread.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (background workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs body(worker, item) for every item in [0, n), spreading items
+  /// over at most max_parallelism threads (0 means "all of the pool").
+  /// `worker` is a dense slot id in [0, parallelism); the calling thread
+  /// is always slot 0. Items are claimed dynamically, so the mapping of
+  /// items to slots is nondeterministic — bodies must only write to
+  /// per-item or per-slot state. Blocks until every item has completed.
+  /// The body must not throw.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t worker, size_t item)>& body);
+
+  /// Largest `worker` slot count ParallelFor can use under the given cap:
+  /// min(num_threads(), max_parallelism), with 0 meaning uncapped. Size
+  /// per-slot scratch (one matcher per slot, say) with this.
+  size_t MaxSlots(size_t max_parallelism) const {
+    const size_t total = num_threads();
+    return max_parallelism == 0 ? total : std::min(total, max_parallelism);
+  }
+
+  /// Process-wide shared pool sized to the hardware concurrency. Built on
+  /// first use; intentionally never destroyed (worker threads must not be
+  /// joined from static destructors).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop(size_t worker_id);
+  void Drain(size_t slot, const std::function<void(size_t, size_t)>& body,
+             size_t end);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // Workers wait for a new generation.
+  std::condition_variable done_cv_;  // Caller waits for helpers to finish.
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+  size_t end_ = 0;
+  size_t num_helpers_ = 0;      // Helpers participating in this job.
+  size_t pending_helpers_ = 0;  // Helpers that have not checked out yet.
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> next_item_{0};
+};
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_THREAD_POOL_H_

@@ -55,6 +55,32 @@ TEST(SimilarityTest, ConcentricSquaresHaveOffsetDistance) {
   EXPECT_NEAR(AvgMinDistance(inner, outer), 0.5, 1e-6);
 }
 
+TEST(SimilarityTest, DuplicateConsecutiveVerticesMatchDeduplicatedForm) {
+  // Zero-length edges contribute nothing to the arc-length integral *and*
+  // nothing to the perimeter, so the continuous average must be exactly
+  // the deduplicated shape's value in both directions.
+  Polyline clean = Polyline::Closed({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  Polyline duplicated =
+      Polyline::Closed({{-1, -1}, {1, -1}, {1, -1}, {1, 1}, {-1, 1}, {-1, 1}});
+  Polyline other = RegularPolygon(7, 1.3, {0.2, -0.1});
+  EXPECT_DOUBLE_EQ(AvgMinDistance(duplicated, other),
+                   AvgMinDistance(clean, other));
+  EXPECT_NEAR(AvgMinDistance(other, duplicated),
+              AvgMinDistance(other, clean), 1e-12);
+  EXPECT_NEAR(AvgMinDistanceSymmetric(duplicated, other),
+              AvgMinDistanceSymmetric(clean, other), 1e-12);
+}
+
+TEST(SimilarityTest, AllDegenerateEdgesFallBackToVertexAverage) {
+  // A "polyline" whose every edge has zero length used to divide 0 by 0
+  // into a perfect-match score of 0; it must rank like the point it is.
+  Polyline point_like = Polyline::Closed({{2, 3}, {2, 3}, {2, 3}});
+  Polyline square = Polyline::Closed({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  const double expected = DiscreteAvgMinDistance(point_like, square);
+  EXPECT_GT(expected, 1.0);
+  EXPECT_DOUBLE_EQ(AvgMinDistance(point_like, square), expected);
+}
+
 TEST(SimilarityTest, DirectedMeasureIsAsymmetric) {
   // A short segment lying on the square's boundary: directed distance
   // segment->square is 0, square->segment is large.

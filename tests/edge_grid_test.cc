@@ -1,0 +1,132 @@
+#include "geom/edge_grid.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/distance.h"
+#include "geom/polyline.h"
+#include "util/rng.h"
+#include "workload/polygon_gen.h"
+
+namespace geosir::geom {
+namespace {
+
+/// Query points exercising every regime: inside the bbox, on the
+/// boundary, near vertices, and far outside the grid.
+std::vector<Point> ProbePoints(const Polyline& shape, util::Rng* rng,
+                               int count) {
+  std::vector<Point> probes;
+  BoundingBox box = shape.Bounds();
+  box.Inflate(std::max(box.Width(), box.Height()) * 0.5 + 0.1);
+  for (int i = 0; i < count; ++i) {
+    probes.push_back({rng->Uniform(box.min_x, box.max_x),
+                      rng->Uniform(box.min_y, box.max_y)});
+  }
+  // On-boundary points (the quadrature's common case: similar shapes).
+  for (size_t e = 0; e < shape.NumEdges(); ++e) {
+    probes.push_back(shape.Edge(e).At(0.37));
+    probes.push_back(shape.Edge(e).a);
+  }
+  // Far outside the grid in all four quadrants.
+  const double reach = 10.0 * (box.Width() + box.Height() + 1.0);
+  probes.push_back({box.min_x - reach, box.min_y - reach});
+  probes.push_back({box.max_x + reach, box.min_y - 0.5 * reach});
+  probes.push_back({box.Center().x, box.max_y + reach});
+  probes.push_back({box.min_x - 0.5 * reach, box.Center().y});
+  return probes;
+}
+
+void ExpectMatchesBruteForce(const Polyline& shape, util::Rng* rng,
+                             int probe_count = 60) {
+  const EdgeGrid grid(shape);
+  ASSERT_EQ(grid.num_edges(), shape.NumEdges());
+  for (Point p : ProbePoints(shape, rng, probe_count)) {
+    const double expected = DistancePointPolyline(p, shape);
+    const double actual = grid.Distance(p);
+    ASSERT_NEAR(actual, expected, 1e-12)
+        << "at (" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(EdgeGridTest, RandomStarPolygons) {
+  util::Rng rng(1234);
+  workload::PolygonGenOptions gen;
+  for (int trial = 0; trial < 30; ++trial) {
+    ExpectMatchesBruteForce(workload::RandomStarPolygon(&rng, gen), &rng);
+  }
+}
+
+TEST(EdgeGridTest, LargeManyEdgePolygons) {
+  util::Rng rng(99);
+  workload::PolygonGenOptions gen;
+  gen.min_vertices = 64;
+  gen.max_vertices = 256;
+  for (int trial = 0; trial < 10; ++trial) {
+    ExpectMatchesBruteForce(workload::RandomStarPolygon(&rng, gen), &rng);
+  }
+}
+
+TEST(EdgeGridTest, RandomOpenPolylines) {
+  util::Rng rng(4321);
+  workload::PolygonGenOptions gen;
+  for (int trial = 0; trial < 20; ++trial) {
+    ExpectMatchesBruteForce(workload::RandomOpenPolyline(&rng, gen), &rng);
+  }
+}
+
+TEST(EdgeGridTest, CollinearDegenerateBoundingBox) {
+  util::Rng rng(7);
+  // Horizontal: the grid's y extent is zero.
+  std::vector<Point> horizontal;
+  for (int i = 0; i <= 20; ++i) horizontal.push_back({0.1 * i, 2.0});
+  ExpectMatchesBruteForce(Polyline::Open(horizontal), &rng);
+  // Vertical: the x extent is zero.
+  std::vector<Point> vertical;
+  for (int i = 0; i <= 20; ++i) vertical.push_back({-1.0, 0.05 * i});
+  ExpectMatchesBruteForce(Polyline::Open(vertical), &rng);
+  // Diagonal collinear vertices.
+  std::vector<Point> diagonal;
+  for (int i = 0; i <= 15; ++i) diagonal.push_back({1.0 * i, 2.0 * i});
+  ExpectMatchesBruteForce(Polyline::Open(diagonal), &rng);
+}
+
+TEST(EdgeGridTest, SingleEdge) {
+  util::Rng rng(11);
+  ExpectMatchesBruteForce(Polyline::Open({{0.0, 0.0}, {3.0, 1.0}}), &rng);
+}
+
+TEST(EdgeGridTest, ClusteredVertices) {
+  util::Rng rng(5);
+  // Many vertices crammed into a tiny cluster plus one distant vertex:
+  // the average edge length is dominated by the single long edge, so the
+  // cluster's edges pile into few cells.
+  std::vector<Point> v;
+  for (int i = 0; i < 40; ++i) {
+    v.push_back({1e-4 * rng.Uniform(0.0, 1.0), 1e-4 * rng.Uniform(0.0, 1.0)});
+  }
+  v.push_back({50.0, 30.0});
+  ExpectMatchesBruteForce(Polyline::Open(v), &rng);
+}
+
+TEST(EdgeGridTest, ZeroLengthEdges) {
+  util::Rng rng(3);
+  // Duplicate consecutive vertices produce zero-length edges; the grid
+  // must bucket and measure them like the brute-force scan does.
+  ExpectMatchesBruteForce(
+      Polyline::Closed({{0, 0}, {1, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 1}}),
+      &rng);
+}
+
+TEST(EdgeGridTest, EdgelessShapes) {
+  const EdgeGrid empty((Polyline()));
+  EXPECT_TRUE(std::isinf(empty.Distance({0.0, 0.0})));
+
+  const EdgeGrid lone_vertex(Polyline::Open({{2.0, -1.0}}));
+  EXPECT_DOUBLE_EQ(lone_vertex.Distance({2.0, 3.0}), 4.0);
+}
+
+}  // namespace
+}  // namespace geosir::geom

@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace geosir::util {
+namespace {
+
+TEST(ThreadPoolTest, EveryItemRunsExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> counts(n);
+  pool.ParallelFor(n, 0, [&](size_t, size_t item) {
+    counts[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerSlotsAreDense) {
+  ThreadPool pool(4);
+  std::atomic<size_t> max_slot{0};
+  pool.ParallelFor(1000, 0, [&](size_t worker, size_t) {
+    size_t seen = max_slot.load();
+    while (worker > seen && !max_slot.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_slot.load(), pool.num_threads());
+}
+
+TEST(ThreadPoolTest, MaxParallelismOneRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  pool.ParallelFor(64, 1, [&](size_t worker, size_t) {
+    if (std::this_thread::get_id() != caller || worker != 0) {
+      all_on_caller = false;
+    }
+  });
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ThreadPoolTest, CapBoundsWorkerSlots) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.MaxSlots(3), 3u);
+  EXPECT_EQ(pool.MaxSlots(0), 8u);
+  EXPECT_EQ(pool.MaxSlots(64), 8u);
+  std::atomic<size_t> max_slot{0};
+  pool.ParallelFor(4096, 3, [&](size_t worker, size_t) {
+    size_t seen = max_slot.load();
+    while (worker > seen && !max_slot.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_slot.load(), 3u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  pool.ParallelFor(16, 0, [&](size_t, size_t) {
+    // A nested loop on the same pool must not deadlock; it degrades to
+    // inline execution on the current worker.
+    long long local = 0;
+    pool.ParallelFor(10, 0, [&](size_t worker, size_t item) {
+      EXPECT_EQ(worker, 0u);
+      local += static_cast<long long>(item);
+    });
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 16 * 45);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(3);
+  long long grand_total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<long long> out(round + 1, 0);
+    pool.ParallelFor(out.size(), 0, [&](size_t, size_t item) {
+      out[item] = static_cast<long long>(item) + round;
+    });
+    grand_total += std::accumulate(out.begin(), out.end(), 0LL);
+  }
+  long long expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int item = 0; item <= round; ++item) expected += item + round;
+  }
+  EXPECT_EQ(grand_total, expected);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int runs = 0;
+  pool.ParallelFor(5, 0, [&](size_t worker, size_t) {
+    EXPECT_EQ(worker, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 5);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingletonAndUsable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.ParallelFor(100, 0, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, 0, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace geosir::util
