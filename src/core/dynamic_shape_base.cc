@@ -5,6 +5,7 @@
 
 #include "core/normalize.h"
 #include "core/similarity.h"
+#include "util/query_control.h"
 #include "util/thread_pool.h"
 
 namespace geosir::core {
@@ -163,19 +164,35 @@ DynamicShapeBase::MatchBatch(const std::vector<geom::Polyline>& queries,
     }
   }
   std::vector<util::Status> errors(n);
+  std::vector<uint8_t> started(n, 0);
+  // Same per-query lifecycle contract as core::MatchBatch: stops leave
+  // partial results + stats[i].termination; real errors fail the batch.
   const auto run_query = [&](size_t worker, size_t i) {
+    started[i] = 1;
     MatchStats* query_stats = stats != nullptr ? &(*stats)[i] : nullptr;
     auto result = MatchWith(matchers[worker].get(), queries[i], k, query_stats);
     if (result.ok()) {
       results[i] = *std::move(result);
-    } else {
+    } else if (!util::IsLifecycleStop(result.status().code())) {
       errors[i] = result.status();
     }
   };
+  const util::CancellationToken* cancel = options_.match.cancel_token;
   if (pool != nullptr) {
-    pool->ParallelFor(n, options_.match.num_threads, run_query);
+    pool->ParallelFor(n, options_.match.num_threads, run_query, cancel);
   } else {
-    for (size_t i = 0; i < n; ++i) run_query(0, i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      run_query(0, i);
+    }
+  }
+  if (stats != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!started[i]) {
+        (*stats)[i].termination =
+            util::Status::Cancelled("batch cancelled before query started");
+      }
+    }
   }
   for (const util::Status& status : errors) {
     GEOSIR_RETURN_IF_ERROR(status);
@@ -187,9 +204,26 @@ util::Result<std::vector<std::pair<uint64_t, double>>>
 DynamicShapeBase::MatchWith(EnvelopeMatcher* matcher,
                             const geom::Polyline& query, size_t k,
                             MatchStats* stats) const {
+  MatchStats local_stats;
+  MatchStats& st = stats != nullptr ? *stats : local_stats;
+  st = MatchStats{};
+
+  // Lifecycle entry check + thread-local binding for the delta-evaluation
+  // loop (the inner matcher rebinds the same control around its own body).
+  const util::QueryControl control{options_.match.deadline,
+                                   options_.match.cancel_token};
+  {
+    util::Status entry = control.Check();
+    if (!entry.ok()) {
+      st.termination = entry;
+      return entry;
+    }
+  }
+  const util::ScopedQueryControl scoped(&control);
+
   GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
   std::vector<std::pair<uint64_t, double>> results;
-  if (stats != nullptr) *stats = MatchStats{};
+  util::Status stop;  // First lifecycle stop observed.
 
   if (main_ != nullptr && main_->NumShapes() > 0) {
     // Ask for a little slack to survive tombstone filtering; retry with
@@ -200,12 +234,20 @@ DynamicShapeBase::MatchWith(EnvelopeMatcher* matcher,
     while (true) {
       MatchOptions match = options_.match;
       match.k = k + slack;
-      // Each slack attempt re-runs the full query; `stats` keeps the
-      // final attempt's diagnostics (including the degraded flag). The
+      // Each slack attempt re-runs the full query; `st` keeps the final
+      // attempt's diagnostics (including the degraded flag). The
       // matcher's per-query memo makes retries cheap: every copy scored
       // in an earlier attempt is a cache hit.
-      GEOSIR_ASSIGN_OR_RETURN(std::vector<MatchResult> main_results,
-                              matcher->Match(query, match, stats));
+      auto main_result = matcher->Match(query, match, &st);
+      std::vector<MatchResult> main_results;
+      if (main_result.ok()) {
+        main_results = *std::move(main_result);
+        if (st.partial) stop = st.termination;
+      } else if (util::IsLifecycleStop(main_result.status().code())) {
+        stop = main_result.status();
+      } else {
+        return main_result.status();
+      }
       std::vector<std::pair<uint64_t, double>> survivors;
       for (const MatchResult& m : main_results) {
         const uint64_t stable = main_ids_[m.shape_id];
@@ -214,7 +256,9 @@ DynamicShapeBase::MatchWith(EnvelopeMatcher* matcher,
       }
       const bool exhausted = main_results.size() < k + slack ||
                              slack >= tombstones_;
-      if (survivors.size() >= k || exhausted) {
+      // A stopping query does not get slack retries: re-running with a
+      // larger k would start the whole search over past its deadline.
+      if (!stop.ok() || survivors.size() >= k || exhausted) {
         results = std::move(survivors);
         break;
       }
@@ -222,7 +266,15 @@ DynamicShapeBase::MatchWith(EnvelopeMatcher* matcher,
     }
   }
   for (uint64_t id : delta_ids_) {
+    // Each delta shape costs one direct similarity evaluation — the same
+    // unit the matcher's candidate checkpoint guards, so poll per shape.
+    if (stop.ok()) stop = control.Check();
+    if (!stop.ok()) {
+      ++st.candidates_skipped;
+      continue;
+    }
     results.emplace_back(id, EvaluateAgainstQuery(records_[id], qnorm));
+    ++st.candidates_evaluated;
   }
 
   std::sort(results.begin(), results.end(),
@@ -231,6 +283,18 @@ DynamicShapeBase::MatchWith(EnvelopeMatcher* matcher,
               return a.first < b.first;
             });
   if (results.size() > k) results.resize(k);
+
+  // Same partial-result contract as the matcher: ranked best-so-far comes
+  // back OK with `partial` set; a stop before anything was ranked is the
+  // call's error.
+  if (!stop.ok()) {
+    st.termination = stop;
+    if (results.empty()) {
+      st.partial = false;  // Tombstones may have emptied a partial ranking.
+      return stop;
+    }
+    st.partial = true;
+  }
   return results;
 }
 

@@ -74,6 +74,16 @@ class DynamicShapeBase {
   /// Forces a rebuild of the main base (normally automatic).
   util::Status Compact();
 
+  /// Mutable match configuration, including the query-lifecycle controls
+  /// (deadline / cancel_token / budget). A deadline is an absolute time
+  /// point, so arm it right before the Match or MatchBatch call it should
+  /// bound. Lifecycle stops follow the matcher's partial-result contract:
+  /// best-so-far rankings come back with MatchStats::partial set (delta
+  /// shapes not yet scored count as candidates_skipped); a stop before
+  /// anything was ranked returns the stop status instead.
+  MatchOptions& match_options() { return options_.match; }
+  const MatchOptions& match_options() const { return options_.match; }
+
   size_t NumLive() const { return live_count_; }
   size_t NumDelta() const { return delta_ids_.size(); }
   size_t NumTombstones() const { return tombstones_; }

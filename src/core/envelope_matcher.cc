@@ -7,6 +7,7 @@
 
 #include "geom/distance.h"
 #include "geom/envelope.h"
+#include "util/query_control.h"
 #include "util/thread_pool.h"
 
 namespace geosir::core {
@@ -159,18 +160,46 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   if (!base_->finalized()) {
     return util::Status::FailedPrecondition("ShapeBase not finalized");
   }
-  if (options.beta < 0.0 || options.beta >= 1.0) {
+  // Negated comparisons so a NaN parameter fails validation instead of
+  // slipping past it (NaN growth would otherwise loop forever: eps never
+  // reaches eps_max).
+  if (!(options.beta >= 0.0 && options.beta < 1.0)) {
     return util::Status::InvalidArgument("beta must be in [0, 1)");
   }
-  if (options.growth <= 1.0) {
+  if (!(options.growth > 1.0)) {
     return util::Status::InvalidArgument("growth must exceed 1");
   }
-  GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
-  const Polyline& q = qnorm.shape;
+  if (!std::isfinite(options.initial_epsilon) ||
+      !std::isfinite(options.max_epsilon) ||
+      !std::isfinite(options.stop_factor) ||
+      !std::isfinite(options.collect_threshold)) {
+    return util::Status::InvalidArgument(
+        "epsilon/stop/threshold options must be finite");
+  }
 
   MatchStats local_stats;
   MatchStats& st = stats != nullptr ? *stats : local_stats;
   st = MatchStats{};
+
+  // Lifecycle entry check: a query that arrives already expired or
+  // cancelled performs no work at all — not even query normalization.
+  const util::QueryControl control{options.deadline, options.cancel_token};
+  {
+    util::Status entry = control.Check();
+    if (!entry.ok()) {
+      st.termination = entry;
+      return entry;
+    }
+  }
+  // Bind the control for layers below that cannot take per-call
+  // parameters: the SimplexIndex traversal (external backends poll it per
+  // node) and the storage retry loop (no retrying past the deadline).
+  // The range-search phase runs on this thread, so a thread-local
+  // binding reaches exactly this query's index work.
+  const util::ScopedQueryControl scoped(&control);
+
+  GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
+  const Polyline& q = qnorm.shape;
 
   PrepareQueryCache(q, options);
 
@@ -233,7 +262,24 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   std::vector<uint32_t> touched;  // Copies touched in this iteration.
   std::vector<double> candidate_distances;
 
+  // Lifecycle stop state. `hard_stop` (deadline / cancel) abandons the
+  // current round without scoring its candidates — a query on its way out
+  // must not start new similarity integrals. `budget_stop`
+  // (kResourceExhausted) finishes the round's already-admitted work first:
+  // budgets are deterministic cutoffs, not emergencies. Both end the
+  // search with best-so-far results.
+  util::Status hard_stop;
+  util::Status budget_stop;
+  const WorkBudget& budget = options.budget;
+
   while (true) {
+    // Round-entry checkpoint (also the per-round budget gate).
+    if (hard_stop.ok()) hard_stop = control.Check();
+    if (hard_stop.ok() && budget_stop.ok() && budget.max_rounds > 0 &&
+        st.iterations >= budget.max_rounds) {
+      budget_stop = util::Status::ResourceExhausted("round budget exhausted");
+    }
+    if (!hard_stop.ok() || !budget_stop.ok()) break;
     ++st.iterations;
     touched.clear();
 
@@ -242,7 +288,22 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     for (const geom::Triangle& tri : cover.triangles) {
       base_->index().ReportInTriangle(
           tri, [&](const rangesearch::IndexedPoint& ip) {
+            if (!hard_stop.ok()) return;  // Drain the traversal cheaply.
+            if (budget.max_vertex_reports > 0 &&
+                st.vertices_reported >= budget.max_vertex_reports) {
+              if (budget_stop.ok()) {
+                budget_stop = util::Status::ResourceExhausted(
+                    "vertex-report budget exhausted");
+              }
+              return;
+            }
             ++st.vertices_reported;
+            // Amortized deadline/cancel poll: one Check per 1024 reports
+            // keeps the overhead unmeasurable on the hot path.
+            if ((st.vertices_reported & 1023u) == 0) {
+              hard_stop = control.Check();
+              if (!hard_stop.ok()) return;
+            }
             if (vertex_epoch_[ip.id] == epoch_) return;  // Deduplicated.
             // Exact membership: the cover is a superset of the ring.
             const double d = query_distance(ip.p);
@@ -264,12 +325,28 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
           });
       // A fail-fast external backend records the I/O error it hit (the
       // reporting interface itself is void); surface it instead of
-      // returning a silently incomplete match.
-      GEOSIR_RETURN_IF_ERROR(base_->index().TakeLastError());
+      // returning a silently incomplete match. An external backend may
+      // also have observed the thread-local lifecycle control and aborted
+      // its traversal — that is a stop, not a malfunction.
+      {
+        util::Status index_status = base_->index().TakeLastError();
+        if (!index_status.ok()) {
+          if (util::IsLifecycleStop(index_status.code())) {
+            if (hard_stop.ok()) hard_stop = index_status;
+          } else {
+            return index_status;
+          }
+        }
+      }
+      if (!hard_stop.ok() || !budget_stop.ok()) break;
     }
 
     // Step 3: collect copies that reached the (1 - beta) occupancy
-    // threshold and have not been evaluated yet.
+    // threshold and have not been evaluated yet. When the query is
+    // stopping, qualifying copies are counted as skipped instead of
+    // admitted — under a candidate budget this cutoff is deterministic
+    // (the range-search phase is single-threaded, so `touched` has the
+    // same order for every thread count).
     pending_eval_.clear();
     for (uint32_t copy_idx : touched) {
       if (copy_evaluated_[copy_idx]) continue;
@@ -281,11 +358,25 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
       // normalized query's boundary, hence inside every envelope. They
       // are not indexed (see ShapeBase::AddShape), so credit them here.
       if (copy_count_[copy_idx] + 2 < std::max<size_t>(1, needed)) continue;
+      if (!hard_stop.ok()) {
+        ++st.candidates_skipped;
+        continue;
+      }
+      if (budget.max_candidates > 0 &&
+          st.candidates_evaluated >= budget.max_candidates) {
+        if (budget_stop.ok()) {
+          budget_stop =
+              util::Status::ResourceExhausted("candidate budget exhausted");
+        }
+        ++st.candidates_skipped;
+        continue;
+      }
       copy_evaluated_[copy_idx] = 1;
       ++st.candidates_evaluated;
       if (trace != nullptr) trace->push_back(copy_idx);
       pending_eval_.push_back(copy_idx);
     }
+    if (!hard_stop.ok()) break;  // Nothing admitted; abandon the round.
 
     // Step 4: score this round's candidate set — the expensive similarity
     // integrals fan out across the pool; the merge below runs on this
@@ -310,6 +401,7 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
       best_distances.push_back(result.distance);
     }
     std::sort(best_distances.begin(), best_distances.end());
+    ++st.rounds_completed;
 
     // Early exit: every unevaluated copy still has > beta of its vertices
     // outside the eps-envelope, so its (discrete, directed) average
@@ -319,12 +411,15 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     if (!collect_mode && options.stop_factor > 0.0 &&
         kth_best() <= options.stop_factor * options.beta * eps) {
       st.stopped_early = true;
+      budget_stop = util::Status::OK();  // Finished naturally this round.
       break;
     }
     if (eps >= eps_max) {
       st.exhausted = true;
+      budget_stop = util::Status::OK();
       break;
     }
+    if (!budget_stop.ok()) break;
     eps_prev = eps;
     eps = std::min(eps * options.growth, eps_max);
   }
@@ -347,6 +442,17 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
               return a.shape_id < b.shape_id;
             });
   if (!collect_mode && results.size() > options.k) results.resize(options.k);
+
+  // Partial-result contract: a lifecycle stop with ranked candidates in
+  // hand returns them as an OK partial result (the ranking among scored
+  // candidates is exact); a stop before anything was ranked surfaces the
+  // stop reason as the call's error. Either way `termination` records it.
+  const util::Status stop = !hard_stop.ok() ? hard_stop : budget_stop;
+  if (!stop.ok()) {
+    st.termination = stop;
+    if (results.empty()) return stop;
+    st.partial = true;
+  }
   return results;
 }
 
@@ -376,20 +482,43 @@ util::Result<std::vector<std::vector<MatchResult>>> MatchBatch(
     matchers.push_back(std::make_unique<EnvelopeMatcher>(&base));
   }
   std::vector<util::Status> errors(n);
+  std::vector<uint8_t> started(n, 0);
 
+  // Per-query lifecycle stops do not fail the batch: a query that ran out
+  // of time (or hit its budget / a batch-wide cancel) leaves its partial
+  // results (possibly empty) in results[i] with the stop recorded in
+  // stats[i].termination, while the other queries proceed. Real errors
+  // still fail the whole batch, first query order.
   const auto run_query = [&](size_t worker, size_t i) {
+    started[i] = 1;
     MatchStats* query_stats = stats != nullptr ? &(*stats)[i] : nullptr;
     auto result = matchers[worker]->Match(queries[i], options, query_stats);
     if (result.ok()) {
       results[i] = *std::move(result);
-    } else {
+    } else if (!util::IsLifecycleStop(result.status().code())) {
       errors[i] = result.status();
     }
   };
   if (pool != nullptr) {
-    pool->ParallelFor(n, options.num_threads, run_query);
+    // The token doubles as the pool's checkpoint: once cancelled, queries
+    // not yet claimed never start (marked below), in-flight ones observe
+    // the token themselves and stop with best-so-far.
+    pool->ParallelFor(n, options.num_threads, run_query, options.cancel_token);
   } else {
-    for (size_t i = 0; i < n; ++i) run_query(0, i);
+    for (size_t i = 0; i < n; ++i) {
+      if (options.cancel_token != nullptr && options.cancel_token->cancelled()) {
+        break;
+      }
+      run_query(0, i);
+    }
+  }
+  if (stats != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!started[i]) {
+        (*stats)[i].termination =
+            util::Status::Cancelled("batch cancelled before query started");
+      }
+    }
   }
   for (const util::Status& status : errors) {
     GEOSIR_RETURN_IF_ERROR(status);

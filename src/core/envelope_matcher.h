@@ -33,6 +33,17 @@ class EnvelopeMatcher {
   /// coordinates). Returns an empty vector when nothing entered the
   /// envelope before max_epsilon — the caller should fall back to
   /// geometric hashing (Section 3). `stats` and `trace` are optional.
+  ///
+  /// Lifecycle: options.deadline / cancel_token / budget terminate the
+  /// search cooperatively (checked at round, candidate and amortized
+  /// vertex-report granularity, and observed by external index backends
+  /// and their storage retries). A stop with ranked candidates in hand
+  /// returns them as an OK *partial* result (MatchStats::partial +
+  /// termination); a stop before anything was ranked — including a
+  /// deadline already expired at entry, which performs zero work —
+  /// returns kDeadlineExceeded / kCancelled / kResourceExhausted.
+  /// Budget stops are deterministic (bit-identical partial results for
+  /// every thread count); deadline and cancel stops are not.
   util::Result<std::vector<MatchResult>> Match(const geom::Polyline& query,
                                                const MatchOptions& options = {},
                                                MatchStats* stats = nullptr,
@@ -103,7 +114,13 @@ class EnvelopeMatcher {
 /// counterpart of EnvelopeMatcher::Match. result[i] corresponds to
 /// queries[i]; `stats`, when non-null, is resized to one entry per query.
 /// Per-query results are bit-identical to a serial Match loop for every
-/// thread count. Fails on the first query error (by query order).
+/// thread count. Fails on the first query error (by query order) — but a
+/// per-query lifecycle stop (deadline / cancel / budget) is not an error:
+/// that query contributes its partial (possibly empty) ranking, the stop
+/// is recorded in stats[i].termination, and the batch proceeds. A cancel
+/// token in `options` spans the whole batch: queries not yet started when
+/// it fires are skipped (termination = kCancelled), in-flight ones stop
+/// with best-so-far.
 util::Result<std::vector<std::vector<MatchResult>>> MatchBatch(
     const ShapeBase& base, const std::vector<geom::Polyline>& queries,
     const MatchOptions& options = {}, std::vector<MatchStats>* stats = nullptr);

@@ -7,6 +7,9 @@
 
 #include "core/shape.h"
 #include "core/similarity.h"
+#include "util/cancellation.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace geosir::util {
 class ThreadPool;
@@ -24,6 +27,28 @@ enum class MatchMeasure {
   kDiscreteSymmetric,
   /// Vertex-based average from the database shape to the query.
   kDiscreteDirected,
+};
+
+/// Hard caps on the work one Match call may perform; 0 means unlimited.
+/// Budgets are enforced on the single-threaded control path (round entry,
+/// the range-search visitor, candidate admission), so a budget-terminated
+/// query returns a bit-identical partial result set for every thread
+/// count — unlike deadline or cancellation stops, which depend on timing.
+/// Exceeding a budget terminates with kResourceExhausted; best-so-far
+/// results are still returned (see MatchStats::partial).
+struct WorkBudget {
+  /// Maximum ε-growth rounds (MatchStats::iterations).
+  size_t max_rounds = 0;
+  /// Maximum candidate similarity evaluations. Admission stops at the
+  /// cap; further qualifying copies count as MatchStats::candidates_skipped.
+  size_t max_candidates = 0;
+  /// Maximum vertex reports from the range structure
+  /// (MatchStats::vertices_reported).
+  size_t max_vertex_reports = 0;
+
+  bool Unlimited() const {
+    return max_rounds == 0 && max_candidates == 0 && max_vertex_reports == 0;
+  }
 };
 
 struct MatchOptions {
@@ -67,6 +92,22 @@ struct MatchOptions {
   /// util::ThreadPool::Shared() when num_threads > 1. The pool is never
   /// owned; it must outlive the call.
   util::ThreadPool* pool = nullptr;
+  /// Wall-clock deadline for the call (default: none). An expired
+  /// deadline terminates the search cooperatively: a Match that already
+  /// holds candidates returns them ranked with MatchStats::partial set;
+  /// one with nothing yet (including a deadline that expired before the
+  /// call) returns kDeadlineExceeded. Checked at round, candidate and
+  /// (amortized) vertex-report granularity, and inherited by storage
+  /// retries underneath the index.
+  util::Deadline deadline;
+  /// Cooperative cancellation (default: none). Same partial-result
+  /// contract as `deadline`, terminating with kCancelled. The token is
+  /// not owned and must outlive the call; one token may fan out over many
+  /// concurrent queries (MatchBatch cancels them all).
+  const util::CancellationToken* cancel_token = nullptr;
+  /// Work caps (rounds / candidate evaluations / vertex reports);
+  /// defaults unlimited. Deterministic: see WorkBudget.
+  WorkBudget budget;
 };
 
 /// One retrieved shape.
@@ -100,6 +141,20 @@ struct MatchStats {
   bool degraded = false;
   size_t skipped_subtrees = 0;
   size_t skipped_leaves = 0;
+  /// Query-lifecycle outcome. `partial` is set when the search was
+  /// terminated early by a deadline, a cancellation or a work budget but
+  /// still returned a (correctly ranked) best-so-far result set;
+  /// `termination` then holds the stop reason (kDeadlineExceeded /
+  /// kCancelled / kResourceExhausted). When the stop fired before any
+  /// candidate was ranked the call returns `termination` as its error
+  /// instead, with `partial` false. `rounds_completed` counts rounds that
+  /// ran to their merge (vs. `iterations`, which includes an aborted
+  /// round); `candidates_skipped` counts copies that met the occupancy
+  /// threshold but were never scored because the query was stopping.
+  bool partial = false;
+  util::Status termination;
+  size_t rounds_completed = 0;
+  size_t candidates_skipped = 0;
 };
 
 /// Order in which shape *records* were read, i.e. the sequence of

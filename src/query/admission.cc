@@ -1,0 +1,116 @@
+#include "query/admission.h"
+
+#include <algorithm>
+
+namespace geosir::query {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+  }
+  // notify_all, not _one: only the FIFO front may take the slot, and the
+  // front may itself be about to time out — waking everyone lets the true
+  // front claim it while the others re-arm their timeouts.
+  cv_.notify_all();
+}
+
+util::Result<AdmissionController::Ticket> AdmissionController::Admit(
+    util::Deadline deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (deadline.expired()) {
+    ++stats_.shed_expired;
+    return util::Status::DeadlineExceeded("deadline expired before admission");
+  }
+  // Fast path: free slot and nobody queued ahead (FIFO — no barging).
+  if (inflight_ < options_.max_concurrent && waiters_.empty()) {
+    ++inflight_;
+    ++stats_.admitted;
+    stats_.inflight = inflight_;
+    return Ticket(this);
+  }
+  if (waiters_.size() >= options_.max_queued) {
+    ++stats_.shed_queue_full;
+    return util::Status::Unavailable("admission queue full");
+  }
+  const uint64_t id = next_waiter_++;
+  waiters_.push_back(id);
+  stats_.queued = waiters_.size();
+  stats_.peak_queued = std::max(stats_.peak_queued, waiters_.size());
+
+  const util::Deadline queue_limit =
+      options_.queue_timeout_ms > 0
+          ? util::Deadline::AfterMillis(options_.queue_timeout_ms)
+          : util::Deadline::Infinite();
+  const util::Deadline limit = util::Deadline::Earliest(queue_limit, deadline);
+
+  const auto ready = [&] {
+    return inflight_ < options_.max_concurrent && !waiters_.empty() &&
+           waiters_.front() == id;
+  };
+  bool admitted;
+  if (limit.infinite()) {
+    cv_.wait(lock, ready);
+    admitted = true;
+  } else {
+    admitted = cv_.wait_until(lock, limit.time_point(), ready);
+  }
+  if (!admitted) {
+    // Shed: leave the queue (we may or may not have reached the front).
+    waiters_.erase(std::find(waiters_.begin(), waiters_.end(), id));
+    stats_.queued = waiters_.size();
+    const bool expired = deadline.expired();
+    if (expired) {
+      ++stats_.shed_expired;
+    } else {
+      ++stats_.shed_timeout;
+    }
+    lock.unlock();
+    // Our departure may have promoted a new front that is admittable now.
+    cv_.notify_all();
+    if (expired) {
+      return util::Status::DeadlineExceeded(
+          "deadline expired while queued for admission");
+    }
+    return util::Status::Unavailable("timed out in admission queue");
+  }
+  waiters_.pop_front();
+  ++inflight_;
+  ++stats_.admitted;
+  stats_.inflight = inflight_;
+  stats_.queued = waiters_.size();
+  lock.unlock();
+  // The next waiter may be admittable too (multiple slots / releases).
+  cv_.notify_all();
+  return Ticket(this);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats out = stats_;
+  out.inflight = inflight_;
+  out.queued = waiters_.size();
+  return out;
+}
+
+util::Result<std::vector<std::vector<core::MatchResult>>> AdmittedMatchBatch(
+    AdmissionController* controller, const core::ShapeBase& base,
+    const std::vector<geom::Polyline>& queries,
+    const core::MatchOptions& options, std::vector<core::MatchStats>* stats) {
+  GEOSIR_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                          controller->Admit(options.deadline));
+  (void)ticket;  // Held for the duration of the batch.
+  return core::MatchBatch(base, queries, options, stats);
+}
+
+}  // namespace geosir::query

@@ -1,0 +1,127 @@
+#ifndef GEOSIR_QUERY_ADMISSION_H_
+#define GEOSIR_QUERY_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/envelope_matcher.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace geosir::query {
+
+/// Overload policy for the admission controller.
+struct AdmissionOptions {
+  /// Queries allowed to run concurrently (the semaphore width). Each
+  /// admitted MatchBatch may itself fan out over a thread pool, so this
+  /// bounds *batches in flight*, not threads.
+  size_t max_concurrent = 4;
+  /// Callers allowed to wait beyond that; arrivals past the bound are
+  /// shed immediately with kUnavailable (retriable — the standard
+  /// try-again-later signal, see util::IsRetriable).
+  size_t max_queued = 16;
+  /// Longest a caller may sit in the queue before being shed with
+  /// kUnavailable; <= 0 waits indefinitely (the caller's own deadline
+  /// still applies). Shedding waiters instead of letting them pile up is
+  /// what keeps tail latency bounded under sustained overload.
+  int64_t queue_timeout_ms = 1000;
+};
+
+/// Counters (monotonic except the two gauges).
+struct AdmissionStats {
+  size_t admitted = 0;
+  size_t shed_queue_full = 0;   // Rejected at arrival, queue at capacity.
+  size_t shed_timeout = 0;      // Gave up after queue_timeout_ms.
+  size_t shed_expired = 0;      // Caller's own deadline expired waiting.
+  size_t inflight = 0;          // Gauge: tickets currently held.
+  size_t queued = 0;            // Gauge: callers currently waiting.
+  size_t peak_queued = 0;
+};
+
+/// A counting-semaphore admission controller with a bounded FIFO wait
+/// queue and queue-timeout shedding: the overload valve in front of
+/// MatchBatch. Under a burst, max_concurrent batches run, max_queued
+/// callers wait (strictly first-come-first-served — no barging), and
+/// everyone else is turned away *fast* with a retriable error instead of
+/// stacking up behind a convoy. Thread-safe; the controller must outlive
+/// its tickets.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Move-only RAII admission slot: releasing (destruction) wakes the
+  /// next waiter. An empty ticket (default-constructed or moved-from)
+  /// releases nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool valid() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    void Release();
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Blocks until a slot is free (FIFO order), then returns the ticket.
+  /// Fails with:
+  ///  * kUnavailable    — queue full on arrival, or queue_timeout_ms
+  ///                      elapsed while waiting (both retriable);
+  ///  * kDeadlineExceeded — `deadline` expired before admission (on
+  ///                      arrival or in the queue). Pass the query's own
+  ///                      deadline so a caller never queues past the
+  ///                      point where running has become pointless.
+  util::Result<Ticket> Admit(util::Deadline deadline = {});
+
+  /// Consistent snapshot of the counters.
+  AdmissionStats stats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  uint64_t next_waiter_ = 0;
+  std::deque<uint64_t> waiters_;  // FIFO of waiting callers' ids.
+  AdmissionStats stats_;
+};
+
+/// MatchBatch behind the admission valve: admits under `controller` (using
+/// options.deadline as the queue deadline), runs core::MatchBatch, and
+/// releases the slot when the batch finishes. Shed or expired calls
+/// return the admission error without touching the base; per-query
+/// lifecycle behavior inside an admitted batch is core::MatchBatch's
+/// (partial results + stats[i].termination).
+util::Result<std::vector<std::vector<core::MatchResult>>> AdmittedMatchBatch(
+    AdmissionController* controller, const core::ShapeBase& base,
+    const std::vector<geom::Polyline>& queries,
+    const core::MatchOptions& options = {},
+    std::vector<core::MatchStats>* stats = nullptr);
+
+}  // namespace geosir::query
+
+#endif  // GEOSIR_QUERY_ADMISSION_H_

@@ -6,6 +6,7 @@
 
 #include "core/normalize.h"
 #include "core/similarity.h"
+#include "util/query_control.h"
 
 namespace geosir::query {
 
@@ -61,6 +62,12 @@ uint64_t QueryContext::HashPolyline(const geom::Polyline& q) {
   return h;
 }
 
+util::Status QueryContext::CheckLifecycle() const {
+  return util::QueryControl{options_.match.deadline,
+                            options_.match.cancel_token}
+      .Check();
+}
+
 util::Result<std::vector<core::MatchResult>> QueryContext::ShapeSimilar(
     const geom::Polyline& q) {
   const uint64_t key = HashPolyline(q);
@@ -69,11 +76,19 @@ util::Result<std::vector<core::MatchResult>> QueryContext::ShapeSimilar(
     ++stats_.similar_cache_hits;
     return it->second.shapes;
   }
+  GEOSIR_RETURN_IF_ERROR(CheckLifecycle());
   ++stats_.similar_evaluations;
   core::MatchOptions opts = options_.match;
   opts.collect_threshold = options_.similar_threshold;
-  GEOSIR_ASSIGN_OR_RETURN(std::vector<core::MatchResult> shapes,
-                          matcher_.Match(q, opts));
+  core::MatchStats match_stats;
+  auto matched = matcher_.Match(q, opts, &match_stats);
+  if (!matched.ok()) return matched.status();
+  if (match_stats.partial) {
+    // An incomplete shape_similar set would poison the cache and silently
+    // shrink every operator built on it: surface the stop instead.
+    return match_stats.termination;
+  }
+  std::vector<core::MatchResult> shapes = *std::move(matched);
 
   CachedSimilar cached;
   cached.shapes = shapes;
@@ -160,6 +175,9 @@ util::Result<ImageSet> QueryContext::EvalTopological(
     GEOSIR_ASSIGN_OR_RETURN(core::NormalizedCopy other_norm,
                             core::NormalizeQuery(other_q));
     for (const core::MatchResult& m : driven) {
+      // Per-driven-shape checkpoint: each iteration may scan an image's
+      // edges and run direct g_similar integrals.
+      GEOSIR_RETURN_IF_ERROR(CheckLifecycle());
       const core::ImageId image = base_->shape_base().shape(m.shape_id).image;
       if (image == core::kNoImage) continue;
       const ImageEntry& entry = base_->image(image);
@@ -218,6 +236,7 @@ util::Result<ImageSet> QueryContext::EvalTopological(
   (void)sim2;
 
   for (const core::MatchResult& m : sim1) {
+    GEOSIR_RETURN_IF_ERROR(CheckLifecycle());
     const core::ImageId image = base_->shape_base().shape(m.shape_id).image;
     if (image == core::kNoImage ||
         !std::binary_search(both.begin(), both.end(), image)) {

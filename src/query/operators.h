@@ -76,6 +76,14 @@ class QueryContext {
   /// All images (for COMPLEMENT).
   ImageSet AllImages() const;
 
+  /// Lifecycle checkpoint against options().match.deadline / cancel_token.
+  /// The query layer keeps DNF semantics exact: a deadline or cancel stop
+  /// propagates as an error (kDeadlineExceeded / kCancelled) instead of a
+  /// silently smaller image set, and a partial shape_similar ranking is
+  /// never cached. The planner polls this between factors; the operators
+  /// poll it per driven shape inside their edge scans.
+  util::Status CheckLifecycle() const;
+
   const ImageBase& image_base() const { return *base_; }
   SelectivityModel* selectivity() { return &selectivity_; }
   const QueryContextStats& stats() const { return stats_; }

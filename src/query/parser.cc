@@ -1,6 +1,7 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace geosir::query {
@@ -127,6 +128,9 @@ class Parser {
         char* end = nullptr;
         const double value = std::strtod(text_.c_str() + pos_, &end);
         if (end == text_.c_str() + pos_) return Err("expected angle or 'any'");
+        // strtod happily parses "inf"/"nan"; a non-finite angle would
+        // poison every circular comparison downstream.
+        if (!std::isfinite(value)) return Err("angle must be finite");
         pos_ = static_cast<size_t>(end - text_.c_str());
         theta = value;
       }

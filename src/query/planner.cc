@@ -80,6 +80,10 @@ util::Result<ImageSet> ExecuteQuery(const QueryNode& root,
     ImageSet term_result;
     bool first = true;
     for (const DnfFactor& factor : term.factors) {
+      // Lifecycle checkpoint between factors: a query past its deadline
+      // (or cancelled) fails with the stop status rather than returning a
+      // silently incomplete image set — DNF results are exact or absent.
+      GEOSIR_RETURN_IF_ERROR(context->CheckLifecycle());
       GEOSIR_ASSIGN_OR_RETURN(ImageSet factor_set,
                               EvaluateFactorSet(factor, context));
       if (first) {

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "rangesearch/tri_box.h"
+#include "util/query_control.h"
 
 namespace geosir::storage {
 
@@ -147,6 +148,15 @@ util::Status ExternalRTree::Query(BlockId node, bool leaf,
                                   const RTreeQueryConfig& config,
                                   RTreeDegradation* degradation,
                                   const Emit& emit) const {
+  // Per-node lifecycle checkpoint: the matcher binds its QueryControl to
+  // the querying thread, so an expired deadline or a cancellation aborts
+  // the traversal at block granularity. This is a stop, not a fault — it
+  // propagates even under kSkipUnreadable (a query out of time must not
+  // be misreported as a degraded-but-complete scan), and Pin's retry loop
+  // below observes the same control, so no block is re-read past expiry.
+  if (const util::QueryControl* control = util::ScopedQueryControl::Active()) {
+    GEOSIR_RETURN_IF_ERROR(control->Check());
+  }
   auto pinned = buffer->Pin(node);
   if (!pinned.ok()) {
     if (config.policy == DegradePolicy::kSkipUnreadable) {

@@ -1,0 +1,59 @@
+#ifndef GEOSIR_UTIL_CANCELLATION_H_
+#define GEOSIR_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace geosir::util {
+
+/// A sharable cooperative-cancellation flag. One side (a client timeout
+/// handler, an operator console, a supervising thread) calls Cancel();
+/// the working side polls cancelled() at its checkpoints and winds down,
+/// returning whatever partial result it has accumulated.
+///
+/// Copies share state: hand copies of one token to every thread that
+/// participates in the same logical operation. The hot-path check is a
+/// single acquire load of an atomic flag — no locks, safe to poll at
+/// per-block granularity. The first Cancel() wins and records a reason;
+/// later calls are no-ops.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  /// Requests cancellation. Thread-safe; the first caller's reason is
+  /// kept. Returns true if this call performed the cancellation.
+  bool Cancel(std::string reason = "cancelled") {
+    if (state_->claimed.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    // The reason is published before the flag flips (release), so any
+    // thread that observes cancelled() == true (acquire) also sees it.
+    state_->reason = std::move(reason);
+    state_->cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// The first Cancel() call's reason; empty while not cancelled.
+  std::string reason() const {
+    return cancelled() ? state_->reason : std::string();
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> claimed{false};
+    std::atomic<bool> cancelled{false};
+    std::string reason;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_CANCELLATION_H_

@@ -1,0 +1,79 @@
+#ifndef GEOSIR_UTIL_DEADLINE_H_
+#define GEOSIR_UTIL_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace geosir::util {
+
+/// An absolute point in time on the monotonic clock by which an operation
+/// must finish. Default-constructed deadlines are infinite (never expire),
+/// so threading a Deadline through an API costs nothing for callers that
+/// do not set one: `expired()` on an infinite deadline is a single branch
+/// with no clock read.
+///
+/// Deadlines are value types; copy them freely. They compose with the
+/// wall-clock only through the steady clock, so they are immune to
+/// NTP/system-time jumps (the property a query timeout needs).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(Clock::time_point at) { return Deadline(at); }
+
+  static Deadline After(Clock::duration d) { return Deadline(Clock::now() + d); }
+
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  static Deadline AfterMicros(int64_t us) {
+    return After(std::chrono::microseconds(us));
+  }
+
+  bool infinite() const { return infinite_; }
+
+  /// True once the monotonic clock has passed the deadline. Free (no
+  /// clock read) for infinite deadlines.
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Time left, saturated at zero. Infinite deadlines report the maximum
+  /// representable duration.
+  Clock::duration remaining() const {
+    if (infinite_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= at_ ? Clock::duration::zero() : at_ - now;
+  }
+
+  int64_t remaining_micros() const {
+    if (infinite_) return INT64_MAX;
+    return std::chrono::duration_cast<std::chrono::microseconds>(remaining())
+        .count();
+  }
+
+  /// The absolute expiry instant; only meaningful when !infinite().
+  Clock::time_point time_point() const { return at_; }
+
+  /// The earlier of the two deadlines (an infinite one never wins).
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    if (a.infinite_) return b;
+    if (b.infinite_) return a;
+    return Deadline(std::min(a.at_, b.at_));
+  }
+
+ private:
+  explicit Deadline(Clock::time_point at) : infinite_(false), at_(at) {}
+
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_DEADLINE_H_

@@ -1,0 +1,76 @@
+#ifndef GEOSIR_UTIL_QUERY_CONTROL_H_
+#define GEOSIR_UTIL_QUERY_CONTROL_H_
+
+#include "util/cancellation.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace geosir::util {
+
+/// The per-operation lifecycle controls (deadline + cancellation token)
+/// bundled so they can be threaded through deep call stacks — and, via
+/// ScopedQueryControl, through interfaces that cannot carry per-call
+/// parameters (SimplexIndex traversals, BufferManager retries).
+///
+/// Check() is the one polling point: it reports kCancelled before
+/// kDeadlineExceeded (an explicit cancel is the stronger signal) and is
+/// cheap enough for per-block granularity — one atomic load plus, only
+/// when a finite deadline is set, one monotonic clock read.
+struct QueryControl {
+  Deadline deadline;
+  const CancellationToken* cancel = nullptr;
+
+  Status Check() const {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled(cancel->reason());
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// True when neither control can ever fire (both defaults): callers may
+  /// skip polling entirely.
+  bool Inert() const { return cancel == nullptr && deadline.infinite(); }
+};
+
+/// Binds a QueryControl to the current thread for the duration of a
+/// scope. Layers that cannot take per-call lifecycle parameters — the
+/// SimplexIndex query interface and the storage read/retry path beneath
+/// it — poll ScopedQueryControl::Active() instead. One thread runs one
+/// query at a time (MatchBatch gives every worker its own matcher), so a
+/// thread-local binding is exact; nesting restores the previous binding.
+class ScopedQueryControl {
+ public:
+  explicit ScopedQueryControl(const QueryControl* control)
+      : previous_(active_) {
+    active_ = control;
+  }
+  ~ScopedQueryControl() { active_ = previous_; }
+
+  ScopedQueryControl(const ScopedQueryControl&) = delete;
+  ScopedQueryControl& operator=(const ScopedQueryControl&) = delete;
+
+  /// The innermost control bound on this thread, or null.
+  static const QueryControl* Active() { return active_; }
+
+ private:
+  static inline thread_local const QueryControl* active_ = nullptr;
+  const QueryControl* previous_;
+};
+
+/// True for the status codes that terminate a query's lifecycle rather
+/// than signal a malfunction: the operation was healthy but ran out of
+/// time (kDeadlineExceeded), was asked to stop (kCancelled), or consumed
+/// its work budget (kResourceExhausted). Callers that support partial
+/// results treat these as "stop and report best-so-far", not as errors.
+inline bool IsLifecycleStop(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_QUERY_CONTROL_H_

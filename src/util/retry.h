@@ -5,6 +5,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "util/query_control.h"
 #include "util/status.h"
 
 namespace geosir::util {
@@ -39,18 +40,28 @@ const Status& StatusOf(const Result<T>& r) {
 /// `policy.max_attempts` times, sleeping between attempts, as long as the
 /// outcome is retriable. Returns the last outcome. If `attempts_out` is
 /// non-null it receives the number of invocations performed.
+///
+/// Retrying respects the active query lifecycle (`control`, defaulting to
+/// the thread's ScopedQueryControl binding): once the deadline has passed
+/// or the operation is cancelled, no further attempt is made and the last
+/// outcome is returned as-is — a query on its way out must not burn its
+/// remaining time sleeping in a backoff loop. The first attempt always
+/// runs; lifecycle checks only gate *re*-tries.
 template <typename Fn>
 auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn,
-                      int* attempts_out = nullptr)
+                      int* attempts_out = nullptr,
+                      const QueryControl* control = nullptr)
     -> std::invoke_result_t<Fn> {
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   double backoff_us = static_cast<double>(policy.base_backoff_us);
+  if (control == nullptr) control = ScopedQueryControl::Active();
   for (int attempt = 1;; ++attempt) {
     auto outcome = fn();
     if (attempts_out != nullptr) *attempts_out = attempt;
     if (internal::StatusOf(outcome).ok() ||
         !IsRetriable(internal::StatusOf(outcome).code()) ||
-        attempt >= attempts) {
+        attempt >= attempts ||
+        (control != nullptr && !control->Check().ok())) {
       return outcome;
     }
     if (backoff_us >= 1.0) {

@@ -23,6 +23,15 @@ enum class StatusCode {
   /// A transient fault (I/O hiccup, injected fault): the operation may
   /// succeed if retried. See util/retry.h for the bounded-retry helper.
   kUnavailable,
+  /// The operation's deadline passed before it completed. Query-lifecycle
+  /// stop, not a malfunction: best-so-far partial results may exist (see
+  /// MatchStats::partial).
+  kDeadlineExceeded,
+  /// The operation was cooperatively cancelled via a CancellationToken.
+  kCancelled,
+  /// The operation consumed its work budget (rounds / candidate
+  /// evaluations / range-search visits) before completing.
+  kResourceExhausted,
 };
 
 /// Human-readable name of a StatusCode ("Ok", "InvalidArgument", ...).
@@ -66,6 +75,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

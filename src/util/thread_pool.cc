@@ -36,47 +36,93 @@ ThreadPool& ThreadPool::Shared() {
   return *pool;
 }
 
+void ThreadPool::CaptureException() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_exception_ == nullptr) {
+    first_exception_ = std::current_exception();
+  }
+  // Checkpointed early exit: no slot claims another item after this.
+  stop_.store(true, std::memory_order_release);
+}
+
 void ThreadPool::Drain(size_t slot,
                        const std::function<void(size_t, size_t)>& body,
                        size_t end) {
   const bool was_in_body = tls_in_parallel_body;
   tls_in_parallel_body = true;
   while (true) {
+    if (stop_.load(std::memory_order_acquire) ||
+        (cancel_ != nullptr && cancel_->cancelled())) {
+      break;
+    }
     const size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
     if (item >= end) break;
-    body(slot, item);
+    try {
+      body(slot, item);
+    } catch (...) {
+      CaptureException();
+    }
   }
   tls_in_parallel_body = was_in_body;
 }
 
 void ThreadPool::ParallelFor(
     size_t n, size_t max_parallelism,
-    const std::function<void(size_t worker, size_t item)>& body) {
+    const std::function<void(size_t worker, size_t item)>& body,
+    const CancellationToken* cancel) {
   if (n == 0) return;
   size_t helpers = workers_.size();
   if (max_parallelism > 0) helpers = std::min(helpers, max_parallelism - 1);
   helpers = std::min(helpers, n - 1);
   if (helpers == 0 || tls_in_parallel_body) {
+    // Inline path (serial caller or nested loop): exceptions propagate
+    // directly — the loop stops at the throwing item, which matches the
+    // pooled path's "cancel remaining iterations" contract.
     const bool was_in_body = tls_in_parallel_body;
     tls_in_parallel_body = true;
-    for (size_t item = 0; item < n; ++item) body(0, item);
+    for (size_t item = 0; item < n; ++item) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      try {
+        body(0, item);
+      } catch (...) {
+        tls_in_parallel_body = was_in_body;
+        throw;
+      }
+    }
     tls_in_parallel_body = was_in_body;
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Serialize external callers: a second thread must not overwrite an
+    // active job's state (body pointer, item counter, helper count).
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return !busy_; });
+    busy_ = true;
     body_ = &body;
     end_ = n;
     num_helpers_ = helpers;
     pending_helpers_ = helpers;
     next_item_.store(0, std::memory_order_relaxed);
+    cancel_ = cancel;
+    stop_.store(false, std::memory_order_relaxed);
+    first_exception_ = nullptr;
     ++generation_;
   }
   job_cv_.notify_all();
   Drain(/*slot=*/0, body, n);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return pending_helpers_ == 0; });
-  body_ = nullptr;
+  std::exception_ptr pending;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_helpers_ == 0; });
+    body_ = nullptr;
+    cancel_ = nullptr;
+    pending = first_exception_;
+    first_exception_ = nullptr;
+    busy_ = false;
+  }
+  // Wake any external caller waiting for the pool to free up.
+  done_cv_.notify_all();
+  if (pending != nullptr) std::rethrow_exception(pending);
 }
 
 void ThreadPool::WorkerLoop(size_t worker_id) {

@@ -5,10 +5,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/cancellation.h"
 
 namespace geosir::util {
 
@@ -20,12 +23,20 @@ namespace geosir::util {
 /// per-task allocation (the loop body is passed by reference and items
 /// are bare indices).
 ///
-/// ParallelFor(n) is a barrier: it returns only after every item has run.
-/// The calling thread participates as worker slot 0, so ThreadPool(n)
-/// spawns n - 1 background threads for a total parallelism of n.
-/// ParallelFor issued from inside a pool worker (a nested parallel loop)
-/// runs inline on that worker — nesting degrades gracefully to serial
-/// instead of deadlocking.
+/// ParallelFor(n) is a barrier: it returns only after every slot has
+/// drained. The calling thread participates as worker slot 0, so
+/// ThreadPool(n) spawns n - 1 background threads for a total parallelism
+/// of n. ParallelFor issued from inside a pool worker (a nested parallel
+/// loop) runs inline on that worker — nesting degrades gracefully to
+/// serial instead of deadlocking. Concurrent ParallelFor calls from
+/// *different external* threads are serialized: the second caller blocks
+/// until the pool is free.
+///
+/// Early exit: a loop stops claiming new items — in-flight items drain,
+/// then the barrier releases — when (a) the optional `cancel` token
+/// fires, or (b) any invocation of the body throws. The first exception
+/// is captured and rethrown on the calling thread after the barrier;
+/// items not yet claimed at that point never run.
 class ThreadPool {
  public:
   /// Total parallelism `num_threads` (>= 1): the pool owns
@@ -45,10 +56,17 @@ class ThreadPool {
   /// `worker` is a dense slot id in [0, parallelism); the calling thread
   /// is always slot 0. Items are claimed dynamically, so the mapping of
   /// items to slots is nondeterministic — bodies must only write to
-  /// per-item or per-slot state. Blocks until every item has completed.
-  /// The body must not throw.
+  /// per-item or per-slot state. Blocks until every claimed item has
+  /// completed.
+  ///
+  /// When `cancel` is non-null, its flag is checked before each claim
+  /// (checkpointed early exit): once cancelled, no new item starts, but
+  /// items already running finish normally — the loop returns promptly
+  /// without abandoning work mid-body. If the body throws, the first
+  /// exception is rethrown here after all slots drain.
   void ParallelFor(size_t n, size_t max_parallelism,
-                   const std::function<void(size_t worker, size_t item)>& body);
+                   const std::function<void(size_t worker, size_t item)>& body,
+                   const CancellationToken* cancel = nullptr);
 
   /// Largest `worker` slot count ParallelFor can use under the given cap:
   /// min(num_threads(), max_parallelism), with 0 meaning uncapped. Size
@@ -67,19 +85,27 @@ class ThreadPool {
   void WorkerLoop(size_t worker_id);
   void Drain(size_t slot, const std::function<void(size_t, size_t)>& body,
              size_t end);
+  /// Records a body exception: first one wins, all further claims stop.
+  void CaptureException();
 
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;
   std::condition_variable job_cv_;   // Workers wait for a new generation.
-  std::condition_variable done_cv_;  // Caller waits for helpers to finish.
+  std::condition_variable done_cv_;  // Caller waits for helpers / pool free.
   const std::function<void(size_t, size_t)>* body_ = nullptr;
   size_t end_ = 0;
   size_t num_helpers_ = 0;      // Helpers participating in this job.
   size_t pending_helpers_ = 0;  // Helpers that have not checked out yet.
   uint64_t generation_ = 0;
   bool shutdown_ = false;
+  bool busy_ = false;           // A job is set up or running.
   std::atomic<size_t> next_item_{0};
+
+  // Per-job early-exit state (reset when a job is installed).
+  const CancellationToken* cancel_ = nullptr;
+  std::atomic<bool> stop_{false};
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace geosir::util

@@ -1,0 +1,388 @@
+// Fuzz and input-hardening tests: byte-mutated shape files (v1 and v2)
+// through LoadShapeBase, random query strings through ParseQuery, and
+// non-finite (NaN/Inf) inputs through every public entry point. The
+// invariant under fuzz is uniform: never crash, never hang, never accept
+// garbage silently — return a clean error Status (or a valid salvaged
+// prefix) instead. All randomness is seeded, so a failure reproduces.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "core/envelope_matcher.h"
+#include "core/shape_base.h"
+#include "query/parser.h"
+#include "storage/base_io.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+namespace geosir {
+namespace {
+
+using geom::Polyline;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Polyline MakeTriangle(double x0 = 0.0) {
+  return Polyline({{x0, 0.0}, {x0 + 1.0, 0.0}, {x0 + 0.5, 0.8}}, true);
+}
+
+Polyline MakeNonFiniteTriangle(double bad) {
+  return Polyline({{0.0, 0.0}, {1.0, bad}, {0.5, 0.8}}, true);
+}
+
+// Little-endian append helpers for hand-crafting v1 files.
+template <typename T>
+void Append(std::vector<uint8_t>* out, T value) {
+  uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+// A v1 shape file (no checksums): magic, version, count, then records.
+std::vector<uint8_t> BuildV1File(const std::vector<Polyline>& shapes) {
+  std::vector<uint8_t> out;
+  Append<uint32_t>(&out, 0x52495347);  // "GSIR"
+  Append<uint32_t>(&out, 1);
+  Append<uint64_t>(&out, shapes.size());
+  for (const Polyline& shape : shapes) {
+    Append<uint32_t>(&out, 0);                 // image
+    Append<uint16_t>(&out, 0);                 // label length
+    Append<uint8_t>(&out, shape.closed() ? 1 : 0);
+    Append<uint32_t>(&out, static_cast<uint32_t>(shape.size()));
+    for (size_t v = 0; v < shape.size(); ++v) {
+      Append<double>(&out, shape.vertex(v).x);
+      Append<double>(&out, shape.vertex(v).y);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite input hardening (regressions for the NaN/Inf validation).
+// ---------------------------------------------------------------------------
+
+TEST(InputHardeningTest, AddShapeRejectsNonFiniteVertices) {
+  for (double bad : {kNan, kInf, -kInf}) {
+    core::ShapeBase base;
+    auto id = base.AddShape(MakeNonFiniteTriangle(bad));
+    ASSERT_FALSE(id.ok());
+    EXPECT_EQ(id.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(InputHardeningTest, DynamicInsertRejectsNonFiniteVertices) {
+  for (double bad : {kNan, kInf}) {
+    core::DynamicShapeBase dynamic;
+    auto id = dynamic.Insert(MakeNonFiniteTriangle(bad));
+    ASSERT_FALSE(id.ok());
+    EXPECT_EQ(id.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+class HardenedMatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = new core::ShapeBase();
+    util::Rng rng(5);
+    workload::PolygonGenOptions gen;
+    for (int s = 0; s < 20; ++s) {
+      ASSERT_TRUE(base_->AddShape(workload::RandomStarPolygon(&rng, gen)).ok());
+    }
+    ASSERT_TRUE(base_->Finalize().ok());
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    base_ = nullptr;
+  }
+  static core::ShapeBase* base_;
+};
+
+core::ShapeBase* HardenedMatchTest::base_ = nullptr;
+
+TEST_F(HardenedMatchTest, MatchRejectsNonFiniteQuery) {
+  core::EnvelopeMatcher matcher(base_);
+  for (double bad : {kNan, kInf}) {
+    auto result = matcher.Match(MakeNonFiniteTriangle(bad));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(HardenedMatchTest, MatchRejectsNonFiniteOptions) {
+  core::EnvelopeMatcher matcher(base_);
+  const Polyline query = MakeTriangle();
+  // Each of these once sent the matcher into an unbounded or undefined
+  // search (NaN growth never reaches eps_max); they must all fail fast.
+  std::vector<core::MatchOptions> bad_options(6);
+  bad_options[0].beta = kNan;
+  bad_options[1].growth = kNan;
+  bad_options[2].growth = 1.0;  // Non-growing envelope loops forever.
+  bad_options[3].initial_epsilon = kNan;
+  bad_options[4].max_epsilon = kInf;
+  bad_options[5].stop_factor = kNan;
+  for (size_t i = 0; i < bad_options.size(); ++i) {
+    auto result = matcher.Match(query, bad_options[i]);
+    ASSERT_FALSE(result.ok()) << "options variant " << i;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument)
+        << "options variant " << i;
+  }
+}
+
+TEST(InputHardeningTest, ParserRejectsNonFiniteAngles) {
+  std::map<std::string, Polyline> shapes;
+  shapes.emplace("a", MakeTriangle());
+  shapes.emplace("b", MakeTriangle(3.0));
+  for (const char* text : {"overlap(a, b, nan)", "overlap(a, b, inf)",
+                           "contain(a, b, -inf)", "disjoint(a, b, NAN)"}) {
+    auto query = query::ParseQuery(text, shapes);
+    ASSERT_FALSE(query.ok()) << text;
+    EXPECT_EQ(query.status().code(), util::StatusCode::kInvalidArgument)
+        << text;
+  }
+  // A finite angle still parses.
+  EXPECT_TRUE(query::ParseQuery("overlap(a, b, 0.5)", shapes).ok());
+}
+
+TEST(InputHardeningTest, V1FileWithNonFiniteCoordinatesFailsCleanly) {
+  // v1 has no checksums, so a NaN coordinate reaches shape validation —
+  // which must flag the record as corruption, not store a poisoned shape.
+  const std::string path = TempPath("v1_nan.shapes");
+  std::vector<Polyline> shapes = {MakeTriangle(),
+                                  MakeNonFiniteTriangle(kNan)};
+  WriteFileBytes(path, BuildV1File(shapes));
+
+  auto strict = storage::LoadShapeBase(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kCorruption);
+
+  // Salvage keeps the valid prefix (the finite triangle).
+  storage::LoadOptions salvage;
+  salvage.salvage = true;
+  storage::LoadReport report;
+  auto loose = storage::LoadShapeBase(path, {}, salvage, &report);
+  ASSERT_TRUE(loose.ok()) << loose.status().ToString();
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.version, 1u);
+  EXPECT_EQ((*loose)->NumShapes(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Byte-mutation fuzz over the shape-file loader.
+// ---------------------------------------------------------------------------
+
+class ShapeFileFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::ShapeBase base;
+    util::Rng rng(17);
+    workload::PolygonGenOptions gen;
+    for (int s = 0; s < 30; ++s) {
+      ASSERT_TRUE(base.AddShape(workload::RandomStarPolygon(&rng, gen),
+                                core::ImageId(s), "shape-" + std::to_string(s))
+                      .ok());
+    }
+    const std::string path = TempPath("fuzz_seed_v2.shapes");
+    ASSERT_TRUE(storage::SaveShapeBase(base, path).ok());
+    v2_bytes_ = new std::vector<uint8_t>(ReadFileBytes(path));
+    ASSERT_FALSE(v2_bytes_->empty());
+    std::remove(path.c_str());
+
+    std::vector<Polyline> shapes;
+    for (int s = 0; s < 30; ++s) {
+      shapes.push_back(workload::RandomStarPolygon(&rng, gen));
+    }
+    v1_bytes_ = new std::vector<uint8_t>(BuildV1File(shapes));
+  }
+  static void TearDownTestSuite() {
+    delete v2_bytes_;
+    delete v1_bytes_;
+    v2_bytes_ = nullptr;
+    v1_bytes_ = nullptr;
+  }
+
+  // One fuzz campaign: mutate, load (both salvage modes), assert the
+  // invariant. Any returned base must be fully usable.
+  static void Fuzz(const std::vector<uint8_t>& seed, uint64_t rng_seed,
+                   int iterations) {
+    util::Rng rng(rng_seed);
+    const std::string path = TempPath("fuzz_case.shapes");
+    for (int it = 0; it < iterations; ++it) {
+      std::vector<uint8_t> bytes = seed;
+      // Mutations: flip 1-8 bytes; sometimes truncate; sometimes extend.
+      const int flips = static_cast<int>(rng.UniformInt(1, 8));
+      for (int f = 0; f < flips && !bytes.empty(); ++f) {
+        const size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+        bytes[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+      if (rng.Bernoulli(0.25) && bytes.size() > 1) {
+        bytes.resize(static_cast<size_t>(
+            rng.UniformInt(1, static_cast<int64_t>(bytes.size()) - 1)));
+      } else if (rng.Bernoulli(0.1)) {
+        for (int extra = 0; extra < 64; ++extra) {
+          bytes.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+        }
+      }
+      WriteFileBytes(path, bytes);
+      for (bool salvage : {false, true}) {
+        storage::LoadOptions load;
+        load.salvage = salvage;
+        storage::LoadReport report;
+        auto result = storage::LoadShapeBase(path, {}, load, &report);
+        if (result.ok()) {
+          // Whatever survived must be a coherent, queryable base.
+          core::ShapeBase& loaded = **result;
+          EXPECT_TRUE(loaded.finalized());
+          EXPECT_EQ(report.shapes_loaded, loaded.NumShapes());
+          if (loaded.NumShapes() > 0) {
+            core::EnvelopeMatcher matcher(&loaded);
+            core::MatchOptions options;
+            options.budget.max_rounds = 2;  // Keep each probe cheap.
+            auto match = matcher.Match(MakeTriangle(), options);
+            if (!match.ok()) {
+              EXPECT_NE(match.status().code(), util::StatusCode::kOk);
+            }
+          }
+        } else {
+          EXPECT_NE(result.status().code(), util::StatusCode::kOk);
+          EXPECT_FALSE(result.status().message().empty());
+        }
+      }
+    }
+    std::remove(path.c_str());
+  }
+
+  static std::vector<uint8_t>* v2_bytes_;
+  static std::vector<uint8_t>* v1_bytes_;
+};
+
+std::vector<uint8_t>* ShapeFileFuzzTest::v2_bytes_ = nullptr;
+std::vector<uint8_t>* ShapeFileFuzzTest::v1_bytes_ = nullptr;
+
+TEST_F(ShapeFileFuzzTest, MutatedV2FilesNeverCrashTheLoader) {
+  Fuzz(*v2_bytes_, 20260807, 120);
+}
+
+TEST_F(ShapeFileFuzzTest, MutatedV1FilesNeverCrashTheLoader) {
+  Fuzz(*v1_bytes_, 20260808, 120);
+}
+
+TEST_F(ShapeFileFuzzTest, EmptyAndTinyFilesFailCleanly) {
+  const std::string path = TempPath("fuzz_tiny.shapes");
+  for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{8},
+                     size_t{15}, size_t{16}}) {
+    WriteFileBytes(path, std::vector<uint8_t>(
+                             v2_bytes_->begin(),
+                             v2_bytes_->begin() +
+                                 static_cast<std::ptrdiff_t>(len)));
+    auto result = storage::LoadShapeBase(path);
+    EXPECT_FALSE(result.ok()) << "length " << len;
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Random query strings through the parser.
+// ---------------------------------------------------------------------------
+
+TEST(QueryParserFuzzTest, RandomStringsNeverCrashTheParser) {
+  std::map<std::string, Polyline> shapes;
+  shapes.emplace("a", MakeTriangle());
+  shapes.emplace("b", MakeTriangle(3.0));
+  shapes.emplace("long_name-1", MakeTriangle(6.0));
+
+  // Token soup biased toward the grammar so mutations reach deep states.
+  const std::vector<std::string> tokens = {
+      "similar",  "contain", "overlap", "disjoint", "a",   "b",
+      "long_name-1", "any",  "(",       ")",        ",",   "~",
+      "&",        "|",       " ",       "0.5",      "-1e9", "nan",
+      "inf",      "x",       "((",      "))",       "similar(a)",
+      "contain(a,b,any)"};
+  util::Rng rng(20260809);
+  for (int it = 0; it < 500; ++it) {
+    std::string text;
+    const int parts = static_cast<int>(rng.UniformInt(0, 12));
+    for (int p = 0; p < parts; ++p) {
+      text += tokens[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(tokens.size()) - 1))];
+    }
+    // Occasionally splice in raw bytes (including non-ASCII).
+    if (rng.Bernoulli(0.2)) {
+      const size_t pos = text.empty()
+                             ? 0
+                             : static_cast<size_t>(rng.UniformInt(
+                                   0, static_cast<int64_t>(text.size())));
+      text.insert(pos, 1, static_cast<char>(rng.UniformInt(1, 255)));
+    }
+    auto query = query::ParseQuery(text, shapes);
+    if (!query.ok()) {
+      EXPECT_FALSE(query.status().message().empty()) << "input: " << text;
+    } else {
+      EXPECT_NE(query->get(), nullptr) << "input: " << text;
+    }
+  }
+}
+
+TEST(QueryParserFuzzTest, MutatedValidQueriesNeverCrashTheParser) {
+  std::map<std::string, Polyline> shapes;
+  shapes.emplace("a", MakeTriangle());
+  shapes.emplace("b", MakeTriangle(3.0));
+  const std::string valid =
+      "(similar(a) & contain(a, b, 0.25)) | ~disjoint(b, a, any)";
+  util::Rng rng(20260810);
+  for (int it = 0; it < 500; ++it) {
+    std::string text = valid;
+    const int edits = static_cast<int>(rng.UniformInt(1, 4));
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+      }
+    }
+    auto query = query::ParseQuery(text, shapes);
+    (void)query;  // OK or clean error; reaching here is the assertion.
+  }
+}
+
+}  // namespace
+}  // namespace geosir

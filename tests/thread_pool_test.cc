@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/cancellation.h"
 
 namespace geosir::util {
 namespace {
@@ -117,6 +120,112 @@ TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
   bool ran = false;
   pool.ParallelFor(0, 0, [&](size_t, size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, BodyExceptionIsRethrownOnCallerAndCancelsRest) {
+  ThreadPool pool(4);
+  const size_t n = 100000;
+  std::atomic<size_t> ran{0};
+  bool caught = false;
+  try {
+    pool.ParallelFor(n, 0, [&](size_t, size_t item) {
+      if (item == 3) throw std::runtime_error("boom");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_TRUE(caught);
+  // The throwing item never counts, so a full run is impossible; the real
+  // assertion is that the loop returned (barrier held) with the exception.
+  EXPECT_LT(ran.load(), n);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsWhenSeveralSlotsThrow) {
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    pool.ParallelFor(1000, 0, [&](size_t, size_t) {
+      throw std::runtime_error("each item throws");
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   100, 0, [](size_t, size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(500, 0,
+                   [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesExceptionAtThrowingItem) {
+  ThreadPool pool(1);  // helpers == 0: inline path.
+  int ran = 0;
+  EXPECT_THROW(pool.ParallelFor(10, 0,
+                                [&](size_t, size_t item) {
+                                  if (item == 4) throw std::runtime_error("x");
+                                  ++ran;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 4);  // Items after the throw were cancelled.
+}
+
+TEST(ThreadPoolTest, CancelStopsClaimingNewItems) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  const size_t n = 1u << 20;
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(
+      n, 0,
+      [&](size_t, size_t item) {
+        if (item == 0) token.Cancel("enough");
+        ran.fetch_add(1, std::memory_order_relaxed);
+      },
+      &token);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GE(ran.load(), 1u);  // In-flight items finish (checkpointed exit).
+  EXPECT_LT(ran.load(), n);   // But the bulk never starts.
+}
+
+TEST(ThreadPoolTest, AlreadyCancelledTokenRunsNothing) {
+  CancellationToken token;
+  token.Cancel("pre-cancelled");
+  std::atomic<int> ran{0};
+  ThreadPool pooled(4);
+  pooled.ParallelFor(1000, 0, [&](size_t, size_t) { ran.fetch_add(1); },
+                     &token);
+  EXPECT_EQ(ran.load(), 0);
+  ThreadPool inline_pool(1);
+  inline_pool.ParallelFor(1000, 0, [&](size_t, size_t) { ran.fetch_add(1); },
+                          &token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, ConcurrentExternalCallersSerializeSafely) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 2000;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(kItems, 0,
+                       [&](size_t, size_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& th : callers) th.join();
+  // Every caller's loop ran every item exactly once — concurrent callers
+  // must queue for the pool, not corrupt each other's job state.
+  EXPECT_EQ(total.load(), kCallers * kItems);
 }
 
 }  // namespace
