@@ -4,10 +4,55 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <random>
 #include <string>
 #include <vector>
 
 namespace geosir::bench {
+
+/// ISO-8601 UTC wall-clock timestamp, e.g. "2026-08-07T12:34:56Z".
+inline std::string IsoTimestampUtc() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+/// Git revision the benchmark binary was built from. The build system
+/// bakes it in via -DGEOSIR_GIT_SHA=...; GEOSIR_GIT_SHA in the
+/// environment overrides it (useful when re-running an old binary
+/// against a known tree state).
+inline std::string GitSha() {
+  if (const char* env = std::getenv("GEOSIR_GIT_SHA")) return env;
+#ifdef GEOSIR_GIT_SHA
+  return GEOSIR_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Random per-process identifier so rows from one benchmark invocation
+/// can be grouped after files are concatenated across runs.
+inline const std::string& RunId() {
+  static const std::string id = [] {
+    std::random_device rd;
+    std::uint64_t bits =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return std::string(buf);
+  }();
+  return id;
+}
 
 /// Wall-clock stopwatch.
 class Timer {
@@ -88,11 +133,16 @@ inline long long EnvScale(const char* name, long long default_value) {
 /// to stdout (prefixed with "JSON " so it survives mixed with the tables)
 /// and appended verbatim to the file named by GEOSIR_BENCH_JSON when that
 /// is set. Collecting those lines across PRs (BENCH_*.json) gives the
-/// perf trajectory of every tracked metric.
+/// perf trajectory of every tracked metric. Every row carries provenance
+/// fields (ts, git_sha, run_id) so concatenated files remain attributable
+/// to a build and an invocation.
 class JsonLine {
  public:
   explicit JsonLine(const std::string& bench) {
     buffer_ = "{\"bench\":\"" + Escaped(bench) + "\"";
+    Str("ts", IsoTimestampUtc());
+    Str("git_sha", GitSha());
+    Str("run_id", RunId());
   }
 
   JsonLine& Str(const char* key, const std::string& value) {

@@ -1,14 +1,57 @@
 #include "core/dynamic_shape_base.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "core/normalize.h"
 #include "core/similarity.h"
+#include "obs/metrics.h"
 #include "util/query_control.h"
 #include "util/thread_pool.h"
 
 namespace geosir::core {
+
+namespace {
+
+/// Process-wide dynamic-base metric families. The gauges aggregate over
+/// instances by delta: each instance adds its own size changes.
+struct DynamicBaseMetrics {
+  obs::Counter* inserts;
+  obs::Counter* removes;
+  obs::Counter* compactions;
+  obs::Gauge* delta_shapes;
+  obs::Gauge* tombstones;
+  obs::Gauge* live_shapes;
+  obs::Histogram* compaction_latency;
+
+  static const DynamicBaseMetrics& Get() {
+    static const DynamicBaseMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new DynamicBaseMetrics();
+      m->inserts = r.GetCounter("geosir_dynamic_inserts_total",
+                                "Shapes inserted into dynamic bases");
+      m->removes = r.GetCounter("geosir_dynamic_removes_total",
+                                "Shapes removed from dynamic bases");
+      m->compactions = r.GetCounter("geosir_dynamic_compactions_total",
+                                    "Main-base rebuilds (delta merges)");
+      m->delta_shapes = r.GetGauge("geosir_dynamic_delta_shapes",
+                                   "Unindexed delta shapes awaiting merge");
+      m->tombstones = r.GetGauge("geosir_dynamic_tombstones",
+                                 "Deleted shapes still in main bases");
+      m->live_shapes =
+          r.GetGauge("geosir_dynamic_live_shapes", "Live shapes (all bases)");
+      m->compaction_latency = r.GetHistogram(
+          "geosir_dynamic_compaction_seconds",
+          "Wall-clock latency of one compaction (main-base rebuild)",
+          obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 DynamicShapeBase::DynamicShapeBase(Options options)
     : options_(std::move(options)) {}
@@ -37,6 +80,10 @@ util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
   records_.push_back(std::move(record));
   delta_ids_.push_back(id);
   ++live_count_;
+  const DynamicBaseMetrics& metrics = DynamicBaseMetrics::Get();
+  metrics.inserts->Inc();
+  metrics.delta_shapes->Add(1);
+  metrics.live_shapes->Add(1);
   GEOSIR_RETURN_IF_ERROR(MaybeCompact());
   return id;
 }
@@ -51,12 +98,17 @@ util::Status DynamicShapeBase::Remove(uint64_t id) {
   }
   record.deleted = true;
   --live_count_;
+  const DynamicBaseMetrics& metrics = DynamicBaseMetrics::Get();
+  metrics.removes->Inc();
+  metrics.live_shapes->Add(-1);
   if (record.in_main) {
     ++tombstones_;
+    metrics.tombstones->Add(1);
   } else {
     delta_ids_.erase(
         std::remove(delta_ids_.begin(), delta_ids_.end(), id),
         delta_ids_.end());
+    metrics.delta_shapes->Add(-1);
   }
   return MaybeCompact();
 }
@@ -77,6 +129,8 @@ util::Status DynamicShapeBase::MaybeCompact() {
 }
 
 util::Status DynamicShapeBase::Compact() {
+  const DynamicBaseMetrics& metrics = DynamicBaseMetrics::Get();
+  const auto compact_start = std::chrono::steady_clock::now();
   auto rebuilt = std::make_unique<ShapeBase>(options_.base);
   std::vector<uint64_t> ids;
   for (uint64_t id = 0; id < records_.size(); ++id) {
@@ -95,9 +149,16 @@ util::Status DynamicShapeBase::Compact() {
   main_ = std::move(rebuilt);
   matcher_ = std::make_unique<EnvelopeMatcher>(main_.get());
   main_ids_ = std::move(ids);
+  metrics.delta_shapes->Add(-static_cast<int64_t>(delta_ids_.size()));
+  metrics.tombstones->Add(-static_cast<int64_t>(tombstones_));
   delta_ids_.clear();
   tombstones_ = 0;
   ++compactions_;
+  metrics.compactions->Inc();
+  metrics.compaction_latency->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compact_start)
+          .count());
   return util::Status::OK();
 }
 

@@ -1,12 +1,16 @@
 #include "core/envelope_matcher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <string_view>
 #include <unordered_map>
 
 #include "geom/distance.h"
 #include "geom/envelope.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "util/query_control.h"
 #include "util/thread_pool.h"
 
@@ -17,6 +21,97 @@ namespace {
 using geom::Polyline;
 
 double Log2(double v) { return std::log2(std::max(2.0, v)); }
+
+/// Process-wide matcher metric families, resolved once. Per-query cost is
+/// one relaxed add per counter at Match exit — never per vertex.
+struct MatcherMetrics {
+  obs::Counter* queries;
+  obs::Counter* rounds;
+  obs::Counter* vertices_reported;
+  obs::Counter* vertices_accepted;
+  obs::Counter* candidates;
+  obs::Counter* candidates_skipped;
+  obs::Counter* eval_cache_hits;
+  obs::Counter* partials;
+  obs::Counter* degraded;
+  obs::Counter* term_early_exit;
+  obs::Counter* term_exhausted;
+  obs::Counter* term_deadline;
+  obs::Counter* term_cancelled;
+  obs::Counter* term_budget;
+  obs::Counter* term_error;
+  obs::Histogram* latency;
+
+  static const MatcherMetrics& Get() {
+    static const MatcherMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new MatcherMetrics();
+      m->queries = r.GetCounter("geosir_matcher_queries_total",
+                                "Match calls finished (any outcome)");
+      m->rounds = r.GetCounter("geosir_matcher_rounds_total",
+                               "Envelope-growth rounds started");
+      m->vertices_reported =
+          r.GetCounter("geosir_matcher_vertices_reported_total",
+                       "Vertices reported by the range structure");
+      m->vertices_accepted =
+          r.GetCounter("geosir_matcher_vertices_accepted_total",
+                       "Reported vertices that passed the exact ring test");
+      m->candidates = r.GetCounter("geosir_matcher_candidates_total",
+                                   "Candidate copies scored");
+      m->candidates_skipped =
+          r.GetCounter("geosir_matcher_candidates_skipped_total",
+                       "Qualifying copies never scored (query was stopping)");
+      m->eval_cache_hits =
+          r.GetCounter("geosir_matcher_eval_cache_hits_total",
+                       "Similarity components served from the per-query memo");
+      m->partials = r.GetCounter("geosir_matcher_partials_total",
+                                 "Queries returning best-so-far partials");
+      m->degraded = r.GetCounter(
+          "geosir_matcher_degraded_total",
+          "Queries whose index skipped unreadable subtrees");
+      const char* term_name = "geosir_matcher_terminations_total";
+      const char* term_help = "Match terminations by reason";
+      m->term_early_exit =
+          r.GetCounter(term_name, term_help, "reason=\"early_exit\"");
+      m->term_exhausted =
+          r.GetCounter(term_name, term_help, "reason=\"exhausted\"");
+      m->term_deadline =
+          r.GetCounter(term_name, term_help, "reason=\"deadline\"");
+      m->term_cancelled =
+          r.GetCounter(term_name, term_help, "reason=\"cancelled\"");
+      m->term_budget = r.GetCounter(term_name, term_help, "reason=\"budget\"");
+      m->term_error = r.GetCounter(term_name, term_help, "reason=\"error\"");
+      m->latency = r.GetHistogram("geosir_matcher_latency_seconds",
+                                  "End-to-end Match latency",
+                                  obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return *metrics;
+  }
+
+  obs::Counter* TerminationCounter(const char* reason) const {
+    if (std::string_view(reason) == "early_exit") return term_early_exit;
+    if (std::string_view(reason) == "exhausted") return term_exhausted;
+    if (std::string_view(reason) == "deadline") return term_deadline;
+    if (std::string_view(reason) == "cancelled") return term_cancelled;
+    if (std::string_view(reason) == "budget") return term_budget;
+    return term_error;
+  }
+};
+
+/// Metric/trace label for a lifecycle stop status.
+const char* StopReason(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+      return "deadline";
+    case util::StatusCode::kCancelled:
+      return "cancelled";
+    case util::StatusCode::kResourceExhausted:
+      return "budget";
+    default:
+      return "error";
+  }
+}
 
 /// Pool to run on, or null for fully serial execution.
 util::ThreadPool* ResolvePool(const MatchOptions& options) {
@@ -181,6 +276,47 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   MatchStats& st = stats != nullptr ? *stats : local_stats;
   st = MatchStats{};
 
+  // Observability: registry counters are flushed once at exit (relaxed
+  // adds, armed in production); the per-round timeline is recorded only
+  // when a trace sink is attached or the slow-query log is armed.
+  const MatcherMetrics& metrics = MatcherMetrics::Get();
+  const auto obs_start = std::chrono::steady_clock::now();
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Default();
+  obs::QueryTrace slow_trace;
+  obs::QueryTrace* qtrace = options.query_trace;
+  if (qtrace == nullptr && slow_log.armed()) qtrace = &slow_trace;
+  if (qtrace != nullptr) {
+    qtrace->Start("match n=" + std::to_string(query.size()) +
+                  " k=" + std::to_string(options.k));
+  }
+  const auto finish_obs = [&](const char* reason) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      obs_start)
+            .count();
+    metrics.queries->Inc();
+    metrics.latency->Observe(seconds);
+    metrics.rounds->Inc(st.iterations);
+    metrics.vertices_reported->Inc(st.vertices_reported);
+    metrics.vertices_accepted->Inc(st.vertices_accepted);
+    metrics.candidates->Inc(st.candidates_evaluated);
+    metrics.candidates_skipped->Inc(st.candidates_skipped);
+    metrics.eval_cache_hits->Inc(st.eval_cache_hits);
+    if (st.partial) metrics.partials->Inc();
+    if (st.degraded) metrics.degraded->Inc();
+    metrics.TerminationCounter(reason)->Inc();
+    if (qtrace != nullptr) {
+      if (st.degraded) {
+        qtrace->AddEvent("degraded",
+                         std::to_string(st.skipped_subtrees) +
+                             " subtrees skipped (" +
+                             std::to_string(st.skipped_leaves) + " leaves)");
+      }
+      qtrace->Finish(reason, st.partial, st.degraded);
+      if (slow_log.armed()) slow_log.Offer(*qtrace);
+    }
+  };
+
   // Lifecycle entry check: a query that arrives already expired or
   // cancelled performs no work at all — not even query normalization.
   const util::QueryControl control{options.deadline, options.cancel_token};
@@ -188,6 +324,7 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     util::Status entry = control.Check();
     if (!entry.ok()) {
       st.termination = entry;
+      finish_obs(StopReason(entry));
       return entry;
     }
   }
@@ -272,7 +409,45 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   util::Status budget_stop;
   const WorkBudget& budget = options.budget;
 
+  // Per-round trace baseline: deltas of the stats counters between round
+  // entries become one RoundTrace each. Only maintained when tracing.
+  struct RoundBaseline {
+    bool active = false;
+    size_t round = 0;
+    double epsilon = 0.0;
+    double at_ms = 0.0;
+    size_t vertices_reported = 0;
+    size_t vertices_accepted = 0;
+    size_t candidates_evaluated = 0;
+    size_t candidates_skipped = 0;
+    size_t eval_cache_hits = 0;
+    uint64_t nodes_visited = 0;
+    uint64_t subtrees_skipped = 0;
+  } round_base;
+  const auto flush_round_trace = [&]() {
+    if (qtrace == nullptr || !round_base.active) return;
+    obs::RoundTrace round;
+    round.round = round_base.round;
+    round.epsilon = round_base.epsilon;
+    round.elapsed_ms = qtrace->ElapsedMs() - round_base.at_ms;
+    round.vertices_reported = st.vertices_reported - round_base.vertices_reported;
+    round.vertices_accepted = st.vertices_accepted - round_base.vertices_accepted;
+    round.candidates_admitted =
+        st.candidates_evaluated - round_base.candidates_evaluated;
+    round.candidates_skipped =
+        st.candidates_skipped - round_base.candidates_skipped;
+    round.eval_cache_hits = st.eval_cache_hits - round_base.eval_cache_hits;
+    const rangesearch::QueryStats& index_stats = base_->index().stats();
+    round.index_nodes_visited =
+        index_stats.nodes_visited - round_base.nodes_visited;
+    round.subtrees_skipped =
+        index_stats.subtrees_skipped - round_base.subtrees_skipped;
+    qtrace->AddRound(round);
+    round_base.active = false;
+  };
+
   while (true) {
+    flush_round_trace();
     // Round-entry checkpoint (also the per-round budget gate).
     if (hard_stop.ok()) hard_stop = control.Check();
     if (hard_stop.ok() && budget_stop.ok() && budget.max_rounds > 0 &&
@@ -282,6 +457,21 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     if (!hard_stop.ok() || !budget_stop.ok()) break;
     ++st.iterations;
     touched.clear();
+    if (qtrace != nullptr) {
+      const rangesearch::QueryStats& index_stats = base_->index().stats();
+      round_base = RoundBaseline{
+          true,
+          st.iterations,
+          eps,
+          qtrace->ElapsedMs(),
+          st.vertices_reported,
+          st.vertices_accepted,
+          st.candidates_evaluated,
+          st.candidates_skipped,
+          st.eval_cache_hits,
+          index_stats.nodes_visited,
+          index_stats.subtrees_skipped};
+    }
 
     const geom::EnvelopeRingCover cover =
         geom::BuildEnvelopeRingCover(q, eps_prev, eps);
@@ -334,6 +524,8 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
           if (util::IsLifecycleStop(index_status.code())) {
             if (hard_stop.ok()) hard_stop = index_status;
           } else {
+            flush_round_trace();
+            finish_obs("error");
             return index_status;
           }
         }
@@ -424,6 +616,7 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     eps = std::min(eps * options.growth, eps_max);
   }
 
+  flush_round_trace();
   st.skipped_subtrees = static_cast<size_t>(
       base_->index().stats().subtrees_skipped - skipped_subtrees_before);
   st.skipped_leaves = static_cast<size_t>(
@@ -450,8 +643,14 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   const util::Status stop = !hard_stop.ok() ? hard_stop : budget_stop;
   if (!stop.ok()) {
     st.termination = stop;
-    if (results.empty()) return stop;
+    if (results.empty()) {
+      finish_obs(StopReason(stop));
+      return stop;
+    }
     st.partial = true;
+    finish_obs(StopReason(stop));
+  } else {
+    finish_obs(st.stopped_early ? "early_exit" : "exhausted");
   }
   return results;
 }

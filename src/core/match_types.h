@@ -7,6 +7,7 @@
 
 #include "core/shape.h"
 #include "core/similarity.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -108,6 +109,15 @@ struct MatchOptions {
   /// Work caps (rounds / candidate evaluations / vertex reports);
   /// defaults unlimited. Deterministic: see WorkBudget.
   WorkBudget budget;
+  /// Opt-in per-query timeline (ε-round progression, candidate and
+  /// degradation events, termination; see obs/trace.h). The matcher
+  /// Start()s it at entry and Finish()es it at exit, so the same instance
+  /// can be reused across queries. Not owned; null (the default) costs a
+  /// pointer test. Independent of `trace` below Match — that records the
+  /// candidate access sequence, this records the timeline. When the
+  /// process-wide obs::SlowQueryLog is armed the matcher builds a trace
+  /// internally even if this is null, offering it to the log at exit.
+  obs::QueryTrace* query_trace = nullptr;
 };
 
 /// One retrieved shape.

@@ -1,0 +1,133 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace geosir::obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string NumStr(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// "name{labels} " or "name " when the series has no labels.
+std::string SeriesPrefix(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name + " ";
+  return name + "{" + labels + "} ";
+}
+
+/// Bucket series name with the le label appended to any series labels.
+std::string BucketPrefix(const std::string& name, const std::string& labels,
+                         const std::string& le) {
+  std::string inner = labels.empty() ? "" : labels + ",";
+  return name + "_bucket{" + inner + "le=\"" + le + "\"} ";
+}
+
+std::string JsonEscaped(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& sample : snapshot.samples) {
+    // Samples are sorted by (name, labels): emit the family header once,
+    // in front of its first series.
+    if (sample.name != last_family) {
+      out += "# HELP " + sample.name + " " + sample.help + "\n";
+      out += "# TYPE " + sample.name + " " + TypeName(sample.type) + "\n";
+      last_family = sample.name;
+    }
+    switch (sample.type) {
+      case MetricType::kCounter:
+        out += SeriesPrefix(sample.name, sample.labels) +
+               std::to_string(sample.counter_value) + "\n";
+        break;
+      case MetricType::kGauge:
+        out += SeriesPrefix(sample.name, sample.labels) +
+               std::to_string(sample.gauge_value) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = sample.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.buckets[i];
+          out += BucketPrefix(sample.name, sample.labels,
+                              NumStr(h.bounds[i])) +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.buckets.empty() ? 0 : h.buckets.back();
+        out += BucketPrefix(sample.name, sample.labels, "+Inf") +
+               std::to_string(cumulative) + "\n";
+        out += SeriesPrefix(sample.name + "_sum", sample.labels) +
+               NumStr(h.sum) + "\n";
+        out += SeriesPrefix(sample.name + "_count", sample.labels) +
+               std::to_string(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJsonLines(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const MetricSample& sample : snapshot.samples) {
+    std::string line = "{\"metric\":\"" + JsonEscaped(sample.name) + "\"";
+    line += ",\"type\":\"" + std::string(TypeName(sample.type)) + "\"";
+    if (!sample.labels.empty()) {
+      line += ",\"labels\":\"" + JsonEscaped(sample.labels) + "\"";
+    }
+    switch (sample.type) {
+      case MetricType::kCounter:
+        line += ",\"value\":" + std::to_string(sample.counter_value);
+        break;
+      case MetricType::kGauge:
+        line += ",\"value\":" + std::to_string(sample.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = sample.histogram;
+        line += ",\"bounds\":[";
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) line += ",";
+          line += NumStr(h.bounds[i]);
+        }
+        line += "],\"buckets\":[";
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          if (i > 0) line += ",";
+          line += std::to_string(h.buckets[i]);
+        }
+        line += "],\"sum\":" + NumStr(h.sum);
+        line += ",\"count\":" + std::to_string(h.count);
+        break;
+      }
+    }
+    line += "}";
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace geosir::obs

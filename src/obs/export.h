@@ -1,0 +1,26 @@
+#ifndef GEOSIR_OBS_EXPORT_H_
+#define GEOSIR_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace geosir::obs {
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): "# HELP" / "# TYPE" once per family, then one sample
+/// line per series; histograms expand to cumulative _bucket series with
+/// le labels plus _sum and _count. Families come out sorted by name, so
+/// the output is byte-stable for a given snapshot (golden-testable).
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+/// Renders a snapshot as JSON lines — one object per series, the same
+/// shape as bench/results/*.jsonl rows so the two can be collected and
+/// filtered with one pipeline:
+///   {"metric":"geosir_...","type":"counter","labels":"...","value":N}
+/// Histograms carry bounds/buckets arrays plus sum and count.
+std::string ToJsonLines(const RegistrySnapshot& snapshot);
+
+}  // namespace geosir::obs
+
+#endif  // GEOSIR_OBS_EXPORT_H_

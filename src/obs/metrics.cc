@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geosir::obs {
+
+namespace {
+
+std::atomic<bool> g_armed{true};
+
+}  // namespace
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed); }
+void SetArmed(bool armed) { g_armed.store(armed, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  if (!Armed()) return;
+  if (!std::isfinite(value)) value = bounds_.empty() ? 0.0 : bounds_.back() * 2;
+  // Latency-style distributions concentrate in the low buckets; a linear
+  // scan over ~16 bounds beats binary search's mispredictions there.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
+                        std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  return {1e-4,  2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 1e-1,   2.5e-1, 5e-1, 1.0,   2.5,  5.0,  10.0};
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  // Never destroyed: instrumentation sites cache pointers into it and may
+  // run from static destructors (e.g. the shared thread pool).
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrNull(const std::string& name,
+                                                  const std::string& labels,
+                                                  MetricType type) {
+  for (auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) {
+      // Same series re-registered as a different type is a programming
+      // error; return the existing entry so the caller's cast fails loud
+      // in tests rather than silently splitting the series.
+      return entry->type == type ? entry.get() : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindOrNull(name, labels, MetricType::kCounter)) {
+    return existing->counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  entry->type = MetricType::kCounter;
+  entry->counter.reset(new Counter());
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindOrNull(name, labels, MetricType::kGauge)) {
+    return existing->gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  entry->type = MetricType::kGauge;
+  entry->gauge.reset(new Gauge());
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        std::vector<double> bounds,
+                                        const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindOrNull(name, labels, MetricType::kHistogram)) {
+    return existing->histogram.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  entry->type = MetricType::kHistogram;
+  entry->histogram.reset(new Histogram(std::move(bounds)));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSample sample;
+      sample.name = entry->name;
+      sample.help = entry->help;
+      sample.labels = entry->labels;
+      sample.type = entry->type;
+      switch (entry->type) {
+        case MetricType::kCounter:
+          sample.counter_value = entry->counter->value();
+          break;
+        case MetricType::kGauge:
+          sample.gauge_value = entry->gauge->value();
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *entry->histogram;
+          sample.histogram.bounds = h.bounds();
+          sample.histogram.buckets.resize(h.bounds().size() + 1);
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            sample.histogram.buckets[i] = h.bucket_count(i);
+          }
+          sample.histogram.count = h.count();
+          sample.histogram.sum = h.sum();
+          break;
+        }
+      }
+      out.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+void MetricRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->type) {
+      case MetricType::kCounter:
+        entry->counter->value_.store(0, std::memory_order_relaxed);
+        break;
+      case MetricType::kGauge:
+        entry->gauge->value_.store(0, std::memory_order_relaxed);
+        break;
+      case MetricType::kHistogram: {
+        Histogram& h = *entry->histogram;
+        for (size_t i = 0; i <= h.bounds_.size(); ++i) {
+          h.buckets_[i].store(0, std::memory_order_relaxed);
+        }
+        h.count_.store(0, std::memory_order_relaxed);
+        h.sum_micros_.store(0, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace geosir::obs

@@ -1,0 +1,176 @@
+#ifndef GEOSIR_OBS_METRICS_H_
+#define GEOSIR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geosir::obs {
+
+/// Process-wide switch for the *hot-path* cost of every metric: a
+/// disarmed registry turns Inc/Set/Observe into a single predictable
+/// branch, so benchmarks can measure instrumentation overhead in place
+/// (bench_observability) and an operator can shed the last percent under
+/// extreme load. Registration, snapshots and exports work either way.
+/// Default: armed.
+bool Armed();
+void SetArmed(bool armed);
+
+/// Monotonic counter. Inc is a relaxed fetch_add — safe from any thread,
+/// never synchronizes, cheap enough for per-block and per-query paths.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    if (!Armed()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins level (queue depth, delta size). Signed: Add(-1) on
+/// release is the usual idiom.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!Armed()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!Armed()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (cumulative buckets on export, Prometheus
+/// style). Bucket upper bounds are set at registration and never change,
+/// so Observe is a short linear scan plus two relaxed adds — no locks on
+/// the hot path. The running sum is kept in fixed-point microunits
+/// (1e-6 of the observed unit) so it can live in a lock-free uint64.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) *
+           1e-6;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is the
+  /// overflow (+Inf) bucket.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  // Strictly increasing upper bounds.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_micros_{0};
+};
+
+/// Default latency bucket bounds, in seconds: 100 µs .. 10 s,
+/// roughly 1-2.5-5 per decade (Prometheus convention).
+std::vector<double> LatencyBucketsSeconds();
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  /// Non-cumulative per-bucket counts; one longer than `bounds` (+Inf).
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// One time series: a (family name, label set) pair with its value at
+/// snapshot time.
+struct MetricSample {
+  std::string name;    // Family name, e.g. "geosir_matcher_rounds_total".
+  std::string help;
+  std::string labels;  // Inside-the-braces text, e.g. R"(reason="timeout")".
+  MetricType type = MetricType::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Point-in-time view of a registry, sorted by (name, labels) so exports
+/// and golden tests are deterministic. Values are relaxed reads: each
+/// sample is individually coherent, the set as a whole is best-effort.
+struct RegistrySnapshot {
+  std::vector<MetricSample> samples;
+};
+
+/// Named metric registry. Get* registers on first use (mutex-guarded)
+/// and returns a stable pointer the caller caches; after that the hot
+/// path never touches the registry again. One (name, labels) pair is one
+/// series: repeated Get* calls return the same object, so independent
+/// call sites may share a counter by name.
+///
+/// Naming scheme (enforced by convention, documented in DESIGN.md §9):
+/// geosir_<subsystem>_<quantity>[_total|_seconds], with variants as
+/// labels (e.g. geosir_admission_shed_total{reason="timeout"}).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  static MetricRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  /// `bounds` must be strictly increasing; it is fixed by the first
+  /// registration of the series and ignored afterwards.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const std::string& labels = "");
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every registered value (registrations and cached pointers
+  /// stay valid). For benchmarks and tests that measure deltas.
+  void ResetValues();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string labels;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrNull(const std::string& name, const std::string& labels,
+                    MetricType type);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace geosir::obs
+
+#endif  // GEOSIR_OBS_METRICS_H_

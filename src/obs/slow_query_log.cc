@@ -1,0 +1,44 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+
+namespace geosir::obs {
+
+SlowQueryLog& SlowQueryLog::Default() {
+  // Never destroyed for the same reason as MetricRegistry::Default().
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+bool SlowQueryLog::Offer(QueryTrace trace) {
+  if (!armed() || capacity_ == 0) return false;
+  if (trace.total_ms() < threshold_ms_) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= capacity_ &&
+      trace.total_ms() <= entries_.back().total_ms()) {
+    return false;  // Faster than everything retained.
+  }
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), trace.total_ms(),
+      [](double ms, const QueryTrace& e) { return ms > e.total_ms(); });
+  entries_.insert(pos, std::move(trace));
+  if (entries_.size() > capacity_) entries_.pop_back();
+  return true;
+}
+
+std::vector<QueryTrace> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace geosir::obs

@@ -1,0 +1,64 @@
+#ifndef GEOSIR_OBS_SLOW_QUERY_LOG_H_
+#define GEOSIR_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace geosir::obs {
+
+/// Bounded log of the N worst query traces by total latency.
+///
+/// The matcher offers every finished trace when the log is armed (it
+/// builds one internally even without a caller-provided
+/// MatchOptions::query_trace); the log keeps at most `capacity` entries,
+/// always the slowest seen since the last Clear, worst first. Offers
+/// below `threshold_ms` — or faster than the current N-th worst once the
+/// log is full — are rejected without copying the trace, so the steady
+/// state under healthy traffic is one mutex acquisition and a double
+/// compare per query.
+///
+/// Thread-safe; the armed flag is a relaxed atomic so the disarmed check
+/// costs one predictable branch per query.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Process-wide instance the matcher offers to. Disarmed by default.
+  static SlowQueryLog& Default();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  void set_armed(bool armed) {
+    armed_.store(armed, std::memory_order_relaxed);
+  }
+
+  /// Minimum total_ms a trace must reach to be considered (0 = any).
+  void set_threshold_ms(double threshold_ms) { threshold_ms_ = threshold_ms; }
+  double threshold_ms() const { return threshold_ms_; }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Records `trace` if it ranks among the N worst; returns whether it
+  /// was kept. Disarmed logs reject everything.
+  bool Offer(QueryTrace trace);
+
+  /// The retained traces, worst (slowest) first.
+  std::vector<QueryTrace> Snapshot() const;
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> armed_{false};
+  double threshold_ms_ = 0.0;
+  mutable std::mutex mutex_;
+  std::vector<QueryTrace> entries_;  // Sorted by total_ms descending.
+};
+
+}  // namespace geosir::obs
+
+#endif  // GEOSIR_OBS_SLOW_QUERY_LOG_H_

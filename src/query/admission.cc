@@ -1,8 +1,53 @@
 #include "query/admission.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace geosir::query {
+
+namespace {
+
+/// Process-wide admission metric families (aggregated over controllers;
+/// per-instance figures stay on AdmissionController::stats()).
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed_queue_full;
+  obs::Counter* shed_timeout;
+  obs::Counter* shed_expired;
+  obs::Gauge* inflight;
+  obs::Gauge* queue_depth;
+  obs::Histogram* wait;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new AdmissionMetrics();
+      m->admitted = r.GetCounter("geosir_admission_admitted_total",
+                                 "Callers granted an admission ticket");
+      const char* shed_name = "geosir_admission_shed_total";
+      const char* shed_help = "Callers turned away, by reason";
+      m->shed_queue_full =
+          r.GetCounter(shed_name, shed_help, "reason=\"queue_full\"");
+      m->shed_timeout =
+          r.GetCounter(shed_name, shed_help, "reason=\"timeout\"");
+      m->shed_expired =
+          r.GetCounter(shed_name, shed_help, "reason=\"expired\"");
+      m->inflight = r.GetGauge("geosir_admission_inflight",
+                               "Admission tickets currently held");
+      m->queue_depth = r.GetGauge("geosir_admission_queue_depth",
+                                  "Callers currently waiting for admission");
+      m->wait = r.GetHistogram("geosir_admission_wait_seconds",
+                               "Time from Admit() entry to ticket grant",
+                               obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options) {}
@@ -19,6 +64,7 @@ void AdmissionController::Release() {
     std::lock_guard<std::mutex> lock(mutex_);
     --inflight_;
   }
+  AdmissionMetrics::Get().inflight->Add(-1);
   // notify_all, not _one: only the FIFO front may take the slot, and the
   // front may itself be about to time out — waking everyone lets the true
   // front claim it while the others re-arm their timeouts.
@@ -27,9 +73,12 @@ void AdmissionController::Release() {
 
 util::Result<AdmissionController::Ticket> AdmissionController::Admit(
     util::Deadline deadline) {
+  const AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  const auto admit_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   if (deadline.expired()) {
     ++stats_.shed_expired;
+    metrics.shed_expired->Inc();
     return util::Status::DeadlineExceeded("deadline expired before admission");
   }
   // Fast path: free slot and nobody queued ahead (FIFO — no barging).
@@ -37,16 +86,21 @@ util::Result<AdmissionController::Ticket> AdmissionController::Admit(
     ++inflight_;
     ++stats_.admitted;
     stats_.inflight = inflight_;
+    metrics.admitted->Inc();
+    metrics.inflight->Add(1);
+    metrics.wait->Observe(0.0);
     return Ticket(this);
   }
   if (waiters_.size() >= options_.max_queued) {
     ++stats_.shed_queue_full;
+    metrics.shed_queue_full->Inc();
     return util::Status::Unavailable("admission queue full");
   }
   const uint64_t id = next_waiter_++;
   waiters_.push_back(id);
   stats_.queued = waiters_.size();
   stats_.peak_queued = std::max(stats_.peak_queued, waiters_.size());
+  metrics.queue_depth->Set(static_cast<int64_t>(waiters_.size()));
 
   const util::Deadline queue_limit =
       options_.queue_timeout_ms > 0
@@ -69,11 +123,14 @@ util::Result<AdmissionController::Ticket> AdmissionController::Admit(
     // Shed: leave the queue (we may or may not have reached the front).
     waiters_.erase(std::find(waiters_.begin(), waiters_.end(), id));
     stats_.queued = waiters_.size();
+    metrics.queue_depth->Set(static_cast<int64_t>(waiters_.size()));
     const bool expired = deadline.expired();
     if (expired) {
       ++stats_.shed_expired;
+      metrics.shed_expired->Inc();
     } else {
       ++stats_.shed_timeout;
+      metrics.shed_timeout->Inc();
     }
     lock.unlock();
     // Our departure may have promoted a new front that is admittable now.
@@ -89,6 +146,13 @@ util::Result<AdmissionController::Ticket> AdmissionController::Admit(
   ++stats_.admitted;
   stats_.inflight = inflight_;
   stats_.queued = waiters_.size();
+  metrics.admitted->Inc();
+  metrics.inflight->Add(1);
+  metrics.queue_depth->Set(static_cast<int64_t>(waiters_.size()));
+  metrics.wait->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    admit_start)
+          .count());
   lock.unlock();
   // The next waiter may be admittable too (multiple slots / releases).
   cv_.notify_all();

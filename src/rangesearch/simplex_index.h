@@ -1,13 +1,13 @@
 #ifndef GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_
 #define GEOSIR_RANGESEARCH_SIMPLEX_INDEX_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "geom/point.h"
+#include "util/relaxed_counter.h"
 #include "util/status.h"
 
 namespace geosir::rangesearch {
@@ -19,34 +19,9 @@ struct IndexedPoint {
   uint32_t id = 0;
 };
 
-/// Counter safe to bump from concurrent queries over a shared index
-/// (MatchBatch runs several matchers against one SimplexIndex). Relaxed
-/// ordering only: the values are diagnostics, never synchronization.
-class RelaxedCounter {
- public:
-  RelaxedCounter(uint64_t value = 0) : value_(value) {}
-  RelaxedCounter(const RelaxedCounter& other)
-      : value_(other.value_.load(std::memory_order_relaxed)) {}
-  RelaxedCounter& operator=(const RelaxedCounter& other) {
-    value_.store(other.value_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
-    return *this;
-  }
-  RelaxedCounter& operator++() {
-    value_.fetch_add(1, std::memory_order_relaxed);
-    return *this;
-  }
-  RelaxedCounter& operator+=(uint64_t delta) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-    return *this;
-  }
-  operator uint64_t() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<uint64_t> value_;
-};
+/// Shared concurrency-safe diagnostic counter (see util/relaxed_counter.h;
+/// obs/ and storage/ use the same implementation).
+using RelaxedCounter = util::RelaxedCounter;
 
 /// Counters describing the work an index did; used by the ablation
 /// benchmarks to compare backends beyond wall-clock time.

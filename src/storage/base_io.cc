@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 
 namespace geosir::storage {
@@ -234,6 +235,11 @@ util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
   if (!record_error.ok()) {
     if (!load_options.salvage) return record_error;
     rep.salvaged = true;  // Keep the valid prefix.
+    static obs::Counter* salvage_events =
+        obs::MetricRegistry::Default().GetCounter(
+            "geosir_storage_salvage_events_total",
+            "Shape-file loads that dropped a corrupt suffix in salvage mode");
+    salvage_events->Inc();
   }
   GEOSIR_RETURN_IF_ERROR(base->Finalize());
   return base;

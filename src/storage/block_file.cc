@@ -3,9 +3,47 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 
 namespace geosir::storage {
+
+namespace {
+
+/// Process-wide storage metric families, aggregated across every
+/// BufferManager instance (per-instance figures stay available on the
+/// instance counters).
+struct StorageMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* retries;
+  obs::Counter* checksum_failures;
+  obs::Counter* read_failures;
+
+  static const StorageMetrics& Get() {
+    static const StorageMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new StorageMetrics();
+      m->hits = r.GetCounter("geosir_storage_buffer_hits_total",
+                             "Block pins served from the LRU buffer");
+      m->misses = r.GetCounter("geosir_storage_buffer_misses_total",
+                               "Block pins faulted through the device");
+      m->retries = r.GetCounter(
+          "geosir_storage_retries_total",
+          "Extra read attempts spent healing transient faults");
+      m->checksum_failures =
+          r.GetCounter("geosir_storage_checksum_failures_total",
+                       "Reads whose CRC32 trailer failed verification");
+      m->read_failures = r.GetCounter(
+          "geosir_storage_read_failures_total",
+          "Pins that failed after the whole retry budget");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 void StampBlockChecksum(std::vector<uint8_t>* block, size_t block_size) {
   block->resize(block_size, 0);
@@ -64,15 +102,18 @@ BufferManager::BufferManager(const BlockDevice* device, size_t capacity_blocks,
 }
 
 util::Result<const std::vector<uint8_t>*> BufferManager::Pin(BlockId id) {
+  const StorageMetrics& metrics = StorageMetrics::Get();
   ++clock_;
   for (Frame& frame : frames_) {
     if (frame.id == id) {
       frame.last_used = clock_;
       ++hits_;
+      metrics.hits->Inc();
       return const_cast<const std::vector<uint8_t>*>(&frame.data);
     }
   }
   ++misses_;
+  metrics.misses->Inc();
   // One retry budget covers both transient device faults and checksum
   // mismatches: a bit flipped on the read path heals on re-read, while
   // persistent rot keeps failing and is reported as kCorruption below.
@@ -89,6 +130,7 @@ util::Result<const std::vector<uint8_t>*> BufferManager::Pin(BlockId id) {
           if (!verified.ok()) {
             checksum_failed = true;
             ++checksum_failures_;
+            metrics.checksum_failures->Inc();
             // Mapped to the retriable code so the helper re-reads.
             return util::Status::Unavailable(verified.message());
           }
@@ -97,7 +139,9 @@ util::Result<const std::vector<uint8_t>*> BufferManager::Pin(BlockId id) {
       },
       &attempts);
   retries_ += static_cast<uint64_t>(attempts - 1);
+  metrics.retries->Inc(static_cast<uint64_t>(attempts - 1));
   if (!read.ok()) {
+    metrics.read_failures->Inc();
     if (checksum_failed) {
       return util::Status::Corruption("block failed checksum verification: " +
                                       read.status().message());

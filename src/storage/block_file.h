@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "storage/block_device.h"
+#include "util/relaxed_counter.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -71,8 +72,11 @@ class BlockFile : public BlockDevice {
  private:
   size_t block_size_;
   std::vector<std::vector<uint8_t>> blocks_;
-  mutable uint64_t reads_ = 0;
-  mutable uint64_t writes_ = 0;
+  // Relaxed-atomic: concurrent queries over a shared index read blocks
+  // through one device; the I/O counters must not race even though block
+  // contents are read-only by then.
+  mutable util::RelaxedCounter reads_;
+  mutable util::RelaxedCounter writes_;
 };
 
 /// Fault-handling knobs of a BufferManager.
@@ -130,6 +134,10 @@ class BufferManager {
     retries_ = 0;
     checksum_failures_ = 0;
   }
+  /// Pins attempted (== hits + misses), successful or not. The external
+  /// index derives per-query "blocks actually visited" from deltas of
+  /// this, so it must stay coherent with the hit/miss split.
+  uint64_t pins() const { return hits_ + misses_; }
 
   size_t capacity() const { return capacity_; }
 
@@ -145,10 +153,13 @@ class BufferManager {
   BufferOptions options_;
   std::vector<Frame> frames_;  // Small capacities: linear scan is fine.
   uint64_t clock_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t retries_ = 0;
-  uint64_t checksum_failures_ = 0;
+  // Counters are relaxed-atomic (diagnostics may be read while another
+  // thread pins); the frame table itself is still single-owner — callers
+  // running concurrent queries use one BufferManager per query thread.
+  util::RelaxedCounter hits_;
+  util::RelaxedCounter misses_;
+  util::RelaxedCounter retries_;
+  util::RelaxedCounter checksum_failures_;
 };
 
 }  // namespace geosir::storage

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "util/query_control.h"
+
 namespace geosir::storage {
 
 ExternalSimplexIndex::ExternalSimplexIndex(Options options)
@@ -32,9 +34,20 @@ void ExternalSimplexIndex::Build(
 }
 
 void ExternalSimplexIndex::RecordOutcome(
-    const util::Status& status, const RTreeDegradation& degradation) const {
+    const util::Status& status, const RTreeDegradation& degradation,
+    uint64_t pins_before) const {
   stats_.subtrees_skipped += degradation.skipped_subtrees;
   stats_.leaves_skipped += degradation.skipped_leaves;
+  // nodes_visited counts node blocks actually scanned: every pin the
+  // traversal attempted, minus the ones that failed — a skipped subtree
+  // is one failed pin under kSkipUnreadable, and a fail-fast I/O error is
+  // one failed pin too (a lifecycle stop aborts *before* pinning, so it
+  // subtracts nothing). Degraded-mode counter consistency against the
+  // buffer's own figures is asserted in tests/fault_injection_test.cc.
+  uint64_t attempted = buffer_->pins() - pins_before;
+  uint64_t failed = degradation.skipped_subtrees;
+  if (!status.ok() && !util::IsLifecycleStop(status.code())) ++failed;
+  stats_.nodes_visited += attempted > failed ? attempted - failed : 0;
   degradation_.Merge(degradation);
   if (!status.ok() && last_error_.ok()) last_error_ = status;
 }
@@ -42,9 +55,11 @@ void ExternalSimplexIndex::RecordOutcome(
 size_t ExternalSimplexIndex::CountInTriangle(const geom::Triangle& t) const {
   if (tree_ == nullptr) return 0;
   RTreeDegradation degradation;
+  const uint64_t pins_before = buffer_->pins();
   auto count =
       tree_->CountInTriangle(t, buffer_.get(), options_.query, &degradation);
-  RecordOutcome(count.ok() ? util::Status::OK() : count.status(), degradation);
+  RecordOutcome(count.ok() ? util::Status::OK() : count.status(), degradation,
+                pins_before);
   return count.ok() ? *count : 0;
 }
 
@@ -52,6 +67,7 @@ void ExternalSimplexIndex::ReportInTriangle(const geom::Triangle& t,
                                             const Visitor& visit) const {
   if (tree_ == nullptr) return;
   RTreeDegradation degradation;
+  const uint64_t pins_before = buffer_->pins();
   util::Status status = tree_->ReportInTriangle(
       t, buffer_.get(),
       [this, &visit](const rangesearch::IndexedPoint& ip) {
@@ -59,15 +75,17 @@ void ExternalSimplexIndex::ReportInTriangle(const geom::Triangle& t,
         visit(ip);
       },
       options_.query, &degradation);
-  RecordOutcome(status, degradation);
+  RecordOutcome(status, degradation, pins_before);
 }
 
 size_t ExternalSimplexIndex::CountInRect(const geom::BoundingBox& box) const {
   if (tree_ == nullptr) return 0;
   RTreeDegradation degradation;
+  const uint64_t pins_before = buffer_->pins();
   auto count =
       tree_->CountInRect(box, buffer_.get(), options_.query, &degradation);
-  RecordOutcome(count.ok() ? util::Status::OK() : count.status(), degradation);
+  RecordOutcome(count.ok() ? util::Status::OK() : count.status(), degradation,
+                pins_before);
   return count.ok() ? *count : 0;
 }
 
@@ -84,17 +102,19 @@ void ExternalSimplexIndex::ReportInRect(const geom::BoundingBox& box,
                              {box.max_x, box.max_y},
                              {box.min_x, box.max_y}};
   RTreeDegradation degradation;
+  uint64_t pins_before = buffer_->pins();
   util::Status status = tree_->ReportInTriangle(
       lower, buffer_.get(), visit, options_.query, &degradation);
-  RecordOutcome(status, degradation);
+  RecordOutcome(status, degradation, pins_before);
   RTreeDegradation degradation2;
+  pins_before = buffer_->pins();
   util::Status status2 = tree_->ReportInTriangle(
       upper, buffer_.get(),
       [&](const rangesearch::IndexedPoint& ip) {
         if (!lower.Contains(ip.p)) visit(ip);
       },
       options_.query, &degradation2);
-  RecordOutcome(status2, degradation2);
+  RecordOutcome(status2, degradation2, pins_before);
 }
 
 size_t ExternalSimplexIndex::size() const {

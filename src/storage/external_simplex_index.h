@@ -60,8 +60,12 @@ class ExternalSimplexIndex : public rangesearch::SimplexIndex {
   BufferManager* buffer() const { return buffer_.get(); }
 
  private:
+  /// Folds one query operation's outcome into the aggregate stats.
+  /// `pins_before` is buffer()->pins() captured before the operation; the
+  /// delta (minus failed pins) becomes stats().nodes_visited.
   void RecordOutcome(const util::Status& status,
-                     const RTreeDegradation& degradation) const;
+                     const RTreeDegradation& degradation,
+                     uint64_t pins_before) const;
 
   Options options_;
   std::unique_ptr<ExternalRTree> tree_;

@@ -1,0 +1,45 @@
+#ifndef GEOSIR_UTIL_RELAXED_COUNTER_H_
+#define GEOSIR_UTIL_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace geosir::util {
+
+/// Counter safe to bump from concurrent readers of a shared structure
+/// (MatchBatch runs several matchers against one SimplexIndex; concurrent
+/// queries share one BufferManager's counters). Relaxed ordering only:
+/// the values are diagnostics, never synchronization. Copy and assignment
+/// read/write through relaxed loads/stores, so a stats struct built from
+/// these can be copied while other threads keep counting — each field is
+/// individually coherent, the struct as a whole is a best-effort
+/// snapshot.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t value = 0) : value_(value) {}
+  RelaxedCounter(const RelaxedCounter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace geosir::util
+
+#endif  // GEOSIR_UTIL_RELAXED_COUNTER_H_

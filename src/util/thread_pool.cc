@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace geosir::util {
 
@@ -10,6 +13,34 @@ namespace {
 /// loops then run inline instead of re-entering the pool (a worker that
 /// blocked on its own pool would deadlock).
 thread_local bool tls_in_parallel_body = false;
+
+/// Process-wide pool metric families. Instrumented per *job* (one
+/// ParallelFor), never per item — items can be sub-microsecond.
+struct PoolMetrics {
+  obs::Counter* jobs;
+  obs::Counter* items;
+  obs::Counter* waits;
+  obs::Histogram* job_latency;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new PoolMetrics();
+      m->jobs = r.GetCounter("geosir_threadpool_jobs_total",
+                             "ParallelFor jobs run through a pool");
+      m->items = r.GetCounter("geosir_threadpool_items_total",
+                              "Loop items submitted to pool jobs");
+      m->waits = r.GetCounter(
+          "geosir_threadpool_waits_total",
+          "Callers that found the pool busy and had to wait (saturation)");
+      m->job_latency = r.GetHistogram("geosir_threadpool_job_seconds",
+                                      "Wall-clock latency of one pool job",
+                                      obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 }  // namespace
 
@@ -92,10 +123,13 @@ void ThreadPool::ParallelFor(
     tls_in_parallel_body = was_in_body;
     return;
   }
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  const auto job_start = std::chrono::steady_clock::now();
   {
     // Serialize external callers: a second thread must not overwrite an
     // active job's state (body pointer, item counter, helper count).
     std::unique_lock<std::mutex> lock(mutex_);
+    if (busy_) metrics.waits->Inc();
     done_cv_.wait(lock, [this] { return !busy_; });
     busy_ = true;
     body_ = &body;
@@ -122,6 +156,12 @@ void ThreadPool::ParallelFor(
   }
   // Wake any external caller waiting for the pool to free up.
   done_cv_.notify_all();
+  metrics.jobs->Inc();
+  metrics.items->Inc(n);
+  metrics.job_latency->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job_start)
+          .count());
   if (pending != nullptr) std::rethrow_exception(pending);
 }
 

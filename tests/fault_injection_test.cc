@@ -523,6 +523,104 @@ TEST(FaultSweepTest, MatchNeverSilentlyWrong) {
 }
 
 // ---------------------------------------------------------------------------
+// QueryStats aggregation under degraded reads: nodes_visited must count
+// blocks actually scanned — every pin the traversal attempted minus the
+// ones that failed — so the index's work counters stay consistent with
+// the buffer manager's own figures even when subtrees are being skipped.
+
+TEST(QueryStatsDegradedTest, CleanRunNodesVisitedEqualsBufferPins) {
+  util::Rng rng(51);
+  ExternalSimplexIndex index;
+  index.Build(FloatPoints(4000, &rng));
+  index.buffer()->ResetCounters();
+  index.ResetStats();
+  util::Rng qrng(52);
+  for (int q = 0; q < 10; ++q) {
+    const Triangle t{{qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)},
+                     {qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)},
+                     {qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)}};
+    index.CountInTriangle(t);
+  }
+  EXPECT_EQ(static_cast<uint64_t>(index.stats().subtrees_skipped), 0u);
+  // No faults: every attempted pin is a visited node (cached blocks are
+  // still visits from the traversal's perspective).
+  EXPECT_GT(static_cast<uint64_t>(index.stats().nodes_visited), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(index.stats().nodes_visited),
+            index.buffer()->pins());
+}
+
+TEST(QueryStatsDegradedTest, SkipUnreadableKeepsCountersConsistent) {
+  ExternalSimplexIndex::Options idx;
+  idx.inject_faults = true;
+  idx.faults.seed = 9;
+  idx.faults.read_failure_rate = 0.3;
+  idx.buffer.retry.max_attempts = 1;  // No retries: failed pins stay failed.
+  idx.buffer_capacity_blocks = 4;     // Cold-ish cache: faults keep biting.
+  idx.query.policy = DegradePolicy::kSkipUnreadable;
+  ExternalSimplexIndex index(idx);
+  util::Rng rng(53);
+  index.Build(FloatPoints(6000, &rng));
+  index.buffer()->ResetCounters();
+  index.ResetStats();
+  util::Rng qrng(54);
+  for (int q = 0; q < 25; ++q) {
+    const Triangle t{{qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)},
+                     {qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)},
+                     {qrng.Uniform(0, 1), qrng.Uniform(-0.8, 0.8)}};
+    index.CountInTriangle(t);
+    // Invariant after EVERY query: each skipped subtree is exactly one
+    // failed pin, and everything else that was pinned was scanned.
+    EXPECT_EQ(static_cast<uint64_t>(index.stats().nodes_visited) +
+                  static_cast<uint64_t>(index.stats().subtrees_skipped),
+              index.buffer()->pins())
+        << "query " << q;
+  }
+  // At a 30% fault rate with no retries the sweep is genuinely degraded.
+  EXPECT_GT(static_cast<uint64_t>(index.stats().subtrees_skipped), 0u);
+  EXPECT_GT(static_cast<uint64_t>(index.stats().nodes_visited), 0u);
+}
+
+TEST(QueryStatsDegradedTest, WholeMatchPreservesInvariant) {
+  // The same invariant through full EnvelopeMatcher queries: a degraded
+  // Match aggregates many index operations, and the counters must still
+  // reconcile with the buffer afterwards.
+  ExternalSimplexIndex::Options idx;
+  idx.inject_faults = true;
+  idx.faults.seed = 17;
+  idx.faults.read_failure_rate = 0.15;
+  idx.buffer.retry.max_attempts = 1;
+  idx.buffer_capacity_blocks = 8;
+  idx.query.policy = DegradePolicy::kSkipUnreadable;
+  ExternalSimplexIndex* raw = nullptr;
+  core::ShapeBaseOptions options;
+  options.index_factory = [&raw, idx]() {
+    auto index = std::make_unique<ExternalSimplexIndex>(idx);
+    raw = index.get();
+    return index;
+  };
+  core::ShapeBase base(options);
+  PopulateBase(&base);
+  ASSERT_NE(raw, nullptr);
+  raw->buffer()->ResetCounters();
+  raw->ResetStats();
+
+  size_t degraded_matches = 0;
+  for (core::ShapeId id = 0; id < base.NumShapes(); id += 5) {
+    core::EnvelopeMatcher matcher(&base);
+    core::MatchOptions match_options;
+    match_options.k = 2;
+    core::MatchStats stats;
+    auto got = matcher.Match(base.shape(id).boundary, match_options, &stats);
+    if (got.ok() && stats.degraded) ++degraded_matches;
+    EXPECT_EQ(static_cast<uint64_t>(raw->stats().nodes_visited) +
+                  static_cast<uint64_t>(raw->stats().subtrees_skipped),
+              raw->buffer()->pins())
+        << "query shape " << id;
+  }
+  EXPECT_GT(degraded_matches, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Shape-file (base_io) fault tolerance.
 
 class BaseIoFaultTest : public ::testing::Test {

@@ -1,10 +1,13 @@
 #include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/crc32.h"
 #include "util/numeric.h"
+#include "util/relaxed_counter.h"
 #include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -232,6 +235,30 @@ TEST(RetryTest, AtMostOneAttemptWhenDisabled) {
       policy, [&] { ++calls; return Status::Unavailable("down"); });
   EXPECT_EQ(s.code(), StatusCode::kUnavailable);
   EXPECT_EQ(calls, 1);
+}
+
+TEST(RelaxedCounterTest, ConcurrentIncrementsAllLand) {
+  RelaxedCounter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) ++counter;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(static_cast<uint64_t>(counter), 40000u);
+}
+
+TEST(RelaxedCounterTest, CopyAndAssignTransferValue) {
+  RelaxedCounter counter;
+  counter += 7;
+  RelaxedCounter copy(counter);
+  EXPECT_EQ(static_cast<uint64_t>(copy), 7u);
+  RelaxedCounter assigned;
+  assigned = counter;
+  assigned += 1;
+  EXPECT_EQ(static_cast<uint64_t>(assigned), 8u);
+  EXPECT_EQ(static_cast<uint64_t>(counter), 7u);  // Copies are independent.
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {
