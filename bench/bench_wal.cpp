@@ -1,0 +1,251 @@
+// Durability cost (extension): what the write-ahead log adds to the
+// dynamic base's insert path, per sync policy. The paper's retrieval
+// structures are read-mostly, but its dynamic-environment extension
+// (insert/delete churn) needs crash durability — this bench quantifies
+// the price: batch-insert overhead vs an ephemeral in-memory base,
+// per-insert tail latency, and raw WAL append throughput.
+//
+// Runs against the real filesystem (a directory under /tmp), so the
+// fsync numbers are the machine's actual barrier cost, not a model.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_shape_base.h"
+#include "storage/appendable_file.h"
+#include "storage/wal.h"
+#include "util/rng.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::FmtInt;
+using geosir::bench::JsonLine;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+
+namespace {
+
+constexpr char kBench[] = "wal";
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+struct PolicyRun {
+  std::string name;
+  double total_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+PolicyRun RunInserts(const std::string& name,
+                     const std::vector<Polyline>& shapes,
+                     geosir::storage::WalJournal* journal,
+                     geosir::core::DynamicShapeBase* base) {
+  PolicyRun run;
+  run.name = name;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(shapes.size());
+  Timer total;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    Timer one;
+    auto id = base->Insert(shapes[i]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+    latencies_us.push_back(one.Seconds() * 1e6);
+  }
+  (void)journal;
+  run.total_s = total.Seconds();
+  run.p50_us = Percentile(latencies_us, 0.50);
+  run.p99_us = Percentile(latencies_us, 0.99);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kInserts = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_WAL_INSERTS", 600));
+  const size_t kRawRecords = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_WAL_RAW_RECORDS", 50000));
+  // Each policy runs this many times and the fastest run is reported:
+  // fsync latency on shared machines is noisy, and min-of-N is the
+  // standard way to see the code's cost instead of the neighbors'.
+  const size_t kReps = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_WAL_REPS", 5));
+
+  geosir::util::Rng rng(445566);
+  geosir::workload::PolygonGenOptions gen;
+  std::vector<Polyline> shapes;
+  shapes.reserve(kInserts);
+  for (size_t i = 0; i < kInserts; ++i) {
+    shapes.push_back(RandomStarPolygon(&rng, gen));
+  }
+
+  // Keep compaction out of the comparison: it rewrites the checkpoint and
+  // would dominate the insert timing for every policy alike.
+  geosir::core::DynamicShapeBase::Options base_options;
+  base_options.min_compaction_size = kInserts * 2;
+
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "geosir_bench_wal";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::printf("=== WAL insert overhead: %zu inserts per policy ===\n\n",
+              kInserts);
+
+  // Baseline: the same inserts into an ephemeral, journal-free base.
+  PolicyRun baseline;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    geosir::core::DynamicShapeBase ephemeral(base_options);
+    const PolicyRun run = RunInserts("ephemeral", shapes, nullptr, &ephemeral);
+    if (rep == 0 || run.total_s < baseline.total_s) baseline = run;
+  }
+
+  struct Policy {
+    std::string name;
+    geosir::storage::WalOptions wal;
+  };
+  std::vector<Policy> policies;
+  {
+    Policy p;
+    p.name = "on_checkpoint";
+    p.wal.sync_policy = geosir::storage::WalSyncPolicy::kOnCheckpoint;
+    policies.push_back(p);
+    p.name = "every_4096_default";
+    p.wal.sync_policy = geosir::storage::WalSyncPolicy::kEveryN;
+    p.wal.sync_every_n = 4096;
+    policies.push_back(p);
+    p.name = "every_512";
+    p.wal.sync_every_n = 512;
+    policies.push_back(p);
+    p.name = "every_64";
+    p.wal.sync_every_n = 64;
+    policies.push_back(p);
+    p.name = "every_8";
+    p.wal.sync_every_n = 8;
+    policies.push_back(p);
+    p.name = "every_record";
+    p.wal.sync_policy = geosir::storage::WalSyncPolicy::kEveryRecord;
+    policies.push_back(p);
+  }
+
+  Table table({"policy", "total_s", "inserts_per_s", "p50_us", "p99_us",
+               "overhead_pct"});
+  const auto report = [&](const PolicyRun& run) {
+    const double overhead_pct =
+        baseline.total_s > 0.0
+            ? (run.total_s / baseline.total_s - 1.0) * 100.0
+            : 0.0;
+    const double per_s = run.total_s > 0.0
+                             ? static_cast<double>(kInserts) / run.total_s
+                             : 0.0;
+    table.AddRow({run.name, Fmt("%.3f", run.total_s), Fmt("%.0f", per_s),
+                  Fmt("%.1f", run.p50_us), Fmt("%.1f", run.p99_us),
+                  run.name == "ephemeral" ? "-" : Fmt("%.1f", overhead_pct)});
+    JsonLine(kBench)
+        .Str("name", "insert_overhead")
+        .Str("policy", run.name)
+        .Int("inserts", static_cast<long long>(kInserts))
+        .Num("total_seconds", run.total_s)
+        .Num("inserts_per_second", per_s)
+        .Num("p50_us", run.p50_us)
+        .Num("p99_us", run.p99_us)
+        .Num("overhead_pct", run.name == "ephemeral" ? 0.0 : overhead_pct)
+        .Emit();
+  };
+  report(baseline);
+
+  for (const Policy& policy : policies) {
+    PolicyRun best;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      const std::string dir =
+          (root / (policy.name + "_" + std::to_string(rep))).string();
+      geosir::storage::DurabilityOptions durability;
+      durability.wal = policy.wal;
+      auto opened = geosir::storage::OpenDurableDynamicBase(dir, base_options,
+                                                            durability);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      const PolicyRun run = RunInserts(policy.name, shapes,
+                                       opened->journal.get(),
+                                       opened->base.get());
+      if (rep == 0 || run.total_s < best.total_s) best = run;
+    }
+    report(best);
+  }
+  table.Print();
+
+  // Raw append throughput: framed no-op-sized records through
+  // WriteAheadLog without the base on top, unsynced vs windowed sync.
+  std::printf("\n=== Raw WAL append throughput: %zu records ===\n\n",
+              kRawRecords);
+  Table raw_table({"mode", "records_per_s", "mb_per_s"});
+  const std::vector<uint8_t> payload(64, 0x2A);
+  for (const bool windowed : {false, true}) {
+    geosir::storage::WalOptions wal_options;
+    wal_options.sync_policy = windowed
+                                  ? geosir::storage::WalSyncPolicy::kEveryN
+                                  : geosir::storage::WalSyncPolicy::kOnCheckpoint;
+    wal_options.sync_every_n = 64;
+    const std::string path =
+        (root / (windowed ? "raw_synced.log" : "raw.log")).string();
+    auto file = geosir::storage::Env::Posix()->NewAppendableFile(
+        path, /*truncate=*/true);
+    if (!file.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   file.status().ToString().c_str());
+      return 1;
+    }
+    geosir::storage::WriteAheadLog wal(std::move(*file), wal_options,
+                                       /*next_lsn=*/0);
+    Timer timer;
+    for (size_t i = 0; i < kRawRecords; ++i) {
+      auto lsn = wal.Append(geosir::storage::WalRecordType::kInsert, payload);
+      if (!lsn.ok()) {
+        std::fprintf(stderr, "append failed: %s\n",
+                     lsn.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (!wal.Sync().ok()) return 1;
+    const double seconds = timer.Seconds();
+    const double per_s =
+        seconds > 0.0 ? static_cast<double>(kRawRecords) / seconds : 0.0;
+    const double bytes = static_cast<double>(kRawRecords) *
+                         static_cast<double>(
+                             payload.size() +
+                             geosir::storage::kWalFrameOverheadBytes);
+    const double mb_per_s = seconds > 0.0 ? bytes / seconds / 1e6 : 0.0;
+    const std::string mode = windowed ? "sync_every_64" : "unsynced";
+    raw_table.AddRow({mode, Fmt("%.0f", per_s), Fmt("%.1f", mb_per_s)});
+    JsonLine(kBench)
+        .Str("name", "raw_append")
+        .Str("mode", mode)
+        .Int("records", static_cast<long long>(kRawRecords))
+        .Num("records_per_second", per_s)
+        .Num("mb_per_second", mb_per_s)
+        .Emit();
+  }
+  raw_table.Print();
+
+  fs::remove_all(root);
+  return 0;
+}

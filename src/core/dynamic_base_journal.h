@@ -1,0 +1,49 @@
+#ifndef GEOSIR_CORE_DYNAMIC_BASE_JOURNAL_H_
+#define GEOSIR_CORE_DYNAMIC_BASE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/shape.h"
+#include "geom/polyline.h"
+#include "util/status.h"
+
+namespace geosir::core {
+
+class ShapeBase;
+
+/// Durability hook of DynamicShapeBase. The core layer cannot depend on
+/// storage/, so the base talks to an abstract journal and storage/wal.h
+/// provides the write-ahead-log implementation (WalJournal); tests can
+/// substitute an in-memory recorder.
+///
+/// Contract (write-ahead discipline):
+///   * LogInsert/LogRemove are called BEFORE the mutation is applied to
+///     the in-memory state. A non-OK return aborts the mutation, so every
+///     acknowledged mutation was logged first.
+///   * LogCompactBegin is called before a main-base rebuild starts (a
+///     marker only; recovery does not need it to be durable).
+///   * LogCompactCommit is called AFTER the rebuilt main base is swapped
+///     in. `main` holds every live shape, `stable_ids[i]` is the stable id
+///     of main shape i, and `next_id` is the next id Insert would hand
+///     out. The implementation is expected to checkpoint this state and
+///     truncate its log; a non-OK return surfaces from Compact() but the
+///     in-memory base stays valid (the previous log still replays to the
+///     same state).
+class DynamicBaseJournal {
+ public:
+  virtual ~DynamicBaseJournal() = default;
+
+  virtual util::Status LogInsert(uint64_t id, const geom::Polyline& boundary,
+                                 ImageId image, const std::string& label) = 0;
+  virtual util::Status LogRemove(uint64_t id) = 0;
+  virtual util::Status LogCompactBegin() = 0;
+  virtual util::Status LogCompactCommit(
+      const ShapeBase& main, const std::vector<uint64_t>& stable_ids,
+      uint64_t next_id) = 0;
+};
+
+}  // namespace geosir::core
+
+#endif  // GEOSIR_CORE_DYNAMIC_BASE_JOURNAL_H_

@@ -56,16 +56,9 @@ struct DynamicBaseMetrics {
 DynamicShapeBase::DynamicShapeBase(Options options)
     : options_(std::move(options)) {}
 
-util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
-                                                ImageId image,
-                                                std::string label) {
-  // Validate eagerly with the same rules the main base applies, so a bad
-  // shape fails at insert time instead of at the next compaction.
-  GEOSIR_RETURN_IF_ERROR(boundary.Validate());
-  if (boundary.size() < 3) {
-    return util::Status::InvalidArgument(
-        "database shapes need at least 3 vertices");
-  }
+util::Result<uint64_t> DynamicShapeBase::ApplyInsert(geom::Polyline boundary,
+                                                     ImageId image,
+                                                     std::string label) {
   Record record;
   record.boundary = std::move(boundary);
   record.image = image;
@@ -84,18 +77,11 @@ util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
   metrics.inserts->Inc();
   metrics.delta_shapes->Add(1);
   metrics.live_shapes->Add(1);
-  GEOSIR_RETURN_IF_ERROR(MaybeCompact());
   return id;
 }
 
-util::Status DynamicShapeBase::Remove(uint64_t id) {
-  if (id >= records_.size()) {
-    return util::Status::NotFound("unknown shape id");
-  }
+void DynamicShapeBase::ApplyRemove(uint64_t id) {
   Record& record = records_[id];
-  if (record.deleted) {
-    return util::Status::FailedPrecondition("shape already deleted");
-  }
   record.deleted = true;
   --live_count_;
   const DynamicBaseMetrics& metrics = DynamicBaseMetrics::Get();
@@ -110,7 +96,130 @@ util::Status DynamicShapeBase::Remove(uint64_t id) {
         delta_ids_.end());
     metrics.delta_shapes->Add(-1);
   }
+}
+
+util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
+                                                ImageId image,
+                                                std::string label) {
+  // Validate eagerly with the same rules the main base applies, so a bad
+  // shape fails at insert time instead of at the next compaction.
+  GEOSIR_RETURN_IF_ERROR(boundary.Validate());
+  if (boundary.size() < 3) {
+    return util::Status::InvalidArgument(
+        "database shapes need at least 3 vertices");
+  }
+  // Write-ahead: the mutation is logged before it is applied, so an
+  // acknowledged insert is always in the journal and a journal failure
+  // leaves the in-memory state untouched.
+  if (journal_ != nullptr) {
+    GEOSIR_RETURN_IF_ERROR(
+        journal_->LogInsert(records_.size(), boundary, image, label));
+  }
+  GEOSIR_ASSIGN_OR_RETURN(
+      const uint64_t id,
+      ApplyInsert(std::move(boundary), image, std::move(label)));
+  GEOSIR_RETURN_IF_ERROR(MaybeCompact());
+  return id;
+}
+
+util::Status DynamicShapeBase::Remove(uint64_t id) {
+  if (id >= records_.size()) {
+    return util::Status::NotFound("unknown shape id");
+  }
+  if (records_[id].deleted) {
+    return util::Status::FailedPrecondition("shape already deleted");
+  }
+  if (journal_ != nullptr) {
+    GEOSIR_RETURN_IF_ERROR(journal_->LogRemove(id));
+  }
+  ApplyRemove(id);
   return MaybeCompact();
+}
+
+util::Status DynamicShapeBase::RestoreCheckpoint(
+    std::unique_ptr<ShapeBase> main, std::vector<uint64_t> stable_ids,
+    uint64_t next_id) {
+  if (!records_.empty() || main_ != nullptr) {
+    return util::Status::FailedPrecondition(
+        "RestoreCheckpoint needs an empty base");
+  }
+  if (main == nullptr || !main->finalized()) {
+    return util::Status::InvalidArgument(
+        "checkpoint base must be finalized");
+  }
+  if (stable_ids.size() != main->NumShapes()) {
+    return util::Status::Corruption(
+        "checkpoint id map does not match checkpoint shape count");
+  }
+  uint64_t prev = 0;
+  for (size_t i = 0; i < stable_ids.size(); ++i) {
+    if (stable_ids[i] >= next_id || (i > 0 && stable_ids[i] <= prev)) {
+      return util::Status::Corruption(
+          "checkpoint stable ids must be ascending and below next_id");
+    }
+    prev = stable_ids[i];
+  }
+  // Unlisted ids below next_id become deleted placeholders: stable ids
+  // are record indexes, so holes must stay holes after recovery.
+  records_.resize(next_id);
+  for (Record& record : records_) record.deleted = true;
+  for (size_t i = 0; i < stable_ids.size(); ++i) {
+    Record& record = records_[stable_ids[i]];
+    const Shape& shape = main->shape(static_cast<ShapeId>(i));
+    record.boundary = shape.boundary;
+    record.image = shape.image;
+    record.label = shape.label;
+    record.deleted = false;
+    record.in_main = true;
+  }
+  main_ = std::move(main);
+  matcher_ = std::make_unique<EnvelopeMatcher>(main_.get());
+  main_ids_ = std::move(stable_ids);
+  live_count_ = main_ids_.size();
+  tombstones_ = 0;
+  DynamicBaseMetrics::Get().live_shapes->Add(
+      static_cast<int64_t>(live_count_));
+  return util::Status::OK();
+}
+
+util::Status DynamicShapeBase::ReplayInsert(uint64_t id,
+                                            geom::Polyline boundary,
+                                            ImageId image, std::string label) {
+  if (id < records_.size()) {
+    // Already applied (live) or already applied and later removed
+    // (tombstone). Either way the log prefix up to here was absorbed by
+    // the checkpoint, so the replay is a no-op — this is what makes
+    // replay idempotent across a crash between checkpoint publication
+    // and log truncation.
+    return util::Status::OK();
+  }
+  if (id > records_.size()) {
+    return util::Status::Corruption(
+        "replayed insert skips ids (log/checkpoint mismatch)");
+  }
+  GEOSIR_RETURN_IF_ERROR(boundary.Validate());
+  if (boundary.size() < 3) {
+    return util::Status::Corruption("replayed shape has too few vertices");
+  }
+  return ApplyInsert(std::move(boundary), image, std::move(label)).status();
+}
+
+util::Status DynamicShapeBase::ReplayRemove(uint64_t id) {
+  if (id >= records_.size()) {
+    return util::Status::Corruption("replayed remove of an unknown id");
+  }
+  if (records_[id].deleted) return util::Status::OK();  // Idempotent.
+  ApplyRemove(id);
+  return util::Status::OK();
+}
+
+std::vector<uint64_t> DynamicShapeBase::LiveIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(live_count_);
+  for (uint64_t id = 0; id < records_.size(); ++id) {
+    if (!records_[id].deleted) ids.push_back(id);
+  }
+  return ids;
 }
 
 util::Status DynamicShapeBase::MaybeCompact() {
@@ -131,6 +240,11 @@ util::Status DynamicShapeBase::MaybeCompact() {
 util::Status DynamicShapeBase::Compact() {
   const DynamicBaseMetrics& metrics = DynamicBaseMetrics::Get();
   const auto compact_start = std::chrono::steady_clock::now();
+  // The begin marker is advisory (recovery does not need it): it records
+  // in the log that a rebuild started, which makes crash traces readable.
+  if (journal_ != nullptr) {
+    GEOSIR_RETURN_IF_ERROR(journal_->LogCompactBegin());
+  }
   auto rebuilt = std::make_unique<ShapeBase>(options_.base);
   std::vector<uint64_t> ids;
   for (uint64_t id = 0; id < records_.size(); ++id) {
@@ -159,6 +273,14 @@ util::Status DynamicShapeBase::Compact() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     compact_start)
           .count());
+  // Checkpoint after the swap: the journal persists the full live state
+  // and truncates its log. On failure the in-memory base is still valid
+  // and the previous log still replays to this exact state, so the error
+  // is surfaced but nothing is rolled back.
+  if (journal_ != nullptr) {
+    GEOSIR_RETURN_IF_ERROR(
+        journal_->LogCompactCommit(*main_, main_ids_, records_.size()));
+  }
   return util::Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/dynamic_base_journal.h"
 #include "core/envelope_matcher.h"
 #include "core/normalize.h"
 #include "core/shape_base.h"
@@ -74,6 +75,48 @@ class DynamicShapeBase {
   /// Forces a rebuild of the main base (normally automatic).
   util::Status Compact();
 
+  // --- Durability (see storage/wal.h for the WAL implementation) ---
+
+  /// Attaches a journal (non-owning; pass nullptr to detach). Once
+  /// attached, Insert/Remove log before they apply — a journal failure
+  /// aborts the mutation — and Compact logs a begin marker before the
+  /// rebuild and a commit (checkpoint) after the swap.
+  void SetJournal(DynamicBaseJournal* journal) { journal_ = journal; }
+
+  /// Restores checkpoint state into an EMPTY base (kFailedPrecondition
+  /// otherwise): adopts `main` as the finalized main base, `stable_ids[i]`
+  /// names main shape i, ids in [0, next_id) not listed become deleted
+  /// placeholders so stable ids keep their meaning across recovery.
+  util::Status RestoreCheckpoint(std::unique_ptr<ShapeBase> main,
+                                 std::vector<uint64_t> stable_ids,
+                                 uint64_t next_id);
+
+  /// Idempotent replay of a logged insert: `id == NextId()` applies it
+  /// (no journaling, no auto-compaction), `id < NextId()` is a no-op (the
+  /// checkpoint already absorbed it), and a gap (`id > NextId()`) is
+  /// kCorruption — the log and checkpoint disagree.
+  util::Status ReplayInsert(uint64_t id, geom::Polyline boundary,
+                            ImageId image, std::string label);
+
+  /// Idempotent replay of a logged remove: deleting an already-deleted
+  /// shape is a no-op; an unknown id is kCorruption.
+  util::Status ReplayRemove(uint64_t id);
+
+  /// The id the next Insert will return.
+  uint64_t NextId() const { return records_.size(); }
+  bool IsLive(uint64_t id) const {
+    return id < records_.size() && !records_[id].deleted;
+  }
+  /// Stable ids of all live shapes, ascending.
+  std::vector<uint64_t> LiveIds() const;
+  /// Original (un-normalized) boundary of a known id (live or deleted
+  /// placeholder boundaries of restored tombstones are empty).
+  const geom::Polyline& boundary(uint64_t id) const {
+    return records_[id].boundary;
+  }
+  ImageId image(uint64_t id) const { return records_[id].image; }
+  const std::string& label(uint64_t id) const { return records_[id].label; }
+
   /// Mutable match configuration, including the query-lifecycle controls
   /// (deadline / cancel_token / budget). A deadline is an absolute time
   /// point, so arm it right before the Match or MatchBatch call it should
@@ -102,6 +145,13 @@ class DynamicShapeBase {
   };
 
   util::Status MaybeCompact();
+  /// Shared tail of Insert and ReplayInsert: validates, normalizes,
+  /// appends the record to the delta and updates gauges. Never journals,
+  /// never compacts.
+  util::Result<uint64_t> ApplyInsert(geom::Polyline boundary, ImageId image,
+                                     std::string label);
+  /// Shared tail of Remove and ReplayRemove (same no-journal rule).
+  void ApplyRemove(uint64_t id);
   double EvaluateAgainstQuery(const Record& record,
                               const NormalizedCopy& qnorm) const;
   /// The Match pipeline against an explicit matcher instance (MatchBatch
@@ -111,6 +161,7 @@ class DynamicShapeBase {
       MatchStats* stats) const;
 
   Options options_;
+  DynamicBaseJournal* journal_ = nullptr;  // Non-owning.
   std::vector<Record> records_;        // Indexed by stable id.
   std::unique_ptr<ShapeBase> main_;    // Finalized; may be null (empty).
   std::unique_ptr<EnvelopeMatcher> matcher_;

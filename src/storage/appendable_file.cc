@@ -1,0 +1,327 @@
+#include "storage/appendable_file.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define GEOSIR_HAVE_FSYNC 1
+#endif
+
+namespace geosir::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Flush stdio buffers and push the bytes to stable media. On Linux this
+/// is fdatasync: it flushes the data plus the metadata needed to read it
+/// back (the file size), but skips the mtime/atime update that fsync
+/// forces through the filesystem journal on every call — a significant
+/// saving for a WAL that syncs the same growing file over and over. The
+/// stdio fallback (non-POSIX) can only flush to the OS; that is the
+/// documented portable behavior, not silent data loss: the format layers
+/// above checksum every record precisely because sync can be weaker than
+/// fsync.
+bool FlushAndSync(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#if defined(__linux__)
+  return ::fdatasync(fileno(file)) == 0;
+#elif GEOSIR_HAVE_FSYNC
+  return ::fsync(fileno(file)) == 0;
+#else
+  return true;
+#endif
+}
+
+class PosixAppendableFile : public AppendableFile {
+ public:
+  PosixAppendableFile(std::FILE* file, uint64_t size)
+      : file_(file), size_(size) {}
+  ~PosixAppendableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  util::Status Append(const uint8_t* data, size_t size) override {
+    if (size != 0 && std::fwrite(data, 1, size, file_) != size) {
+      return util::Status::Unavailable("short append");
+    }
+    size_ += size;
+    MaybeHintWriteback();
+    return util::Status::OK();
+  }
+
+  util::Status Sync() override {
+    if (!FlushAndSync(file_)) {
+      return util::Status::Unavailable("fsync failed");
+    }
+    hinted_ = size_;
+    return util::Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  /// Kick off asynchronous writeback once enough unsynced bytes pile up,
+  /// so a later Sync() mostly waits on the journal commit instead of
+  /// streaming megabytes of dirty pages through the disk while the caller
+  /// blocks. Purely a performance hint: no durability is claimed until
+  /// Sync() returns OK, and failures are ignored (Sync will surface any
+  /// real I/O error).
+  void MaybeHintWriteback() {
+#if defined(__linux__)
+    constexpr uint64_t kHintBytes = 64 * 1024;
+    if (size_ - hinted_ < kHintBytes) return;
+    if (std::fflush(file_) != 0) return;
+    (void)::sync_file_range(fileno(file_), 0, 0, SYNC_FILE_RANGE_WRITE);
+    hinted_ = size_;
+#endif
+  }
+
+  std::FILE* file_;
+  uint64_t size_;
+  uint64_t hinted_ = 0;
+};
+
+class PosixEnv : public Env {
+ public:
+  util::Result<std::unique_ptr<AppendableFile>> NewAppendableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file == nullptr) {
+      return util::Status::NotFound("cannot open for appending: " + path);
+    }
+    uint64_t size = 0;
+    if (!truncate) {
+      // "ab" positions at the end; ftell reports the resume offset.
+      const long at = std::ftell(file);
+      if (at > 0) size = static_cast<uint64_t>(at);
+    }
+    return std::unique_ptr<AppendableFile>(
+        new PosixAppendableFile(file, size));
+  }
+
+  util::Result<std::vector<uint8_t>> ReadFileBytes(
+      const std::string& path) const override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return util::Status::NotFound("cannot open: " + path);
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + got);
+    }
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!ok) return util::Status::Unavailable("read failed: " + path);
+    return bytes;
+  }
+
+  util::Status WriteFileAtomic(const std::string& path,
+                               const std::vector<uint8_t>& bytes) override {
+    const std::string tmp = path + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) {
+      return util::Status::NotFound("cannot open for writing: " + tmp);
+    }
+    bool ok = bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+    ok = ok && FlushAndSync(file);
+    const bool closed = std::fclose(file) == 0;
+    if (!ok || !closed) {
+      std::remove(tmp.c_str());
+      return util::Status::Internal("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return util::Status::Internal("cannot rename " + tmp + " to " + path);
+    }
+    const size_t slash = path.find_last_of('/');
+    return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+  }
+
+  util::Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return util::Status::NotFound("cannot remove: " + path);
+    }
+    return util::Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    std::error_code ec;
+    return fs::exists(fs::path(path), ec);
+  }
+
+  util::Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override {
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(dir), ec);
+    if (ec) return util::Status::NotFound("cannot list: " + dir);
+    std::vector<std::string> names;
+    for (const fs::directory_entry& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  util::Status CreateDir(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(fs::path(dir), ec);
+    if (ec) return util::Status::Internal("cannot create dir: " + dir);
+    return util::Status::OK();
+  }
+
+  util::Status SyncDir(const std::string& dir) override {
+#if GEOSIR_HAVE_FSYNC
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return util::Status::NotFound("cannot open dir: " + dir);
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) return util::Status::Unavailable("fsync(dir) failed: " + dir);
+#else
+    (void)dir;
+#endif
+    return util::Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+class MemEnv::MemFile : public AppendableFile {
+ public:
+  explicit MemFile(std::shared_ptr<FileState> state)
+      : state_(std::move(state)) {}
+
+  util::Status Append(const uint8_t* data, size_t size) override {
+    state_->bytes.insert(state_->bytes.end(), data, data + size);
+    return util::Status::OK();
+  }
+  util::Status Sync() override {
+    state_->synced = state_->bytes.size();
+    return util::Status::OK();
+  }
+  uint64_t Size() const override { return state_->bytes.size(); }
+
+ private:
+  std::shared_ptr<FileState> state_;
+};
+
+util::Result<std::unique_ptr<AppendableFile>> MemEnv::NewAppendableFile(
+    const std::string& path, bool truncate) {
+  GEOSIR_RETURN_IF_ERROR(Gate("open", path));
+  std::shared_ptr<FileState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = files_[path];
+    if (slot == nullptr) slot = std::make_shared<FileState>();
+    if (truncate) {
+      slot->bytes.clear();
+      slot->synced = 0;
+    }
+    state = slot;
+  }
+  std::unique_ptr<AppendableFile> file(new MemFile(std::move(state)));
+  if (file_wrapper_) file = file_wrapper_(std::move(file), path);
+  return file;
+}
+
+util::Result<std::vector<uint8_t>> MemEnv::ReadFileBytes(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return util::Status::NotFound("cannot open: " + path);
+  return it->second->bytes;
+}
+
+util::Status MemEnv::WriteFileAtomic(const std::string& path,
+                                     const std::vector<uint8_t>& bytes) {
+  GEOSIR_RETURN_IF_ERROR(Gate("write_atomic", path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto state = std::make_shared<FileState>();
+  state->bytes = bytes;
+  state->synced = bytes.size();  // Atomic writes are durable by contract.
+  files_[path] = std::move(state);
+  return util::Status::OK();
+}
+
+util::Status MemEnv::RemoveFile(const std::string& path) {
+  GEOSIR_RETURN_IF_ERROR(Gate("remove", path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(path) == 0) {
+    return util::Status::NotFound("cannot remove: " + path);
+  }
+  return util::Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) != 0;
+}
+
+util::Result<std::vector<std::string>> MemEnv::ListDir(
+    const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dirs_.count(dir) == 0) {
+    return util::Status::NotFound("cannot list: " + dir);
+  }
+  const std::string prefix = dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // std::map iteration order: already sorted.
+}
+
+util::Status MemEnv::CreateDir(const std::string& dir) {
+  GEOSIR_RETURN_IF_ERROR(Gate("mkdir", dir));
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_[dir] = true;
+  return util::Status::OK();
+}
+
+std::unique_ptr<MemEnv> MemEnv::CrashImage(
+    double unsynced_keep_fraction) const {
+  auto image = std::make_unique<MemEnv>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  image->dirs_ = dirs_;
+  for (const auto& [path, state] : files_) {
+    auto copy = std::make_shared<FileState>();
+    const size_t unsynced = state->bytes.size() - state->synced;
+    const size_t keep =
+        state->synced +
+        static_cast<size_t>(static_cast<double>(unsynced) *
+                            std::clamp(unsynced_keep_fraction, 0.0, 1.0));
+    copy->bytes.assign(state->bytes.begin(),
+                       state->bytes.begin() + static_cast<ptrdiff_t>(keep));
+    copy->synced = copy->bytes.size();
+    image->files_[path] = std::move(copy);
+  }
+  return image;
+}
+
+uint64_t MemEnv::SyncedSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->synced;
+}
+
+}  // namespace geosir::storage

@@ -1,0 +1,151 @@
+#ifndef GEOSIR_STORAGE_APPENDABLE_FILE_H_
+#define GEOSIR_STORAGE_APPENDABLE_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geosir::storage {
+
+/// Append-only byte stream, the write-side primitive under the WAL —
+/// BlockDevice's sibling for unstructured sequential logs. Durability
+/// contract: bytes from a successful Append may still be lost in a crash
+/// until a successful Sync covers them; after Sync returns OK, every byte
+/// appended before the call survives power loss. A failed Append or Sync
+/// leaves the tail state unknown (a prefix of the payload may have been
+/// persisted), so callers that need a recoverable stream must frame and
+/// checksum their records (storage/wal.h does).
+class AppendableFile {
+ public:
+  virtual ~AppendableFile() = default;
+
+  virtual util::Status Append(const uint8_t* data, size_t size) = 0;
+  util::Status Append(const std::vector<uint8_t>& bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+
+  /// Durability barrier (fsync). On OK, everything appended so far is on
+  /// stable media.
+  virtual util::Status Sync() = 0;
+
+  /// Bytes appended so far (successful appends only).
+  virtual uint64_t Size() const = 0;
+};
+
+/// Minimal filesystem environment the durability layer runs against.
+/// Production code uses Env::Posix(); crash-recovery tests substitute a
+/// MemEnv whose files remember which prefix was synced, so a simulated
+/// power cut can discard exactly the bytes a real disk could lose.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending; `truncate` discards existing contents,
+  /// otherwise appends at the current end.
+  virtual util::Result<std::unique_ptr<AppendableFile>> NewAppendableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual util::Result<std::vector<uint8_t>> ReadFileBytes(
+      const std::string& path) const = 0;
+
+  /// Durable atomic replacement of `path` with `bytes`: writes a sibling
+  /// temp file, fsyncs it, renames into place and fsyncs the directory.
+  /// After OK, a crash yields either the old or the new content, never a
+  /// mix, and the new content survives power loss. The temp file is
+  /// removed on every error path.
+  virtual util::Status WriteFileAtomic(const std::string& path,
+                                       const std::vector<uint8_t>& bytes) = 0;
+
+  virtual util::Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) const = 0;
+  /// Names (not paths) of directory entries; kNotFound if `dir` is absent.
+  virtual util::Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const = 0;
+  /// Creates `dir` (one level); OK if it already exists.
+  virtual util::Status CreateDir(const std::string& dir) = 0;
+  /// Fsyncs a directory so renames/creations inside it survive a crash.
+  /// No-op where the platform has no directory sync.
+  virtual util::Status SyncDir(const std::string& dir) = 0;
+
+  /// The process-wide real-filesystem environment.
+  static Env* Posix();
+};
+
+/// In-memory Env for deterministic crash-recovery tests. Each file tracks
+/// its synced prefix; CrashImage() materializes "what the disk would hold
+/// after a power cut", truncating every file's unsynced suffix to a
+/// caller-chosen fraction (0.0 = page cache fully lost, 1.0 = fully
+/// flushed; intermediate values produce torn tails that cut records in
+/// half). WriteFileAtomic is modeled as atomic and durable, matching the
+/// fsync-then-rename-then-dirsync sequence of the posix Env.
+///
+/// Two hooks wire fault injection in without MemEnv knowing about it:
+/// `file_wrapper` decorates every opened file (CrashInjectingFile), and
+/// `op_gate` runs before each mutating Env operation and can fail it
+/// (kill-after-k-operations crash simulation).
+class MemEnv : public Env {
+ public:
+  using FileWrapper = std::function<std::unique_ptr<AppendableFile>(
+      std::unique_ptr<AppendableFile> inner, const std::string& path)>;
+  /// Called with an operation name ("open", "write_atomic", "remove",
+  /// "mkdir") and the target path; a non-OK return fails the operation.
+  using OpGate =
+      std::function<util::Status(const char* op, const std::string& path)>;
+
+  MemEnv() = default;
+
+  void set_file_wrapper(FileWrapper wrapper) {
+    file_wrapper_ = std::move(wrapper);
+  }
+  void set_op_gate(OpGate gate) { op_gate_ = std::move(gate); }
+
+  util::Result<std::unique_ptr<AppendableFile>> NewAppendableFile(
+      const std::string& path, bool truncate) override;
+  util::Result<std::vector<uint8_t>> ReadFileBytes(
+      const std::string& path) const override;
+  util::Status WriteFileAtomic(const std::string& path,
+                               const std::vector<uint8_t>& bytes) override;
+  util::Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  util::Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override;
+  util::Status CreateDir(const std::string& dir) override;
+  util::Status SyncDir(const std::string& /*dir*/) override {
+    return util::Status::OK();
+  }
+
+  /// The on-disk state after a simulated power cut: a fresh MemEnv (no
+  /// wrapper, no gate) where each file keeps its synced prefix plus
+  /// floor(`unsynced_keep_fraction` * unsynced bytes) of the tail.
+  std::unique_ptr<MemEnv> CrashImage(double unsynced_keep_fraction) const;
+
+  /// Synced prefix length of `path` (0 if absent). Test introspection.
+  uint64_t SyncedSize(const std::string& path) const;
+
+ private:
+  struct FileState {
+    std::vector<uint8_t> bytes;
+    size_t synced = 0;  // Prefix guaranteed to survive a crash.
+  };
+  class MemFile;
+
+  util::Status Gate(const char* op, const std::string& path) {
+    return op_gate_ ? op_gate_(op, path) : util::Status::OK();
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::map<std::string, bool> dirs_;
+  FileWrapper file_wrapper_;
+  OpGate op_gate_;
+};
+
+}  // namespace geosir::storage
+
+#endif  // GEOSIR_STORAGE_APPENDABLE_FILE_H_

@@ -1,11 +1,11 @@
 #include "storage/base_io.h"
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/appendable_file.h"
 #include "util/crc32.h"
 
 namespace geosir::storage {
@@ -18,49 +18,47 @@ constexpr uint32_t kVersionV2 = 2;
 constexpr uint16_t kMaxLabelLen = 0xFFFF;
 constexpr size_t kVertexBytes = 2 * sizeof(double);
 
-class FileWriter {
+/// Serializer into a growable byte buffer with a running CRC32 per
+/// record. Buffer-based (rather than stdio) so the same bytes can go to a
+/// durable atomic file write or into a WAL checkpoint payload.
+class BufferWriter {
  public:
-  explicit FileWriter(std::FILE* file) : file_(file) {}
+  explicit BufferWriter(std::vector<uint8_t>* out) : out_(out) {}
   template <typename T>
-  bool Write(T value) {
-    crc_ = util::Crc32(&value, sizeof(T), crc_);
-    return std::fwrite(&value, sizeof(T), 1, file_) == 1;
+  void Write(T value) {
+    WriteBytes(&value, sizeof(T));
   }
-  bool WriteBytes(const void* data, size_t size) {
+  void WriteBytes(const void* data, size_t size) {
     crc_ = util::Crc32(data, size, crc_);
-    return size == 0 || std::fwrite(data, 1, size, file_) == size;
-  }
-  /// CRC32 of everything written since the last TakeCrc.
-  uint32_t TakeCrc() {
-    const uint32_t out = crc_;
-    crc_ = 0;
-    return out;
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), bytes, bytes + size);
   }
   /// Writes the running checksum itself (resets it for the next record).
-  bool WriteCrc() {
-    const uint32_t crc = TakeCrc();
-    const bool ok = std::fwrite(&crc, sizeof(crc), 1, file_) == 1;
+  void WriteCrc() {
+    const uint32_t crc = crc_;
     crc_ = 0;
-    return ok;
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&crc);
+    out_->insert(out_->end(), bytes, bytes + sizeof(crc));
   }
 
  private:
-  std::FILE* file_;
+  std::vector<uint8_t>* out_;
   uint32_t crc_ = 0;
 };
 
-class FileReader {
+/// Cursor over an in-memory shape file with the same CRC discipline.
+class BufferReader {
  public:
-  explicit FileReader(std::FILE* file) : file_(file) {}
+  explicit BufferReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
   template <typename T>
   bool Read(T* value) {
-    if (std::fread(value, sizeof(T), 1, file_) != 1) return false;
-    crc_ = util::Crc32(value, sizeof(T), crc_);
-    return true;
+    return ReadBytes(value, sizeof(T));
   }
   bool ReadBytes(void* data, size_t size) {
-    if (size != 0 && std::fread(data, 1, size, file_) != size) return false;
+    if (size > bytes_.size() - pos_) return false;
+    std::memcpy(data, bytes_.data() + pos_, size);
     crc_ = util::Crc32(data, size, crc_);
+    pos_ += size;
     return true;
   }
   /// Reads a stored CRC32 and checks it against the running checksum of
@@ -69,106 +67,86 @@ class FileReader {
   bool ReadAndCheckCrc() {
     const uint32_t expected = crc_;
     uint32_t stored = 0;
-    if (std::fread(&stored, sizeof(stored), 1, file_) != 1) return false;
+    if (sizeof(stored) > bytes_.size() - pos_) return false;
+    std::memcpy(&stored, bytes_.data() + pos_, sizeof(stored));
+    pos_ += sizeof(stored);
     crc_ = 0;
     return stored == expected;
   }
   void ResetCrc() { crc_ = 0; }
+  size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
-  std::FILE* file_;
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
   uint32_t crc_ = 0;
 };
 
-/// Bytes left between the current position and EOF.
-int64_t RemainingBytes(std::FILE* file) {
-  const long at = std::ftell(file);
-  if (at < 0 || std::fseek(file, 0, SEEK_END) != 0) return -1;
-  const long end = std::ftell(file);
-  if (end < 0 || std::fseek(file, at, SEEK_SET) != 0) return -1;
-  return static_cast<int64_t>(end) - static_cast<int64_t>(at);
-}
-
 }  // namespace
 
-util::Status SaveShapeBase(const core::ShapeBase& base,
-                           const std::string& path) {
+util::Result<std::vector<uint8_t>> SerializeShapeBase(
+    const core::ShapeBase& base) {
   for (const core::Shape& shape : base.shapes()) {
     if (shape.label.size() > kMaxLabelLen) {
       return util::Status::InvalidArgument(
           "shape label exceeds 65535 bytes and cannot be stored");
     }
   }
-  // Crash safety: build the file next to the target and rename into
-  // place, so a crash mid-save never leaves a half-written file under
-  // `path`.
-  const std::string tmp_path = path + ".tmp";
-  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return util::Status::NotFound("cannot open for writing: " + tmp_path);
-  }
-  FileWriter writer(file);
-  bool ok = writer.Write<uint32_t>(kMagic) &&
-            writer.Write<uint32_t>(kVersionV2) &&
-            writer.Write<uint64_t>(base.NumShapes()) && writer.WriteCrc();
+  std::vector<uint8_t> out;
+  BufferWriter writer(&out);
+  writer.Write<uint32_t>(kMagic);
+  writer.Write<uint32_t>(kVersionV2);
+  writer.Write<uint64_t>(base.NumShapes());
+  writer.WriteCrc();
   for (const core::Shape& shape : base.shapes()) {
-    if (!ok) break;
-    ok = writer.Write<uint32_t>(shape.image) &&
-         writer.Write<uint16_t>(
-             static_cast<uint16_t>(shape.label.size())) &&
-         writer.WriteBytes(shape.label.data(), shape.label.size()) &&
-         writer.Write<uint8_t>(shape.boundary.closed() ? 1 : 0) &&
-         writer.Write<uint32_t>(
-             static_cast<uint32_t>(shape.boundary.size()));
-    for (size_t v = 0; ok && v < shape.boundary.size(); ++v) {
+    writer.Write<uint32_t>(shape.image);
+    writer.Write<uint16_t>(static_cast<uint16_t>(shape.label.size()));
+    writer.WriteBytes(shape.label.data(), shape.label.size());
+    writer.Write<uint8_t>(shape.boundary.closed() ? 1 : 0);
+    writer.Write<uint32_t>(static_cast<uint32_t>(shape.boundary.size()));
+    for (size_t v = 0; v < shape.boundary.size(); ++v) {
       const geom::Point p = shape.boundary.vertex(v);
-      ok = writer.Write<double>(p.x) && writer.Write<double>(p.y);
+      writer.Write<double>(p.x);
+      writer.Write<double>(p.y);
     }
-    ok = ok && writer.WriteCrc();
+    writer.WriteCrc();
   }
-  ok = ok && std::fflush(file) == 0;
-  const bool closed = std::fclose(file) == 0;
-  if (!ok || !closed) {
-    std::remove(tmp_path.c_str());
-    return util::Status::Internal("short write to " + tmp_path);
-  }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return util::Status::Internal("cannot rename " + tmp_path + " to " + path);
-  }
-  return util::Status::OK();
+  return out;
 }
 
-util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
-    const std::string& path, core::ShapeBaseOptions options,
+util::Status SaveShapeBase(const core::ShapeBase& base,
+                           const std::string& path) {
+  GEOSIR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          SerializeShapeBase(base));
+  // Durable atomic replacement: write `path + ".tmp"`, fsync it, rename
+  // into place, fsync the directory; the temp file is removed on every
+  // error path. A crash mid-save leaves the previous file intact, and a
+  // completed save survives power loss.
+  return Env::Posix()->WriteFileAtomic(path, bytes);
+}
+
+util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBaseFromBytes(
+    const std::vector<uint8_t>& bytes, core::ShapeBaseOptions options,
     const LoadOptions& load_options, LoadReport* report) {
   LoadReport local_report;
   LoadReport& rep = report != nullptr ? *report : local_report;
   rep = LoadReport{};
 
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return util::Status::NotFound("cannot open: " + path);
-  }
-  FileReader reader(file);
+  BufferReader reader(bytes);
   uint32_t magic = 0, version = 0;
   uint64_t count = 0;
   // Header corruption is never salvageable: without a trusted version we
   // cannot parse anything that follows.
   if (!reader.Read(&magic) || magic != kMagic) {
-    std::fclose(file);
-    return util::Status::Corruption("not a GeoSIR shape file: " + path);
+    return util::Status::Corruption("not a GeoSIR shape file");
   }
   if (!reader.Read(&version) ||
       (version != kVersionV1 && version != kVersionV2)) {
-    std::fclose(file);
     return util::Status::NotSupported("unsupported shape file version");
   }
   rep.version = version;
   const bool checksummed = version == kVersionV2;
-  if (!reader.Read(&count) ||
-      (checksummed && !reader.ReadAndCheckCrc())) {
-    std::fclose(file);
+  if (!reader.Read(&count) || (checksummed && !reader.ReadAndCheckCrc())) {
     return util::Status::Corruption("truncated or corrupt header");
   }
   reader.ResetCrc();
@@ -192,11 +170,9 @@ util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
     }
     // Validate the on-disk count before trusting it with an allocation: a
     // corrupt u32 here could demand a multi-GB reserve. The remaining
-    // file bytes bound the plausible count exactly.
-    const int64_t remaining = RemainingBytes(file);
-    if (remaining < 0 ||
-        static_cast<uint64_t>(vertices) >
-            static_cast<uint64_t>(remaining) / kVertexBytes) {
+    // bytes bound the plausible count exactly.
+    if (static_cast<uint64_t>(vertices) >
+        static_cast<uint64_t>(reader.remaining()) / kVertexBytes) {
       record_error = util::Status::Corruption(
           "vertex count exceeds remaining file size");
       break;
@@ -231,7 +207,6 @@ util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
     }
     ++rep.shapes_loaded;
   }
-  std::fclose(file);
   if (!record_error.ok()) {
     if (!load_options.salvage) return record_error;
     rep.salvaged = true;  // Keep the valid prefix.
@@ -243,6 +218,15 @@ util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
   }
   GEOSIR_RETURN_IF_ERROR(base->Finalize());
   return base;
+}
+
+util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
+    const std::string& path, core::ShapeBaseOptions options,
+    const LoadOptions& load_options, LoadReport* report) {
+  GEOSIR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          Env::Posix()->ReadFileBytes(path));
+  return LoadShapeBaseFromBytes(bytes, std::move(options), load_options,
+                                report);
 }
 
 }  // namespace geosir::storage

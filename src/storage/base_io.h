@@ -21,14 +21,20 @@ namespace geosir::storage {
 ///              record CRC32 u32 (over the record bytes above).
 /// v1 is the same without the checksums; LoadShapeBase reads both.
 ///
-/// Crash safety: SaveShapeBase writes to `path + ".tmp"` and renames into
-/// place, so a crash mid-save leaves the previous file intact and a
-/// torn/bit-rotted v2 file is detected on load (kCorruption) instead of
-/// yielding garbage shapes.
+/// Crash safety: SaveShapeBase writes to `path + ".tmp"`, fsyncs it,
+/// renames into place and fsyncs the directory (Env::WriteFileAtomic), so
+/// a crash mid-save leaves the previous file intact, a completed save
+/// survives power loss, and a torn/bit-rotted v2 file is detected on load
+/// (kCorruption) instead of yielding garbage shapes. The temp file is
+/// removed on every error path.
 
-/// Writes every shape of `base` (finalized or not) to `path` in v2
-/// format. Labels longer than 65535 bytes are rejected with
-/// kInvalidArgument (they cannot be represented in the record header).
+/// Serializes every shape of `base` (finalized or not) to v2 bytes.
+/// Labels longer than 65535 bytes are rejected with kInvalidArgument
+/// (they cannot be represented in the record header).
+util::Result<std::vector<uint8_t>> SerializeShapeBase(
+    const core::ShapeBase& base);
+
+/// SerializeShapeBase + durable atomic write to `path`.
 util::Status SaveShapeBase(const core::ShapeBase& base,
                            const std::string& path);
 
@@ -54,6 +60,12 @@ struct LoadReport {
 /// `load_options.salvage`.
 util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBase(
     const std::string& path, core::ShapeBaseOptions options = {},
+    const LoadOptions& load_options = {}, LoadReport* report = nullptr);
+
+/// Parses shape-file bytes already in memory (the WAL checkpoint path
+/// reads through an Env and hands the bytes here).
+util::Result<std::unique_ptr<core::ShapeBase>> LoadShapeBaseFromBytes(
+    const std::vector<uint8_t>& bytes, core::ShapeBaseOptions options = {},
     const LoadOptions& load_options = {}, LoadReport* report = nullptr);
 
 }  // namespace geosir::storage

@@ -40,6 +40,19 @@ class BlockDevice {
   /// Overwrites a block; counts one physical write.
   virtual util::Status Write(BlockId id,
                              const std::vector<uint8_t>& payload) = 0;
+
+  /// Pushes buffered writes toward the medium without a durability
+  /// guarantee (an OS-level flush). In-memory devices no-op.
+  virtual util::Status Flush() { return util::Status::OK(); }
+
+  /// Durability barrier: after OK, every acknowledged Append/Write is on
+  /// stable media. May fail with kUnavailable (an fsync failure — the
+  /// caller must assume nothing new became durable); decorators forward
+  /// and may inject such failures (FaultInjectingDevice). This is the
+  /// same failure model the WAL's AppendableFile::Sync follows, so the
+  /// buffer benchmarks and the durability layer are testable with one
+  /// fault vocabulary.
+  virtual util::Status Sync() { return Flush(); }
 };
 
 }  // namespace geosir::storage

@@ -61,12 +61,20 @@ class BlockFile : public BlockDevice {
                      const std::vector<uint8_t>& payload) override {
     return WriteBlock(id, payload);
   }
+  /// In-memory contents are always "durable"; Sync just counts the
+  /// barrier so benchmarks can report sync frequency per policy.
+  util::Status Sync() override {
+    ++syncs_;
+    return util::Status::OK();
+  }
 
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
+  uint64_t syncs() const { return syncs_; }
   void ResetCounters() const {
     reads_ = 0;
     writes_ = 0;
+    syncs_ = 0;
   }
 
  private:
@@ -77,6 +85,7 @@ class BlockFile : public BlockDevice {
   // contents are read-only by then.
   mutable util::RelaxedCounter reads_;
   mutable util::RelaxedCounter writes_;
+  mutable util::RelaxedCounter syncs_;
 };
 
 /// Fault-handling knobs of a BufferManager.

@@ -14,6 +14,8 @@ constexpr uint64_t kSaltFlipPos = 0x94D049BB133111EBull;
 constexpr uint64_t kSaltSticky = 0xD6E8FEB86659FD93ull;
 constexpr uint64_t kSaltWriteFail = 0xA24BAED4963EE407ull;
 constexpr uint64_t kSaltTorn = 0x8EBC6AF09C88C6E3ull;
+constexpr uint64_t kSaltSync = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kSaltShort = 0x165667B19E3779F9ull;
 
 /// SplitMix64 finalizer: a well-mixed pure function of the inputs.
 uint64_t Mix(uint64_t seed, uint64_t salt, uint64_t x) {
@@ -117,6 +119,29 @@ util::Result<BlockId> FaultInjectingDevice::Append(
   }
 }
 
+util::Status FaultInjectingDevice::Flush() {
+  if (rw_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "fault-injecting device decorates a read-only device");
+  }
+  return rw_->Flush();
+}
+
+util::Status FaultInjectingDevice::Sync() {
+  if (rw_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "fault-injecting device decorates a read-only device");
+  }
+  const uint64_t op = sync_ops_++;
+  if (ScheduledAt(plan_.sync_schedule, op) == FaultKind::kSyncFailure ||
+      Draw(plan_.seed, kSaltSync, op, plan_.sync_failure_rate)) {
+    ++injected_sync_failures_;
+    return util::Status::Unavailable("injected sync failure (sync op " +
+                                     std::to_string(op) + ")");
+  }
+  return rw_->Sync();
+}
+
 util::Status FaultInjectingDevice::Write(BlockId id,
                                          const std::vector<uint8_t>& payload) {
   if (rw_ == nullptr) {
@@ -147,6 +172,61 @@ util::Status FaultInjectingDevice::Write(BlockId id,
     }
     default:
       return rw_->Write(id, payload);
+  }
+}
+
+FaultKind CrashInjectingFile::FaultFor(uint64_t op, bool is_sync) const {
+  const FaultKind scheduled = ScheduledAt(plan_.schedule, op);
+  if (scheduled != FaultKind::kNone) return scheduled;
+  if (is_sync) {
+    if (Draw(plan_.seed, kSaltSync, op, plan_.sync_failure_rate)) {
+      return FaultKind::kSyncFailure;
+    }
+  } else if (Draw(plan_.seed, kSaltShort, op, plan_.short_write_rate)) {
+    return FaultKind::kShortWrite;
+  }
+  return FaultKind::kNone;
+}
+
+util::Status CrashInjectingFile::Append(const uint8_t* data, size_t size) {
+  const uint64_t op = ops_++;
+  if (clock_ != nullptr && !clock_->Tick()) {
+    // The process died at this boundary: nothing of this append reaches
+    // the file, and every later operation fails too.
+    return util::Status::Unavailable("simulated crash (file op " +
+                                     std::to_string(op) + ")");
+  }
+  switch (FaultFor(op, /*is_sync=*/false)) {
+    case FaultKind::kTransientFailure:
+      return util::Status::Unavailable("injected append failure (file op " +
+                                       std::to_string(op) + ")");
+    case FaultKind::kShortWrite: {
+      ++injected_short_writes_;
+      const size_t keep = static_cast<size_t>(
+          Mix(plan_.seed, kSaltShort ^ kSaltFlipPos, op) % (size + 1));
+      (void)inner_->Append(data, keep);
+      return util::Status::Unavailable("injected short write (file op " +
+                                       std::to_string(op) + ")");
+    }
+    default:
+      return inner_->Append(data, size);
+  }
+}
+
+util::Status CrashInjectingFile::Sync() {
+  const uint64_t op = ops_++;
+  if (clock_ != nullptr && !clock_->Tick()) {
+    return util::Status::Unavailable("simulated crash (file op " +
+                                     std::to_string(op) + ")");
+  }
+  switch (FaultFor(op, /*is_sync=*/true)) {
+    case FaultKind::kSyncFailure:
+    case FaultKind::kTransientFailure:
+      ++injected_sync_failures_;
+      return util::Status::Unavailable("injected sync failure (file op " +
+                                       std::to_string(op) + ")");
+    default:
+      return inner_->Sync();
   }
 }
 

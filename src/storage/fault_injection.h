@@ -2,13 +2,15 @@
 #define GEOSIR_STORAGE_FAULT_INJECTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "storage/appendable_file.h"
 #include "storage/block_device.h"
 
 namespace geosir::storage {
 
-/// Fault kinds a FaultInjectingDevice can inject.
+/// Fault kinds a FaultInjectingDevice or CrashInjectingFile can inject.
 enum class FaultKind : uint8_t {
   kNone = 0,
   /// The operation fails with kUnavailable; the underlying bytes are
@@ -21,6 +23,12 @@ enum class FaultKind : uint8_t {
   /// kUnavailable (a torn write: the medium now holds a half-old,
   /// half-new block).
   kTornWrite,
+  /// A prefix of an append is persisted and the append reports
+  /// kUnavailable (the file-stream flavor of a torn write).
+  kShortWrite,
+  /// Sync()/fsync fails with kUnavailable: nothing new became durable,
+  /// and the caller cannot know how much of the tail is on stable media.
+  kSyncFailure,
 };
 
 /// A fault pinned to one specific operation (0-based index into the
@@ -54,10 +62,16 @@ struct FaultPlan {
   /// Per-write probability of a torn write (prefix persisted, then
   /// kUnavailable reported).
   double torn_write_rate = 0.0;
+  /// Per-Sync probability of an fsync failure (kUnavailable; nothing new
+  /// became durable). The one failure model shared by the block-device
+  /// benchmarks and the WAL's CrashInjectingFile.
+  double sync_failure_rate = 0.0;
 
   /// Exact-operation faults, applied in addition to the rates.
   std::vector<ScheduledFault> read_schedule;
   std::vector<ScheduledFault> write_schedule;
+  /// Indexed by the device's own Sync-operation stream.
+  std::vector<ScheduledFault> sync_schedule;
 };
 
 /// Decorator that injects faults between a caller and an inner device.
@@ -81,13 +95,17 @@ class FaultInjectingDevice : public BlockDevice {
   util::Result<BlockId> Append(const std::vector<uint8_t>& payload) override;
   util::Result<std::vector<uint8_t>> Read(BlockId id) const override;
   util::Status Write(BlockId id, const std::vector<uint8_t>& payload) override;
+  util::Status Flush() override;
+  util::Status Sync() override;
 
   uint64_t read_ops() const { return read_ops_; }
   uint64_t write_ops() const { return write_ops_; }
+  uint64_t sync_ops() const { return sync_ops_; }
   uint64_t injected_read_failures() const { return injected_read_failures_; }
   uint64_t injected_write_failures() const { return injected_write_failures_; }
   uint64_t injected_bit_flips() const { return injected_bit_flips_; }
   uint64_t injected_torn_writes() const { return injected_torn_writes_; }
+  uint64_t injected_sync_failures() const { return injected_sync_failures_; }
 
  private:
   /// Fault decision for write op `op` (schedule first, then rates).
@@ -99,10 +117,79 @@ class FaultInjectingDevice : public BlockDevice {
 
   mutable uint64_t read_ops_ = 0;
   uint64_t write_ops_ = 0;
+  uint64_t sync_ops_ = 0;
   mutable uint64_t injected_read_failures_ = 0;
   uint64_t injected_write_failures_ = 0;
   mutable uint64_t injected_bit_flips_ = 0;
   uint64_t injected_torn_writes_ = 0;
+  uint64_t injected_sync_failures_ = 0;
+};
+
+/// Shared operation clock + kill switch for crash simulation. Every
+/// write-path boundary (file Append, file Sync, and — via MemEnv's op
+/// gate — atomic writes, opens and removes) consumes one tick; once the
+/// configured crash point is reached, that operation and everything after
+/// it fails with kUnavailable, simulating the process dying mid-workload.
+/// A clock constructed with kNever just counts boundaries, which is how
+/// the crash matrix learns how many points it must enumerate.
+class CrashClock {
+ public:
+  static constexpr uint64_t kNever = ~0ull;
+
+  explicit CrashClock(uint64_t crash_at_op = kNever)
+      : crash_at_op_(crash_at_op) {}
+
+  /// Consumes one boundary; false once the crash point is reached (the
+  /// op with index `crash_at_op` is the first to fail).
+  bool Tick() { return ops_++ < crash_at_op_; }
+  bool dead() const { return ops_ > crash_at_op_; }
+  uint64_t ops() const { return ops_; }
+
+ private:
+  uint64_t ops_ = 0;
+  uint64_t crash_at_op_;
+};
+
+/// Write-path fault plan for an append-only file. Deterministic in the
+/// same seed/op-index style as FaultPlan.
+struct FileFaultPlan {
+  uint64_t seed = 1;
+  /// Per-append probability of a short write: a prefix is persisted and
+  /// the append fails kUnavailable.
+  double short_write_rate = 0.0;
+  /// Per-op probability (drawn on Sync ops) of an fsync failure.
+  double sync_failure_rate = 0.0;
+  /// Exact-operation faults over the file's combined Append+Sync op
+  /// stream (kShortWrite, kSyncFailure, kTransientFailure).
+  std::vector<ScheduledFault> schedule;
+};
+
+/// Decorator over an AppendableFile that injects write-path faults and
+/// honors a CrashClock: the deterministic crash-point engine behind
+/// tests/crash_recovery_test.cc. Each Append and each Sync is one op.
+class CrashInjectingFile : public AppendableFile {
+ public:
+  CrashInjectingFile(std::unique_ptr<AppendableFile> inner, CrashClock* clock,
+                     FileFaultPlan plan = {})
+      : inner_(std::move(inner)), clock_(clock), plan_(std::move(plan)) {}
+
+  util::Status Append(const uint8_t* data, size_t size) override;
+  util::Status Sync() override;
+  uint64_t Size() const override { return inner_->Size(); }
+
+  uint64_t ops() const { return ops_; }
+  uint64_t injected_short_writes() const { return injected_short_writes_; }
+  uint64_t injected_sync_failures() const { return injected_sync_failures_; }
+
+ private:
+  FaultKind FaultFor(uint64_t op, bool is_sync) const;
+
+  std::unique_ptr<AppendableFile> inner_;
+  CrashClock* clock_;  // Optional; may be shared across files.
+  FileFaultPlan plan_;
+  uint64_t ops_ = 0;
+  uint64_t injected_short_writes_ = 0;
+  uint64_t injected_sync_failures_ = 0;
 };
 
 }  // namespace geosir::storage

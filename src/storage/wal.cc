@@ -1,0 +1,702 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "storage/base_io.h"
+#include "util/crc32.h"
+
+namespace geosir::storage {
+
+namespace {
+
+/// Frame layout: u32 payload_len | u64 lsn | u8 type | payload | u32 crc.
+constexpr size_t kFrameHeaderBytes = kWalFrameHeaderBytes;
+constexpr size_t kFrameOverheadBytes = kWalFrameOverheadBytes;
+
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+constexpr char kCkptPrefix[] = "ckpt-";
+constexpr char kCkptSuffix[] = ".gsir";
+constexpr uint16_t kMaxLabelLen = 0xFFFF;  // The shape-file format limit.
+constexpr size_t kVertexBytes = 2 * sizeof(double);
+
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* appended_bytes;
+  obs::Counter* syncs;
+  obs::Counter* synced_bytes;
+  obs::Counter* rotations;
+  obs::Counter* recovery_truncated_bytes;
+  obs::Counter* recovery_replayed_records;
+  obs::Histogram* replay_latency;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new WalMetrics();
+      m->appends = r.GetCounter("geosir_wal_appends_total",
+                                "Records appended to write-ahead logs");
+      m->appended_bytes =
+          r.GetCounter("geosir_wal_appended_bytes_total",
+                       "Framed bytes appended to write-ahead logs");
+      m->syncs = r.GetCounter("geosir_wal_syncs_total",
+                              "Durability barriers issued by the WAL");
+      m->synced_bytes =
+          r.GetCounter("geosir_wal_synced_bytes_total",
+                       "WAL bytes first covered by a successful sync");
+      m->rotations =
+          r.GetCounter("geosir_wal_rotations_total",
+                       "Checkpoint rotations (new WAL generations)");
+      m->recovery_truncated_bytes = r.GetCounter(
+          "geosir_recovery_truncated_bytes_total",
+          "WAL tail bytes dropped during recovery (torn or corrupt)");
+      m->recovery_replayed_records =
+          r.GetCounter("geosir_recovery_replayed_records_total",
+                       "Mutation records replayed during recovery");
+      m->replay_latency = r.GetHistogram(
+          "geosir_recovery_replay_seconds",
+          "Wall-clock latency of one recovery (restore + replay)",
+          obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* out, T value) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+/// Bounds-checked decode cursor; any overrun is kCorruption (the frame
+/// CRC was valid, so a short payload means a mis-encoded record, not bit
+/// rot — either way the record cannot be trusted).
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  template <typename T>
+  bool Read(T* value) {
+    if (sizeof(T) > bytes_.size() - pos_) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  bool ReadBytes(void* data, size_t size) {
+    if (size > bytes_.size() - pos_) return false;
+    std::memcpy(data, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+bool ValidRecordType(uint8_t type) {
+  return type >= static_cast<uint8_t>(WalRecordType::kCompactCommit) &&
+         type <= static_cast<uint8_t>(WalRecordType::kCompactBegin);
+}
+
+/// Parses `<prefix><digits><suffix>` into the generation number.
+bool ParseGeneration(const std::string& name, const char* prefix,
+                     const char* suffix, uint64_t* generation) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+}  // namespace
+
+std::string WalPath(const std::string& dir, uint64_t generation) {
+  return dir + "/" + kWalPrefix + std::to_string(generation) + kWalSuffix;
+}
+
+std::string CheckpointPath(const std::string& dir, uint64_t generation) {
+  return dir + "/" + kCkptPrefix + std::to_string(generation) + kCkptSuffix;
+}
+
+void AppendWalFrame(std::vector<uint8_t>* out, uint64_t lsn,
+                    WalRecordType type, const std::vector<uint8_t>& payload) {
+  const size_t start = out->size();
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  AppendRaw<uint64_t>(out, lsn);
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(type));
+  out->insert(out->end(), payload.begin(), payload.end());
+  const uint32_t crc =
+      util::Crc32(out->data() + start, kFrameHeaderBytes + payload.size());
+  AppendRaw<uint32_t>(out, crc);
+}
+
+std::vector<WalRecord> ReadWalRecords(const std::vector<uint8_t>& bytes,
+                                      WalReadReport* report) {
+  WalReadReport local;
+  WalReadReport& rep = report != nullptr ? *report : local;
+  rep = WalReadReport{};
+
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (bytes.size() - pos >= kFrameOverheadBytes) {
+    uint32_t payload_len = 0;
+    std::memcpy(&payload_len, bytes.data() + pos, sizeof(payload_len));
+    const uint64_t frame_bytes =
+        kFrameOverheadBytes + static_cast<uint64_t>(payload_len);
+    if (frame_bytes > bytes.size() - pos) {
+      // Incomplete final frame: the normal shape of a crash mid-append.
+      // (A corrupted length field lands here too; either way only the
+      // valid prefix is replayed.)
+      break;
+    }
+    const uint32_t computed =
+        util::Crc32(bytes.data() + pos, kFrameHeaderBytes + payload_len);
+    uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + pos + kFrameHeaderBytes + payload_len,
+                sizeof(stored));
+    if (stored != computed) {
+      // A complete frame that fails its checksum: mid-record corruption,
+      // not a torn tail. Salvage the prefix.
+      rep.salvaged = true;
+      break;
+    }
+    WalRecord record;
+    std::memcpy(&record.lsn, bytes.data() + pos + sizeof(uint32_t),
+                sizeof(record.lsn));
+    const uint8_t type = bytes[pos + sizeof(uint32_t) + sizeof(uint64_t)];
+    if (!ValidRecordType(type) ||
+        (!records.empty() && record.lsn != records.back().lsn + 1)) {
+      // CRC-valid but semantically impossible (unknown type or a broken
+      // LSN chain): trust ends here.
+      rep.salvaged = true;
+      break;
+    }
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(
+        bytes.begin() + static_cast<ptrdiff_t>(pos + kFrameHeaderBytes),
+        bytes.begin() +
+            static_cast<ptrdiff_t>(pos + kFrameHeaderBytes + payload_len));
+    records.push_back(std::move(record));
+    pos += frame_bytes;
+  }
+  rep.truncated_bytes = bytes.size() - pos;
+  return records;
+}
+
+// --- Payload codecs ---
+
+namespace {
+
+/// Shared insert-payload encoder: `vertex_at(i)` abstracts over
+/// WalInsertPayload::vertices and geom::Polyline so the hot journal path
+/// can encode straight from the boundary without copying it first.
+template <typename VertexAt>
+void EncodeInsertFieldsTo(std::vector<uint8_t>* out, uint64_t id,
+                          core::ImageId image, const std::string& label,
+                          bool closed, size_t num_vertices,
+                          VertexAt&& vertex_at) {
+  out->reserve(out->size() + 19 + label.size() + num_vertices * kVertexBytes);
+  AppendRaw<uint64_t>(out, id);
+  AppendRaw<uint32_t>(out, image);
+  AppendRaw<uint16_t>(out, static_cast<uint16_t>(label.size()));
+  out->insert(out->end(), label.begin(), label.end());
+  AppendRaw<uint8_t>(out, closed ? 1 : 0);
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(num_vertices));
+  for (size_t v = 0; v < num_vertices; ++v) {
+    const geom::Point p = vertex_at(v);
+    AppendRaw<double>(out, p.x);
+    AppendRaw<double>(out, p.y);
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeInsert(const WalInsertPayload& payload) {
+  std::vector<uint8_t> out;
+  EncodeInsertFieldsTo(&out, payload.id, payload.image, payload.label,
+                       payload.closed, payload.vertices.size(),
+                       [&](size_t v) { return payload.vertices[v]; });
+  return out;
+}
+
+util::Result<WalInsertPayload> DecodeInsert(
+    const std::vector<uint8_t>& bytes) {
+  PayloadReader reader(bytes);
+  WalInsertPayload payload;
+  uint16_t label_len = 0;
+  uint8_t closed = 0;
+  uint32_t vertices = 0;
+  if (!reader.Read(&payload.id) || !reader.Read(&payload.image) ||
+      !reader.Read(&label_len)) {
+    return util::Status::Corruption("truncated WAL insert payload");
+  }
+  payload.label.resize(label_len);
+  if (!reader.ReadBytes(payload.label.data(), label_len) ||
+      !reader.Read(&closed) || !reader.Read(&vertices)) {
+    return util::Status::Corruption("truncated WAL insert payload");
+  }
+  if (static_cast<uint64_t>(vertices) !=
+      static_cast<uint64_t>(reader.remaining()) / kVertexBytes) {
+    return util::Status::Corruption(
+        "WAL insert vertex count does not match payload size");
+  }
+  payload.closed = closed != 0;
+  payload.vertices.reserve(vertices);
+  for (uint32_t v = 0; v < vertices; ++v) {
+    geom::Point p;
+    if (!reader.Read(&p.x) || !reader.Read(&p.y)) {
+      return util::Status::Corruption("truncated WAL insert vertices");
+    }
+    payload.vertices.push_back(p);
+  }
+  if (!reader.exhausted()) {
+    return util::Status::Corruption("trailing bytes in WAL insert payload");
+  }
+  return payload;
+}
+
+std::vector<uint8_t> EncodeRemove(uint64_t id) {
+  std::vector<uint8_t> out(sizeof(uint64_t));
+  std::memcpy(out.data(), &id, sizeof(id));
+  return out;
+}
+
+util::Result<uint64_t> DecodeRemove(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() != sizeof(uint64_t)) {
+    return util::Status::Corruption("WAL remove payload must be 8 bytes");
+  }
+  uint64_t id = 0;
+  std::memcpy(&id, bytes.data(), sizeof(id));
+  return id;
+}
+
+std::vector<uint8_t> EncodeCommit(const WalCommitPayload& payload) {
+  std::vector<uint8_t> out;
+  AppendRaw<uint64_t>(&out, payload.generation);
+  AppendRaw<uint64_t>(&out, payload.next_id);
+  AppendRaw<uint64_t>(&out, static_cast<uint64_t>(payload.live_ids.size()));
+  for (uint64_t id : payload.live_ids) AppendRaw<uint64_t>(&out, id);
+  return out;
+}
+
+util::Result<WalCommitPayload> DecodeCommit(
+    const std::vector<uint8_t>& bytes) {
+  PayloadReader reader(bytes);
+  WalCommitPayload payload;
+  uint64_t count = 0;
+  if (!reader.Read(&payload.generation) || !reader.Read(&payload.next_id) ||
+      !reader.Read(&count)) {
+    return util::Status::Corruption("truncated WAL commit payload");
+  }
+  if (count != reader.remaining() / sizeof(uint64_t)) {
+    return util::Status::Corruption(
+        "WAL commit id count does not match payload size");
+  }
+  payload.live_ids.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!reader.Read(&id)) {
+      return util::Status::Corruption("truncated WAL commit ids");
+    }
+    payload.live_ids.push_back(id);
+  }
+  if (!reader.exhausted()) {
+    return util::Status::Corruption("trailing bytes in WAL commit payload");
+  }
+  return payload;
+}
+
+// --- WriteAheadLog ---
+
+WriteAheadLog::WriteAheadLog(std::unique_ptr<AppendableFile> file,
+                             WalOptions options, uint64_t next_lsn)
+    : file_(std::move(file)),
+      options_(options),
+      next_lsn_(next_lsn),
+      synced_upto_(next_lsn) {}
+
+util::Result<uint64_t> WriteAheadLog::Append(
+    WalRecordType type, const std::vector<uint8_t>& payload) {
+  if (!sticky_.ok()) return sticky_;
+  // The frame scratch keeps its capacity across appends: the common
+  // insert path must not pay a heap allocation per record.
+  std::vector<uint8_t>& frame = frame_scratch_;
+  frame.clear();
+  frame.reserve(kFrameOverheadBytes + payload.size());
+  const uint64_t lsn = next_lsn_;
+  AppendWalFrame(&frame, lsn, type, payload);
+  util::Status appended = file_->Append(frame);
+  if (!appended.ok()) {
+    // A failed append leaves the file tail unknown (a prefix of the
+    // frame may be on disk). The error is sticky: appending more would
+    // interleave live records with garbage that recovery must discard.
+    sticky_ = appended;
+    return appended;
+  }
+  ++next_lsn_;
+  ++appends_;
+  ++unsynced_records_;
+  bytes_since_sync_ += frame.size();
+  const WalMetrics& metrics = WalMetrics::Get();
+  metrics.appends->Inc();
+  metrics.appended_bytes->Inc(frame.size());
+  switch (options_.sync_policy) {
+    case WalSyncPolicy::kEveryRecord:
+      GEOSIR_RETURN_IF_ERROR(SyncLocked());
+      break;
+    case WalSyncPolicy::kEveryN:
+      if (unsynced_records_ >= std::max<size_t>(1, options_.sync_every_n)) {
+        GEOSIR_RETURN_IF_ERROR(SyncLocked());
+      }
+      break;
+    case WalSyncPolicy::kOnCheckpoint:
+      break;
+  }
+  return lsn;
+}
+
+util::Status WriteAheadLog::Sync() {
+  if (!sticky_.ok()) return sticky_;
+  if (synced_upto_ == next_lsn_) return util::Status::OK();
+  return SyncLocked();
+}
+
+util::Status WriteAheadLog::SyncLocked() {
+  util::Status synced = file_->Sync();
+  if (!synced.ok()) {
+    // An fsync failure means nothing new is known-durable and the kernel
+    // may have dropped the dirty pages; the log is done (rotation heals).
+    sticky_ = synced;
+    return synced;
+  }
+  const WalMetrics& metrics = WalMetrics::Get();
+  metrics.syncs->Inc();
+  metrics.synced_bytes->Inc(bytes_since_sync_);
+  synced_upto_ = next_lsn_;
+  unsynced_records_ = 0;
+  bytes_since_sync_ = 0;
+  return util::Status::OK();
+}
+
+// --- WalJournal ---
+
+util::Status WalJournal::AppendMutation(WalRecordType type,
+                                        const std::vector<uint8_t>& payload) {
+  if (wal_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "journal is detached (recovery has not rotated the log yet)");
+  }
+  GEOSIR_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->Append(type, payload));
+  (void)lsn;
+  next_lsn_ = wal_->next_lsn();
+  return util::Status::OK();
+}
+
+util::Status WalJournal::LogInsert(uint64_t id, const geom::Polyline& boundary,
+                                   core::ImageId image,
+                                   const std::string& label) {
+  if (label.size() > kMaxLabelLen) {
+    // The checkpoint format caps labels at u16 length; reject at the WAL
+    // so a durable base never accepts a shape it cannot checkpoint.
+    return util::Status::InvalidArgument(
+        "shape label exceeds 65535 bytes and cannot be stored");
+  }
+  // Encode straight from the boundary into the reusable scratch: no
+  // WalInsertPayload copy, no per-record allocation.
+  payload_scratch_.clear();
+  EncodeInsertFieldsTo(&payload_scratch_, id, image, label, boundary.closed(),
+                       boundary.size(),
+                       [&](size_t v) { return boundary.vertex(v); });
+  return AppendMutation(WalRecordType::kInsert, payload_scratch_);
+}
+
+util::Status WalJournal::LogRemove(uint64_t id) {
+  payload_scratch_.resize(sizeof(uint64_t));
+  std::memcpy(payload_scratch_.data(), &id, sizeof(id));
+  return AppendMutation(WalRecordType::kRemove, payload_scratch_);
+}
+
+util::Status WalJournal::LogCompactBegin() {
+  // Advisory: a sticky or detached log must not block the compaction
+  // that is about to rotate it into a healthy one.
+  if (wal_ == nullptr || !wal_->status().ok()) return util::Status::OK();
+  auto lsn = wal_->Append(WalRecordType::kCompactBegin, {});
+  if (lsn.ok()) next_lsn_ = wal_->next_lsn();
+  return util::Status::OK();
+}
+
+util::Status WalJournal::LogCompactCommit(
+    const core::ShapeBase& main, const std::vector<uint64_t>& stable_ids,
+    uint64_t next_id) {
+  const uint64_t old_generation = generation_;
+  const uint64_t new_generation = generation_ + 1;
+  // Step 1: the checkpoint, durably and atomically. Until step 3 the old
+  // generation stays fully recoverable, so a crash (or plain failure)
+  // anywhere in here loses nothing.
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> checkpoint,
+                          SerializeShapeBase(main));
+  GEOSIR_RETURN_IF_ERROR(
+      env_->WriteFileAtomic(CheckpointPath(dir_, new_generation), checkpoint));
+  // Step 2: the new WAL, whose synced head record binds the checkpoint to
+  // its id map. A torn head makes recovery skip this generation.
+  GEOSIR_ASSIGN_OR_RETURN(
+      std::unique_ptr<AppendableFile> file,
+      env_->NewAppendableFile(WalPath(dir_, new_generation),
+                              /*truncate=*/true));
+  auto wal =
+      std::make_unique<WriteAheadLog>(std::move(file), options_, next_lsn_);
+  WalCommitPayload commit;
+  commit.generation = new_generation;
+  commit.next_id = next_id;
+  commit.live_ids = stable_ids;
+  GEOSIR_RETURN_IF_ERROR(
+      wal->Append(WalRecordType::kCompactCommit, EncodeCommit(commit))
+          .status());
+  GEOSIR_RETURN_IF_ERROR(wal->Sync());
+  // The new generation is durable: swap it in and retire the old one.
+  wal_ = std::move(wal);
+  generation_ = new_generation;
+  next_lsn_ = wal_->next_lsn();
+  WalMetrics::Get().rotations->Inc();
+  // Step 3: best-effort cleanup. A failure here only leaves stale files
+  // that the next recovery or rotation removes.
+  (void)env_->RemoveFile(WalPath(dir_, old_generation));
+  (void)env_->RemoveFile(CheckpointPath(dir_, old_generation));
+  return util::Status::OK();
+}
+
+util::Status WalJournal::Sync() {
+  return wal_ != nullptr ? wal_->Sync() : util::Status::OK();
+}
+
+// --- Recovery ---
+
+namespace {
+
+/// Replays the post-head records of a WAL onto a restored base.
+util::Result<size_t> ReplayRecords(const std::vector<WalRecord>& records,
+                                   core::DynamicShapeBase* base) {
+  size_t applied = 0;
+  for (size_t i = 1; i < records.size(); ++i) {
+    const WalRecord& record = records[i];
+    switch (record.type) {
+      case WalRecordType::kInsert: {
+        GEOSIR_ASSIGN_OR_RETURN(WalInsertPayload payload,
+                                DecodeInsert(record.payload));
+        GEOSIR_RETURN_IF_ERROR(base->ReplayInsert(
+            payload.id,
+            geom::Polyline(std::move(payload.vertices), payload.closed),
+            payload.image, std::move(payload.label)));
+        ++applied;
+        break;
+      }
+      case WalRecordType::kRemove: {
+        GEOSIR_ASSIGN_OR_RETURN(const uint64_t id,
+                                DecodeRemove(record.payload));
+        GEOSIR_RETURN_IF_ERROR(base->ReplayRemove(id));
+        ++applied;
+        break;
+      }
+      case WalRecordType::kCompactBegin:
+        break;  // Advisory marker.
+      case WalRecordType::kCompactCommit:
+        // Commit records only ever head a WAL file; rotation never
+        // appends one mid-log.
+        return util::Status::Corruption(
+            "unexpected compact-commit record mid-log");
+    }
+  }
+  return applied;
+}
+
+}  // namespace
+
+util::Result<DurableDynamicBase> OpenDurableDynamicBase(
+    const std::string& dir, core::DynamicShapeBase::Options options,
+    const DurabilityOptions& durability, RecoveryReport* report) {
+  Env* env = durability.env != nullptr ? durability.env : Env::Posix();
+  RecoveryReport local_report;
+  RecoveryReport& rep = report != nullptr ? *report : local_report;
+  rep = RecoveryReport{};
+
+  GEOSIR_RETURN_IF_ERROR(env->CreateDir(dir));
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                          env->ListDir(dir));
+  std::vector<uint64_t> wal_generations;
+  std::vector<uint64_t> ckpt_generations;
+  std::vector<std::string> tmp_leftovers;
+  for (const std::string& name : names) {
+    uint64_t generation = 0;
+    if (ParseGeneration(name, kWalPrefix, kWalSuffix, &generation)) {
+      wal_generations.push_back(generation);
+    } else if (ParseGeneration(name, kCkptPrefix, kCkptSuffix, &generation)) {
+      ckpt_generations.push_back(generation);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      tmp_leftovers.push_back(name);  // A crash mid-WriteFileAtomic.
+    }
+  }
+  std::sort(wal_generations.rbegin(), wal_generations.rend());
+
+  const auto replay_start = std::chrono::steady_clock::now();
+  for (uint64_t generation : wal_generations) {
+    auto wal_bytes = env->ReadFileBytes(WalPath(dir, generation));
+    if (!wal_bytes.ok()) {
+      ++rep.generations_skipped;
+      continue;
+    }
+    WalReadReport wal_report;
+    const std::vector<WalRecord> records =
+        ReadWalRecords(*wal_bytes, &wal_report);
+    if (records.empty() ||
+        records.front().type != WalRecordType::kCompactCommit) {
+      // Torn or foreign head: the rotation that was creating this
+      // generation never finished. Fall back to the previous one.
+      ++rep.generations_skipped;
+      continue;
+    }
+    auto commit = DecodeCommit(records.front().payload);
+    if (!commit.ok() || commit->generation != generation) {
+      ++rep.generations_skipped;
+      continue;
+    }
+    // A valid head promises a durable checkpoint (it was written first);
+    // failing to load it now is real data damage, not a crash artifact.
+    GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> ckpt_bytes,
+                            env->ReadFileBytes(CheckpointPath(dir, generation)));
+    LoadReport load_report;
+    GEOSIR_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::ShapeBase> checkpoint,
+        LoadShapeBaseFromBytes(ckpt_bytes, options.base, {}, &load_report));
+    rep.checkpoint_shapes = checkpoint->NumShapes();
+
+    auto base = std::make_unique<core::DynamicShapeBase>(options);
+    GEOSIR_RETURN_IF_ERROR(base->RestoreCheckpoint(
+        std::move(checkpoint), commit->live_ids, commit->next_id));
+    GEOSIR_ASSIGN_OR_RETURN(rep.applied, ReplayRecords(records, base.get()));
+    rep.generation = generation;
+    rep.truncated_bytes = wal_report.truncated_bytes;
+    rep.salvaged = wal_report.salvaged;
+
+    const WalMetrics& metrics = WalMetrics::Get();
+    metrics.recovery_truncated_bytes->Inc(rep.truncated_bytes);
+    metrics.recovery_replayed_records->Inc(rep.applied);
+    metrics.replay_latency->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      replay_start)
+            .count());
+
+    // Retire everything that is not the recovered generation: stale older
+    // pairs a crash kept alive, half-rotated newer ones, orphan temps.
+    for (uint64_t other : wal_generations) {
+      if (other != generation) (void)env->RemoveFile(WalPath(dir, other));
+    }
+    for (uint64_t other : ckpt_generations) {
+      if (other != generation) {
+        (void)env->RemoveFile(CheckpointPath(dir, other));
+      }
+    }
+    for (const std::string& name : tmp_leftovers) {
+      (void)env->RemoveFile(dir + "/" + name);
+    }
+
+    const uint64_t next_lsn = records.back().lsn + 1;
+    std::unique_ptr<WalJournal> journal;
+    if (rep.truncated_bytes == 0 && !rep.salvaged) {
+      // Clean tail: append-attach to the existing WAL. One sync barrier
+      // first — the bytes we just read are in the file, but nothing says
+      // they were ever fsynced.
+      GEOSIR_ASSIGN_OR_RETURN(
+          std::unique_ptr<AppendableFile> file,
+          env->NewAppendableFile(WalPath(dir, generation),
+                                 /*truncate=*/false));
+      auto wal = std::make_unique<WriteAheadLog>(std::move(file),
+                                                 durability.wal, next_lsn);
+      GEOSIR_RETURN_IF_ERROR(wal->Sync());
+      journal = std::make_unique<WalJournal>(env, dir, durability.wal,
+                                             generation, next_lsn,
+                                             std::move(wal));
+      base->SetJournal(journal.get());
+    } else {
+      // Dirty tail: never append after discarded bytes. Attach detached
+      // and compact immediately — the commit rotates to a fresh
+      // generation that snapshots the recovered state.
+      journal = std::make_unique<WalJournal>(env, dir, durability.wal,
+                                             generation, next_lsn,
+                                             /*wal=*/nullptr);
+      base->SetJournal(journal.get());
+      GEOSIR_RETURN_IF_ERROR(base->Compact());
+    }
+    return DurableDynamicBase{std::move(base), std::move(journal)};
+  }
+
+  // No generation has a valid WAL head. If a checkpoint with real shapes
+  // survives, refuse to silently drop it; otherwise (re)initialize.
+  for (uint64_t generation : ckpt_generations) {
+    auto ckpt_bytes = env->ReadFileBytes(CheckpointPath(dir, generation));
+    if (!ckpt_bytes.ok()) continue;
+    auto checkpoint = LoadShapeBaseFromBytes(*ckpt_bytes, options.base);
+    if (checkpoint.ok() && (*checkpoint)->NumShapes() > 0) {
+      return util::Status::Corruption(
+          "checkpointed shapes exist but no WAL generation is recoverable "
+          "in " +
+          dir);
+    }
+  }
+  // Remove only files this layer owns (a user-supplied directory may hold
+  // unrelated files): torn WALs, empty checkpoints, orphan temps.
+  for (uint64_t generation : wal_generations) {
+    (void)env->RemoveFile(WalPath(dir, generation));
+  }
+  for (uint64_t generation : ckpt_generations) {
+    (void)env->RemoveFile(CheckpointPath(dir, generation));
+  }
+  for (const std::string& name : tmp_leftovers) {
+    (void)env->RemoveFile(dir + "/" + name);
+  }
+  rep.reinitialized = true;
+
+  // Fresh generation 0: an empty durable checkpoint plus a WAL whose
+  // synced head commits it.
+  core::ShapeBase empty(options.base);
+  GEOSIR_RETURN_IF_ERROR(empty.Finalize());
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> checkpoint,
+                          SerializeShapeBase(empty));
+  GEOSIR_RETURN_IF_ERROR(
+      env->WriteFileAtomic(CheckpointPath(dir, 0), checkpoint));
+  GEOSIR_ASSIGN_OR_RETURN(
+      std::unique_ptr<AppendableFile> file,
+      env->NewAppendableFile(WalPath(dir, 0), /*truncate=*/true));
+  auto wal = std::make_unique<WriteAheadLog>(std::move(file), durability.wal,
+                                             /*next_lsn=*/0);
+  WalCommitPayload commit;
+  commit.generation = 0;
+  commit.next_id = 0;
+  GEOSIR_RETURN_IF_ERROR(
+      wal->Append(WalRecordType::kCompactCommit, EncodeCommit(commit))
+          .status());
+  GEOSIR_RETURN_IF_ERROR(wal->Sync());
+  auto base = std::make_unique<core::DynamicShapeBase>(options);
+  auto journal = std::make_unique<WalJournal>(
+      env, dir, durability.wal, /*generation=*/0, wal->next_lsn(),
+      std::move(wal));
+  base->SetJournal(journal.get());
+  return DurableDynamicBase{std::move(base), std::move(journal)};
+}
+
+}  // namespace geosir::storage

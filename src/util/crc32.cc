@@ -1,31 +1,61 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace geosir::util {
 
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+/// Slicing-by-8 tables: t[0] is the classic byte-at-a-time table, t[k]
+/// advances a byte through k additional zero bytes, so eight lookups
+/// combine to one 8-byte step. Same polynomial, same result, several
+/// times the throughput of the bytewise loop on the storage layer's
+/// frame sizes — the CRC runs on every WAL append and every checkpoint
+/// record, so it sits on the durable insert path.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
 }
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kTable = BuildTables();
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   uint32_t crc = seed ^ 0xFFFFFFFFu;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The sliced step folds the running CRC into the low word, which is
+  // only correct with little-endian loads; other platforms take the
+  // bytewise tail loop for the whole buffer.
+  while (size >= 8) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    std::memcpy(&lo, bytes, sizeof(lo));
+    std::memcpy(&hi, bytes + 4, sizeof(hi));
+    lo ^= crc;
+    crc = kTable[7][lo & 0xFFu] ^ kTable[6][(lo >> 8) & 0xFFu] ^
+          kTable[5][(lo >> 16) & 0xFFu] ^ kTable[4][lo >> 24] ^
+          kTable[3][hi & 0xFFu] ^ kTable[2][(hi >> 8) & 0xFFu] ^
+          kTable[1][(hi >> 16) & 0xFFu] ^ kTable[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
+#endif
   for (size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    crc = kTable[0][(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }

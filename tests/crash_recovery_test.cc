@@ -1,0 +1,582 @@
+// Deterministic crash-recovery tests for the durable DynamicShapeBase.
+//
+// The core instrument is the crash matrix: run a scripted workload over a
+// MemEnv where every file append, file sync and mutating env operation
+// consumes one tick of a shared CrashClock; a first pass with the clock
+// set to "never" counts the write/sync boundaries, then one run per
+// boundary kills the process at exactly that operation, materializes the
+// disk as a CrashImage (sweeping how much of the unsynced tail survives),
+// recovers, and checks the recovered base against a reference model:
+//
+//   * the recovered live set must equal the model after some prefix of
+//     the acknowledged operations (no phantoms, no reordering),
+//   * the prefix must cover every acknowledged mutation whose WAL record
+//     was covered by a successful sync (acked + synced => durable),
+//   * at most one in-flight (unacknowledged) mutation may additionally
+//     appear.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "storage/appendable_file.h"
+#include "storage/fault_injection.h"
+#include "storage/wal.h"
+
+namespace geosir::storage {
+namespace {
+
+using core::DynamicShapeBase;
+using geom::Point;
+using geom::Polyline;
+
+Polyline RegularPolygon(int n, double r) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+/// Deterministic per-id geometry/metadata so the reference model needs no
+/// stored state: insert i always produces ShapeFor(i).
+Polyline ShapeFor(uint64_t id) {
+  return RegularPolygon(3 + static_cast<int>(id % 8),
+                        1.0 + 0.05 * static_cast<double>(id % 7));
+}
+std::string LabelFor(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "s%llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+core::ImageId ImageFor(uint64_t id) {
+  return static_cast<core::ImageId>(id * 3 + 1);
+}
+
+struct ScriptOp {
+  enum Kind { kInsert, kRemove, kCompact } kind;
+  uint64_t id = 0;  // Insert: the id it must get. Remove: the target.
+};
+
+/// Mixed workload: inserts with interleaved removes of earlier ids plus
+/// optional explicit compactions. Ids are assigned sequentially by the
+/// base, so the script can predict them.
+std::vector<ScriptOp> MakeScript(size_t inserts, size_t remove_every,
+                                 size_t compact_every) {
+  std::vector<ScriptOp> script;
+  uint64_t next_id = 0;
+  std::vector<uint64_t> live;
+  for (size_t i = 0; i < inserts; ++i) {
+    script.push_back({ScriptOp::kInsert, next_id});
+    live.push_back(next_id);
+    ++next_id;
+    if (remove_every != 0 && i % remove_every == remove_every - 1) {
+      // Remove the oldest live shape: exercises tombstones in main and
+      // delta removals alike.
+      script.push_back({ScriptOp::kRemove, live.front()});
+      live.erase(live.begin());
+    }
+    if (compact_every != 0 && i % compact_every == compact_every - 1) {
+      script.push_back({ScriptOp::kCompact});
+    }
+  }
+  return script;
+}
+
+/// Live ids after the first `prefix` script ops.
+std::set<uint64_t> ModelPrefix(const std::vector<ScriptOp>& script,
+                               size_t prefix) {
+  std::set<uint64_t> live;
+  for (size_t i = 0; i < prefix && i < script.size(); ++i) {
+    switch (script[i].kind) {
+      case ScriptOp::kInsert:
+        live.insert(script[i].id);
+        break;
+      case ScriptOp::kRemove:
+        live.erase(script[i].id);
+        break;
+      case ScriptOp::kCompact:
+        break;
+    }
+  }
+  return live;
+}
+
+/// Does the recovered base hold exactly the model's live set, with every
+/// shape's geometry and metadata intact?
+bool MatchesModel(const DynamicShapeBase& base,
+                  const std::set<uint64_t>& model) {
+  const std::vector<uint64_t> live = base.LiveIds();
+  if (live.size() != model.size()) return false;
+  for (uint64_t id : live) {
+    if (model.count(id) == 0) return false;
+    if (base.label(id) != LabelFor(id)) return false;
+    if (base.image(id) != ImageFor(id)) return false;
+    const Polyline expected = ShapeFor(id);
+    const Polyline& got = base.boundary(id);
+    if (got.size() != expected.size() || got.closed() != expected.closed()) {
+      return false;
+    }
+    for (size_t v = 0; v < expected.size(); ++v) {
+      // Bit-exact: the WAL and checkpoint store raw f64s.
+      if (got.vertex(v).x != expected.vertex(v).x ||
+          got.vertex(v).y != expected.vertex(v).y) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Wires a shared CrashClock into a MemEnv: file appends/syncs tick via
+/// CrashInjectingFile, mutating env ops (atomic writes, opens, removes,
+/// mkdir) tick via the op gate.
+void WireCrashClock(MemEnv* env, CrashClock* clock) {
+  env->set_file_wrapper(
+      [clock](std::unique_ptr<AppendableFile> inner, const std::string&) {
+        return std::make_unique<CrashInjectingFile>(std::move(inner), clock);
+      });
+  env->set_op_gate([clock](const char*, const std::string&) {
+    return clock->Tick()
+               ? util::Status::OK()
+               : util::Status::Unavailable("simulated crash (env op)");
+  });
+}
+
+DynamicShapeBase::Options SmallBaseOptions() {
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 8;  // Auto-compaction inside the matrix.
+  options.max_delta_fraction = 0.5;
+  return options;
+}
+
+constexpr char kDir[] = "db";
+
+struct LiveRunResult {
+  bool open_ok = false;
+  /// Script ops acknowledged (OK), counted from the start.
+  size_t acked_ops = 0;
+  /// Acked mutations as (script index, WAL lsn of the mutation record).
+  std::vector<std::pair<size_t, uint64_t>> acked_mutations;
+  /// True when an op failed after open succeeded (one mutation may be
+  /// in-flight: logged and possibly durable, but never acknowledged).
+  bool had_failure = false;
+  /// Exclusive LSN durability bound at crash time.
+  uint64_t synced_upto = 0;
+};
+
+/// Runs the script against a freshly opened durable base on `env`,
+/// stopping at the first failure (everything fails once the clock dies).
+LiveRunResult RunScript(const std::vector<ScriptOp>& script, MemEnv* env,
+                        const WalOptions& wal_options,
+                        const DynamicShapeBase::Options& base_options) {
+  LiveRunResult run;
+  DurabilityOptions durability;
+  durability.env = env;
+  durability.wal = wal_options;
+  auto opened = OpenDurableDynamicBase(kDir, base_options, durability);
+  if (!opened.ok()) return run;
+  run.open_ok = true;
+  DynamicShapeBase* base = opened->base.get();
+  WalJournal* journal = opened->journal.get();
+  for (size_t i = 0; i < script.size(); ++i) {
+    const ScriptOp& op = script[i];
+    const uint64_t mutation_lsn = journal->next_lsn();
+    util::Status status;
+    bool is_mutation = true;
+    switch (op.kind) {
+      case ScriptOp::kInsert: {
+        auto id = base->Insert(ShapeFor(op.id), ImageFor(op.id),
+                               LabelFor(op.id));
+        status = id.status();
+        if (id.ok() && *id != op.id) {
+          ADD_FAILURE() << "script expected id " << op.id << " got " << *id;
+        }
+        break;
+      }
+      case ScriptOp::kRemove:
+        status = base->Remove(op.id);
+        break;
+      case ScriptOp::kCompact:
+        status = base->Compact();
+        is_mutation = false;
+        break;
+    }
+    if (!status.ok()) {
+      run.had_failure = true;
+      break;
+    }
+    ++run.acked_ops;
+    if (is_mutation) run.acked_mutations.emplace_back(i, mutation_lsn);
+  }
+  run.synced_upto = journal->synced_upto();
+  return run;
+}
+
+/// The crash matrix proper (see the file comment).
+void RunCrashMatrix(const std::vector<ScriptOp>& script,
+                    const WalOptions& wal_options) {
+  const DynamicShapeBase::Options base_options = SmallBaseOptions();
+
+  // Pass 1: count boundaries with a clock that never fires.
+  uint64_t total_boundaries = 0;
+  {
+    MemEnv env;
+    CrashClock clock(CrashClock::kNever);
+    WireCrashClock(&env, &clock);
+    LiveRunResult run = RunScript(script, &env, wal_options, base_options);
+    ASSERT_TRUE(run.open_ok);
+    ASSERT_FALSE(run.had_failure);
+    ASSERT_EQ(run.acked_ops, script.size());
+    total_boundaries = clock.ops();
+  }
+  ASSERT_GT(total_boundaries, 0u);
+  ASSERT_LT(total_boundaries, 2000u) << "matrix would be too slow";
+
+  // Pass 2: one run per crash point, three tail-survival fractions each.
+  for (uint64_t crash_at = 0; crash_at < total_boundaries; ++crash_at) {
+    MemEnv env;
+    CrashClock clock(crash_at);
+    WireCrashClock(&env, &clock);
+    const LiveRunResult run =
+        RunScript(script, &env, wal_options, base_options);
+
+    // Prefix bounds. Low: every acked mutation whose record a successful
+    // sync covered must survive. High: everything acked plus at most one
+    // in-flight mutation.
+    size_t lo = 0;
+    for (const auto& [script_index, lsn] : run.acked_mutations) {
+      if (lsn < run.synced_upto) lo = script_index + 1;
+    }
+    const size_t hi =
+        std::min(script.size(),
+                 run.acked_ops + ((run.open_ok && run.had_failure) ? 1 : 0));
+
+    for (double keep_fraction : {0.0, 0.5, 1.0}) {
+      const std::unique_ptr<MemEnv> image = env.CrashImage(keep_fraction);
+      RecoveryReport report;
+      DurabilityOptions durability;
+      durability.env = image.get();
+      durability.wal = wal_options;
+      auto recovered =
+          OpenDurableDynamicBase(kDir, base_options, durability, &report);
+      ASSERT_TRUE(recovered.ok())
+          << "crash at op " << crash_at << " keep " << keep_fraction << ": "
+          << recovered.status().message();
+
+      bool matched = false;
+      size_t matched_prefix = 0;
+      for (size_t j = lo; j <= hi && !matched; ++j) {
+        if (MatchesModel(*recovered->base, ModelPrefix(script, j))) {
+          matched = true;
+          matched_prefix = j;
+        }
+      }
+      ASSERT_TRUE(matched)
+          << "crash at op " << crash_at << " keep " << keep_fraction
+          << ": recovered live set is not a model prefix in [" << lo << ", "
+          << hi << "] (acked " << run.acked_ops << ", synced_upto "
+          << run.synced_upto << ", applied " << report.applied
+          << ", truncated " << report.truncated_bytes << ", salvaged "
+          << report.salvaged << ", generation " << report.generation << ")";
+      (void)matched_prefix;
+
+      // The recovered base must keep working: its journal is live, so a
+      // mutation after recovery must be accepted.
+      auto post = recovered->base->Insert(ShapeFor(9999), ImageFor(9999),
+                                          LabelFor(9999));
+      EXPECT_TRUE(post.ok())
+          << "crash at op " << crash_at << ": " << post.status().message();
+    }
+  }
+}
+
+// --- The matrices ---
+
+TEST(CrashMatrix, EveryNPolicyMixedWorkload) {
+  WalOptions wal;
+  wal.sync_policy = WalSyncPolicy::kEveryN;
+  wal.sync_every_n = 4;
+  RunCrashMatrix(MakeScript(/*inserts=*/18, /*remove_every=*/5,
+                            /*compact_every=*/0),
+                 wal);
+}
+
+TEST(CrashMatrix, EveryRecordPolicyNothingAckedIsLost) {
+  WalOptions wal;
+  wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  RunCrashMatrix(MakeScript(/*inserts=*/12, /*remove_every=*/4,
+                            /*compact_every=*/0),
+                 wal);
+}
+
+TEST(CrashMatrix, ExplicitCompactionRotation) {
+  // Explicit Compact() ops put the checkpoint-rotation protocol (atomic
+  // checkpoint write, new-generation WAL creation, old-generation
+  // removal) directly under the boundary sweep: several crash points land
+  // between the checkpoint publication and the old WAL's deletion, and
+  // recovery must pick a consistent generation at each of them.
+  WalOptions wal;
+  wal.sync_policy = WalSyncPolicy::kOnCheckpoint;
+  RunCrashMatrix(MakeScript(/*inserts=*/10, /*remove_every=*/3,
+                            /*compact_every=*/4),
+                 wal);
+}
+
+// --- Targeted pieces ---
+
+TEST(CrashRecovery, CleanRestartAttachesAndPreservesState) {
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  uint64_t generation = 0;
+  {
+    auto opened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          opened->base->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+    }
+    ASSERT_TRUE(opened->base->Remove(2).ok());
+    generation = opened->journal->generation();
+  }
+  RecoveryReport report;
+  auto reopened = OpenDurableDynamicBase(kDir, {}, durability, &report);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(report.truncated_bytes, 0u);
+  EXPECT_FALSE(report.salvaged);
+  EXPECT_FALSE(report.reinitialized);
+  EXPECT_EQ(report.generation, generation);
+  EXPECT_EQ(report.applied, 6u);  // 5 inserts + 1 remove replayed.
+  EXPECT_TRUE(
+      MatchesModel(*reopened->base, std::set<uint64_t>{0, 1, 3, 4}));
+  // The clean tail was append-attached, not rotated.
+  EXPECT_EQ(reopened->journal->generation(), generation);
+  // And the reopened base still matches queries.
+  auto results = reopened->base->Match(ShapeFor(3), 1);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].first, 3u);
+}
+
+TEST(CrashRecovery, DirtyTailRotatesToFreshGeneration) {
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  {
+    auto opened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          opened->base->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+    }
+  }
+  // Corrupt a byte in the middle of the last record: the reader salvages
+  // the prefix and recovery must abandon the damaged file.
+  const std::string wal_path = WalPath(kDir, 0);
+  auto bytes = env.ReadFileBytes(wal_path);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> damaged = *bytes;
+  damaged[damaged.size() - 5] ^= 0x40;
+  ASSERT_TRUE(env.WriteFileAtomic(wal_path, damaged).ok());
+
+  RecoveryReport report;
+  auto reopened = OpenDurableDynamicBase(kDir, {}, durability, &report);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_GT(report.truncated_bytes, 0u);
+  EXPECT_TRUE(MatchesModel(*reopened->base, std::set<uint64_t>{0, 1}));
+  // Dirty tail => immediate rotation to generation 1, and the damaged
+  // generation-0 files are gone.
+  EXPECT_EQ(reopened->journal->generation(), 1u);
+  EXPECT_FALSE(env.FileExists(WalPath(kDir, 0)));
+  EXPECT_FALSE(env.FileExists(CheckpointPath(kDir, 0)));
+  EXPECT_TRUE(env.FileExists(WalPath(kDir, 1)));
+  EXPECT_TRUE(env.FileExists(CheckpointPath(kDir, 1)));
+}
+
+TEST(CrashRecovery, TornTailIsTruncatedSilently) {
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  {
+    auto opened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          opened->base->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+    }
+  }
+  const std::string wal_path = WalPath(kDir, 0);
+  auto bytes = env.ReadFileBytes(wal_path);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> torn = *bytes;
+  torn.resize(torn.size() - 9);  // Mid-frame cut.
+  ASSERT_TRUE(env.WriteFileAtomic(wal_path, torn).ok());
+
+  RecoveryReport report;
+  auto reopened = OpenDurableDynamicBase(kDir, {}, durability, &report);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(report.salvaged);  // A torn tail is normal, not salvage.
+  EXPECT_GT(report.truncated_bytes, 0u);
+  EXPECT_TRUE(MatchesModel(*reopened->base, std::set<uint64_t>{0, 1}));
+}
+
+TEST(CrashRecovery, ReplayIsIdempotent) {
+  // Replaying the same mutations twice (the checkpoint already absorbed
+  // them) must be a no-op, and a gap must be rejected.
+  DynamicShapeBase base;
+  ASSERT_TRUE(base.ReplayInsert(0, ShapeFor(0), ImageFor(0), LabelFor(0)).ok());
+  ASSERT_TRUE(base.ReplayInsert(1, ShapeFor(1), ImageFor(1), LabelFor(1)).ok());
+  ASSERT_TRUE(base.ReplayRemove(1).ok());
+  // Second replay of the identical prefix: all no-ops.
+  EXPECT_TRUE(base.ReplayInsert(0, ShapeFor(0), ImageFor(0), LabelFor(0)).ok());
+  EXPECT_TRUE(base.ReplayInsert(1, ShapeFor(1), ImageFor(1), LabelFor(1)).ok());
+  EXPECT_TRUE(base.ReplayRemove(1).ok());
+  EXPECT_EQ(base.LiveIds(), (std::vector<uint64_t>{0}));
+  // A gap means the log disagrees with the checkpoint.
+  auto gap = base.ReplayInsert(7, ShapeFor(7), ImageFor(7), LabelFor(7));
+  EXPECT_EQ(gap.code(), util::StatusCode::kCorruption);
+  // An unknown remove target likewise.
+  EXPECT_EQ(base.ReplayRemove(9).code(), util::StatusCode::kCorruption);
+}
+
+TEST(CrashRecovery, CheckpointWithoutLogIsCorruption) {
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  {
+    auto opened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(
+        opened->base->Insert(ShapeFor(0), ImageFor(0), LabelFor(0)).ok());
+    ASSERT_TRUE(opened->base->Compact().ok());  // ckpt-1 now holds data.
+    ASSERT_EQ(opened->journal->generation(), 1u);
+  }
+  ASSERT_TRUE(env.RemoveFile(WalPath(kDir, 1)).ok());
+  auto reopened = OpenDurableDynamicBase(kDir, {}, durability);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(CrashRecovery, EmptyLeftoversReinitialize) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDir(kDir).ok());
+  // A crash during the very first initialization: a torn (empty) WAL and
+  // an orphan temp file, no checkpoint. Nothing was ever acknowledged, so
+  // reinitializing silently is correct.
+  ASSERT_TRUE(env.WriteFileAtomic(WalPath(kDir, 0), {0x01, 0x02}).ok());
+  ASSERT_TRUE(
+      env.WriteFileAtomic(kDir + std::string("/ckpt-0.gsir.tmp"), {0x00})
+          .ok());
+  DurabilityOptions durability;
+  durability.env = &env;
+  RecoveryReport report;
+  auto opened = OpenDurableDynamicBase(kDir, {}, durability, &report);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(report.reinitialized);
+  EXPECT_EQ(opened->base->NumLive(), 0u);
+  ASSERT_TRUE(
+      opened->base->Insert(ShapeFor(0), ImageFor(0), LabelFor(0)).ok());
+}
+
+TEST(CrashInjectingFileTest, ScheduledFaultsAreExact) {
+  MemEnv env;
+  auto inner = env.NewAppendableFile("f", /*truncate=*/true);
+  ASSERT_TRUE(inner.ok());
+  FileFaultPlan plan;
+  plan.schedule = {{1, FaultKind::kShortWrite}, {3, FaultKind::kSyncFailure}};
+  CrashInjectingFile file(std::move(*inner), /*clock=*/nullptr, plan);
+
+  const std::vector<uint8_t> payload(32, 0xAB);
+  EXPECT_TRUE(file.Append(payload.data(), payload.size()).ok());             // op 0
+  EXPECT_FALSE(file.Append(payload.data(), payload.size()).ok());            // op 1: short write
+  EXPECT_EQ(file.injected_short_writes(), 1u);
+  EXPECT_LT(file.Size() - 32, 32u);  // A strict prefix of op 1 persisted.
+  EXPECT_TRUE(file.Sync().ok());                      // op 2
+  EXPECT_FALSE(file.Sync().ok());                     // op 3: sync failure
+  EXPECT_EQ(file.injected_sync_failures(), 1u);
+  EXPECT_EQ(file.ops(), 4u);
+}
+
+TEST(CrashInjectingFileTest, ClockKillsEverythingAfterCrashPoint) {
+  MemEnv env;
+  auto inner = env.NewAppendableFile("f", /*truncate=*/true);
+  ASSERT_TRUE(inner.ok());
+  CrashClock clock(2);
+  CrashInjectingFile file(std::move(*inner), &clock);
+  const std::vector<uint8_t> payload(8, 0x11);
+  EXPECT_TRUE(file.Append(payload.data(), payload.size()).ok());   // op 0
+  EXPECT_TRUE(file.Sync().ok());            // op 1
+  EXPECT_FALSE(file.Append(payload.data(), payload.size()).ok());  // op 2: dead
+  EXPECT_FALSE(file.Sync().ok());
+  EXPECT_EQ(file.Size(), 8u);  // Nothing of the dead append persisted.
+}
+
+TEST(MemEnvTest, CrashImageKeepsSyncedPrefix) {
+  MemEnv env;
+  auto file = env.NewAppendableFile("f", /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  const std::vector<uint8_t> a(10, 0x01);
+  const std::vector<uint8_t> b(10, 0x02);
+  ASSERT_TRUE((*file)->Append(a).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append(b).ok());  // Unsynced tail.
+  EXPECT_EQ(env.SyncedSize("f"), 10u);
+
+  auto lost = env.CrashImage(0.0);
+  auto all = env.CrashImage(1.0);
+  auto half = env.CrashImage(0.5);
+  EXPECT_EQ((*lost->ReadFileBytes("f")).size(), 10u);
+  EXPECT_EQ((*all->ReadFileBytes("f")).size(), 20u);
+  EXPECT_EQ((*half->ReadFileBytes("f")).size(), 15u);
+}
+
+TEST(PosixEnvTest, DurableBaseRoundTripOnDisk) {
+  // The real-filesystem path: fresh create, mutate, destroy, reopen.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "geosir_crash_recovery_posix").string();
+  fs::remove_all(dir);
+  DurabilityOptions durability;  // Env::Posix() by default.
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  {
+    auto opened = OpenDurableDynamicBase(dir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          opened->base->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+    }
+    ASSERT_TRUE(opened->base->Remove(5).ok());
+    ASSERT_TRUE(opened->base->Compact().ok());
+    ASSERT_TRUE(opened->base->Remove(6).ok());
+  }
+  RecoveryReport report;
+  auto reopened = OpenDurableDynamicBase(dir, {}, durability, &report);
+  ASSERT_TRUE(reopened.ok());
+  std::set<uint64_t> expected;
+  for (uint64_t i = 0; i < 12; ++i) {
+    if (i != 5 && i != 6) expected.insert(i);
+  }
+  EXPECT_TRUE(MatchesModel(*reopened->base, expected));
+  EXPECT_EQ(report.generation, 1u);  // The explicit compaction rotated.
+  EXPECT_EQ(report.applied, 1u);     // Only the post-compaction remove.
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace geosir::storage

@@ -799,5 +799,54 @@ TEST(BaseIoLimitsTest, OversizedLabelRejectedAtSave) {
   EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "rb"), nullptr);
 }
 
+TEST(FaultInjectingDeviceTest, ScheduledSyncFailureHitsExactSyncOp) {
+  BlockFile file(64);
+  file.AppendBlock({1, 2, 3});
+  FaultPlan plan;
+  plan.sync_schedule = {{1, FaultKind::kSyncFailure}};
+  FaultInjectingDevice faulty(static_cast<BlockDevice*>(&file), plan);
+
+  // Syncs draw from their own operation stream, so interleaved writes
+  // must not shift the scheduled index.
+  EXPECT_TRUE(faulty.Sync().ok());  // sync op 0
+  ASSERT_TRUE(faulty.Write(0, std::vector<uint8_t>(64, 0x5A)).ok());
+  auto failed = faulty.Sync();      // sync op 1: injected fsync failure
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(faulty.Sync().ok());  // sync op 2
+  EXPECT_EQ(faulty.sync_ops(), 3u);
+  EXPECT_EQ(faulty.injected_sync_failures(), 1u);
+  // The failure was injected above the medium: the inner device never saw
+  // the failing barrier, and the written bytes are intact.
+  auto after = file.ReadBlock(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0], 0x5A);
+}
+
+TEST(FaultInjectingDeviceTest, SyncFailureRateIsDeterministic) {
+  BlockFile file(64);
+  file.AppendBlock({9});
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.sync_failure_rate = 0.5;
+  std::vector<bool> first_run;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjectingDevice faulty(static_cast<BlockDevice*>(&file), plan);
+    std::vector<bool> outcomes;
+    for (int op = 0; op < 32; ++op) {
+      outcomes.push_back(faulty.Sync().ok());
+    }
+    // At rate 0.5 over 32 draws both outcomes must occur...
+    EXPECT_GT(faulty.injected_sync_failures(), 0u);
+    EXPECT_LT(faulty.injected_sync_failures(), 32u);
+    if (run == 0) {
+      first_run = outcomes;
+    } else {
+      // ...and the draw sequence is a pure function of (seed, op index).
+      EXPECT_EQ(outcomes, first_run);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace geosir::storage

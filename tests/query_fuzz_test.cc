@@ -21,7 +21,9 @@
 #include "core/envelope_matcher.h"
 #include "core/shape_base.h"
 #include "query/parser.h"
+#include "storage/appendable_file.h"
 #include "storage/base_io.h"
+#include "storage/wal.h"
 #include "util/rng.h"
 #include "workload/noise.h"
 #include "workload/polygon_gen.h"
@@ -381,6 +383,233 @@ TEST(QueryParserFuzzTest, MutatedValidQueriesNeverCrashTheParser) {
     }
     auto query = query::ParseQuery(text, shapes);
     (void)query;  // OK or clean error; reaching here is the assertion.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-mutation fuzz over the WAL reader and the recovery path. The
+// invariant mirrors the shape-file one, sharpened for logs: a mutated WAL
+// never crashes the reader and never admits a phantom record — whatever
+// ReadWalRecords returns must be an exact prefix of what was written.
+// ---------------------------------------------------------------------------
+
+class WalFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A realistic log: head commit, then interleaved inserts and removes.
+    records_ = new std::vector<storage::WalRecord>();
+    bytes_ = new std::vector<uint8_t>();
+    uint64_t lsn = 0;
+    auto push = [&](storage::WalRecordType type, std::vector<uint8_t> payload) {
+      storage::AppendWalFrame(bytes_, lsn, type, payload);
+      records_->push_back({lsn, type, std::move(payload)});
+      ++lsn;
+    };
+    storage::WalCommitPayload head;
+    head.generation = 3;
+    head.next_id = 0;
+    push(storage::WalRecordType::kCompactCommit,
+         storage::EncodeCommit(head));
+    for (uint64_t id = 0; id < 24; ++id) {
+      storage::WalInsertPayload insert;
+      insert.id = id;
+      insert.image = static_cast<core::ImageId>(id);
+      insert.label = "wal-" + std::to_string(id);
+      insert.closed = true;
+      const Polyline poly = MakeTriangle(static_cast<double>(id));
+      for (size_t v = 0; v < poly.size(); ++v) {
+        insert.vertices.push_back(poly.vertex(v));
+      }
+      push(storage::WalRecordType::kInsert, storage::EncodeInsert(insert));
+      if (id % 5 == 4) {
+        push(storage::WalRecordType::kRemove, storage::EncodeRemove(id - 2));
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete bytes_;
+    records_ = nullptr;
+    bytes_ = nullptr;
+  }
+
+  /// Is `got` an exact prefix of the records originally written?
+  static bool IsPrefixOfOriginal(const std::vector<storage::WalRecord>& got) {
+    if (got.size() > records_->size()) return false;
+    for (size_t i = 0; i < got.size(); ++i) {
+      const storage::WalRecord& want = (*records_)[i];
+      if (got[i].lsn != want.lsn || got[i].type != want.type ||
+          got[i].payload != want.payload) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::vector<storage::WalRecord>* records_;
+  static std::vector<uint8_t>* bytes_;
+};
+
+std::vector<storage::WalRecord>* WalFuzzTest::records_ = nullptr;
+std::vector<uint8_t>* WalFuzzTest::bytes_ = nullptr;
+
+TEST_F(WalFuzzTest, MutatedLogsYieldOnlyPrefixes) {
+  util::Rng rng(20260811);
+  for (int it = 0; it < 400; ++it) {
+    std::vector<uint8_t> bytes = *bytes_;
+    const int flips = static_cast<int>(rng.UniformInt(1, 8));
+    for (int f = 0; f < flips && !bytes.empty(); ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    }
+    if (rng.Bernoulli(0.25) && bytes.size() > 1) {
+      bytes.resize(static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(bytes.size()) - 1)));
+    } else if (rng.Bernoulli(0.1)) {
+      for (int extra = 0; extra < 64; ++extra) {
+        bytes.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      }
+    }
+    storage::WalReadReport report;
+    const std::vector<storage::WalRecord> got =
+        storage::ReadWalRecords(bytes, &report);
+    EXPECT_TRUE(IsPrefixOfOriginal(got)) << "iteration " << it;
+    // Anything dropped must be accounted for: a mutation that shortened
+    // the result either tore the tail or tripped salvage.
+    if (got.size() < records_->size()) {
+      EXPECT_TRUE(report.truncated_bytes > 0 || report.salvaged)
+          << "iteration " << it;
+    }
+  }
+}
+
+TEST_F(WalFuzzTest, TruncationAtEveryByteYieldsOnlyPrefixes) {
+  // Exhaustive, not sampled: every possible torn tail.
+  for (size_t len = 0; len <= bytes_->size(); ++len) {
+    const std::vector<uint8_t> cut(bytes_->begin(),
+                                   bytes_->begin() +
+                                       static_cast<std::ptrdiff_t>(len));
+    storage::WalReadReport report;
+    const std::vector<storage::WalRecord> got =
+        storage::ReadWalRecords(cut, &report);
+    ASSERT_TRUE(IsPrefixOfOriginal(got)) << "length " << len;
+    ASSERT_FALSE(report.salvaged) << "length " << len;  // Torn, not corrupt.
+    // Every byte is accounted for: parsed frames plus the dropped tail.
+    std::vector<uint8_t> parsed;
+    for (const storage::WalRecord& r : got) {
+      storage::AppendWalFrame(&parsed, r.lsn, r.type, r.payload);
+    }
+    ASSERT_EQ(parsed.size() + report.truncated_bytes, len)
+        << "length " << len;
+  }
+}
+
+TEST(WalDecoderFuzzTest, RandomPayloadsNeverCrashDecoders) {
+  util::Rng rng(20260812);
+  for (int it = 0; it < 600; ++it) {
+    std::vector<uint8_t> payload(
+        static_cast<size_t>(rng.UniformInt(0, 96)));
+    for (uint8_t& b : payload) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    // OK or clean error; must not crash or hang.
+    auto insert = storage::DecodeInsert(payload);
+    if (!insert.ok()) {
+      EXPECT_FALSE(insert.status().message().empty());
+    }
+    auto remove = storage::DecodeRemove(payload);
+    if (!remove.ok()) {
+      EXPECT_FALSE(remove.status().message().empty());
+    }
+    auto commit = storage::DecodeCommit(payload);
+    if (!commit.ok()) {
+      EXPECT_FALSE(commit.status().message().empty());
+    }
+  }
+}
+
+TEST(WalRecoveryFuzzTest, MutatedStoresRecoverCleanlyOrFailCleanly) {
+  // End-to-end: build a durable base in a MemEnv, mutate one of its files
+  // (WAL or checkpoint), reopen. Every outcome must be either a coherent
+  // recovered base whose shapes all carry their original metadata, or a
+  // clean error — never a crash, never a poisoned shape.
+  storage::MemEnv seed_env;
+  storage::DurabilityOptions durability;
+  durability.env = &seed_env;
+  durability.wal.sync_policy = storage::WalSyncPolicy::kEveryRecord;
+  const std::string dir = "db";
+  {
+    auto opened = storage::OpenDurableDynamicBase(dir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 16; ++i) {
+      ASSERT_TRUE(opened->base
+                      ->Insert(MakeTriangle(static_cast<double>(i)),
+                               static_cast<core::ImageId>(i),
+                               "fuzz-" + std::to_string(i))
+                      .ok());
+    }
+    ASSERT_TRUE(opened->base->Remove(3).ok());
+    ASSERT_TRUE(opened->base->Compact().ok());  // Generation 1.
+    ASSERT_TRUE(opened->base->Remove(7).ok());
+  }
+  const auto wal_bytes = seed_env.ReadFileBytes(storage::WalPath(dir, 1));
+  const auto ckpt_bytes =
+      seed_env.ReadFileBytes(storage::CheckpointPath(dir, 1));
+  ASSERT_TRUE(wal_bytes.ok());
+  ASSERT_TRUE(ckpt_bytes.ok());
+
+  util::Rng rng(20260813);
+  for (int it = 0; it < 200; ++it) {
+    storage::MemEnv env;
+    ASSERT_TRUE(env.CreateDir(dir).ok());
+    std::vector<uint8_t> wal = *wal_bytes;
+    std::vector<uint8_t> ckpt = *ckpt_bytes;
+    std::vector<uint8_t>& target = rng.Bernoulli(0.5) ? wal : ckpt;
+    const int flips = static_cast<int>(rng.UniformInt(1, 6));
+    for (int f = 0; f < flips && !target.empty(); ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(target.size()) - 1));
+      target[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    }
+    if (rng.Bernoulli(0.2) && target.size() > 1) {
+      target.resize(static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(target.size()) - 1)));
+    }
+    ASSERT_TRUE(env.WriteFileAtomic(storage::WalPath(dir, 1), wal).ok());
+    ASSERT_TRUE(
+        env.WriteFileAtomic(storage::CheckpointPath(dir, 1), ckpt).ok());
+
+    storage::DurabilityOptions reopen;
+    reopen.env = &env;
+    reopen.wal.sync_policy = storage::WalSyncPolicy::kEveryRecord;
+    storage::RecoveryReport report;
+    auto recovered =
+        storage::OpenDurableDynamicBase(dir, {}, reopen, &report);
+    if (!recovered.ok()) {
+      EXPECT_FALSE(recovered.status().message().empty()) << "iteration " << it;
+      continue;
+    }
+    // No phantoms: every live shape must be one we inserted, unchanged.
+    for (uint64_t id : recovered->base->LiveIds()) {
+      ASSERT_LT(id, 16u) << "iteration " << it;
+      EXPECT_EQ(recovered->base->label(id), "fuzz-" + std::to_string(id))
+          << "iteration " << it;
+      EXPECT_EQ(recovered->base->image(id), static_cast<core::ImageId>(id))
+          << "iteration " << it;
+      const Polyline expected = MakeTriangle(static_cast<double>(id));
+      const Polyline& got = recovered->base->boundary(id);
+      ASSERT_EQ(got.size(), expected.size()) << "iteration " << it;
+      for (size_t v = 0; v < expected.size(); ++v) {
+        EXPECT_EQ(got.vertex(v).x, expected.vertex(v).x);
+        EXPECT_EQ(got.vertex(v).y, expected.vertex(v).y);
+      }
+    }
+    // And the recovered base must keep working.
+    EXPECT_TRUE(recovered->base
+                    ->Insert(MakeTriangle(99.0), core::ImageId(99), "post")
+                    .ok())
+        << "iteration " << it;
   }
 }
 
