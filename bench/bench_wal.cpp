@@ -215,7 +215,7 @@ int main() {
       return 1;
     }
     geosir::storage::WriteAheadLog wal(std::move(*file), wal_options,
-                                       /*next_lsn=*/0);
+                                       /*next_lsn=*/0, /*synced_upto=*/0);
     Timer timer;
     for (size_t i = 0; i < kRawRecords; ++i) {
       auto lsn = wal.Append(geosir::storage::WalRecordType::kInsert, payload);

@@ -56,19 +56,21 @@ struct DynamicBaseMetrics {
 DynamicShapeBase::DynamicShapeBase(Options options)
     : options_(std::move(options)) {}
 
-util::Result<uint64_t> DynamicShapeBase::ApplyInsert(geom::Polyline boundary,
-                                                     ImageId image,
-                                                     std::string label) {
+util::Result<std::vector<NormalizedCopy>> DynamicShapeBase::NormalizeBoundary(
+    const geom::Polyline& boundary) const {
+  Shape tmp;
+  tmp.boundary = boundary;
+  return NormalizeShape(tmp, options_.base.normalize);
+}
+
+uint64_t DynamicShapeBase::ApplyInsert(geom::Polyline boundary, ImageId image,
+                                       std::string label,
+                                       std::vector<NormalizedCopy> copies) {
   Record record;
   record.boundary = std::move(boundary);
   record.image = image;
   record.label = std::move(label);
-  {
-    Shape tmp;
-    tmp.boundary = record.boundary;
-    GEOSIR_ASSIGN_OR_RETURN(record.copies,
-                            NormalizeShape(tmp, options_.base.normalize));
-  }
+  record.copies = std::move(copies);
   const uint64_t id = records_.size();
   records_.push_back(std::move(record));
   delta_ids_.push_back(id);
@@ -108,6 +110,11 @@ util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
     return util::Status::InvalidArgument(
         "database shapes need at least 3 vertices");
   }
+  // All fallible apply work (normalization) runs before the journal
+  // write: once a record is in the WAL its replay must always succeed,
+  // or one rejected shape would abort every future recovery.
+  GEOSIR_ASSIGN_OR_RETURN(std::vector<NormalizedCopy> copies,
+                          NormalizeBoundary(boundary));
   // Write-ahead: the mutation is logged before it is applied, so an
   // acknowledged insert is always in the journal and a journal failure
   // leaves the in-memory state untouched.
@@ -115,9 +122,8 @@ util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
     GEOSIR_RETURN_IF_ERROR(
         journal_->LogInsert(records_.size(), boundary, image, label));
   }
-  GEOSIR_ASSIGN_OR_RETURN(
-      const uint64_t id,
-      ApplyInsert(std::move(boundary), image, std::move(label)));
+  const uint64_t id = ApplyInsert(std::move(boundary), image,
+                                  std::move(label), std::move(copies));
   GEOSIR_RETURN_IF_ERROR(MaybeCompact());
   return id;
 }
@@ -201,7 +207,11 @@ util::Status DynamicShapeBase::ReplayInsert(uint64_t id,
   if (boundary.size() < 3) {
     return util::Status::Corruption("replayed shape has too few vertices");
   }
-  return ApplyInsert(std::move(boundary), image, std::move(label)).status();
+  GEOSIR_ASSIGN_OR_RETURN(std::vector<NormalizedCopy> copies,
+                          NormalizeBoundary(boundary));
+  ApplyInsert(std::move(boundary), image, std::move(label),
+              std::move(copies));
+  return util::Status::OK();
 }
 
 util::Status DynamicShapeBase::ReplayRemove(uint64_t id) {

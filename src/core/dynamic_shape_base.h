@@ -145,11 +145,18 @@ class DynamicShapeBase {
   };
 
   util::Status MaybeCompact();
-  /// Shared tail of Insert and ReplayInsert: validates, normalizes,
-  /// appends the record to the delta and updates gauges. Never journals,
-  /// never compacts.
-  util::Result<uint64_t> ApplyInsert(geom::Polyline boundary, ImageId image,
-                                     std::string label);
+  /// The fallible half of an insert: normalized copies for the delta
+  /// cache. Insert and ReplayInsert run this BEFORE the journal write so
+  /// a journaled insert can never fail to apply (a record that applied in
+  /// the live process but aborted replay would make the store
+  /// unrecoverable until a checkpoint absorbed it).
+  util::Result<std::vector<NormalizedCopy>> NormalizeBoundary(
+      const geom::Polyline& boundary) const;
+  /// Shared infallible tail of Insert and ReplayInsert: appends the
+  /// record (with its pre-normalized copies) to the delta and updates
+  /// gauges. Never journals, never compacts.
+  uint64_t ApplyInsert(geom::Polyline boundary, ImageId image,
+                       std::string label, std::vector<NormalizedCopy> copies);
   /// Shared tail of Remove and ReplayRemove (same no-journal rule).
   void ApplyRemove(uint64_t id);
   double EvaluateAgainstQuery(const Record& record,

@@ -96,9 +96,15 @@ class PosixEnv : public Env {
     }
     uint64_t size = 0;
     if (!truncate) {
-      // "ab" positions at the end; ftell reports the resume offset.
-      const long at = std::ftell(file);
-      if (at > 0) size = static_cast<uint64_t>(at);
+      // The initial position of an "ab" stream is implementation-defined
+      // (some libcs report 0 until the first write), so seek to the end
+      // explicitly to learn the resume size. Appends still go to the end
+      // regardless of position; a failed seek only skews Size() and the
+      // writeback hinting, never the log contents.
+      if (std::fseek(file, 0, SEEK_END) == 0) {
+        const long at = std::ftell(file);
+        if (at > 0) size = static_cast<uint64_t>(at);
+      }
     }
     return std::unique_ptr<AppendableFile>(
         new PosixAppendableFile(file, size));

@@ -324,11 +324,12 @@ util::Result<WalCommitPayload> DecodeCommit(
 // --- WriteAheadLog ---
 
 WriteAheadLog::WriteAheadLog(std::unique_ptr<AppendableFile> file,
-                             WalOptions options, uint64_t next_lsn)
+                             WalOptions options, uint64_t next_lsn,
+                             uint64_t synced_upto)
     : file_(std::move(file)),
       options_(options),
       next_lsn_(next_lsn),
-      synced_upto_(next_lsn) {}
+      synced_upto_(synced_upto) {}
 
 util::Result<uint64_t> WriteAheadLog::Append(
     WalRecordType type, const std::vector<uint8_t>& payload) {
@@ -458,8 +459,9 @@ util::Status WalJournal::LogCompactCommit(
       std::unique_ptr<AppendableFile> file,
       env_->NewAppendableFile(WalPath(dir_, new_generation),
                               /*truncate=*/true));
-  auto wal =
-      std::make_unique<WriteAheadLog>(std::move(file), options_, next_lsn_);
+  auto wal = std::make_unique<WriteAheadLog>(std::move(file), options_,
+                                             next_lsn_,
+                                             /*synced_upto=*/next_lsn_);
   WalCommitPayload commit;
   commit.generation = new_generation;
   commit.next_id = next_id;
@@ -575,6 +577,16 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
       ++rep.generations_skipped;
       continue;
     }
+    if (commit->next_id > durability.max_recovered_ids) {
+      // The head is CRC-valid but demands an id space beyond what this
+      // open is willing to materialize (RestoreCheckpoint allocates one
+      // placeholder per id). Refuse before the allocation: a fabricated
+      // next_id must surface as corruption, not as an OOM kill.
+      return util::Status::Corruption(
+          "WAL head next_id " + std::to_string(commit->next_id) +
+          " exceeds DurabilityOptions::max_recovered_ids " +
+          std::to_string(durability.max_recovered_ids) + " in " + dir);
+    }
     // A valid head promises a durable checkpoint (it was written first);
     // failing to load it now is real data damage, not a crash artifact.
     GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> ckpt_bytes,
@@ -620,13 +632,16 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
     if (rep.truncated_bytes == 0 && !rep.salvaged) {
       // Clean tail: append-attach to the existing WAL. One sync barrier
       // first — the bytes we just read are in the file, but nothing says
-      // they were ever fsynced.
+      // they were ever fsynced (a clean exit under a lazy sync policy
+      // leaves them in the page cache), so construct with synced_upto=0
+      // to force a real barrier before anything is reported durable.
       GEOSIR_ASSIGN_OR_RETURN(
           std::unique_ptr<AppendableFile> file,
           env->NewAppendableFile(WalPath(dir, generation),
                                  /*truncate=*/false));
       auto wal = std::make_unique<WriteAheadLog>(std::move(file),
-                                                 durability.wal, next_lsn);
+                                                 durability.wal, next_lsn,
+                                                 /*synced_upto=*/0);
       GEOSIR_RETURN_IF_ERROR(wal->Sync());
       journal = std::make_unique<WalJournal>(env, dir, durability.wal,
                                              generation, next_lsn,
@@ -683,7 +698,8 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
       std::unique_ptr<AppendableFile> file,
       env->NewAppendableFile(WalPath(dir, 0), /*truncate=*/true));
   auto wal = std::make_unique<WriteAheadLog>(std::move(file), durability.wal,
-                                             /*next_lsn=*/0);
+                                             /*next_lsn=*/0,
+                                             /*synced_upto=*/0);
   WalCommitPayload commit;
   commit.generation = 0;
   commit.next_id = 0;

@@ -149,8 +149,14 @@ std::string CheckpointPath(const std::string& dir, uint64_t generation);
 /// append fails with the first error until the log is rotated.
 class WriteAheadLog {
  public:
+  /// `synced_upto` is the exclusive LSN durability bound of the file's
+  /// EXISTING contents: pass `next_lsn` for a fresh (truncated) file —
+  /// an empty file is trivially durable — and 0 when attaching to a file
+  /// whose bytes may never have been fsynced (recovery re-reads a WAL the
+  /// previous process could have closed cleanly without syncing), so the
+  /// first Sync() issues a real barrier instead of short-circuiting.
   WriteAheadLog(std::unique_ptr<AppendableFile> file, WalOptions options,
-                uint64_t next_lsn);
+                uint64_t next_lsn, uint64_t synced_upto);
 
   /// Frames, appends and (per policy) syncs one record; returns its LSN.
   util::Result<uint64_t> Append(WalRecordType type,
@@ -163,8 +169,9 @@ class WriteAheadLog {
   /// exist, records with lsn < synced_upto() are durable.
   uint64_t next_lsn() const { return next_lsn_; }
   /// Exclusive durability bound: every record with lsn < synced_upto()
-  /// survives a crash. The constructor assumes the file's current
-  /// contents are already durable (callers sync before constructing).
+  /// survives a crash. Only advances when a real fsync succeeds; the
+  /// constructor's `synced_upto` argument states what the caller knows
+  /// about the pre-existing bytes.
   uint64_t synced_upto() const { return synced_upto_; }
   uint64_t appends() const { return appends_; }
   const util::Status& status() const { return sticky_; }
@@ -267,6 +274,15 @@ struct DurabilityOptions {
   /// pass a MemEnv.
   Env* env = nullptr;
   WalOptions wal;
+  /// Upper bound on the stable-id space recovery will materialize
+  /// (RestoreCheckpoint allocates one record placeholder per id in
+  /// [0, next_id), including tombstone holes). The head record's next_id
+  /// is CRC-guarded but not self-limiting, so without a cap a corrupt or
+  /// crafted store could demand a multi-gigabyte allocation before
+  /// recovery notices anything wrong; a head whose next_id exceeds the
+  /// cap is rejected as kCorruption instead. Raise this for stores that
+  /// have legitimately allocated more ids over their lifetime.
+  uint64_t max_recovered_ids = uint64_t{1} << 24;
 };
 
 /// A recovered (or freshly created) durable base with its journal

@@ -371,6 +371,98 @@ TEST(CrashRecovery, CleanRestartAttachesAndPreservesState) {
   EXPECT_EQ((*results)[0].first, 3u);
 }
 
+TEST(CrashRecovery, AttachSyncsReplayedTailBeforeTrustingIt) {
+  // A clean close under a lazy sync policy leaves appended records that
+  // were never fsynced. The clean-tail reopen attaches to the same WAL
+  // and must issue a REAL durability barrier before reporting those
+  // records durable: a power cut right after the reopen may otherwise
+  // drop bytes that synced_upto() already promised would survive.
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryN;
+  durability.wal.sync_every_n = 1000;  // No sync fires during the run.
+  {
+    auto opened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          opened->base->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+    }
+    // Clean close: no crash, but nothing past the head was synced.
+  }
+  const std::string wal_path = WalPath(kDir, 0);
+  const uint64_t synced_before = env.SyncedSize(wal_path);
+  ASSERT_LT(synced_before, (*env.ReadFileBytes(wal_path)).size());
+  {
+    auto reopened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened->journal->synced_upto(),
+              reopened->journal->next_lsn());
+  }
+  // The attach barrier made the replayed tail durable.
+  EXPECT_EQ(env.SyncedSize(wal_path), (*env.ReadFileBytes(wal_path)).size());
+  // A power cut that drops every unsynced byte now loses nothing.
+  const std::unique_ptr<MemEnv> image = env.CrashImage(0.0);
+  DurabilityOptions image_durability = durability;
+  image_durability.env = image.get();
+  auto recovered = OpenDurableDynamicBase(kDir, {}, image_durability);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(
+      MatchesModel(*recovered->base, std::set<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(CrashRecovery, RejectedInsertLeavesNoJournalRecord) {
+  // A misconfigured normalization (alpha outside [0,1)) fails every
+  // apply while the WAL encoding itself would succeed. The failure must
+  // happen BEFORE the journal write: a WAL insert record that cannot
+  // apply would abort every future recovery, and its id would be reused
+  // by the next successful insert.
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  {
+    DynamicShapeBase::Options bad_options;
+    bad_options.base.normalize.alpha = 1.5;
+    auto opened = OpenDurableDynamicBase(kDir, bad_options, durability);
+    ASSERT_TRUE(opened.ok());
+    const uint64_t lsn_before = opened->journal->next_lsn();
+    ASSERT_FALSE(
+        opened->base->Insert(ShapeFor(0), ImageFor(0), LabelFor(0)).ok());
+    EXPECT_EQ(opened->journal->next_lsn(), lsn_before);
+  }
+  // The store stays recoverable under sane options, holds nothing, and
+  // the rejected insert burned no id.
+  auto reopened = OpenDurableDynamicBase(kDir, {}, durability);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(MatchesModel(*reopened->base, std::set<uint64_t>{}));
+  auto good = reopened->base->Insert(ShapeFor(0), ImageFor(0), LabelFor(0));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 0u);
+}
+
+TEST(CrashRecovery, FabricatedHugeNextIdIsCorruptionNotOom) {
+  // A CRC-valid head whose next_id is fabricated must be rejected before
+  // RestoreCheckpoint materializes one record per id.
+  MemEnv env;
+  DurabilityOptions durability;
+  durability.env = &env;
+  {
+    auto opened = OpenDurableDynamicBase(kDir, {}, durability);
+    ASSERT_TRUE(opened.ok());
+  }
+  WalCommitPayload commit;
+  commit.generation = 0;
+  commit.next_id = uint64_t{1} << 40;
+  std::vector<uint8_t> forged;
+  AppendWalFrame(&forged, /*lsn=*/0, WalRecordType::kCompactCommit,
+                 EncodeCommit(commit));
+  ASSERT_TRUE(env.WriteFileAtomic(WalPath(kDir, 0), forged).ok());
+  auto reopened = OpenDurableDynamicBase(kDir, {}, durability);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), util::StatusCode::kCorruption);
+}
+
 TEST(CrashRecovery, DirtyTailRotatesToFreshGeneration) {
   MemEnv env;
   DurabilityOptions durability;
