@@ -1,0 +1,367 @@
+// Replicated serving tier (extension): what log shipping costs and what
+// it buys. The paper's retrieval structures are single-node; the
+// dynamic-environment extension adds a WAL, and this bench measures the
+// replication layer built on top of it: (1) follower apply throughput —
+// how fast a replica drains a shipped backlog into its own base,
+// (2) replication lag under sustained write load — how far a live
+// follower trails the primary, sampled while both run, and (3) read
+// tail latency vs replica count with one stalled follower — the
+// lag-aware router's whole job is keeping p99 flat when a replica goes
+// stale, so that is measured with the router on (redirect) and off
+// (serve-stale round-robin).
+//
+// Runs on MemEnv: the transport is in-process and sync is free there,
+// so the numbers isolate the shipping/apply/routing machinery from disk
+// barrier cost (bench_wal measures the barriers).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_shape_base.h"
+#include "replication/replicated_shape_base.h"
+#include "storage/appendable_file.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::FmtInt;
+using geosir::bench::JsonLine;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+using geosir::replication::ReplicatedOptions;
+using geosir::replication::ReplicatedShapeBase;
+using geosir::replication::ReplicaSpec;
+using geosir::replication::StaleRoutePolicy;
+
+namespace {
+
+constexpr char kBench[] = "replication";
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+[[noreturn]] void Die(const char* what, const geosir::util::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Shapes and queries are jittered copies of a shared prototype pool —
+/// the retrieval-friendly workload every other bench uses. Queries with
+/// no near match in the base defeat the matcher's envelope pruning and
+/// would time the exhaustive-scan worst case instead of the serving
+/// tier.
+struct Workload {
+  std::vector<Polyline> shapes;
+  std::vector<Polyline> queries;
+};
+
+Workload MakeWorkload(size_t shape_count, size_t query_count) {
+  geosir::util::Rng rng(778899);
+  geosir::workload::PolygonGenOptions gen;
+  std::vector<Polyline> prototypes;
+  const size_t num_protos = std::max<size_t>(4, shape_count / 10);
+  for (size_t p = 0; p < num_protos; ++p) {
+    prototypes.push_back(RandomStarPolygon(&rng, gen));
+  }
+  Workload out;
+  out.shapes.reserve(shape_count);
+  for (size_t s = 0; s < shape_count; ++s) {
+    out.shapes.push_back(geosir::workload::JitterVertices(
+        prototypes[s % num_protos], 0.008, &rng));
+  }
+  geosir::util::Rng qrng(445500);
+  out.queries.reserve(query_count);
+  for (size_t q = 0; q < query_count; ++q) {
+    out.queries.push_back(geosir::workload::JitterVertices(
+        prototypes[q % num_protos], 0.01, &qrng));
+  }
+  return out;
+}
+
+ReplicatedOptions BenchOptions(geosir::storage::MemEnv* env,
+                               size_t shape_count) {
+  ReplicatedOptions options;
+  options.env = env;
+  // Rotations delete the retained log and force a lagging follower into
+  // a full snapshot resync; keep them out of the steady-state numbers.
+  options.base.min_compaction_size = shape_count * 4;
+  options.base.base.normalize.max_axes = 2;
+  // The continuous-symmetric default is the precision-benchmark measure;
+  // serving-tier routing cost is independent of it, so use the cheap
+  // discrete measure and keep the read numbers about the tier.
+  options.base.match.measure = geosir::core::MatchMeasure::kDiscreteSymmetric;
+  options.fetch_batch_records = 256;
+  return options;
+}
+
+std::vector<ReplicaSpec> Replicas(size_t count) {
+  std::vector<ReplicaSpec> replicas(count);
+  for (size_t i = 0; i < count; ++i) {
+    replicas[i].dir = "replica" + std::to_string(i);
+  }
+  return replicas;
+}
+
+std::unique_ptr<ReplicatedShapeBase> OpenTier(geosir::storage::MemEnv* env,
+                                              const ReplicatedOptions& options,
+                                              size_t replica_count) {
+  auto tier = ReplicatedShapeBase::Open("primary", Replicas(replica_count),
+                                        options);
+  if (!tier.ok()) Die("open tier", tier.status());
+  return std::move(*tier);
+}
+
+void DrainFollower(ReplicatedShapeBase* tier, size_t i) {
+  while (tier->follower(i).applied_lsn() < tier->primary_next_lsn()) {
+    auto stepped = tier->StepFollower(i);
+    if (!stepped.ok()) Die("step follower", stepped.status());
+  }
+}
+
+// --- 1. Follower apply throughput -----------------------------------------
+
+void BenchApplyThroughput(const std::vector<Polyline>& shapes, size_t reps) {
+  double best_s = 0.0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    geosir::storage::MemEnv env;
+    ReplicatedOptions options = BenchOptions(&env, shapes.size());
+    options.start_replication = false;  // Backlog first, then drain.
+    auto tier = OpenTier(&env, options, 1);
+    for (const Polyline& shape : shapes) {
+      auto id = tier->Insert(shape);
+      if (!id.ok()) Die("insert", id.status());
+    }
+    Timer timer;
+    DrainFollower(tier.get(), 0);
+    const double seconds = timer.Seconds();
+    if (rep == 0 || seconds < best_s) best_s = seconds;
+  }
+  // +1: the backlog includes the generation's commit head record.
+  const double records = static_cast<double>(shapes.size()) + 1.0;
+  const double per_s = best_s > 0.0 ? records / best_s : 0.0;
+  std::printf("apply throughput: %.0f records/s (%zu records in %.3fs)\n\n",
+              per_s, shapes.size() + 1, best_s);
+  JsonLine(kBench)
+      .Str("name", "apply_throughput")
+      .Int("records", static_cast<long long>(shapes.size() + 1))
+      .Num("seconds", best_s)
+      .Num("records_per_second", per_s)
+      .Emit();
+}
+
+// --- 2. Replication lag under write load ----------------------------------
+
+void BenchLagUnderWriteLoad(const std::vector<Polyline>& shapes) {
+  geosir::storage::MemEnv env;
+  ReplicatedOptions options = BenchOptions(&env, shapes.size());
+  options.idle_backoff_us = 50;
+  auto tier = OpenTier(&env, options, 1);  // Pump thread running.
+
+  std::atomic<bool> writing{true};
+  std::vector<double> lag_samples;
+  std::thread sampler([&] {
+    while (writing.load(std::memory_order_acquire)) {
+      const uint64_t head = tier->primary_next_lsn();
+      const uint64_t applied = tier->follower(0).applied_lsn();
+      lag_samples.push_back(
+          head > applied ? static_cast<double>(head - applied) : 0.0);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  Timer timer;
+  for (const Polyline& shape : shapes) {
+    auto id = tier->Insert(shape);
+    if (!id.ok()) Die("insert", id.status());
+  }
+  const double write_s = timer.Seconds();
+  writing.store(false, std::memory_order_release);
+  sampler.join();
+  auto caught_up =
+      tier->WaitForCatchUp(geosir::util::Deadline::AfterMillis(30000));
+  if (!caught_up.ok()) Die("catch up", caught_up);
+
+  const double p50 = Percentile(lag_samples, 0.50);
+  const double p99 = Percentile(lag_samples, 0.99);
+  const double max =
+      lag_samples.empty()
+          ? 0.0
+          : *std::max_element(lag_samples.begin(), lag_samples.end());
+  const double writes_per_s =
+      write_s > 0.0 ? static_cast<double>(shapes.size()) / write_s : 0.0;
+  std::printf(
+      "lag under write load: p50 %.0f p99 %.0f max %.0f records "
+      "(%zu samples at %.0f writes/s)\n\n",
+      p50, p99, max, lag_samples.size(), writes_per_s);
+  JsonLine(kBench)
+      .Str("name", "lag_under_write_load")
+      .Int("writes", static_cast<long long>(shapes.size()))
+      .Num("writes_per_second", writes_per_s)
+      .Int("samples", static_cast<long long>(lag_samples.size()))
+      .Num("lag_p50_records", p50)
+      .Num("lag_p99_records", p99)
+      .Num("lag_max_records", max)
+      .Emit();
+}
+
+// --- 3. Read tail latency vs replica count with a stalled follower --------
+
+struct ReadRun {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t errors = 0;
+  uint64_t stale_served = 0;
+};
+
+ReadRun MeasureReads(ReplicatedShapeBase* tier,
+                     const std::vector<Polyline>& queries,
+                     size_t batches_per_thread, size_t threads,
+                     uint64_t staleness_bound) {
+  constexpr size_t kBatch = 8;
+  std::vector<std::vector<double>> latencies(threads);
+  std::vector<uint64_t> errors(threads, 0);
+  std::vector<uint64_t> stale(threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<Polyline> batch(kBatch);
+      for (size_t b = 0; b < batches_per_thread; ++b) {
+        for (size_t q = 0; q < kBatch; ++q) {
+          batch[q] = queries[(t * batches_per_thread * kBatch + b * kBatch +
+                              q) %
+                             queries.size()];
+        }
+        std::vector<geosir::core::MatchStats> stats;
+        Timer one;
+        auto results = tier->MatchBatch(batch, /*k=*/3, &stats);
+        latencies[t].push_back(one.Seconds() * 1e6);
+        if (!results.ok()) {
+          ++errors[t];
+        } else if (!stats.empty() && stats[0].replica_lag > staleness_bound) {
+          ++stale[t];
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ReadRun run;
+  std::vector<double> merged;
+  for (size_t t = 0; t < threads; ++t) {
+    merged.insert(merged.end(), latencies[t].begin(), latencies[t].end());
+    run.errors += errors[t];
+    run.stale_served += stale[t];
+  }
+  run.p50_us = Percentile(merged, 0.50);
+  run.p99_us = Percentile(merged, 0.99);
+  return run;
+}
+
+void BenchReadTail(const std::vector<Polyline>& shapes,
+                   const std::vector<Polyline>& queries,
+                   size_t batches_per_thread) {
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kStalenessBound = 64;
+  constexpr size_t kStallExtra = 128;
+
+  Table table({"replicas", "config", "p50_us", "p99_us", "errors",
+               "stale_served", "p99_vs_healthy"});
+  for (const size_t replica_count : {1u, 2u, 4u}) {
+    double healthy_p99 = 0.0;
+    struct Config {
+      const char* name;
+      bool stalled;
+      StaleRoutePolicy policy;
+    };
+    for (const Config& config :
+         {Config{"healthy", false, StaleRoutePolicy::kRedirectStale},
+          Config{"stalled_redirect", true, StaleRoutePolicy::kRedirectStale},
+          Config{"stalled_serve_stale", true, StaleRoutePolicy::kServeStale}}) {
+      geosir::storage::MemEnv env;
+      ReplicatedOptions options = BenchOptions(&env, shapes.size());
+      options.start_replication = false;  // Lag is staged, then frozen.
+      options.max_staleness_records = kStalenessBound;
+      options.stale_policy = config.policy;
+      auto tier = OpenTier(&env, options, replica_count);
+      for (const Polyline& shape : shapes) {
+        auto id = tier->Insert(shape);
+        if (!id.ok()) Die("insert", id.status());
+      }
+      for (size_t i = 0; i < replica_count; ++i) DrainFollower(tier.get(), i);
+      // The same kStallExtra tail of writes lands in EVERY config so all
+      // serving replicas answer over an identical base; in the stalled
+      // configs the last replica simply never applies it. A compaction
+      // after the tail merges it into the indexed main base — without
+      // it, fresh replicas would brute-force the delta while the
+      // stalled replica serves its smaller indexed base, and the p99
+      // comparison would measure base size, not routing.
+      const size_t serving = config.stalled ? replica_count - 1 : replica_count;
+      for (size_t i = 0; i < kStallExtra; ++i) {
+        auto id = tier->Insert(shapes[i % shapes.size()]);
+        if (!id.ok()) Die("insert", id.status());
+      }
+      for (size_t i = 0; i < serving; ++i) DrainFollower(tier.get(), i);
+      auto compacted = tier->Compact();
+      if (!compacted.ok()) Die("compact", compacted);
+      for (size_t i = 0; i < serving; ++i) DrainFollower(tier.get(), i);
+      const ReadRun run = MeasureReads(tier.get(), queries,
+                                       batches_per_thread, kThreads,
+                                       kStalenessBound);
+      if (!config.stalled) healthy_p99 = run.p99_us;
+      const double ratio =
+          healthy_p99 > 0.0 ? run.p99_us / healthy_p99 : 0.0;
+      table.AddRow({FmtInt(static_cast<long long>(replica_count)), config.name,
+                    Fmt("%.1f", run.p50_us), Fmt("%.1f", run.p99_us),
+                    FmtInt(static_cast<long long>(run.errors)),
+                    FmtInt(static_cast<long long>(run.stale_served)),
+                    config.stalled ? Fmt("%.2f", ratio) : std::string("-")});
+      JsonLine(kBench)
+          .Str("name", "read_tail")
+          .Int("replicas", static_cast<long long>(replica_count))
+          .Str("config", config.name)
+          .Int("batches",
+               static_cast<long long>(batches_per_thread * kThreads))
+          .Num("p50_us", run.p50_us)
+          .Num("p99_us", run.p99_us)
+          .Int("errors", static_cast<long long>(run.errors))
+          .Int("stale_served", static_cast<long long>(run.stale_served))
+          .Num("p99_vs_healthy", config.stalled ? ratio : 1.0)
+          .Emit();
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  const size_t kShapes = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_SHAPES", 600));
+  const size_t kBatchesPerThread = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_QUERIES", 12));
+  const size_t kReps =
+      static_cast<size_t>(geosir::bench::EnvScale("GEOSIR_BENCH_REPS", 3));
+
+  const Workload workload = MakeWorkload(kShapes, kShapes / 4 + 1);
+
+  std::printf("=== Replication: %zu shapes, %zu query batches/thread ===\n\n",
+              kShapes, kBatchesPerThread);
+  BenchApplyThroughput(workload.shapes, kReps);
+  BenchLagUnderWriteLoad(workload.shapes);
+  BenchReadTail(workload.shapes, workload.queries, kBatchesPerThread);
+  return 0;
+}

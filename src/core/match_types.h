@@ -165,6 +165,17 @@ struct MatchStats {
   util::Status termination;
   size_t rounds_completed = 0;
   size_t candidates_skipped = 0;
+  /// Replicated-serving provenance (set only when the query was served by
+  /// a replication follower — see src/replication/). `replica_lsn` is the
+  /// exclusive LSN bound the query was pinned to: every mutation with
+  /// lsn < replica_lsn is visible, nothing at or above it is (the
+  /// snapshot-consistency contract). `replica_lag` is how many records
+  /// behind the primary's tail that bound was when the query was
+  /// admitted — the staleness the caller actually experienced.
+  bool replicated = false;
+  uint32_t replica = 0;
+  uint64_t replica_lsn = 0;
+  uint64_t replica_lag = 0;
 };
 
 /// Order in which shape *records* were read, i.e. the sequence of

@@ -1,0 +1,136 @@
+#include "replication/fault_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace geosir::replication {
+
+namespace {
+
+/// SplitMix64 finalizer: a well-mixed pure function of the inputs (the
+/// same determinism idiom as storage/fault_injection.cc — a plan replays
+/// identically regardless of unrelated draws).
+uint64_t Mix(uint64_t seed, uint64_t salt, uint64_t x) {
+  uint64_t z = seed ^ salt;
+  z += 0x9E3779B97F4A7C15ull * (x + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool Draw(uint64_t seed, uint64_t salt, uint64_t x, double rate) {
+  return rate > 0.0 && ToUnit(Mix(seed, salt, x)) < rate;
+}
+
+constexpr uint64_t kSaltDrop = 0x51;
+constexpr uint64_t kSaltDelay = 0x52;
+constexpr uint64_t kSaltDuplicate = 0x53;
+constexpr uint64_t kSaltReorder = 0x54;
+constexpr uint64_t kSaltDisconnect = 0x55;
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<LogTransport> inner, TransportFaultPlan plan,
+    storage::CrashClock* clock)
+    : inner_(std::move(inner)), plan_(std::move(plan)), clock_(clock) {}
+
+TransportFault FaultInjectingTransport::FaultFor(uint64_t op) const {
+  for (const ScheduledTransportFault& fault : plan_.schedule) {
+    if (fault.op_index == op) return fault.kind;
+  }
+  if (Draw(plan_.seed, kSaltDrop, op, plan_.drop_rate)) {
+    return TransportFault::kDrop;
+  }
+  if (Draw(plan_.seed, kSaltDisconnect, op, plan_.disconnect_rate)) {
+    return TransportFault::kDisconnect;
+  }
+  if (Draw(plan_.seed, kSaltDelay, op, plan_.delay_rate)) {
+    return TransportFault::kDelay;
+  }
+  if (Draw(plan_.seed, kSaltDuplicate, op, plan_.duplicate_rate)) {
+    return TransportFault::kDuplicate;
+  }
+  if (Draw(plan_.seed, kSaltReorder, op, plan_.reorder_rate)) {
+    return TransportFault::kReorder;
+  }
+  return TransportFault::kNone;
+}
+
+TransportFault FaultInjectingTransport::Admit(bool* failed) {
+  const uint64_t op = ops_++;
+  *failed = false;
+  if (clock_ != nullptr && !clock_->Tick()) {
+    // The simulated process died mid-ship: every further operation on
+    // this channel fails until the harness builds a new follower.
+    *failed = true;
+    return TransportFault::kNone;
+  }
+  if (op < disconnected_until_) {
+    *failed = true;
+    return TransportFault::kNone;
+  }
+  const TransportFault fault = FaultFor(op);
+  switch (fault) {
+    case TransportFault::kDrop:
+      ++drops_;
+      *failed = true;
+      return TransportFault::kNone;
+    case TransportFault::kDisconnect:
+      ++disconnects_;
+      disconnected_until_ = op + std::max<uint64_t>(1, plan_.disconnect_ops);
+      *failed = true;
+      return TransportFault::kNone;
+    case TransportFault::kDelay:
+      ++delays_;
+      if (plan_.delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
+      }
+      return TransportFault::kNone;
+    default:
+      return fault;
+  }
+}
+
+util::Result<LogBatch> FaultInjectingTransport::Fetch(uint64_t from_lsn,
+                                                      size_t max_records) {
+  bool failed = false;
+  const TransportFault fault = Admit(&failed);
+  if (failed) return util::Status::Unavailable("injected transport fault");
+  if (fault == TransportFault::kDuplicate && last_batch_.has_value()) {
+    ++duplicates_;
+    return *last_batch_;
+  }
+  GEOSIR_ASSIGN_OR_RETURN(LogBatch batch, inner_->Fetch(from_lsn, max_records));
+  if (fault == TransportFault::kReorder && batch.records.size() >= 2) {
+    ++reorders_;
+    std::swap(batch.records[0], batch.records[1]);
+  } else {
+    // Only faithful deliveries are worth redelivering: a duplicated
+    // reorder would conflate two fault kinds in one op.
+    last_batch_ = batch;
+  }
+  return batch;
+}
+
+util::Result<SnapshotPackage> FaultInjectingTransport::FetchSnapshot() {
+  bool failed = false;
+  (void)Admit(&failed);
+  if (failed) return util::Status::Unavailable("injected transport fault");
+  return inner_->FetchSnapshot();
+}
+
+util::Result<uint64_t> FaultInjectingTransport::PrimaryNextLsn() {
+  bool failed = false;
+  (void)Admit(&failed);
+  if (failed) return util::Status::Unavailable("injected transport fault");
+  return inner_->PrimaryNextLsn();
+}
+
+}  // namespace geosir::replication

@@ -1,0 +1,103 @@
+#ifndef GEOSIR_REPLICATION_FAULT_TRANSPORT_H_
+#define GEOSIR_REPLICATION_FAULT_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "replication/log_transport.h"
+#include "storage/fault_injection.h"
+
+namespace geosir::replication {
+
+/// The failure modes a shipping channel can exhibit. Matching the crash
+/// harness, every probabilistic decision is a pure hash of (seed,
+/// operation index): a given plan injects exactly the same faults on
+/// every run.
+enum class TransportFault : uint8_t {
+  kNone = 0,
+  /// The request is lost: kUnavailable, nothing delivered.
+  kDrop,
+  /// The response is late: a fixed busy-wait-free sleep, then delivered.
+  kDelay,
+  /// The previous fetch's batch is delivered again instead of fresh
+  /// records — the at-least-once delivery case idempotent replay must
+  /// absorb.
+  kDuplicate,
+  /// The first two records of the batch arrive swapped — a gap the
+  /// follower must reject and refetch, never apply out of order.
+  kReorder,
+  /// The link goes down: this and the next `disconnect_ops - 1`
+  /// operations fail with kUnavailable, then the link heals.
+  kDisconnect,
+};
+
+/// Exact-operation fault, applied in addition to the rates.
+struct ScheduledTransportFault {
+  uint64_t op_index = 0;
+  TransportFault kind = TransportFault::kNone;
+};
+
+struct TransportFaultPlan {
+  uint64_t seed = 1;
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  int delay_us = 100;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double disconnect_rate = 0.0;
+  uint64_t disconnect_ops = 4;
+  std::vector<ScheduledTransportFault> schedule;
+};
+
+/// Decorator injecting deterministic transport faults between a follower
+/// and its log source — FaultInjectingDevice's sibling for the shipping
+/// channel. Optionally wired to the crash harness's CrashClock: every
+/// transport operation is a ship boundary the chaos matrix can kill at
+/// (a dead clock fails every operation with kUnavailable, exactly like a
+/// follower whose process died mid-fetch).
+class FaultInjectingTransport : public LogTransport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<LogTransport> inner,
+                          TransportFaultPlan plan,
+                          storage::CrashClock* clock = nullptr);
+
+  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
+  util::Result<SnapshotPackage> FetchSnapshot() override;
+  util::Result<uint64_t> PrimaryNextLsn() override;
+
+  uint64_t ops() const { return ops_; }
+  uint64_t injected_drops() const { return drops_; }
+  uint64_t injected_delays() const { return delays_; }
+  uint64_t injected_duplicates() const { return duplicates_; }
+  uint64_t injected_reorders() const { return reorders_; }
+  uint64_t injected_disconnects() const { return disconnects_; }
+
+ private:
+  /// Draws the fault for operation `op` (schedule first, then rates in a
+  /// fixed precedence order so one op maps to one fault).
+  TransportFault FaultFor(uint64_t op) const;
+  /// Shared pre-flight for every operation: clock tick, disconnect
+  /// window, drop/delay/disconnect draws. Returns the fault the caller
+  /// still has to act on (kDuplicate / kReorder) or kNone; sets `failed`
+  /// when the operation must return kUnavailable.
+  TransportFault Admit(bool* failed);
+
+  std::unique_ptr<LogTransport> inner_;
+  TransportFaultPlan plan_;
+  storage::CrashClock* clock_;
+  uint64_t ops_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t delays_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t reorders_ = 0;
+  uint64_t disconnects_ = 0;
+  uint64_t disconnected_until_ = 0;
+  /// Last successfully delivered batch, redelivered on kDuplicate.
+  std::optional<LogBatch> last_batch_;
+};
+
+}  // namespace geosir::replication
+
+#endif  // GEOSIR_REPLICATION_FAULT_TRANSPORT_H_

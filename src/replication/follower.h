@@ -1,0 +1,191 @@
+#ifndef GEOSIR_REPLICATION_FOLLOWER_H_
+#define GEOSIR_REPLICATION_FOLLOWER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dynamic_shape_base.h"
+#include "query/admission.h"
+#include "replication/log_transport.h"
+#include "storage/wal.h"
+#include "util/deadline.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace geosir::replication {
+
+struct FollowerOptions {
+  /// Filesystem for the follower's own durable mirror; nullptr means
+  /// Env::Posix(). Chaos tests pass a MemEnv wired to a CrashClock.
+  storage::Env* env = nullptr;
+  std::string dir;
+  core::DynamicShapeBase::Options base;
+  storage::WalOptions wal;
+  /// Same id-space cap as DurabilityOptions::max_recovered_ids, applied
+  /// to every WAL head the follower is asked to trust — the primary is a
+  /// remote peer, so its head gets the same validation a local recovery
+  /// would apply.
+  uint64_t max_recovered_ids = uint64_t{1} << 24;
+  query::AdmissionOptions admission;
+  /// Reconnect policy for transport fetches (kUnavailable only).
+  util::RetryPolicy reconnect{/*max_attempts=*/5, /*base_backoff_us=*/200,
+                              /*multiplier=*/2.0};
+  /// Records per fetch; bounds memory and the time the apply loop holds
+  /// the write lock per pump.
+  size_t fetch_batch_records = 256;
+  /// Label for this replica's metric series and MatchStats::replica.
+  uint32_t replica_index = 0;
+};
+
+/// Monotonic per-follower event counters (one snapshot, plain values).
+struct FollowerCounters {
+  uint64_t applied_records = 0;
+  uint64_t apply_batches = 0;
+  uint64_t duplicates_skipped = 0;
+  uint64_t gap_batches = 0;
+  uint64_t reconnects = 0;
+  uint64_t resyncs = 0;
+  uint64_t rotations = 0;
+  uint64_t local_reopens = 0;
+};
+
+struct FollowerStatus {
+  /// Exclusive apply cursor: every record with lsn < applied_lsn is in
+  /// the serving state.
+  uint64_t applied_lsn = 0;
+  /// Exclusive local durability bound (what a follower crash keeps).
+  uint64_t durable_lsn = 0;
+  /// The primary's next_lsn as of the last successful fetch.
+  uint64_t primary_next_lsn = 0;
+  /// Records behind that observation (primary_next_lsn - applied_lsn).
+  uint64_t lag = 0;
+  uint64_t generation = 0;
+  FollowerCounters counters;
+};
+
+/// One read-only replica: replays the primary's WAL stream into its own
+/// DynamicShapeBase (mirrored durably into its own generation files, so a
+/// restart resumes from local state instead of re-shipping everything)
+/// and serves Match/MatchBatch behind an AdmissionController.
+///
+/// Threading: one pump thread calls Pump()/CatchUp(); any number of
+/// query threads call MatchBatch()/Match()/status(). The serving state is
+/// swapped or mutated only under the exclusive state lock, queries take
+/// it shared — a query admitted at applied LSN L never observes a record
+/// with lsn >= L (the snapshot-consistency contract, reported through
+/// MatchStats::replica_lsn).
+class Follower {
+ public:
+  /// Recovers local state from options.dir (valid prefix of the mirrored
+  /// WAL; a dirty tail is truncated to the last complete trusted frame)
+  /// and attaches to `transport`. An empty or unrecoverable directory
+  /// starts empty and bootstraps from the stream or a snapshot. The
+  /// transport must outlive the follower.
+  static util::Result<std::unique_ptr<Follower>> Open(FollowerOptions options,
+                                                      LogTransport* transport);
+
+  /// One fetch-and-apply round. Returns the number of records applied
+  /// (0 = caught up). kUnavailable after the reconnect retries are
+  /// exhausted; a cursor below the primary's retained log triggers a
+  /// snapshot resync internally.
+  util::Result<size_t> Pump();
+
+  /// Pumps until lag reaches 0 or the deadline expires.
+  util::Status CatchUp(util::Deadline deadline);
+
+  /// Admission-controlled batch match over the replica's current state,
+  /// pinned to one applied LSN for the whole batch. Stats entries carry
+  /// replicated/replica/replica_lsn/replica_lag.
+  util::Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
+  MatchBatch(const std::vector<geom::Polyline>& queries, size_t k = 1,
+             std::vector<core::MatchStats>* stats = nullptr,
+             util::Deadline deadline = {});
+
+  /// Single-query convenience; routed through MatchBatch because the
+  /// underlying single-query path shares matcher scratch across calls.
+  util::Result<std::vector<std::pair<uint64_t, double>>> Match(
+      const geom::Polyline& query, size_t k = 1,
+      core::MatchStats* stats = nullptr, util::Deadline deadline = {});
+
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  /// Records behind the last observed primary tail (grows stale while
+  /// disconnected; the router recomputes against the live tail).
+  uint64_t lag() const;
+  FollowerStatus status() const;
+  uint32_t replica_index() const { return options_.replica_index; }
+  query::AdmissionController& admission() { return admission_; }
+
+  // Locked read-only state access (test introspection).
+  uint64_t NextId() const;
+  std::vector<uint64_t> LiveIds() const;
+  bool IsLive(uint64_t id) const;
+  geom::Polyline boundary(uint64_t id) const;
+  std::string label(uint64_t id) const;
+  core::ImageId image(uint64_t id) const;
+  uint64_t generation() const;
+
+ private:
+  struct Metrics;
+
+  Follower(FollowerOptions options, LogTransport* transport);
+
+  /// Rebuilds base_/wal_ from the follower's own generation files; a
+  /// dirty WAL tail is durably truncated to its valid prefix (atomic
+  /// rewrite) rather than rotated — the follower's LSNs mirror the
+  /// primary's, so it must never invent records of its own.
+  util::Status RecoverLocal();
+  /// Full resync: FetchSnapshot, validate, install, wipe older state.
+  util::Status Bootstrap();
+  util::Status InstallSnapshot(const SnapshotPackage& package);
+  /// Applies one record at the cursor (mirror-append, then replay).
+  util::Status ApplyRecord(const storage::WalRecord& record);
+  /// Handles a received kCompactCommit: verify convergence, write the
+  /// follower's own checkpoint for the new generation, swap WAL files,
+  /// merge the delta locally.
+  util::Status Rotate(const storage::WalRecord& record);
+  /// Drops every generation file except `keep` (plus orphan temps).
+  void CleanupOtherGenerations(uint64_t keep, bool have_keep);
+  util::Status ReopenLocal();
+
+  FollowerOptions options_;
+  storage::Env* env_;
+  LogTransport* transport_;
+  query::AdmissionController admission_;
+  const Metrics* metrics_;
+
+  /// Guards base_ (and the generation bookkeeping) between the pump
+  /// thread (exclusive) and query threads (shared).
+  mutable std::shared_mutex state_mutex_;
+  std::unique_ptr<core::DynamicShapeBase> base_;
+  /// Pump-thread-only: the local WAL mirror of the current generation.
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  bool have_generation_ = false;
+  uint64_t generation_ = 0;
+  /// Pump-thread cursor; == applied_lsn_ except mid-apply.
+  uint64_t cursor_ = 0;
+
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<uint64_t> durable_lsn_{0};
+  std::atomic<uint64_t> primary_next_lsn_{0};
+  std::atomic<bool> connected_{true};
+
+  std::atomic<uint64_t> applied_records_{0};
+  std::atomic<uint64_t> apply_batches_{0};
+  std::atomic<uint64_t> duplicates_skipped_{0};
+  std::atomic<uint64_t> gap_batches_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> resyncs_{0};
+  std::atomic<uint64_t> rotations_{0};
+  std::atomic<uint64_t> local_reopens_{0};
+};
+
+}  // namespace geosir::replication
+
+#endif  // GEOSIR_REPLICATION_FOLLOWER_H_

@@ -1,0 +1,97 @@
+#include "replication/log_transport.h"
+
+#include <utility>
+
+namespace geosir::replication {
+
+PrimaryLogSource::PrimaryLogSource(storage::Env* env, std::string dir,
+                                   const storage::WalJournal* journal)
+    : env_(env), dir_(std::move(dir)), journal_(journal) {}
+
+util::Result<LogBatch> PrimaryLogSource::Fetch(uint64_t from_lsn,
+                                               size_t max_records) {
+  const storage::WalTailState tail = journal_->tail_state();
+  LogBatch batch;
+  batch.primary_next_lsn = tail.next_lsn;
+  if (from_lsn > tail.next_lsn) {
+    return util::Status::OutOfRange(
+        "follower cursor " + std::to_string(from_lsn) +
+        " is ahead of the primary tail " + std::to_string(tail.next_lsn));
+  }
+  if (from_lsn == tail.next_lsn || tail.detached) {
+    // Caught up (a detached journal has nothing shippable until its next
+    // rotation publishes a fresh generation).
+    return batch;
+  }
+  storage::WalReadReport report;
+  auto records = storage::ReadWalRecordsSince(
+      env_, dir_, tail.generation, from_lsn, tail.committed_bytes, max_records,
+      &report, &cursor_);
+  if (!records.ok()) {
+    if (records.status().code() == util::StatusCode::kNotFound) {
+      // The generation rotated away between tail_state() and the read;
+      // the next fetch sees the new one.
+      return util::Status::Unavailable(
+          "wal generation rotated during fetch; retry");
+    }
+    return records.status();
+  }
+  // When from_lsn predates the retained log's head (the generation
+  // rotated past the cursor), the batch simply starts at the head
+  // commit. The follower decides what that means: a converged replica
+  // rotates in-stream off the commit (the skipped LSNs were advisory
+  // markers), a lagging one fails the commit's convergence check and
+  // falls back to a snapshot resync.
+  if (records->empty() && report.salvaged) {
+    // Corruption strictly below the committed bound is real damage, not
+    // a torn tail; retrying cannot help.
+    return util::Status::Corruption("primary wal corrupt mid-stream");
+  }
+  batch.records = *std::move(records);
+  return batch;
+}
+
+util::Result<SnapshotPackage> PrimaryLogSource::FetchSnapshot() {
+  const storage::WalTailState tail = journal_->tail_state();
+  // Both reads are keyed by the same generation; its files are never
+  // modified once written (appends extend the WAL but the head frame is
+  // fixed), so if both succeed they form a consistent pair. A rotation
+  // deleting them mid-read surfaces as kUnavailable and the caller
+  // retries against the new generation.
+  auto checkpoint =
+      env_->ReadFileBytes(storage::CheckpointPath(dir_, tail.generation));
+  if (!checkpoint.ok()) {
+    return util::Status::Unavailable(
+        "checkpoint unreadable (rotation in progress?): " +
+        checkpoint.status().message());
+  }
+  storage::WalReadReport report;
+  storage::WalTailCursor head_cursor;
+  auto head = storage::ReadWalRecordsSince(env_, dir_, tail.generation,
+                                           /*from_lsn=*/0,
+                                           tail.committed_bytes,
+                                           /*max_records=*/1, &report,
+                                           &head_cursor);
+  if (!head.ok() || head->empty()) {
+    return util::Status::Unavailable(
+        "wal head unreadable (rotation in progress?)");
+  }
+  const storage::WalRecord& record = head->front();
+  if (record.type != storage::WalRecordType::kCompactCommit) {
+    return util::Status::Corruption(
+        "primary wal does not begin with a compact-commit head");
+  }
+  SnapshotPackage package;
+  package.generation = tail.generation;
+  package.checkpoint = *std::move(checkpoint);
+  package.primary_next_lsn = tail.next_lsn;
+  storage::AppendWalFrame(&package.head_frame, record.lsn, record.type,
+                          record.payload);
+  return package;
+}
+
+util::Result<uint64_t> PrimaryLogSource::PrimaryNextLsn() {
+  return journal_->tail_state().next_lsn;
+}
+
+}  // namespace geosir::replication

@@ -1,0 +1,100 @@
+#ifndef GEOSIR_REPLICATION_LOG_TRANSPORT_H_
+#define GEOSIR_REPLICATION_LOG_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/appendable_file.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace geosir::replication {
+
+/// One shipped batch of consecutive WAL records, starting at the LSN the
+/// follower asked for (or later, if duplicates were filtered upstream).
+struct LogBatch {
+  std::vector<storage::WalRecord> records;
+  /// The primary's next_lsn at fetch time. Piggybacked so the follower
+  /// can compute its lag (primary_next_lsn - applied cursor) without a
+  /// second round trip per fetch.
+  uint64_t primary_next_lsn = 0;
+};
+
+/// Checkpoint + WAL-head bundle for full follower resynchronization,
+/// used when the follower's cursor points below the primary's retained
+/// log (the records were compacted away by a rotation).
+struct SnapshotPackage {
+  uint64_t generation = 0;
+  /// ckpt-<generation>.gsir bytes, verbatim.
+  std::vector<uint8_t> checkpoint;
+  /// The framed kCompactCommit head of wal-<generation>.log, verbatim.
+  /// The follower CRC-validates and decodes it before trusting anything:
+  /// the head binds the checkpoint to its id map and carries the LSN the
+  /// stream resumes at.
+  std::vector<uint8_t> head_frame;
+  uint64_t primary_next_lsn = 0;
+};
+
+/// Pull-based shipping channel from a primary's WAL to ONE follower.
+///
+/// Error contract:
+///   kUnavailable  transient — retry (injected faults, rotation races).
+///   kNotFound     the requested LSN has been rotated out of the
+///                 primary's retained log; the follower must
+///                 FetchSnapshot and resync.
+///   kCorruption   the stream itself is damaged; retrying will not help.
+///
+/// Instances are not thread-safe: each follower owns its transport (the
+/// cursor cache inside PrimaryLogSource is per-consumer state).
+class LogTransport {
+ public:
+  virtual ~LogTransport() = default;
+
+  /// Up to `max_records` consecutive records with lsn >= from_lsn
+  /// (0 = unlimited). An OK result with an empty `records` means the
+  /// follower is caught up (or the committed bound has not reached
+  /// from_lsn yet) — poll again later. When from_lsn predates the
+  /// retained log (the primary rotated past it), the batch starts at the
+  /// new generation's kCompactCommit head instead: a converged follower
+  /// rotates in-stream off it, a lagging one fails the commit's
+  /// convergence check and resyncs from a snapshot.
+  virtual util::Result<LogBatch> Fetch(uint64_t from_lsn,
+                                       size_t max_records) = 0;
+
+  /// The primary's current checkpoint generation, for full resync.
+  virtual util::Result<SnapshotPackage> FetchSnapshot() = 0;
+
+  /// The primary's current next_lsn (lag probes outside a fetch).
+  virtual util::Result<uint64_t> PrimaryNextLsn() = 0;
+};
+
+/// In-process transport reading the primary's generation files directly,
+/// bounded by the journal's published tail state (WalJournal::tail_state)
+/// so fetching is safe while the primary keeps appending and rotating.
+/// The stand-in for a network log-shipping channel: everything above it
+/// (follower, router, chaos harness) treats it as remote.
+class PrimaryLogSource : public LogTransport {
+ public:
+  /// `journal` must outlive this transport; `env`/`dir` locate the
+  /// primary's generation files.
+  PrimaryLogSource(storage::Env* env, std::string dir,
+                   const storage::WalJournal* journal);
+
+  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
+  util::Result<SnapshotPackage> FetchSnapshot() override;
+  util::Result<uint64_t> PrimaryNextLsn() override;
+
+ private:
+  storage::Env* env_;
+  std::string dir_;
+  const storage::WalJournal* journal_;
+  /// Resume state so steady-state tailing does not re-decode the WAL from
+  /// byte zero on every fetch.
+  storage::WalTailCursor cursor_;
+};
+
+}  // namespace geosir::replication
+
+#endif  // GEOSIR_REPLICATION_LOG_TRANSPORT_H_

@@ -214,14 +214,19 @@ class MemEnv::MemFile : public AppendableFile {
       : state_(std::move(state)) {}
 
   util::Status Append(const uint8_t* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
     state_->bytes.insert(state_->bytes.end(), data, data + size);
     return util::Status::OK();
   }
   util::Status Sync() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
     state_->synced = state_->bytes.size();
     return util::Status::OK();
   }
-  uint64_t Size() const override { return state_->bytes.size(); }
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->bytes.size();
+  }
 
  private:
   std::shared_ptr<FileState> state_;
@@ -236,6 +241,7 @@ util::Result<std::unique_ptr<AppendableFile>> MemEnv::NewAppendableFile(
     auto& slot = files_[path];
     if (slot == nullptr) slot = std::make_shared<FileState>();
     if (truncate) {
+      std::lock_guard<std::mutex> state_lock(slot->mutex);
       slot->bytes.clear();
       slot->synced = 0;
     }
@@ -251,6 +257,7 @@ util::Result<std::vector<uint8_t>> MemEnv::ReadFileBytes(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return util::Status::NotFound("cannot open: " + path);
+  std::lock_guard<std::mutex> state_lock(it->second->mutex);
   return it->second->bytes;
 }
 
@@ -311,6 +318,7 @@ std::unique_ptr<MemEnv> MemEnv::CrashImage(
   image->dirs_ = dirs_;
   for (const auto& [path, state] : files_) {
     auto copy = std::make_shared<FileState>();
+    std::lock_guard<std::mutex> state_lock(state->mutex);
     const size_t unsynced = state->bytes.size() - state->synced;
     const size_t keep =
         state->synced +
@@ -327,7 +335,9 @@ std::unique_ptr<MemEnv> MemEnv::CrashImage(
 uint64_t MemEnv::SyncedSize(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = files_.find(path);
-  return it == files_.end() ? 0 : it->second->synced;
+  if (it == files_.end()) return 0;
+  std::lock_guard<std::mutex> state_lock(it->second->mutex);
+  return it->second->synced;
 }
 
 }  // namespace geosir::storage

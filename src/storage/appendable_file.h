@@ -130,6 +130,12 @@ class MemEnv : public Env {
 
  private:
   struct FileState {
+    /// Guards bytes/synced. A replication follower tails a file that the
+    /// primary is still appending to, so the writer (MemFile, which holds
+    /// only the FileState) and readers (Env operations, which hold the env
+    /// mutex first) must serialize per file. Lock order: env mutex_ before
+    /// state mutex; MemFile never takes the env mutex.
+    mutable std::mutex mutex;
     std::vector<uint8_t> bytes;
     size_t synced = 0;  // Prefix guaranteed to survive a crash.
   };

@@ -31,6 +31,11 @@ struct WalMetrics {
   obs::Counter* rotations;
   obs::Counter* recovery_truncated_bytes;
   obs::Counter* recovery_replayed_records;
+  obs::Counter* recoveries;
+  obs::Counter* recovery_salvaged;
+  obs::Counter* recovery_dirty_rotations;
+  obs::Counter* recovery_reinitialized;
+  obs::Gauge* recovery_generation;
   obs::Histogram* replay_latency;
 
   static const WalMetrics& Get() {
@@ -56,6 +61,24 @@ struct WalMetrics {
       m->recovery_replayed_records =
           r.GetCounter("geosir_recovery_replayed_records_total",
                        "Mutation records replayed during recovery");
+      m->recoveries = r.GetCounter(
+          "geosir_recoveries_total",
+          "Durable-base opens that recovered an existing generation");
+      m->recovery_salvaged = r.GetCounter(
+          "geosir_recovery_salvaged_total",
+          "Recoveries that cut replay short at a complete-but-corrupt "
+          "frame and kept the valid prefix");
+      m->recovery_dirty_rotations = r.GetCounter(
+          "geosir_recovery_dirty_tail_rotations_total",
+          "Recoveries that rotated to a fresh generation because the WAL "
+          "tail was torn or salvaged");
+      m->recovery_reinitialized = r.GetCounter(
+          "geosir_recovery_reinitialized_total",
+          "Opens that found no recoverable state and initialized a fresh "
+          "generation 0");
+      m->recovery_generation = r.GetGauge(
+          "geosir_recovery_generation",
+          "Generation recovered (or created) by the most recent open");
       m->replay_latency = r.GetHistogram(
           "geosir_recovery_replay_seconds",
           "Wall-clock latency of one recovery (restore + replay)",
@@ -133,6 +156,26 @@ std::string CheckpointPath(const std::string& dir, uint64_t generation) {
   return dir + "/" + kCkptPrefix + std::to_string(generation) + kCkptSuffix;
 }
 
+util::Result<WalDirListing> ListWalDir(Env* env, const std::string& dir) {
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                          env->ListDir(dir));
+  WalDirListing listing;
+  for (const std::string& name : names) {
+    uint64_t generation = 0;
+    if (ParseGeneration(name, kWalPrefix, kWalSuffix, &generation)) {
+      listing.wal_generations.push_back(generation);
+    } else if (ParseGeneration(name, kCkptPrefix, kCkptSuffix, &generation)) {
+      listing.ckpt_generations.push_back(generation);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      listing.tmp_names.push_back(name);  // A crash mid-WriteFileAtomic.
+    }
+  }
+  std::sort(listing.wal_generations.begin(), listing.wal_generations.end());
+  std::sort(listing.ckpt_generations.begin(), listing.ckpt_generations.end());
+  return listing;
+}
+
 void AppendWalFrame(std::vector<uint8_t>* out, uint64_t lsn,
                     WalRecordType type, const std::vector<uint8_t>& payload) {
   const size_t start = out->size();
@@ -145,6 +188,82 @@ void AppendWalFrame(std::vector<uint8_t>* out, uint64_t lsn,
   AppendRaw<uint32_t>(out, crc);
 }
 
+namespace {
+
+/// Outcome of one DecodeWalFrames pass over a byte range.
+struct FrameDecodeResult {
+  size_t end_pos = 0;      // First unconsumed byte.
+  size_t frames = 0;       // Frames consumed (materialized or skipped).
+  uint64_t first_lsn = 0;  // LSN of the first consumed frame (frames > 0).
+  bool salvaged = false;   // A complete-but-untrustworthy frame stopped us.
+};
+
+/// Core frame decoder shared by ReadWalRecords and ReadWalRecordsSince.
+/// Decodes frames from `pos` within [data, data+limit) until the limit, a
+/// torn/corrupt frame, or `max_records` materialized records (0 =
+/// unlimited). With `expected_lsn` null the chain anchors on the first
+/// frame's own LSN; otherwise the first frame must carry *expected_lsn —
+/// the resume-cursor contract. Frames with lsn < skip_below are validated
+/// (CRC + chain) but not copied into `out`.
+FrameDecodeResult DecodeWalFrames(const uint8_t* data, size_t limit,
+                                  size_t pos, const uint64_t* expected_lsn,
+                                  uint64_t skip_below, size_t max_records,
+                                  std::vector<WalRecord>* out) {
+  FrameDecodeResult result;
+  uint64_t next_expected = expected_lsn != nullptr ? *expected_lsn : 0;
+  bool chained = expected_lsn != nullptr;
+  while (limit - pos >= kFrameOverheadBytes) {
+    if (max_records != 0 && out->size() >= max_records) break;
+    uint32_t payload_len = 0;
+    std::memcpy(&payload_len, data + pos, sizeof(payload_len));
+    const uint64_t frame_bytes =
+        kFrameOverheadBytes + static_cast<uint64_t>(payload_len);
+    if (frame_bytes > limit - pos) {
+      // Incomplete final frame: the normal shape of a crash mid-append.
+      // (A corrupted length field lands here too; either way only the
+      // valid prefix is replayed.)
+      break;
+    }
+    const uint32_t computed =
+        util::Crc32(data + pos, kFrameHeaderBytes + payload_len);
+    uint32_t stored = 0;
+    std::memcpy(&stored, data + pos + kFrameHeaderBytes + payload_len,
+                sizeof(stored));
+    if (stored != computed) {
+      // A complete frame that fails its checksum: mid-record corruption,
+      // not a torn tail. Salvage the prefix.
+      result.salvaged = true;
+      break;
+    }
+    uint64_t lsn = 0;
+    std::memcpy(&lsn, data + pos + sizeof(uint32_t), sizeof(lsn));
+    const uint8_t type = data[pos + sizeof(uint32_t) + sizeof(uint64_t)];
+    if (!ValidRecordType(type) || (chained && lsn != next_expected)) {
+      // CRC-valid but semantically impossible (unknown type or a broken
+      // LSN chain): trust ends here.
+      result.salvaged = true;
+      break;
+    }
+    if (result.frames == 0) result.first_lsn = lsn;
+    if (lsn >= skip_below) {
+      WalRecord record;
+      record.lsn = lsn;
+      record.type = static_cast<WalRecordType>(type);
+      record.payload.assign(data + pos + kFrameHeaderBytes,
+                            data + pos + kFrameHeaderBytes + payload_len);
+      out->push_back(std::move(record));
+    }
+    next_expected = lsn + 1;
+    chained = true;
+    ++result.frames;
+    pos += frame_bytes;
+  }
+  result.end_pos = pos;
+  return result;
+}
+
+}  // namespace
+
 std::vector<WalRecord> ReadWalRecords(const std::vector<uint8_t>& bytes,
                                       WalReadReport* report) {
   WalReadReport local;
@@ -152,49 +271,77 @@ std::vector<WalRecord> ReadWalRecords(const std::vector<uint8_t>& bytes,
   rep = WalReadReport{};
 
   std::vector<WalRecord> records;
-  size_t pos = 0;
-  while (bytes.size() - pos >= kFrameOverheadBytes) {
-    uint32_t payload_len = 0;
-    std::memcpy(&payload_len, bytes.data() + pos, sizeof(payload_len));
-    const uint64_t frame_bytes =
-        kFrameOverheadBytes + static_cast<uint64_t>(payload_len);
-    if (frame_bytes > bytes.size() - pos) {
-      // Incomplete final frame: the normal shape of a crash mid-append.
-      // (A corrupted length field lands here too; either way only the
-      // valid prefix is replayed.)
-      break;
-    }
-    const uint32_t computed =
-        util::Crc32(bytes.data() + pos, kFrameHeaderBytes + payload_len);
-    uint32_t stored = 0;
-    std::memcpy(&stored, bytes.data() + pos + kFrameHeaderBytes + payload_len,
-                sizeof(stored));
-    if (stored != computed) {
-      // A complete frame that fails its checksum: mid-record corruption,
-      // not a torn tail. Salvage the prefix.
-      rep.salvaged = true;
-      break;
-    }
-    WalRecord record;
-    std::memcpy(&record.lsn, bytes.data() + pos + sizeof(uint32_t),
-                sizeof(record.lsn));
-    const uint8_t type = bytes[pos + sizeof(uint32_t) + sizeof(uint64_t)];
-    if (!ValidRecordType(type) ||
-        (!records.empty() && record.lsn != records.back().lsn + 1)) {
-      // CRC-valid but semantically impossible (unknown type or a broken
-      // LSN chain): trust ends here.
-      rep.salvaged = true;
-      break;
-    }
-    record.type = static_cast<WalRecordType>(type);
-    record.payload.assign(
-        bytes.begin() + static_cast<ptrdiff_t>(pos + kFrameHeaderBytes),
-        bytes.begin() +
-            static_cast<ptrdiff_t>(pos + kFrameHeaderBytes + payload_len));
-    records.push_back(std::move(record));
-    pos += frame_bytes;
+  const FrameDecodeResult result =
+      DecodeWalFrames(bytes.data(), bytes.size(), 0, /*expected_lsn=*/nullptr,
+                      /*skip_below=*/0, /*max_records=*/0, &records);
+  rep.salvaged = result.salvaged;
+  rep.truncated_bytes = bytes.size() - result.end_pos;
+  return records;
+}
+
+util::Result<std::vector<WalRecord>> ReadWalRecordsSince(
+    Env* env, const std::string& dir, uint64_t generation, uint64_t from_lsn,
+    uint64_t committed_bytes, size_t max_records, WalReadReport* report,
+    WalTailCursor* cursor) {
+  WalReadReport local_report;
+  WalReadReport& rep = report != nullptr ? *report : local_report;
+  rep = WalReadReport{};
+  WalTailCursor local_cursor;
+  if (cursor == nullptr) cursor = &local_cursor;
+
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          env->ReadFileBytes(WalPath(dir, generation)));
+  // Never decode past the writer's committed bound OR the snapshot we
+  // actually read: either may be the shorter one (the file can grow after
+  // the bound was published, or the read can race the append that the
+  // bound already covers on a posix filesystem whose stdio buffer has not
+  // reached the file yet).
+  const size_t limit =
+      static_cast<size_t>(std::min<uint64_t>(bytes.size(), committed_bytes));
+
+  // A cursor from another file, past the new limit, or ahead of the
+  // caller's request (a record below the cursor's position cannot be
+  // reached by resuming) cannot be used; start over from the head.
+  if (cursor->primed &&
+      (cursor->generation != generation || cursor->offset > limit ||
+       from_lsn < cursor->next_lsn)) {
+    *cursor = WalTailCursor{};
   }
-  rep.truncated_bytes = bytes.size() - pos;
+  cursor->generation = generation;
+
+  std::vector<WalRecord> records;
+  FrameDecodeResult result;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!cursor->primed) {
+      result = DecodeWalFrames(bytes.data(), limit, 0, /*expected_lsn=*/nullptr,
+                               from_lsn, max_records, &records);
+      if (result.frames > 0) {
+        cursor->primed = true;
+        cursor->base_lsn = result.first_lsn;
+        cursor->offset = result.end_pos;
+        cursor->next_lsn = result.first_lsn + result.frames;
+      }
+      break;
+    }
+    const uint64_t expected = cursor->next_lsn;
+    result = DecodeWalFrames(bytes.data(), limit,
+                             static_cast<size_t>(cursor->offset), &expected,
+                             from_lsn, max_records, &records);
+    if (result.frames == 0 && result.salvaged && cursor->offset != 0) {
+      // The frame at the remembered offset no longer carries the expected
+      // LSN: the file was replaced under the same name (a follower local
+      // rewrite). Re-anchor from the head once.
+      *cursor = WalTailCursor{};
+      cursor->generation = generation;
+      continue;
+    }
+    cursor->offset = result.end_pos;
+    cursor->next_lsn += result.frames;
+    break;
+  }
+  rep.salvaged = result.salvaged;
+  const bool stopped_by_cap = max_records != 0 && records.size() >= max_records;
+  rep.truncated_bytes = stopped_by_cap ? 0 : limit - result.end_pos;
   return records;
 }
 
@@ -329,7 +476,10 @@ WriteAheadLog::WriteAheadLog(std::unique_ptr<AppendableFile> file,
     : file_(std::move(file)),
       options_(options),
       next_lsn_(next_lsn),
-      synced_upto_(synced_upto) {}
+      synced_upto_(synced_upto),
+      // Everything already in the file is complete frames (the caller
+      // attaches only after validating a clean tail).
+      committed_bytes_(file_->Size()) {}
 
 util::Result<uint64_t> WriteAheadLog::Append(
     WalRecordType type, const std::vector<uint8_t>& payload) {
@@ -353,6 +503,9 @@ util::Result<uint64_t> WriteAheadLog::Append(
   ++appends_;
   ++unsynced_records_;
   bytes_since_sync_ += frame.size();
+  // Publish the new complete-frame bound only now that the whole frame is
+  // in the file: a concurrent tailing reader clamps its decode to this.
+  committed_bytes_.fetch_add(frame.size(), std::memory_order_release);
   const WalMetrics& metrics = WalMetrics::Get();
   metrics.appends->Inc();
   metrics.appended_bytes->Inc(frame.size());
@@ -373,7 +526,9 @@ util::Result<uint64_t> WriteAheadLog::Append(
 
 util::Status WriteAheadLog::Sync() {
   if (!sticky_.ok()) return sticky_;
-  if (synced_upto_ == next_lsn_) return util::Status::OK();
+  if (synced_upto_.load(std::memory_order_relaxed) == next_lsn_) {
+    return util::Status::OK();
+  }
   return SyncLocked();
 }
 
@@ -388,7 +543,7 @@ util::Status WriteAheadLog::SyncLocked() {
   const WalMetrics& metrics = WalMetrics::Get();
   metrics.syncs->Inc();
   metrics.synced_bytes->Inc(bytes_since_sync_);
-  synced_upto_ = next_lsn_;
+  synced_upto_.store(next_lsn_, std::memory_order_release);
   unsynced_records_ = 0;
   bytes_since_sync_ = 0;
   return util::Status::OK();
@@ -404,7 +559,10 @@ util::Status WalJournal::AppendMutation(WalRecordType type,
   }
   GEOSIR_ASSIGN_OR_RETURN(const uint64_t lsn, wal_->Append(type, payload));
   (void)lsn;
-  next_lsn_ = wal_->next_lsn();
+  {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    next_lsn_ = wal_->next_lsn();
+  }
   return util::Status::OK();
 }
 
@@ -437,7 +595,10 @@ util::Status WalJournal::LogCompactBegin() {
   // that is about to rotate it into a healthy one.
   if (wal_ == nullptr || !wal_->status().ok()) return util::Status::OK();
   auto lsn = wal_->Append(WalRecordType::kCompactBegin, {});
-  if (lsn.ok()) next_lsn_ = wal_->next_lsn();
+  if (lsn.ok()) {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    next_lsn_ = wal_->next_lsn();
+  }
   return util::Status::OK();
 }
 
@@ -471,9 +632,14 @@ util::Status WalJournal::LogCompactCommit(
           .status());
   GEOSIR_RETURN_IF_ERROR(wal->Sync());
   // The new generation is durable: swap it in and retire the old one.
-  wal_ = std::move(wal);
-  generation_ = new_generation;
-  next_lsn_ = wal_->next_lsn();
+  // Under the tail mutex so a concurrent tail_state() never pairs the old
+  // generation with the new bounds (or vice versa).
+  {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    wal_ = std::move(wal);
+    generation_ = new_generation;
+    next_lsn_ = wal_->next_lsn();
+  }
   WalMetrics::Get().rotations->Inc();
   // Step 3: best-effort cleanup. A failure here only leaves stale files
   // that the next recovery or rotation removes.
@@ -484,6 +650,21 @@ util::Status WalJournal::LogCompactCommit(
 
 util::Status WalJournal::Sync() {
   return wal_ != nullptr ? wal_->Sync() : util::Status::OK();
+}
+
+WalTailState WalJournal::tail_state() const {
+  std::lock_guard<std::mutex> lock(tail_mutex_);
+  WalTailState state;
+  state.generation = generation_;
+  state.next_lsn = next_lsn_;
+  state.detached = wal_ == nullptr;
+  if (wal_ != nullptr) {
+    state.committed_bytes = wal_->committed_bytes();
+    state.synced_upto = wal_->synced_upto();
+  } else {
+    state.synced_upto = next_lsn_;
+  }
+  return state;
 }
 
 // --- Recovery ---
@@ -537,22 +718,10 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
   rep = RecoveryReport{};
 
   GEOSIR_RETURN_IF_ERROR(env->CreateDir(dir));
-  GEOSIR_ASSIGN_OR_RETURN(const std::vector<std::string> names,
-                          env->ListDir(dir));
-  std::vector<uint64_t> wal_generations;
-  std::vector<uint64_t> ckpt_generations;
-  std::vector<std::string> tmp_leftovers;
-  for (const std::string& name : names) {
-    uint64_t generation = 0;
-    if (ParseGeneration(name, kWalPrefix, kWalSuffix, &generation)) {
-      wal_generations.push_back(generation);
-    } else if (ParseGeneration(name, kCkptPrefix, kCkptSuffix, &generation)) {
-      ckpt_generations.push_back(generation);
-    } else if (name.size() > 4 &&
-               name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      tmp_leftovers.push_back(name);  // A crash mid-WriteFileAtomic.
-    }
-  }
+  GEOSIR_ASSIGN_OR_RETURN(WalDirListing listing, ListWalDir(env, dir));
+  std::vector<uint64_t>& wal_generations = listing.wal_generations;
+  const std::vector<uint64_t>& ckpt_generations = listing.ckpt_generations;
+  const std::vector<std::string>& tmp_leftovers = listing.tmp_names;
   std::sort(wal_generations.rbegin(), wal_generations.rend());
 
   const auto replay_start = std::chrono::steady_clock::now();
@@ -606,8 +775,11 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
     rep.salvaged = wal_report.salvaged;
 
     const WalMetrics& metrics = WalMetrics::Get();
+    metrics.recoveries->Inc();
     metrics.recovery_truncated_bytes->Inc(rep.truncated_bytes);
     metrics.recovery_replayed_records->Inc(rep.applied);
+    if (rep.salvaged) metrics.recovery_salvaged->Inc();
+    metrics.recovery_generation->Set(static_cast<int64_t>(generation));
     metrics.replay_latency->Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       replay_start)
@@ -656,6 +828,9 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
                                              /*wal=*/nullptr);
       base->SetJournal(journal.get());
       GEOSIR_RETURN_IF_ERROR(base->Compact());
+      metrics.recovery_dirty_rotations->Inc();
+      metrics.recovery_generation->Set(
+          static_cast<int64_t>(journal->generation()));
     }
     return DurableDynamicBase{std::move(base), std::move(journal)};
   }
@@ -685,6 +860,11 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
     (void)env->RemoveFile(dir + "/" + name);
   }
   rep.reinitialized = true;
+  {
+    const WalMetrics& metrics = WalMetrics::Get();
+    metrics.recovery_reinitialized->Inc();
+    metrics.recovery_generation->Set(0);
+  }
 
   // Fresh generation 0: an empty durable checkpoint plus a WAL whose
   // synced head commits it.

@@ -1,8 +1,10 @@
 #ifndef GEOSIR_STORAGE_WAL_H_
 #define GEOSIR_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -116,6 +118,45 @@ std::vector<WalRecord> ReadWalRecords(const std::vector<uint8_t>& bytes,
 void AppendWalFrame(std::vector<uint8_t>* out, uint64_t lsn,
                     WalRecordType type, const std::vector<uint8_t>& payload);
 
+/// Resume state for incremental tailing reads (ReadWalRecordsSince): the
+/// byte offset where the last decode stopped and the LSN the frame there
+/// must carry, so a log-shipping loop does not re-decode (and re-CRC) the
+/// whole file on every fetch. Zero-initialized = start from the head; the
+/// reader resets it itself whenever it no longer matches the file.
+struct WalTailCursor {
+  uint64_t generation = 0;
+  uint64_t offset = 0;    // First undecoded byte.
+  uint64_t next_lsn = 0;  // LSN the frame at `offset` must carry.
+  uint64_t base_lsn = 0;  // LSN of the file's head record.
+  bool primed = false;    // False until the head frame has been decoded.
+};
+
+/// Tailing read for log shipping: returns up to `max_records` records
+/// (0 = unlimited) with lsn >= from_lsn from wal-<generation> in `dir`,
+/// trusting at most `committed_bytes` bytes of the file. That bound is
+/// the writer's published complete-frame offset (WalJournal::tail_state),
+/// and it is what makes reading concurrently with the appender safe: the
+/// visible file size can run ahead of the committed prefix (a frame half
+/// appended, or a failed append's garbage tail), so a reader must never
+/// decode past it. Records before `from_lsn` are CRC- and chain-validated
+/// but not materialized. Returns kNotFound when the file does not exist
+/// (the generation was rotated away). `cursor`, when provided, carries
+/// resume state across calls.
+util::Result<std::vector<WalRecord>> ReadWalRecordsSince(
+    Env* env, const std::string& dir, uint64_t generation, uint64_t from_lsn,
+    uint64_t committed_bytes, size_t max_records = 0,
+    WalReadReport* report = nullptr, WalTailCursor* cursor = nullptr);
+
+/// Generation numbers present in `dir` (wal-* and ckpt-* files, sorted
+/// ascending) plus orphan .tmp names: the directory inventory that both
+/// primary recovery and follower-local recovery sweep.
+struct WalDirListing {
+  std::vector<uint64_t> wal_generations;
+  std::vector<uint64_t> ckpt_generations;
+  std::vector<std::string> tmp_names;
+};
+util::Result<WalDirListing> ListWalDir(Env* env, const std::string& dir);
+
 // --- Record payload codecs ---
 
 struct WalInsertPayload {
@@ -171,8 +212,18 @@ class WriteAheadLog {
   /// Exclusive durability bound: every record with lsn < synced_upto()
   /// survives a crash. Only advances when a real fsync succeeds; the
   /// constructor's `synced_upto` argument states what the caller knows
-  /// about the pre-existing bytes.
-  uint64_t synced_upto() const { return synced_upto_; }
+  /// about the pre-existing bytes. Safe to read from any thread.
+  uint64_t synced_upto() const {
+    return synced_upto_.load(std::memory_order_acquire);
+  }
+  /// Complete-frame byte length of the file: the prefix a concurrent
+  /// tailing reader may trust. Bytes at or past this offset may belong to
+  /// a frame still being appended (or to a failed append's garbage tail)
+  /// and must not be decoded. Safe to read from any thread; the appender
+  /// publishes the new bound only after the whole frame is in the file.
+  uint64_t committed_bytes() const {
+    return committed_bytes_.load(std::memory_order_acquire);
+  }
   uint64_t appends() const { return appends_; }
   const util::Status& status() const { return sticky_; }
 
@@ -182,13 +233,31 @@ class WriteAheadLog {
   std::unique_ptr<AppendableFile> file_;
   WalOptions options_;
   uint64_t next_lsn_;
-  uint64_t synced_upto_;
+  std::atomic<uint64_t> synced_upto_;
+  std::atomic<uint64_t> committed_bytes_;
   uint64_t appends_ = 0;
   uint64_t bytes_since_sync_ = 0;
   size_t unsynced_records_ = 0;
   util::Status sticky_;
   /// Reused frame buffer (capacity persists across appends).
   std::vector<uint8_t> frame_scratch_;
+};
+
+/// Coherent (generation, tail) snapshot of a WalJournal, for log shipping
+/// that runs concurrently with the journal's owner: a follower fetch needs
+/// the generation, the record bound and the byte bound to agree on one
+/// moment, or a rotation between reads would pair an old generation with a
+/// new offset.
+struct WalTailState {
+  uint64_t generation = 0;
+  /// Exclusive: records with lsn < next_lsn exist in the log stream.
+  uint64_t next_lsn = 0;
+  /// Trust bound for readers of wal-<generation> (see
+  /// WriteAheadLog::committed_bytes).
+  uint64_t committed_bytes = 0;
+  /// Exclusive durability bound of the stream.
+  uint64_t synced_upto = 0;
+  bool detached = false;
 };
 
 /// The DynamicBaseJournal implementation: logs mutations to the current
@@ -232,6 +301,11 @@ class WalJournal : public core::DynamicBaseJournal {
   }
   bool detached() const { return wal_ == nullptr; }
 
+  /// Coherent tail snapshot for concurrent log shipping. Unlike the plain
+  /// accessors above (owner-thread only), this may be called from any
+  /// thread while the owner keeps appending and rotating.
+  WalTailState tail_state() const;
+
  private:
   util::Status AppendMutation(WalRecordType type,
                               const std::vector<uint8_t>& payload);
@@ -239,6 +313,10 @@ class WalJournal : public core::DynamicBaseJournal {
   Env* env_;
   std::string dir_;
   WalOptions options_;
+  /// Guards generation_/next_lsn_/wal_ against tail_state() readers. The
+  /// owner is still single-writer; the mutex only makes the (generation,
+  /// bounds) tuple readable coherently across a rotation.
+  mutable std::mutex tail_mutex_;
   uint64_t generation_;
   uint64_t next_lsn_;
   std::unique_ptr<WriteAheadLog> wal_;

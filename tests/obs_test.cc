@@ -22,6 +22,8 @@
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "query/admission.h"
+#include "replication/replicated_shape_base.h"
+#include "storage/appendable_file.h"
 #include "storage/external_simplex_index.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -457,6 +459,62 @@ TEST(EndToEndMetricsTest, BuiltInFamiliesPublishToDefaultRegistry) {
     ++lines;
   }
   EXPECT_GT(lines, 10u);
+}
+
+TEST(EndToEndMetricsTest, ReplicationFamiliesPublishToDefaultRegistry) {
+  storage::MemEnv env;
+  replication::ReplicatedOptions options;
+  options.env = &env;
+  options.base.min_compaction_size = 1u << 20;  // Rotations stay explicit.
+  options.start_replication = false;            // Step followers inline.
+  std::vector<replication::ReplicaSpec> replicas;
+  replicas.emplace_back();
+  replicas.back().dir = "replica0";
+  auto tier = replication::ReplicatedShapeBase::Open("primary",
+                                                     std::move(replicas),
+                                                     options);
+  ASSERT_TRUE(tier.ok()) << tier.status().message();
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        (*tier)->Insert(RegularPolygon(5 + static_cast<int>(i) % 4, 1.0), 0)
+            .ok());
+  }
+  ASSERT_TRUE((*tier)->WaitForCatchUp().ok());
+  // An explicit compaction rotates the generation, exercising the
+  // follower's in-stream rotation counters; the reopen after Stop() is
+  // what publishes the recovery families for a non-empty directory.
+  ASSERT_TRUE((*tier)->Compact().ok());
+  ASSERT_TRUE((*tier)->WaitForCatchUp().ok());
+  std::vector<core::MatchStats> stats;
+  auto results = (*tier)->MatchBatch({RegularPolygon(5, 1.0)}, 1, &stats);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].replicated);
+
+  const std::string text =
+      ToPrometheusText(MetricRegistry::Default().Snapshot());
+  AssertParsesAsPrometheus(text);
+  for (const char* family :
+       {// Satellite: durable-recovery counters surfaced through obs.
+        "geosir_recoveries_total", "geosir_recovery_salvaged_total",
+        "geosir_recovery_dirty_tail_rotations_total",
+        "geosir_recovery_reinitialized_total", "geosir_recovery_generation",
+        // Per-replica replication pipeline.
+        "geosir_replication_applied_records_total",
+        "geosir_replication_apply_batches_total",
+        "geosir_replication_rotations_total",
+        "geosir_replication_queries_total", "geosir_replication_lag_records",
+        "geosir_replication_applied_lsn", "geosir_replication_apply_seconds",
+        // Lag-aware batch router.
+        "geosir_router_batches_total", "geosir_router_redirected_total",
+        "geosir_router_stale_served_total", "geosir_router_shed_total",
+        "geosir_router_exhausted_total"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " "),
+              std::string::npos)
+        << "missing metric family: " << family;
+  }
+  // Replication series are labeled per replica.
+  EXPECT_NE(text.find("replica=\"0\""), std::string::npos);
 }
 
 }  // namespace

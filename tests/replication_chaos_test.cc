@@ -1,0 +1,386 @@
+// Chaos matrix for the replicated serving tier: kill-and-restart the
+// FOLLOWER at every ship/apply/sync boundary of a deterministic
+// primary+follower schedule, materialize its disk under three unsynced
+// tail-survival fractions, reopen, and assert that
+//
+//   * the recovered replica state equals the reference model after SOME
+//     prefix of the primary's journal, no shorter than the prefix the
+//     follower's own durability bound acknowledged (acked + synced =>
+//     durable, mirrored from the crash suite's primary contract),
+//   * a freshly reconnected incarnation converges to the primary's exact
+//     final state — streaming when its cursor is still retained, snapshot
+//     resync when the primary rotated past it.
+//
+// The boundary set is the union of the follower's local file operations
+// (mirror appends, syncs, checkpoint writes, generation swaps — one
+// CrashClock tick each via the MemEnv wiring) and every transport
+// operation (the FaultInjectingTransport ticks the same clock), so the
+// matrix lands between ship and apply, mid-apply, mid-rotation, and
+// mid-resync. The primary runs faultlessly on its own MemEnv throughout:
+// this suite is about follower failover, the primary's own crash matrix
+// lives in crash_recovery_test.
+//
+// A second matrix (SnapshotCatchUpBoundaries) holds the follower idle
+// until the primary has rotated twice, so every crash point lands inside
+// the snapshot bootstrap path instead of steady-state tailing.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "replication/fault_transport.h"
+#include "replication/follower.h"
+#include "replication/log_transport.h"
+#include "storage/appendable_file.h"
+#include "storage/fault_injection.h"
+#include "storage/wal.h"
+
+namespace geosir::replication {
+namespace {
+
+using core::DynamicShapeBase;
+using geom::Point;
+using geom::Polyline;
+using storage::CrashClock;
+using storage::CrashInjectingFile;
+using storage::MemEnv;
+using storage::WalSyncPolicy;
+
+Polyline RegularPolygon(int n, double r) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+Polyline ShapeFor(uint64_t id) {
+  return RegularPolygon(3 + static_cast<int>(id % 8),
+                        1.0 + 0.05 * static_cast<double>(id % 7));
+}
+std::string LabelFor(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "s%llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+core::ImageId ImageFor(uint64_t id) {
+  return static_cast<core::ImageId>(id * 3 + 1);
+}
+
+struct ScriptOp {
+  enum Kind { kInsert, kRemove, kCompact } kind;
+  uint64_t id = 0;
+};
+
+std::vector<ScriptOp> MakeScript(size_t inserts, size_t remove_every,
+                                 size_t compact_every) {
+  std::vector<ScriptOp> script;
+  uint64_t next_id = 0;
+  std::vector<uint64_t> live;
+  for (size_t i = 0; i < inserts; ++i) {
+    script.push_back({ScriptOp::kInsert, next_id});
+    live.push_back(next_id);
+    ++next_id;
+    if (remove_every != 0 && i % remove_every == remove_every - 1) {
+      script.push_back({ScriptOp::kRemove, live.front()});
+      live.erase(live.begin());
+    }
+    if (compact_every != 0 && i % compact_every == compact_every - 1) {
+      script.push_back({ScriptOp::kCompact});
+    }
+  }
+  return script;
+}
+
+std::set<uint64_t> ModelPrefix(const std::vector<ScriptOp>& script,
+                               size_t prefix) {
+  std::set<uint64_t> live;
+  for (size_t i = 0; i < prefix && i < script.size(); ++i) {
+    switch (script[i].kind) {
+      case ScriptOp::kInsert:
+        live.insert(script[i].id);
+        break;
+      case ScriptOp::kRemove:
+        live.erase(script[i].id);
+        break;
+      case ScriptOp::kCompact:
+        break;
+    }
+  }
+  return live;
+}
+
+bool FollowerMatches(const Follower& follower,
+                     const std::set<uint64_t>& model) {
+  const std::vector<uint64_t> live = follower.LiveIds();
+  if (live.size() != model.size()) return false;
+  for (uint64_t id : live) {
+    if (model.count(id) == 0) return false;
+    if (follower.label(id) != LabelFor(id)) return false;
+    if (follower.image(id) != ImageFor(id)) return false;
+    const Polyline expected = ShapeFor(id);
+    const Polyline got = follower.boundary(id);
+    if (got.size() != expected.size() || got.closed() != expected.closed()) {
+      return false;
+    }
+    for (size_t v = 0; v < expected.size(); ++v) {
+      if (got.vertex(v).x != expected.vertex(v).x ||
+          got.vertex(v).y != expected.vertex(v).y) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void WireCrashClock(MemEnv* env, CrashClock* clock) {
+  env->set_file_wrapper(
+      [clock](std::unique_ptr<storage::AppendableFile> inner,
+              const std::string&) {
+        return std::make_unique<CrashInjectingFile>(std::move(inner), clock);
+      });
+  env->set_op_gate([clock](const char*, const std::string&) {
+    return clock->Tick()
+               ? util::Status::OK()
+               : util::Status::Unavailable("simulated crash (env op)");
+  });
+}
+
+DynamicShapeBase::Options SmallBaseOptions() {
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 8;
+  options.max_delta_fraction = 0.5;
+  return options;
+}
+
+constexpr char kPrimaryDir[] = "primary";
+constexpr char kReplicaDir[] = "replica0";
+
+FollowerOptions ReplicaOptions(storage::Env* env) {
+  FollowerOptions options;
+  options.env = env;
+  options.dir = kReplicaDir;
+  options.base = SmallBaseOptions();
+  options.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  // Fail fast: the matrix wants one boundary per transport op, not
+  // hidden retries that each consume several.
+  options.reconnect.max_attempts = 1;
+  options.fetch_batch_records = 4;
+  return options;
+}
+
+struct ScheduleResult {
+  /// Primary-side acked mutations as (script index, WAL lsn).
+  std::vector<std::pair<size_t, uint64_t>> acked_mutations;
+  /// Highest follower durability bound observed before the crash (the
+  /// follower's own status is unreadable mid-run only after env death, so
+  /// the schedule samples it after every pump).
+  uint64_t follower_durable = 0;
+  bool follower_converged = false;
+};
+
+/// Runs the deterministic schedule: the primary (faultless, own env)
+/// executes the script; the follower pumps at fixed points. `pump_after`
+/// delays the first pump until that many script ops completed (the
+/// snapshot-path matrix sets it past two rotations).
+ScheduleResult RunSchedule(const std::vector<ScriptOp>& script,
+                           MemEnv* primary_env,
+                           storage::DurableDynamicBase* primary,
+                           Follower* follower, size_t pump_after) {
+  ScheduleResult result;
+  auto sample = [&] {
+    result.follower_durable =
+        std::max(result.follower_durable, follower->status().durable_lsn);
+  };
+  for (size_t i = 0; i < script.size(); ++i) {
+    const ScriptOp& op = script[i];
+    const uint64_t mutation_lsn = primary->journal->next_lsn();
+    switch (op.kind) {
+      case ScriptOp::kInsert: {
+        auto id = primary->base->Insert(ShapeFor(op.id), ImageFor(op.id),
+                                        LabelFor(op.id));
+        if (!id.ok() || *id != op.id) {
+          ADD_FAILURE() << "primary insert failed at op " << i;
+          return result;
+        }
+        result.acked_mutations.emplace_back(i, mutation_lsn);
+        break;
+      }
+      case ScriptOp::kRemove:
+        if (!primary->base->Remove(op.id).ok()) {
+          ADD_FAILURE() << "primary remove failed at op " << i;
+          return result;
+        }
+        result.acked_mutations.emplace_back(i, mutation_lsn);
+        break;
+      case ScriptOp::kCompact:
+        if (!primary->base->Compact().ok()) {
+          ADD_FAILURE() << "primary compact failed at op " << i;
+          return result;
+        }
+        break;
+    }
+    if (i >= pump_after && i % 2 == 1) {
+      (void)follower->Pump();
+      sample();
+    }
+  }
+  // Bounded convergence drive: pumps fail forever once the clock died.
+  const uint64_t tail = primary->journal->tail_state().next_lsn;
+  for (int round = 0; round < 300; ++round) {
+    if (follower->applied_lsn() >= tail) {
+      result.follower_converged = true;
+      break;
+    }
+    (void)follower->Pump();
+    sample();
+  }
+  (void)primary_env;
+  return result;
+}
+
+void RunChaosMatrix(const std::vector<ScriptOp>& script, size_t pump_after,
+                    const TransportFaultPlan& plan) {
+  const std::set<uint64_t> final_model = ModelPrefix(script, script.size());
+
+  // Pass 1: count boundaries with a clock that never fires.
+  uint64_t total_boundaries = 0;
+  {
+    MemEnv primary_env;
+    storage::DurabilityOptions durability;
+    durability.env = &primary_env;
+    durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+    auto primary = storage::OpenDurableDynamicBase(
+        kPrimaryDir, SmallBaseOptions(), durability);
+    ASSERT_TRUE(primary.ok());
+
+    MemEnv replica_env;
+    CrashClock clock(CrashClock::kNever);
+    WireCrashClock(&replica_env, &clock);
+    auto source = std::make_unique<PrimaryLogSource>(&primary_env, kPrimaryDir,
+                                                     primary->journal.get());
+    FaultInjectingTransport transport(std::move(source), plan, &clock);
+    auto follower = Follower::Open(ReplicaOptions(&replica_env), &transport);
+    ASSERT_TRUE(follower.ok());
+    ScheduleResult run = RunSchedule(script, &primary_env, &*primary,
+                                     follower->get(), pump_after);
+    ASSERT_TRUE(run.follower_converged);
+    ASSERT_TRUE(FollowerMatches(**follower, final_model));
+    total_boundaries = clock.ops();
+  }
+  ASSERT_GT(total_boundaries, 0u);
+  std::cerr << "chaos matrix: " << total_boundaries << " boundaries\n";
+  ASSERT_LT(total_boundaries, 2500u) << "matrix would be too slow";
+
+  // Pass 2: one run per boundary, three unsynced-tail fractions each.
+  for (uint64_t crash_at = 0; crash_at < total_boundaries; ++crash_at) {
+    MemEnv primary_env;
+    storage::DurabilityOptions durability;
+    durability.env = &primary_env;
+    durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+    auto primary = storage::OpenDurableDynamicBase(
+        kPrimaryDir, SmallBaseOptions(), durability);
+    ASSERT_TRUE(primary.ok());
+
+    MemEnv replica_env;
+    CrashClock clock(crash_at);
+    WireCrashClock(&replica_env, &clock);
+    auto source = std::make_unique<PrimaryLogSource>(&primary_env, kPrimaryDir,
+                                                     primary->journal.get());
+    FaultInjectingTransport transport(std::move(source), plan, &clock);
+    auto follower = Follower::Open(ReplicaOptions(&replica_env), &transport);
+    if (!follower.ok()) {
+      // The clock died inside Open's local recovery of an empty dir:
+      // nothing was ever stored, nothing to check.
+      continue;
+    }
+    const ScheduleResult run = RunSchedule(script, &primary_env, &*primary,
+                                           follower->get(), pump_after);
+    follower->reset();
+
+    // Lower bound: every primary mutation the follower's own WAL mirror
+    // durably acknowledged must survive any keep fraction.
+    size_t lo = 0;
+    for (const auto& [script_index, lsn] : run.acked_mutations) {
+      if (lsn < run.follower_durable) lo = script_index + 1;
+    }
+
+    for (double keep_fraction : {0.0, 0.5, 1.0}) {
+      const std::unique_ptr<MemEnv> image =
+          replica_env.CrashImage(keep_fraction);
+      auto recovered =
+          Follower::Open(ReplicaOptions(image.get()), &transport);
+      // Reuse of the dead-clock transport is irrelevant here: recovery is
+      // purely local. A fresh transport drives reconnection below.
+      ASSERT_TRUE(recovered.ok())
+          << "crash at op " << crash_at << " keep " << keep_fraction << ": "
+          << recovered.status().message();
+
+      bool matched = false;
+      for (size_t j = lo; j <= script.size() && !matched; ++j) {
+        if (FollowerMatches(**recovered, ModelPrefix(script, j))) {
+          matched = true;
+        }
+      }
+      ASSERT_TRUE(matched)
+          << "crash at op " << crash_at << " keep " << keep_fraction
+          << ": recovered replica is not an acked-prefix of the journal "
+             "(durable bound "
+          << run.follower_durable << ", lo " << lo << ")";
+
+      // Reconnect cleanly and converge to the primary's exact final
+      // state — in-stream when retained, via snapshot resync when the
+      // primary rotated past the replica's cursor.
+      PrimaryLogSource clean(&primary_env, kPrimaryDir,
+                             primary->journal.get());
+      auto reconnected =
+          Follower::Open(ReplicaOptions(image.get()), &clean);
+      ASSERT_TRUE(reconnected.ok());
+      const uint64_t tail = primary->journal->tail_state().next_lsn;
+      bool converged = false;
+      for (int round = 0; round < 500 && !converged; ++round) {
+        (void)(*reconnected)->Pump();
+        converged = (*reconnected)->applied_lsn() >= tail;
+      }
+      ASSERT_TRUE(converged)
+          << "crash at op " << crash_at << " keep " << keep_fraction;
+      ASSERT_TRUE(FollowerMatches(**reconnected, final_model))
+          << "crash at op " << crash_at << " keep " << keep_fraction;
+    }
+  }
+}
+
+TEST(ReplicationChaos, SteadyStateTailingBoundaries) {
+  TransportFaultPlan plan;
+  plan.seed = 11;
+  plan.drop_rate = 0.1;
+  plan.duplicate_rate = 0.1;
+  RunChaosMatrix(MakeScript(/*inserts=*/12, /*remove_every=*/4,
+                            /*compact_every=*/5),
+                 /*pump_after=*/0, plan);
+}
+
+TEST(ReplicationChaos, SnapshotCatchUpBoundaries) {
+  // The follower sleeps through the first two rotations, so its very
+  // first pump requires a snapshot bootstrap — every boundary of the
+  // matrix lands in the install/catch-up path.
+  TransportFaultPlan plan;
+  plan.seed = 13;
+  RunChaosMatrix(MakeScript(/*inserts=*/10, /*remove_every=*/3,
+                            /*compact_every=*/3),
+                 /*pump_after=*/9, plan);
+}
+
+}  // namespace
+}  // namespace geosir::replication
