@@ -18,6 +18,7 @@
 #include "core/normalize.h"
 #include "core/shape_base.h"
 #include "core/similarity.h"
+#include "geom/kernel_dispatch.h"
 #include "util/rng.h"
 #include "workload/noise.h"
 #include "workload/polygon_gen.h"
@@ -131,6 +132,8 @@ int main() {
                     Fmt("%.1fx", scan_ms / std::max(query_ms, 1e-9))});
       JsonLine("bench_matching_scaling")
           .Str("backend", IndexBackendName(backend))
+          .Str("kernel",
+               geosir::geom::KernelLevelName(geosir::geom::ActiveKernelLevel()))
           .Int("shapes", static_cast<long long>(num_shapes))
           .Int("vertices", static_cast<long long>(built.base->NumVertices()))
           .Num("build_seconds", built.build_seconds)

@@ -159,10 +159,14 @@ void EnvelopeMatcher::PrepareQueryCache(const Polyline& q,
       cache_query_.vertices() == q.vertices() &&
       cache_quadrature_tolerance_ == options.similarity.quadrature_tolerance &&
       cache_max_depth_ == options.similarity.max_depth &&
-      (query_grid_ != nullptr) == want_grid;
+      (query_grid_ != nullptr) == want_grid &&
+      (query_soa_ != nullptr) == !want_grid;
   if (same_query) return;
   eval_cache_.clear();
   query_grid_ = want_grid ? std::make_unique<geom::EdgeGrid>(q) : nullptr;
+  // Small queries skip the grid; the SoA store still serves every
+  // *-ToQuery distance through the batch kernel.
+  query_soa_ = want_grid ? nullptr : std::make_unique<geom::EdgeSoA>(q);
   cache_query_ = q;
   cache_quadrature_tolerance_ = options.similarity.quadrature_tolerance;
   cache_max_depth_ = options.similarity.max_depth;
@@ -178,13 +182,13 @@ double EnvelopeMatcher::ComputeComponent(uint32_t copy_idx,
     case kContinuousToQuery:
       return query_grid_ != nullptr
                  ? AvgMinDistance(copy.shape, *query_grid_, options.similarity)
-                 : AvgMinDistance(copy.shape, q, options.similarity);
+                 : AvgMinDistance(copy.shape, *query_soa_, options.similarity);
     case kContinuousFromQuery:
       return AvgMinDistance(q, copy.shape, options.similarity);
     case kDiscreteToQuery:
       return query_grid_ != nullptr
                  ? DiscreteAvgMinDistance(copy.shape, *query_grid_)
-                 : DiscreteAvgMinDistance(copy.shape, q);
+                 : DiscreteAvgMinDistance(copy.shape, *query_soa_);
     case kDiscreteFromQuery:
       return DiscreteAvgMinDistance(q, copy.shape);
   }
@@ -388,10 +392,11 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
   };
 
   // Exact membership distance to the (normalized) query; the prebuilt
-  // edge grid returns the same value as the direct edge scan.
+  // edge grid and the flat SoA store return the same value bit for bit
+  // (both run the canonical batch kernel arithmetic).
   const auto query_distance = [&](geom::Point pt) {
     return query_grid_ != nullptr ? query_grid_->Distance(pt)
-                                  : geom::DistancePointPolyline(pt, q);
+                                  : query_soa_->MinDistance(pt);
   };
 
   double eps_prev = 0.0;

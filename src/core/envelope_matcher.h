@@ -90,15 +90,18 @@ class EnvelopeMatcher {
 
   // Per-query scoring state, keyed by the normalized query: an edge grid
   // over the query boundary (the distance target of every *-ToQuery
-  // component) and a memo of computed components keyed by
-  // copy_index * 4 + EvalComponent. Both survive across Match calls with
-  // the same query, so re-matching (e.g. the tombstone-slack retries of
-  // DynamicShapeBase) never re-integrates a copy it has already scored.
+  // component) — or, below the grid threshold, a flat SoA edge store the
+  // batch SIMD kernel streams — and a memo of computed components keyed
+  // by copy_index * 4 + EvalComponent. All survive across Match calls
+  // with the same query, so re-matching (e.g. the tombstone-slack retries
+  // of DynamicShapeBase) never re-integrates a copy it has already
+  // scored.
   geom::Polyline cache_query_;
   double cache_quadrature_tolerance_ = 0.0;
   int cache_max_depth_ = 0;
   bool cache_valid_ = false;
   std::unique_ptr<geom::EdgeGrid> query_grid_;
+  std::unique_ptr<geom::EdgeSoA> query_soa_;
   std::unordered_map<uint64_t, double> eval_cache_;
 
   // Scratch reused across rounds (no steady-state allocation).

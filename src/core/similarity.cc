@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geom/distance.h"
+#include "geom/kernel_dispatch.h"
 #include "util/numeric.h"
 
 namespace geosir::core {
@@ -63,6 +64,14 @@ double DiscreteAvgMinDistanceImpl(const Polyline& a,
   return sum / static_cast<double>(a.size());
 }
 
+/// All of A's vertex min-distances to B in one batched kernel call.
+std::vector<double> VertexMinDistances(const Polyline& a,
+                                       const geom::EdgeSoA& b) {
+  std::vector<double> dists(a.size());
+  b.MinDistances(a.vertices().data(), a.size(), dists.data());
+  return dists;
+}
+
 }  // namespace
 
 double AvgMinDistance(const Polyline& a, const Polyline& b,
@@ -72,15 +81,32 @@ double AvgMinDistance(const Polyline& a, const Polyline& b,
     return AvgMinDistanceImpl(
         a, [&grid](geom::Point p) { return grid.Distance(p); }, options);
   }
-  return AvgMinDistanceImpl(
-      a, [&b](geom::Point p) { return geom::DistancePointPolyline(p, b); },
-      options);
+  // Below the grid threshold the flat scan wins: build the SoA store
+  // once and stream every quadrature sample through the batch kernel.
+  const geom::EdgeSoA soa(b);
+  return AvgMinDistance(a, soa, options);
 }
 
 double AvgMinDistance(const Polyline& a, const geom::EdgeGrid& b,
                       const SimilarityOptions& options) {
   return AvgMinDistanceImpl(
       a, [&b](geom::Point p) { return b.Distance(p); }, options);
+}
+
+double AvgMinDistance(const Polyline& a, const geom::EdgeSoA& b,
+                      const SimilarityOptions& options) {
+  // Count kernel work locally and flush one increment per evaluation —
+  // never per quadrature sample.
+  size_t evals = 0;
+  const double result = AvgMinDistanceImpl(
+      a,
+      [&b, &evals](geom::Point p) {
+        ++evals;
+        return b.MinDistance(p);
+      },
+      options);
+  geom::CountBatchedEdges(evals * b.num_edges());
+  return result;
 }
 
 double AvgMinDistanceSymmetric(const Polyline& a, const Polyline& b,
@@ -90,8 +116,7 @@ double AvgMinDistanceSymmetric(const Polyline& a, const Polyline& b,
 }
 
 double DiscreteAvgMinDistance(const Polyline& a, const Polyline& b) {
-  return DiscreteAvgMinDistanceImpl(
-      a, [&b](geom::Point p) { return geom::DistancePointPolyline(p, b); });
+  return DiscreteAvgMinDistance(a, geom::EdgeSoA(b));
 }
 
 double DiscreteAvgMinDistance(const Polyline& a, const geom::EdgeGrid& b) {
@@ -99,11 +124,18 @@ double DiscreteAvgMinDistance(const Polyline& a, const geom::EdgeGrid& b) {
       a, [&b](geom::Point p) { return b.Distance(p); });
 }
 
+double DiscreteAvgMinDistance(const Polyline& a, const geom::EdgeSoA& b) {
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (double d : VertexMinDistances(a, b)) sum += d;
+  return sum / static_cast<double>(a.size());
+}
+
 double DiscreteDirectedHausdorff(const Polyline& a, const Polyline& b) {
+  if (a.empty()) return 0.0;
+  const geom::EdgeSoA soa(b);
   double worst = 0.0;
-  for (geom::Point p : a.vertices()) {
-    worst = std::max(worst, geom::DistancePointPolyline(p, b));
-  }
+  for (double d : VertexMinDistances(a, soa)) worst = std::max(worst, d);
   return worst;
 }
 
@@ -116,11 +148,7 @@ double PartialDirectedHausdorff(const Polyline& a, const Polyline& b,
                                 double fraction) {
   if (a.empty()) return 0.0;
   fraction = std::clamp(fraction, 1e-9, 1.0);
-  std::vector<double> dists;
-  dists.reserve(a.size());
-  for (geom::Point p : a.vertices()) {
-    dists.push_back(geom::DistancePointPolyline(p, b));
-  }
+  std::vector<double> dists = VertexMinDistances(a, geom::EdgeSoA(b));
   // Huttenlocher-Rucklidge ranking: the K-th smallest distance with
   // K = ceil(fraction * |A|). fraction = 1 recovers the Hausdorff max;
   // fraction = 0.5 is the median variant the paper cites (k = m/2).

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "geom/edge_grid.h"
+#include "geom/edge_soa.h"
 #include "geom/polyline.h"
 
 namespace geosir::core {
@@ -44,6 +45,12 @@ double AvgMinDistance(const geom::Polyline& a, const geom::Polyline& b,
 double AvgMinDistance(const geom::Polyline& a, const geom::EdgeGrid& b,
                       const SimilarityOptions& options = {});
 
+/// AvgMinDistance against a prebuilt SoA edge store of B: the flat-scan
+/// analogue of the grid overload, served by the batch SIMD kernel. This
+/// is what the polyline overload uses below grid_min_edges.
+double AvgMinDistance(const geom::Polyline& a, const geom::EdgeSoA& b,
+                      const SimilarityOptions& options = {});
+
 /// Symmetric variant: max(h_avg(A,B), h_avg(B,A)). This is the default
 /// ranking measure of the matcher — the directed measure alone would rank
 /// a tiny fragment lying on B's boundary as a perfect match.
@@ -60,6 +67,11 @@ double DiscreteAvgMinDistance(const geom::Polyline& a,
 /// Discrete variant against a prebuilt edge grid of B.
 double DiscreteAvgMinDistance(const geom::Polyline& a,
                               const geom::EdgeGrid& b);
+
+/// Discrete variant against a prebuilt SoA edge store of B. A's whole
+/// vertex run goes through one batched kernel call.
+double DiscreteAvgMinDistance(const geom::Polyline& a,
+                              const geom::EdgeSoA& b);
 
 /// Directed Hausdorff distance h(A, B) over A's vertices (the classical
 /// baseline of Section 2.1).

@@ -1,0 +1,122 @@
+// AVX2+FMA batch point-to-segment distance kernel. This is the only
+// translation unit built with -mavx2 -mfma (see src/CMakeLists.txt); the
+// functions here are called through geom::KernelDispatch exclusively on
+// hosts whose CPUID reports both features, so no AVX2 instruction can
+// leak onto an unsupported machine.
+//
+// Bit-identity with the scalar oracle (kernel_dispatch.cc): every
+// operation below maps 1:1 onto the canonical batch arithmetic —
+// vfmadd/vfnmadd are the same correctly rounded fused ops as std::fma,
+// vmaxpd/vminpd have the "return second operand on NaN" semantics the
+// scalar clamps spell out, and the horizontal minimum of exact lane
+// values is order-independent. The differential fuzz harness in
+// tests/geom_property_test.cc holds this equality across adversarial
+// corpora.
+
+#include "geom/kernel_dispatch.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__) && \
+    defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace geosir::geom::internal {
+
+bool Avx2KernelCompiledIn() { return true; }
+
+double BatchMinDistanceSqAvx2(const EdgeSpanView& span, Point p) {
+  assert(std::isfinite(p.x) && std::isfinite(p.y) &&
+         "batch kernel requires finite query points");
+  const size_t n = span.count;
+  double best = std::numeric_limits<double>::infinity();
+
+  const __m256d px = _mm256_set1_pd(p.x);
+  const __m256d py = _mm256_set1_pd(p.y);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d best0 = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d best1 = best0;
+
+  // Eight edges per iteration: two independent 4-lane chains hide the
+  // FMA latency behind each other.
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d qx0 = _mm256_sub_pd(px, _mm256_loadu_pd(span.ax + i));
+    const __m256d qy0 = _mm256_sub_pd(py, _mm256_loadu_pd(span.ay + i));
+    const __m256d qx1 = _mm256_sub_pd(px, _mm256_loadu_pd(span.ax + i + 4));
+    const __m256d qy1 = _mm256_sub_pd(py, _mm256_loadu_pd(span.ay + i + 4));
+    const __m256d dx0 = _mm256_loadu_pd(span.dx + i);
+    const __m256d dy0 = _mm256_loadu_pd(span.dy + i);
+    const __m256d dx1 = _mm256_loadu_pd(span.dx + i + 4);
+    const __m256d dy1 = _mm256_loadu_pd(span.dy + i + 4);
+
+    const __m256d dot0 = _mm256_fmadd_pd(qx0, dx0, _mm256_mul_pd(qy0, dy0));
+    const __m256d dot1 = _mm256_fmadd_pd(qx1, dx1, _mm256_mul_pd(qy1, dy1));
+    __m256d t0 = _mm256_mul_pd(dot0, _mm256_loadu_pd(span.inv_len2 + i));
+    __m256d t1 = _mm256_mul_pd(dot1, _mm256_loadu_pd(span.inv_len2 + i + 4));
+    t0 = _mm256_min_pd(_mm256_max_pd(t0, zero), one);
+    t1 = _mm256_min_pd(_mm256_max_pd(t1, zero), one);
+
+    const __m256d ex0 = _mm256_fnmadd_pd(t0, dx0, qx0);
+    const __m256d ey0 = _mm256_fnmadd_pd(t0, dy0, qy0);
+    const __m256d ex1 = _mm256_fnmadd_pd(t1, dx1, qx1);
+    const __m256d ey1 = _mm256_fnmadd_pd(t1, dy1, qy1);
+    const __m256d d20 = _mm256_fmadd_pd(ex0, ex0, _mm256_mul_pd(ey0, ey0));
+    const __m256d d21 = _mm256_fmadd_pd(ex1, ex1, _mm256_mul_pd(ey1, ey1));
+    // d2 is never NaN for finite inputs, so minpd's NaN asymmetry is
+    // moot here; lane values match the scalar chain exactly.
+    best0 = _mm256_min_pd(best0, d20);
+    best1 = _mm256_min_pd(best1, d21);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d qx0 = _mm256_sub_pd(px, _mm256_loadu_pd(span.ax + i));
+    const __m256d qy0 = _mm256_sub_pd(py, _mm256_loadu_pd(span.ay + i));
+    const __m256d dx0 = _mm256_loadu_pd(span.dx + i);
+    const __m256d dy0 = _mm256_loadu_pd(span.dy + i);
+    const __m256d dot0 = _mm256_fmadd_pd(qx0, dx0, _mm256_mul_pd(qy0, dy0));
+    __m256d t0 = _mm256_mul_pd(dot0, _mm256_loadu_pd(span.inv_len2 + i));
+    t0 = _mm256_min_pd(_mm256_max_pd(t0, zero), one);
+    const __m256d ex0 = _mm256_fnmadd_pd(t0, dx0, qx0);
+    const __m256d ey0 = _mm256_fnmadd_pd(t0, dy0, qy0);
+    best0 = _mm256_min_pd(best0,
+                          _mm256_fmadd_pd(ex0, ex0, _mm256_mul_pd(ey0, ey0)));
+  }
+
+  const __m256d lanes = _mm256_min_pd(best0, best1);
+  const __m128d lo =
+      _mm_min_pd(_mm256_castpd256_pd128(lanes), _mm256_extractf128_pd(lanes, 1));
+  best = _mm_cvtsd_f64(_mm_min_sd(lo, _mm_unpackhi_pd(lo, lo)));
+
+  // Scalar-canonical tail (< 4 edges): identical arithmetic, and on this
+  // TU std::fma compiles to the same vfmadd the vector loop uses.
+  for (; i < n; ++i) {
+    const double qx = p.x - span.ax[i];
+    const double qy = p.y - span.ay[i];
+    const double dot = std::fma(qx, span.dx[i], qy * span.dy[i]);
+    double t = dot * span.inv_len2[i];
+    t = t > 0.0 ? t : 0.0;
+    t = t < 1.0 ? t : 1.0;
+    const double ex = std::fma(-t, span.dx[i], qx);
+    const double ey = std::fma(-t, span.dy[i], qy);
+    const double d2 = std::fma(ex, ex, ey * ey);
+    best = d2 < best ? d2 : best;
+  }
+  return best;
+}
+
+}  // namespace geosir::geom::internal
+
+#else  // No AVX2 codegen available: the dispatcher never selects this.
+
+namespace geosir::geom::internal {
+bool Avx2KernelCompiledIn() { return false; }
+double BatchMinDistanceSqAvx2(const EdgeSpanView& span, Point p) {
+  return BatchMinDistanceSqScalar(span, p);
+}
+}  // namespace geosir::geom::internal
+
+#endif

@@ -1,13 +1,21 @@
 #include "geom/distance.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <limits>
+#include <vector>
 
 #include "geom/predicates.h"
 
 namespace geosir::geom {
 
 Point ClosestPointOnSegment(Point p, const Segment& s) {
+  assert(std::isfinite(p.x) && std::isfinite(p.y) &&
+         std::isfinite(s.a.x) && std::isfinite(s.a.y) &&
+         std::isfinite(s.b.x) && std::isfinite(s.b.y) &&
+         "ClosestPointOnSegment requires finite input: a NaN/inf "
+         "coordinate makes t NaN and std::clamp(NaN,...) leaks it");
   const Point d = s.Direction();
   const double len2 = d.SquaredNorm();
   if (len2 <= 0.0) return s.a;
@@ -66,10 +74,39 @@ double DistancePolylinePolyline(const Polyline& a, const Polyline& b) {
     }
     return best;
   }
+  // Per-edge bounding boxes of b, hoisted out of the pair loop. The
+  // box-box gap is a lower bound on the segment-segment distance, so any
+  // pair whose bound (with a relative rounding margin) exceeds the
+  // running best cannot be the minimizer and is skipped without changing
+  // the result.
+  struct EdgeBox {
+    double lox, hix, loy, hiy;
+  };
+  std::vector<EdgeBox> b_boxes(nb);
+  for (size_t j = 0; j < nb; ++j) {
+    const Segment e = b.Edge(j);
+    b_boxes[j] = {std::min(e.a.x, e.b.x), std::max(e.a.x, e.b.x),
+                  std::min(e.a.y, e.b.y), std::max(e.a.y, e.b.y)};
+  }
   double best = std::numeric_limits<double>::infinity();
+  double best_sq = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < na; ++i) {
+    const Segment ea = a.Edge(i);
+    const EdgeBox ba{std::min(ea.a.x, ea.b.x), std::max(ea.a.x, ea.b.x),
+                     std::min(ea.a.y, ea.b.y), std::max(ea.a.y, ea.b.y)};
     for (size_t j = 0; j < nb; ++j) {
-      best = std::min(best, DistanceSegmentSegment(a.Edge(i), b.Edge(j)));
+      const EdgeBox& bb = b_boxes[j];
+      const double gx = std::max({0.0, ba.lox - bb.hix, bb.lox - ba.hix});
+      const double gy = std::max({0.0, ba.loy - bb.hiy, bb.loy - ba.hiy});
+      const double lb_sq = gx * gx + gy * gy;
+      // 1+1e-12 margin: even with a few ulps of rounding in lb_sq, a
+      // skipped pair is provably farther than the running best.
+      if (lb_sq > best_sq * (1.0 + 1e-12)) continue;
+      const double d = DistanceSegmentSegment(ea, b.Edge(j));
+      if (d < best) {
+        best = d;
+        best_sq = d * d;
+      }
       if (best == 0.0) return 0.0;
     }
   }

@@ -7,6 +7,12 @@
 namespace geosir::geom {
 
 /// Closest point to p on segment s.
+///
+/// Contract: p and both segment endpoints must be finite. A non-finite
+/// coordinate would make the interpolation parameter NaN, and
+/// std::clamp(NaN, 0, 1) silently leaks NaN into the returned point and
+/// every distance derived from it. Debug builds assert; validated shapes
+/// (DESIGN.md §5) can never reach this with non-finite input.
 Point ClosestPointOnSegment(Point p, const Segment& s);
 
 /// Euclidean distance from p to segment s.

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "geom/distance.h"
+#include "geom/kernel_dispatch.h"
 
 namespace geosir::geom {
 
@@ -12,12 +12,14 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Distance from p to an axis-aligned box (0 inside).
-double DistancePointBox(Point p, double min_x, double min_y, double max_x,
-                        double max_y) {
+/// Squared distance from p to an axis-aligned box (0 inside). Squared so
+/// the ring stopping rule can compare against the kernel's squared
+/// minima without taking a root per ring.
+double DistanceSqPointBox(Point p, double min_x, double min_y, double max_x,
+                          double max_y) {
   const double dx = std::max({0.0, min_x - p.x, p.x - max_x});
   const double dy = std::max({0.0, min_y - p.y, p.y - max_y});
-  return std::sqrt(dx * dx + dy * dy);
+  return dx * dx + dy * dy;
 }
 
 size_t ClampCell(double coord, double origin, double cell, size_t n) {
@@ -30,23 +32,24 @@ size_t ClampCell(double coord, double origin, double cell, size_t n) {
 }  // namespace
 
 EdgeGrid::EdgeGrid(const Polyline& shape) {
-  const size_t num_edges = shape.NumEdges();
-  if (num_edges == 0) {
+  num_edges_ = shape.NumEdges();
+  if (num_edges_ == 0) {
     if (!shape.empty()) {
       has_vertex_ = true;
       vertex_ = shape.vertex(0);
     }
     return;
   }
-  segments_.reserve(num_edges);
+  std::vector<Segment> segments;
+  segments.reserve(num_edges_);
   double perimeter = 0.0;
   BoundingBox bounds;
-  for (size_t i = 0; i < num_edges; ++i) {
+  for (size_t i = 0; i < num_edges_; ++i) {
     const Segment e = shape.Edge(i);
     perimeter += e.Length();
     bounds.Extend(e.a);
     bounds.Extend(e.b);
-    segments_.push_back(e);
+    segments.push_back(e);
   }
   x0_ = bounds.min_x;
   y0_ = bounds.min_y;
@@ -56,7 +59,7 @@ EdgeGrid::EdgeGrid(const Polyline& shape) {
   // Cell size ~ the average edge length, so a typical edge occupies O(1)
   // cells; total cell count is capped at O(E) to keep space linear (the
   // cap binds for long skinny shapes, where cells simply get coarser).
-  const size_t e = segments_.size();
+  const size_t e = segments.size();
   double cell = std::max(perimeter / static_cast<double>(e), 1e-12);
   const size_t max_cells = 4 * e + 8;
   const auto dims_for = [&](double c) {
@@ -74,8 +77,10 @@ EdgeGrid::EdgeGrid(const Polyline& shape) {
   cell_w_ = width > 0.0 ? width / static_cast<double>(nx_) : 1.0;
   cell_h_ = height > 0.0 ? height / static_cast<double>(ny_) : 1.0;
 
-  // Bucket each edge into every cell its AABB overlaps (counting pass,
-  // then CSR fill).
+  // Bucket each edge into every cell its AABB overlaps: counting pass,
+  // then a CSR fill that materializes the SoA payload per cell — the
+  // edge's kernel representation is copied into each bucket so queries
+  // stream contiguous memory instead of gathering through an index.
   cell_start_.assign(nx_ * ny_ + 1, 0);
   const auto cell_range = [&](const Segment& s, size_t* ix0, size_t* ix1,
                               size_t* iy0, size_t* iy1) {
@@ -84,7 +89,7 @@ EdgeGrid::EdgeGrid(const Polyline& shape) {
     *iy0 = ClampCell(std::min(s.a.y, s.b.y), y0_, cell_h_, ny_);
     *iy1 = ClampCell(std::max(s.a.y, s.b.y), y0_, cell_h_, ny_);
   };
-  for (const Segment& s : segments_) {
+  for (const Segment& s : segments) {
     size_t ix0, ix1, iy0, iy1;
     cell_range(s, &ix0, &ix1, &iy0, &iy1);
     for (size_t cy = iy0; cy <= iy1; ++cy) {
@@ -96,28 +101,49 @@ EdgeGrid::EdgeGrid(const Polyline& shape) {
   for (size_t c = 1; c < cell_start_.size(); ++c) {
     cell_start_[c] += cell_start_[c - 1];
   }
-  cell_edges_.resize(cell_start_.back());
+  const size_t slots = cell_start_.back();
+  soa_ax_.resize(slots);
+  soa_ay_.resize(slots);
+  soa_dx_.resize(slots);
+  soa_dy_.resize(slots);
+  soa_inv_len2_.resize(slots);
   std::vector<uint32_t> fill(cell_start_.begin(), cell_start_.end() - 1);
-  for (size_t i = 0; i < segments_.size(); ++i) {
+  for (const Segment& s : segments) {
+    const double dx = s.b.x - s.a.x;
+    const double dy = s.b.y - s.a.y;
+    const double len2 = dx * dx + dy * dy;
+    // Same degenerate-edge rule as EdgeSoA: zero/overflowing reciprocals
+    // become 0 so the kernel measures the distance to the start point.
+    const double inv = len2 > 0.0 ? 1.0 / len2 : 0.0;
+    const double inv_len2 = std::isfinite(inv) ? inv : 0.0;
     size_t ix0, ix1, iy0, iy1;
-    cell_range(segments_[i], &ix0, &ix1, &iy0, &iy1);
+    cell_range(s, &ix0, &ix1, &iy0, &iy1);
     for (size_t cy = iy0; cy <= iy1; ++cy) {
       for (size_t cx = ix0; cx <= ix1; ++cx) {
-        cell_edges_[fill[cy * nx_ + cx]++] = static_cast<uint32_t>(i);
+        const uint32_t k = fill[cy * nx_ + cx]++;
+        soa_ax_[k] = s.a.x;
+        soa_ay_[k] = s.a.y;
+        soa_dx_[k] = dx;
+        soa_dy_[k] = dy;
+        soa_inv_len2_[k] = inv_len2;
       }
     }
   }
 }
 
-void EdgeGrid::ScanCell(size_t cx, size_t cy, Point p, double* best) const {
-  const size_t c = cy * nx_ + cx;
-  for (size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-    *best = std::min(*best, DistancePointSegment(p, segments_[cell_edges_[k]]));
-  }
+size_t EdgeGrid::ScanRange(size_t lo, size_t hi, Point p,
+                           double* best_sq) const {
+  if (lo >= hi) return 0;
+  const EdgeSpanView span{soa_ax_.data() + lo,       soa_ay_.data() + lo,
+                          soa_dx_.data() + lo,       soa_dy_.data() + lo,
+                          soa_inv_len2_.data() + lo, hi - lo};
+  const double d2 = BatchMinDistanceSq(span, p);
+  if (d2 < *best_sq) *best_sq = d2;
+  return hi - lo;
 }
 
 double EdgeGrid::Distance(Point p) const {
-  if (segments_.empty()) {
+  if (num_edges_ == 0) {
     return has_vertex_ ? geom::Distance(p, vertex_) : kInf;
   }
   const size_t cx = ClampCell(p.x, x0_, cell_w_, nx_);
@@ -125,8 +151,14 @@ double EdgeGrid::Distance(Point p) const {
   const double grid_max_x = x0_ + static_cast<double>(nx_) * cell_w_;
   const double grid_max_y = y0_ + static_cast<double>(ny_) * cell_h_;
 
-  double best = kInf;
-  ScanCell(cx, cy, p, &best);
+  // All comparisons run on squared distances: the kernel returns exact
+  // (canonically rounded) squared minima, sqrt is monotone and correctly
+  // rounded, so folding the root to the very end returns the same value
+  // bit for bit as rooting every bucket scan.
+  double best_sq = kInf;
+  size_t scanned = 0;
+  const size_t home = cy * nx_ + cx;
+  scanned += ScanRange(cell_start_[home], cell_start_[home + 1], p, &best_sq);
   for (size_t r = 1;; ++r) {
     // Everything not yet scanned was bucketed only into cells outside the
     // box of rings 0..r-1, so it lies inside the grid bounds but outside
@@ -140,60 +172,72 @@ double EdgeGrid::Distance(Point p) const {
         y0_ + (static_cast<double>(cy) - static_cast<double>(r - 1)) * cell_h_;
     const double inner_max_y =
         y0_ + (static_cast<double>(cy) + static_cast<double>(r)) * cell_h_;
-    double unseen_bound = kInf;
+    double unseen_bound_sq = kInf;
     if (inner_min_x > x0_) {
-      unseen_bound = std::min(
-          unseen_bound, DistancePointBox(p, x0_, y0_, inner_min_x, grid_max_y));
+      unseen_bound_sq = std::min(
+          unseen_bound_sq,
+          DistanceSqPointBox(p, x0_, y0_, inner_min_x, grid_max_y));
     }
     if (inner_max_x < grid_max_x) {
-      unseen_bound = std::min(unseen_bound, DistancePointBox(p, inner_max_x, y0_,
-                                                             grid_max_x,
-                                                             grid_max_y));
+      unseen_bound_sq = std::min(
+          unseen_bound_sq,
+          DistanceSqPointBox(p, inner_max_x, y0_, grid_max_x, grid_max_y));
     }
     if (inner_min_y > y0_) {
-      unseen_bound = std::min(
-          unseen_bound, DistancePointBox(p, x0_, y0_, grid_max_x, inner_min_y));
+      unseen_bound_sq = std::min(
+          unseen_bound_sq,
+          DistanceSqPointBox(p, x0_, y0_, grid_max_x, inner_min_y));
     }
     if (inner_max_y < grid_max_y) {
-      unseen_bound = std::min(unseen_bound, DistancePointBox(p, x0_, inner_max_y,
-                                                             grid_max_x,
-                                                             grid_max_y));
+      unseen_bound_sq = std::min(
+          unseen_bound_sq,
+          DistanceSqPointBox(p, x0_, inner_max_y, grid_max_x, grid_max_y));
     }
-    if (best <= unseen_bound) break;  // Also breaks once rings cover the grid.
+    if (best_sq <= unseen_bound_sq) break;  // Also ends once rings cover grid.
 
-    // Scan ring r: top and bottom rows in full, plus the side columns.
-    const ptrdiff_t lo_x = static_cast<ptrdiff_t>(cx) - static_cast<ptrdiff_t>(r);
-    const ptrdiff_t hi_x = static_cast<ptrdiff_t>(cx) + static_cast<ptrdiff_t>(r);
-    const ptrdiff_t lo_y = static_cast<ptrdiff_t>(cy) - static_cast<ptrdiff_t>(r);
-    const ptrdiff_t hi_y = static_cast<ptrdiff_t>(cy) + static_cast<ptrdiff_t>(r);
+    // Scan ring r. The cells of a grid row are adjacent in CSR order, so
+    // the top and bottom row segments are each ONE contiguous payload
+    // span — a single streaming kernel call — while the two side columns
+    // fall back to per-cell spans.
+    const ptrdiff_t lo_x =
+        static_cast<ptrdiff_t>(cx) - static_cast<ptrdiff_t>(r);
+    const ptrdiff_t hi_x =
+        static_cast<ptrdiff_t>(cx) + static_cast<ptrdiff_t>(r);
+    const ptrdiff_t lo_y =
+        static_cast<ptrdiff_t>(cy) - static_cast<ptrdiff_t>(r);
+    const ptrdiff_t hi_y =
+        static_cast<ptrdiff_t>(cy) + static_cast<ptrdiff_t>(r);
     const size_t col_lo = static_cast<size_t>(std::max<ptrdiff_t>(0, lo_x));
     const size_t col_hi = static_cast<size_t>(
         std::min<ptrdiff_t>(static_cast<ptrdiff_t>(nx_) - 1, hi_x));
     if (lo_y >= 0) {
-      for (size_t x = col_lo; x <= col_hi; ++x) {
-        ScanCell(x, static_cast<size_t>(lo_y), p, &best);
-      }
+      const size_t row = static_cast<size_t>(lo_y) * nx_;
+      scanned += ScanRange(cell_start_[row + col_lo],
+                           cell_start_[row + col_hi + 1], p, &best_sq);
     }
     if (hi_y < static_cast<ptrdiff_t>(ny_)) {
-      for (size_t x = col_lo; x <= col_hi; ++x) {
-        ScanCell(x, static_cast<size_t>(hi_y), p, &best);
-      }
+      const size_t row = static_cast<size_t>(hi_y) * nx_;
+      scanned += ScanRange(cell_start_[row + col_lo],
+                           cell_start_[row + col_hi + 1], p, &best_sq);
     }
     const size_t row_lo = static_cast<size_t>(std::max<ptrdiff_t>(0, lo_y + 1));
     const size_t row_hi = static_cast<size_t>(
         std::min<ptrdiff_t>(static_cast<ptrdiff_t>(ny_) - 1, hi_y - 1));
     if (lo_x >= 0) {
       for (size_t y = row_lo; y <= row_hi && row_hi < ny_; ++y) {
-        ScanCell(static_cast<size_t>(lo_x), y, p, &best);
+        const size_t c = y * nx_ + static_cast<size_t>(lo_x);
+        scanned += ScanRange(cell_start_[c], cell_start_[c + 1], p, &best_sq);
       }
     }
     if (hi_x < static_cast<ptrdiff_t>(nx_)) {
       for (size_t y = row_lo; y <= row_hi && row_hi < ny_; ++y) {
-        ScanCell(static_cast<size_t>(hi_x), y, p, &best);
+        const size_t c = y * nx_ + static_cast<size_t>(hi_x);
+        scanned += ScanRange(cell_start_[c], cell_start_[c + 1], p, &best_sq);
       }
     }
   }
-  return best;
+  CountBatchedEdges(scanned);
+  return std::sqrt(best_sq);
 }
 
 }  // namespace geosir::geom

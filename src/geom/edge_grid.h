@@ -19,32 +19,44 @@ namespace geosir::geom {
 /// polyline (O(E) space, cell size ~ the average edge length, total cell
 /// count capped at O(E)) and answers Distance(p) by ring expansion: scan
 /// the cell containing p, then successively wider Chebyshev rings,
-/// stopping as soon as the best distance found is <= the lower bound on
-/// anything living strictly outside the rings already scanned. Every edge
-/// is bucketed into all cells its AABB overlaps, so an edge not yet seen
-/// after scanning rings 0..r-1 lies entirely outside their bounding box —
-/// the stopping rule is exact, and Distance returns the same value (bit
-/// for bit) as the brute-force scan, in near-O(1) expected time for
-/// query points near the boundary.
+/// stopping as soon as the best squared distance found is <= the squared
+/// lower bound on anything living strictly outside the rings already
+/// scanned. Every edge is bucketed into all cells its AABB overlaps, so
+/// an edge not yet seen after scanning rings 0..r-1 lies entirely outside
+/// their bounding box — the stopping rule is exact, and Distance returns
+/// the same value (bit for bit) as the EdgeSoA batch-kernel brute-force
+/// scan, in near-O(1) expected time for query points near the boundary.
+///
+/// Storage is streaming-friendly: instead of a cell -> edge-index CSR
+/// with a gather per edge, each cell's bucket holds a materialized
+/// structure-of-arrays copy of its edges (ax/ay/dx/dy/inv_len2) laid out
+/// in CSR order. A bucket scan is one geom::BatchMinDistanceSq call over
+/// a contiguous span — no indirection, unit-stride loads the SIMD kernel
+/// can stream — and the cells of one grid row are adjacent in memory, so
+/// a ring's top/bottom row segments collapse into a single kernel call
+/// each.
 class EdgeGrid {
  public:
   /// Builds the grid over `shape`'s edges. The geometry is copied, so the
   /// grid does not hold a reference to `shape`.
   explicit EdgeGrid(const Polyline& shape);
 
-  /// Exact minimum distance from p to the polyline boundary: identical to
-  /// DistancePointPolyline(p, shape). Infinity for an empty shape;
-  /// distance to the single vertex for an edgeless one-vertex shape.
-  /// Thread-safe: uses no mutable state.
+  /// Exact minimum distance from p to the polyline boundary. Infinity for
+  /// an empty shape; distance to the single vertex for an edgeless
+  /// one-vertex shape. Thread-safe: uses no mutable state.
   double Distance(Point p) const;
 
-  size_t num_edges() const { return segments_.size(); }
-  size_t num_cells() const { return cell_start_.empty() ? 0 : cell_start_.size() - 1; }
+  size_t num_edges() const { return num_edges_; }
+  size_t num_cells() const {
+    return cell_start_.empty() ? 0 : cell_start_.size() - 1;
+  }
 
  private:
-  void ScanCell(size_t cx, size_t cy, Point p, double* best) const;
+  /// Scans payload slots [lo, hi) with the batch kernel, folding the
+  /// minimum squared distance into *best_sq; returns edges scanned.
+  size_t ScanRange(size_t lo, size_t hi, Point p, double* best_sq) const;
 
-  std::vector<Segment> segments_;
+  size_t num_edges_ = 0;
   /// Fallback geometry for shapes without edges (empty or single vertex).
   bool has_vertex_ = false;
   Point vertex_;
@@ -57,10 +69,16 @@ class EdgeGrid {
   double cell_w_ = 1.0;
   double cell_h_ = 1.0;
 
-  /// CSR adjacency: edges of cell (cx, cy) are
-  /// cell_edges_[cell_start_[cy*nx_+cx] .. cell_start_[cy*nx_+cx+1]).
+  /// CSR offsets: cell (cx, cy)'s payload occupies slots
+  /// [cell_start_[cy*nx_+cx], cell_start_[cy*nx_+cx+1]) of the SoA arrays
+  /// below. Edges overlapping several cells are replicated into each
+  /// (duplicates cannot change a minimum).
   std::vector<uint32_t> cell_start_;
-  std::vector<uint32_t> cell_edges_;
+  std::vector<double> soa_ax_;
+  std::vector<double> soa_ay_;
+  std::vector<double> soa_dx_;
+  std::vector<double> soa_dy_;
+  std::vector<double> soa_inv_len2_;
 };
 
 }  // namespace geosir::geom

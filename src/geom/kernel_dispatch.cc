@@ -1,0 +1,111 @@
+#include "geom/kernel_dispatch.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace geosir::geom {
+
+namespace {
+
+/// Process-wide geom.kernel metric family, resolved once.
+struct KernelMetrics {
+  obs::Gauge* level;
+  obs::Counter* batched_edges;
+
+  static const KernelMetrics& Get() {
+    static const KernelMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new KernelMetrics();
+      m->level = r.GetGauge(
+          "geosir_geom_kernel_level",
+          "Batch geometry kernel tier the dispatcher selected "
+          "(0=scalar, 1=avx2)");
+      m->batched_edges = r.GetCounter(
+          "geosir_geom_kernel_batched_edges_total",
+          "Edge evaluations routed through the batch kernels");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+bool ForceScalarEnv() {
+  const char* v = std::getenv("GEOSIR_FORCE_SCALAR");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+KernelLevel ResolveKernelLevel() {
+  KernelLevel level = KernelLevel::kScalar;
+  if (!ForceScalarEnv() && internal::Avx2KernelCompiledIn() &&
+      CpuSupportsAvx2Kernel()) {
+    level = KernelLevel::kAvx2;
+  }
+  KernelMetrics::Get().level->Set(static_cast<int64_t>(level));
+  return level;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2Kernel() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelLevel ActiveKernelLevel() {
+  static const KernelLevel level = ResolveKernelLevel();
+  return level;
+}
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+double BatchMinDistanceSqScalar(const EdgeSpanView& span, Point p) {
+  assert(std::isfinite(p.x) && std::isfinite(p.y) &&
+         "batch kernel requires finite query points");
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < span.count; ++i) {
+    // Canonical batch arithmetic (see edge_soa.h): every multiply-add is
+    // a correctly rounded std::fma, clamps are written with the exact
+    // comparison semantics of the vector min/max instructions, so the
+    // AVX2 kernel reproduces this value bit for bit.
+    const double qx = p.x - span.ax[i];
+    const double qy = p.y - span.ay[i];
+    const double dot = std::fma(qx, span.dx[i], qy * span.dy[i]);
+    double t = dot * span.inv_len2[i];
+    t = t > 0.0 ? t : 0.0;  // maxpd(t, 0): NaN/negative lanes become 0.
+    t = t < 1.0 ? t : 1.0;  // minpd(t, 1).
+    const double ex = std::fma(-t, span.dx[i], qx);
+    const double ey = std::fma(-t, span.dy[i], qy);
+    const double d2 = std::fma(ex, ex, ey * ey);
+    best = d2 < best ? d2 : best;
+  }
+  return best;
+}
+
+double BatchMinDistanceSq(const EdgeSpanView& span, Point p) {
+  if (ActiveKernelLevel() == KernelLevel::kAvx2) {
+    return internal::BatchMinDistanceSqAvx2(span, p);
+  }
+  return BatchMinDistanceSqScalar(span, p);
+}
+
+void CountBatchedEdges(size_t edges) {
+  if (edges == 0) return;
+  KernelMetrics::Get().batched_edges->Inc(edges);
+}
+
+}  // namespace geosir::geom

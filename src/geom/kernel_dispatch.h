@@ -1,0 +1,79 @@
+#ifndef GEOSIR_GEOM_KERNEL_DISPATCH_H_
+#define GEOSIR_GEOM_KERNEL_DISPATCH_H_
+
+#include <cstddef>
+
+#include "geom/point.h"
+
+namespace geosir::geom {
+
+/// Instruction-set tier of the batch geometry kernels. The process picks
+/// one tier at startup (first use) and never changes it, so every query
+/// in a process runs the same arithmetic.
+enum class KernelLevel {
+  kScalar = 0,  ///< Portable scalar loop (std::fma), the oracle.
+  kAvx2 = 1,    ///< AVX2 + FMA, 8 edges per iteration.
+};
+
+/// The kernel tier batch calls dispatch to. Resolved once per process:
+/// AVX2+FMA hosts get kAvx2 unless GEOSIR_FORCE_SCALAR=1 is set in the
+/// environment (or the build has no AVX2 kernel compiled in), everything
+/// else gets kScalar. Also publishes the obs gauge
+/// geosir_geom_kernel_level on first call.
+KernelLevel ActiveKernelLevel();
+
+/// Human-readable tier name ("scalar" / "avx2") for logs and bench rows.
+const char* KernelLevelName(KernelLevel level);
+
+/// True when the running CPU could execute the AVX2 kernel (regardless
+/// of GEOSIR_FORCE_SCALAR and of whether the kernel was compiled in).
+bool CpuSupportsAvx2Kernel();
+
+/// A borrowed view of `count` edges stored structure-of-arrays. The five
+/// arrays have `count` valid entries each; `inv_len2[i]` is 1/|d_i|^2
+/// for regular edges and exactly 0.0 for degenerate ones (zero-length or
+/// with a non-finite reciprocal), which makes the kernel measure the
+/// distance to the edge's start point instead.
+///
+/// Kernel contract: all stored coordinates and every query point must be
+/// finite. Non-finite input is a caller bug (API boundaries validate
+/// shapes per DESIGN.md §5); the kernels assert it in debug builds and
+/// produce unspecified values otherwise.
+struct EdgeSpanView {
+  const double* ax = nullptr;
+  const double* ay = nullptr;
+  const double* dx = nullptr;
+  const double* dy = nullptr;
+  const double* inv_len2 = nullptr;
+  size_t count = 0;
+};
+
+/// Minimum squared point-to-edge distance over the span, or +inf for an
+/// empty span. Dispatches to the active kernel tier. Both tiers use the
+/// same canonical arithmetic (see edge_soa.h) and return bit-identical
+/// results.
+double BatchMinDistanceSq(const EdgeSpanView& span, Point p);
+
+/// The portable reference kernel, callable directly regardless of the
+/// active tier. The differential fuzz harness compares this against
+/// BatchMinDistanceSq for exact equality.
+double BatchMinDistanceSqScalar(const EdgeSpanView& span, Point p);
+
+namespace internal {
+/// Defined in batch_distance_avx2.cc (compiled with -mavx2 -mfma) when
+/// the toolchain targets x86; null function behavior is never exposed —
+/// dispatch falls back to scalar when the symbol is compiled out.
+double BatchMinDistanceSqAvx2(const EdgeSpanView& span, Point p);
+/// True when the AVX2 kernel translation unit was compiled with real
+/// AVX2 codegen (x86 toolchain); false on other architectures.
+bool Avx2KernelCompiledIn();
+}  // namespace internal
+
+/// Adds `edges` to the geosir_geom_kernel_batched_edges_total counter. Call
+/// sites aggregate locally and flush once per logical operation (one
+/// similarity evaluation, one multi-point batch) — never per sample.
+void CountBatchedEdges(size_t edges);
+
+}  // namespace geosir::geom
+
+#endif  // GEOSIR_GEOM_KERNEL_DISPATCH_H_

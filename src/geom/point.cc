@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "geom/predicates.h"
+
 namespace geosir::geom {
 
 std::ostream& operator<<(std::ostream& os, Point p) {
@@ -9,9 +11,11 @@ std::ostream& operator<<(std::ostream& os, Point p) {
 }
 
 bool Triangle::Contains(Point p) const {
-  const double d1 = (b - a).Cross(p - a);
-  const double d2 = (c - b).Cross(p - b);
-  const double d3 = (a - c).Cross(p - c);
+  // Exact orientation signs: boundary points (sign 0) count as inside,
+  // and sliver triangles cannot misclassify near-edge points.
+  const int d1 = Orientation(a, b, p);
+  const int d2 = Orientation(b, c, p);
+  const int d3 = Orientation(c, a, p);
   const bool has_neg = d1 < 0 || d2 < 0 || d3 < 0;
   const bool has_pos = d1 > 0 || d2 > 0 || d3 > 0;
   return !(has_neg && has_pos);

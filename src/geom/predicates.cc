@@ -14,17 +14,105 @@ bool BoxesOverlap(const Segment& s1, const Segment& s2, double eps) {
          std::min(s2.a.y, s2.b.y) <= std::max(s1.a.y, s1.b.y) + eps;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Adaptive-precision exact orientation (Shewchuk-style).
+//
+// Stage 1 evaluates the 2x2 determinant in plain floating point and
+// certifies the sign with Shewchuk's orient2d stage-A error bound: the
+// computed value can differ from the true determinant by at most
+// kCcwErrBoundA * (|detleft| + |detright|), so any larger magnitude has
+// a provably correct sign. Only the rare inconclusive triples (nearly or
+// exactly collinear) fall through to stage 2, which computes the
+// determinant *exactly* as a multi-term floating-point expansion:
+// expanding (b-a) x (c-a) cancels the a.x*a.y terms, leaving six
+// products; each is split into an exact (head, tail) pair with an FMA
+// two-product, and the twelve components are summed with two-sum
+// expansion arithmetic. The sign of a nonoverlapping expansion is the
+// sign of its largest-magnitude component, so the result is the
+// mathematically exact sign for every finite input whose products do not
+// overflow (coordinates below ~1e150, far beyond validated shapes).
+// ---------------------------------------------------------------------------
 
-int Orientation(Point a, Point b, Point c, double eps) {
-  const double v = (b - a).Cross(c - a);
-  if (v > eps) return 1;
-  if (v < -eps) return -1;
+/// Machine epsilon for rounding-error analysis: 2^-53 (half of
+/// DBL_EPSILON, Shewchuk's convention).
+constexpr double kMacheps = 1.1102230246251565e-16;
+/// Shewchuk's orient2d stage-A relative error bound, (3 + 16 eps) eps.
+constexpr double kCcwErrBoundA = (3.0 + 16.0 * kMacheps) * kMacheps;
+
+/// Exact product: a * b == *head + *tail, |tail| <= ulp(head)/2.
+inline void TwoProduct(double a, double b, double* head, double* tail) {
+  *head = a * b;
+  *tail = std::fma(a, b, -*head);
+}
+
+/// Exact sum: a + b == *head + *tail (Knuth's branchless two-sum).
+inline void TwoSum(double a, double b, double* head, double* tail) {
+  const double s = a + b;
+  const double bv = s - a;
+  const double av = s - bv;
+  *tail = (a - av) + (b - bv);
+  *head = s;
+}
+
+/// Adds `value` to the nonoverlapping expansion e[0..*n) in place
+/// (Shewchuk's GROW-EXPANSION). Components stay in increasing order of
+/// magnitude; *n grows by at most one.
+inline void GrowExpansion(double* e, int* n, double value) {
+  double q = value;
+  int out = 0;
+  for (int i = 0; i < *n; ++i) {
+    double h;
+    TwoSum(q, e[i], &q, &h);
+    if (h != 0.0) e[out++] = h;
+  }
+  if (q != 0.0 || out == 0) e[out++] = q;
+  *n = out;
+}
+
+/// Exact sign of (b - a) x (c - a) by full expansion arithmetic.
+int OrientationExact(Point a, Point b, Point c) {
+  // det = b.x*c.y - b.x*a.y - a.x*c.y - b.y*c.x + b.y*a.x + a.y*c.x
+  // (the a.x*a.y terms of the two expanded products cancel exactly).
+  const double factors[6][2] = {{b.x, c.y}, {-b.x, a.y}, {-a.x, c.y},
+                                {-b.y, c.x}, {b.y, a.x},  {a.y, c.x}};
+  double e[16];
+  int n = 0;
+  for (const auto& f : factors) {
+    double head, tail;
+    TwoProduct(f[0], f[1], &head, &tail);
+    GrowExpansion(e, &n, tail);
+    GrowExpansion(e, &n, head);
+  }
+  // Largest-magnitude (last) component carries the sign of the sum.
+  const double top = n > 0 ? e[n - 1] : 0.0;
+  if (top > 0.0) return 1;
+  if (top < 0.0) return -1;
   return 0;
 }
 
+}  // namespace
+
+int Orientation(Point a, Point b, Point c) {
+  const double detleft = (b.x - a.x) * (c.y - a.y);
+  const double detright = (b.y - a.y) * (c.x - a.x);
+  const double det = detleft - detright;
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = -detleft - detright;
+  } else {
+    return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);  // det == -detright, exact.
+  }
+  if (det >= kCcwErrBoundA * detsum) return 1;
+  if (-det >= kCcwErrBoundA * detsum) return -1;
+  return OrientationExact(a, b, c);
+}
+
 bool OnSegment(Point p, const Segment& s, double eps) {
-  if (Orientation(s.a, s.b, p, eps) != 0) return false;
+  if (Orientation(s.a, s.b, p) != 0) return false;
   return p.x >= std::min(s.a.x, s.b.x) - eps &&
          p.x <= std::max(s.a.x, s.b.x) + eps &&
          p.y >= std::min(s.a.y, s.b.y) - eps &&
@@ -33,10 +121,10 @@ bool OnSegment(Point p, const Segment& s, double eps) {
 
 bool SegmentsIntersect(const Segment& s1, const Segment& s2, double eps) {
   if (!BoxesOverlap(s1, s2, eps)) return false;
-  const int o1 = Orientation(s1.a, s1.b, s2.a, eps);
-  const int o2 = Orientation(s1.a, s1.b, s2.b, eps);
-  const int o3 = Orientation(s2.a, s2.b, s1.a, eps);
-  const int o4 = Orientation(s2.a, s2.b, s1.b, eps);
+  const int o1 = Orientation(s1.a, s1.b, s2.a);
+  const int o2 = Orientation(s1.a, s1.b, s2.b);
+  const int o3 = Orientation(s2.a, s2.b, s1.a);
+  const int o4 = Orientation(s2.a, s2.b, s1.b);
   if (o1 != o2 && o3 != o4) return true;
   // Collinear / touching cases.
   if (o1 == 0 && OnSegment(s2.a, s1, eps)) return true;
@@ -47,10 +135,11 @@ bool SegmentsIntersect(const Segment& s1, const Segment& s2, double eps) {
 }
 
 bool SegmentsCrossProperly(const Segment& s1, const Segment& s2, double eps) {
-  const int o1 = Orientation(s1.a, s1.b, s2.a, eps);
-  const int o2 = Orientation(s1.a, s1.b, s2.b, eps);
-  const int o3 = Orientation(s2.a, s2.b, s1.a, eps);
-  const int o4 = Orientation(s2.a, s2.b, s1.b, eps);
+  (void)eps;  // Orientation is exact now; eps remains for API stability.
+  const int o1 = Orientation(s1.a, s1.b, s2.a);
+  const int o2 = Orientation(s1.a, s1.b, s2.b);
+  const int o3 = Orientation(s2.a, s2.b, s1.a);
+  const int o4 = Orientation(s2.a, s2.b, s1.b);
   return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4;
 }
 

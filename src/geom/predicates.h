@@ -7,8 +7,12 @@
 namespace geosir::geom {
 
 /// Sign of the orientation of the triple (a, b, c): +1 counterclockwise,
-/// -1 clockwise, 0 collinear (within `eps` of signed area).
-int Orientation(Point a, Point b, Point c, double eps = 1e-12);
+/// -1 clockwise, 0 exactly collinear. Adaptive-precision exact predicate
+/// (Shewchuk two-stage): a filtered float evaluation handles the common
+/// case, and expansion arithmetic decides the sign exactly whenever the
+/// filter is inconclusive — there is no epsilon and no misclassification
+/// for finite inputs.
+int Orientation(Point a, Point b, Point c);
 
 /// True if point p lies on segment s (within eps).
 bool OnSegment(Point p, const Segment& s, double eps = 1e-12);

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "geom/point.h"
 #include "geom/polyline.h"
 #include "geom/predicates.h"
+#include "util/rng.h"
 #include "geom/transform.h"
 #include "util/rng.h"
 
@@ -316,6 +319,64 @@ TEST(DistanceTest, PolylinePolyline) {
   Polyline b = Polyline::Closed({{3, 0}, {4, 0}, {4, 1}, {3, 1}});
   EXPECT_DOUBLE_EQ(DistancePolylinePolyline(a, b), 2.0);
 }
+
+TEST(DistanceTest, PolylinePolylinePruningMatchesBruteForce) {
+  // The bbox lower-bound pruning in DistancePolylinePolyline must return
+  // exactly what the unpruned pair loop returns — on separated,
+  // intersecting, and nested shape pairs.
+  util::Rng rng(321);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Point> va, vb;
+    const double shift = rng.Uniform(-3.0, 3.0);
+    for (int i = 0; i < 14; ++i) {
+      va.push_back({rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+      vb.push_back({rng.Uniform(-1, 1) + shift, rng.Uniform(-1, 1)});
+    }
+    const Polyline a = Polyline::Closed(va);
+    const Polyline b = Polyline::Closed(vb);
+    double brute = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < a.NumEdges(); ++i) {
+      for (size_t j = 0; j < b.NumEdges(); ++j) {
+        brute = std::min(brute, DistanceSegmentSegment(a.Edge(i), b.Edge(j)));
+      }
+    }
+    EXPECT_EQ(DistancePolylinePolyline(a, b), brute) << "round " << round;
+    EXPECT_EQ(DistancePolylinePolyline(b, a), brute) << "round " << round;
+  }
+}
+
+TEST(DistanceTest, ClosestPointOnSegmentFiniteContract) {
+  // Finite inputs always produce a finite point on the segment — in
+  // particular for zero-length and denormal-length segments, whose
+  // interpolation parameter degenerates.
+  const Segment cases[] = {
+      {{0, 0}, {2, 0}},
+      {{1.5, -2.5}, {1.5, -2.5}},            // Zero length.
+      {{0, 0}, {5e-324, 0}},                 // Denormal length.
+      {{1e150, 1e150}, {-1e150, -1e150}},    // Huge span.
+  };
+  for (const Segment& s : cases) {
+    for (Point p : {Point{0.3, -0.7}, Point{1e120, -1e120}, s.a, s.b}) {
+      const Point c = ClosestPointOnSegment(p, s);
+      EXPECT_TRUE(std::isfinite(c.x) && std::isfinite(c.y))
+          << "leaked non-finite closest point";
+    }
+  }
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(DistanceDeathTest, ClosestPointOnSegmentRejectsNonFinite) {
+  const Segment s{{0, 0}, {1, 0}};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(ClosestPointOnSegment({nan, 0.0}, s), "finite");
+  EXPECT_DEATH(
+      ClosestPointOnSegment({0.5, 0.5},
+                            Segment{{0, 0},
+                                    {std::numeric_limits<double>::infinity(),
+                                     0.0}}),
+      "finite");
+}
+#endif
 
 TEST(EnvelopeTest, MembershipMatchesDistance) {
   Polyline sq = UnitSquare();

@@ -442,7 +442,8 @@ TEST(EndToEndMetricsTest, BuiltInFamiliesPublishToDefaultRegistry) {
         "geosir_storage_buffer_misses_total", "geosir_admission_admitted_total",
         "geosir_admission_wait_seconds", "geosir_threadpool_jobs_total",
         "geosir_threadpool_job_seconds", "geosir_dynamic_inserts_total",
-        "geosir_dynamic_compactions_total"}) {
+        "geosir_dynamic_compactions_total", "geosir_geom_kernel_level",
+        "geosir_geom_kernel_batched_edges_total"}) {
     EXPECT_NE(text.find(std::string("# TYPE ") + family + " "),
               std::string::npos)
         << "missing metric family: " << family;
