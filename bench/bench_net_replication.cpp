@@ -1,0 +1,285 @@
+// Socket replication transport: what shipping the WAL over real TCP
+// costs relative to the in-process transport, and how fast the client
+// recovers a severed connection. Three measurements: (1) follower apply
+// throughput over a loopback socket vs the in-process PrimaryLogSource
+// (same backlog, same apply path — the delta is framing + syscalls),
+// (2) request/reply RPC latency for the smallest message
+// (PrimaryNextLsn) over loopback, and (3) reconnect latency through the
+// chaos proxy — time from Restore() until a severed follower is pumping
+// and converged again, which exercises the full backoff + handshake +
+// refetch path.
+//
+// Loopback only; MemEnv for all storage. Scale knobs:
+//   GEOSIR_BENCH_RECORDS  backlog size for the throughput runs
+//   GEOSIR_BENCH_RPCS     round trips for the latency run
+//   GEOSIR_BENCH_CYCLES   sever/restore cycles for the reconnect run
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_shape_base.h"
+#include "net/chaos_proxy.h"
+#include "replication/follower.h"
+#include "replication/log_transport.h"
+#include "replication/replication_server.h"
+#include "replication/socket_transport.h"
+#include "storage/wal.h"
+#include "util/rng.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::Fmt;
+using geosir::bench::JsonLine;
+using geosir::bench::Table;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+using geosir::net::ChaosProxy;
+using geosir::net::ChaosProxyOptions;
+using geosir::replication::Follower;
+using geosir::replication::FollowerOptions;
+using geosir::replication::PrimaryLogSource;
+using geosir::replication::ReplicationServer;
+using geosir::replication::ReplicationServerOptions;
+using geosir::replication::SocketLogTransport;
+using geosir::replication::SocketTransportOptions;
+
+namespace {
+
+constexpr char kBench[] = "net_replication";
+constexpr char kHost[] = "127.0.0.1";
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+[[noreturn]] void Die(const char* what, const geosir::util::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+std::vector<Polyline> MakeShapes(size_t count) {
+  geosir::util::Rng rng(554433);
+  geosir::workload::PolygonGenOptions gen;
+  std::vector<Polyline> shapes;
+  shapes.reserve(count);
+  for (size_t s = 0; s < count; ++s) {
+    shapes.push_back(RandomStarPolygon(&rng, gen));
+  }
+  return shapes;
+}
+
+/// A loaded primary plus its socket endpoint on an ephemeral port.
+struct Primary {
+  geosir::storage::MemEnv env;
+  std::unique_ptr<geosir::storage::DurableDynamicBase> durable;
+  std::unique_ptr<ReplicationServer> server;
+
+  explicit Primary(const std::vector<Polyline>& shapes) {
+    geosir::core::DynamicShapeBase::Options base_options;
+    base_options.min_compaction_size = shapes.size() * 4;  // No rotations.
+    geosir::storage::DurabilityOptions durability;
+    durability.env = &env;
+    auto opened = geosir::storage::OpenDurableDynamicBase(
+        "primary", base_options, durability);
+    if (!opened.ok()) Die("open primary", opened.status());
+    durable = std::make_unique<geosir::storage::DurableDynamicBase>(
+        std::move(*opened));
+    for (size_t s = 0; s < shapes.size(); ++s) {
+      auto id = durable->base->Insert(shapes[s],
+                                      static_cast<geosir::core::ImageId>(s));
+      if (!id.ok()) Die("insert", id.status());
+    }
+    ReplicationServerOptions options;
+    options.env = &env;
+    options.dir = "primary";
+    options.journal = durable->journal.get();
+    auto started = ReplicationServer::Start(options);
+    if (!started.ok()) Die("start server", started.status());
+    server = std::move(started).value();
+  }
+
+  uint64_t tail() const { return durable->journal->tail_state().next_lsn; }
+};
+
+SocketTransportOptions TransportOptions(uint16_t port) {
+  SocketTransportOptions options;
+  options.host = kHost;
+  options.port = port;
+  options.reconnect = geosir::replication::DefaultReconnectPolicy(/*seed=*/9);
+  options.reconnect.base_backoff_us = 500;
+  options.reconnect.max_backoff_us = 20000;
+  return options;
+}
+
+std::unique_ptr<Follower> OpenFollower(
+    geosir::storage::Env* env, const std::string& dir,
+    geosir::replication::LogTransport* transport) {
+  FollowerOptions options;
+  options.env = env;
+  options.dir = dir;
+  auto follower = Follower::Open(std::move(options), transport);
+  if (!follower.ok()) Die("open follower", follower.status());
+  return std::move(follower).value();
+}
+
+double Drain(Follower* follower, uint64_t tail) {
+  Timer timer;
+  while (follower->applied_lsn() < tail) {
+    auto pumped = follower->Pump();
+    if (!pumped.ok()) Die("pump", pumped.status());
+  }
+  return timer.Seconds();
+}
+
+// --- 1. Apply throughput: socket vs in-process ----------------------------
+
+void BenchApplyThroughput(const std::vector<Polyline>& shapes, size_t reps) {
+  double best_socket_s = 0.0;
+  double best_inproc_s = 0.0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Primary primary(shapes);
+    SocketLogTransport transport(TransportOptions(primary.server->port()));
+    auto socket_follower =
+        OpenFollower(&primary.env, "replica_socket", &transport);
+    const double socket_s = Drain(socket_follower.get(), primary.tail());
+    PrimaryLogSource source(&primary.env, "primary",
+                            primary.durable->journal.get());
+    auto inproc_follower =
+        OpenFollower(&primary.env, "replica_inproc", &source);
+    const double inproc_s = Drain(inproc_follower.get(), primary.tail());
+    if (rep == 0 || socket_s < best_socket_s) best_socket_s = socket_s;
+    if (rep == 0 || inproc_s < best_inproc_s) best_inproc_s = inproc_s;
+  }
+  const double records = static_cast<double>(shapes.size()) + 1.0;
+  const double socket_per_s =
+      best_socket_s > 0.0 ? records / best_socket_s : 0.0;
+  const double inproc_per_s =
+      best_inproc_s > 0.0 ? records / best_inproc_s : 0.0;
+  const double overhead =
+      inproc_per_s > 0.0 ? socket_per_s / inproc_per_s : 0.0;
+  std::printf(
+      "apply throughput: socket %.0f records/s, in-process %.0f records/s "
+      "(socket/in-process %.2f)\n\n",
+      socket_per_s, inproc_per_s, overhead);
+  JsonLine(kBench)
+      .Str("name", "socket_apply_throughput")
+      .Int("records", static_cast<long long>(shapes.size() + 1))
+      .Num("socket_seconds", best_socket_s)
+      .Num("socket_records_per_second", socket_per_s)
+      .Num("inprocess_records_per_second", inproc_per_s)
+      .Num("socket_vs_inprocess", overhead)
+      .Emit();
+}
+
+// --- 2. RPC latency over loopback -----------------------------------------
+
+void BenchRpcLatency(size_t rpcs) {
+  Primary primary(MakeShapes(16));
+  SocketLogTransport transport(TransportOptions(primary.server->port()));
+  for (int warm = 0; warm < 32; ++warm) {
+    auto next = transport.PrimaryNextLsn();
+    if (!next.ok()) Die("warmup rpc", next.status());
+  }
+  std::vector<double> latencies_us;
+  latencies_us.reserve(rpcs);
+  for (size_t i = 0; i < rpcs; ++i) {
+    Timer one;
+    auto next = transport.PrimaryNextLsn();
+    if (!next.ok()) Die("rpc", next.status());
+    latencies_us.push_back(one.Seconds() * 1e6);
+  }
+  const double p50 = Percentile(latencies_us, 0.50);
+  const double p99 = Percentile(latencies_us, 0.99);
+  std::printf("rpc latency (PrimaryNextLsn): p50 %.1f us, p99 %.1f us "
+              "(%zu round trips)\n\n",
+              p50, p99, rpcs);
+  JsonLine(kBench)
+      .Str("name", "rpc_latency")
+      .Int("rpcs", static_cast<long long>(rpcs))
+      .Num("p50_us", p50)
+      .Num("p99_us", p99)
+      .Emit();
+}
+
+// --- 3. Reconnect latency through the chaos proxy --------------------------
+
+void BenchReconnectLatency(size_t cycles) {
+  Primary primary(MakeShapes(32));
+  ChaosProxyOptions proxy_options;
+  proxy_options.target_host = kHost;
+  proxy_options.target_port = primary.server->port();
+  proxy_options.seed = 7;
+  auto proxy = ChaosProxy::Start(proxy_options);
+  if (!proxy.ok()) Die("start proxy", proxy.status());
+  SocketTransportOptions transport_options =
+      TransportOptions((*proxy)->port());
+  transport_options.reconnect.decorrelated_jitter = true;
+  SocketLogTransport transport(transport_options);
+  auto follower = OpenFollower(&primary.env, "replica_chaos", &transport);
+  Drain(follower.get(), primary.tail());
+
+  const std::vector<Polyline> extra = MakeShapes(4);
+  std::vector<double> reconnect_ms;
+  reconnect_ms.reserve(cycles);
+  for (size_t cycle = 0; cycle < cycles; ++cycle) {
+    (*proxy)->Sever();
+    for (const Polyline& shape : extra) {
+      auto id = primary.durable->base->Insert(
+          shape, static_cast<geosir::core::ImageId>(cycle));
+      if (!id.ok()) Die("insert", id.status());
+    }
+    // The severed transport must fail (and burn its backoff schedule)
+    // before Restore, so the timed section measures recovery, not the
+    // failure detection.
+    (void)follower->Pump();
+    (*proxy)->Restore();
+    Timer timer;
+    while (follower->applied_lsn() < primary.tail()) {
+      (void)follower->Pump();
+    }
+    reconnect_ms.push_back(timer.Millis());
+  }
+  const double p50 = Percentile(reconnect_ms, 0.50);
+  const double max =
+      *std::max_element(reconnect_ms.begin(), reconnect_ms.end());
+  const uint64_t reconnects = follower->status().counters.reconnects;
+  std::printf("reconnect latency: p50 %.2f ms, max %.2f ms "
+              "(%zu sever/restore cycles, %llu transport reconnects)\n\n",
+              p50, max, cycles,
+              static_cast<unsigned long long>(reconnects));
+  JsonLine(kBench)
+      .Str("name", "reconnect_latency")
+      .Int("cycles", static_cast<long long>(cycles))
+      .Num("p50_ms", p50)
+      .Num("max_ms", max)
+      .Int("transport_reconnects", static_cast<long long>(reconnects))
+      .Emit();
+}
+
+}  // namespace
+
+int main() {
+  const size_t kRecords = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_RECORDS", 2000));
+  const size_t kRpcs = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_RPCS", 2000));
+  const size_t kCycles = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_CYCLES", 20));
+  const size_t kReps =
+      static_cast<size_t>(geosir::bench::EnvScale("GEOSIR_BENCH_REPS", 3));
+
+  std::printf("=== Net replication: %zu records, %zu rpcs, %zu cycles ===\n\n",
+              kRecords, kRpcs, kCycles);
+  BenchApplyThroughput(MakeShapes(kRecords), kReps);
+  BenchRpcLatency(kRpcs);
+  BenchReconnectLatency(kCycles);
+  return 0;
+}

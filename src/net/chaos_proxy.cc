@@ -1,0 +1,231 @@
+#include "net/chaos_proxy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace geosir::net {
+
+/// One proxied connection: the client-facing socket, the target-facing
+/// socket, and the two pump threads shuttling bytes between them. The
+/// sockets outlive the threads via the shared_ptr; Stop/Sever only
+/// Shutdown() them (never Close()), so a racing pump can at worst see a
+/// failing fd, not a recycled one.
+struct ChaosProxy::Relay {
+  Socket client;
+  Socket upstream;
+  std::thread down_thread;  // target → client
+  std::thread up_thread;    // client → target
+  std::atomic<bool> dead{false};
+
+  void Kill() {
+    dead.store(true, std::memory_order_relaxed);
+    client.Shutdown();
+    upstream.Shutdown();
+  }
+};
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options)) {
+  garbage_state_.store(options_.seed * 0x9E3779B97F4A7C15ull + 1,
+                       std::memory_order_relaxed);
+}
+
+util::Result<std::unique_ptr<ChaosProxy>> ChaosProxy::Start(
+    ChaosProxyOptions options) {
+  std::unique_ptr<ChaosProxy> proxy(new ChaosProxy(std::move(options)));
+  GEOSIR_ASSIGN_OR_RETURN(
+      proxy->listener_,
+      Listener::Bind(proxy->options_.listen_host, proxy->options_.listen_port));
+  proxy->accept_thread_ = std::thread([p = proxy.get()] { p->AcceptLoop(); });
+  return proxy;
+}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+void ChaosProxy::Stop() {
+  if (stopping_.exchange(true, std::memory_order_relaxed)) return;
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(relays_mutex_);
+    for (auto& relay : relays_) relay->Kill();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Relay>> relays;
+  {
+    std::lock_guard<std::mutex> lock(relays_mutex_);
+    relays.swap(relays_);
+  }
+  for (auto& relay : relays) {
+    if (relay->down_thread.joinable()) relay->down_thread.join();
+    if (relay->up_thread.joinable()) relay->up_thread.join();
+  }
+}
+
+void ChaosProxy::Sever() {
+  severs_.fetch_add(1, std::memory_order_relaxed);
+  severed_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(relays_mutex_);
+  for (auto& relay : relays_) relay->Kill();
+}
+
+void ChaosProxy::Restore() {
+  severed_.store(false, std::memory_order_relaxed);
+}
+
+void ChaosProxy::TruncateDownstreamAfter(size_t bytes) {
+  truncate_after_.store(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
+}
+
+void ChaosProxy::InjectGarbage(size_t bytes) {
+  garbage_bytes_.store(static_cast<int64_t>(bytes),
+                       std::memory_order_relaxed);
+}
+
+void ChaosProxy::StallDownstream(int millis) {
+  stall_ms_.store(millis, std::memory_order_relaxed);
+}
+
+void ChaosProxy::CloseDownstreamHalf() {
+  half_close_.store(true, std::memory_order_relaxed);
+}
+
+ChaosProxyCounters ChaosProxy::counters() const {
+  ChaosProxyCounters counters;
+  counters.connections = connections_.load(std::memory_order_relaxed);
+  counters.refused_while_severed =
+      refused_while_severed_.load(std::memory_order_relaxed);
+  counters.truncations = truncations_.load(std::memory_order_relaxed);
+  counters.garbage_injections =
+      garbage_injections_.load(std::memory_order_relaxed);
+  counters.stalls = stalls_.load(std::memory_order_relaxed);
+  counters.half_closes = half_closes_.load(std::memory_order_relaxed);
+  counters.severs = severs_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+uint8_t ChaosProxy::NextGarbageByte() {
+  // SplitMix64 step (same generator family as the fault planners), one
+  // byte per draw: reproducible noise for a given seed.
+  uint64_t z = garbage_state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                        std::memory_order_relaxed) +
+               0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<uint8_t>((z ^ (z >> 31)) & 0xFF);
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() == util::StatusCode::kCancelled) return;
+      continue;
+    }
+    if (severed_.load(std::memory_order_relaxed)) {
+      // The link is down: the TCP handshake may still complete (the
+      // kernel did it), but the peer is gone the instant anyone talks.
+      refused_while_severed_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Dropping the Socket closes it.
+    }
+    auto upstream =
+        Socket::Connect(options_.target_host, options_.target_port,
+                        util::Deadline::AfterMillis(2000));
+    if (!upstream.ok()) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto relay = std::make_shared<Relay>();
+    relay->client = std::move(accepted).value();
+    relay->upstream = std::move(upstream).value();
+    {
+      std::lock_guard<std::mutex> lock(relays_mutex_);
+      // Reap finished relays so a long chaos run does not accumulate
+      // dead sockets; their threads are joined here, off the hot path.
+      for (auto it = relays_.begin(); it != relays_.end();) {
+        if ((*it)->dead.load(std::memory_order_relaxed)) {
+          if ((*it)->down_thread.joinable()) (*it)->down_thread.join();
+          if ((*it)->up_thread.joinable()) (*it)->up_thread.join();
+          it = relays_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      relays_.push_back(relay);
+    }
+    relay->down_thread =
+        std::thread([this, relay] { PumpDirection(relay, true); });
+    relay->up_thread =
+        std::thread([this, relay] { PumpDirection(relay, false); });
+  }
+}
+
+void ChaosProxy::PumpDirection(const std::shared_ptr<Relay>& relay,
+                               bool downstream) {
+  Socket& from = downstream ? relay->upstream : relay->client;
+  Socket& to = downstream ? relay->client : relay->upstream;
+  std::vector<uint8_t> buf(options_.chunk_bytes);
+  while (!relay->dead.load(std::memory_order_relaxed)) {
+    // Read whatever is available (up to a chunk): ReadFull with size 1
+    // would serialize bytes, so recv directly through a 1-byte ReadFull
+    // then drain. Simplest portable shape: block for the first byte,
+    // then opportunistically read the rest with a zero deadline.
+    size_t got = 0;
+    util::Status first =
+        from.ReadFull(buf.data(), 1, util::Deadline(), &got);
+    if (!first.ok()) break;
+    size_t extra = 0;
+    (void)from.ReadFull(buf.data() + 1, buf.size() - 1,
+                        util::Deadline::AfterMicros(0), &extra);
+    size_t have = 1 + extra;
+
+    if (downstream) {
+      const int stall = stall_ms_.exchange(0, std::memory_order_relaxed);
+      if (stall > 0) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+      }
+      const int64_t garbage =
+          garbage_bytes_.exchange(0, std::memory_order_relaxed);
+      if (garbage > 0) {
+        garbage_injections_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<uint8_t> noise(static_cast<size_t>(garbage));
+        for (auto& b : noise) b = NextGarbageByte();
+        if (!to.WriteFull(noise.data(), noise.size(),
+                          util::Deadline::AfterMillis(2000))
+                 .ok()) {
+          break;
+        }
+      }
+      if (half_close_.exchange(false, std::memory_order_relaxed)) {
+        half_closes_.fetch_add(1, std::memory_order_relaxed);
+        to.Shutdown();  // Downstream goes quiet; upstream stays up.
+        continue;
+      }
+      const int64_t budget =
+          truncate_after_.load(std::memory_order_relaxed);
+      if (budget >= 0) {
+        if (static_cast<int64_t>(have) >= budget) {
+          // Forward exactly the budget, then cut the whole connection:
+          // the client holds a torn frame.
+          truncate_after_.store(-1, std::memory_order_relaxed);
+          truncations_.fetch_add(1, std::memory_order_relaxed);
+          if (budget > 0) {
+            (void)to.WriteFull(buf.data(), static_cast<size_t>(budget),
+                               util::Deadline::AfterMillis(2000));
+          }
+          relay->Kill();
+          break;
+        }
+        truncate_after_.store(budget - static_cast<int64_t>(have),
+                              std::memory_order_relaxed);
+      }
+    }
+    if (!to.WriteFull(buf.data(), have, util::Deadline::AfterMillis(5000))
+             .ok()) {
+      break;
+    }
+  }
+  relay->Kill();
+}
+
+}  // namespace geosir::net

@@ -1,0 +1,140 @@
+#ifndef GEOSIR_NET_CHAOS_PROXY_H_
+#define GEOSIR_NET_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace geosir::net {
+
+/// A byte-level TCP chaos relay: clients connect to the proxy, the proxy
+/// connects onward to the target, and every byte flows through fault
+/// hooks the test controls. The socket analogue of the replication
+/// tier's FaultInjectingTransport — where that decorator fails whole
+/// RPCs, this one damages the byte stream itself (torn frames, stalls,
+/// garbage, half-open closes, severed links), which is what a real
+/// network does.
+///
+/// Faults are armed explicitly and deterministically: each arm-call
+/// applies to the NEXT matching transfer, so a test scripts an exact
+/// sequence (arm, trigger one RPC, assert) instead of sampling rates.
+/// Garbage bytes come from a SplitMix64 stream seeded at Start, so even
+/// the injected noise is reproducible.
+///
+/// Downstream means target→client bytes (the responses a follower
+/// reads); upstream means client→target. Faults apply downstream, where
+/// frame validation lives.
+struct ChaosProxyOptions {
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = ephemeral.
+  std::string target_host = "127.0.0.1";
+  uint16_t target_port = 0;
+  /// Seed for the garbage-byte stream.
+  uint64_t seed = 1;
+  /// Relay chunk size; faults land at chunk boundaries, so a smaller
+  /// chunk gives finer-grained truncation points.
+  size_t chunk_bytes = 4096;
+};
+
+struct ChaosProxyCounters {
+  uint64_t connections = 0;
+  uint64_t refused_while_severed = 0;
+  uint64_t truncations = 0;
+  uint64_t garbage_injections = 0;
+  uint64_t stalls = 0;
+  uint64_t half_closes = 0;
+  uint64_t severs = 0;
+};
+
+class ChaosProxy {
+ public:
+  static util::Result<std::unique_ptr<ChaosProxy>> Start(
+      ChaosProxyOptions options);
+
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// The proxy's listening port (connect clients here).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Stops the accept loop, kills every live relay, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  // --- Link control (all thread-safe) ---
+
+  /// Cuts the link: every live connection is shut down and new ones are
+  /// accepted-then-closed until Restore(). A client sees connection
+  /// resets / immediate EOFs — exactly a dead switch port.
+  void Sever();
+  void Restore();
+  bool severed() const { return severed_.load(std::memory_order_relaxed); }
+
+  // --- One-shot byte-level faults (applied to the next downstream
+  //     transfer, then disarmed) ---
+
+  /// Forwards only `bytes` more downstream bytes, then hard-closes both
+  /// sides of that connection. Arm with a value smaller than a frame to
+  /// cut mid-frame.
+  void TruncateDownstreamAfter(size_t bytes);
+  /// Prepends `bytes` seeded garbage bytes to the next downstream chunk
+  /// (the client's framer sees a corrupt magic/CRC).
+  void InjectGarbage(size_t bytes);
+  /// Holds the next downstream chunk for `millis` before forwarding
+  /// (client read deadlines fire).
+  void StallDownstream(int millis);
+  /// Half-open: shuts down only the downstream direction of the next
+  /// active connection, leaving upstream writable — the classic
+  /// half-dead TCP peer.
+  void CloseDownstreamHalf();
+
+  ChaosProxyCounters counters() const;
+
+ private:
+  struct Relay;
+
+  explicit ChaosProxy(ChaosProxyOptions options);
+
+  void AcceptLoop();
+  void RunRelay(std::shared_ptr<Relay> relay);
+  void PumpDirection(const std::shared_ptr<Relay>& relay, bool downstream);
+  /// Next byte of the deterministic garbage stream.
+  uint8_t NextGarbageByte();
+
+  ChaosProxyOptions options_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> severed_{false};
+
+  // Armed one-shot faults. -1 / 0 = disarmed.
+  std::atomic<int64_t> truncate_after_{-1};
+  std::atomic<int64_t> garbage_bytes_{0};
+  std::atomic<int> stall_ms_{0};
+  std::atomic<bool> half_close_{false};
+
+  std::atomic<uint64_t> garbage_state_{0};
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> refused_while_severed_{0};
+  std::atomic<uint64_t> truncations_{0};
+  std::atomic<uint64_t> garbage_injections_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> half_closes_{0};
+  std::atomic<uint64_t> severs_{0};
+
+  mutable std::mutex relays_mutex_;
+  std::vector<std::shared_ptr<Relay>> relays_;
+};
+
+}  // namespace geosir::net
+
+#endif  // GEOSIR_NET_CHAOS_PROXY_H_

@@ -1,0 +1,193 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace geosir::net {
+namespace {
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+bool ByteReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::ReadU16(uint16_t* v) {
+  if (remaining() < 2) return false;
+  *v = GetU16(data_ + pos_);
+  pos_ += 2;
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = GetU32(data_ + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = GetU64(data_ + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::ReadBytes(std::vector<uint8_t>* out, size_t n) {
+  if (remaining() < n) return false;
+  out->assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* out, size_t n) {
+  if (remaining() < n) return false;
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+void AppendFrame(std::vector<uint8_t>* out, uint8_t type,
+                 const uint8_t* payload, size_t payload_len) {
+  const size_t start = out->size();
+  PutU32(out, kFrameMagic);
+  PutU8(out, kProtocolVersion);
+  PutU8(out, type);
+  PutU16(out, 0);  // flags
+  PutU32(out, static_cast<uint32_t>(payload_len));
+  out->insert(out->end(), payload, payload + payload_len);
+  const uint32_t crc =
+      util::Crc32(out->data() + start, kFrameHeaderBytes + payload_len);
+  PutU32(out, crc);
+}
+
+void AppendFrame(std::vector<uint8_t>* out, uint8_t type,
+                 const std::vector<uint8_t>& payload) {
+  AppendFrame(out, type, payload.data(), payload.size());
+}
+
+util::Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+                                size_t max_payload, size_t* consumed) {
+  if (size < kFrameHeaderBytes) {
+    return util::Status::Unavailable("short frame header");
+  }
+  if (GetU32(data) != kFrameMagic) {
+    return util::Status::Corruption("bad frame magic");
+  }
+  const uint32_t payload_len = GetU32(data + 8);
+  // Bound BEFORE allocating or adding: a forged length can neither OOM
+  // the reader nor overflow the total below (max_payload is a size_t the
+  // process could actually hold).
+  if (payload_len > max_payload) {
+    return util::Status::Corruption("frame payload length " +
+                                    std::to_string(payload_len) +
+                                    " exceeds limit");
+  }
+  const size_t total =
+      kFrameHeaderBytes + static_cast<size_t>(payload_len) +
+      kFrameTrailerBytes;
+  if (size < total) return util::Status::Unavailable("truncated frame");
+  const uint32_t want = GetU32(data + total - kFrameTrailerBytes);
+  const uint32_t got = util::Crc32(data, total - kFrameTrailerBytes);
+  if (want != got) return util::Status::Corruption("frame crc mismatch");
+  Frame frame;
+  frame.version = data[4];
+  frame.type = data[5];
+  frame.payload.assign(data + kFrameHeaderBytes,
+                       data + kFrameHeaderBytes + payload_len);
+  if (consumed != nullptr) *consumed = total;
+  return frame;
+}
+
+util::Status WriteFrame(Socket* socket, uint8_t type,
+                        const std::vector<uint8_t>& payload,
+                        util::Deadline deadline, size_t* wire_bytes) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  AppendFrame(&bytes, type, payload);
+  if (wire_bytes != nullptr) *wire_bytes = bytes.size();
+  return socket->WriteFull(bytes.data(), bytes.size(), deadline);
+}
+
+util::Result<Frame> ReadFrame(Socket* socket, size_t max_payload,
+                              util::Deadline deadline, size_t* wire_bytes) {
+  if (wire_bytes != nullptr) *wire_bytes = 0;
+  uint8_t header[kFrameHeaderBytes];
+  size_t got = 0;
+  util::Status read =
+      socket->ReadFull(header, sizeof(header), deadline, &got);
+  if (!read.ok()) {
+    // A clean close between frames is the peer hanging up (kUnavailable,
+    // reconnectable); bytes followed by a close is a torn frame. A
+    // deadline expiry keeps its own code either way.
+    if (read.code() != util::StatusCode::kDeadlineExceeded && got > 0) {
+      return util::Status::Corruption("connection closed mid-frame");
+    }
+    return read;
+  }
+  if (GetU32(header) != kFrameMagic) {
+    return util::Status::Corruption("bad frame magic");
+  }
+  const uint32_t payload_len = GetU32(header + 8);
+  if (payload_len > max_payload) {
+    return util::Status::Corruption("frame payload length " +
+                                    std::to_string(payload_len) +
+                                    " exceeds limit");
+  }
+  std::vector<uint8_t> rest(static_cast<size_t>(payload_len) +
+                            kFrameTrailerBytes);
+  read = socket->ReadFull(rest.data(), rest.size(), deadline, &got);
+  if (!read.ok()) {
+    if (read.code() == util::StatusCode::kDeadlineExceeded) return read;
+    return util::Status::Corruption("connection closed mid-frame");
+  }
+  const uint32_t want = GetU32(rest.data() + payload_len);
+  uint32_t crc = util::Crc32(header, sizeof(header));
+  crc = util::Crc32(rest.data(), payload_len, crc);
+  if (want != crc) return util::Status::Corruption("frame crc mismatch");
+  Frame frame;
+  frame.version = header[4];
+  frame.type = header[5];
+  rest.resize(payload_len);
+  frame.payload = std::move(rest);
+  if (wire_bytes != nullptr) {
+    *wire_bytes = kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  }
+  return frame;
+}
+
+}  // namespace geosir::net

@@ -1,0 +1,109 @@
+#ifndef GEOSIR_NET_FRAME_H_
+#define GEOSIR_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace geosir::net {
+
+/// CRC32-framed wire envelope shared by every replication RPC. Layout
+/// (all little-endian):
+///
+///   u32 magic 'G''S''N''1' | u8 version | u8 type | u16 flags (0)
+///   | u32 payload_len | payload bytes | u32 crc32
+///
+/// The CRC covers everything before it (header + payload), so a flipped
+/// length, type or version byte is caught, not just payload rot. The
+/// length prefix is validated against a max-frame bound BEFORE any
+/// allocation: a corrupt or hostile peer cannot make the reader reserve
+/// gigabytes by forging one u32.
+///
+/// Decode error contract (the transport maps these onto the follower's
+/// retry/resync semantics):
+///   kUnavailable  the buffer/stream ended before the frame did (torn at
+///                 a clean boundary, or more bytes still in flight).
+///   kCorruption   the bytes can never become a valid frame: bad magic,
+///                 oversize length, CRC mismatch.
+inline constexpr uint32_t kFrameMagic = 0x314E5347u;  // "GSN1" on the wire.
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Default payload bound. Generous (snapshots ship whole checkpoints) but
+/// finite: the reader allocates at most this much per frame.
+inline constexpr size_t kDefaultMaxFramePayload = size_t{64} << 20;
+
+struct Frame {
+  uint8_t version = kProtocolVersion;
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends one framed message to `out`.
+void AppendFrame(std::vector<uint8_t>* out, uint8_t type,
+                 const uint8_t* payload, size_t payload_len);
+void AppendFrame(std::vector<uint8_t>* out, uint8_t type,
+                 const std::vector<uint8_t>& payload);
+
+/// Decodes one frame from the front of [data, data+size). On success sets
+/// `consumed` to the frame's full byte length. See the error contract
+/// above; neither error consumes bytes.
+util::Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+                                size_t max_payload, size_t* consumed);
+
+/// Writes one frame to the socket under the deadline. `wire_bytes`, when
+/// non-null, receives the frame's on-wire size (for byte counters).
+util::Status WriteFrame(Socket* socket, uint8_t type,
+                        const std::vector<uint8_t>& payload,
+                        util::Deadline deadline,
+                        size_t* wire_bytes = nullptr);
+
+/// Reads one complete frame from the socket under the deadline.
+///   kDeadlineExceeded  the deadline expired mid-read.
+///   kUnavailable       the peer closed cleanly BETWEEN frames.
+///   kCorruption        the peer closed mid-frame (torn), or the frame
+///                      failed validation (magic / bound / CRC).
+util::Result<Frame> ReadFrame(Socket* socket, size_t max_payload,
+                              util::Deadline deadline,
+                              size_t* wire_bytes = nullptr);
+
+// --- Little-endian byte codec helpers (shared by the wire protocol) ---
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutU64(std::vector<uint8_t>* out, uint64_t v);
+
+/// Bounds-checked sequential reader over a byte span. Every Read returns
+/// false (and leaves the output untouched) once the span is exhausted —
+/// decoding a truncated or hostile payload degrades to a clean failure,
+/// never an overread.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU16(uint16_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadBytes(std::vector<uint8_t>* out, size_t n);
+  bool ReadString(std::string* out, size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace geosir::net
+
+#endif  // GEOSIR_NET_FRAME_H_

@@ -1,0 +1,259 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace geosir::net {
+namespace {
+
+util::Status Errno(const char* what) {
+  return util::Status::Unavailable(std::string(what) + ": " +
+                                   ::strerror(errno));
+}
+
+util::Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return util::Status::OK();
+}
+
+/// Poll timeout for the deadline's remaining time: at least 1 ms while
+/// time remains (rounding to zero would busy-spin), -1 for infinite.
+/// This 1 ms rounding is the "poll granularity" the deadline contract
+/// allows an operation to overshoot by.
+int PollTimeoutMs(util::Deadline deadline) {
+  if (deadline.infinite()) return -1;
+  const int64_t us = deadline.remaining_micros();
+  if (us <= 0) return 0;
+  return static_cast<int>((us + 999) / 1000);
+}
+
+/// Waits until `events` is ready on fd or the deadline passes. Returns
+/// true when ready (including error/hup conditions the subsequent I/O
+/// call will surface properly); false on timeout.
+bool PollWait(int fd, short events, util::Deadline deadline) {
+  while (true) {
+    if (deadline.expired()) return false;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (rc > 0) return true;
+    if (rc == 0) continue;  // Timed out this slice; recheck the deadline.
+    if (errno == EINTR) continue;
+    return true;  // Let recv/send report the real error.
+  }
+}
+
+util::Status ParseAddr(const std::string& host, uint16_t port,
+                       struct sockaddr_in* addr) {
+  ::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return util::Status::InvalidArgument("not a dotted-quad IPv4 address: " +
+                                         host);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::Adopt(int fd) {
+  (void)SetNonBlocking(fd);
+  return Socket(fd);
+}
+
+util::Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                                     util::Deadline deadline) {
+  struct sockaddr_in addr;
+  GEOSIR_RETURN_IF_ERROR(ParseAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  Socket socket(fd);
+  GEOSIR_RETURN_IF_ERROR(SetNonBlocking(fd));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    if (!PollWait(fd, POLLOUT, deadline)) {
+      return util::Status::DeadlineExceeded("connect timed out");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (so_error != 0) {
+      return util::Status::Unavailable(std::string("connect: ") +
+                                       ::strerror(so_error));
+    }
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+util::Status Socket::ReadFull(void* buf, size_t size, util::Deadline deadline,
+                              size_t* bytes_read) {
+  if (bytes_read != nullptr) *bytes_read = 0;
+  if (fd_ < 0) return util::Status::Internal("read on an invalid socket");
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, out + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      if (bytes_read != nullptr) *bytes_read = done;
+      continue;
+    }
+    if (n == 0) {
+      return util::Status::Unavailable("connection closed by peer");
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return Errno("recv");
+    if (deadline.expired() || !PollWait(fd_, POLLIN, deadline)) {
+      return util::Status::DeadlineExceeded("read timed out");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status Socket::WriteFull(const void* buf, size_t size,
+                               util::Deadline deadline) {
+  if (fd_ < 0) return util::Status::Internal("write on an invalid socket");
+  const uint8_t* in = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd_, in + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Errno("send");
+    }
+    if (deadline.expired() || !PollWait(fd_, POLLOUT, deadline)) {
+      return util::Status::DeadlineExceeded("write timed out");
+    }
+  }
+  return util::Status::OK();
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) (void)::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Result<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                      int backlog) {
+  struct sockaddr_in addr;
+  GEOSIR_RETURN_IF_ERROR(ParseAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  Listener listener(fd, 0);
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  GEOSIR_RETURN_IF_ERROR(SetNonBlocking(fd));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) return Errno("listen");
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+util::Result<Socket> Listener::Accept(util::Deadline deadline) {
+  if (fd_ < 0) return util::Status::Internal("accept on an invalid listener");
+  while (true) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Socket socket = Socket::Adopt(fd);
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINVAL) {
+      // accept on a shutdown() listener: the Stop path.
+      return util::Status::Cancelled("listener shut down");
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK
+#ifdef ECONNABORTED
+        && errno != ECONNABORTED
+#endif
+    ) {
+      return Errno("accept");
+    }
+    if (deadline.expired() || !PollWait(fd_, POLLIN, deadline)) {
+      return util::Status::DeadlineExceeded("accept timed out");
+    }
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace geosir::net

@@ -1,0 +1,120 @@
+#ifndef GEOSIR_NET_SOCKET_H_
+#define GEOSIR_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace geosir::net {
+
+/// A connected TCP stream socket (IPv4, dotted-quad addresses — the
+/// replication tier binds loopback or explicit addresses; name resolution
+/// is the deployment layer's job). Move-only RAII over the fd.
+///
+/// All I/O is deadline-aware: the fd is kept non-blocking and every
+/// operation polls with the deadline's remaining time, so a call never
+/// blocks past its deadline by more than the poll granularity (1 ms
+/// rounding). A deadline expiring surfaces as kDeadlineExceeded; the peer
+/// being gone (closed, reset, refused) as kUnavailable. The RPC layer
+/// above maps both onto the transport's retry semantics.
+///
+/// Writes use MSG_NOSIGNAL: a peer that vanished mid-write produces EPIPE
+/// (mapped to kUnavailable), never a process-killing SIGPIPE.
+///
+/// Instances are not thread-safe for concurrent I/O in the same
+/// direction; Shutdown() is safe to call from another thread to unblock
+/// a reader (the poll wakes and the read fails with kUnavailable).
+class Socket {
+ public:
+  Socket() = default;  // Invalid (fd < 0); I/O fails with kInternal.
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Takes ownership of a connected fd (sets it non-blocking).
+  static Socket Adopt(int fd);
+
+  /// Non-blocking connect with deadline: kUnavailable on refusal or an
+  /// unreachable peer, kDeadlineExceeded on timeout, kInvalidArgument
+  /// when `host` is not a dotted-quad IPv4 address. TCP_NODELAY is
+  /// enabled (the wire protocol writes whole frames; Nagle only adds
+  /// latency).
+  static util::Result<Socket> Connect(const std::string& host, uint16_t port,
+                                      util::Deadline deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `size` bytes. kUnavailable when the connection closes
+  /// or errors first, kDeadlineExceeded when the deadline expires first;
+  /// either way `bytes_read` (when non-null) reports how far the read
+  /// got, so framing layers can tell a clean close at a message boundary
+  /// from a torn one.
+  util::Status ReadFull(void* buf, size_t size, util::Deadline deadline,
+                        size_t* bytes_read = nullptr);
+
+  /// Writes exactly `size` bytes. kUnavailable when the peer is gone,
+  /// kDeadlineExceeded when the buffer never drained in time.
+  util::Status WriteFull(const void* buf, size_t size,
+                         util::Deadline deadline);
+
+  /// shutdown(SHUT_RDWR): wakes any blocked reader/writer on this socket
+  /// (their next poll sees HUP and the operation fails). Unlike Close,
+  /// safe while another thread is mid-I/O — the fd number stays reserved
+  /// until the owner destroys the Socket, so it cannot be reused under a
+  /// racing poll.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// A bound, listening TCP socket. Accept is deadline-aware like Socket
+/// I/O; Shutdown() from another thread unblocks a pending Accept (it
+/// returns kCancelled), which is how a server's Stop() tears down its
+/// accept loop without races.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on host:port (port 0 = ephemeral; the actual port
+  /// is in port()). SO_REUSEADDR is set so tests can rebind promptly.
+  static util::Result<Listener> Bind(const std::string& host, uint16_t port,
+                                     int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Waits for one connection. kDeadlineExceeded on deadline expiry,
+  /// kCancelled after Shutdown().
+  util::Result<Socket> Accept(util::Deadline deadline = {});
+
+  /// Unblocks pending/future Accept calls with kCancelled.
+  void Shutdown();
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace geosir::net
+
+#endif  // GEOSIR_NET_SOCKET_H_

@@ -66,6 +66,9 @@ class FaultInjectingTransport : public LogTransport {
   util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
   util::Result<SnapshotPackage> FetchSnapshot() override;
   util::Result<uint64_t> PrimaryNextLsn() override;
+  std::string Describe() const override {
+    return "fault(" + inner_->Describe() + ")";
+  }
 
   uint64_t ops() const { return ops_; }
   uint64_t injected_drops() const { return drops_; }

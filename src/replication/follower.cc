@@ -28,6 +28,7 @@ struct Follower::Metrics {
   obs::Counter* queries;
   obs::Gauge* lag;
   obs::Gauge* applied_lsn;
+  obs::Gauge* last_fetch_error;
   obs::Histogram* apply_latency;
 
   static const Metrics* For(uint32_t replica) {
@@ -77,6 +78,10 @@ struct Follower::Metrics {
         r.GetGauge("geosir_replication_applied_lsn",
                    "Exclusive LSN bound of the replica's serving state",
                    labels);
+    m->last_fetch_error = r.GetGauge(
+        "geosir_replication_last_fetch_error_code",
+        "StatusCode of the most recent failed transport fetch (0 = none)",
+        labels);
     m->apply_latency = r.GetHistogram(
         "geosir_replication_apply_seconds",
         "Wall-clock latency of one fetch-and-apply batch",
@@ -98,7 +103,33 @@ util::Result<std::unique_ptr<Follower>> Follower::Open(
   std::unique_ptr<Follower> follower(
       new Follower(std::move(options), transport));
   GEOSIR_RETURN_IF_ERROR(follower->RecoverLocal());
+  // Info-style series: the value is always 1, the identity lives in the
+  // labels — which channel ("in-process", "socket://host:port", ...)
+  // this replica ships over.
+  obs::MetricRegistry::Default()
+      .GetGauge("geosir_replication_transport_info",
+                "Transport identity of a replica (value is always 1)",
+                "replica=\"" +
+                    std::to_string(follower->options_.replica_index) +
+                    "\",transport=\"" + transport->Describe() + "\"")
+      ->Set(1);
   return follower;
+}
+
+void Follower::RecordFetchError(const util::Status& status) {
+  fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+  last_fetch_error_code_.store(static_cast<int>(status.code()),
+                               std::memory_order_relaxed);
+  metrics_->last_fetch_error->Set(static_cast<int64_t>(status.code()));
+  // Lazy per-(replica, code) series; the registry dedups by label set, so
+  // this is a mutex-guarded lookup only on the (cold) error path.
+  obs::MetricRegistry::Default()
+      .GetCounter("geosir_replication_fetch_errors_total",
+                  "Transport fetches that failed after retries, by code",
+                  "replica=\"" + std::to_string(options_.replica_index) +
+                      "\",code=\"" + util::StatusCodeName(status.code()) +
+                      "\"")
+      ->Inc();
 }
 
 util::Status Follower::RecoverLocal() {
@@ -256,6 +287,7 @@ util::Status Follower::Bootstrap() {
       options_.reconnect, [&] { return transport_->FetchSnapshot(); },
       &attempts);
   if (!snapshot.ok()) {
+    RecordFetchError(snapshot.status());
     if (snapshot.status().code() == util::StatusCode::kUnavailable) {
       connected_.store(false, std::memory_order_relaxed);
     }
@@ -469,6 +501,7 @@ util::Result<size_t> Follower::Pump() {
       [&] { return transport_->Fetch(cursor_, options_.fetch_batch_records); },
       &attempts);
   if (!fetched.ok()) {
+    RecordFetchError(fetched.status());
     switch (fetched.status().code()) {
       case util::StatusCode::kNotFound:
       case util::StatusCode::kOutOfRange:
@@ -628,6 +661,10 @@ FollowerStatus Follower::status() const {
   status.counters.rotations = rotations_.load(std::memory_order_relaxed);
   status.counters.local_reopens =
       local_reopens_.load(std::memory_order_relaxed);
+  status.counters.fetch_errors =
+      fetch_errors_.load(std::memory_order_relaxed);
+  status.last_fetch_error = static_cast<util::StatusCode>(
+      last_fetch_error_code_.load(std::memory_order_relaxed));
   return status;
 }
 

@@ -52,6 +52,8 @@ struct FollowerCounters {
   uint64_t resyncs = 0;
   uint64_t rotations = 0;
   uint64_t local_reopens = 0;
+  /// Transport fetches that failed after retries (any status code).
+  uint64_t fetch_errors = 0;
 };
 
 struct FollowerStatus {
@@ -65,6 +67,10 @@ struct FollowerStatus {
   /// Records behind that observation (primary_next_lsn - applied_lsn).
   uint64_t lag = 0;
   uint64_t generation = 0;
+  /// Code of the most recent failed transport fetch (kOk = none yet, or
+  /// healthy since): a flapping socket shows up here and in the
+  /// geosir_replication_last_fetch_error_code gauge without a log dive.
+  util::StatusCode last_fetch_error = util::StatusCode::kOk;
   FollowerCounters counters;
 };
 
@@ -153,6 +159,9 @@ class Follower {
   /// Drops every generation file except `keep` (plus orphan temps).
   void CleanupOtherGenerations(uint64_t keep, bool have_keep);
   util::Status ReopenLocal();
+  /// Books a failed transport fetch: counters, last-error gauge, and the
+  /// per-code geosir_replication_fetch_errors_total series.
+  void RecordFetchError(const util::Status& status);
 
   FollowerOptions options_;
   storage::Env* env_;
@@ -184,6 +193,8 @@ class Follower {
   std::atomic<uint64_t> resyncs_{0};
   std::atomic<uint64_t> rotations_{0};
   std::atomic<uint64_t> local_reopens_{0};
+  std::atomic<uint64_t> fetch_errors_{0};
+  std::atomic<int> last_fetch_error_code_{0};
 };
 
 }  // namespace geosir::replication

@@ -68,6 +68,11 @@ class LogTransport {
 
   /// The primary's current next_lsn (lag probes outside a fetch).
   virtual util::Result<uint64_t> PrimaryNextLsn() = 0;
+
+  /// Human-readable transport identity for obs ("in-process",
+  /// "socket://10.0.0.1:7421", ...): a flapping follower's metrics name
+  /// which channel is flapping without a log dive.
+  virtual std::string Describe() const { return "in-process"; }
 };
 
 /// In-process transport reading the primary's generation files directly,

@@ -1,0 +1,292 @@
+#include "replication/replication_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "replication/wire_protocol.h"
+#include "util/deadline.h"
+
+namespace geosir::replication {
+
+struct ReplicationServer::Connection {
+  net::Socket socket;
+  std::thread worker;
+  std::atomic<bool> done{false};
+};
+
+/// Process-wide server instrumentation (one server per process in
+/// practice; two servers share the series, which still tells the
+/// operator what the machine is doing).
+struct ReplicationServer::Metrics {
+  obs::Counter* accepts;
+  obs::Counter* rejects;
+  obs::Counter* handshake_failures;
+  obs::Counter* frames_in;
+  obs::Counter* frames_out;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* timeouts;
+  obs::Counter* errors;
+  obs::Gauge* active;
+  obs::Histogram* request_latency;
+
+  static const Metrics* Get() {
+    static const Metrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new Metrics();
+      m->accepts = r.GetCounter("geosir_net_server_connections_total",
+                                "Follower connections accepted");
+      m->rejects = r.GetCounter(
+          "geosir_net_server_rejected_total",
+          "Connections refused at the max_connections bound");
+      m->handshake_failures =
+          r.GetCounter("geosir_net_server_handshake_failures_total",
+                       "Connections dropped during the version handshake");
+      m->frames_in = r.GetCounter("geosir_net_server_frames_total",
+                                  "Wire frames by direction",
+                                  "dir=\"in\"");
+      m->frames_out = r.GetCounter("geosir_net_server_frames_total",
+                                   "Wire frames by direction",
+                                   "dir=\"out\"");
+      m->bytes_in = r.GetCounter("geosir_net_server_bytes_total",
+                                 "Wire bytes by direction", "dir=\"in\"");
+      m->bytes_out = r.GetCounter("geosir_net_server_bytes_total",
+                                  "Wire bytes by direction", "dir=\"out\"");
+      m->timeouts = r.GetCounter(
+          "geosir_net_server_timeouts_total",
+          "Connections reaped by the idle/write deadline");
+      m->errors = r.GetCounter("geosir_net_server_request_errors_total",
+                               "Requests answered with an error frame");
+      m->active = r.GetGauge("geosir_net_server_active_connections",
+                             "Currently connected followers");
+      m->request_latency = r.GetHistogram(
+          "geosir_net_server_request_seconds",
+          "Service time of one replication request (read to reply)",
+          obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+ReplicationServer::ReplicationServer(ReplicationServerOptions options)
+    : options_(std::move(options)), metrics_(Metrics::Get()) {}
+
+util::Result<std::unique_ptr<ReplicationServer>> ReplicationServer::Start(
+    ReplicationServerOptions options) {
+  if (options.env == nullptr || options.journal == nullptr) {
+    return util::Status::InvalidArgument(
+        "replication server needs the primary's env and journal");
+  }
+  std::unique_ptr<ReplicationServer> server(
+      new ReplicationServer(std::move(options)));
+  GEOSIR_ASSIGN_OR_RETURN(
+      server->listener_,
+      net::Listener::Bind(server->options_.host, server->options_.port));
+  server->accept_thread_ =
+      std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+ReplicationServer::~ReplicationServer() { Stop(); }
+
+void ReplicationServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_relaxed)) return;
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Shutdown (not Close) unblocks workers parked in poll without
+    // racing the fd out from under them.
+    for (auto& connection : connections_) connection->socket.Shutdown();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    if (connection->worker.joinable()) connection->worker.join();
+  }
+}
+
+void ReplicationServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() == util::StatusCode::kCancelled ||
+          stopping_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      // Reap finished workers inline so a follower that reconnects many
+      // times does not accumulate joinable threads.
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->worker.joinable()) (*it)->worker.join();
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (connections_.size() >= options_.max_connections) {
+        metrics_->rejects->Inc();
+        net::Socket refused = std::move(accepted).value();
+        (void)net::WriteFrame(
+            &refused, static_cast<uint8_t>(MessageType::kError),
+            EncodeError(util::Status::Unavailable(
+                "server at connection capacity")),
+            util::Deadline::AfterMillis(options_.write_timeout_ms));
+        continue;  // Dropping the socket closes it.
+      }
+      auto connection = std::make_shared<Connection>();
+      connection->socket = std::move(accepted).value();
+      connections_.push_back(connection);
+      metrics_->accepts->Inc();
+      active_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->active->Add(1);
+      connection->worker = std::thread(
+          [this, connection] { Serve(connection); });
+    }
+  }
+}
+
+void ReplicationServer::Serve(std::shared_ptr<Connection> connection) {
+  // Handshake: the follower leads with kHello; anything else (garbage,
+  // a stray HTTP probe, a future incompatible client) is answered with
+  // an error frame where possible and dropped.
+  const util::Deadline handshake_deadline =
+      util::Deadline::AfterMillis(options_.handshake_timeout_ms);
+  size_t wire = 0;
+  auto hello = net::ReadFrame(&connection->socket, options_.max_frame_payload,
+                              handshake_deadline, &wire);
+  bool handshaken = false;
+  if (hello.ok()) {
+    metrics_->frames_in->Inc();
+    metrics_->bytes_in->Inc(wire);
+    auto message = hello->type == static_cast<uint8_t>(MessageType::kHello)
+                       ? DecodeHello(hello->payload)
+                       : util::Result<HelloMessage>(util::Status::Corruption(
+                             "first frame is not a hello"));
+    if (message.ok() &&
+        message->protocol_version == net::kProtocolVersion) {
+      handshaken =
+          WriteReply(connection.get(), MessageType::kHelloAck,
+                     EncodeHello(HelloMessage{net::kProtocolVersion}))
+              .ok();
+    } else if (message.ok()) {
+      (void)WriteReply(
+          connection.get(), MessageType::kError,
+          EncodeError(util::Status::NotSupported(
+              "protocol version " +
+              std::to_string(message->protocol_version) +
+              " not supported (server speaks " +
+              std::to_string(net::kProtocolVersion) + ")")));
+    }
+  }
+  if (!handshaken) {
+    metrics_->handshake_failures->Inc();
+  } else {
+    // Per-connection log source: the follower's cursor state lives and
+    // dies with its connection, so a reconnect naturally restarts the
+    // decode position (the connection-generation contract).
+    PrimaryLogSource source(options_.env, options_.dir, options_.journal);
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      if (!ServeOne(connection.get(), &source)) break;
+    }
+  }
+  connection->socket.Shutdown();
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_->active->Add(-1);
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool ReplicationServer::ServeOne(Connection* connection,
+                                 PrimaryLogSource* source) {
+  size_t wire = 0;
+  auto request = net::ReadFrame(
+      &connection->socket, options_.max_frame_payload,
+      util::Deadline::AfterMillis(options_.idle_timeout_ms), &wire);
+  if (!request.ok()) {
+    if (request.status().code() == util::StatusCode::kDeadlineExceeded) {
+      metrics_->timeouts->Inc();  // Idle reap.
+    }
+    return false;
+  }
+  metrics_->frames_in->Inc();
+  metrics_->bytes_in->Inc(wire);
+  const auto start = std::chrono::steady_clock::now();
+
+  MessageType reply_type = MessageType::kError;
+  std::vector<uint8_t> reply;
+  switch (static_cast<MessageType>(request->type)) {
+    case MessageType::kFetch: {
+      auto decoded = DecodeFetchRequest(request->payload);
+      if (!decoded.ok()) {
+        reply = EncodeError(decoded.status());
+        break;
+      }
+      auto batch = source->Fetch(decoded->from_lsn,
+                                 static_cast<size_t>(decoded->max_records));
+      if (batch.ok()) {
+        reply_type = MessageType::kFetchOk;
+        reply = EncodeLogBatch(*batch);
+      } else {
+        reply = EncodeError(batch.status());
+      }
+      break;
+    }
+    case MessageType::kFetchSnapshot: {
+      auto snapshot = source->FetchSnapshot();
+      if (snapshot.ok()) {
+        reply_type = MessageType::kSnapshotOk;
+        reply = EncodeSnapshotPackage(*snapshot);
+      } else {
+        reply = EncodeError(snapshot.status());
+      }
+      break;
+    }
+    case MessageType::kPrimaryNextLsn: {
+      auto next_lsn = source->PrimaryNextLsn();
+      if (next_lsn.ok()) {
+        reply_type = MessageType::kNextLsnOk;
+        reply = EncodeNextLsn(*next_lsn);
+      } else {
+        reply = EncodeError(next_lsn.status());
+      }
+      break;
+    }
+    default:
+      reply = EncodeError(util::Status::InvalidArgument(
+          "unknown message type " + std::to_string(request->type)));
+      break;
+  }
+  if (reply_type == MessageType::kError) metrics_->errors->Inc();
+  const bool sent = WriteReply(connection, reply_type, reply).ok();
+  metrics_->request_latency->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return sent;
+}
+
+util::Status ReplicationServer::WriteReply(
+    Connection* connection, MessageType type,
+    const std::vector<uint8_t>& payload) {
+  size_t wire = 0;
+  util::Status written = net::WriteFrame(
+      &connection->socket, static_cast<uint8_t>(type), payload,
+      util::Deadline::AfterMillis(options_.write_timeout_ms), &wire);
+  if (written.ok()) {
+    metrics_->frames_out->Inc();
+    metrics_->bytes_out->Inc(wire);
+  } else if (written.code() == util::StatusCode::kDeadlineExceeded) {
+    metrics_->timeouts->Inc();
+  }
+  return written;
+}
+
+}  // namespace geosir::replication

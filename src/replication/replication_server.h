@@ -1,0 +1,102 @@
+#ifndef GEOSIR_REPLICATION_REPLICATION_SERVER_H_
+#define GEOSIR_REPLICATION_REPLICATION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "replication/log_transport.h"
+#include "replication/wire_protocol.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace geosir::replication {
+
+struct ReplicationServerOptions {
+  /// The primary's filesystem + WAL directory + journal, exactly what an
+  /// in-process PrimaryLogSource takes. Each accepted connection gets
+  /// its OWN PrimaryLogSource (the tail cursor is per-consumer state),
+  /// so followers never share decode position.
+  storage::Env* env = nullptr;
+  std::string dir;
+  const storage::WalJournal* journal = nullptr;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; see ReplicationServer::port().
+
+  /// Beyond this many live connections a new one is sent an kError
+  /// (kUnavailable) and closed: a reconnect storm degrades into backoff,
+  /// not fd exhaustion.
+  size_t max_connections = 64;
+  /// Per-request reply write budget.
+  int write_timeout_ms = 5000;
+  /// Idle reaping: a connection that sends no request for this long is
+  /// closed. Half-open peers (died without FIN) stop holding a worker
+  /// and an fd after at most this window.
+  int idle_timeout_ms = 30000;
+  /// Handshake must complete within this budget.
+  int handshake_timeout_ms = 2000;
+  size_t max_frame_payload = net::kDefaultMaxFramePayload;
+};
+
+/// The primary-side socket endpoint of the replication tier: accepts
+/// follower connections, runs the version handshake, then serves the
+/// Fetch / FetchSnapshot / PrimaryNextLsn request/reply protocol over
+/// CRC-framed messages, each connection on its own worker thread over
+/// its own PrimaryLogSource.
+///
+/// Stop() (and the destructor) is graceful and bounded: the listener is
+/// shut down, every live connection socket is shut down (which unblocks
+/// in-flight reads at the next poll), and all workers are joined.
+class ReplicationServer {
+ public:
+  static util::Result<std::unique_ptr<ReplicationServer>> Start(
+      ReplicationServerOptions options);
+
+  ~ReplicationServer();
+  ReplicationServer(const ReplicationServer&) = delete;
+  ReplicationServer& operator=(const ReplicationServer&) = delete;
+
+  /// The bound port (resolves an ephemeral bind).
+  uint16_t port() const { return listener_.port(); }
+
+  void Stop();
+
+  /// Live connection count (tests; the gauge mirrors it).
+  size_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Metrics;
+
+  explicit ReplicationServer(ReplicationServerOptions options);
+
+  void AcceptLoop();
+  void Serve(std::shared_ptr<Connection> connection);
+  /// One request/reply exchange; false ends the connection.
+  bool ServeOne(Connection* connection, PrimaryLogSource* source);
+  util::Status WriteReply(Connection* connection, MessageType type,
+                          const std::vector<uint8_t>& payload);
+
+  ReplicationServerOptions options_;
+  net::Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> active_{0};
+  const Metrics* metrics_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace geosir::replication
+
+#endif  // GEOSIR_REPLICATION_REPLICATION_SERVER_H_

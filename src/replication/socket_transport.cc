@@ -1,0 +1,252 @@
+#include "replication/socket_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace geosir::replication {
+
+struct SocketLogTransport::Metrics {
+  obs::Counter* connects;
+  obs::Counter* reconnects;
+  obs::Counter* handshake_failures;
+  obs::Counter* frames_in;
+  obs::Counter* frames_out;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* timeouts;
+  obs::Counter* corrupt_frames;
+  obs::Histogram* call_latency;
+
+  static const Metrics* Get() {
+    static const Metrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new Metrics();
+      m->connects = r.GetCounter("geosir_net_client_connects_total",
+                                 "Successful connect+handshake cycles");
+      m->reconnects = r.GetCounter(
+          "geosir_net_client_reconnects_total",
+          "Connects after a previous connection was lost");
+      m->handshake_failures =
+          r.GetCounter("geosir_net_client_handshake_failures_total",
+                       "Connects dropped during the version handshake");
+      m->frames_in = r.GetCounter("geosir_net_client_frames_total",
+                                  "Wire frames by direction", "dir=\"in\"");
+      m->frames_out = r.GetCounter("geosir_net_client_frames_total",
+                                   "Wire frames by direction", "dir=\"out\"");
+      m->bytes_in = r.GetCounter("geosir_net_client_bytes_total",
+                                 "Wire bytes by direction", "dir=\"in\"");
+      m->bytes_out = r.GetCounter("geosir_net_client_bytes_total",
+                                  "Wire bytes by direction", "dir=\"out\"");
+      m->timeouts = r.GetCounter(
+          "geosir_net_client_timeouts_total",
+          "RPC attempts that hit their deadline mid-I/O");
+      m->corrupt_frames = r.GetCounter(
+          "geosir_net_client_corrupt_frames_total",
+          "Replies dropped for framing/CRC/protocol violations");
+      m->call_latency = r.GetHistogram(
+          "geosir_net_client_call_seconds",
+          "Whole-RPC latency including reconnects and backoff",
+          obs::LatencyBucketsSeconds());
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+SocketLogTransport::SocketLogTransport(SocketTransportOptions options)
+    : options_(std::move(options)), metrics_(Metrics::Get()) {}
+
+SocketLogTransport::~SocketLogTransport() { Disconnect(); }
+
+std::string SocketLogTransport::Describe() const {
+  return "socket://" + options_.host + ":" + std::to_string(options_.port);
+}
+
+void SocketLogTransport::Disconnect() {
+  if (!connected_) return;
+  socket_.Shutdown();
+  socket_ = net::Socket();
+  connected_ = false;
+}
+
+util::Status SocketLogTransport::EnsureConnected(util::Deadline deadline) {
+  if (connected_) return util::Status::OK();
+  const bool was_ever_connected = generation_ > 0;
+  const util::Deadline connect_deadline = util::Deadline::Earliest(
+      deadline, util::Deadline::AfterMillis(options_.connect_timeout_ms));
+  GEOSIR_ASSIGN_OR_RETURN(
+      socket_,
+      net::Socket::Connect(options_.host, options_.port, connect_deadline));
+  // Version handshake before the connection carries anything else: an
+  // incompatible or confused peer is rejected here, not discovered later
+  // as mysterious decode failures.
+  size_t wire = 0;
+  util::Status sent = net::WriteFrame(
+      &socket_, static_cast<uint8_t>(MessageType::kHello),
+      EncodeHello(HelloMessage{net::kProtocolVersion}), connect_deadline,
+      &wire);
+  if (!sent.ok()) {
+    metrics_->handshake_failures->Inc();
+    socket_ = net::Socket();
+    return sent;
+  }
+  metrics_->frames_out->Inc();
+  metrics_->bytes_out->Inc(wire);
+  auto ack = net::ReadFrame(&socket_, options_.max_frame_payload,
+                            connect_deadline, &wire);
+  if (!ack.ok()) {
+    metrics_->handshake_failures->Inc();
+    socket_ = net::Socket();
+    return ack.status();
+  }
+  metrics_->frames_in->Inc();
+  metrics_->bytes_in->Inc(wire);
+  if (ack->type == static_cast<uint8_t>(MessageType::kError)) {
+    metrics_->handshake_failures->Inc();
+    socket_ = net::Socket();
+    return DecodeError(ack->payload);
+  }
+  if (ack->type != static_cast<uint8_t>(MessageType::kHelloAck)) {
+    metrics_->handshake_failures->Inc();
+    socket_ = net::Socket();
+    return util::Status::Corruption("handshake reply is not a hello-ack");
+  }
+  connected_ = true;
+  ++generation_;
+  metrics_->connects->Inc();
+  if (was_ever_connected) metrics_->reconnects->Inc();
+  return util::Status::OK();
+}
+
+util::Result<net::Frame> SocketLogTransport::Exchange(
+    MessageType request, const std::vector<uint8_t>& payload,
+    util::Deadline deadline) {
+  GEOSIR_RETURN_IF_ERROR(EnsureConnected(deadline));
+  size_t wire = 0;
+  util::Status sent =
+      net::WriteFrame(&socket_, static_cast<uint8_t>(request), payload,
+                      deadline, &wire);
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  metrics_->frames_out->Inc();
+  metrics_->bytes_out->Inc(wire);
+  auto reply =
+      net::ReadFrame(&socket_, options_.max_frame_payload, deadline, &wire);
+  if (!reply.ok()) {
+    // Whatever went wrong — timeout, close, torn or corrupt frame — the
+    // request/reply pairing on this connection is now ambiguous. Drop it;
+    // pulls are idempotent, so the retry path just re-asks.
+    Disconnect();
+    return reply;
+  }
+  metrics_->frames_in->Inc();
+  metrics_->bytes_in->Inc(wire);
+  return reply;
+}
+
+util::Result<std::vector<uint8_t>> SocketLogTransport::Call(
+    MessageType request, const std::vector<uint8_t>& payload,
+    MessageType expected_reply) {
+  const auto start = std::chrono::steady_clock::now();
+  const util::Deadline deadline =
+      util::Deadline::AfterMillis(options_.call_timeout_ms);
+  const int max_attempts =
+      options_.reconnect.max_attempts < 1 ? 1 : options_.reconnect.max_attempts;
+  int64_t prev_backoff_us = 0;
+  util::Result<net::Frame> reply =
+      util::Status::Internal("rpc never attempted");
+  // The reconnect loop lives here instead of RetryWithBackoff because
+  // the sleeps must clamp to the CALL deadline: backing off is part of
+  // the call's budget, never an extension of it.
+  for (int attempt = 1;; ++attempt) {
+    reply = Exchange(request, payload, deadline);
+    if (reply.ok() ||
+        !util::IsRetriable(reply.status().code()) ||
+        attempt >= max_attempts || deadline.expired()) {
+      break;
+    }
+    const int64_t backoff_us =
+        util::NextBackoffUs(options_.reconnect, attempt, prev_backoff_us);
+    const int64_t sleep_us =
+        std::min(backoff_us, deadline.remaining_micros());
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      prev_backoff_us = backoff_us;
+    }
+  }
+  metrics_->call_latency->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (!reply.ok()) {
+    if (reply.status().code() == util::StatusCode::kDeadlineExceeded) {
+      // Boundary mapping: a timeout is retriable-later, exactly like a
+      // severed link (the LogTransport contract has no deadline code).
+      metrics_->timeouts->Inc();
+      return util::Status::Unavailable("rpc deadline exceeded: " +
+                                       reply.status().message());
+    }
+    if (reply.status().code() == util::StatusCode::kCorruption) {
+      metrics_->corrupt_frames->Inc();
+    }
+    return reply.status();
+  }
+  if (reply->type == static_cast<uint8_t>(MessageType::kError)) {
+    return DecodeError(reply->payload);
+  }
+  if (reply->type != static_cast<uint8_t>(expected_reply)) {
+    metrics_->corrupt_frames->Inc();
+    Disconnect();
+    return util::Status::Corruption(
+        "unexpected reply type " + std::to_string(reply->type));
+  }
+  return std::move(reply->payload);
+}
+
+util::Result<LogBatch> SocketLogTransport::Fetch(uint64_t from_lsn,
+                                                 size_t max_records) {
+  FetchRequest request;
+  request.from_lsn = from_lsn;
+  request.max_records = max_records;
+  GEOSIR_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> reply,
+      Call(MessageType::kFetch, EncodeFetchRequest(request),
+           MessageType::kFetchOk));
+  auto batch = DecodeLogBatch(reply);
+  if (!batch.ok()) {
+    metrics_->corrupt_frames->Inc();
+    Disconnect();
+  }
+  return batch;
+}
+
+util::Result<SnapshotPackage> SocketLogTransport::FetchSnapshot() {
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> reply,
+                          Call(MessageType::kFetchSnapshot, {},
+                               MessageType::kSnapshotOk));
+  auto package = DecodeSnapshotPackage(reply);
+  if (!package.ok()) {
+    metrics_->corrupt_frames->Inc();
+    Disconnect();
+  }
+  return package;
+}
+
+util::Result<uint64_t> SocketLogTransport::PrimaryNextLsn() {
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> reply,
+                          Call(MessageType::kPrimaryNextLsn, {},
+                               MessageType::kNextLsnOk));
+  auto next_lsn = DecodeNextLsn(reply);
+  if (!next_lsn.ok()) {
+    metrics_->corrupt_frames->Inc();
+    Disconnect();
+  }
+  return next_lsn;
+}
+
+}  // namespace geosir::replication

@@ -1,0 +1,111 @@
+#ifndef GEOSIR_REPLICATION_SOCKET_TRANSPORT_H_
+#define GEOSIR_REPLICATION_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "replication/log_transport.h"
+#include "replication/wire_protocol.h"
+#include "util/deadline.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace geosir::replication {
+
+/// Reconnect policy suited to a real link: capped so a long outage does
+/// not snowball the sleep, jittered so a fleet of followers severed at
+/// the same instant does not reconnect in lockstep.
+inline util::RetryPolicy DefaultReconnectPolicy(uint64_t jitter_seed = 1) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_us = 2000;
+  policy.multiplier = 2.0;
+  policy.max_backoff_us = 100000;
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed = jitter_seed;
+  return policy;
+}
+
+struct SocketTransportOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Budget for one TCP connect + Hello handshake.
+  int connect_timeout_ms = 2000;
+  /// Whole-RPC budget (including any reconnect attempts and their
+  /// backoff sleeps): no transport call blocks its caller for longer.
+  int call_timeout_ms = 10000;
+  /// In-call reconnect/backoff schedule. Only kUnavailable outcomes are
+  /// retried; sleeps are clamped to the call deadline's remaining time.
+  util::RetryPolicy reconnect = DefaultReconnectPolicy();
+  size_t max_frame_payload = net::kDefaultMaxFramePayload;
+};
+
+/// LogTransport over a real TCP connection to a ReplicationServer.
+///
+/// Connection discipline: lazy connect on first use; every RPC runs
+/// under one call deadline; any wire-level failure (timeout, peer gone,
+/// torn or corrupt frame) drops the connection, and the next attempt —
+/// in the same call for retriable failures, or the next call otherwise —
+/// reconnects and re-runs the handshake. Requests are idempotent pulls
+/// keyed by from_lsn, so re-running one after an ambiguous failure is
+/// always safe.
+///
+/// Error mapping at the RPC boundary, aligned with the Follower's
+/// retry/resync semantics: deadline expiry and every connection-level
+/// failure surface as kUnavailable (retry later); a frame that decodes
+/// but is invalid is kCorruption; error replies from the server carry
+/// their original StatusCode (kNotFound still means "snapshot resync").
+///
+/// Not thread-safe (one follower, one transport — the LogTransport
+/// contract).
+class SocketLogTransport : public LogTransport {
+ public:
+  explicit SocketLogTransport(SocketTransportOptions options);
+  ~SocketLogTransport() override;
+
+  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
+  util::Result<SnapshotPackage> FetchSnapshot() override;
+  util::Result<uint64_t> PrimaryNextLsn() override;
+  std::string Describe() const override;
+
+  /// Bumped every time a fresh connection finishes its handshake. A
+  /// reconnect invalidates all connection-scoped state on the server (its
+  /// per-connection PrimaryLogSource cursor); callers watching this
+  /// counter can tell "same session" from "new session".
+  uint64_t connection_generation() const { return generation_; }
+  bool connected() const { return connected_; }
+
+  /// Drops the current connection (test hook; the next call reconnects).
+  void Disconnect();
+
+ private:
+  struct Metrics;
+
+  /// Connects + handshakes if not connected. kUnavailable /
+  /// kDeadlineExceeded bubble out per the socket layer's split.
+  util::Status EnsureConnected(util::Deadline deadline);
+  /// One request/reply exchange under `deadline` on the current
+  /// connection (connecting first if needed). Any failure drops the
+  /// connection before returning.
+  util::Result<net::Frame> Exchange(MessageType request,
+                                    const std::vector<uint8_t>& payload,
+                                    util::Deadline deadline);
+  /// Full RPC: Exchange with reconnect/backoff on kUnavailable, reply
+  /// type checking, kError decoding, and the boundary error mapping.
+  util::Result<std::vector<uint8_t>> Call(MessageType request,
+                                          const std::vector<uint8_t>& payload,
+                                          MessageType expected_reply);
+
+  SocketTransportOptions options_;
+  const Metrics* metrics_;
+  net::Socket socket_;
+  bool connected_ = false;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace geosir::replication
+
+#endif  // GEOSIR_REPLICATION_SOCKET_TRANSPORT_H_

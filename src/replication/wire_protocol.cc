@@ -1,0 +1,216 @@
+#include "replication/wire_protocol.h"
+
+#include <algorithm>
+#include <string>
+
+namespace geosir::replication {
+
+using net::ByteReader;
+using net::PutU32;
+using net::PutU64;
+using net::PutU8;
+
+namespace {
+
+util::Status Truncated(const char* what) {
+  return util::Status::Corruption(std::string("truncated ") + what +
+                                  " payload");
+}
+
+/// Per-record wire overhead in a LogBatch: u64 lsn + u8 type + u32 len.
+constexpr size_t kRecordHeaderBytes = 13;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello(const HelloMessage& hello) {
+  std::vector<uint8_t> out;
+  PutU8(&out, hello.protocol_version);
+  return out;
+}
+
+util::Result<HelloMessage> DecodeHello(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  HelloMessage hello;
+  if (!reader.ReadU8(&hello.protocol_version)) return Truncated("hello");
+  return hello;
+}
+
+std::vector<uint8_t> EncodeFetchRequest(const FetchRequest& request) {
+  std::vector<uint8_t> out;
+  PutU64(&out, request.from_lsn);
+  PutU64(&out, request.max_records);
+  return out;
+}
+
+util::Result<FetchRequest> DecodeFetchRequest(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  FetchRequest request;
+  if (!reader.ReadU64(&request.from_lsn) ||
+      !reader.ReadU64(&request.max_records)) {
+    return Truncated("fetch request");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeLogBatch(const LogBatch& batch) {
+  std::vector<uint8_t> out;
+  PutU64(&out, batch.primary_next_lsn);
+  PutU32(&out, static_cast<uint32_t>(batch.records.size()));
+  for (const storage::WalRecord& record : batch.records) {
+    PutU64(&out, record.lsn);
+    PutU8(&out, static_cast<uint8_t>(record.type));
+    PutU32(&out, static_cast<uint32_t>(record.payload.size()));
+    out.insert(out.end(), record.payload.begin(), record.payload.end());
+  }
+  return out;
+}
+
+util::Result<LogBatch> DecodeLogBatch(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  LogBatch batch;
+  uint32_t count = 0;
+  if (!reader.ReadU64(&batch.primary_next_lsn) || !reader.ReadU32(&count)) {
+    return Truncated("log batch");
+  }
+  // Every record costs at least its header, so a count the remaining
+  // bytes cannot possibly hold is rejected before reserving anything — a
+  // forged count cannot OOM the follower.
+  if (static_cast<uint64_t>(count) * kRecordHeaderBytes >
+      reader.remaining()) {
+    return util::Status::Corruption("log batch record count " +
+                                    std::to_string(count) +
+                                    " exceeds payload bytes");
+  }
+  batch.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    storage::WalRecord record;
+    uint8_t type = 0;
+    uint32_t payload_len = 0;
+    if (!reader.ReadU64(&record.lsn) || !reader.ReadU8(&type) ||
+        !reader.ReadU32(&payload_len) ||
+        !reader.ReadBytes(&record.payload, payload_len)) {
+      return Truncated("log batch record");
+    }
+    record.type = static_cast<storage::WalRecordType>(type);
+    batch.records.push_back(std::move(record));
+  }
+  if (reader.remaining() != 0) {
+    return util::Status::Corruption("trailing bytes after log batch");
+  }
+  return batch;
+}
+
+std::vector<uint8_t> EncodeSnapshotPackage(const SnapshotPackage& package) {
+  std::vector<uint8_t> out;
+  PutU64(&out, package.generation);
+  PutU64(&out, package.primary_next_lsn);
+  PutU32(&out, static_cast<uint32_t>(package.checkpoint.size()));
+  out.insert(out.end(), package.checkpoint.begin(), package.checkpoint.end());
+  PutU32(&out, static_cast<uint32_t>(package.head_frame.size()));
+  out.insert(out.end(), package.head_frame.begin(),
+             package.head_frame.end());
+  return out;
+}
+
+util::Result<SnapshotPackage> DecodeSnapshotPackage(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SnapshotPackage package;
+  uint32_t checkpoint_len = 0;
+  uint32_t head_len = 0;
+  if (!reader.ReadU64(&package.generation) ||
+      !reader.ReadU64(&package.primary_next_lsn) ||
+      !reader.ReadU32(&checkpoint_len) ||
+      !reader.ReadBytes(&package.checkpoint, checkpoint_len) ||
+      !reader.ReadU32(&head_len) ||
+      !reader.ReadBytes(&package.head_frame, head_len)) {
+    return Truncated("snapshot package");
+  }
+  if (reader.remaining() != 0) {
+    return util::Status::Corruption("trailing bytes after snapshot package");
+  }
+  return package;
+}
+
+std::vector<uint8_t> EncodeNextLsn(uint64_t next_lsn) {
+  std::vector<uint8_t> out;
+  PutU64(&out, next_lsn);
+  return out;
+}
+
+util::Result<uint64_t> DecodeNextLsn(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint64_t next_lsn = 0;
+  if (!reader.ReadU64(&next_lsn) || reader.remaining() != 0) {
+    return Truncated("next-lsn");
+  }
+  return next_lsn;
+}
+
+uint8_t WireCodeForStatus(util::StatusCode code) {
+  switch (code) {
+    case util::StatusCode::kOk: return 0;
+    case util::StatusCode::kInvalidArgument: return 1;
+    case util::StatusCode::kNotFound: return 2;
+    case util::StatusCode::kOutOfRange: return 3;
+    case util::StatusCode::kFailedPrecondition: return 4;
+    case util::StatusCode::kCorruption: return 5;
+    case util::StatusCode::kNotSupported: return 6;
+    case util::StatusCode::kInternal: return 7;
+    case util::StatusCode::kUnavailable: return 8;
+    case util::StatusCode::kDeadlineExceeded: return 9;
+    case util::StatusCode::kCancelled: return 10;
+    case util::StatusCode::kResourceExhausted: return 11;
+  }
+  return 7;  // kInternal.
+}
+
+util::StatusCode StatusCodeFromWire(uint8_t wire_code) {
+  switch (wire_code) {
+    case 0: return util::StatusCode::kOk;
+    case 1: return util::StatusCode::kInvalidArgument;
+    case 2: return util::StatusCode::kNotFound;
+    case 3: return util::StatusCode::kOutOfRange;
+    case 4: return util::StatusCode::kFailedPrecondition;
+    case 5: return util::StatusCode::kCorruption;
+    case 6: return util::StatusCode::kNotSupported;
+    case 7: return util::StatusCode::kInternal;
+    case 8: return util::StatusCode::kUnavailable;
+    case 9: return util::StatusCode::kDeadlineExceeded;
+    case 10: return util::StatusCode::kCancelled;
+    case 11: return util::StatusCode::kResourceExhausted;
+    default: return util::StatusCode::kInternal;
+  }
+}
+
+std::vector<uint8_t> EncodeError(const util::Status& status) {
+  std::vector<uint8_t> out;
+  PutU8(&out, WireCodeForStatus(status.code()));
+  // Bound the shipped message: diagnostics, not a data channel.
+  const std::string& message = status.message();
+  const uint32_t len =
+      static_cast<uint32_t>(std::min<size_t>(message.size(), 1024));
+  PutU32(&out, len);
+  out.insert(out.end(), message.begin(), message.begin() + len);
+  return out;
+}
+
+util::Status DecodeError(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint8_t wire_code = 0;
+  uint32_t len = 0;
+  std::string message;
+  if (!reader.ReadU8(&wire_code) || !reader.ReadU32(&len) ||
+      !reader.ReadString(&message, len)) {
+    return util::Status::Corruption("truncated error payload");
+  }
+  const util::StatusCode code = StatusCodeFromWire(wire_code);
+  if (code == util::StatusCode::kOk) {
+    // An "error" reply claiming OK is a protocol violation.
+    return util::Status::Corruption("error frame with OK status");
+  }
+  return util::Status(code, "remote: " + message);
+}
+
+}  // namespace geosir::replication

@@ -1,0 +1,76 @@
+#ifndef GEOSIR_REPLICATION_WIRE_PROTOCOL_H_
+#define GEOSIR_REPLICATION_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.h"
+#include "replication/log_transport.h"
+#include "util/status.h"
+
+namespace geosir::replication {
+
+/// Message types carried in the net::Frame type byte. The request/reply
+/// pairing is strict (one reply per request, same connection, in order):
+/// the transport is a simple pull RPC channel, not a stream multiplexer.
+enum class MessageType : uint8_t {
+  /// Version handshake, first frame in each direction of a connection.
+  kHello = 1,
+  kHelloAck = 2,
+  kFetch = 3,
+  kFetchOk = 4,
+  kFetchSnapshot = 5,
+  kSnapshotOk = 6,
+  kPrimaryNextLsn = 7,
+  kNextLsnOk = 8,
+  /// Error reply to any request; payload carries a wire StatusCode +
+  /// message, decoded back into the util::Status the in-process
+  /// transport would have returned.
+  kError = 9,
+};
+
+struct HelloMessage {
+  uint8_t protocol_version = net::kProtocolVersion;
+};
+
+struct FetchRequest {
+  uint64_t from_lsn = 0;
+  uint64_t max_records = 0;  // 0 = unlimited.
+};
+
+/// All decoders are total over arbitrary bytes: truncated, oversized or
+/// inconsistent payloads return kCorruption (they sit behind a CRC, so
+/// damage here means a hostile or buggy peer, not line noise), never
+/// crash, and never allocate unboundedly — counts are validated against
+/// the bytes actually present before any reserve.
+
+std::vector<uint8_t> EncodeHello(const HelloMessage& hello);
+util::Result<HelloMessage> DecodeHello(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeFetchRequest(const FetchRequest& request);
+util::Result<FetchRequest> DecodeFetchRequest(
+    const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeLogBatch(const LogBatch& batch);
+util::Result<LogBatch> DecodeLogBatch(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeSnapshotPackage(const SnapshotPackage& package);
+util::Result<SnapshotPackage> DecodeSnapshotPackage(
+    const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeNextLsn(uint64_t next_lsn);
+util::Result<uint64_t> DecodeNextLsn(const std::vector<uint8_t>& bytes);
+
+/// Status <-> kError payload. The wire code numbering is part of the
+/// protocol (stable across releases, independent of the enum's in-memory
+/// order); unknown wire codes decode to kInternal so a newer peer's
+/// error never turns into a silent success.
+std::vector<uint8_t> EncodeError(const util::Status& status);
+util::Status DecodeError(const std::vector<uint8_t>& bytes);
+
+uint8_t WireCodeForStatus(util::StatusCode code);
+util::StatusCode StatusCodeFromWire(uint8_t wire_code);
+
+}  // namespace geosir::replication
+
+#endif  // GEOSIR_REPLICATION_WIRE_PROTOCOL_H_

@@ -1,7 +1,10 @@
 #ifndef GEOSIR_UTIL_RETRY_H_
 #define GEOSIR_UTIL_RETRY_H_
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <limits>
 #include <thread>
 #include <type_traits>
 
@@ -21,6 +24,19 @@ struct RetryPolicy {
   /// microseconds; 0 disables sleeping entirely.
   int base_backoff_us = 0;
   double multiplier = 2.0;
+  /// Ceiling on any single sleep, in microseconds; 0 = uncapped (the
+  /// legacy unbounded exponential). Reconnect loops over real sockets
+  /// must set this: a follower that has been down for minutes should not
+  /// wake up sleeping for minutes more.
+  int64_t max_backoff_us = 0;
+  /// Decorrelated jitter: each sleep is drawn uniformly from
+  /// [base, max(base, prev * multiplier)] instead of the deterministic
+  /// exponential, so a herd of clients severed at the same instant does
+  /// not reconnect in lockstep. The draw is a pure hash of
+  /// (jitter_seed, attempt) — deterministic for a given seed, which is
+  /// what chaos tests need to stay reproducible.
+  bool decorrelated_jitter = false;
+  uint64_t jitter_seed = 0;
 };
 
 /// Whether a failed operation is worth retrying under the same inputs.
@@ -34,7 +50,48 @@ template <typename T>
 const Status& StatusOf(const Result<T>& r) {
   return r.status();
 }
+
+/// SplitMix64 finalizer: a full-avalanche mix so consecutive attempt
+/// numbers land on unrelated jitter draws.
+inline uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 }  // namespace internal
+
+/// The sleep (microseconds) taken after attempt `attempt` (1-based)
+/// fails, given the previous sleep `prev_us` (0 before any sleep). Pure
+/// and deterministic — the testable core of the backoff schedule.
+inline int64_t NextBackoffUs(const RetryPolicy& policy, int attempt,
+                             int64_t prev_us) {
+  const int64_t base = policy.base_backoff_us;
+  if (base <= 0) return 0;
+  const int64_t cap = policy.max_backoff_us > 0
+                          ? policy.max_backoff_us
+                          : std::numeric_limits<int64_t>::max();
+  if (!policy.decorrelated_jitter) {
+    double us = static_cast<double>(base);
+    for (int i = 1; i < attempt; ++i) {
+      us *= policy.multiplier;
+      if (us >= static_cast<double>(cap)) return cap;
+    }
+    return std::min(cap, static_cast<int64_t>(us));
+  }
+  const int64_t lower = std::min(base, cap);
+  const double scaled =
+      static_cast<double>(prev_us > 0 ? prev_us : base) * policy.multiplier;
+  int64_t upper = scaled >= static_cast<double>(cap)
+                      ? cap
+                      : static_cast<int64_t>(scaled);
+  upper = std::max(upper, lower);
+  if (upper == lower) return lower;
+  const uint64_t span = static_cast<uint64_t>(upper - lower) + 1;
+  const uint64_t draw = internal::Mix64(
+      policy.jitter_seed ^ (static_cast<uint64_t>(attempt) * 0xD6E8FEB86659FD93ull));
+  return lower + static_cast<int64_t>(draw % span);
+}
 
 /// Invokes `fn` (returning Status or Result<T>) up to
 /// `policy.max_attempts` times, sleeping between attempts, as long as the
@@ -53,7 +110,7 @@ auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn,
                       const QueryControl* control = nullptr)
     -> std::invoke_result_t<Fn> {
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
-  double backoff_us = static_cast<double>(policy.base_backoff_us);
+  int64_t prev_backoff_us = 0;
   if (control == nullptr) control = ScopedQueryControl::Active();
   for (int attempt = 1;; ++attempt) {
     auto outcome = fn();
@@ -64,10 +121,10 @@ auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn,
         (control != nullptr && !control->Check().ok())) {
       return outcome;
     }
-    if (backoff_us >= 1.0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(static_cast<int64_t>(backoff_us)));
-      backoff_us *= policy.multiplier;
+    const int64_t backoff_us = NextBackoffUs(policy, attempt, prev_backoff_us);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      prev_backoff_us = backoff_us;
     }
   }
 }

@@ -1,0 +1,699 @@
+// Socket transport tests: deadline-aware socket I/O, the CRC-framed wire
+// envelope, wire-protocol codecs, the primary-side ReplicationServer +
+// follower-side SocketLogTransport loopback RPC path, and the chaos
+// acceptance matrix — two followers converging through a byte-level
+// fault proxy (mid-frame truncation, garbage injection, stalls, and
+// repeated sever/restore cycles).
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "net/chaos_proxy.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "replication/follower.h"
+#include "replication/log_transport.h"
+#include "replication/replication_server.h"
+#include "replication/socket_transport.h"
+#include "replication/wire_protocol.h"
+#include "storage/wal.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace geosir {
+namespace {
+
+using core::DynamicShapeBase;
+using geom::Point;
+using geom::Polyline;
+using net::ChaosProxy;
+using net::ChaosProxyOptions;
+using net::Frame;
+using net::Listener;
+using net::Socket;
+using replication::Follower;
+using replication::FollowerOptions;
+using replication::HelloMessage;
+using replication::LogBatch;
+using replication::MessageType;
+using replication::ReplicationServer;
+using replication::ReplicationServerOptions;
+using replication::SocketLogTransport;
+using replication::SocketTransportOptions;
+using storage::MemEnv;
+using util::Deadline;
+using util::Status;
+using util::StatusCode;
+
+constexpr char kHost[] = "127.0.0.1";
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// --- Socket layer ---
+
+TEST(SocketTest, LoopbackRoundTrip) {
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread server([&] {
+    auto accepted = listener->Accept(Deadline::AfterMillis(5000));
+    ASSERT_TRUE(accepted.ok());
+    uint8_t buf[5] = {};
+    ASSERT_TRUE(
+        accepted->ReadFull(buf, sizeof(buf), Deadline::AfterMillis(5000))
+            .ok());
+    ASSERT_TRUE(
+        accepted->WriteFull(buf, sizeof(buf), Deadline::AfterMillis(5000))
+            .ok());
+  });
+  auto client =
+      Socket::Connect(kHost, listener->port(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const uint8_t out[5] = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(
+      client->WriteFull(out, sizeof(out), Deadline::AfterMillis(5000)).ok());
+  uint8_t in[5] = {};
+  ASSERT_TRUE(
+      client->ReadFull(in, sizeof(in), Deadline::AfterMillis(5000)).ok());
+  for (size_t i = 0; i < sizeof(out); ++i) EXPECT_EQ(in[i], out[i]);
+  server.join();
+}
+
+TEST(SocketTest, ReadDeadlineIsBounded) {
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok());
+  auto client =
+      Socket::Connect(kHost, listener->port(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept(Deadline::AfterMillis(5000));
+  ASSERT_TRUE(accepted.ok());
+  // The peer sends nothing: the read must expire close to its deadline,
+  // not hang and not spin.
+  const auto start = std::chrono::steady_clock::now();
+  uint8_t buf[8];
+  size_t got = 99;
+  Status read =
+      client->ReadFull(buf, sizeof(buf), Deadline::AfterMillis(50), &got);
+  EXPECT_EQ(read.code(), StatusCode::kDeadlineExceeded) << read.ToString();
+  EXPECT_EQ(got, 0u);
+  const double elapsed = ElapsedSeconds(start);
+  EXPECT_GE(elapsed, 0.045);
+  // Generous CI bound; the contract is "deadline + poll granularity",
+  // the slack here is scheduling noise.
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(SocketTest, ConnectRefusedIsUnavailable) {
+  // Bind-then-close: the port was just proven free, so connecting to it
+  // refuses rather than timing out.
+  uint16_t port = 0;
+  {
+    auto listener = Listener::Bind(kHost, 0);
+    ASSERT_TRUE(listener.ok());
+    port = listener->port();
+  }
+  auto client = Socket::Connect(kHost, port, Deadline::AfterMillis(2000));
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, PeerCloseSurfacesAsUnavailable) {
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok());
+  auto client =
+      Socket::Connect(kHost, listener->port(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(client.ok());
+  {
+    auto accepted = listener->Accept(Deadline::AfterMillis(5000));
+    ASSERT_TRUE(accepted.ok());
+  }  // Accepted socket destroyed: clean close.
+  uint8_t buf[4];
+  size_t got = 99;
+  Status read =
+      client->ReadFull(buf, sizeof(buf), Deadline::AfterMillis(2000), &got);
+  EXPECT_EQ(read.code(), StatusCode::kUnavailable) << read.ToString();
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(SocketTest, ShutdownUnblocksAccept) {
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread waiter([&] {
+    auto accepted = listener->Accept();  // Infinite deadline.
+    EXPECT_FALSE(accepted.ok());
+    EXPECT_EQ(accepted.status().code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener->Shutdown();
+  waiter.join();
+}
+
+// --- Frame codec ---
+
+std::vector<uint8_t> Payload(size_t n) {
+  std::vector<uint8_t> payload(n);
+  for (size_t i = 0; i < n; ++i) payload[i] = static_cast<uint8_t>(i * 7 + 3);
+  return payload;
+}
+
+TEST(FrameTest, RoundTrip) {
+  const std::vector<uint8_t> payload = Payload(100);
+  std::vector<uint8_t> wire;
+  net::AppendFrame(&wire, /*type=*/3, payload);
+  EXPECT_EQ(wire.size(),
+            net::kFrameHeaderBytes + payload.size() + net::kFrameTrailerBytes);
+  size_t consumed = 0;
+  auto frame = net::DecodeFrame(wire.data(), wire.size(),
+                                net::kDefaultMaxFramePayload, &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(frame->version, net::kProtocolVersion);
+  EXPECT_EQ(frame->type, 3);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTest, ShortBufferIsUnavailable) {
+  std::vector<uint8_t> wire;
+  net::AppendFrame(&wire, 1, Payload(32));
+  size_t consumed = 0;
+  for (size_t keep : {size_t{0}, size_t{3}, net::kFrameHeaderBytes,
+                      wire.size() - 1}) {
+    auto frame = net::DecodeFrame(wire.data(), keep,
+                                  net::kDefaultMaxFramePayload, &consumed);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable) << keep;
+  }
+}
+
+TEST(FrameTest, EverySingleByteFlipIsRejected) {
+  std::vector<uint8_t> wire;
+  net::AppendFrame(&wire, 2, Payload(24));
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::vector<uint8_t> mutated = wire;
+    mutated[i] ^= 0x40;
+    size_t consumed = 0;
+    auto frame = net::DecodeFrame(mutated.data(), mutated.size(),
+                                  net::kDefaultMaxFramePayload, &consumed);
+    ASSERT_FALSE(frame.ok()) << "flip at byte " << i;
+    // A flipped length byte can make the frame look longer than the
+    // buffer (kUnavailable); every other flip is caught by magic or CRC.
+    EXPECT_TRUE(frame.status().code() == StatusCode::kCorruption ||
+                frame.status().code() == StatusCode::kUnavailable)
+        << "flip at byte " << i << ": " << frame.status().ToString();
+  }
+}
+
+TEST(FrameTest, OversizeLengthRejectedBeforeAllocation) {
+  std::vector<uint8_t> wire;
+  net::AppendFrame(&wire, 1, Payload(8));
+  // Forge payload_len = 0xFFFFFFFF. If the decoder allocated first this
+  // would be a 4 GiB reserve; the bound check must fire instead.
+  wire[8] = 0xFF;
+  wire[9] = 0xFF;
+  wire[10] = 0xFF;
+  wire[11] = 0xFF;
+  size_t consumed = 0;
+  auto frame = net::DecodeFrame(wire.data(), wire.size(),
+                                net::kDefaultMaxFramePayload, &consumed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+
+  // Same forged length over a socket: ReadFrame must reject it without
+  // trying to read (or allocate) 4 GiB.
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok());
+  auto client =
+      Socket::Connect(kHost, listener->port(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept(Deadline::AfterMillis(5000));
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(
+      accepted->WriteFull(wire.data(), wire.size(), Deadline::AfterMillis(5000))
+          .ok());
+  auto read = net::ReadFrame(&*client, net::kDefaultMaxFramePayload,
+                             Deadline::AfterMillis(2000));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, TornMidFrameIsCorruptionCleanCloseIsUnavailable) {
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok());
+
+  // Torn: half a frame, then close.
+  {
+    auto client =
+        Socket::Connect(kHost, listener->port(), Deadline::AfterMillis(5000));
+    ASSERT_TRUE(client.ok());
+    auto accepted = listener->Accept(Deadline::AfterMillis(5000));
+    ASSERT_TRUE(accepted.ok());
+    std::vector<uint8_t> wire;
+    net::AppendFrame(&wire, 4, Payload(64));
+    ASSERT_TRUE(accepted
+                    ->WriteFull(wire.data(), wire.size() / 2,
+                                Deadline::AfterMillis(5000))
+                    .ok());
+    accepted->Close();
+    auto read = net::ReadFrame(&*client, net::kDefaultMaxFramePayload,
+                               Deadline::AfterMillis(2000));
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kCorruption)
+        << read.status().ToString();
+  }
+
+  // Clean: close at a frame boundary (here: before any frame).
+  {
+    auto client =
+        Socket::Connect(kHost, listener->port(), Deadline::AfterMillis(5000));
+    ASSERT_TRUE(client.ok());
+    {
+      auto accepted = listener->Accept(Deadline::AfterMillis(5000));
+      ASSERT_TRUE(accepted.ok());
+    }
+    auto read = net::ReadFrame(&*client, net::kDefaultMaxFramePayload,
+                               Deadline::AfterMillis(2000));
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kUnavailable)
+        << read.status().ToString();
+  }
+}
+
+// --- Wire protocol codecs ---
+
+TEST(WireProtocolTest, LogBatchRoundTrip) {
+  LogBatch batch;
+  batch.primary_next_lsn = 42;
+  for (uint64_t lsn = 7; lsn < 10; ++lsn) {
+    storage::WalRecord record;
+    record.lsn = lsn;
+    record.type = storage::WalRecordType::kInsert;
+    record.payload = Payload(lsn * 3);
+    batch.records.push_back(record);
+  }
+  auto decoded = replication::DecodeLogBatch(replication::EncodeLogBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->primary_next_lsn, 42u);
+  ASSERT_EQ(decoded->records.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->records[i].lsn, batch.records[i].lsn);
+    EXPECT_EQ(decoded->records[i].type, batch.records[i].type);
+    EXPECT_EQ(decoded->records[i].payload, batch.records[i].payload);
+  }
+}
+
+TEST(WireProtocolTest, ForgedRecordCountCannotOverAllocate) {
+  LogBatch batch;
+  batch.primary_next_lsn = 1;
+  auto bytes = replication::EncodeLogBatch(batch);
+  // Forge count = 0x40000000 (2^30 records): must be rejected against the
+  // actual payload size, not reserved.
+  bytes[8] = 0x00;
+  bytes[9] = 0x00;
+  bytes[10] = 0x00;
+  bytes[11] = 0x40;
+  auto decoded = replication::DecodeLogBatch(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireProtocolTest, SnapshotAndLsnRoundTrip) {
+  replication::SnapshotPackage package;
+  package.generation = 9;
+  package.primary_next_lsn = 77;
+  package.checkpoint = Payload(200);
+  package.head_frame = Payload(57);
+  auto decoded = replication::DecodeSnapshotPackage(
+      replication::EncodeSnapshotPackage(package));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->generation, 9u);
+  EXPECT_EQ(decoded->primary_next_lsn, 77u);
+  EXPECT_EQ(decoded->checkpoint, package.checkpoint);
+  EXPECT_EQ(decoded->head_frame, package.head_frame);
+
+  auto lsn = replication::DecodeNextLsn(replication::EncodeNextLsn(123));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 123u);
+}
+
+TEST(WireProtocolTest, ErrorCarriesStatusCodeAcrossTheWire) {
+  for (StatusCode code :
+       {StatusCode::kNotFound, StatusCode::kUnavailable,
+        StatusCode::kCorruption, StatusCode::kOutOfRange,
+        StatusCode::kDeadlineExceeded}) {
+    Status original(code, "boom");
+    Status decoded =
+        replication::DecodeError(replication::EncodeError(original));
+    EXPECT_EQ(decoded.code(), code);
+    EXPECT_NE(decoded.message().find("boom"), std::string::npos);
+  }
+  // An error frame claiming OK is a protocol violation, not a success.
+  Status ok_error = replication::DecodeError(
+      replication::EncodeError(Status::OK()));
+  EXPECT_EQ(ok_error.code(), StatusCode::kCorruption);
+}
+
+// --- Server + client RPC over loopback ---
+
+Polyline RegularPolygon(int n, double r) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+Polyline ShapeFor(uint64_t id) {
+  return RegularPolygon(3 + static_cast<int>(id % 8),
+                        1.0 + 0.05 * static_cast<double>(id % 7));
+}
+std::string LabelFor(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "s%llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+core::ImageId ImageFor(uint64_t id) {
+  return static_cast<core::ImageId>(id * 3 + 1);
+}
+
+constexpr char kPrimaryDir[] = "primary";
+
+/// A MemEnv-backed primary plus its socket endpoint: everything a
+/// socket-transport test needs on one loopback port.
+struct SocketCluster {
+  MemEnv env;
+  std::unique_ptr<storage::DurableDynamicBase> primary;
+  std::unique_ptr<ReplicationServer> server;
+
+  Status Open(DynamicShapeBase::Options base_options =
+                  DynamicShapeBase::Options{}) {
+    storage::DurabilityOptions durability;
+    durability.env = &env;
+    auto opened =
+        storage::OpenDurableDynamicBase(kPrimaryDir, base_options, durability);
+    GEOSIR_RETURN_IF_ERROR(opened.status());
+    primary =
+        std::make_unique<storage::DurableDynamicBase>(std::move(*opened));
+    ReplicationServerOptions options;
+    options.env = &env;
+    options.dir = kPrimaryDir;
+    options.journal = primary->journal.get();
+    GEOSIR_ASSIGN_OR_RETURN(server, ReplicationServer::Start(options));
+    return Status::OK();
+  }
+
+  Status Insert(uint64_t id) {
+    return primary->base->Insert(ShapeFor(id), ImageFor(id), LabelFor(id))
+        .status();
+  }
+};
+
+SocketTransportOptions FastTransportOptions(uint16_t port,
+                                            uint64_t seed = 1) {
+  SocketTransportOptions options;
+  options.host = kHost;
+  options.port = port;
+  options.connect_timeout_ms = 2000;
+  options.call_timeout_ms = 5000;
+  options.reconnect = replication::DefaultReconnectPolicy(seed);
+  options.reconnect.base_backoff_us = 500;
+  options.reconnect.max_backoff_us = 20000;
+  return options;
+}
+
+TEST(ReplicationServerTest, ServesFetchSnapshotAndNextLsnOverLoopback) {
+  SocketCluster cluster;
+  ASSERT_TRUE(cluster.Open().ok());
+  for (uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(cluster.Insert(i).ok());
+
+  SocketLogTransport transport(FastTransportOptions(cluster.server->port()));
+  EXPECT_EQ(transport.Describe(),
+            "socket://127.0.0.1:" + std::to_string(cluster.server->port()));
+
+  auto next_lsn = transport.PrimaryNextLsn();
+  ASSERT_TRUE(next_lsn.ok()) << next_lsn.status().ToString();
+  EXPECT_EQ(*next_lsn, cluster.primary->journal->tail_state().next_lsn);
+
+  auto batch = transport.Fetch(0, 0);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->primary_next_lsn, *next_lsn);
+  ASSERT_EQ(batch->records.size(), 11u);  // Head commit + 10 inserts.
+  EXPECT_EQ(batch->records.front().type,
+            storage::WalRecordType::kCompactCommit);
+
+  // The socket answer must equal the in-process answer byte for byte.
+  replication::PrimaryLogSource direct(&cluster.env, kPrimaryDir,
+                                       cluster.primary->journal.get());
+  auto expected = direct.Fetch(0, 0);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(batch->records.size(), expected->records.size());
+  for (size_t i = 0; i < batch->records.size(); ++i) {
+    EXPECT_EQ(batch->records[i].lsn, expected->records[i].lsn);
+    EXPECT_EQ(batch->records[i].payload, expected->records[i].payload);
+  }
+
+  auto snapshot = transport.FetchSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->generation, cluster.primary->journal->generation());
+  EXPECT_FALSE(snapshot->checkpoint.empty());
+  EXPECT_EQ(transport.connection_generation(), 1u);
+}
+
+TEST(ReplicationServerTest, RejectsWrongProtocolVersion) {
+  SocketCluster cluster;
+  ASSERT_TRUE(cluster.Open().ok());
+  auto raw =
+      Socket::Connect(kHost, cluster.server->port(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(net::WriteFrame(&*raw, static_cast<uint8_t>(MessageType::kHello),
+                              replication::EncodeHello(HelloMessage{99}),
+                              Deadline::AfterMillis(5000))
+                  .ok());
+  auto reply = net::ReadFrame(&*raw, net::kDefaultMaxFramePayload,
+                              Deadline::AfterMillis(5000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, static_cast<uint8_t>(MessageType::kError));
+  Status error = replication::DecodeError(reply->payload);
+  EXPECT_EQ(error.code(), StatusCode::kNotSupported) << error.ToString();
+}
+
+TEST(ReplicationServerTest, DropsNonHelloFirstFrame) {
+  SocketCluster cluster;
+  ASSERT_TRUE(cluster.Open().ok());
+  auto raw =
+      Socket::Connect(kHost, cluster.server->port(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(net::WriteFrame(&*raw, static_cast<uint8_t>(MessageType::kFetch),
+                              replication::EncodeFetchRequest({}),
+                              Deadline::AfterMillis(5000))
+                  .ok());
+  // The server hangs up without serving anything.
+  auto reply = net::ReadFrame(&*raw, net::kDefaultMaxFramePayload,
+                              Deadline::AfterMillis(5000));
+  ASSERT_FALSE(reply.ok());
+}
+
+TEST(ReplicationServerTest, StopUnblocksConnectedClientsPromptly) {
+  SocketCluster cluster;
+  ASSERT_TRUE(cluster.Open().ok());
+  SocketLogTransport transport(FastTransportOptions(cluster.server->port()));
+  ASSERT_TRUE(transport.PrimaryNextLsn().ok());
+  EXPECT_EQ(cluster.server->active_connections(), 1u);
+
+  // Stop with a live, idle connection parked in the server's read loop:
+  // must return promptly, not wait out the idle timeout.
+  const auto start = std::chrono::steady_clock::now();
+  cluster.server->Stop();
+  EXPECT_LT(ElapsedSeconds(start), 5.0);
+  EXPECT_EQ(cluster.server->active_connections(), 0u);
+
+  // The next call fails (connection dropped, reconnect refused) but
+  // returns within the call budget instead of hanging.
+  auto after = transport.PrimaryNextLsn();
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(SocketTransportTest, CallNeverBlocksPastItsDeadline) {
+  // A listener that accepts and then never speaks: the transport's Hello
+  // gets no ack, so every call must die by its own deadline.
+  auto listener = Listener::Bind(kHost, 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread sink([&] {
+    std::vector<Socket> parked;
+    while (true) {
+      auto accepted = listener->Accept();
+      if (!accepted.ok()) return;
+      parked.push_back(std::move(accepted).value());
+    }
+  });
+  SocketTransportOptions options = FastTransportOptions(listener->port());
+  options.call_timeout_ms = 300;
+  SocketLogTransport transport(options);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = transport.PrimaryNextLsn();
+  const double elapsed = ElapsedSeconds(start);
+  ASSERT_FALSE(result.ok());
+  // The boundary contract: timeouts surface as kUnavailable.
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+      << result.status().ToString();
+  EXPECT_LT(elapsed, 2.0) << "call overran its 300 ms budget";
+  listener->Shutdown();
+  sink.join();
+}
+
+// --- Chaos acceptance: two followers through the byte-level proxy ---
+
+struct ChaosCluster {
+  SocketCluster primary;
+  std::unique_ptr<ChaosProxy> proxy;
+  std::unique_ptr<SocketLogTransport> transports[2];
+  std::unique_ptr<Follower> followers[2];
+  std::set<uint64_t> model;
+  uint64_t next_insert = 0;
+
+  void Open() {
+    ASSERT_TRUE(primary.Open().ok());
+    ChaosProxyOptions proxy_options;
+    proxy_options.target_host = kHost;
+    proxy_options.target_port = primary.server->port();
+    proxy_options.seed = 1234;
+    auto started = ChaosProxy::Start(proxy_options);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    proxy = std::move(started).value();
+    for (int i = 0; i < 2; ++i) {
+      transports[i] = std::make_unique<SocketLogTransport>(
+          FastTransportOptions(proxy->port(), /*seed=*/100 + i));
+      FollowerOptions options;
+      options.env = &primary.env;
+      options.dir = "replica" + std::to_string(i);
+      options.replica_index = static_cast<uint32_t>(i);
+      options.reconnect.base_backoff_us = 200;
+      options.reconnect.max_backoff_us = 5000;
+      options.reconnect.decorrelated_jitter = true;
+      options.reconnect.jitter_seed = 100 + i;
+      auto follower = Follower::Open(std::move(options), transports[i].get());
+      ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+      followers[i] = std::move(follower).value();
+    }
+  }
+
+  void Insert(size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(primary.Insert(next_insert).ok());
+      model.insert(next_insert);
+      ++next_insert;
+    }
+  }
+
+  /// Pumps both followers through whatever the proxy is doing until both
+  /// reach the primary's tail (bounded: livelock fails, never hangs).
+  void PumpUntilConverged(size_t max_rounds = 3000) {
+    const uint64_t tail = primary.primary->journal->tail_state().next_lsn;
+    for (size_t round = 0; round < max_rounds; ++round) {
+      bool done = true;
+      for (auto& follower : followers) {
+        if (follower->applied_lsn() < tail) {
+          (void)follower->Pump();
+          done = false;
+        }
+      }
+      if (done) return;
+    }
+    FAIL() << "followers did not converge within " << max_rounds
+           << " rounds";
+  }
+
+  void ExpectConverged() {
+    for (auto& follower : followers) {
+      const std::vector<uint64_t> live = follower->LiveIds();
+      ASSERT_EQ(live.size(), model.size());
+      for (uint64_t id : live) {
+        EXPECT_EQ(model.count(id), 1u);
+        EXPECT_EQ(follower->label(id), LabelFor(id));
+      }
+      EXPECT_EQ(follower->NextId(), primary.primary->base->NextId());
+    }
+  }
+};
+
+TEST(ChaosProxyTest, FollowersConvergeThroughByteLevelChaos) {
+  ChaosCluster cluster;
+  cluster.Open();
+
+  // Clean bootstrap through the proxy first.
+  cluster.Insert(12);
+  cluster.PumpUntilConverged();
+  cluster.ExpectConverged();
+
+  // Mid-frame truncation: cut the server->client stream 5 bytes into a
+  // reply (inside the frame header). The follower sees a torn frame,
+  // reconnects, re-fetches.
+  cluster.Insert(6);
+  cluster.proxy->TruncateDownstreamAfter(5);
+  cluster.PumpUntilConverged();
+  cluster.ExpectConverged();
+  EXPECT_GE(cluster.proxy->counters().truncations, 1u);
+
+  // Garbage injection: seeded noise bytes prepended to a real reply.
+  // CRC framing must reject the frame; no phantom records may apply.
+  cluster.Insert(6);
+  cluster.proxy->InjectGarbage(64);
+  cluster.PumpUntilConverged();
+  cluster.ExpectConverged();
+  EXPECT_GE(cluster.proxy->counters().garbage_injections, 1u);
+
+  // Stall: the reply is delayed but intact; pumps ride it out.
+  cluster.Insert(6);
+  cluster.proxy->StallDownstream(100);
+  cluster.PumpUntilConverged();
+  cluster.ExpectConverged();
+
+  // Three full sever/restore cycles: every cycle forces both followers
+  // through disconnect, capped+jittered backoff, reconnect, catch-up.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    cluster.proxy->Sever();
+    cluster.Insert(4);
+    // Pump into the dead link so both followers actually observe the
+    // outage (bounded attempts; every call returns by its deadline).
+    for (auto& follower : cluster.followers) {
+      auto pumped = follower->Pump();
+      ASSERT_FALSE(pumped.ok());
+      EXPECT_EQ(pumped.status().code(), StatusCode::kUnavailable);
+    }
+    cluster.proxy->Restore();
+    cluster.PumpUntilConverged();
+    cluster.ExpectConverged();
+  }
+  EXPECT_GE(cluster.proxy->counters().severs, 3u);
+
+  for (int i = 0; i < 2; ++i) {
+    const replication::FollowerStatus status = cluster.followers[i]->status();
+    // Each sever/restore cycle is one observed reconnect; truncation and
+    // garbage reconnects may add more.
+    EXPECT_GE(status.counters.reconnects, 3u) << "follower " << i;
+    EXPECT_GT(status.counters.fetch_errors, 0u) << "follower " << i;
+    EXPECT_EQ(status.last_fetch_error, StatusCode::kUnavailable)
+        << "follower " << i;
+    // The transport re-handshook at least once per sever cycle.
+    EXPECT_GE(cluster.transports[i]->connection_generation(), 4u)
+        << "follower " << i;
+    EXPECT_EQ(status.lag, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace geosir

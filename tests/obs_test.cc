@@ -22,7 +22,10 @@
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "query/admission.h"
+#include "replication/follower.h"
 #include "replication/replicated_shape_base.h"
+#include "replication/replication_server.h"
+#include "replication/socket_transport.h"
 #include "storage/appendable_file.h"
 #include "storage/external_simplex_index.h"
 #include "util/rng.h"
@@ -516,6 +519,92 @@ TEST(EndToEndMetricsTest, ReplicationFamiliesPublishToDefaultRegistry) {
   }
   // Replication series are labeled per replica.
   EXPECT_NE(text.find("replica=\"0\""), std::string::npos);
+}
+
+TEST(EndToEndMetricsTest, NetTransportFamiliesPublishToDefaultRegistry) {
+  storage::MemEnv env;
+  storage::DurabilityOptions durability;
+  durability.env = &env;
+  auto opened = storage::OpenDurableDynamicBase(
+      "netprimary", core::DynamicShapeBase::Options{}, durability);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto primary =
+      std::make_unique<storage::DurableDynamicBase>(std::move(*opened));
+
+  replication::ReplicationServerOptions server_options;
+  server_options.env = &env;
+  server_options.dir = "netprimary";
+  server_options.journal = primary->journal.get();
+  auto server = replication::ReplicationServer::Start(server_options);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  replication::SocketTransportOptions transport_options;
+  transport_options.host = "127.0.0.1";
+  transport_options.port = (*server)->port();
+  transport_options.reconnect = replication::DefaultReconnectPolicy(7);
+  transport_options.reconnect.base_backoff_us = 200;
+  transport_options.reconnect.max_backoff_us = 5000;
+  replication::SocketLogTransport transport(transport_options);
+
+  replication::FollowerOptions follower_options;
+  follower_options.env = &env;
+  follower_options.dir = "netreplica0";
+  follower_options.reconnect.base_backoff_us = 200;
+  follower_options.reconnect.max_backoff_us = 5000;
+  auto follower =
+      replication::Follower::Open(std::move(follower_options), &transport);
+  ASSERT_TRUE(follower.ok()) << follower.status().message();
+
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        primary->base->Insert(RegularPolygon(4 + static_cast<int>(i) % 3, 1.0),
+                              0)
+            .ok());
+  }
+  const uint64_t tail = primary->journal->tail_state().next_lsn;
+  for (int round = 0; round < 100 && (*follower)->applied_lsn() < tail;
+       ++round) {
+    ASSERT_TRUE((*follower)->Pump().ok());
+  }
+  EXPECT_EQ((*follower)->applied_lsn(), tail);
+
+  // Stopping the server makes the next pump fail after retries, which
+  // publishes the per-code fetch-error counter and sets the last-error
+  // gauge — the "why is my follower behind" dashboard path.
+  (*server)->Stop();
+  auto pump = (*follower)->Pump();
+  EXPECT_FALSE(pump.ok());
+  EXPECT_EQ((*follower)->status().last_fetch_error,
+            util::StatusCode::kUnavailable);
+  EXPECT_GT((*follower)->status().counters.fetch_errors, 0u);
+
+  const std::string text =
+      ToPrometheusText(MetricRegistry::Default().Snapshot());
+  AssertParsesAsPrometheus(text);
+  for (const char* family :
+       {// Primary-side socket endpoint.
+        "geosir_net_server_connections_total",
+        "geosir_net_server_active_connections",
+        "geosir_net_server_frames_total", "geosir_net_server_bytes_total",
+        "geosir_net_server_request_seconds",
+        // Client transport.
+        "geosir_net_client_connects_total",
+        "geosir_net_client_reconnects_total", "geosir_net_client_frames_total",
+        "geosir_net_client_bytes_total", "geosir_net_client_call_seconds",
+        // Follower transport identity + error surface.
+        "geosir_replication_transport_info",
+        "geosir_replication_last_fetch_error_code",
+        "geosir_replication_fetch_errors_total"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " "),
+              std::string::npos)
+        << "missing metric family: " << family;
+  }
+  // The transport identity gauge carries the endpoint as a label, and
+  // the fetch-error counter is split per status code.
+  EXPECT_NE(text.find("transport=\"socket://127.0.0.1:"), std::string::npos);
+  EXPECT_NE(text.find("geosir_replication_fetch_errors_total{"),
+            std::string::npos);
+  EXPECT_NE(text.find("code=\"Unavailable\""), std::string::npos);
 }
 
 }  // namespace

@@ -20,7 +20,9 @@
 #include "core/dynamic_shape_base.h"
 #include "core/envelope_matcher.h"
 #include "core/shape_base.h"
+#include "net/frame.h"
 #include "query/parser.h"
+#include "replication/wire_protocol.h"
 #include "storage/appendable_file.h"
 #include "storage/base_io.h"
 #include "storage/wal.h"
@@ -610,6 +612,173 @@ TEST(WalRecoveryFuzzTest, MutatedStoresRecoverCleanlyOrFailCleanly) {
                     ->Insert(MakeTriangle(99.0), core::ImageId(99), "post")
                     .ok())
         << "iteration " << it;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-mutation fuzz over the replication wire format. The frame decoder
+// and every payload decoder face bytes a hostile or byte-flipping peer
+// could send: the only acceptable outcomes are a clean kCorruption /
+// kUnavailable, or a successful decode that is EXACTLY the original
+// message — never a crash, never an unbounded allocation, never a
+// phantom record.
+// ---------------------------------------------------------------------------
+
+/// One realistic frame: a kFetchOk carrying an encoded LogBatch.
+std::vector<uint8_t> BuildWireSeedFrame(replication::LogBatch* out_batch) {
+  replication::LogBatch batch;
+  batch.primary_next_lsn = 9;
+  for (uint64_t lsn = 0; lsn < 9; ++lsn) {
+    storage::WalRecord record;
+    record.lsn = lsn;
+    record.type = lsn == 0 ? storage::WalRecordType::kCompactCommit
+                           : storage::WalRecordType::kInsert;
+    record.payload.assign(11 + static_cast<size_t>(lsn) * 7,
+                          static_cast<uint8_t>(0xA0 + lsn));
+    batch.records.push_back(std::move(record));
+  }
+  std::vector<uint8_t> wire;
+  net::AppendFrame(
+      &wire,
+      static_cast<uint8_t>(replication::MessageType::kFetchOk),
+      replication::EncodeLogBatch(batch));
+  if (out_batch != nullptr) *out_batch = std::move(batch);
+  return wire;
+}
+
+TEST(WireFrameFuzzTest, MutatedFramesDecodeExactlyOrFailCleanly) {
+  replication::LogBatch original;
+  const std::vector<uint8_t> seed = BuildWireSeedFrame(&original);
+  util::Rng rng(20260809);
+  for (int it = 0; it < 4000; ++it) {
+    std::vector<uint8_t> bytes = seed;
+    const int flips = static_cast<int>(rng.UniformInt(1, 6));
+    for (int f = 0; f < flips && !bytes.empty(); ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    }
+    if (rng.Bernoulli(0.3) && bytes.size() > 1) {
+      bytes.resize(static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(bytes.size()) - 1)));
+    } else if (rng.Bernoulli(0.1)) {
+      for (int extra = 0; extra < 32; ++extra) {
+        bytes.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      }
+    }
+    size_t consumed = 0;
+    auto frame = net::DecodeFrame(bytes.data(), bytes.size(),
+                                  net::kDefaultMaxFramePayload, &consumed);
+    if (!frame.ok()) {
+      // Torn at the end = kUnavailable; anything else = kCorruption.
+      EXPECT_TRUE(frame.status().code() == util::StatusCode::kCorruption ||
+                  frame.status().code() == util::StatusCode::kUnavailable)
+          << "iteration " << it << ": " << frame.status().ToString();
+      continue;
+    }
+    // The CRC covers header + payload, so a successful decode means the
+    // mutations all landed past the frame boundary: the message is the
+    // original, bit for bit — no phantom or altered records.
+    ASSERT_LE(consumed, bytes.size()) << "iteration " << it;
+    EXPECT_EQ(frame->type,
+              static_cast<uint8_t>(replication::MessageType::kFetchOk));
+    auto decoded = replication::DecodeLogBatch(frame->payload);
+    ASSERT_TRUE(decoded.ok()) << "iteration " << it;
+    ASSERT_EQ(decoded->records.size(), original.records.size());
+    EXPECT_EQ(decoded->primary_next_lsn, original.primary_next_lsn);
+    for (size_t r = 0; r < original.records.size(); ++r) {
+      EXPECT_EQ(decoded->records[r].lsn, original.records[r].lsn);
+      EXPECT_EQ(decoded->records[r].type, original.records[r].type);
+      EXPECT_EQ(decoded->records[r].payload, original.records[r].payload);
+    }
+  }
+}
+
+TEST(WireFrameFuzzTest, ForgedLengthsAreBoundedBeforeAllocation) {
+  // Plant hostile u32s in the frame length field and in the batch record
+  // count; both sit before their data, so unvalidated trust would turn
+  // one flipped word into a multi-gigabyte reserve. The decoders must
+  // reject against the bytes actually present instead.
+  const std::vector<uint8_t> seed = BuildWireSeedFrame(nullptr);
+  for (uint32_t forged : {0x7FFFFFFFu, 0xFFFFFFFFu, 0x10000000u,
+                          static_cast<uint32_t>(seed.size()) * 1000u}) {
+    std::vector<uint8_t> bytes = seed;
+    // payload_len lives at offset 8 (after magic, version, type, flags).
+    bytes[8] = static_cast<uint8_t>(forged);
+    bytes[9] = static_cast<uint8_t>(forged >> 8);
+    bytes[10] = static_cast<uint8_t>(forged >> 16);
+    bytes[11] = static_cast<uint8_t>(forged >> 24);
+    size_t consumed = 0;
+    auto frame = net::DecodeFrame(bytes.data(), bytes.size(),
+                                  net::kDefaultMaxFramePayload, &consumed);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_TRUE(frame.status().code() == util::StatusCode::kCorruption ||
+                frame.status().code() == util::StatusCode::kUnavailable)
+        << frame.status().ToString();
+  }
+  // Record count at the front of an otherwise-tiny LogBatch payload.
+  std::vector<uint8_t> payload;
+  net::PutU64(&payload, /*primary_next_lsn=*/5);
+  net::PutU32(&payload, 0x40000000u);  // One billion promised records.
+  auto decoded = replication::DecodeLogBatch(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(WireFrameFuzzTest, PayloadDecodersAreTotalOverArbitraryBytes) {
+  // Every wire_protocol decoder over pure noise and over truncated
+  // prefixes of valid messages: total, bounded, kCorruption on failure.
+  replication::LogBatch batch_msg;
+  (void)BuildWireSeedFrame(&batch_msg);
+  const std::vector<uint8_t> valid_batch =
+      replication::EncodeLogBatch(batch_msg);
+  replication::SnapshotPackage package;
+  package.generation = 4;
+  package.checkpoint.assign(257, 0x5A);
+  package.head_frame.assign(41, 0xC3);
+  package.primary_next_lsn = 77;
+  const std::vector<uint8_t> valid_snapshot =
+      replication::EncodeSnapshotPackage(package);
+
+  util::Rng rng(424242);
+  auto check = [&](const std::vector<uint8_t>& bytes, int it) {
+    auto hello = replication::DecodeHello(bytes);
+    if (!hello.ok()) {
+      EXPECT_EQ(hello.status().code(), util::StatusCode::kCorruption) << it;
+    }
+    auto fetch = replication::DecodeFetchRequest(bytes);
+    if (!fetch.ok()) {
+      EXPECT_EQ(fetch.status().code(), util::StatusCode::kCorruption) << it;
+    }
+    auto batch = replication::DecodeLogBatch(bytes);
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), util::StatusCode::kCorruption) << it;
+    }
+    auto snapshot = replication::DecodeSnapshotPackage(bytes);
+    if (!snapshot.ok()) {
+      EXPECT_EQ(snapshot.status().code(), util::StatusCode::kCorruption) << it;
+    }
+    auto next = replication::DecodeNextLsn(bytes);
+    if (!next.ok()) {
+      EXPECT_EQ(next.status().code(), util::StatusCode::kCorruption) << it;
+    }
+    // DecodeError is total by construction (it returns a Status); it
+    // must never decode arbitrary bytes into kOk (a forged "success").
+    util::Status error = replication::DecodeError(bytes);
+    EXPECT_NE(error.code(), util::StatusCode::kOk) << it;
+  };
+  for (int it = 0; it < 2000; ++it) {
+    std::vector<uint8_t> noise(
+        static_cast<size_t>(rng.UniformInt(0, 96)));
+    for (auto& b : noise) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    check(noise, it);
+  }
+  for (const std::vector<uint8_t>* valid : {&valid_batch, &valid_snapshot}) {
+    for (size_t cut = 0; cut < valid->size(); ++cut) {
+      std::vector<uint8_t> prefix(valid->begin(),
+                                  valid->begin() + static_cast<long>(cut));
+      check(prefix, static_cast<int>(cut));
+    }
   }
 }
 

@@ -21,6 +21,8 @@
 #include "replication/follower.h"
 #include "replication/log_transport.h"
 #include "replication/replicated_shape_base.h"
+#include "replication/replication_server.h"
+#include "replication/socket_transport.h"
 #include "storage/appendable_file.h"
 #include "storage/wal.h"
 
@@ -493,6 +495,107 @@ TEST(Follower, DuplicatesAndReordersAreAbsorbedIdempotently) {
   // paths must actually have fired.
   EXPECT_GT(counters.duplicates_skipped, 0u);
   EXPECT_GT(counters.gap_batches, 0u);
+}
+
+// --- Socket-backed followers (real loopback TCP) ---
+
+TEST(Follower, ConvergesOverRealSocketsWithIdenticalMirror) {
+  // The same catch-up contract as the in-process transport, but the log
+  // ships through ReplicationServer + SocketLogTransport over loopback:
+  // two followers, each on its own connection, one primary endpoint.
+  Cluster cluster;
+  cluster.base_options = NoAutoCompactOptions();
+  ASSERT_TRUE(cluster.OpenPrimary().ok());
+
+  ReplicationServerOptions server_options;
+  server_options.env = &cluster.env;
+  server_options.dir = kPrimaryDir;
+  server_options.journal = cluster.primary->journal.get();
+  auto server = ReplicationServer::Start(server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::unique_ptr<SocketLogTransport> transports[2];
+  std::unique_ptr<Follower> followers[2];
+  for (int i = 0; i < 2; ++i) {
+    SocketTransportOptions transport_options;
+    transport_options.host = "127.0.0.1";
+    transport_options.port = (*server)->port();
+    transport_options.reconnect = DefaultReconnectPolicy(/*jitter_seed=*/i + 1);
+    transport_options.reconnect.base_backoff_us = 200;
+    transport_options.reconnect.max_backoff_us = 5000;
+    transports[i] = std::make_unique<SocketLogTransport>(transport_options);
+    FollowerOptions options;
+    options.env = &cluster.env;
+    options.dir = "replica" + std::to_string(i);
+    options.base = cluster.base_options;
+    options.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+    options.replica_index = static_cast<uint32_t>(i);
+    auto follower = Follower::Open(std::move(options), transports[i].get());
+    ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+    followers[i] = std::move(follower).value();
+  }
+
+  std::set<uint64_t> model;
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.primary->base
+                    ->Insert(ShapeFor(i), ImageFor(i), LabelFor(i))
+                    .ok());
+    model.insert(i);
+    if (i % 5 == 4) {
+      const uint64_t victim = i - 2;
+      ASSERT_TRUE(cluster.primary->base->Remove(victim).ok());
+      model.erase(victim);
+    }
+  }
+  const uint64_t tail = cluster.primary->journal->tail_state().next_lsn;
+  for (auto& follower : followers) {
+    for (size_t round = 0; round < 10000 && follower->applied_lsn() < tail;
+         ++round) {
+      (void)follower->Pump();
+    }
+    ASSERT_EQ(follower->applied_lsn(), tail);
+    EXPECT_TRUE(FollowerMatches(*follower, model));
+    EXPECT_EQ(follower->NextId(), cluster.primary->base->NextId());
+    EXPECT_EQ(follower->lag(), 0u);
+    EXPECT_EQ(follower->status().counters.resyncs, 0u);
+  }
+
+  // Byte-shipped means byte-identical: each follower's WAL mirror equals
+  // the primary's log, record for record, through the framed wire.
+  auto primary_wal = cluster.env.ReadFileBytes(
+      storage::WalPath(kPrimaryDir, cluster.primary->journal->generation()));
+  ASSERT_TRUE(primary_wal.ok());
+  for (int i = 0; i < 2; ++i) {
+    auto follower_wal = cluster.env.ReadFileBytes(storage::WalPath(
+        "replica" + std::to_string(i), followers[i]->generation()));
+    ASSERT_TRUE(follower_wal.ok());
+    EXPECT_EQ(*primary_wal, *follower_wal) << "replica " << i;
+  }
+
+  // A rotation (explicit compaction at a converged cursor) streams over
+  // the socket exactly as in-process: checkpoint + fresh generation.
+  ASSERT_TRUE(cluster.primary->base->Compact().ok());
+  for (uint64_t i = 20; i < 26; ++i) {
+    ASSERT_TRUE(cluster.primary->base
+                    ->Insert(ShapeFor(i), ImageFor(i), LabelFor(i))
+                    .ok());
+    model.insert(i);
+  }
+  const uint64_t tail2 = cluster.primary->journal->tail_state().next_lsn;
+  for (auto& follower : followers) {
+    for (size_t round = 0; round < 10000 && follower->applied_lsn() < tail2;
+         ++round) {
+      (void)follower->Pump();
+    }
+    ASSERT_EQ(follower->applied_lsn(), tail2);
+    EXPECT_TRUE(FollowerMatches(*follower, model));
+    EXPECT_EQ(follower->generation(), cluster.primary->journal->generation());
+    EXPECT_GT(follower->status().counters.rotations, 0u);
+  }
+
+  // Graceful teardown while clients hold live connections.
+  (*server)->Stop();
+  EXPECT_EQ((*server)->active_connections(), 0u);
 }
 
 // --- The replicated serving tier ---

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -235,6 +237,71 @@ TEST(RetryTest, AtMostOneAttemptWhenDisabled) {
       policy, [&] { ++calls; return Status::Unavailable("down"); });
   EXPECT_EQ(s.code(), StatusCode::kUnavailable);
   EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffCapBoundsEverySleep) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.multiplier = 10.0;
+  policy.max_backoff_us = 500;
+  int64_t prev = 0;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const int64_t us = NextBackoffUs(policy, attempt, prev);
+    EXPECT_GE(us, 100) << "attempt " << attempt;
+    EXPECT_LE(us, 500) << "attempt " << attempt;
+    prev = us;
+  }
+  // Without a cap the legacy exponential schedule is unchanged.
+  policy.max_backoff_us = 0;
+  EXPECT_EQ(NextBackoffUs(policy, 1, 0), 100);
+  EXPECT_EQ(NextBackoffUs(policy, 2, 0), 1000);
+  EXPECT_EQ(NextBackoffUs(policy, 3, 0), 10000);
+  // Zero base still disables sleeping entirely.
+  policy.base_backoff_us = 0;
+  EXPECT_EQ(NextBackoffUs(policy, 5, 0), 0);
+}
+
+TEST(RetryTest, DecorrelatedJitterIsBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.multiplier = 3.0;
+  policy.max_backoff_us = 2000;
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed = 42;
+  std::vector<int64_t> draws;
+  int64_t prev = 0;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    const int64_t us = NextBackoffUs(policy, attempt, prev);
+    // Every draw sits in [base, min(cap, max(base, prev * multiplier))].
+    EXPECT_GE(us, 100) << "attempt " << attempt;
+    EXPECT_LE(us, 2000) << "attempt " << attempt;
+    const int64_t window =
+        std::max<int64_t>(100, static_cast<int64_t>(
+                                   (prev > 0 ? prev : 100) * 3.0));
+    EXPECT_LE(us, std::min<int64_t>(2000, window)) << "attempt " << attempt;
+    draws.push_back(us);
+    prev = us;
+  }
+  // Same seed reproduces the exact schedule (chaos tests depend on it).
+  prev = 0;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    EXPECT_EQ(NextBackoffUs(policy, attempt, prev), draws[attempt - 1]);
+    prev = draws[attempt - 1];
+  }
+  // A different seed decorrelates: two "clients" severed at the same
+  // instant must not sleep in lockstep.
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  int differing = 0;
+  int64_t prev_a = 0, prev_b = 0;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    const int64_t a = NextBackoffUs(policy, attempt, prev_a);
+    const int64_t b = NextBackoffUs(other, attempt, prev_b);
+    if (a != b) ++differing;
+    prev_a = a;
+    prev_b = b;
+  }
+  EXPECT_GT(differing, 0);
 }
 
 TEST(RelaxedCounterTest, ConcurrentIncrementsAllLand) {
