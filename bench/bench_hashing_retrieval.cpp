@@ -17,8 +17,29 @@
 
 using geosir::bench::Fmt;
 using geosir::bench::FmtInt;
+using geosir::bench::JsonLine;
 using geosir::bench::Table;
 using geosir::bench::Timer;
+
+namespace {
+
+/// Fraction of the exact top-k shape ids the index's top-k recovered.
+double RecallAtK(const std::vector<geosir::core::MatchResult>& got,
+                 const std::vector<geosir::core::MatchResult>& truth) {
+  if (truth.empty()) return 1.0;
+  size_t hits = 0;
+  for (const auto& t : truth) {
+    for (const auto& g : got) {
+      if (g.shape_id == t.shape_id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace
 
 int main() {
   geosir::workload::ImageBaseSpec spec;
@@ -38,9 +59,26 @@ int main() {
   const auto queries = geosir::workload::MakeQuerySet(
       generated->prototypes, 30, 0.015, &qrng);
 
+  // Exact envelope top-10 ground truth, so the recall_at_k rows here are
+  // directly comparable to bench_lsh_retrieval's (same key names, same
+  // definition).
+  constexpr size_t kTopK = 10;
+  geosir::core::MatchOptions exact_options;
+  exact_options.k = kTopK;
+  exact_options.measure = geosir::core::MatchMeasure::kDiscreteSymmetric;
+  std::vector<std::vector<geosir::core::MatchResult>> truth;
+  {
+    geosir::core::EnvelopeMatcher matcher(&base);
+    for (const auto& qc : queries) {
+      auto results = matcher.Match(qc.query, exact_options);
+      if (!results.ok()) return 1;
+      truth.push_back(*std::move(results));
+    }
+  }
+
   std::printf("=== Curve-family size sweep ===\n");
   Table table({"k curves", "build_ms", "avg bucket", "cand/query",
-               "precision@1", "query_ms"});
+               "precision@1", "recall@10", "query_ms"});
   for (int k : {10, 25, 50, 100, 200}) {
     geosir::hashing::GeoHashOptions options;
     options.curves_per_quarter = k;
@@ -53,10 +91,12 @@ int main() {
     int correct = 0;
     double query_ms = 0.0;
     double candidates = 0.0;
-    for (const auto& qc : queries) {
+    double recall = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const auto& qc = queries[q];
       Timer t;
       size_t evaluated = 0;
-      auto results = index->Query(qc.query, 1, &evaluated);
+      auto results = index->Query(qc.query, kTopK, &evaluated);
       query_ms += t.Millis();
       if (!results.ok()) return 1;
       if (!results->empty() &&
@@ -65,12 +105,27 @@ int main() {
         ++correct;
       }
       candidates += static_cast<double>(evaluated);
+      recall += RecallAtK(*results, truth[q]);
     }
     table.AddRow({FmtInt(k), Fmt("%.0f", build_ms),
                   Fmt("%.1f", index->AverageBucketOccupancy()),
                   Fmt("%.1f", candidates / queries.size()),
                   Fmt("%.0f%%", 100.0 * correct / queries.size()),
+                  Fmt("%.3f", recall / queries.size()),
                   Fmt("%.1f", query_ms / queries.size())});
+    JsonLine("hashing_retrieval")
+        .Str("tier", "geohash")
+        .Int("curves_per_quarter", k)
+        .Int("shapes", static_cast<long long>(base.NumShapes()))
+        .Int("queries", static_cast<long long>(queries.size()))
+        .Int("k", static_cast<long long>(kTopK))
+        .Num("recall_at_k", recall / queries.size())
+        .Num("candidates_mean", candidates / queries.size())
+        .Num("precision_at_1",
+             static_cast<double>(correct) / queries.size())
+        .Num("e2e_ms_mean", query_ms / queries.size())
+        .Num("build_ms", build_ms)
+        .Emit();
   }
   table.Print();
   std::printf(

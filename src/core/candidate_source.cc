@@ -1,0 +1,46 @@
+#include "core/candidate_source.h"
+
+#include "core/shape_base.h"
+#include "util/query_control.h"
+
+namespace geosir::core {
+
+util::Status ExactEnumerationSource::Generate(
+    const geom::Polyline& normalized_query, size_t max_candidates,
+    const MatchOptions& options, std::vector<uint32_t>* out,
+    CandidateSourceStats* stats) {
+  (void)normalized_query;
+  out->clear();
+  if (stats != nullptr) *stats = CandidateSourceStats{};
+  if (base_ == nullptr || !base_->finalized()) {
+    return util::Status::FailedPrecondition(
+        "ExactEnumerationSource requires a finalized ShapeBase");
+  }
+  util::QueryControl control{options.deadline, options.cancel_token};
+  const size_t total = base_->NumCopies();
+  const size_t limit =
+      (max_candidates == 0) ? total : std::min(max_candidates, total);
+  out->reserve(limit);
+  for (size_t idx = 0; idx < limit; ++idx) {
+    // Poll at amortized granularity; enumeration is cheap per element.
+    if ((idx & 1023) == 0) {
+      util::Status stop = control.Check();
+      if (!stop.ok()) {
+        if (stats != nullptr) {
+          stats->candidates_emitted = out->size();
+          stats->termination = stop;
+        }
+        return stop;
+      }
+    }
+    out->push_back(static_cast<uint32_t>(idx));
+  }
+  if (stats != nullptr) {
+    stats->candidates_emitted = out->size();
+    stats->truncated = limit < total;
+    stats->exhaustive = limit == total;
+  }
+  return util::Status::OK();
+}
+
+}  // namespace geosir::core

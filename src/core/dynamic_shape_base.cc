@@ -79,6 +79,9 @@ uint64_t DynamicShapeBase::ApplyInsert(geom::Polyline boundary, ImageId image,
   metrics.inserts->Inc();
   metrics.delta_shapes->Add(1);
   metrics.live_shapes->Add(1);
+  // Observer hook sits on this shared tail so replayed inserts (journal
+  // recovery, replication followers) reach it too.
+  if (observer_ != nullptr) observer_->OnInsert(id, records_[id].copies);
   return id;
 }
 
@@ -98,6 +101,7 @@ void DynamicShapeBase::ApplyRemove(uint64_t id) {
         delta_ids_.end());
     metrics.delta_shapes->Add(-1);
   }
+  if (observer_ != nullptr) observer_->OnRemove(id);
 }
 
 util::Result<uint64_t> DynamicShapeBase::Insert(geom::Polyline boundary,
@@ -294,36 +298,127 @@ util::Status DynamicShapeBase::Compact() {
   return util::Status::OK();
 }
 
+double DynamicShapeBase::EvaluateCopyShape(const geom::Polyline& copy_shape,
+                                           const NormalizedCopy& qnorm) const {
+  switch (options_.match.measure) {
+    case MatchMeasure::kContinuousSymmetric:
+      return AvgMinDistanceSymmetric(copy_shape, qnorm.shape,
+                                     options_.match.similarity);
+    case MatchMeasure::kContinuousDirected:
+      return AvgMinDistance(copy_shape, qnorm.shape,
+                            options_.match.similarity);
+    case MatchMeasure::kDiscreteSymmetric:
+      return std::max(DiscreteAvgMinDistance(copy_shape, qnorm.shape),
+                      DiscreteAvgMinDistance(qnorm.shape, copy_shape));
+    case MatchMeasure::kDiscreteDirected:
+      return DiscreteAvgMinDistance(copy_shape, qnorm.shape);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
 double DynamicShapeBase::EvaluateAgainstQuery(
     const Record& record, const NormalizedCopy& qnorm) const {
   // Delta shapes are matched by direct evaluation over their cached
   // normalized copies (the delta is small by construction).
   double best = std::numeric_limits<double>::infinity();
   for (const NormalizedCopy& copy : record.copies) {
-    double d;
-    switch (options_.match.measure) {
-      case MatchMeasure::kContinuousSymmetric:
-        d = AvgMinDistanceSymmetric(copy.shape, qnorm.shape,
-                                    options_.match.similarity);
-        break;
-      case MatchMeasure::kContinuousDirected:
-        d = AvgMinDistance(copy.shape, qnorm.shape,
-                           options_.match.similarity);
-        break;
-      case MatchMeasure::kDiscreteSymmetric:
-        d = std::max(DiscreteAvgMinDistance(copy.shape, qnorm.shape),
-                     DiscreteAvgMinDistance(qnorm.shape, copy.shape));
-        break;
-      case MatchMeasure::kDiscreteDirected:
-        d = DiscreteAvgMinDistance(copy.shape, qnorm.shape);
-        break;
-      default:
-        d = std::numeric_limits<double>::infinity();
-        break;
-    }
-    best = std::min(best, d);
+    best = std::min(best, EvaluateCopyShape(copy.shape, qnorm));
   }
   return best;
+}
+
+util::Result<std::vector<NormalizedCopy>> DynamicShapeBase::NormalizedCopiesOf(
+    uint64_t id) const {
+  if (id >= records_.size() || records_[id].deleted) {
+    return util::Status::NotFound("unknown or deleted shape id");
+  }
+  const Record& record = records_[id];
+  if (!record.copies.empty()) return record.copies;
+  if (record.boundary.empty()) {
+    // Restored tombstone placeholder that later resurfaced — impossible
+    // for live ids, but keep the failure explicit.
+    return util::Status::FailedPrecondition("record has no boundary");
+  }
+  return NormalizeBoundary(record.boundary);
+}
+
+util::Result<std::vector<std::pair<uint64_t, double>>>
+DynamicShapeBase::MatchIds(const std::vector<uint64_t>& ids,
+                           const geom::Polyline& query, size_t k,
+                           MatchStats* stats) const {
+  MatchStats local_stats;
+  MatchStats& st = stats != nullptr ? *stats : local_stats;
+  st = MatchStats{};
+
+  const util::QueryControl control{options_.match.deadline,
+                                   options_.match.cancel_token};
+  {
+    util::Status entry = control.Check();
+    if (!entry.ok()) {
+      st.termination = entry;
+      return entry;
+    }
+  }
+  const util::ScopedQueryControl scoped(&control);
+
+  GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
+  const WorkBudget& budget = options_.match.budget;
+  std::vector<std::pair<uint64_t, double>> results;
+  results.reserve(std::min(ids.size(), k + 8));
+  util::Status stop;
+  for (uint64_t id : ids) {
+    if (stop.ok()) stop = control.Check();
+    if (stop.ok() && budget.max_candidates > 0 &&
+        st.candidates_evaluated >= budget.max_candidates) {
+      stop = util::Status::ResourceExhausted("candidate budget exhausted");
+    }
+    if (!stop.ok()) {
+      ++st.candidates_skipped;
+      continue;
+    }
+    // Stale candidates (removed since the pre-filter emitted them) are
+    // skipped silently: the approximate tier is allowed to lag by a
+    // mutation, the exact tier filters it out here.
+    if (id >= records_.size() || records_[id].deleted) continue;
+    const Record& record = records_[id];
+    double distance;
+    if (!record.copies.empty()) {
+      distance = EvaluateAgainstQuery(record, qnorm);
+    } else if (record.in_main && main_ != nullptr) {
+      // Compaction cleared the record's cached copies; score the main
+      // base's pooled copies instead of renormalizing. main_ids_ is
+      // ascending (Compact builds it in id order, RestoreCheckpoint
+      // validates it), so the reverse map is a binary search.
+      const auto it =
+          std::lower_bound(main_ids_.begin(), main_ids_.end(), id);
+      if (it == main_ids_.end() || *it != id) continue;
+      const ShapeId shape_id =
+          static_cast<ShapeId>(it - main_ids_.begin());
+      distance = std::numeric_limits<double>::infinity();
+      for (uint32_t copy_idx : main_->CopiesOfShape(shape_id)) {
+        distance = std::min(
+            distance, EvaluateCopyShape(main_->copy(copy_idx).shape, qnorm));
+      }
+    } else {
+      continue;
+    }
+    ++st.candidates_evaluated;
+    results.emplace_back(id, distance);
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (results.size() > k) results.resize(k);
+
+  if (!stop.ok()) {
+    st.termination = stop;
+    if (results.empty()) return stop;
+    st.partial = true;
+  }
+  return results;
 }
 
 util::Result<std::vector<std::pair<uint64_t, double>>>

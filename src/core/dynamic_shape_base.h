@@ -26,6 +26,26 @@ namespace geosir::core {
 ///     the tombstones exceed a fraction of the total.
 ///
 /// Ids handed out by this class are stable across compactions.
+///
+/// EXTENSION (tiered retrieval, DESIGN.md section 14): observer of
+/// applied mutations. Hooked at the shared infallible mutation tails, so
+/// direct Insert/Remove AND journal replay (hence replication follower
+/// replay) reach it — an attached LSH pre-filter (lsh::DynamicLshIndex)
+/// stays coherent on followers with no extra plumbing. Callbacks run
+/// synchronously on the mutating thread; keep them cheap and never call
+/// back into the base. Not invoked by RestoreCheckpoint or Compact
+/// (stable ids do not change there) — after a restore, rebuild the
+/// observer's state from LiveIds()/NormalizedCopiesOf().
+class DynamicBaseObserver {
+ public:
+  virtual ~DynamicBaseObserver() = default;
+  /// A record was applied: its stable id and its normalized copies.
+  virtual void OnInsert(uint64_t id,
+                        const std::vector<NormalizedCopy>& copies) = 0;
+  /// A record was deleted (direct or replayed).
+  virtual void OnRemove(uint64_t id) = 0;
+};
+
 class DynamicShapeBase {
  public:
   struct Options {
@@ -71,6 +91,33 @@ class DynamicShapeBase {
   util::Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
   MatchBatch(const std::vector<geom::Polyline>& queries, size_t k = 1,
              std::vector<MatchStats>* stats = nullptr);
+
+  /// EXTENSION (tiered retrieval): exact verification of an explicit
+  /// candidate id set — the second tier behind an approximate pre-filter
+  /// (lsh::DynamicLshIndex) that produced `ids`. Each live id is scored
+  /// directly under options().match.measure (best over its normalized
+  /// copies); unknown, deleted or restored-placeholder ids are skipped
+  /// silently, since approximate candidate sets may be stale by one
+  /// mutation. Results are the k best (distance, id)-ordered pairs.
+  /// Deterministic: ids are processed in the given order and the
+  /// candidate budget (options().match.budget.max_candidates) cuts
+  /// deterministically; deadline / cancel follow the usual
+  /// partial-result contract.
+  util::Result<std::vector<std::pair<uint64_t, double>>> MatchIds(
+      const std::vector<uint64_t>& ids, const geom::Polyline& query,
+      size_t k = 1, MatchStats* stats = nullptr) const;
+
+  /// Attaches a mutation observer (non-owning; nullptr detaches). The
+  /// observer sees every ApplyInsert/ApplyRemove from now on, including
+  /// replayed ones.
+  void SetObserver(DynamicBaseObserver* observer) { observer_ = observer; }
+
+  /// Normalized copies of a known live id: the cached delta copies when
+  /// present, otherwise recomputed from the stored boundary (records
+  /// absorbed into main drop their cache at compaction). For observer
+  /// state rebuilds after RestoreCheckpoint.
+  util::Result<std::vector<NormalizedCopy>> NormalizedCopiesOf(
+      uint64_t id) const;
 
   /// Forces a rebuild of the main base (normally automatic).
   util::Status Compact();
@@ -161,6 +208,10 @@ class DynamicShapeBase {
   void ApplyRemove(uint64_t id);
   double EvaluateAgainstQuery(const Record& record,
                               const NormalizedCopy& qnorm) const;
+  /// One copy shape scored against the normalized query under
+  /// options().match.measure.
+  double EvaluateCopyShape(const geom::Polyline& copy_shape,
+                           const NormalizedCopy& qnorm) const;
   /// The Match pipeline against an explicit matcher instance (MatchBatch
   /// runs one per worker slot). Mutates only `matcher`'s scratch.
   util::Result<std::vector<std::pair<uint64_t, double>>> MatchWith(
@@ -169,6 +220,7 @@ class DynamicShapeBase {
 
   Options options_;
   DynamicBaseJournal* journal_ = nullptr;  // Non-owning.
+  DynamicBaseObserver* observer_ = nullptr;  // Non-owning.
   std::vector<Record> records_;        // Indexed by stable id.
   std::unique_ptr<ShapeBase> main_;    // Finalized; may be null (empty).
   std::unique_ptr<EnvelopeMatcher> matcher_;

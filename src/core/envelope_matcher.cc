@@ -7,6 +7,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/candidate_source.h"
 #include "geom/distance.h"
 #include "geom/envelope.h"
 #include "obs/metrics.h"
@@ -656,6 +657,210 @@ util::Result<std::vector<MatchResult>> EnvelopeMatcher::Match(
     finish_obs(StopReason(stop));
   } else {
     finish_obs(st.stopped_early ? "early_exit" : "exhausted");
+  }
+  return results;
+}
+
+namespace {
+
+/// Tiered-retrieval metric families (DESIGN.md section 14.4): queries
+/// that went through a CandidateSource pre-filter instead of envelope
+/// growth. `empty` is the recall proxy an operator watches: prefiltered
+/// queries that verified nothing at all trend with pre-filter misses.
+struct PrefilterMetrics {
+  obs::Counter* queries;
+  obs::Counter* candidates;
+  obs::Counter* verified;
+  obs::Counter* empty;
+
+  static const PrefilterMetrics& Get() {
+    static const PrefilterMetrics* metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Default();
+      auto* m = new PrefilterMetrics();
+      m->queries = r.GetCounter("geosir_matcher_prefilter_queries_total",
+                                "MatchCandidates calls finished");
+      m->candidates =
+          r.GetCounter("geosir_matcher_prefilter_candidates_total",
+                       "Candidates emitted by the sources");
+      m->verified = r.GetCounter("geosir_matcher_prefilter_verified_total",
+                                 "Candidates exactly scored");
+      m->empty = r.GetCounter(
+          "geosir_matcher_prefilter_empty_total",
+          "Prefiltered queries returning no results (recall proxy)");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+util::Result<std::vector<MatchResult>> EnvelopeMatcher::MatchCandidates(
+    const Polyline& query, CandidateSource* source, const MatchOptions& options,
+    MatchStats* stats, AccessTrace* trace) {
+  if (!base_->finalized()) {
+    return util::Status::FailedPrecondition("ShapeBase not finalized");
+  }
+  if (source == nullptr) {
+    return util::Status::InvalidArgument("MatchCandidates requires a source");
+  }
+  if (!std::isfinite(options.collect_threshold)) {
+    return util::Status::InvalidArgument(
+        "epsilon/stop/threshold options must be finite");
+  }
+
+  MatchStats local_stats;
+  MatchStats& st = stats != nullptr ? *stats : local_stats;
+  st = MatchStats{};
+
+  const MatcherMetrics& metrics = MatcherMetrics::Get();
+  const PrefilterMetrics& prefilter = PrefilterMetrics::Get();
+  const auto obs_start = std::chrono::steady_clock::now();
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Default();
+  obs::QueryTrace slow_trace;
+  obs::QueryTrace* qtrace = options.query_trace;
+  if (qtrace == nullptr && slow_log.armed()) qtrace = &slow_trace;
+  if (qtrace != nullptr) {
+    qtrace->Start(std::string("match_candidates src=") + source->name() +
+                  " n=" + std::to_string(query.size()) +
+                  " k=" + std::to_string(options.k));
+  }
+  size_t candidates_emitted = 0;
+  bool any_result = false;
+  const auto finish_obs = [&](const char* reason) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      obs_start)
+            .count();
+    metrics.queries->Inc();
+    metrics.latency->Observe(seconds);
+    metrics.candidates->Inc(st.candidates_evaluated);
+    metrics.candidates_skipped->Inc(st.candidates_skipped);
+    metrics.eval_cache_hits->Inc(st.eval_cache_hits);
+    if (st.partial) metrics.partials->Inc();
+    metrics.TerminationCounter(reason)->Inc();
+    prefilter.queries->Inc();
+    prefilter.candidates->Inc(candidates_emitted);
+    prefilter.verified->Inc(st.candidates_evaluated);
+    if (!any_result) prefilter.empty->Inc();
+    if (qtrace != nullptr) {
+      qtrace->Finish(reason, st.partial, st.degraded);
+      if (slow_log.armed()) slow_log.Offer(*qtrace);
+    }
+  };
+
+  // Lifecycle entry check: same zero-work contract as Match.
+  const util::QueryControl control{options.deadline, options.cancel_token};
+  {
+    util::Status entry = control.Check();
+    if (!entry.ok()) {
+      st.termination = entry;
+      finish_obs(StopReason(entry));
+      return entry;
+    }
+  }
+  const util::ScopedQueryControl scoped(&control);
+
+  GEOSIR_ASSIGN_OR_RETURN(NormalizedCopy qnorm, NormalizeQuery(query));
+  const Polyline& q = qnorm.shape;
+  PrepareQueryCache(q, options);
+
+  // Tier 1: candidate generation. The candidate budget is enforced here,
+  // at the source, so the truncation is deterministic (the source's
+  // preference order does not depend on timing or thread count).
+  CandidateSourceStats gen_stats;
+  std::vector<uint32_t> candidates;
+  util::Status generate = source->Generate(
+      q, options.budget.max_candidates, options, &candidates, &gen_stats);
+  candidates_emitted = candidates.size();
+  if (qtrace != nullptr) {
+    qtrace->AddEvent("candidates",
+                     std::string(source->name()) + " emitted " +
+                         std::to_string(candidates.size()) +
+                         (gen_stats.truncated ? " (truncated)" : ""));
+  }
+  if (!generate.ok()) {
+    if (!util::IsLifecycleStop(generate.code())) {
+      finish_obs("error");
+      return generate;
+    }
+    // A query already on its way out must not start similarity
+    // integrals: drop the generated prefix unscored, per the
+    // nothing-ranked-yet contract.
+    st.candidates_skipped = candidates.size();
+    st.termination = generate;
+    finish_obs(StopReason(generate));
+    return generate;
+  }
+  util::Status budget_stop;
+  if (gen_stats.truncated) {
+    budget_stop = util::Status::ResourceExhausted("candidate budget exhausted");
+  }
+
+  // Tier 2: exact verification under options.measure, in source
+  // preference order, chunked so deadline / cancel are observed between
+  // chunks without a per-candidate poll.
+  constexpr size_t kChunk = 64;
+  std::unordered_map<ShapeId, MatchResult> best_per_shape;
+  std::vector<uint32_t> chunk;
+  std::vector<double> chunk_distances;
+  util::Status hard_stop;
+  for (size_t begin = 0; begin < candidates.size(); begin += kChunk) {
+    hard_stop = control.Check();
+    if (!hard_stop.ok()) {
+      st.candidates_skipped += candidates.size() - begin;
+      break;
+    }
+    const size_t end = std::min(candidates.size(), begin + kChunk);
+    chunk.assign(candidates.begin() + static_cast<ptrdiff_t>(begin),
+                 candidates.begin() + static_cast<ptrdiff_t>(end));
+    EvaluateCandidates(chunk, q, options, &chunk_distances, &st);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const uint32_t copy_idx = chunk[i];
+      ++st.candidates_evaluated;
+      if (trace != nullptr) trace->push_back(copy_idx);
+      const NormalizedCopy& copy = base_->copy(copy_idx);
+      const double distance = chunk_distances[i];
+      auto [it, inserted] = best_per_shape.try_emplace(
+          copy.shape_id, MatchResult{copy.shape_id, distance, copy_idx});
+      if (!inserted && distance < it->second.distance) {
+        it->second.distance = distance;
+        it->second.copy_index = copy_idx;
+      }
+    }
+  }
+
+  const bool collect_mode = options.collect_threshold > 0.0;
+  std::vector<MatchResult> results;
+  results.reserve(best_per_shape.size());
+  for (const auto& [id, result] : best_per_shape) {
+    if (collect_mode && result.distance > options.collect_threshold) continue;
+    results.push_back(result);
+  }
+  std::sort(results.begin(), results.end(),
+            [](const MatchResult& a, const MatchResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.shape_id < b.shape_id;
+            });
+  if (!collect_mode && results.size() > options.k) results.resize(options.k);
+  any_result = !results.empty();
+
+  // Partial-result contract, exactly as Match: a stop with ranked
+  // candidates returns them as an OK partial; a stop before anything was
+  // ranked surfaces the stop status. A fully scored candidate set — even
+  // an approximate one — is a natural "exhausted" finish.
+  const util::Status stop = !hard_stop.ok() ? hard_stop : budget_stop;
+  if (!stop.ok()) {
+    st.termination = stop;
+    if (results.empty()) {
+      finish_obs(StopReason(stop));
+      return stop;
+    }
+    st.partial = true;
+    finish_obs(StopReason(stop));
+  } else {
+    st.exhausted = true;
+    finish_obs("exhausted");
   }
   return results;
 }

@@ -14,6 +14,8 @@
 
 namespace geosir::core {
 
+class CandidateSource;
+
 /// The incremental envelope-fattening matcher of Section 2.5.
 ///
 /// Concurrency: one Match call may fan its candidate-scoring work out
@@ -48,6 +50,25 @@ class EnvelopeMatcher {
                                                const MatchOptions& options = {},
                                                MatchStats* stats = nullptr,
                                                AccessTrace* trace = nullptr);
+
+  /// EXTENSION (tiered retrieval, DESIGN.md section 14): k-best (or
+  /// collect_threshold) ranking over the candidate set emitted by `source`
+  /// instead of envelope growth — the exact-verification half of the
+  /// "approximate first pass -> exact scoring" pipeline. Exactly as
+  /// accurate as the candidate set: with an exhaustive source this equals
+  /// brute-force ranking under options.measure; with an approximate
+  /// source (LSH, hash curves) recall is the source's.
+  ///
+  /// Lifecycle mirrors Match: options.budget.max_candidates caps the
+  /// candidate set at generation (a deterministic truncation, reported as
+  /// a kResourceExhausted partial); deadline / cancel stop generation and
+  /// scoring cooperatively with the same partial-result contract. The
+  /// per-query memo is shared with Match, so mixing entry points on one
+  /// matcher instance never re-scores a copy.
+  util::Result<std::vector<MatchResult>> MatchCandidates(
+      const geom::Polyline& query, CandidateSource* source,
+      const MatchOptions& options = {}, MatchStats* stats = nullptr,
+      AccessTrace* trace = nullptr);
 
  private:
   /// The four directed halves the ranking measures are composed from.

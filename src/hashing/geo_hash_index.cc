@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "core/normalize.h"
 #include "core/similarity.h"
+#include "util/query_control.h"
 
 namespace geosir::hashing {
 
@@ -37,25 +37,35 @@ util::Result<GeoHashIndex> GeoHashIndex::Create(const core::ShapeBase* base,
   return index;
 }
 
-util::Result<std::vector<core::MatchResult>> GeoHashIndex::Query(
-    const geom::Polyline& query, size_t k,
-    size_t* candidates_evaluated) const {
-  GEOSIR_ASSIGN_OR_RETURN(core::NormalizedCopy qnorm,
-                          core::NormalizeQuery(query));
-  const CurveQuadruple quad = ComputeQuadruple(family_, qnorm.shape);
-
-  // Collect candidate copies from the four probed buckets (plus
-  // neighbors). A copy collected from any quarter is a candidate.
-  std::unordered_set<uint32_t> candidates;
+std::vector<std::pair<uint32_t, uint32_t>> GeoHashIndex::CollectCandidates(
+    const geom::Polyline& normalized) const {
+  const CurveQuadruple quad = ComputeQuadruple(family_, normalized);
+  // A copy is collected at most once per quarter (it has one
+  // characteristic curve there), so its multiplicity counts agreeing
+  // quarters.
+  std::unordered_map<uint32_t, uint32_t> multiplicity;
   for (int q = 0; q < 4; ++q) {
     if (quad.c[q] == 0) continue;  // Empty quarter carries no signal.
     for (int delta = -options_.neighbor_radius;
          delta <= options_.neighbor_radius; ++delta) {
       const int curve = quad.c[q] + delta;
       if (curve < 1 || curve > options_.curves_per_quarter) continue;
-      for (uint32_t copy : buckets_[q][curve]) candidates.insert(copy);
+      for (uint32_t copy : buckets_[q][curve]) ++multiplicity[copy];
     }
   }
+  std::vector<std::pair<uint32_t, uint32_t>> counted(multiplicity.begin(),
+                                                     multiplicity.end());
+  std::sort(counted.begin(), counted.end());
+  return counted;
+}
+
+util::Result<std::vector<core::MatchResult>> GeoHashIndex::Query(
+    const geom::Polyline& query, size_t k,
+    size_t* candidates_evaluated) const {
+  GEOSIR_ASSIGN_OR_RETURN(core::NormalizedCopy qnorm,
+                          core::NormalizeQuery(query));
+  const std::vector<std::pair<uint32_t, uint32_t>> candidates =
+      CollectCandidates(qnorm.shape);
 
   if (candidates_evaluated != nullptr) {
     *candidates_evaluated = candidates.size();
@@ -63,7 +73,7 @@ util::Result<std::vector<core::MatchResult>> GeoHashIndex::Query(
 
   // Rank candidates per shape with the similarity measure.
   std::unordered_map<core::ShapeId, core::MatchResult> best;
-  for (uint32_t copy_idx : candidates) {
+  for (const auto& [copy_idx, count] : candidates) {
     const core::NormalizedCopy& copy = base_->copy(copy_idx);
     double d = 0.0;
     switch (options_.measure) {
@@ -115,6 +125,46 @@ double GeoHashIndex::AverageBucketOccupancy() const {
   return nonempty == 0 ? 0.0
                        : static_cast<double>(total) /
                              static_cast<double>(nonempty);
+}
+
+util::Status GeoHashCandidateSource::Generate(
+    const geom::Polyline& normalized_query, size_t max_candidates,
+    const core::MatchOptions& options, std::vector<uint32_t>* out,
+    core::CandidateSourceStats* stats) {
+  out->clear();
+  if (stats != nullptr) *stats = core::CandidateSourceStats{};
+  const util::QueryControl control{options.deadline, options.cancel_token};
+  // One entry poll suffices: the whole probe is four bucket lookups plus
+  // a sort of a small candidate set.
+  {
+    util::Status stop = control.Check();
+    if (!stop.ok()) {
+      if (stats != nullptr) stats->termination = stop;
+      return stop;
+    }
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> counted =
+      index_->CollectCandidates(normalized_query);
+  // Preference order: most agreeing quarters first, ties ascending copy.
+  std::sort(counted.begin(), counted.end(),
+            [](const std::pair<uint32_t, uint32_t>& a,
+               const std::pair<uint32_t, uint32_t>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const size_t limit = max_candidates == 0
+                           ? counted.size()
+                           : std::min(counted.size(), max_candidates);
+  out->reserve(limit);
+  for (size_t i = 0; i < limit; ++i) out->push_back(counted[i].first);
+  if (stats != nullptr) {
+    stats->tables_probed = 4;
+    stats->buckets_probed =
+        4 * (2 * static_cast<size_t>(index_->options().neighbor_radius) + 1);
+    stats->candidates_emitted = out->size();
+    stats->truncated = limit < counted.size();
+  }
+  return util::Status::OK();
 }
 
 }  // namespace geosir::hashing

@@ -1,8 +1,10 @@
 #ifndef GEOSIR_HASHING_GEO_HASH_INDEX_H_
 #define GEOSIR_HASHING_GEO_HASH_INDEX_H_
 
+#include <utility>
 #include <vector>
 
+#include "core/candidate_source.h"
 #include "core/envelope_matcher.h"
 #include "core/shape_base.h"
 #include "hashing/hash_curves.h"
@@ -46,6 +48,14 @@ class GeoHashIndex {
       const geom::Polyline& query, size_t k = 1,
       size_t* candidates_evaluated = nullptr) const;
 
+  /// The bucket-probe phase of Query without the ranking: distinct copies
+  /// collected from the probed (quarter, curve) buckets of the *already
+  /// normalized* query, each with its multiplicity (how many quarters
+  /// collected it, 1..4), sorted ascending by copy index. Deterministic;
+  /// shared by Query and GeoHashCandidateSource.
+  std::vector<std::pair<uint32_t, uint32_t>> CollectCandidates(
+      const geom::Polyline& normalized) const;
+
   /// Quadruple of a stored copy (sorted-layout keys, Section 4.1).
   const CurveQuadruple& QuadrupleOfCopy(size_t copy_index) const {
     return copy_quadruples_[copy_index];
@@ -69,6 +79,27 @@ class GeoHashIndex {
   /// in `quarter` is `curve` (1-based curve ids; index 0 collects copies
   /// with an empty quarter).
   std::vector<std::vector<uint32_t>> buckets_[4];
+};
+
+/// CandidateSource adapter over the hash-curve buckets: the paper's
+/// Section 3 lookup as the approximate first tier of the retrieval
+/// pipeline (candidates ranked by how many lune quarters agreed, ties by
+/// ascending copy index). The index is not owned and must outlive the
+/// source.
+class GeoHashCandidateSource final : public core::CandidateSource {
+ public:
+  explicit GeoHashCandidateSource(const GeoHashIndex* index) : index_(index) {}
+
+  const char* name() const override { return "geohash"; }
+
+  util::Status Generate(const geom::Polyline& normalized_query,
+                        size_t max_candidates,
+                        const core::MatchOptions& options,
+                        std::vector<uint32_t>* out,
+                        core::CandidateSourceStats* stats) override;
+
+ private:
+  const GeoHashIndex* index_;
 };
 
 }  // namespace geosir::hashing

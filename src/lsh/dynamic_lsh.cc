@@ -1,0 +1,39 @@
+#include "lsh/dynamic_lsh.h"
+
+namespace geosir::lsh {
+
+util::Result<std::unique_ptr<DynamicLshIndex>> DynamicLshIndex::Create(
+    LshOptions options) {
+  options.track_keys = true;
+  GEOSIR_ASSIGN_OR_RETURN(std::unique_ptr<LshIndex> index,
+                          LshIndex::Create(options));
+  return std::unique_ptr<DynamicLshIndex>(
+      new DynamicLshIndex(std::move(index)));
+}
+
+void DynamicLshIndex::OnInsert(
+    uint64_t id, const std::vector<core::NormalizedCopy>& copies) {
+  index_->InsertCopies(id, copies);
+}
+
+void DynamicLshIndex::OnRemove(uint64_t id) {
+  // A remove for an id the tables never saw (attached mid-life without a
+  // rebuild) is a no-op, not an error: the pre-filter may lawfully
+  // under-approximate, never dangle.
+  (void)index_->Remove(id);
+}
+
+util::Status DynamicLshIndex::RebuildFrom(const core::DynamicShapeBase& base) {
+  LshOptions options = index_->options();
+  GEOSIR_ASSIGN_OR_RETURN(std::unique_ptr<LshIndex> fresh,
+                          LshIndex::Create(options));
+  for (uint64_t id : base.LiveIds()) {
+    GEOSIR_ASSIGN_OR_RETURN(std::vector<core::NormalizedCopy> copies,
+                            base.NormalizedCopiesOf(id));
+    fresh->InsertCopies(id, copies);
+  }
+  index_ = std::move(fresh);
+  return util::Status::OK();
+}
+
+}  // namespace geosir::lsh

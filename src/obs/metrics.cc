@@ -38,6 +38,11 @@ std::vector<double> LatencyBucketsSeconds() {
           5e-2, 1e-1,   2.5e-1, 5e-1, 1.0,   2.5,  5.0,  10.0};
 }
 
+std::vector<double> MicroLatencyBucketsSeconds() {
+  return {1e-5, 2.5e-5, 5e-5, 1e-4,   2.5e-4, 5e-4, 1e-3, 2.5e-3,
+          5e-3, 1e-2,   2.5e-2, 5e-2, 1e-1,   2.5e-1, 5e-1, 1.0};
+}
+
 MetricRegistry& MetricRegistry::Default() {
   // Never destroyed: instrumentation sites cache pointers into it and may
   // run from static destructors (e.g. the shared thread pool).

@@ -90,6 +90,11 @@ class Histogram {
 /// roughly 1-2.5-5 per decade (Prometheus convention).
 std::vector<double> LatencyBucketsSeconds();
 
+/// Sub-millisecond-resolution bounds, in seconds: 10 µs .. 1 s. For hot
+/// probe paths (LSH candidate generation) whose entire distribution sits
+/// below the first LatencyBucketsSeconds() bound.
+std::vector<double> MicroLatencyBucketsSeconds();
+
 enum class MetricType { kCounter, kGauge, kHistogram };
 
 struct HistogramSnapshot {

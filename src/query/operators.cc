@@ -81,7 +81,17 @@ util::Result<std::vector<core::MatchResult>> QueryContext::ShapeSimilar(
   core::MatchOptions opts = options_.match;
   opts.collect_threshold = options_.similar_threshold;
   core::MatchStats match_stats;
-  auto matched = matcher_.Match(q, opts, &match_stats);
+  // Tiered retrieval: with a prefilter configured, collect-threshold
+  // scoring runs over its candidate set only; recall becomes the
+  // source's. Without one, the exact envelope search stands.
+  auto matched =
+      options_.prefilter != nullptr
+          ? matcher_.MatchCandidates(q, options_.prefilter, opts, &match_stats)
+          : matcher_.Match(q, opts, &match_stats);
+  if (options_.prefilter != nullptr) {
+    stats_.prefilter_candidates += match_stats.candidates_evaluated +
+                                   match_stats.candidates_skipped;
+  }
   if (!matched.ok()) return matched.status();
   if (match_stats.partial) {
     // An incomplete shape_similar set would poison the cache and silently

@@ -40,6 +40,15 @@ struct QueryContextOptions {
   double angle_tolerance = 0.15;
   TopoStrategy strategy = TopoStrategy::kAuto;
   core::MatchOptions match;
+  /// EXTENSION (tiered retrieval, DESIGN.md section 14): approximate
+  /// pre-filter in front of shape_similar(Q). When set, candidates come
+  /// from this source (LSH, hash curves) and only they are exactly
+  /// scored, trading recall for latency per query budget — the DNF
+  /// machinery above is unchanged, it just sees the (possibly smaller)
+  /// shape_similar sets. Null keeps the exact envelope search; a
+  /// core::ExactEnumerationSource keeps exact semantics while exercising
+  /// the tiered path. Not owned; must outlive the context.
+  core::CandidateSource* prefilter = nullptr;
 };
 
 /// Per-context execution counters (benchmark instrumentation).
@@ -48,6 +57,9 @@ struct QueryContextStats {
   size_t similar_cache_hits = 0;
   size_t edges_scanned = 0;
   size_t pair_checks = 0;           // Direct g_similar / angle tests.
+  /// Candidates emitted by the prefilter across ShapeSimilar calls
+  /// (0 when no prefilter is configured).
+  size_t prefilter_candidates = 0;
 };
 
 /// Evaluates the operators of Section 5 against an ImageBase: caches

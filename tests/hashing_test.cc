@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -290,6 +291,117 @@ TEST_F(GeoHashIndexTest, QuadruplesStoredPerCopy) {
       EXPECT_GE(quad.c[q], 0);
       EXPECT_LE(quad.c[q], index->options().curves_per_quarter);
     }
+  }
+}
+
+// --- CandidateSource contract edge cases -------------------------------
+// The GeoHash index doubles as a CandidateSource behind the shared tiered
+// retrieval seam (core/candidate_source.h); these cases pin the corners
+// every implementation must agree on.
+
+TEST(GeoHashCandidateSourceTest, EmptyBaseEmitsNothing) {
+  core::ShapeBase base;
+  ASSERT_TRUE(base.Finalize().ok());
+  auto index = GeoHashIndex::Create(&base);
+  ASSERT_TRUE(index.ok());
+  GeoHashCandidateSource source(&*index);
+  auto norm = core::NormalizeQuery(RegularPolygon(6, 1.0));
+  ASSERT_TRUE(norm.ok());
+  std::vector<uint32_t> out = {99};  // Must be cleared.
+  core::CandidateSourceStats stats;
+  ASSERT_TRUE(source.Generate(norm->shape, 0, {}, &out, &stats).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.candidates_emitted, 0u);
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(GeoHashCandidateSourceTest, SingleShapeBaseFindsIt) {
+  core::ShapeBase base;
+  ASSERT_TRUE(base.AddShape(RegularPolygon(7, 1.0)).ok());
+  ASSERT_TRUE(base.Finalize().ok());
+  auto index = GeoHashIndex::Create(&base);
+  ASSERT_TRUE(index.ok());
+  GeoHashCandidateSource source(&*index);
+  auto norm = core::NormalizeQuery(RegularPolygon(7, 1.0));
+  ASSERT_TRUE(norm.ok());
+  std::vector<uint32_t> out;
+  core::CandidateSourceStats stats;
+  ASSERT_TRUE(source.Generate(norm->shape, 0, {}, &out, &stats).ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(base.copy(out[0]).shape_id, 0u);
+  EXPECT_GT(stats.tables_probed, 0u);
+}
+
+TEST(GeoHashCandidateSourceTest, DuplicateShapesAllEmitted) {
+  // Exact duplicates and a near-duplicate hash to the same (or
+  // neighboring) curve quadruples; the candidate set must carry every
+  // copy, not collapse them.
+  core::ShapeBase base;
+  util::Rng rng(33);
+  ASSERT_TRUE(base.AddShape(RegularPolygon(8, 1.0)).ok());
+  ASSERT_TRUE(base.AddShape(RegularPolygon(8, 1.0)).ok());
+  Polyline near_dup = RegularPolygon(8, 1.0);
+  for (Point& p : near_dup.mutable_vertices()) {
+    p += Point{rng.Gaussian(0.002), rng.Gaussian(0.002)};
+  }
+  ASSERT_TRUE(base.AddShape(near_dup).ok());
+  ASSERT_TRUE(base.AddShape(RegularPolygon(4, 1.0)).ok());  // Distractor.
+  ASSERT_TRUE(base.Finalize().ok());
+
+  auto index = GeoHashIndex::Create(&base);
+  ASSERT_TRUE(index.ok());
+  GeoHashCandidateSource source(&*index);
+  auto norm = core::NormalizeQuery(RegularPolygon(8, 1.0));
+  ASSERT_TRUE(norm.ok());
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(source.Generate(norm->shape, 0, {}, &out, nullptr).ok());
+  std::vector<bool> seen(base.NumShapes(), false);
+  for (uint32_t c : out) seen[base.copy(c).shape_id] = true;
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+}
+
+TEST(GeoHashCandidateSourceTest, RepeatedQueriesAreDeterministic) {
+  core::ShapeBase base;
+  util::Rng rng(37);
+  for (int n = 4; n <= 11; ++n) {
+    for (int i = 0; i < 3; ++i) {
+      Polyline p = RegularPolygon(n, 1.0);
+      for (Point& v : p.mutable_vertices()) {
+        v += Point{rng.Gaussian(0.01), rng.Gaussian(0.01)};
+      }
+      ASSERT_TRUE(base.AddShape(p).ok());
+    }
+  }
+  ASSERT_TRUE(base.Finalize().ok());
+  auto index = GeoHashIndex::Create(&base);
+  ASSERT_TRUE(index.ok());
+  GeoHashCandidateSource source(&*index);
+  auto norm = core::NormalizeQuery(RegularPolygon(9, 1.0));
+  ASSERT_TRUE(norm.ok());
+
+  std::vector<uint32_t> first;
+  ASSERT_TRUE(source.Generate(norm->shape, 0, {}, &first, nullptr).ok());
+  ASSERT_FALSE(first.empty());
+  for (int run = 0; run < 5; ++run) {
+    std::vector<uint32_t> again;
+    ASSERT_TRUE(source.Generate(norm->shape, 0, {}, &again, nullptr).ok());
+    EXPECT_EQ(first, again) << "run " << run;
+  }
+  // No duplicates in the emitted sequence (contract).
+  std::vector<uint32_t> sorted = first;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+
+  // Truncation keeps the ranked prefix.
+  std::vector<uint32_t> top;
+  core::CandidateSourceStats stats;
+  ASSERT_TRUE(source.Generate(norm->shape, 2, {}, &top, &stats).ok());
+  if (first.size() > 2) {
+    EXPECT_TRUE(stats.truncated);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_TRUE(std::equal(top.begin(), top.end(), first.begin()));
   }
 }
 
