@@ -1,0 +1,262 @@
+// Failover (extension): what a primary switchover costs the serving
+// tier. Two numbers matter to an operator sizing a replicated
+// deployment: (1) promotion latency — how long PromoteFollower takes
+// end to end (drain, bounded catch-up, epoch-stamping rotation on the
+// promoted mirror, survivor re-pointing), measured over a ping-pong of
+// promotions with the deposed primary rejoining via AddFollower each
+// round, and (2) the write-unavailability window — the longest gap
+// between successful writes a retrying writer observes while failovers
+// happen under load (the drain answers kUnavailable; the window is the
+// real SLO cost, promotion latency only bounds it).
+//
+// Runs on MemEnv like bench_replication: in-process transports and free
+// syncs isolate the failover machinery itself from disk barrier cost.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_shape_base.h"
+#include "replication/replicated_shape_base.h"
+#include "storage/appendable_file.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/polygon_gen.h"
+
+using geosir::bench::JsonLine;
+using geosir::bench::Timer;
+using geosir::geom::Polyline;
+using geosir::replication::ReplicatedOptions;
+using geosir::replication::ReplicatedShapeBase;
+using geosir::replication::ReplicaSpec;
+
+namespace {
+
+constexpr char kBench[] = "failover";
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+[[noreturn]] void Die(const char* what, const geosir::util::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+std::vector<Polyline> MakeShapes(size_t count) {
+  geosir::util::Rng rng(424242);
+  geosir::workload::PolygonGenOptions gen;
+  std::vector<Polyline> prototypes;
+  const size_t num_protos = std::max<size_t>(4, count / 10);
+  for (size_t p = 0; p < num_protos; ++p) {
+    prototypes.push_back(RandomStarPolygon(&rng, gen));
+  }
+  std::vector<Polyline> shapes;
+  shapes.reserve(count);
+  for (size_t s = 0; s < count; ++s) {
+    shapes.push_back(geosir::workload::JitterVertices(
+        prototypes[s % num_protos], 0.008, &rng));
+  }
+  return shapes;
+}
+
+ReplicatedOptions BenchOptions(geosir::storage::MemEnv* env,
+                               size_t shape_count) {
+  ReplicatedOptions options;
+  options.env = env;
+  // Keep auto-rotations out of the way; the only rotations are the
+  // epoch-stamping ones each promotion performs.
+  options.base.min_compaction_size = shape_count * 8;
+  options.base.base.normalize.max_axes = 2;
+  options.base.match.measure = geosir::core::MatchMeasure::kDiscreteSymmetric;
+  options.fetch_batch_records = 256;
+  options.idle_backoff_us = 50;
+  return options;
+}
+
+std::vector<ReplicaSpec> Replicas(size_t count) {
+  std::vector<ReplicaSpec> replicas(count);
+  for (size_t i = 0; i < count; ++i) {
+    replicas[i].dir = "replica" + std::to_string(i);
+  }
+  return replicas;
+}
+
+/// First live (non-promoted) follower slot — what the auto-failover
+/// monitor would pick, minus the freshness tiebreak that is moot here.
+size_t PickTarget(ReplicatedShapeBase* tier) {
+  for (size_t i = 0; i < tier->replica_count(); ++i) {
+    if (!tier->follower(i).promoted()) return i;
+  }
+  Die("pick target", geosir::util::Status::Internal("no live follower"));
+}
+
+/// One switchover round: promote a live follower, then rejoin the
+/// deposed primary's files as a fresh follower. Returns the promotion
+/// latency in milliseconds; `primary_dir` tracks ownership across
+/// rounds.
+double PromoteAndRejoin(ReplicatedShapeBase* tier, std::string* primary_dir) {
+  const size_t target = PickTarget(tier);
+  const std::string next_dir = tier->follower(target).dir();
+  Timer timer;
+  auto promoted = tier->PromoteFollower(target);
+  const double ms = timer.Seconds() * 1e3;
+  if (!promoted.ok()) Die("promote", promoted);
+  ReplicaSpec rejoin;
+  rejoin.dir = *primary_dir;
+  auto added = tier->AddFollower(std::move(rejoin));
+  if (!added.ok()) Die("rejoin", added);
+  *primary_dir = next_dir;
+  return ms;
+}
+
+// --- 1. Promotion latency --------------------------------------------------
+
+void BenchPromotionLatency(const std::vector<Polyline>& shapes,
+                           size_t rounds) {
+  geosir::storage::MemEnv env;
+  auto opened = ReplicatedShapeBase::Open(
+      "primary", Replicas(2), BenchOptions(&env, shapes.size()));
+  if (!opened.ok()) Die("open tier", opened.status());
+  ReplicatedShapeBase* tier = opened->get();
+  for (const Polyline& shape : shapes) {
+    auto id = tier->Insert(shape);
+    if (!id.ok()) Die("insert", id.status());
+  }
+  auto caught_up =
+      tier->WaitForCatchUp(geosir::util::Deadline::AfterMillis(30000));
+  if (!caught_up.ok()) Die("catch up", caught_up);
+
+  std::string primary_dir = "primary";
+  std::vector<double> latencies_ms;
+  for (size_t round = 0; round < rounds; ++round) {
+    latencies_ms.push_back(PromoteAndRejoin(tier, &primary_dir));
+    caught_up =
+        tier->WaitForCatchUp(geosir::util::Deadline::AfterMillis(30000));
+    if (!caught_up.ok()) Die("catch up", caught_up);
+  }
+  (*opened)->Stop();
+
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p99 = Percentile(latencies_ms, 0.99);
+  const double max =
+      *std::max_element(latencies_ms.begin(), latencies_ms.end());
+  std::printf(
+      "promotion latency: p50 %.2fms p99 %.2fms max %.2fms "
+      "(%zu promotions over %zu shapes, final epoch %llu)\n\n",
+      p50, p99, max, latencies_ms.size(), shapes.size(),
+      static_cast<unsigned long long>(tier->primary_epoch()));
+  JsonLine(kBench)
+      .Str("name", "promotion_latency")
+      .Int("shapes", static_cast<long long>(shapes.size()))
+      .Int("promotions", static_cast<long long>(latencies_ms.size()))
+      .Num("promote_p50_ms", p50)
+      .Num("promote_p99_ms", p99)
+      .Num("promote_max_ms", max)
+      .Emit();
+}
+
+// --- 2. Write-unavailability window under failover -------------------------
+
+void BenchWriteUnavailability(const std::vector<Polyline>& shapes,
+                              size_t failovers) {
+  geosir::storage::MemEnv env;
+  // Headroom so the sustained write stream never trips an auto-rotation:
+  // a compaction pause under the primary mutex would masquerade as
+  // failover unavailability.
+  auto opened = ReplicatedShapeBase::Open(
+      "primary", Replicas(2), BenchOptions(&env, shapes.size() * 200));
+  if (!opened.ok()) Die("open tier", opened.status());
+  ReplicatedShapeBase* tier = opened->get();
+  for (const Polyline& shape : shapes) {
+    auto id = tier->Insert(shape);
+    if (!id.ok()) Die("insert", id.status());
+  }
+  auto caught_up =
+      tier->WaitForCatchUp(geosir::util::Deadline::AfterMillis(30000));
+  if (!caught_up.ok()) Die("catch up", caught_up);
+
+  // The writer hammers Insert and treats kUnavailable as "retry now":
+  // the gap between consecutive successes IS the unavailability window.
+  std::atomic<bool> run{true};
+  std::vector<double> gaps_ms;
+  std::atomic<uint64_t> writes{0};
+  std::thread writer([&] {
+    auto last = std::chrono::steady_clock::now();
+    size_t i = 0;
+    while (run.load(std::memory_order_acquire)) {
+      auto id = tier->Insert(shapes[i % shapes.size()]);
+      if (id.ok()) {
+        const auto now = std::chrono::steady_clock::now();
+        gaps_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - last).count());
+        last = now;
+        ++i;
+        writes.fetch_add(1, std::memory_order_relaxed);
+      } else if (id.status().code() != geosir::util::StatusCode::kUnavailable) {
+        Die("write under failover", id.status());
+      }
+    }
+  });
+
+  std::string primary_dir = "primary";
+  for (size_t round = 0; round < failovers; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    PromoteAndRejoin(tier, &primary_dir);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  run.store(false, std::memory_order_release);
+  writer.join();
+  (*opened)->Stop();
+
+  // The failovers are a handful of events among hundreds of thousands of
+  // writes, so a global p99 only describes steady-state latency. The
+  // top-`failovers` gaps ARE the unavailability windows — one per drain.
+  const double p99 = Percentile(gaps_ms, 0.99);
+  std::sort(gaps_ms.begin(), gaps_ms.end(), std::greater<double>());
+  const size_t windows = std::min(gaps_ms.size(), failovers);
+  const double max = gaps_ms.empty() ? 0.0 : gaps_ms.front();
+  const double window_p50 =
+      windows == 0 ? 0.0 : gaps_ms[windows / 2];
+  std::printf(
+      "write unavailability: max window %.2fms median window %.2fms "
+      "steady-state p99 %.3fms over %llu writes across %zu failovers\n\n",
+      max, window_p50, p99, static_cast<unsigned long long>(writes.load()),
+      failovers);
+  JsonLine(kBench)
+      .Str("name", "write_unavailability")
+      .Int("failovers", static_cast<long long>(failovers))
+      .Int("writes", static_cast<long long>(writes.load()))
+      .Num("window_max_ms", max)
+      .Num("window_p50_ms", window_p50)
+      .Num("gap_p99_ms", p99)
+      .Emit();
+}
+
+}  // namespace
+
+int main() {
+  const size_t kShapes = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_SHAPES", 400));
+  const size_t kRounds = static_cast<size_t>(
+      geosir::bench::EnvScale("GEOSIR_BENCH_FAILOVERS", 8));
+
+  const std::vector<Polyline> shapes = MakeShapes(kShapes);
+
+  std::printf("=== Failover: %zu shapes, %zu switchover rounds ===\n\n",
+              kShapes, kRounds);
+  BenchPromotionLatency(shapes, kRounds);
+  BenchWriteUnavailability(shapes, std::max<size_t>(2, kRounds / 2));
+  return 0;
+}

@@ -31,7 +31,11 @@ namespace geosir::net {
 ///   kCorruption   the bytes can never become a valid frame: bad magic,
 ///                 oversize length, CRC mismatch.
 inline constexpr uint32_t kFrameMagic = 0x314E5347u;  // "GSN1" on the wire.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2: fetch requests carry a fencing min_epoch, fetch replies carry the
+/// primary's epoch, and the kEpochInfo probe exists. The request/reply
+/// payload layouts changed shape, so v1 and v2 peers must not talk —
+/// the handshake rejects the mismatch terminally (kFailedPrecondition).
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr size_t kFrameTrailerBytes = 4;
 /// Default payload bound. Generous (snapshots ship whole checkpoints) but

@@ -99,7 +99,8 @@ TransportFault FaultInjectingTransport::Admit(bool* failed) {
 }
 
 util::Result<LogBatch> FaultInjectingTransport::Fetch(uint64_t from_lsn,
-                                                      size_t max_records) {
+                                                      size_t max_records,
+                                                      uint64_t min_epoch) {
   bool failed = false;
   const TransportFault fault = Admit(&failed);
   if (failed) return util::Status::Unavailable("injected transport fault");
@@ -107,7 +108,8 @@ util::Result<LogBatch> FaultInjectingTransport::Fetch(uint64_t from_lsn,
     ++duplicates_;
     return *last_batch_;
   }
-  GEOSIR_ASSIGN_OR_RETURN(LogBatch batch, inner_->Fetch(from_lsn, max_records));
+  GEOSIR_ASSIGN_OR_RETURN(LogBatch batch,
+                          inner_->Fetch(from_lsn, max_records, min_epoch));
   if (fault == TransportFault::kReorder && batch.records.size() >= 2) {
     ++reorders_;
     std::swap(batch.records[0], batch.records[1]);
@@ -131,6 +133,13 @@ util::Result<uint64_t> FaultInjectingTransport::PrimaryNextLsn() {
   (void)Admit(&failed);
   if (failed) return util::Status::Unavailable("injected transport fault");
   return inner_->PrimaryNextLsn();
+}
+
+util::Result<EpochInfo> FaultInjectingTransport::GetEpochInfo() {
+  bool failed = false;
+  (void)Admit(&failed);
+  if (failed) return util::Status::Unavailable("injected transport fault");
+  return inner_->GetEpochInfo();
 }
 
 }  // namespace geosir::replication

@@ -63,9 +63,11 @@ class FaultInjectingTransport : public LogTransport {
                           TransportFaultPlan plan,
                           storage::CrashClock* clock = nullptr);
 
-  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
+  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records,
+                               uint64_t min_epoch = 0) override;
   util::Result<SnapshotPackage> FetchSnapshot() override;
   util::Result<uint64_t> PrimaryNextLsn() override;
+  util::Result<EpochInfo> GetEpochInfo() override;
   std::string Describe() const override {
     return "fault(" + inner_->Describe() + ")";
   }

@@ -26,8 +26,13 @@ struct Follower::Metrics {
   obs::Counter* rotations;
   obs::Counter* local_reopens;
   obs::Counter* queries;
+  obs::Counter* fence_rejections;
+  obs::Counter* truncated_records;
+  obs::Counter* divergence_repairs;
+  obs::Counter* promotions;
   obs::Gauge* lag;
   obs::Gauge* applied_lsn;
+  obs::Gauge* epoch;
   obs::Gauge* last_fetch_error;
   obs::Histogram* apply_latency;
 
@@ -71,6 +76,19 @@ struct Follower::Metrics {
     m->queries =
         r.GetCounter("geosir_replication_queries_total",
                      "Queries served by this replica's MatchBatch", labels);
+    m->fence_rejections = r.GetCounter(
+        "geosir_replication_fence_rejections_total",
+        "Fetches rejected because the source's term is fenced off", labels);
+    m->truncated_records = r.GetCounter(
+        "geosir_replication_truncated_records_total",
+        "Divergent-suffix records truncated from the mirror on rejoin",
+        labels);
+    m->divergence_repairs = r.GetCounter(
+        "geosir_replication_divergence_repairs_total",
+        "Rejoin repairs of an unreplicated divergent suffix", labels);
+    m->promotions = r.GetCounter(
+        "geosir_replication_promotions_total",
+        "Promotions of this replica to primary", labels);
     m->lag = r.GetGauge("geosir_replication_lag_records",
                         "Records behind the last observed primary tail",
                         labels);
@@ -78,6 +96,9 @@ struct Follower::Metrics {
         r.GetGauge("geosir_replication_applied_lsn",
                    "Exclusive LSN bound of the replica's serving state",
                    labels);
+    m->epoch = r.GetGauge(
+        "geosir_replication_epoch",
+        "Primary term of the replica's current generation head", labels);
     m->last_fetch_error = r.GetGauge(
         "geosir_replication_last_fetch_error_code",
         "StatusCode of the most recent failed transport fetch (0 = none)",
@@ -234,10 +255,15 @@ util::Status Follower::RecoverLocal() {
       have_generation_ = true;
       generation_ = generation;
       cursor_ = next_lsn;
+      local_epoch_ = commit->epoch;
+      local_epoch_start_lsn_ = commit->epoch_start_lsn;
+      head_lsn_ = records.front().lsn;
       applied_lsn_.store(next_lsn, std::memory_order_release);
       durable_lsn_.store(wal_->synced_upto(), std::memory_order_release);
     }
+    RaiseFence(commit->epoch);
     metrics_->applied_lsn->Set(static_cast<int64_t>(next_lsn));
+    metrics_->epoch->Set(static_cast<int64_t>(commit->epoch));
     CleanupOtherGenerations(generation, /*have_keep=*/true);
     return util::Status::OK();
   }
@@ -252,6 +278,9 @@ util::Status Follower::RecoverLocal() {
     have_generation_ = false;
     generation_ = 0;
     cursor_ = 0;
+    local_epoch_ = 0;
+    local_epoch_start_lsn_ = 0;
+    head_lsn_ = 0;
     applied_lsn_.store(0, std::memory_order_release);
     durable_lsn_.store(0, std::memory_order_release);
   }
@@ -321,6 +350,16 @@ util::Status Follower::InstallSnapshot(const SnapshotPackage& package) {
     return util::Status::Corruption(
         "snapshot head generation does not match the package");
   }
+  if (commit.epoch < fence_epoch_.load(std::memory_order_acquire)) {
+    // A resync is a full trust transfer, so it gets the same zombie
+    // fencing a fetch does: never install state from a deposed term.
+    fence_rejections_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->fence_rejections->Inc();
+    return util::Status::FailedPrecondition(
+        "snapshot carries fenced epoch " + std::to_string(commit.epoch) +
+        " (this replica is fenced to >= " +
+        std::to_string(fence_epoch_.load(std::memory_order_acquire)) + ")");
+  }
   if (commit.next_id > options_.max_recovered_ids) {
     return util::Status::Corruption(
         "snapshot head next_id " + std::to_string(commit.next_id) +
@@ -360,12 +399,17 @@ util::Status Follower::InstallSnapshot(const SnapshotPackage& package) {
     have_generation_ = true;
     generation_ = package.generation;
     cursor_ = next_lsn;
+    local_epoch_ = commit.epoch;
+    local_epoch_start_lsn_ = commit.epoch_start_lsn;
+    head_lsn_ = head.front().lsn;
     applied_lsn_.store(next_lsn, std::memory_order_release);
     durable_lsn_.store(next_lsn, std::memory_order_release);
   }
+  RaiseFence(commit.epoch);
   primary_next_lsn_.store(package.primary_next_lsn,
                           std::memory_order_release);
   metrics_->applied_lsn->Set(static_cast<int64_t>(next_lsn));
+  metrics_->epoch->Set(static_cast<int64_t>(commit.epoch));
   if (had_generation && old_generation != package.generation) {
     (void)env_->RemoveFile(storage::WalPath(options_.dir, old_generation));
     (void)env_->RemoveFile(
@@ -475,6 +519,9 @@ util::Status Follower::Rotate(const WalRecord& record) {
   have_generation_ = true;
   generation_ = commit.generation;
   cursor_ = record.lsn + 1;
+  local_epoch_ = commit.epoch;
+  local_epoch_start_lsn_ = commit.epoch_start_lsn;
+  head_lsn_ = record.lsn;
   applied_lsn_.store(cursor_, std::memory_order_release);
   durable_lsn_.store(wal_->synced_upto(), std::memory_order_release);
   // Merge the delta into the main base so replica query latency tracks
@@ -489,26 +536,144 @@ util::Status Follower::Rotate(const WalRecord& record) {
     (void)env_->RemoveFile(
         storage::CheckpointPath(options_.dir, old_generation));
   }
+  RaiseFence(commit.epoch);
   rotations_.fetch_add(1, std::memory_order_relaxed);
   metrics_->rotations->Inc();
+  metrics_->epoch->Set(static_cast<int64_t>(commit.epoch));
   return util::Status::OK();
 }
 
+void Follower::RaiseFence(uint64_t epoch) {
+  uint64_t current = fence_epoch_.load(std::memory_order_relaxed);
+  while (epoch > current &&
+         !fence_epoch_.compare_exchange_weak(current, epoch,
+                                             std::memory_order_acq_rel)) {
+  }
+}
+
+void Follower::Fence(uint64_t epoch) { RaiseFence(epoch); }
+
+void Follower::SetTransport(LogTransport* transport) {
+  transport_ = transport;
+  connected_.store(true, std::memory_order_relaxed);
+  obs::MetricRegistry::Default()
+      .GetGauge("geosir_replication_transport_info",
+                "Transport identity of a replica (value is always 1)",
+                "replica=\"" + std::to_string(options_.replica_index) +
+                    "\",transport=\"" + transport->Describe() + "\"")
+      ->Set(1);
+}
+
+util::Status Follower::RepairDivergence(const EpochInfo& info) {
+  divergence_repairs_.fetch_add(1, std::memory_order_relaxed);
+  metrics_->divergence_repairs->Inc();
+  if (!have_generation_ || head_lsn_ >= info.epoch_start_lsn) {
+    // The generation head itself lies inside the divergent range (this
+    // replica rotated after the new term began elsewhere): the file holds
+    // no shared prefix to truncate back to, so heal by full resync.
+    return Bootstrap();
+  }
+  // Close the mirror appender first: TruncateTo atomically rewrites the
+  // file and requires exclusive ownership of it.
+  wal_.reset();
+  GEOSIR_ASSIGN_OR_RETURN(
+      const size_t dropped,
+      storage::WriteAheadLog::TruncateTo(
+          env_, storage::WalPath(options_.dir, generation_),
+          info.epoch_start_lsn));
+  truncated_records_.fetch_add(dropped, std::memory_order_relaxed);
+  metrics_->truncated_records->Inc(dropped);
+  // Rebuild the serving state from the repaired mirror: the cursor lands
+  // exactly on the term boundary and the stream refills from there.
+  return RecoverLocal();
+}
+
+util::Result<storage::DurableDynamicBase> Follower::Promote() {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  if (promoted_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition("follower is already promoted");
+  }
+  if (!have_generation_ || wal_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "cannot promote a follower with no local generation");
+  }
+  const uint64_t new_epoch =
+      std::max(local_epoch_, fence_epoch_.load(std::memory_order_acquire)) +
+      1;
+  // The mirror WAL becomes the new primary's log: the journal takes over
+  // the appender at this replica's cursor, so the first LSN the new term
+  // writes is exactly the applied floor — the divergence boundary every
+  // rejoining replica truncates to.
+  auto journal = std::make_unique<storage::WalJournal>(
+      env_, options_.dir, options_.wal, generation_, cursor_,
+      std::move(wal_), local_epoch_, local_epoch_start_lsn_);
+  GEOSIR_RETURN_IF_ERROR(journal->BeginEpoch(new_epoch));
+  storage::DurableDynamicBase primary;
+  primary.base = std::move(base_);
+  primary.journal = std::move(journal);
+  primary.base->SetJournal(primary.journal.get());
+  // Seal this follower before anything can fail: a node whose promotion
+  // dies half-way must read as dead, never as a live replica.
+  promoted_.store(true, std::memory_order_release);
+  RaiseFence(new_epoch);
+  base_ = std::make_unique<core::DynamicShapeBase>(options_.base);
+  have_generation_ = false;
+  lock.unlock();
+  // One compaction rotates to a generation whose durable head stamps the
+  // new term; until it lands every mutation is fenced off, so no record
+  // is ever written under the bumped epoch into the old generation.
+  GEOSIR_RETURN_IF_ERROR(primary.base->Compact());
+  metrics_->promotions->Inc();
+  metrics_->epoch->Set(static_cast<int64_t>(new_epoch));
+  return primary;
+}
+
 util::Result<size_t> Follower::Pump() {
+  if (promoted_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition(
+        "follower was promoted to primary; it no longer tails a stream");
+  }
   int attempts = 0;
   auto fetched = util::RetryWithBackoff(
       options_.reconnect,
-      [&] { return transport_->Fetch(cursor_, options_.fetch_batch_records); },
+      [&] {
+        return transport_->Fetch(cursor_, options_.fetch_batch_records,
+                                 fence_epoch_.load(std::memory_order_acquire));
+      },
       &attempts);
   if (!fetched.ok()) {
     RecordFetchError(fetched.status());
     switch (fetched.status().code()) {
       case util::StatusCode::kNotFound:
-      case util::StatusCode::kOutOfRange:
         // Behind the retained log (or talking to a rebuilt primary):
         // stream catch-up is impossible, resync from a snapshot.
         GEOSIR_RETURN_IF_ERROR(Bootstrap());
         return size_t{0};
+      case util::StatusCode::kOutOfRange: {
+        // The cursor is ahead of the source's tail. Before the blunt
+        // resync, check for the rejoin-after-failover shape: a NEWER term
+        // that began below our cursor means the suffix we hold past that
+        // boundary was written by a deposed primary and never replicated —
+        // truncate it and resume the stream, keeping the shared history.
+        auto info = transport_->GetEpochInfo();
+        if (info.ok() && info->epoch > local_epoch_ &&
+            cursor_ > info->epoch_start_lsn) {
+          RaiseFence(info->epoch);
+          GEOSIR_RETURN_IF_ERROR(RepairDivergence(*info));
+          return size_t{0};
+        }
+        GEOSIR_RETURN_IF_ERROR(Bootstrap());
+        return size_t{0};
+      }
+      case util::StatusCode::kFailedPrecondition:
+        // The SOURCE is fenced: its term is older than one this replica
+        // has already observed — a zombie primary (or a peer this
+        // transport must never speak to, e.g. a protocol mismatch).
+        // Never apply from it and never resync from it; surface the
+        // error so the control plane re-points the transport.
+        fence_rejections_.fetch_add(1, std::memory_order_relaxed);
+        metrics_->fence_rejections->Inc();
+        return fetched.status();
       case util::StatusCode::kUnavailable:
         connected_.store(false, std::memory_order_relaxed);
         return fetched.status();
@@ -522,6 +687,23 @@ util::Result<size_t> Follower::Pump() {
   }
   const LogBatch& batch = *fetched;
   primary_next_lsn_.store(batch.primary_next_lsn, std::memory_order_release);
+  RaiseFence(batch.primary_epoch);
+  if (batch.primary_epoch > local_epoch_) {
+    // The source serves a newer term than our generation head. If our
+    // cursor extends past where that term began, everything above the
+    // boundary is a divergent suffix that the new primary has rewritten
+    // under its own term — repair BEFORE applying anything, or the
+    // streams would silently interleave.
+    auto info = transport_->GetEpochInfo();
+    if (!info.ok()) {
+      RecordFetchError(info.status());
+      return info.status();
+    }
+    if (cursor_ > info->epoch_start_lsn) {
+      GEOSIR_RETURN_IF_ERROR(RepairDivergence(*info));
+      return size_t{0};
+    }
+  }
   if (batch.records.empty()) {
     metrics_->lag->Set(static_cast<int64_t>(lag()));
     return size_t{0};
@@ -598,6 +780,11 @@ util::Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
 Follower::MatchBatch(const std::vector<geom::Polyline>& queries, size_t k,
                      std::vector<core::MatchStats>* stats,
                      util::Deadline deadline) {
+  if (promoted_.load(std::memory_order_acquire)) {
+    // Sealed: the serving state moved out with Promote(). kUnavailable
+    // reads as "shed" to the router, which tries the next replica.
+    return util::Status::Unavailable("replica was promoted to primary");
+  }
   GEOSIR_ASSIGN_OR_RETURN(query::AdmissionController::Ticket ticket,
                           admission_.Admit(deadline));
   std::shared_lock<std::shared_mutex> lock(state_mutex_);
@@ -648,7 +835,9 @@ FollowerStatus Follower::status() const {
   {
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
     status.generation = generation_;
+    status.local_epoch = local_epoch_;
   }
+  status.fence_epoch = fence_epoch_.load(std::memory_order_acquire);
   status.counters.applied_records =
       applied_records_.load(std::memory_order_relaxed);
   status.counters.apply_batches =
@@ -663,6 +852,12 @@ FollowerStatus Follower::status() const {
       local_reopens_.load(std::memory_order_relaxed);
   status.counters.fetch_errors =
       fetch_errors_.load(std::memory_order_relaxed);
+  status.counters.fence_rejections =
+      fence_rejections_.load(std::memory_order_relaxed);
+  status.counters.truncated_records =
+      truncated_records_.load(std::memory_order_relaxed);
+  status.counters.divergence_repairs =
+      divergence_repairs_.load(std::memory_order_relaxed);
   status.last_fetch_error = static_cast<util::StatusCode>(
       last_fetch_error_code_.load(std::memory_order_relaxed));
   return status;

@@ -54,6 +54,14 @@ struct FollowerCounters {
   uint64_t local_reopens = 0;
   /// Transport fetches that failed after retries (any status code).
   uint64_t fetch_errors = 0;
+  /// Fetches rejected with kFailedPrecondition: the source's term is
+  /// older than one this replica has observed (a zombie primary).
+  uint64_t fence_rejections = 0;
+  /// Divergent-suffix records truncated from the local mirror on rejoin.
+  uint64_t truncated_records = 0;
+  /// Rejoin repairs run (truncation, or resync when the generation head
+  /// itself was divergent).
+  uint64_t divergence_repairs = 0;
 };
 
 struct FollowerStatus {
@@ -67,6 +75,10 @@ struct FollowerStatus {
   /// Records behind that observation (primary_next_lsn - applied_lsn).
   uint64_t lag = 0;
   uint64_t generation = 0;
+  /// Primary term of the replica's current generation head.
+  uint64_t local_epoch = 0;
+  /// Highest term ever observed (sent as min_epoch on every fetch).
+  uint64_t fence_epoch = 0;
   /// Code of the most recent failed transport fetch (kOk = none yet, or
   /// healthy since): a flapping socket shows up here and in the
   /// geosir_replication_last_fetch_error_code gauge without a log dive.
@@ -104,6 +116,30 @@ class Follower {
   /// Pumps until lag reaches 0 or the deadline expires.
   util::Status CatchUp(util::Deadline deadline);
 
+  /// Failover promotion: seals this follower and turns its local mirror
+  /// into a new durable PRIMARY under a fresh term. The returned pair is
+  /// exactly what OpenDurableDynamicBase yields — the caller owns it and
+  /// serves writes through it. Sequence: the serving state and mirror WAL
+  /// are taken over by a new journal, the epoch is bumped to
+  /// max(local, fenced) + 1, and one compaction rotates to a generation
+  /// whose durable head stamps the new term (epoch_start_lsn = this
+  /// replica's applied floor — the divergence boundary every rejoining
+  /// replica truncates to). After promotion this follower answers queries
+  /// with kUnavailable and Pump() with kFailedPrecondition; on failure it
+  /// is equally sealed (a node that cannot write its term head is dead).
+  /// Caller must guarantee the pump thread is quiescent.
+  util::Result<storage::DurableDynamicBase> Promote();
+
+  /// Raises the fence: this replica will never again fetch from (or
+  /// resync off) a source whose term is below `epoch`. Idempotent,
+  /// monotonic, thread-safe.
+  void Fence(uint64_t epoch);
+
+  /// Re-points the replica at a different primary (after a failover).
+  /// Caller must guarantee the pump thread is quiescent; the new
+  /// transport must outlive the follower.
+  void SetTransport(LogTransport* transport);
+
   /// Admission-controlled batch match over the replica's current state,
   /// pinned to one applied LSN for the whole batch. Stats entries carry
   /// replicated/replica/replica_lsn/replica_lag.
@@ -127,6 +163,16 @@ class Follower {
   FollowerStatus status() const;
   uint32_t replica_index() const { return options_.replica_index; }
   query::AdmissionController& admission() { return admission_; }
+  uint64_t fence_epoch() const {
+    return fence_epoch_.load(std::memory_order_acquire);
+  }
+  bool promoted() const {
+    return promoted_.load(std::memory_order_acquire);
+  }
+  /// The replica's filesystem and mirror directory (what a promotion
+  /// turns into the new primary's env/dir).
+  storage::Env* env() const { return env_; }
+  const std::string& dir() const { return options_.dir; }
 
   // Locked read-only state access (test introspection).
   uint64_t NextId() const;
@@ -162,6 +208,15 @@ class Follower {
   /// Books a failed transport fetch: counters, last-error gauge, and the
   /// per-code geosir_replication_fetch_errors_total series.
   void RecordFetchError(const util::Status& status);
+  /// Rejoin repair against a primary serving a newer term whose start sits
+  /// below this replica's cursor: the suffix [epoch_start_lsn, cursor_)
+  /// was written by a deposed primary and never replicated — truncate it
+  /// from the mirror (atomic rewrite) and rebuild the serving state, or
+  /// fall back to a snapshot resync when the generation head itself lies
+  /// inside the divergent range.
+  util::Status RepairDivergence(const EpochInfo& info);
+  /// Monotonic raise of fence_epoch_.
+  void RaiseFence(uint64_t epoch);
 
   FollowerOptions options_;
   storage::Env* env_;
@@ -179,8 +234,18 @@ class Follower {
   uint64_t generation_ = 0;
   /// Pump-thread cursor; == applied_lsn_ except mid-apply.
   uint64_t cursor_ = 0;
+  /// Pump-thread epoch view of the current generation head: the term it
+  /// was written under, where that term began, and the head's own LSN
+  /// (the truncation floor — TruncateTo must never drop the head).
+  uint64_t local_epoch_ = 0;
+  uint64_t local_epoch_start_lsn_ = 0;
+  uint64_t head_lsn_ = 0;
 
   std::atomic<uint64_t> applied_lsn_{0};
+  /// Highest term ever observed (head commits, fetch replies, explicit
+  /// Fence calls); sent as min_epoch so zombie primaries reject us.
+  std::atomic<uint64_t> fence_epoch_{0};
+  std::atomic<bool> promoted_{false};
   std::atomic<uint64_t> durable_lsn_{0};
   std::atomic<uint64_t> primary_next_lsn_{0};
   std::atomic<bool> connected_{true};
@@ -194,6 +259,9 @@ class Follower {
   std::atomic<uint64_t> rotations_{0};
   std::atomic<uint64_t> local_reopens_{0};
   std::atomic<uint64_t> fetch_errors_{0};
+  std::atomic<uint64_t> fence_rejections_{0};
+  std::atomic<uint64_t> truncated_records_{0};
+  std::atomic<uint64_t> divergence_repairs_{0};
   std::atomic<int> last_fetch_error_code_{0};
 };
 

@@ -9,10 +9,19 @@ PrimaryLogSource::PrimaryLogSource(storage::Env* env, std::string dir,
     : env_(env), dir_(std::move(dir)), journal_(journal) {}
 
 util::Result<LogBatch> PrimaryLogSource::Fetch(uint64_t from_lsn,
-                                               size_t max_records) {
+                                               size_t max_records,
+                                               uint64_t min_epoch) {
   const storage::WalTailState tail = journal_->tail_state();
   LogBatch batch;
   batch.primary_next_lsn = tail.next_lsn;
+  batch.primary_epoch = tail.epoch;
+  if (tail.epoch < min_epoch) {
+    // The follower has already accepted a newer term: this primary is a
+    // zombie and must never feed it another record (fence rejection).
+    return util::Status::FailedPrecondition(
+        "stale epoch " + std::to_string(tail.epoch) +
+        ": follower is fenced to epoch >= " + std::to_string(min_epoch));
+  }
   if (from_lsn > tail.next_lsn) {
     return util::Status::OutOfRange(
         "follower cursor " + std::to_string(from_lsn) +
@@ -92,6 +101,15 @@ util::Result<SnapshotPackage> PrimaryLogSource::FetchSnapshot() {
 
 util::Result<uint64_t> PrimaryLogSource::PrimaryNextLsn() {
   return journal_->tail_state().next_lsn;
+}
+
+util::Result<EpochInfo> PrimaryLogSource::GetEpochInfo() {
+  const storage::WalTailState tail = journal_->tail_state();
+  EpochInfo info;
+  info.epoch = tail.epoch;
+  info.epoch_start_lsn = tail.epoch_start_lsn;
+  info.next_lsn = tail.next_lsn;
+  return info;
 }
 
 }  // namespace geosir::replication

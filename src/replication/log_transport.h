@@ -20,6 +20,21 @@ struct LogBatch {
   /// can compute its lag (primary_next_lsn - applied cursor) without a
   /// second round trip per fetch.
   uint64_t primary_next_lsn = 0;
+  /// The primary's epoch (term) at fetch time. A follower that sees this
+  /// exceed the epoch of its own mirrored stream runs the divergence
+  /// protocol (GetEpochInfo + possible truncation) before applying
+  /// anything from the batch.
+  uint64_t primary_epoch = 0;
+};
+
+/// The primary's term coordinates, for divergence detection on rejoin:
+/// records with lsn < epoch_start_lsn are history shared with earlier
+/// terms; anything a replica holds at or past it under an older epoch was
+/// never replicated and must be truncated, not replayed.
+struct EpochInfo {
+  uint64_t epoch = 0;
+  uint64_t epoch_start_lsn = 0;
+  uint64_t next_lsn = 0;
 };
 
 /// Checkpoint + WAL-head bundle for full follower resynchronization,
@@ -44,6 +59,10 @@ struct SnapshotPackage {
 ///   kNotFound     the requested LSN has been rotated out of the
 ///                 primary's retained log; the follower must
 ///                 FetchSnapshot and resync.
+///   kFailedPrecondition  the source is FENCED: its epoch is older than
+///                 one the follower has already accepted (min_epoch).
+///                 A zombie primary answers this way; never apply, never
+///                 resync from it — re-point at the real primary.
 ///   kCorruption   the stream itself is damaged; retrying will not help.
 ///
 /// Instances are not thread-safe: each follower owns its transport (the
@@ -59,15 +78,23 @@ class LogTransport {
   /// retained log (the primary rotated past it), the batch starts at the
   /// new generation's kCompactCommit head instead: a converged follower
   /// rotates in-stream off it, a lagging one fails the commit's
-  /// convergence check and resyncs from a snapshot.
-  virtual util::Result<LogBatch> Fetch(uint64_t from_lsn,
-                                       size_t max_records) = 0;
+  /// convergence check and resyncs from a snapshot. `min_epoch` is the
+  /// follower's fence: a source whose epoch is older answers
+  /// kFailedPrecondition instead of records (zombie-primary rejection).
+  virtual util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records,
+                                       uint64_t min_epoch = 0) = 0;
 
   /// The primary's current checkpoint generation, for full resync.
   virtual util::Result<SnapshotPackage> FetchSnapshot() = 0;
 
   /// The primary's current next_lsn (lag probes outside a fetch).
   virtual util::Result<uint64_t> PrimaryNextLsn() = 0;
+
+  /// The primary's term coordinates (epoch, where it began, tail). The
+  /// follower calls this when a fetched epoch is newer than its own
+  /// stream's to decide between truncating a divergent suffix and a
+  /// plain catch-up.
+  virtual util::Result<EpochInfo> GetEpochInfo() = 0;
 
   /// Human-readable transport identity for obs ("in-process",
   /// "socket://10.0.0.1:7421", ...): a flapping follower's metrics name
@@ -87,9 +114,11 @@ class PrimaryLogSource : public LogTransport {
   PrimaryLogSource(storage::Env* env, std::string dir,
                    const storage::WalJournal* journal);
 
-  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
+  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records,
+                               uint64_t min_epoch = 0) override;
   util::Result<SnapshotPackage> FetchSnapshot() override;
   util::Result<uint64_t> PrimaryNextLsn() override;
+  util::Result<EpochInfo> GetEpochInfo() override;
 
  private:
   storage::Env* env_;

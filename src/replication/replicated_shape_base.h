@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -69,6 +71,18 @@ struct ReplicatedOptions {
   bool start_replication = true;
   /// Pump-thread sleep between rounds that applied nothing.
   int idle_backoff_us = 200;
+  /// Catch-up budget PromoteFollower grants the target before sealing it
+  /// (the old primary may be dead, so this is an upper bound on effort,
+  /// not a promise of zero lag).
+  int promote_catchup_ms = 2000;
+  /// Auto-failover policy: consecutive failed primary health probes
+  /// before the monitor promotes the freshest surviving follower.
+  /// 0 disables the monitor thread entirely.
+  int failover_failures_to_trip = 0;
+  int failover_probe_interval_ms = 20;
+  /// Health probe override; the default probes a journal Sync under the
+  /// write mutex. Tests flip this to trip the monitor on demand.
+  std::function<util::Status()> health_probe;
 };
 
 /// A serving tier: one durable primary DynamicShapeBase accepting writes,
@@ -122,9 +136,34 @@ class ReplicatedShapeBase {
   void Stop();
   /// One synchronous pump on follower `i` (threads must not be running).
   util::Result<size_t> StepFollower(size_t i);
-  /// Blocks until every follower reaches the primary's current tail.
-  /// Pumps inline when the threads are stopped, polls otherwise.
+  /// Blocks until every (non-promoted) follower reaches the primary's
+  /// current tail. Pumps inline when the threads are stopped, polls
+  /// otherwise.
   util::Status WaitForCatchUp(util::Deadline deadline = {});
+
+  // --- Failover ---
+  /// Controlled switchover to follower `i`: drains primary admissions
+  /// (writes answer kUnavailable for the window), grants the target a
+  /// bounded catch-up, promotes it under a new epoch, swaps it in as the
+  /// serving primary, and re-points + fences every surviving follower at
+  /// the new term. The deposed follower slot stays in place, sealed (the
+  /// router sheds it); indices are stable. Safe to call whether or not
+  /// the pump threads are running — they are paused and resumed around
+  /// the switchover.
+  util::Status PromoteFollower(size_t i);
+  /// Adds one follower to a live tier (the rejoin path for a demoted or
+  /// restarted old primary). A null spec.transport gets an in-process
+  /// source over the CURRENT primary; the follower is fenced to the
+  /// current term before it serves, so a divergent local suffix is
+  /// repaired on its first pump rather than replayed.
+  util::Status AddFollower(ReplicaSpec spec);
+  /// Current primary term (0 until the first promotion on stores created
+  /// before epochs existed).
+  uint64_t primary_epoch() const;
+  /// Completed failovers on this tier.
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
 
   // --- Introspection ---
   uint64_t primary_next_lsn() const;
@@ -146,18 +185,44 @@ class ReplicatedShapeBase {
   RouteBatch(const std::vector<geom::Polyline>& queries, size_t k,
              std::vector<core::MatchStats>* stats, util::Deadline deadline);
   void FollowerLoop(size_t i);
+  void StartPumps();
+  void StopPumps();
+  void StartMonitor();
+  void StopMonitor();
+  void MonitorLoop();
+  /// Coherent primary tail under the write mutex (the journal pointer is
+  /// swapped during a failover, so unlocked reads would race the swap).
+  storage::WalTailState PrimaryTail() const;
 
   ReplicatedOptions options_;
   /// Serializes every primary mutation (and primary-served reads).
   mutable std::mutex primary_mutex_;
   storage::DurableDynamicBase primary_;
+  /// The serving primary's filesystem and directory (follower-owned after
+  /// a failover; needed to build transports for survivors and joiners).
+  storage::Env* primary_env_ = nullptr;
+  std::string primary_dir_;
   const RouterMetrics* metrics_;
+
+  /// Serializes PromoteFollower/AddFollower against each other (and the
+  /// monitor's automatic promotions).
+  std::mutex failover_mutex_;
+  /// Taken shared by the router while it walks followers_, exclusively by
+  /// AddFollower's push_back. PromoteFollower never erases slots, so
+  /// indices are stable for the tier's lifetime.
+  mutable std::shared_mutex topology_mutex_;
+  /// Write drain: Insert/Remove/Compact/SyncPrimary answer kUnavailable
+  /// while a switchover is re-seating the primary.
+  std::atomic<bool> failover_in_progress_{false};
+  std::atomic<uint64_t> failovers_{0};
 
   std::vector<std::unique_ptr<LogTransport>> transports_;
   std::vector<std::unique_ptr<Follower>> followers_;
 
   std::vector<std::thread> pump_threads_;
   std::atomic<bool> running_{false};
+  std::thread monitor_thread_;
+  std::atomic<bool> monitor_running_{false};
   std::atomic<uint64_t> round_robin_{0};
 };
 

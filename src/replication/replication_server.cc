@@ -1,6 +1,8 @@
 #include "replication/replication_server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -13,6 +15,9 @@ struct ReplicationServer::Connection {
   net::Socket socket;
   std::thread worker;
   std::atomic<bool> done{false};
+  /// True while a request is between read and reply: the drain in Stop()
+  /// lets such connections finish instead of shutting their socket.
+  std::atomic<bool> busy{false};
 };
 
 /// Process-wide server instrumentation (one server per process in
@@ -92,12 +97,47 @@ util::Result<std::unique_ptr<ReplicationServer>> ReplicationServer::Start(
 ReplicationServer::~ReplicationServer() { Stop(); }
 
 void ReplicationServer::Stop() {
-  if (stopping_.exchange(true, std::memory_order_relaxed)) return;
+  if (stop_requested_.exchange(true, std::memory_order_relaxed)) return;
+  // Phase 1 — drain. Workers whose connection is idle are unblocked now
+  // (Shutdown, not Close, so the fd is never raced out from under a
+  // poll); workers mid-request keep their socket and finish the reply.
+  // The accept loop keeps running so that a follower connecting during
+  // the drain gets a retriable kUnavailable error frame, not a slammed
+  // socket.
+  draining_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      if (!connection->busy.load(std::memory_order_acquire)) {
+        connection->socket.Shutdown();
+      }
+    }
+  }
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, options_.drain_timeout_ms));
+  for (;;) {
+    bool any_busy = false;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (auto& connection : connections_) {
+        if (connection->busy.load(std::memory_order_acquire)) {
+          any_busy = true;
+          break;
+        }
+      }
+    }
+    if (!any_busy || std::chrono::steady_clock::now() >= drain_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 2 — hard stop: anything still open (a reply that overran the
+  // drain budget, half-open peers) is shut down and joined.
+  stopping_.store(true, std::memory_order_release);
   listener_.Shutdown();
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    // Shutdown (not Close) unblocks workers parked in poll without
-    // racing the fd out from under them.
     for (auto& connection : connections_) connection->socket.Shutdown();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -119,6 +159,18 @@ void ReplicationServer::AcceptLoop() {
           stopping_.load(std::memory_order_relaxed)) {
         return;
       }
+      continue;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      // Stop() is draining in-flight replies: answer with a retriable
+      // error so the follower backs off and retries elsewhere, instead
+      // of seeing a connection slammed mid-handshake.
+      metrics_->rejects->Inc();
+      net::Socket refused = std::move(accepted).value();
+      (void)net::WriteFrame(
+          &refused, static_cast<uint8_t>(MessageType::kError),
+          EncodeError(util::Status::Unavailable("server draining for stop")),
+          util::Deadline::AfterMillis(options_.write_timeout_ms));
       continue;
     }
     {
@@ -173,19 +225,22 @@ void ReplicationServer::Serve(std::shared_ptr<Connection> connection) {
                        : util::Result<HelloMessage>(util::Status::Corruption(
                              "first frame is not a hello"));
     if (message.ok() &&
-        message->protocol_version == net::kProtocolVersion) {
+        message->protocol_version == options_.protocol_version) {
       handshaken =
           WriteReply(connection.get(), MessageType::kHelloAck,
-                     EncodeHello(HelloMessage{net::kProtocolVersion}))
+                     EncodeHello(HelloMessage{options_.protocol_version}))
               .ok();
     } else if (message.ok()) {
+      // A version mismatch is terminal, not transient: retrying the same
+      // binary can never succeed, so the client must surface it as
+      // kFailedPrecondition instead of cycling its backoff loop.
       (void)WriteReply(
           connection.get(), MessageType::kError,
-          EncodeError(util::Status::NotSupported(
+          EncodeError(util::Status::FailedPrecondition(
               "protocol version " +
               std::to_string(message->protocol_version) +
               " not supported (server speaks " +
-              std::to_string(net::kProtocolVersion) + ")")));
+              std::to_string(options_.protocol_version) + ")")));
     }
   }
   if (!handshaken) {
@@ -195,7 +250,8 @@ void ReplicationServer::Serve(std::shared_ptr<Connection> connection) {
     // dies with its connection, so a reconnect naturally restarts the
     // decode position (the connection-generation contract).
     PrimaryLogSource source(options_.env, options_.dir, options_.journal);
-    while (!stopping_.load(std::memory_order_relaxed)) {
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           !draining_.load(std::memory_order_relaxed)) {
       if (!ServeOne(connection.get(), &source)) break;
     }
   }
@@ -219,6 +275,9 @@ bool ReplicationServer::ServeOne(Connection* connection,
   }
   metrics_->frames_in->Inc();
   metrics_->bytes_in->Inc(wire);
+  // Busy window: from here until the reply is written, Stop()'s drain
+  // waits for this connection instead of shutting its socket.
+  connection->busy.store(true, std::memory_order_release);
   const auto start = std::chrono::steady_clock::now();
 
   MessageType reply_type = MessageType::kError;
@@ -231,7 +290,8 @@ bool ReplicationServer::ServeOne(Connection* connection,
         break;
       }
       auto batch = source->Fetch(decoded->from_lsn,
-                                 static_cast<size_t>(decoded->max_records));
+                                 static_cast<size_t>(decoded->max_records),
+                                 decoded->min_epoch);
       if (batch.ok()) {
         reply_type = MessageType::kFetchOk;
         reply = EncodeLogBatch(*batch);
@@ -260,6 +320,16 @@ bool ReplicationServer::ServeOne(Connection* connection,
       }
       break;
     }
+    case MessageType::kEpochInfo: {
+      auto info = source->GetEpochInfo();
+      if (info.ok()) {
+        reply_type = MessageType::kEpochInfoOk;
+        reply = EncodeEpochInfo(*info);
+      } else {
+        reply = EncodeError(info.status());
+      }
+      break;
+    }
     default:
       reply = EncodeError(util::Status::InvalidArgument(
           "unknown message type " + std::to_string(request->type)));
@@ -267,6 +337,7 @@ bool ReplicationServer::ServeOne(Connection* connection,
   }
   if (reply_type == MessageType::kError) metrics_->errors->Inc();
   const bool sent = WriteReply(connection, reply_type, reply).ok();
+  connection->busy.store(false, std::memory_order_release);
   metrics_->request_latency->Observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count());

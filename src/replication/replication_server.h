@@ -43,6 +43,13 @@ struct ReplicationServerOptions {
   /// Handshake must complete within this budget.
   int handshake_timeout_ms = 2000;
   size_t max_frame_payload = net::kDefaultMaxFramePayload;
+  /// Stop() drain bound: how long to wait for in-flight requests to
+  /// finish their reply before the remaining sockets are shut down hard.
+  int drain_timeout_ms = 2000;
+  /// Wire protocol version this server speaks. The default is the real
+  /// one; tests override it to exercise the handshake-mismatch path
+  /// without forking the protocol.
+  uint8_t protocol_version = net::kProtocolVersion;
 };
 
 /// The primary-side socket endpoint of the replication tier: accepts
@@ -51,9 +58,14 @@ struct ReplicationServerOptions {
 /// CRC-framed messages, each connection on its own worker thread over
 /// its own PrimaryLogSource.
 ///
-/// Stop() (and the destructor) is graceful and bounded: the listener is
-/// shut down, every live connection socket is shut down (which unblocks
-/// in-flight reads at the next poll), and all workers are joined.
+/// Stop() (and the destructor) is a graceful, bounded drain: requests
+/// already being processed complete their reply (up to drain_timeout_ms),
+/// idle connections are unblocked immediately, and new connections during
+/// the drain are answered with a retriable kUnavailable error frame
+/// instead of a slammed socket — a follower mid-fetch sees a complete
+/// reply or a clean connection close, never a torn frame. After the
+/// drain the listener and every remaining socket are shut down and all
+/// workers are joined.
 class ReplicationServer {
  public:
   static util::Result<std::unique_ptr<ReplicationServer>> Start(
@@ -89,6 +101,12 @@ class ReplicationServer {
   ReplicationServerOptions options_;
   net::Listener listener_;
   std::thread accept_thread_;
+  /// Idempotency guard for Stop() (set first, before the drain begins).
+  std::atomic<bool> stop_requested_{false};
+  /// Drain phase: workers finish their in-flight reply and exit; new
+  /// connections are answered kUnavailable.
+  std::atomic<bool> draining_{false};
+  /// Hard-stop phase: listener and remaining sockets shut down.
   std::atomic<bool> stopping_{false};
   std::atomic<size_t> active_{0};
   const Metrics* metrics_;

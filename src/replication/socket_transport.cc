@@ -108,7 +108,16 @@ util::Status SocketLogTransport::EnsureConnected(util::Deadline deadline) {
   if (ack->type == static_cast<uint8_t>(MessageType::kError)) {
     metrics_->handshake_failures->Inc();
     socket_ = net::Socket();
-    return DecodeError(ack->payload);
+    util::Status rejected = DecodeError(ack->payload);
+    // A version-mismatch rejection is terminal for this transport: no
+    // amount of reconnecting makes the peers speak the same protocol, so
+    // it must NOT enter the kUnavailable retry/backoff loop. Newer
+    // servers already say kFailedPrecondition; map an older server's
+    // kNotSupported onto the same terminal code.
+    if (rejected.code() == util::StatusCode::kNotSupported) {
+      rejected = util::Status::FailedPrecondition(rejected.message());
+    }
+    return rejected;
   }
   if (ack->type != static_cast<uint8_t>(MessageType::kHelloAck)) {
     metrics_->handshake_failures->Inc();
@@ -209,10 +218,12 @@ util::Result<std::vector<uint8_t>> SocketLogTransport::Call(
 }
 
 util::Result<LogBatch> SocketLogTransport::Fetch(uint64_t from_lsn,
-                                                 size_t max_records) {
+                                                 size_t max_records,
+                                                 uint64_t min_epoch) {
   FetchRequest request;
   request.from_lsn = from_lsn;
   request.max_records = max_records;
+  request.min_epoch = min_epoch;
   GEOSIR_ASSIGN_OR_RETURN(
       const std::vector<uint8_t> reply,
       Call(MessageType::kFetch, EncodeFetchRequest(request),
@@ -247,6 +258,18 @@ util::Result<uint64_t> SocketLogTransport::PrimaryNextLsn() {
     Disconnect();
   }
   return next_lsn;
+}
+
+util::Result<EpochInfo> SocketLogTransport::GetEpochInfo() {
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> reply,
+                          Call(MessageType::kEpochInfo, {},
+                               MessageType::kEpochInfoOk));
+  auto info = DecodeEpochInfo(reply);
+  if (!info.ok()) {
+    metrics_->corrupt_frames->Inc();
+    Disconnect();
+  }
+  return info;
 }
 
 }  // namespace geosir::replication

@@ -66,9 +66,11 @@ class SocketLogTransport : public LogTransport {
   explicit SocketLogTransport(SocketTransportOptions options);
   ~SocketLogTransport() override;
 
-  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records) override;
+  util::Result<LogBatch> Fetch(uint64_t from_lsn, size_t max_records,
+                               uint64_t min_epoch = 0) override;
   util::Result<SnapshotPackage> FetchSnapshot() override;
   util::Result<uint64_t> PrimaryNextLsn() override;
+  util::Result<EpochInfo> GetEpochInfo() override;
   std::string Describe() const override;
 
   /// Bumped every time a fresh connection finishes its handshake. A

@@ -39,6 +39,7 @@ std::vector<uint8_t> EncodeFetchRequest(const FetchRequest& request) {
   std::vector<uint8_t> out;
   PutU64(&out, request.from_lsn);
   PutU64(&out, request.max_records);
+  PutU64(&out, request.min_epoch);
   return out;
 }
 
@@ -47,7 +48,8 @@ util::Result<FetchRequest> DecodeFetchRequest(
   ByteReader reader(bytes);
   FetchRequest request;
   if (!reader.ReadU64(&request.from_lsn) ||
-      !reader.ReadU64(&request.max_records)) {
+      !reader.ReadU64(&request.max_records) ||
+      !reader.ReadU64(&request.min_epoch)) {
     return Truncated("fetch request");
   }
   return request;
@@ -56,6 +58,7 @@ util::Result<FetchRequest> DecodeFetchRequest(
 std::vector<uint8_t> EncodeLogBatch(const LogBatch& batch) {
   std::vector<uint8_t> out;
   PutU64(&out, batch.primary_next_lsn);
+  PutU64(&out, batch.primary_epoch);
   PutU32(&out, static_cast<uint32_t>(batch.records.size()));
   for (const storage::WalRecord& record : batch.records) {
     PutU64(&out, record.lsn);
@@ -70,7 +73,8 @@ util::Result<LogBatch> DecodeLogBatch(const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
   LogBatch batch;
   uint32_t count = 0;
-  if (!reader.ReadU64(&batch.primary_next_lsn) || !reader.ReadU32(&count)) {
+  if (!reader.ReadU64(&batch.primary_next_lsn) ||
+      !reader.ReadU64(&batch.primary_epoch) || !reader.ReadU32(&count)) {
     return Truncated("log batch");
   }
   // Every record costs at least its header, so a count the remaining
@@ -146,6 +150,24 @@ util::Result<uint64_t> DecodeNextLsn(const std::vector<uint8_t>& bytes) {
     return Truncated("next-lsn");
   }
   return next_lsn;
+}
+
+std::vector<uint8_t> EncodeEpochInfo(const EpochInfo& info) {
+  std::vector<uint8_t> out;
+  PutU64(&out, info.epoch);
+  PutU64(&out, info.epoch_start_lsn);
+  PutU64(&out, info.next_lsn);
+  return out;
+}
+
+util::Result<EpochInfo> DecodeEpochInfo(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  EpochInfo info;
+  if (!reader.ReadU64(&info.epoch) || !reader.ReadU64(&info.epoch_start_lsn) ||
+      !reader.ReadU64(&info.next_lsn) || reader.remaining() != 0) {
+    return Truncated("epoch info");
+  }
+  return info;
 }
 
 uint8_t WireCodeForStatus(util::StatusCode code) {

@@ -27,6 +27,11 @@ enum class MessageType : uint8_t {
   /// message, decoded back into the util::Status the in-process
   /// transport would have returned.
   kError = 9,
+  /// Epoch/term probe: replies with the primary's epoch, the LSN the
+  /// epoch began at, and its next_lsn — the coordinates a rejoining
+  /// replica needs to locate (and truncate) a divergent suffix.
+  kEpochInfo = 10,
+  kEpochInfoOk = 11,
 };
 
 struct HelloMessage {
@@ -36,6 +41,10 @@ struct HelloMessage {
 struct FetchRequest {
   uint64_t from_lsn = 0;
   uint64_t max_records = 0;  // 0 = unlimited.
+  /// Fencing bound: the highest epoch the follower has accepted. A
+  /// primary whose epoch is older must reply kFailedPrecondition, never
+  /// records (zombie rejection).
+  uint64_t min_epoch = 0;
 };
 
 /// All decoders are total over arbitrary bytes: truncated, oversized or
@@ -60,6 +69,9 @@ util::Result<SnapshotPackage> DecodeSnapshotPackage(
 
 std::vector<uint8_t> EncodeNextLsn(uint64_t next_lsn);
 util::Result<uint64_t> DecodeNextLsn(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeEpochInfo(const EpochInfo& info);
+util::Result<EpochInfo> DecodeEpochInfo(const std::vector<uint8_t>& bytes);
 
 /// Status <-> kError payload. The wire code numbering is part of the
 /// protocol (stable across releases, independent of the enum's in-memory

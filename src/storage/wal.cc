@@ -36,6 +36,7 @@ struct WalMetrics {
   obs::Counter* recovery_dirty_rotations;
   obs::Counter* recovery_reinitialized;
   obs::Gauge* recovery_generation;
+  obs::Gauge* epoch;
   obs::Histogram* replay_latency;
 
   static const WalMetrics& Get() {
@@ -79,6 +80,10 @@ struct WalMetrics {
       m->recovery_generation = r.GetGauge(
           "geosir_recovery_generation",
           "Generation recovered (or created) by the most recent open");
+      m->epoch = r.GetGauge(
+          "geosir_wal_epoch",
+          "Primary term (epoch) of the most recently opened or rotated "
+          "write-ahead log");
       m->replay_latency = r.GetHistogram(
           "geosir_recovery_replay_seconds",
           "Wall-clock latency of one recovery (restore + replay)",
@@ -435,6 +440,8 @@ util::Result<uint64_t> DecodeRemove(const std::vector<uint8_t>& bytes) {
 std::vector<uint8_t> EncodeCommit(const WalCommitPayload& payload) {
   std::vector<uint8_t> out;
   AppendRaw<uint64_t>(&out, payload.generation);
+  AppendRaw<uint64_t>(&out, payload.epoch);
+  AppendRaw<uint64_t>(&out, payload.epoch_start_lsn);
   AppendRaw<uint64_t>(&out, payload.next_id);
   AppendRaw<uint64_t>(&out, static_cast<uint64_t>(payload.live_ids.size()));
   for (uint64_t id : payload.live_ids) AppendRaw<uint64_t>(&out, id);
@@ -446,8 +453,9 @@ util::Result<WalCommitPayload> DecodeCommit(
   PayloadReader reader(bytes);
   WalCommitPayload payload;
   uint64_t count = 0;
-  if (!reader.Read(&payload.generation) || !reader.Read(&payload.next_id) ||
-      !reader.Read(&count)) {
+  if (!reader.Read(&payload.generation) || !reader.Read(&payload.epoch) ||
+      !reader.Read(&payload.epoch_start_lsn) ||
+      !reader.Read(&payload.next_id) || !reader.Read(&count)) {
     return util::Status::Corruption("truncated WAL commit payload");
   }
   if (count != reader.remaining() / sizeof(uint64_t)) {
@@ -549,10 +557,54 @@ util::Status WriteAheadLog::SyncLocked() {
   return util::Status::OK();
 }
 
+util::Result<size_t> WriteAheadLog::TruncateTo(Env* env,
+                                               const std::string& path,
+                                               uint64_t lsn) {
+  GEOSIR_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          env->ReadFileBytes(path));
+  WalReadReport report;
+  const std::vector<WalRecord> records = ReadWalRecords(bytes, &report);
+  std::vector<uint8_t> prefix;
+  size_t kept = 0;
+  for (const WalRecord& record : records) {
+    if (record.lsn >= lsn) break;
+    AppendWalFrame(&prefix, record.lsn, record.type, record.payload);
+    ++kept;
+  }
+  if (kept == 0) {
+    return util::Status::FailedPrecondition(
+        "TruncateTo(" + std::to_string(lsn) +
+        ") would drop the WAL head record of " + path);
+  }
+  const size_t dropped = records.size() - kept;
+  if (dropped == 0 && report.truncated_bytes == 0 && !report.salvaged) {
+    return dropped;  // Already a clean prefix below `lsn`: no rewrite.
+  }
+  GEOSIR_RETURN_IF_ERROR(env->WriteFileAtomic(path, prefix));
+  return dropped;
+}
+
 // --- WalJournal ---
+
+util::Status WalJournal::BeginEpoch(uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(tail_mutex_);
+  if (new_epoch <= epoch_) {
+    return util::Status::FailedPrecondition(
+        "BeginEpoch(" + std::to_string(new_epoch) +
+        ") does not exceed the current epoch " + std::to_string(epoch_));
+  }
+  epoch_ = new_epoch;
+  epoch_pending_ = true;
+  return util::Status::OK();
+}
 
 util::Status WalJournal::AppendMutation(WalRecordType type,
                                         const std::vector<uint8_t>& payload) {
+  if (epoch_pending_) {
+    return util::Status::FailedPrecondition(
+        "epoch bump pending: the new term must rotate before accepting "
+        "mutations");
+  }
   if (wal_ == nullptr) {
     return util::Status::FailedPrecondition(
         "journal is detached (recovery has not rotated the log yet)");
@@ -592,8 +644,16 @@ util::Status WalJournal::LogRemove(uint64_t id) {
 
 util::Status WalJournal::LogCompactBegin() {
   // Advisory: a sticky or detached log must not block the compaction
-  // that is about to rotate it into a healthy one.
-  if (wal_ == nullptr || !wal_->status().ok()) return util::Status::OK();
+  // that is about to rotate it into a healthy one. Also skipped while an
+  // epoch bump is pending: epoch_start_lsn is defined as the first LSN
+  // the new term wrote, and the divergence rule treats everything below
+  // it as shared history — burning an LSN on an advisory record in the
+  // old term's doomed generation would push the boundary one past the
+  // promoted replica's applied floor and misclassify the rejoining
+  // primary's record at that slot.
+  if (wal_ == nullptr || !wal_->status().ok() || epoch_pending_) {
+    return util::Status::OK();
+  }
   auto lsn = wal_->Append(WalRecordType::kCompactBegin, {});
   if (lsn.ok()) {
     std::lock_guard<std::mutex> lock(tail_mutex_);
@@ -623,8 +683,13 @@ util::Status WalJournal::LogCompactCommit(
   auto wal = std::make_unique<WriteAheadLog>(std::move(file), options_,
                                              next_lsn_,
                                              /*synced_upto=*/next_lsn_);
+  // A pending epoch bump takes effect here: this head is the first durable
+  // artifact of the new term, so its LSN is where the epoch begins.
+  const uint64_t epoch_start = epoch_pending_ ? next_lsn_ : epoch_start_lsn_;
   WalCommitPayload commit;
   commit.generation = new_generation;
+  commit.epoch = epoch_;
+  commit.epoch_start_lsn = epoch_start;
   commit.next_id = next_id;
   commit.live_ids = stable_ids;
   GEOSIR_RETURN_IF_ERROR(
@@ -639,7 +704,10 @@ util::Status WalJournal::LogCompactCommit(
     wal_ = std::move(wal);
     generation_ = new_generation;
     next_lsn_ = wal_->next_lsn();
+    epoch_start_lsn_ = epoch_start;
+    epoch_pending_ = false;
   }
+  WalMetrics::Get().epoch->Set(static_cast<int64_t>(epoch_));
   WalMetrics::Get().rotations->Inc();
   // Step 3: best-effort cleanup. A failure here only leaves stale files
   // that the next recovery or rotation removes.
@@ -657,6 +725,8 @@ WalTailState WalJournal::tail_state() const {
   WalTailState state;
   state.generation = generation_;
   state.next_lsn = next_lsn_;
+  state.epoch = epoch_;
+  state.epoch_start_lsn = epoch_start_lsn_;
   state.detached = wal_ == nullptr;
   if (wal_ != nullptr) {
     state.committed_bytes = wal_->committed_bytes();
@@ -771,6 +841,7 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
         std::move(checkpoint), commit->live_ids, commit->next_id));
     GEOSIR_ASSIGN_OR_RETURN(rep.applied, ReplayRecords(records, base.get()));
     rep.generation = generation;
+    rep.epoch = commit->epoch;
     rep.truncated_bytes = wal_report.truncated_bytes;
     rep.salvaged = wal_report.salvaged;
 
@@ -780,6 +851,7 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
     metrics.recovery_replayed_records->Inc(rep.applied);
     if (rep.salvaged) metrics.recovery_salvaged->Inc();
     metrics.recovery_generation->Set(static_cast<int64_t>(generation));
+    metrics.epoch->Set(static_cast<int64_t>(commit->epoch));
     metrics.replay_latency->Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       replay_start)
@@ -815,17 +887,17 @@ util::Result<DurableDynamicBase> OpenDurableDynamicBase(
                                                  durability.wal, next_lsn,
                                                  /*synced_upto=*/0);
       GEOSIR_RETURN_IF_ERROR(wal->Sync());
-      journal = std::make_unique<WalJournal>(env, dir, durability.wal,
-                                             generation, next_lsn,
-                                             std::move(wal));
+      journal = std::make_unique<WalJournal>(
+          env, dir, durability.wal, generation, next_lsn, std::move(wal),
+          commit->epoch, commit->epoch_start_lsn);
       base->SetJournal(journal.get());
     } else {
       // Dirty tail: never append after discarded bytes. Attach detached
       // and compact immediately — the commit rotates to a fresh
       // generation that snapshots the recovered state.
-      journal = std::make_unique<WalJournal>(env, dir, durability.wal,
-                                             generation, next_lsn,
-                                             /*wal=*/nullptr);
+      journal = std::make_unique<WalJournal>(
+          env, dir, durability.wal, generation, next_lsn,
+          /*wal=*/nullptr, commit->epoch, commit->epoch_start_lsn);
       base->SetJournal(journal.get());
       GEOSIR_RETURN_IF_ERROR(base->Compact());
       metrics.recovery_dirty_rotations->Inc();

@@ -169,6 +169,15 @@ struct WalInsertPayload {
 
 struct WalCommitPayload {
   uint64_t generation = 0;
+  /// Primary term that wrote this generation. Every record in the file
+  /// inherits the head commit's epoch: a promotion bumps the epoch and
+  /// rotates, so a generation never mixes records from two primaries.
+  uint64_t epoch = 0;
+  /// LSN at which `epoch` began (the head LSN of the first generation the
+  /// epoch wrote). Records with lsn < epoch_start_lsn are shared history
+  /// with the previous epoch; a rejoining replica whose log extends past
+  /// this point under an older epoch holds a divergent suffix.
+  uint64_t epoch_start_lsn = 0;
   uint64_t next_id = 0;
   std::vector<uint64_t> live_ids;  // Stable id of checkpoint shape i.
 };
@@ -227,6 +236,19 @@ class WriteAheadLog {
   uint64_t appends() const { return appends_; }
   const util::Status& status() const { return sticky_; }
 
+  /// Atomically rewrites the WAL at `path` to hold only the records with
+  /// lsn < `lsn` (divergence repair: a rejoining old primary drops the
+  /// suffix the new epoch never replicated). Same guarantees as the
+  /// dirty-mirror truncation in follower recovery: the valid prefix is
+  /// re-framed byte-identically and installed with WriteFileAtomic, so a
+  /// crash mid-repair leaves either the old file or the truncated one,
+  /// never a torn hybrid. Returns the number of complete records dropped.
+  /// Refuses (kFailedPrecondition) when nothing would survive — a WAL
+  /// without its head commit is unrecoverable, so the caller must resync
+  /// from a snapshot instead. No WriteAheadLog may have `path` open.
+  static util::Result<size_t> TruncateTo(Env* env, const std::string& path,
+                                         uint64_t lsn);
+
  private:
   util::Status SyncLocked();
 
@@ -257,6 +279,10 @@ struct WalTailState {
   uint64_t committed_bytes = 0;
   /// Exclusive durability bound of the stream.
   uint64_t synced_upto = 0;
+  /// Primary term the journal is writing under (see WalCommitPayload).
+  uint64_t epoch = 0;
+  /// LSN at which `epoch` began.
+  uint64_t epoch_start_lsn = 0;
   bool detached = false;
 };
 
@@ -270,12 +296,15 @@ class WalJournal : public core::DynamicBaseJournal {
   /// generation — the dirty-tail recovery path).
   WalJournal(Env* env, std::string dir, WalOptions options,
              uint64_t generation, uint64_t next_lsn,
-             std::unique_ptr<WriteAheadLog> wal)
+             std::unique_ptr<WriteAheadLog> wal, uint64_t epoch = 0,
+             uint64_t epoch_start_lsn = 0)
       : env_(env),
         dir_(std::move(dir)),
         options_(options),
         generation_(generation),
         next_lsn_(next_lsn),
+        epoch_(epoch),
+        epoch_start_lsn_(epoch_start_lsn),
         wal_(std::move(wal)) {}
 
   util::Status LogInsert(uint64_t id, const geom::Polyline& boundary,
@@ -300,6 +329,17 @@ class WalJournal : public core::DynamicBaseJournal {
     return wal_ != nullptr ? wal_->synced_upto() : next_lsn_;
   }
   bool detached() const { return wal_ == nullptr; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch_start_lsn() const { return epoch_start_lsn_; }
+
+  /// Starts a new primary term (failover promotion). The epoch only takes
+  /// effect at the next LogCompactCommit, which rotates to a generation
+  /// whose head is stamped with it and whose head LSN becomes the epoch
+  /// start — until then every mutation is rejected, so no record is ever
+  /// written under a bumped epoch into an old-epoch generation (the
+  /// fencing invariant). `new_epoch` must strictly exceed the current
+  /// epoch. Owner thread only; the caller rotates via Compact().
+  util::Status BeginEpoch(uint64_t new_epoch);
 
   /// Coherent tail snapshot for concurrent log shipping. Unlike the plain
   /// accessors above (owner-thread only), this may be called from any
@@ -319,6 +359,11 @@ class WalJournal : public core::DynamicBaseJournal {
   mutable std::mutex tail_mutex_;
   uint64_t generation_;
   uint64_t next_lsn_;
+  uint64_t epoch_;
+  uint64_t epoch_start_lsn_;
+  /// True between BeginEpoch and the rotation that stamps it: mutations
+  /// are fenced off until the new term has a durable head of its own.
+  bool epoch_pending_ = false;
   std::unique_ptr<WriteAheadLog> wal_;
   /// Reused payload buffer (capacity persists across mutations).
   std::vector<uint8_t> payload_scratch_;
@@ -336,6 +381,9 @@ struct RecoveryReport {
   bool salvaged = false;
   /// Generation recovered from.
   uint64_t generation = 0;
+  /// Primary term recovered from the WAL head (0 for fresh stores and
+  /// stores written before epochs existed).
+  uint64_t epoch = 0;
   /// Shapes restored from the checkpoint file.
   size_t checkpoint_shapes = 0;
   /// Newer generations whose WAL head was torn/invalid (a crash landed

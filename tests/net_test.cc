@@ -319,11 +319,12 @@ TEST(WireProtocolTest, ForgedRecordCountCannotOverAllocate) {
   batch.primary_next_lsn = 1;
   auto bytes = replication::EncodeLogBatch(batch);
   // Forge count = 0x40000000 (2^30 records): must be rejected against the
-  // actual payload size, not reserved.
-  bytes[8] = 0x00;
-  bytes[9] = 0x00;
-  bytes[10] = 0x00;
-  bytes[11] = 0x40;
+  // actual payload size, not reserved. The count lives after
+  // primary_next_lsn (u64) and primary_epoch (u64).
+  bytes[16] = 0x00;
+  bytes[17] = 0x00;
+  bytes[18] = 0x00;
+  bytes[19] = 0x40;
   auto decoded = replication::DecodeLogBatch(bytes);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
@@ -400,7 +401,8 @@ struct SocketCluster {
   std::unique_ptr<ReplicationServer> server;
 
   Status Open(DynamicShapeBase::Options base_options =
-                  DynamicShapeBase::Options{}) {
+                  DynamicShapeBase::Options{},
+              uint8_t protocol_version = net::kProtocolVersion) {
     storage::DurabilityOptions durability;
     durability.env = &env;
     auto opened =
@@ -412,6 +414,7 @@ struct SocketCluster {
     options.env = &env;
     options.dir = kPrimaryDir;
     options.journal = primary->journal.get();
+    options.protocol_version = protocol_version;
     GEOSIR_ASSIGN_OR_RETURN(server, ReplicationServer::Start(options));
     return Status::OK();
   }
@@ -488,7 +491,29 @@ TEST(ReplicationServerTest, RejectsWrongProtocolVersion) {
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
   ASSERT_EQ(reply->type, static_cast<uint8_t>(MessageType::kError));
   Status error = replication::DecodeError(reply->payload);
-  EXPECT_EQ(error.code(), StatusCode::kNotSupported) << error.ToString();
+  // Terminal, not transient: retrying the same binary can never succeed,
+  // so the server must not hand back a retriable code.
+  EXPECT_EQ(error.code(), StatusCode::kFailedPrecondition) << error.ToString();
+}
+
+TEST(ReplicationServerTest, VersionMismatchIsTerminalForTheClient) {
+  // The server speaks a future protocol; this client must surface the
+  // mismatch as kFailedPrecondition in one round trip — a version skew
+  // that entered the reconnect-backoff loop would look like a network
+  // outage and page the wrong oncall.
+  SocketCluster cluster;
+  ASSERT_TRUE(cluster.Open(DynamicShapeBase::Options{},
+                           net::kProtocolVersion + 1)
+                  .ok());
+  SocketLogTransport transport(FastTransportOptions(cluster.server->port()));
+  const auto start = std::chrono::steady_clock::now();
+  auto next_lsn = transport.PrimaryNextLsn();
+  ASSERT_FALSE(next_lsn.ok());
+  EXPECT_EQ(next_lsn.status().code(), StatusCode::kFailedPrecondition)
+      << next_lsn.status().ToString();
+  // One handshake, no backoff cycles: well under a single reconnect
+  // policy's worth of retries.
+  EXPECT_LT(ElapsedSeconds(start), 2.0);
 }
 
 TEST(ReplicationServerTest, DropsNonHelloFirstFrame) {
@@ -525,6 +550,73 @@ TEST(ReplicationServerTest, StopUnblocksConnectedClientsPromptly) {
   // returns within the call budget instead of hanging.
   auto after = transport.PrimaryNextLsn();
   EXPECT_FALSE(after.ok());
+}
+
+TEST(ReplicationServerTest, StopDrainsAnInFlightReplyBeforeClosing) {
+  SocketCluster cluster;
+  DynamicShapeBase::Options no_auto_compact;
+  no_auto_compact.min_compaction_size = 1u << 20;
+  ASSERT_TRUE(cluster.Open(no_auto_compact).ok());
+  // Enough records that the single-frame fetch reply overflows the
+  // loopback socket buffers: the server worker blocks mid-reply with its
+  // busy flag up — exactly the window Stop()'s drain must respect.
+  const uint64_t kRecords = 6000;
+  for (uint64_t i = 0; i < kRecords; ++i) ASSERT_TRUE(cluster.Insert(i).ok());
+
+  auto raw = Socket::Connect(kHost, cluster.server->port(),
+                             Deadline::AfterMillis(5000));
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(net::WriteFrame(&*raw, static_cast<uint8_t>(MessageType::kHello),
+                              replication::EncodeHello(HelloMessage{}),
+                              Deadline::AfterMillis(5000))
+                  .ok());
+  auto ack = net::ReadFrame(&*raw, net::kDefaultMaxFramePayload,
+                            Deadline::AfterMillis(5000));
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack->type, static_cast<uint8_t>(MessageType::kHelloAck));
+  replication::FetchRequest fetch;
+  fetch.from_lsn = 0;
+  fetch.max_records = 0;
+  ASSERT_TRUE(net::WriteFrame(&*raw, static_cast<uint8_t>(MessageType::kFetch),
+                              replication::EncodeFetchRequest(fetch),
+                              Deadline::AfterMillis(5000))
+                  .ok());
+  // Let the worker pick up the request and start (and stall) the reply,
+  // then stop the server with the reply still in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    cluster.server->Stop();
+    stopped.store(true, std::memory_order_release);
+  });
+
+  // A follower connecting during the drain is refused with a retriable
+  // error frame, not a slammed socket (best effort: by the time this
+  // connect lands the drain may already have finished).
+  auto late = Socket::Connect(kHost, cluster.server->port(),
+                              Deadline::AfterMillis(1000));
+  if (late.ok()) {
+    auto refused = net::ReadFrame(&*late, net::kDefaultMaxFramePayload,
+                                  Deadline::AfterMillis(5000));
+    if (refused.ok() &&
+        refused->type == static_cast<uint8_t>(MessageType::kError)) {
+      EXPECT_EQ(replication::DecodeError(refused->payload).code(),
+                StatusCode::kUnavailable);
+    }
+  }
+
+  // The blocked fetch completes IN FULL: a drain finishes the reply, an
+  // amputation would tear the frame mid-payload.
+  auto reply = net::ReadFrame(&*raw, net::kDefaultMaxFramePayload,
+                              Deadline::AfterMillis(10000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, static_cast<uint8_t>(MessageType::kFetchOk));
+  auto batch = replication::DecodeLogBatch(reply->payload);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->records.size(), kRecords + 1);  // Head commit included.
+  stopper.join();
+  EXPECT_TRUE(stopped.load(std::memory_order_acquire));
+  EXPECT_EQ(cluster.server->active_connections(), 0u);
 }
 
 TEST(SocketTransportTest, CallNeverBlocksPastItsDeadline) {

@@ -1,0 +1,589 @@
+// Failover matrix for the replicated serving tier: kill the PRIMARY at
+// every WAL-record boundary of a deterministic schedule, promote each
+// follower in turn, and assert the three failover invariants:
+//
+//   * nothing replicated is lost — the promoted primary's state is
+//     exactly the model after the prefix of mutations below its applied
+//     floor (the new term's epoch_start_lsn),
+//   * a divergent suffix on a rejoining replica (the deposed primary's
+//     unreplicated tail, or a survivor that out-pumped the promoted
+//     follower) is truncated, never replayed — post-promotion writes use
+//     distinct labels so a replayed suffix cannot masquerade as repair,
+//   * every replica converges to the new primary's exact state, with a
+//     byte-identical WAL mirror when the repair was surgical.
+//
+// The matrix enumerates every schedule boundary because each mutation is
+// one WAL record: killing after op k is killing at record boundary k.
+// Two pump cadences (every op / every third op) put the two followers'
+// applied floors at different LSNs, so promoting each in turn exercises
+// both the behind-survivor catch-up path and the ahead-survivor
+// divergence-repair path.
+//
+// A second set of tests drives the ReplicatedShapeBase orchestration:
+// controlled switchover, rejoin via AddFollower, and the health-probe
+// auto-failover monitor. The zombie-fence test keeps the deposed
+// primary's journal alive and asserts fenced replicas refuse it
+// terminally (kFailedPrecondition, no resync, no retry).
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_shape_base.h"
+#include "replication/follower.h"
+#include "replication/log_transport.h"
+#include "replication/replicated_shape_base.h"
+#include "storage/wal.h"
+#include "util/deadline.h"
+
+namespace geosir::replication {
+namespace {
+
+using core::DynamicShapeBase;
+using geom::Point;
+using geom::Polyline;
+using storage::MemEnv;
+using storage::WalSyncPolicy;
+
+Polyline RegularPolygon(int n, double r) {
+  std::vector<Point> v;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    v.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return Polyline::Closed(std::move(v));
+}
+
+Polyline ShapeFor(uint64_t id) {
+  return RegularPolygon(3 + static_cast<int>(id % 8),
+                        1.0 + 0.05 * static_cast<double>(id % 7));
+}
+std::string LabelFor(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "s%llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+/// Post-promotion writes use a distinct label space: if a divergent
+/// suffix were replayed instead of truncated, the old "s" labels would
+/// survive on ids the new term rewrote as "n".
+std::string NewTermLabelFor(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "n%llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+core::ImageId ImageFor(uint64_t id) {
+  return static_cast<core::ImageId>(id * 3 + 1);
+}
+
+constexpr char kPrimaryDir[] = "primary";
+
+/// Explicit rotations only: the matrix tracks the primary's generation
+/// head LSN to predict surgical-truncation vs snapshot-fallback repair,
+/// so auto-compaction must not rotate behind its back.
+DynamicShapeBase::Options NoAutoCompactOptions() {
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 1u << 20;
+  return options;
+}
+
+DynamicShapeBase::Options SmallBaseOptions() {
+  DynamicShapeBase::Options options;
+  options.min_compaction_size = 8;
+  options.max_delta_fraction = 0.5;
+  return options;
+}
+
+struct ScriptOp {
+  enum Kind { kInsert, kRemove, kCompact } kind;
+  uint64_t id = 0;
+};
+
+std::vector<ScriptOp> MakeScript(size_t inserts, size_t remove_every,
+                                 size_t compact_every) {
+  std::vector<ScriptOp> script;
+  uint64_t next_id = 0;
+  std::vector<uint64_t> live;
+  for (size_t i = 0; i < inserts; ++i) {
+    script.push_back({ScriptOp::kInsert, next_id});
+    live.push_back(next_id);
+    ++next_id;
+    if (remove_every != 0 && i % remove_every == remove_every - 1) {
+      script.push_back({ScriptOp::kRemove, live.front()});
+      live.erase(live.begin());
+    }
+    if (compact_every != 0 && i % compact_every == compact_every - 1) {
+      script.push_back({ScriptOp::kCompact});
+    }
+  }
+  return script;
+}
+
+/// One acked primary mutation, stamped with the LSN its record took.
+struct AckedMutation {
+  uint64_t lsn = 0;
+  ScriptOp op;
+};
+
+/// The live-id model after every mutation whose record lies strictly
+/// below `floor` — what a replica whose applied cursor is `floor` must
+/// hold, no more and no less.
+std::set<uint64_t> ModelBelow(const std::vector<AckedMutation>& mutations,
+                              uint64_t floor) {
+  std::set<uint64_t> live;
+  for (const AckedMutation& m : mutations) {
+    if (m.lsn >= floor) continue;
+    if (m.op.kind == ScriptOp::kInsert) live.insert(m.op.id);
+    if (m.op.kind == ScriptOp::kRemove) live.erase(m.op.id);
+  }
+  return live;
+}
+
+/// Bit-level logical equality between a replica and a primary base:
+/// same live set, same id horizon, and per-id identical label, image,
+/// and boundary vertices.
+::testing::AssertionResult StatesMatch(const Follower& follower,
+                                       const DynamicShapeBase& base) {
+  if (follower.NextId() != base.NextId()) {
+    return ::testing::AssertionFailure()
+           << "NextId " << follower.NextId() << " vs " << base.NextId();
+  }
+  const std::vector<uint64_t> live = follower.LiveIds();
+  const std::vector<uint64_t> expected = base.LiveIds();
+  if (live != expected) {
+    return ::testing::AssertionFailure()
+           << "live sets differ: " << live.size() << " vs "
+           << expected.size() << " ids";
+  }
+  for (uint64_t id : live) {
+    if (follower.label(id) != base.label(id)) {
+      return ::testing::AssertionFailure()
+             << "id " << id << " label '" << follower.label(id) << "' vs '"
+             << base.label(id) << "'";
+    }
+    if (follower.image(id) != base.image(id)) {
+      return ::testing::AssertionFailure() << "id " << id << " image";
+    }
+    const Polyline& want = base.boundary(id);
+    const Polyline got = follower.boundary(id);
+    if (got.size() != want.size() || got.closed() != want.closed()) {
+      return ::testing::AssertionFailure() << "id " << id << " boundary shape";
+    }
+    for (size_t v = 0; v < want.size(); ++v) {
+      if (got.vertex(v).x != want.vertex(v).x ||
+          got.vertex(v).y != want.vertex(v).y) {
+        return ::testing::AssertionFailure() << "id " << id << " vertex " << v;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+FollowerOptions ReplicaOptions(storage::Env* env, const std::string& dir,
+                               uint32_t index) {
+  FollowerOptions options;
+  options.env = env;
+  options.dir = dir;
+  options.base = NoAutoCompactOptions();
+  options.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  options.reconnect.max_attempts = 1;
+  options.fetch_batch_records = 4;
+  options.replica_index = index;
+  return options;
+}
+
+/// Pumps `follower` until its cursor reaches `tail`; returns false on a
+/// livelock (bounded so a wedge fails the test instead of hanging it).
+bool PumpTo(Follower* follower, uint64_t tail, int max_rounds = 300) {
+  for (int round = 0; round < max_rounds; ++round) {
+    if (follower->applied_lsn() >= tail) return true;
+    (void)follower->Pump();
+  }
+  return false;
+}
+
+// --- The kill-promote-rejoin matrix ---
+
+struct MatrixTotals {
+  uint64_t surgical_repairs = 0;
+  uint64_t snapshot_repairs = 0;
+  uint64_t survivor_repairs = 0;
+  uint64_t promotions = 0;
+};
+
+/// One cell of the matrix: run `script` on a primary up to op
+/// `kill_after`, with follower 0 pumping every op and follower 1 every
+/// third op; kill the primary; promote follower `target`; drive the
+/// survivor and the deposed primary's rejoin to convergence.
+void RunFailoverCell(const std::vector<ScriptOp>& script, size_t kill_after,
+                     size_t target, MatrixTotals* totals) {
+  SCOPED_TRACE("kill_after=" + std::to_string(kill_after) +
+               " target=" + std::to_string(target));
+  MemEnv env;
+  storage::DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  auto opened = storage::OpenDurableDynamicBase(kPrimaryDir,
+                                                NoAutoCompactOptions(),
+                                                durability);
+  ASSERT_TRUE(opened.ok());
+  storage::DurableDynamicBase primary = std::move(*opened);
+
+  auto source0 = std::make_unique<PrimaryLogSource>(&env, kPrimaryDir,
+                                                    primary.journal.get());
+  auto source1 = std::make_unique<PrimaryLogSource>(&env, kPrimaryDir,
+                                                    primary.journal.get());
+  auto follower0 = Follower::Open(ReplicaOptions(&env, "replica0", 0),
+                                  source0.get());
+  auto follower1 = Follower::Open(ReplicaOptions(&env, "replica1", 1),
+                                  source1.get());
+  ASSERT_TRUE(follower0.ok());
+  ASSERT_TRUE(follower1.ok());
+  Follower* followers[2] = {follower0->get(), follower1->get()};
+
+  // The schedule, with the primary's generation-head LSN tracked so the
+  // cell can predict which repair path the rejoin must take.
+  std::vector<AckedMutation> mutations;
+  uint64_t old_head_lsn = 0;  // the initial generation head sits at lsn 0
+  for (size_t i = 0; i < kill_after && i < script.size(); ++i) {
+    const ScriptOp& op = script[i];
+    const uint64_t lsn = primary.journal->next_lsn();
+    switch (op.kind) {
+      case ScriptOp::kInsert: {
+        auto id = primary.base->Insert(ShapeFor(op.id), ImageFor(op.id),
+                                       LabelFor(op.id));
+        ASSERT_TRUE(id.ok());
+        ASSERT_EQ(*id, op.id);
+        mutations.push_back({lsn, op});
+        break;
+      }
+      case ScriptOp::kRemove:
+        ASSERT_TRUE(primary.base->Remove(op.id).ok());
+        mutations.push_back({lsn, op});
+        break;
+      case ScriptOp::kCompact:
+        ASSERT_TRUE(primary.base->Compact().ok());
+        old_head_lsn = primary.journal->tail_state().next_lsn - 1;
+        break;
+    }
+    (void)followers[0]->Pump();
+    if (i % 3 == 2) (void)followers[1]->Pump();
+  }
+  const uint64_t old_tail = primary.journal->tail_state().next_lsn;
+
+  // Kill the primary: its journal and serving state die; its generation
+  // files stay on disk with whatever unreplicated suffix it had. The
+  // transports now dangle, so nothing pumps until it is re-pointed.
+  primary.base.reset();
+  primary.journal.reset();
+
+  Follower* promoted_follower = followers[target];
+  Follower* survivor = followers[1 - target];
+  const uint64_t floor = promoted_follower->applied_lsn();
+  auto promoted = promoted_follower->Promote();
+  if (floor == 0) {
+    // Never pumped: no local generation to take over. Sealed either way.
+    ASSERT_FALSE(promoted.ok());
+    return;
+  }
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  ++totals->promotions;
+  storage::DurableDynamicBase next = std::move(*promoted);
+  const storage::WalTailState tail = next.journal->tail_state();
+  EXPECT_EQ(tail.epoch, 1u);
+  EXPECT_EQ(tail.epoch_start_lsn, floor)
+      << "promotion must not burn LSNs: the new term starts at the "
+         "promoted replica's applied floor";
+  EXPECT_TRUE(promoted_follower->promoted());
+
+  // Invariant 1: everything replicated below the floor survives, and
+  // nothing above it leaked in.
+  const std::set<uint64_t> floor_model = ModelBelow(mutations, floor);
+  {
+    const std::vector<uint64_t> live = next.base->LiveIds();
+    EXPECT_EQ(live.size(), floor_model.size());
+    for (uint64_t id : live) {
+      EXPECT_EQ(floor_model.count(id), 1u) << "id " << id;
+      EXPECT_EQ(next.base->label(id), LabelFor(id));
+    }
+  }
+
+  // New-term writes under distinct labels (ids may collide with the dead
+  // primary's unreplicated suffix — that is the point).
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t id = next.base->NextId();
+    auto inserted = next.base->Insert(ShapeFor(id), ImageFor(id),
+                                      NewTermLabelFor(id));
+    ASSERT_TRUE(inserted.ok());
+  }
+  const uint64_t new_tail = next.journal->tail_state().next_lsn;
+
+  // Survivor: fence to the new term, re-point, converge. A survivor that
+  // out-pumped the promoted follower holds records the new primary never
+  // had — they were never acked as replicated by the new term, so they
+  // are truncated like any divergent suffix.
+  const uint64_t survivor_cursor = survivor->applied_lsn();
+  PrimaryLogSource next_source(promoted_follower->env(),
+                               promoted_follower->dir(), next.journal.get());
+  survivor->Fence(tail.epoch);
+  survivor->SetTransport(&next_source);
+  ASSERT_TRUE(PumpTo(survivor, new_tail));
+  EXPECT_TRUE(StatesMatch(*survivor, *next.base));
+  if (survivor_cursor > floor) {
+    EXPECT_GE(survivor->status().counters.divergence_repairs +
+                  survivor->status().counters.resyncs,
+              1u);
+    totals->survivor_repairs +=
+        survivor->status().counters.divergence_repairs;
+  }
+
+  // Rejoin: the deposed primary's own files come back as a follower of
+  // the new term. Its unreplicated suffix [floor, old_tail) must be
+  // truncated — surgically when its generation head predates the floor,
+  // via snapshot resync when the head itself is divergent.
+  PrimaryLogSource rejoin_source(promoted_follower->env(),
+                                 promoted_follower->dir(),
+                                 next.journal.get());
+  auto rejoined = Follower::Open(ReplicaOptions(&env, kPrimaryDir, 2),
+                                 &rejoin_source);
+  ASSERT_TRUE(rejoined.ok()) << rejoined.status().message();
+  ASSERT_TRUE(PumpTo(rejoined->get(), new_tail));
+  EXPECT_TRUE(StatesMatch(**rejoined, *next.base));
+  const FollowerCounters counters = (*rejoined)->status().counters;
+  if (old_tail > floor) {
+    EXPECT_GE(counters.divergence_repairs, 1u)
+        << "divergent suffix [" << floor << ", " << old_tail
+        << ") rejoined without a repair";
+    if (old_head_lsn < floor) {
+      EXPECT_EQ(counters.truncated_records, old_tail - floor);
+      EXPECT_EQ(counters.resyncs, 0u)
+          << "surgical truncation degraded to a snapshot resync";
+      ++totals->surgical_repairs;
+    } else {
+      EXPECT_GE(counters.resyncs, 1u);
+      ++totals->snapshot_repairs;
+    }
+  }
+  // No old-term label may survive on an id the new term rewrote, and the
+  // fence is at the new term everywhere.
+  EXPECT_GE((*rejoined)->fence_epoch(), tail.epoch);
+  EXPECT_GE(survivor->fence_epoch(), tail.epoch);
+}
+
+TEST(FailoverChaos, KillPrimaryAtEveryRecordBoundaryAndPromoteEach) {
+  const std::vector<ScriptOp> script =
+      MakeScript(/*inserts=*/12, /*remove_every=*/4, /*compact_every=*/5);
+  MatrixTotals totals;
+  for (size_t kill_after = 0; kill_after <= script.size(); ++kill_after) {
+    for (size_t target = 0; target < 2; ++target) {
+      RunFailoverCell(script, kill_after, target, &totals);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  // The matrix must exercise every repair path at least once, or the
+  // boundary enumeration has silently stopped covering them.
+  EXPECT_GT(totals.promotions, 0u);
+  EXPECT_GT(totals.surgical_repairs, 0u);
+  EXPECT_GT(totals.snapshot_repairs, 0u);
+  EXPECT_GT(totals.survivor_repairs, 0u);
+}
+
+// --- Zombie fencing ---
+
+TEST(Failover, FencedReplicaRefusesZombiePrimaryTerminally) {
+  MemEnv env;
+  storage::DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  auto opened = storage::OpenDurableDynamicBase(kPrimaryDir,
+                                                NoAutoCompactOptions(),
+                                                durability);
+  ASSERT_TRUE(opened.ok());
+  storage::DurableDynamicBase zombie = std::move(*opened);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(zombie.base->Insert(ShapeFor(i), ImageFor(i),
+                                    LabelFor(i)).ok());
+  }
+
+  PrimaryLogSource zombie_source(&env, kPrimaryDir, zombie.journal.get());
+  auto follower = Follower::Open(ReplicaOptions(&env, "replica0", 0),
+                                 &zombie_source);
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(PumpTo(follower->get(), zombie.journal->next_lsn()));
+
+  // The replica learns of a newer term (promotion elsewhere) while the
+  // old primary keeps serving, oblivious. Every fetch from it must be
+  // rejected terminally — kFailedPrecondition is not retriable, so the
+  // pump neither loops nor falls back to a resync off stale data.
+  (*follower)->Fence(zombie.journal->tail_state().epoch + 1);
+  const uint64_t before = (*follower)->applied_lsn();
+  ASSERT_TRUE(zombie.base->Insert(ShapeFor(6), ImageFor(6),
+                                  LabelFor(6)).ok());
+  for (int round = 0; round < 3; ++round) {
+    auto pumped = (*follower)->Pump();
+    ASSERT_FALSE(pumped.ok());
+    EXPECT_EQ(pumped.status().code(), util::StatusCode::kFailedPrecondition);
+  }
+  const FollowerStatus status = (*follower)->status();
+  EXPECT_GE(status.counters.fence_rejections, 3u);
+  EXPECT_EQ(status.counters.resyncs, 0u);
+  EXPECT_EQ((*follower)->applied_lsn(), before)
+      << "a fenced replica applied records from a zombie term";
+}
+
+TEST(Failover, PromotedFollowerSealsItsReplicaRole) {
+  MemEnv env;
+  storage::DurabilityOptions durability;
+  durability.env = &env;
+  durability.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  auto opened = storage::OpenDurableDynamicBase(kPrimaryDir,
+                                                NoAutoCompactOptions(),
+                                                durability);
+  ASSERT_TRUE(opened.ok());
+  storage::DurableDynamicBase primary = std::move(*opened);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(primary.base->Insert(ShapeFor(i), ImageFor(i),
+                                     LabelFor(i)).ok());
+  }
+  PrimaryLogSource source(&env, kPrimaryDir, primary.journal.get());
+  auto follower = Follower::Open(ReplicaOptions(&env, "replica0", 0),
+                                 &source);
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(PumpTo(follower->get(), primary.journal->next_lsn()));
+
+  auto promoted = (*follower)->Promote();
+  ASSERT_TRUE(promoted.ok());
+  // Sealed: no more replica queries, no more pumps, and a second
+  // promotion cannot mint another term from the same carcass.
+  EXPECT_FALSE((*follower)->Match(ShapeFor(1)).ok());
+  auto pumped = (*follower)->Pump();
+  ASSERT_FALSE(pumped.ok());
+  EXPECT_EQ(pumped.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE((*follower)->Promote().ok());
+
+  // The promoted store serves writes durably under the new term.
+  auto id = promoted->base->Insert(ShapeFor(9), ImageFor(9),
+                                   NewTermLabelFor(9));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(promoted->journal->Sync().ok());
+  EXPECT_EQ(promoted->journal->tail_state().epoch, 1u);
+}
+
+// --- Orchestrated failover: the ReplicatedShapeBase control plane ---
+
+ReplicatedOptions TierOptions(MemEnv* env) {
+  ReplicatedOptions options;
+  options.base = SmallBaseOptions();
+  options.env = env;
+  options.primary_wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  options.follower_wal.sync_policy = WalSyncPolicy::kEveryRecord;
+  options.start_replication = false;
+  return options;
+}
+
+std::vector<ReplicaSpec> Replicas(size_t n) {
+  std::vector<ReplicaSpec> specs(n);
+  for (size_t i = 0; i < n; ++i) {
+    specs[i].dir = "replica" + std::to_string(i);
+  }
+  return specs;
+}
+
+TEST(OrchestratedFailover, ControlledSwitchoverAndRejoin) {
+  MemEnv env;
+  auto tier = ReplicatedShapeBase::Open(kPrimaryDir, Replicas(2),
+                                        TierOptions(&env));
+  ASSERT_TRUE(tier.ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*tier)->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+  }
+  ASSERT_TRUE((*tier)->WaitForCatchUp(util::Deadline::AfterMillis(5000)).ok());
+  const uint64_t epoch_before = (*tier)->primary_epoch();
+
+  ASSERT_TRUE((*tier)->PromoteFollower(1).ok());
+  EXPECT_EQ((*tier)->failovers(), 1u);
+  EXPECT_GT((*tier)->primary_epoch(), epoch_before);
+  EXPECT_TRUE((*tier)->follower(1).promoted());
+
+  // Writes flow under the new term; the survivor keeps serving reads and
+  // follows the new primary.
+  for (uint64_t i = 10; i < 14; ++i) {
+    ASSERT_TRUE((*tier)->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+  }
+  ASSERT_TRUE((*tier)->WaitForCatchUp(util::Deadline::AfterMillis(5000)).ok());
+  std::vector<core::MatchStats> stats;
+  auto results = (*tier)->MatchBatch({ShapeFor(12)}, 1, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().message();
+  EXPECT_EQ((*results)[0].front().first, 12u);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].replica, 0u) << "router still offered the sealed slot";
+  EXPECT_EQ((*tier)->follower(0).fence_epoch(), (*tier)->primary_epoch());
+
+  // The deposed primary's files rejoin as a new follower of the tier.
+  ReplicaSpec rejoin;
+  rejoin.dir = kPrimaryDir;
+  ASSERT_TRUE((*tier)->AddFollower(std::move(rejoin)).ok());
+  ASSERT_EQ((*tier)->replica_count(), 3u);
+  ASSERT_TRUE((*tier)->WaitForCatchUp(util::Deadline::AfterMillis(5000)).ok());
+  EXPECT_EQ((*tier)->follower(2).applied_lsn(), (*tier)->primary_next_lsn());
+  EXPECT_EQ((*tier)->follower(2).NextId(), (*tier)->PrimaryNextId());
+  EXPECT_EQ((*tier)->follower(2).LiveIds(), (*tier)->PrimaryLiveIds());
+  for (uint64_t id : (*tier)->follower(2).LiveIds()) {
+    EXPECT_EQ((*tier)->follower(2).label(id), LabelFor(id));
+  }
+  EXPECT_EQ((*tier)->follower(2).fence_epoch(), (*tier)->primary_epoch());
+}
+
+TEST(OrchestratedFailover, MonitorAutoPromotesOnHealthProbeFailure) {
+  MemEnv env;
+  std::atomic<bool> healthy{true};
+  ReplicatedOptions options = TierOptions(&env);
+  options.start_replication = true;
+  options.failover_failures_to_trip = 2;
+  options.failover_probe_interval_ms = 2;
+  options.health_probe = [&healthy] {
+    return healthy.load() ? util::Status::OK()
+                          : util::Status::Unavailable("probe: primary dead");
+  };
+  auto tier = ReplicatedShapeBase::Open(kPrimaryDir, Replicas(2), options);
+  ASSERT_TRUE(tier.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*tier)->Insert(ShapeFor(i), ImageFor(i), LabelFor(i)).ok());
+  }
+  ASSERT_TRUE((*tier)->WaitForCatchUp(util::Deadline::AfterMillis(5000)).ok());
+
+  healthy.store(false);
+  const util::Deadline deadline = util::Deadline::AfterMillis(5000);
+  while ((*tier)->failovers() == 0) {
+    ASSERT_FALSE(deadline.expired()) << "monitor never tripped";
+  }
+  healthy.store(true);
+
+  // The write path may answer kUnavailable during the drain window; it
+  // must come back under the new term.
+  const util::Deadline write_deadline = util::Deadline::AfterMillis(5000);
+  bool wrote = false;
+  while (!wrote && !write_deadline.expired()) {
+    auto id = (*tier)->Insert(ShapeFor(100), ImageFor(100), LabelFor(100));
+    if (id.ok()) {
+      wrote = true;
+    } else {
+      ASSERT_EQ(id.status().code(), util::StatusCode::kUnavailable);
+    }
+  }
+  ASSERT_TRUE(wrote) << "writes never recovered after auto-failover";
+  EXPECT_GE((*tier)->primary_epoch(), 1u);
+  EXPECT_GE((*tier)->failovers(), 1u);
+}
+
+}  // namespace
+}  // namespace geosir::replication

@@ -404,6 +404,42 @@ TEST(Follower, RestartResumesFromLocalStateWithoutResync) {
   EXPECT_EQ(cluster.follower->status().counters.resyncs, 0u);
 }
 
+TEST(Follower, ReconnectAcrossRotationLeapsToTheNewHeadWithoutGapAbort) {
+  Cluster cluster;
+  cluster.base_options = NoAutoCompactOptions();
+  ASSERT_TRUE(cluster.OpenPrimary().ok());
+  ASSERT_TRUE(cluster.OpenFollower().ok());
+  std::set<uint64_t> model;
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.primary->base
+                    ->Insert(ShapeFor(i), ImageFor(i), LabelFor(i))
+                    .ok());
+    model.insert(i);
+  }
+  cluster.PumpUntilConverged();
+  const uint64_t cursor = cluster.follower->applied_lsn();
+  const FollowerCounters before = cluster.follower->status().counters;
+
+  // The follower goes dark across a rotation that ships NO mutations:
+  // the advisory compact-begin record at the follower's cursor is
+  // deleted with the old generation's log, so on reconnect the stream
+  // resumes at the new head commit, whose LSN lies PAST the cursor.
+  // That is a legal commit-leap (the skipped record was advisory, state
+  // converges), and it must be absorbed in-stream — neither reported as
+  // a lost-record gap nor escalated to a snapshot resync.
+  ASSERT_TRUE(cluster.primary->base->Compact().ok());
+  ASSERT_GT(cluster.primary->journal->tail_state().next_lsn, cursor + 1);
+  cluster.PumpUntilConverged();
+
+  EXPECT_TRUE(FollowerMatches(*cluster.follower, model));
+  EXPECT_EQ(cluster.follower->generation(),
+            cluster.primary->journal->generation());
+  const FollowerCounters counters = cluster.follower->status().counters;
+  EXPECT_EQ(counters.rotations, before.rotations + 1);
+  EXPECT_EQ(counters.gap_batches, before.gap_batches);
+  EXPECT_EQ(counters.resyncs, 0u);
+}
+
 TEST(Follower, LaggedPastRotationSnapshotResyncs) {
   Cluster cluster;
   ASSERT_TRUE(cluster.OpenPrimary().ok());
